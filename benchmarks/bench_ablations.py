@@ -1,0 +1,135 @@
+"""Ablation benches for PG-HIVE's design choices (beyond the paper's figures).
+
+Three sweeps on a mid-complexity dataset (ICIJ) and a multi-label one (MB6):
+
+* **grouping rule** -- AND (full-signature, the default) vs OR
+  (union-find over per-table buckets): OR risks transitive over-merging;
+* **theta** -- the Algorithm 2 Jaccard threshold, swept on a 0-label
+  variant where the merge step does all the work;
+* **label weight** -- the scale of the (normalised) label embedding
+  relative to one binary property flag; 0 would make ELSH labels-blind.
+"""
+
+from __future__ import annotations
+
+from bench_common import SEED, emit
+
+from repro.bench.harness import bench_scale, format_table
+from repro.core.config import ClusteringMethod, PGHiveConfig
+from repro.core.pipeline import PGHive
+from repro.datasets import apply_noise, load_dataset
+from repro.eval.clustering_metrics import majority_f1
+from repro.lsh.base import GroupingRule
+
+
+def _f1(dataset, config) -> tuple[float, int]:
+    result = PGHive(config).discover(dataset.graph)
+    score = majority_f1(result.node_assignments(), dataset.node_truth)
+    return score.macro_f1, result.schema.node_type_count
+
+
+def test_ablation_grouping_rule(benchmark, capsys):
+    nodes = int(1200 * bench_scale(1.0))
+    dataset = load_dataset("ICIJ", nodes=nodes, seed=SEED)
+    noisy = apply_noise(dataset, 0.3, 1.0, seed=SEED)
+    rows = []
+    for rule in GroupingRule:
+        for method in ClusteringMethod:
+            config = PGHiveConfig(
+                method=method,
+                grouping_rule=rule,
+                post_processing=False,
+                seed=SEED,
+            )
+            f1, types = _f1(noisy, config)
+            rows.append([rule.value, method.value, f1, types])
+    benchmark.pedantic(
+        lambda: _f1(
+            noisy, PGHiveConfig(post_processing=False, seed=SEED)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        capsys,
+        format_table(
+            ["Rule", "Method", "node F1*", "node types"],
+            rows,
+            title="Ablation: LSH grouping rule (ICIJ, 30% noise)",
+        ),
+    )
+    by_rule = {}
+    for rule, method, f1, _types in rows:
+        by_rule.setdefault(rule, []).append(f1)
+    # The AND default must not lose to OR on quality.
+    assert min(by_rule["and"]) >= min(by_rule["or"]) - 0.05
+
+
+def test_ablation_theta(benchmark, capsys):
+    nodes = int(1200 * bench_scale(1.0))
+    dataset = load_dataset("POLE", nodes=nodes, seed=SEED)
+    unlabeled = apply_noise(dataset, 0.0, 0.0, seed=SEED)
+    rows = []
+    scores = {}
+    for theta in (0.3, 0.5, 0.7, 0.9, 1.0):
+        config = PGHiveConfig(theta=theta, post_processing=False, seed=SEED)
+        f1, types = _f1(unlabeled, config)
+        scores[theta] = (f1, types)
+        rows.append([theta, f1, types])
+    benchmark.pedantic(
+        lambda: _f1(
+            unlabeled, PGHiveConfig(theta=0.9, post_processing=False, seed=SEED)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        capsys,
+        format_table(
+            ["theta", "node F1*", "node types"],
+            rows,
+            title="Ablation: Jaccard merge threshold (POLE, 0% labels)",
+        ),
+    )
+    # Section 4.3: lowering theta increases recall (fewer types) but mixes
+    # types (precision, hence F1, drops or stays).
+    assert scores[0.3][1] <= scores[0.9][1]
+    assert scores[0.9][0] >= scores[0.3][0] - 1e-9
+
+
+def test_ablation_label_weight(benchmark, capsys):
+    nodes = int(1200 * bench_scale(1.0))
+    dataset = load_dataset("MB6", nodes=nodes, seed=SEED)
+    rows = []
+    scores = {}
+    for weight in (0.25, 1.0, 2.0, 4.0):
+        config = PGHiveConfig(
+            method=ClusteringMethod.ELSH,
+            label_weight=weight,
+            post_processing=False,
+            seed=SEED,
+        )
+        f1, types = _f1(dataset, config)
+        scores[weight] = f1
+        rows.append([weight, f1, types])
+    benchmark.pedantic(
+        lambda: _f1(
+            dataset,
+            PGHiveConfig(
+                method=ClusteringMethod.ELSH, post_processing=False, seed=SEED
+            ),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        capsys,
+        format_table(
+            ["label weight", "node F1*", "node types"],
+            rows,
+            title="Ablation: label-embedding weight (MB6, ELSH)",
+        ),
+    )
+    # The default (2.0) must match or beat the near-zero setting: labels are
+    # what separates structurally identical multi-label types.
+    assert scores[2.0] >= scores[0.25] - 0.02

@@ -1,0 +1,14 @@
+"""Constants and helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+#: Default scale keeps the full suite in the low minutes on one machine.
+DEFAULT_GRID_SCALE = 0.25
+SEED = 2026
+
+
+def emit(capsys, text: str) -> None:
+    """Print ``text`` to the real terminal, bypassing pytest capture."""
+    with capsys.disabled():
+        print()
+        print(text)

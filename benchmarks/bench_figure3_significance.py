@@ -1,0 +1,58 @@
+"""Figure 3: statistical significance of F1* differences (Nemenyi test).
+
+Average ranks over all (dataset x noise) cases at 100 % label availability,
+for node types (4 methods) and edge types (3 methods -- GMM produces no
+edge types), with the Nemenyi critical difference.
+"""
+
+from __future__ import annotations
+
+from bench_common import emit
+
+from repro.bench.experiments import figure3_ranking
+from repro.bench.harness import format_table
+from repro.eval.ranking import nemenyi_test
+
+
+def test_figure3_nemenyi_ranks(benchmark, quality_grid, capsys):
+    nodes_result, edges_result = figure3_ranking(quality_grid)
+
+    # Benchmark the statistical analysis itself.
+    node_scores: dict[str, list[float]] = {}
+    for case in quality_grid.select(availability=1.0):
+        if case.node_f1 is not None:
+            node_scores.setdefault(case.method, []).append(case.node_f1)
+    benchmark(lambda: nemenyi_test(node_scores))
+
+    for title, result in (
+        ("Figure 3 (nodes): average ranks", nodes_result),
+        ("Figure 3 (edges): average ranks", edges_result),
+    ):
+        rows = [[name, rank] for name, rank in result.ordered()]
+        table = format_table(["Method", "Avg rank (lower=better)"], rows, title=title)
+        table += (
+            f"\nCD(alpha={result.alpha}) = {result.critical_difference:.3f} "
+            f"over {result.case_count} cases"
+        )
+        emit(capsys, table)
+
+    node_ranks = nodes_result.ranks
+    pg_best = min(node_ranks["PG-HIVE-ELSH"], node_ranks["PG-HIVE-MinHash"])
+    pg_worst = max(node_ranks["PG-HIVE-ELSH"], node_ranks["PG-HIVE-MinHash"])
+    # Paper: the two PG-HIVE variants form a group with no major difference,
+    # both ahead of GMM and SchemI.
+    assert abs(node_ranks["PG-HIVE-ELSH"] - node_ranks["PG-HIVE-MinHash"]) < (
+        nodes_result.critical_difference
+    )
+    assert pg_worst <= node_ranks["GMM"]
+    assert pg_worst <= node_ranks["SchemI"]
+    # At least one baseline is significantly worse than the best PG-HIVE.
+    assert (
+        node_ranks["GMM"] - pg_best >= nodes_result.critical_difference
+        or node_ranks["SchemI"] - pg_best >= nodes_result.critical_difference
+    )
+
+    edge_ranks = edges_result.ranks
+    assert "GMM" not in edge_ranks
+    pg_edge_best = min(edge_ranks["PG-HIVE-ELSH"], edge_ranks["PG-HIVE-MinHash"])
+    assert pg_edge_best <= edge_ranks["SchemI"]

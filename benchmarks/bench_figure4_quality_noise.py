@@ -1,0 +1,74 @@
+"""Figure 4: F1* across noise levels (0-40 %) and label availability.
+
+One series per (dataset, availability, method): F1 at each noise level,
+for node types and edge types.  Baselines appear only at 100 % label
+availability -- exactly the paper's empty 50 %/0 % baseline rows.
+"""
+
+from __future__ import annotations
+
+from bench_common import SEED, emit
+
+from repro.bench.experiments import figure4_series
+from repro.bench.harness import NOISE_LEVELS, PGHiveMethod
+from repro.core.config import ClusteringMethod
+from repro.bench.harness import format_table
+
+
+def _print_series(capsys, grid, kind: str) -> None:
+    headers = ["Dataset", "Labels %", "Method"] + [
+        f"{int(noise * 100)}%" for noise in NOISE_LEVELS
+    ]
+    rows = [
+        [dataset, f"{availability * 100:.0f}", method, *values]
+        for dataset, availability, method, values in figure4_series(grid, kind)
+    ]
+    emit(
+        capsys,
+        format_table(headers, rows, title=f"Figure 4 ({kind}): F1* vs noise"),
+    )
+
+
+def test_figure4_quality_under_noise(benchmark, quality_grid, bench_datasets, capsys):
+    # Benchmark one representative discovery (ELSH on the smallest dataset).
+    smallest = min(bench_datasets, key=lambda d: d.graph.node_count)
+    method = PGHiveMethod(ClusteringMethod.ELSH, seed=SEED)
+    benchmark(lambda: method.run(smallest.graph))
+
+    _print_series(capsys, quality_grid, "nodes")
+    _print_series(capsys, quality_grid, "edges")
+
+    # Shape assertions mirroring section 5.1.
+    for dataset in {case.dataset for case in quality_grid.cases}:
+        # PG-HIVE keeps producing results with no labels at all.
+        no_label_cases = quality_grid.select(
+            dataset=dataset, availability=0.0, method="PG-HIVE-ELSH"
+        )
+        assert all(case.supported for case in no_label_cases)
+        # Baselines cannot run without full labels.
+        for baseline in ("GMM", "SchemI"):
+            for case in quality_grid.select(
+                dataset=dataset, availability=0.0, method=baseline
+            ):
+                assert not case.supported
+
+    # PG-HIVE dominates the baselines at the highest noise level (100% labels).
+    wins, comparisons = 0, 0
+    for case in quality_grid.select(noise=0.4, availability=1.0):
+        if not case.method.startswith("PG-HIVE") or case.node_f1 is None:
+            continue
+        for baseline in quality_grid.select(
+            dataset=case.dataset, noise=0.4, availability=1.0
+        ):
+            if baseline.method.startswith("PG-HIVE") or baseline.node_f1 is None:
+                continue
+            comparisons += 1
+            if case.node_f1 >= baseline.node_f1 - 1e-9:
+                wins += 1
+    assert comparisons > 0
+    assert wins / comparisons >= 0.9, f"PG-HIVE won only {wins}/{comparisons}"
+
+    # PG-HIVE node F1 stays high under maximum noise with full labels.
+    for case in quality_grid.select(noise=0.4, availability=1.0):
+        if case.method.startswith("PG-HIVE") and case.node_f1 is not None:
+            assert case.node_f1 >= 0.85, (case.dataset, case.method, case.node_f1)

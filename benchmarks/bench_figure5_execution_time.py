@@ -1,0 +1,62 @@
+"""Figure 5: execution time until type discovery, per dataset and noise.
+
+Prints wall-clock seconds for every method at 100 % label availability
+across the noise grid.  The reproducible *shape* claims (section 5.1):
+PG-HIVE's runtime is insensitive to noise, while GMM's cost grows with
+noise as the number of mixture components inflates.  The absolute
+PG-HIVE-vs-SchemI ratio is substrate-dependent (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from bench_common import SEED, emit
+
+from repro.bench.experiments import figure5_series
+from repro.bench.harness import NOISE_LEVELS, PGHiveMethod, format_table
+from repro.core.config import ClusteringMethod
+
+
+def test_figure5_execution_time(benchmark, quality_grid, bench_datasets, capsys):
+    largest = max(bench_datasets, key=lambda d: d.graph.node_count)
+    method = PGHiveMethod(ClusteringMethod.MINHASH, seed=SEED)
+    benchmark(lambda: method.run(largest.graph))
+
+    headers = ["Dataset", "Method"] + [
+        f"{int(noise * 100)}%" for noise in NOISE_LEVELS
+    ]
+    series = figure5_series(quality_grid)
+    rows = [
+        [dataset, method_name, *values] for dataset, method_name, values in series
+    ]
+    emit(
+        capsys,
+        format_table(headers, rows, title="Figure 5: execution seconds vs noise"),
+    )
+
+    # PG-HIVE's runtime is flat across noise levels (within jitter bounds).
+    for dataset, method_name, values in series:
+        if not method_name.startswith("PG-HIVE"):
+            continue
+        timings = [v for v in values if v is not None]
+        assert timings, (dataset, method_name)
+        if min(timings) > 0.05:  # jitter dominates below this
+            assert max(timings) / min(timings) < 4.0, (
+                dataset,
+                method_name,
+                timings,
+            )
+
+    # GMM tends to get slower with noise (paper: cluster count inflates).
+    slower, total = 0, 0
+    for dataset, method_name, values in series:
+        if method_name != "GMM":
+            continue
+        timings = [v for v in values if v is not None]
+        if len(timings) == len(NOISE_LEVELS):
+            total += 1
+            if statistics.mean(timings[-2:]) >= statistics.mean(timings[:2]) * 0.8:
+                slower += 1
+    assert total > 0
+    assert slower / total >= 0.5, f"GMM slowed with noise on only {slower}/{total}"

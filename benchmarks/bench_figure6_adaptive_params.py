@@ -1,0 +1,66 @@
+"""Figure 6: F1* heatmaps over the (T, alpha) ELSH grid vs adaptive choice.
+
+For each dataset (0 % noise, 100 % labels) the ELSH parameters are swept
+over a (num_tables, alpha) grid; the adaptive configuration's score and
+chosen parameters are printed alongside (the red cross of the paper's
+figure).  The reproduction claim: the adaptive choice lands within a small
+margin of the best grid cell.
+"""
+
+from __future__ import annotations
+
+from bench_common import SEED, emit
+
+from repro.bench.experiments import figure6_heatmap
+from repro.bench.harness import format_table
+
+TABLE_COUNTS = (5, 10, 20, 30)
+ALPHAS = (0.5, 1.0, 1.5, 2.0)
+
+
+def test_figure6_adaptive_parameterization(benchmark, bench_datasets, capsys):
+    heatmaps = []
+    for dataset in bench_datasets:
+        heatmaps.append(
+            figure6_heatmap(
+                dataset,
+                table_counts=TABLE_COUNTS,
+                alphas=ALPHAS,
+                kind="nodes",
+                seed=SEED,
+            )
+        )
+
+    smallest = min(bench_datasets, key=lambda d: d.graph.node_count)
+    benchmark.pedantic(
+        lambda: figure6_heatmap(
+            smallest, table_counts=(5,), alphas=(1.0,), kind="nodes", seed=SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    for heatmap in heatmaps:
+        headers = ["T \\ alpha"] + [str(alpha) for alpha in ALPHAS]
+        rows = []
+        for tables in TABLE_COUNTS:
+            rows.append(
+                [str(tables)]
+                + [heatmap["cells"][(tables, alpha)] for alpha in ALPHAS]
+            )
+        title = (
+            f"Figure 6 nodes heatmap: {heatmap['dataset']} -- adaptive "
+            f"(T={heatmap['adaptive_T']}, alpha={heatmap['adaptive_alpha']}, "
+            f"b={heatmap['adaptive_b']:.2f}) F1={heatmap['adaptive_f1']:.3f}"
+        )
+        emit(capsys, format_table(headers, rows, title=title))
+
+    # Adaptive lands near the best grid configuration on most datasets.
+    near_best = 0
+    for heatmap in heatmaps:
+        best = max(heatmap["cells"].values())
+        if heatmap["adaptive_f1"] >= best - 0.1:
+            near_best += 1
+    assert near_best >= len(heatmaps) - 2, (
+        f"adaptive near-best on only {near_best}/{len(heatmaps)} datasets"
+    )

@@ -1,0 +1,56 @@
+"""Figure 7: incremental execution time per batch.
+
+Each dataset is split into 10 random insert batches and processed by the
+incremental engine under both LSH variants; the per-batch seconds are the
+paper's series.  The reproduction claim: batch times stay flat (no
+full-recomputation blow-up as the accumulated schema grows).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from bench_common import SEED, emit
+
+from repro.bench.experiments import figure7_incremental
+from repro.bench.harness import format_table
+from repro.core.config import ClusteringMethod
+
+BATCHES = 10
+
+
+def test_figure7_incremental_batches(benchmark, bench_datasets, capsys):
+    smallest = min(bench_datasets, key=lambda d: d.graph.node_count)
+    benchmark.pedantic(
+        lambda: figure7_incremental(
+            smallest, ClusteringMethod.MINHASH, batch_count=3, seed=SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    for method in (ClusteringMethod.ELSH, ClusteringMethod.MINHASH):
+        rows = []
+        flat_checks: list[tuple[str, list[float]]] = []
+        for dataset in bench_datasets:
+            seconds = figure7_incremental(
+                dataset, method, batch_count=BATCHES, seed=SEED
+            )
+            rows.append([dataset.name, *seconds])
+            flat_checks.append((dataset.name, seconds))
+        headers = ["Dataset"] + [str(i + 1) for i in range(BATCHES)]
+        emit(
+            capsys,
+            format_table(
+                headers,
+                rows,
+                title=f"Figure 7: incremental seconds per batch (PG-HIVE-{method.value})",
+            ),
+        )
+
+        for name, seconds in flat_checks:
+            median = statistics.median(seconds)
+            if median > 0.05:
+                # Later batches must not blow up: merging into the schema is
+                # O(C_b * C_n), not a recomputation over all seen data.
+                assert max(seconds[-3:]) <= 5.0 * median, (name, seconds)

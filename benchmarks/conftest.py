@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+The section 5 quality/efficiency grid (8 datasets x 5 noise levels x 3
+label availabilities x 4 methods) is expensive, so it is computed once per
+session and shared by the Figure 3 / 4 / 5 / headline benches.  Dataset
+sizes scale with the ``PGHIVE_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_common import DEFAULT_GRID_SCALE, SEED  # noqa: E402
+
+from repro.bench.experiments import (  # noqa: E402
+    QualityGrid,
+    load_bench_datasets,
+    run_quality_grid,
+)
+from repro.bench.harness import bench_scale  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bench_datasets():
+    """The eight Table 2 datasets at bench scale."""
+    return load_bench_datasets(scale=bench_scale(DEFAULT_GRID_SCALE), seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def quality_grid(bench_datasets) -> QualityGrid:
+    """The full section 5 grid, shared across benches."""
+    return run_quality_grid(bench_datasets, seed=SEED)

@@ -1,0 +1,46 @@
+"""Schema discovery on noisy, partially labelled, integrated data.
+
+The ICIJ offshore-leaks equivalent integrates several leaks with wildly
+inconsistent structure (200+ structural patterns at paper scale).  This
+example injects the paper's worst-case perturbations -- 40 % property
+removal and only 50 % of nodes labelled -- and shows that PG-HIVE still
+recovers the types while the baselines either degrade or refuse to run.
+
+Run:  python examples/heterogeneous_integration.py
+"""
+
+from repro import PGHive, PGHiveConfig, ClusteringMethod
+from repro.baselines import GMMSchema, SchemI, UnsupportedGraphError
+from repro.datasets import apply_noise, load_dataset
+from repro.eval.clustering_metrics import majority_f1
+
+
+def main() -> None:
+    dataset = load_dataset("ICIJ", nodes=2000, seed=3)
+    print(f"ICIJ equivalent: {dataset.graph.node_count} nodes, "
+          f"{dataset.graph.edge_count} edges, "
+          f"{dataset.statistics().node_patterns} structural node patterns\n")
+
+    for noise, availability in ((0.0, 1.0), (0.4, 1.0), (0.4, 0.5)):
+        noisy = apply_noise(dataset, noise, availability, seed=3)
+        print(f"--- noise={noise:.0%}, labels on {availability:.0%} of nodes ---")
+        for method in ClusteringMethod:
+            config = PGHiveConfig(method=method, seed=3, post_processing=False)
+            result = PGHive(config).discover(noisy.graph)
+            score = majority_f1(result.node_assignments(), dataset.node_truth)
+            print(f"  PG-HIVE-{method.value.upper():8s} node F1*="
+                  f"{score.macro_f1:.3f}  "
+                  f"({result.schema.node_type_count} types, "
+                  f"{len(result.schema.abstract_node_types())} abstract)")
+        for baseline in (GMMSchema(seed=3), SchemI()):
+            try:
+                outcome = baseline.run(noisy.graph)
+                score = majority_f1(outcome.node_assignment, dataset.node_truth)
+                print(f"  {baseline.name:16s} node F1*={score.macro_f1:.3f}")
+            except UnsupportedGraphError as error:
+                print(f"  {baseline.name:16s} cannot run: {error}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

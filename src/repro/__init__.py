@@ -1,0 +1,48 @@
+"""PG-HIVE: hybrid incremental schema discovery for property graphs.
+
+Reproduction of Sideri et al., EDBT 2026 (arXiv:2512.01092).  The public
+API in one import::
+
+    from repro import PGHive, PGHiveConfig, PropertyGraph, Node, Edge
+
+    graph = PropertyGraph("example")
+    ...
+    result = PGHive().discover(graph)
+    print(result.to_pg_schema())
+"""
+
+from repro.core.config import AdaptiveOverrides, ClusteringMethod, PGHiveConfig
+from repro.core.incremental import IncrementalSchemaDiscovery
+from repro.core.pipeline import DiscoveryResult, PGHive
+from repro.graph.model import Edge, Node, PropertyGraph, label_token
+from repro.graph.store import GraphStore
+from repro.lsh.base import GroupingRule
+from repro.schema.cardinality import Cardinality
+from repro.schema.datatypes import DataType
+from repro.schema.model import EdgeType, NodeType, SchemaGraph
+from repro.schema.validation import ValidationMode, validate_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveOverrides",
+    "Cardinality",
+    "ClusteringMethod",
+    "DataType",
+    "DiscoveryResult",
+    "Edge",
+    "EdgeType",
+    "GraphStore",
+    "GroupingRule",
+    "IncrementalSchemaDiscovery",
+    "Node",
+    "NodeType",
+    "PGHive",
+    "PGHiveConfig",
+    "PropertyGraph",
+    "SchemaGraph",
+    "ValidationMode",
+    "label_token",
+    "validate_graph",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Baseline schema-discovery methods: GMMSchema and SchemI."""
+
+from repro.baselines.base import (
+    MethodResult,
+    SchemaDiscoveryMethod,
+    UnsupportedGraphError,
+)
+from repro.baselines.gmm import GaussianMixture, select_components_by_bic
+from repro.baselines.gmm_schema import GMMSchema
+from repro.baselines.schemi import SchemI
+
+__all__ = [
+    "GMMSchema",
+    "GaussianMixture",
+    "MethodResult",
+    "SchemI",
+    "SchemaDiscoveryMethod",
+    "UnsupportedGraphError",
+    "select_components_by_bic",
+]

@@ -1,0 +1,75 @@
+"""Common interface every schema-discovery method exposes to the benches.
+
+A method consumes a :class:`~repro.graph.model.PropertyGraph` and returns a
+:class:`MethodResult`: per-node (and optionally per-edge) cluster
+assignments plus the wall-clock seconds spent until type discovery.  The
+evaluation layer scores assignments against dataset ground truth with the
+majority-based F1* metric.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.graph.model import PropertyGraph
+
+
+class UnsupportedGraphError(ReproError):
+    """The method's preconditions (e.g. full labelling) do not hold."""
+
+
+@dataclass
+class MethodResult:
+    """Outcome of one discovery run, in evaluation-ready form."""
+
+    method: str
+    node_assignment: dict[str, str]
+    edge_assignment: dict[str, str] | None
+    seconds: float
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def node_cluster_count(self) -> int:
+        """Number of distinct node clusters."""
+        return len(set(self.node_assignment.values()))
+
+    @property
+    def edge_cluster_count(self) -> int:
+        """Number of distinct edge clusters (0 when edges unsupported)."""
+        if not self.edge_assignment:
+            return 0
+        return len(set(self.edge_assignment.values()))
+
+
+class SchemaDiscoveryMethod:
+    """Base class: subclasses implement :meth:`_run`."""
+
+    #: Display name used in bench tables.
+    name: str = "method"
+    #: Does the method produce edge types at all (GMMSchema does not)?
+    discovers_edges: bool = True
+    #: Does the method require every element to carry a label?
+    requires_full_labels: bool = False
+
+    def check_supported(self, graph: PropertyGraph) -> None:
+        """Raise :class:`UnsupportedGraphError` when preconditions fail."""
+        if self.requires_full_labels:
+            for node in graph.nodes():
+                if not node.labels:
+                    raise UnsupportedGraphError(
+                        f"{self.name} requires fully labelled nodes; "
+                        f"node {node.node_id!r} has none"
+                    )
+
+    def run(self, graph: PropertyGraph) -> MethodResult:
+        """Time and execute the method on ``graph``."""
+        self.check_supported(graph)
+        start = time.perf_counter()
+        result = self._run(graph)
+        result.seconds = time.perf_counter() - start
+        return result
+
+    def _run(self, graph: PropertyGraph) -> MethodResult:
+        raise NotImplementedError

@@ -1,0 +1,185 @@
+"""Gaussian Mixture Model with diagonal covariance, fitted by EM.
+
+This is the reproduction's substitute for the scikit-learn / Spark GMM the
+GMMSchema baseline [15] builds on.  The implementation covers exactly what
+schema discovery needs:
+
+* EM over diagonal-covariance Gaussians with a variance floor (the inputs
+  are binary property-indicator vectors, so covariances degenerate without
+  one);
+* deterministic k-means++-style initialisation from the data;
+* log-likelihood-based convergence;
+* BIC for model selection over the number of components.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+class GaussianMixture:
+    """Diagonal-covariance GMM trained with expectation-maximisation."""
+
+    def __init__(
+        self,
+        n_components: int,
+        max_iterations: int = 100,
+        tolerance: float = 1e-4,
+        variance_floor: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        if n_components < 1:
+            raise ClusteringError(f"n_components must be >= 1, got {n_components}")
+        self.n_components = n_components
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.variance_floor = variance_floor
+        self.seed = seed
+        self.weights: np.ndarray | None = None  # (k,)
+        self.means: np.ndarray | None = None  # (k, d)
+        self.variances: np.ndarray | None = None  # (k, d)
+        self.converged = False
+        self.iterations_run = 0
+        self.log_likelihood = -np.inf
+
+    # ------------------------------------------------------------------
+    # Initialisation
+    # ------------------------------------------------------------------
+    def _init_parameters(self, data: np.ndarray, rng: np.random.Generator) -> None:
+        count, dim = data.shape
+        # k-means++-style spread: first centre random, then proportional to
+        # squared distance from the closest chosen centre.
+        centers = [data[rng.integers(count)]]
+        for _ in range(1, self.n_components):
+            stacked = np.vstack(centers)
+            distances = np.min(
+                ((data[:, None, :] - stacked[None, :, :]) ** 2).sum(axis=2), axis=1
+            )
+            total = distances.sum()
+            if total <= 0:
+                centers.append(data[rng.integers(count)])
+                continue
+            centers.append(data[rng.choice(count, p=distances / total)])
+        self.means = np.vstack(centers).astype(np.float64)
+        global_variance = np.maximum(data.var(axis=0), self.variance_floor)
+        self.variances = np.tile(global_variance, (self.n_components, 1))
+        self.weights = np.full(self.n_components, 1.0 / self.n_components)
+
+    # ------------------------------------------------------------------
+    # EM
+    # ------------------------------------------------------------------
+    def _log_prob(self, data: np.ndarray) -> np.ndarray:
+        """Per-component log densities, shape ``(n, k)``."""
+        precision = 1.0 / self.variances  # (k, d)
+        log_det = np.log(self.variances).sum(axis=1)  # (k,)
+        # (n, k): sum_d (x - mu)^2 / var
+        deltas = data[:, None, :] - self.means[None, :, :]
+        mahalanobis = np.einsum("nkd,kd->nk", deltas**2, precision)
+        return -0.5 * (mahalanobis + log_det + data.shape[1] * _LOG_2PI)
+
+    def _weighted_log_prob(self, data: np.ndarray) -> np.ndarray:
+        return self._log_prob(data) + np.log(self.weights)
+
+    def fit(self, data: np.ndarray) -> "GaussianMixture":
+        """Run EM until convergence or ``max_iterations``."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ClusteringError(f"expected non-empty (n, d) data, got {data.shape}")
+        if data.shape[0] < self.n_components:
+            raise ClusteringError(
+                f"{self.n_components} components need at least as many points, "
+                f"got {data.shape[0]}"
+            )
+        rng = np.random.default_rng(self.seed)
+        self._init_parameters(data, rng)
+
+        previous = -np.inf
+        for iteration in range(1, self.max_iterations + 1):
+            # E step
+            weighted = self._weighted_log_prob(data)  # (n, k)
+            normaliser = _logsumexp(weighted)  # (n,)
+            responsibilities = np.exp(weighted - normaliser[:, None])
+            current = float(normaliser.mean())
+            # M step
+            component_mass = responsibilities.sum(axis=0) + 1e-12  # (k,)
+            self.weights = component_mass / data.shape[0]
+            self.means = (responsibilities.T @ data) / component_mass[:, None]
+            squared = responsibilities.T @ (data**2) / component_mass[:, None]
+            self.variances = np.maximum(
+                squared - self.means**2, self.variance_floor
+            )
+            self.iterations_run = iteration
+            self.log_likelihood = current
+            if abs(current - previous) < self.tolerance:
+                self.converged = True
+                break
+            previous = current
+        return self
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Most likely component per row."""
+        if self.means is None:
+            raise ClusteringError("fit must run before predict")
+        data = np.asarray(data, dtype=np.float64)
+        return np.argmax(self._weighted_log_prob(data), axis=1)
+
+    def score(self, data: np.ndarray) -> float:
+        """Mean log-likelihood of ``data``."""
+        if self.means is None:
+            raise ClusteringError("fit must run before score")
+        data = np.asarray(data, dtype=np.float64)
+        return float(_logsumexp(self._weighted_log_prob(data)).mean())
+
+    @property
+    def parameter_count(self) -> int:
+        """Free parameters: means + variances + (k-1) mixture weights."""
+        if self.means is None:
+            raise ClusteringError("fit must run before parameter_count")
+        k, dim = self.means.shape
+        return k * dim * 2 + (k - 1)
+
+    def bic(self, data: np.ndarray) -> float:
+        """Bayesian information criterion (lower is better)."""
+        data = np.asarray(data, dtype=np.float64)
+        count = data.shape[0]
+        total_log_likelihood = self.score(data) * count
+        return -2.0 * total_log_likelihood + self.parameter_count * np.log(count)
+
+
+def _logsumexp(matrix: np.ndarray) -> np.ndarray:
+    peak = matrix.max(axis=1, keepdims=True)
+    return (peak + np.log(np.exp(matrix - peak).sum(axis=1, keepdims=True)))[:, 0]
+
+
+def select_components_by_bic(
+    data: np.ndarray,
+    candidates: list[int],
+    seed: int = 0,
+    max_iterations: int = 50,
+) -> GaussianMixture:
+    """Fit one GMM per candidate k and return the lowest-BIC model."""
+    if not candidates:
+        raise ClusteringError("candidate component counts must be non-empty")
+    best_model: GaussianMixture | None = None
+    best_bic = np.inf
+    for k in candidates:
+        if k < 1 or k > len(data):
+            continue
+        model = GaussianMixture(
+            k, max_iterations=max_iterations, seed=seed
+        ).fit(data)
+        bic = model.bic(data)
+        if bic < best_bic:
+            best_model, best_bic = model, bic
+    if best_model is None:
+        raise ClusteringError(
+            f"no feasible component count among {candidates} for {len(data)} points"
+        )
+    return best_model

@@ -1,0 +1,23 @@
+"""Benchmark harness shared by the ``benchmarks/`` suite."""
+
+from repro.bench.harness import (
+    AVAILABILITIES,
+    NOISE_LEVELS,
+    CaseResult,
+    PGHiveMethod,
+    all_methods,
+    bench_scale,
+    evaluate_on,
+    format_table,
+)
+
+__all__ = [
+    "AVAILABILITIES",
+    "CaseResult",
+    "NOISE_LEVELS",
+    "PGHiveMethod",
+    "all_methods",
+    "bench_scale",
+    "evaluate_on",
+    "format_table",
+]

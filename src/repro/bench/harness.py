@@ -1,0 +1,168 @@
+"""Shared bench harness: method adapters, grid runners, table formatting.
+
+Every ``benchmarks/bench_*.py`` file drives one paper table or figure
+through this module, so the benches stay declarative.  All experiment
+sizes respect the ``PGHIVE_SCALE`` environment variable (a float
+multiplier on dataset node counts; default keeps the full suite in the
+low minutes on one machine).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.baselines.base import (
+    MethodResult,
+    SchemaDiscoveryMethod,
+    UnsupportedGraphError,
+)
+from repro.baselines.gmm_schema import GMMSchema
+from repro.baselines.schemi import SchemI
+from repro.core.config import ClusteringMethod, PGHiveConfig
+from repro.core.pipeline import PGHive
+from repro.datasets.base import GeneratedDataset
+from repro.eval.clustering_metrics import majority_f1
+from repro.graph.model import PropertyGraph
+
+#: Paper noise grid (section 5).
+NOISE_LEVELS: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4)
+#: Paper label-availability grid (section 5).
+AVAILABILITIES: tuple[float, ...] = (1.0, 0.5, 0.0)
+
+
+def bench_scale(default: float = 1.0) -> float:
+    """Dataset scale multiplier from ``PGHIVE_SCALE`` (default 1.0)."""
+    raw = os.environ.get("PGHIVE_SCALE", "")
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
+class PGHiveMethod(SchemaDiscoveryMethod):
+    """Adapter exposing PG-HIVE under the common method interface.
+
+    Post-processing is disabled: the Figure 4/5 comparison measures "time
+    until type discovery", and the baselines produce no constraints either.
+    """
+
+    requires_full_labels = False
+    discovers_edges = True
+
+    def __init__(self, method: ClusteringMethod, seed: int = 0, **overrides):
+        self.name = f"PG-HIVE-{'ELSH' if method is ClusteringMethod.ELSH else 'MinHash'}"
+        config_kwargs = {"method": method, "post_processing": False, "seed": seed}
+        config_kwargs.update(overrides)
+        self.config = PGHiveConfig(**config_kwargs)
+
+    def _run(self, graph: PropertyGraph) -> MethodResult:
+        result = PGHive(self.config).discover(graph)
+        return MethodResult(
+            method=self.name,
+            node_assignment=result.node_assignments(),
+            edge_assignment=result.edge_assignments(),
+            seconds=0.0,
+            extras={
+                "node_clusters": result.node_cluster_count,
+                "edge_clusters": result.edge_cluster_count,
+                "node_parameters": result.node_parameters,
+                "edge_parameters": result.edge_parameters,
+            },
+        )
+
+
+def all_methods(seed: int = 0) -> list[SchemaDiscoveryMethod]:
+    """The four compared methods in the paper's order of appearance."""
+    return [
+        PGHiveMethod(ClusteringMethod.ELSH, seed=seed),
+        PGHiveMethod(ClusteringMethod.MINHASH, seed=seed),
+        GMMSchema(seed=seed),
+        SchemI(),
+    ]
+
+
+@dataclass
+class CaseResult:
+    """One (dataset, noise, availability, method) evaluation record."""
+
+    dataset: str
+    noise: float
+    availability: float
+    method: str
+    node_f1: float | None
+    edge_f1: float | None
+    seconds: float | None
+    supported: bool = True
+    extras: dict = field(default_factory=dict)
+
+
+def evaluate_on(
+    method: SchemaDiscoveryMethod,
+    dataset: GeneratedDataset,
+    noise: float = 0.0,
+    availability: float = 1.0,
+) -> CaseResult:
+    """Run one method on one (possibly noisy) dataset and score it."""
+    try:
+        outcome = method.run(dataset.graph)
+    except UnsupportedGraphError:
+        return CaseResult(
+            dataset=dataset.name,
+            noise=noise,
+            availability=availability,
+            method=method.name,
+            node_f1=None,
+            edge_f1=None,
+            seconds=None,
+            supported=False,
+        )
+    node_f1 = majority_f1(outcome.node_assignment, dataset.node_truth).macro_f1
+    edge_f1 = None
+    if method.discovers_edges and outcome.edge_assignment is not None:
+        edge_f1 = majority_f1(outcome.edge_assignment, dataset.edge_truth).macro_f1
+    return CaseResult(
+        dataset=dataset.name,
+        noise=noise,
+        availability=availability,
+        method=method.name,
+        node_f1=node_f1,
+        edge_f1=edge_f1,
+        seconds=outcome.seconds,
+        extras=outcome.extras,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table formatting
+# ----------------------------------------------------------------------
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Plain ASCII table (the shape the paper's tables/series print in)."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered), 1)
+        if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

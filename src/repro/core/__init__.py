@@ -1,0 +1,60 @@
+"""PG-HIVE core: the hybrid incremental schema-discovery pipeline."""
+
+from repro.core.adaptive import (
+    AdaptiveParameters,
+    adapt_parameters,
+    alpha_for_label_count,
+    estimate_distance_scale,
+)
+from repro.core.cardinality_inference import bounds_for_edge_type, compute_cardinalities
+from repro.core.clustering import Cluster, ClusteringOutcome, cluster_features
+from repro.core.config import AdaptiveOverrides, ClusteringMethod, PGHiveConfig
+from repro.core.constraints import infer_property_constraints, property_frequency
+from repro.core.datatype_inference import infer_datatypes, sample_values
+from repro.core.incremental import BatchReport, IncrementalSchemaDiscovery
+from repro.core.key_inference import candidate_keys_for_type, infer_keys, to_pg_keys
+from repro.core.maintenance import MaintainedSchema
+from repro.core.pipeline import CAPABILITIES, DiscoveryResult, PGHive
+from repro.core.preprocess import ElementRecord, FeatureMatrix, Preprocessor
+from repro.core.serialization import to_pg_schema, to_xsd
+from repro.core.type_extraction import (
+    extract_edge_types,
+    extract_node_types,
+    extract_types,
+)
+
+__all__ = [
+    "AdaptiveOverrides",
+    "AdaptiveParameters",
+    "BatchReport",
+    "CAPABILITIES",
+    "Cluster",
+    "ClusteringMethod",
+    "ClusteringOutcome",
+    "DiscoveryResult",
+    "ElementRecord",
+    "FeatureMatrix",
+    "IncrementalSchemaDiscovery",
+    "MaintainedSchema",
+    "PGHive",
+    "PGHiveConfig",
+    "Preprocessor",
+    "adapt_parameters",
+    "alpha_for_label_count",
+    "bounds_for_edge_type",
+    "candidate_keys_for_type",
+    "cluster_features",
+    "compute_cardinalities",
+    "estimate_distance_scale",
+    "extract_edge_types",
+    "extract_node_types",
+    "extract_types",
+    "infer_datatypes",
+    "infer_keys",
+    "infer_property_constraints",
+    "property_frequency",
+    "sample_values",
+    "to_pg_keys",
+    "to_pg_schema",
+    "to_xsd",
+]

@@ -1,0 +1,48 @@
+"""Edge-type cardinality inference (section 4.4).
+
+For each edge type we count, per source node, the distinct targets reached
+through instances of that type (and symmetrically per target), then take
+maxima:
+
+    max_out(rho) = max_s |{t : (s -> t) in E, type(s -> t) = rho}|
+    max_in(rho)  = max_t |{s : (s -> t) in E, type(s -> t) = rho}|
+
+The pair classifies into 0:1 / N:1 / 0:N / M:N.  Note the paper's Example 8
+(WORKS_AT: each person one organisation, organisations many employees =>
+N:1) fixes the orientation used here; see DESIGN.md for the discrepancy
+with the paper's inline table.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.graph.model import PropertyGraph
+from repro.schema.cardinality import CardinalityBounds
+from repro.schema.model import EdgeType, SchemaGraph
+
+
+def bounds_for_edge_type(
+    graph: PropertyGraph, edge_type: EdgeType
+) -> CardinalityBounds:
+    """Compute (max-out, max-in) distinct-endpoint counts for one type."""
+    targets_per_source: dict[str, set[str]] = defaultdict(set)
+    sources_per_target: dict[str, set[str]] = defaultdict(set)
+    for instance_id in edge_type.instance_ids:
+        if not graph.has_edge(instance_id):
+            continue
+        edge = graph.edge(instance_id)
+        targets_per_source[edge.source_id].add(edge.target_id)
+        sources_per_target[edge.target_id].add(edge.source_id)
+    max_out = max((len(v) for v in targets_per_source.values()), default=0)
+    max_in = max((len(v) for v in sources_per_target.values()), default=0)
+    return CardinalityBounds(max_out, max_in)
+
+
+def compute_cardinalities(schema: SchemaGraph, graph: PropertyGraph) -> SchemaGraph:
+    """Fill cardinality bounds and classes for every edge type."""
+    for edge_type in schema.edge_types():
+        bounds = bounds_for_edge_type(graph, edge_type)
+        edge_type.cardinality_bounds = bounds
+        edge_type.cardinality = bounds.classify()
+    return schema

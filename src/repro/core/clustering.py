@@ -1,0 +1,112 @@
+"""LSH clustering step (section 4.2) producing candidate-type clusters.
+
+A cluster summarises its members by the *representative pattern*
+``rep(C) = (L, K, R)``: the union of labels, the union of observed property
+keys, and -- for edges -- the unions of source/target label tokens.  The
+representative is the candidate type handed to Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.adaptive import AdaptiveParameters, adapt_parameters
+from repro.core.config import ClusteringMethod, PGHiveConfig
+from repro.core.preprocess import FeatureMatrix
+from repro.lsh.elsh import EuclideanLSH
+from repro.lsh.minhash import MinHashLSH
+from repro.util import derive_seed
+
+
+@dataclass
+class Cluster:
+    """One candidate type: members plus their representative pattern."""
+
+    member_ids: list[str]
+    labels: set[str] = field(default_factory=set)
+    property_keys: set[str] = field(default_factory=set)
+    source_tokens: set[str] = field(default_factory=set)
+    target_tokens: set[str] = field(default_factory=set)
+    #: per-member observed property keys (constraint inference needs them)
+    member_property_keys: list[frozenset[str]] = field(default_factory=list)
+
+    @property
+    def is_labeled(self) -> bool:
+        """True when at least one member carried a label (section 4.3)."""
+        return bool(self.labels)
+
+    @property
+    def size(self) -> int:
+        """Number of member instances."""
+        return len(self.member_ids)
+
+
+@dataclass
+class ClusteringOutcome:
+    """Clusters plus the parameters that produced them."""
+
+    clusters: list[Cluster]
+    parameters: AdaptiveParameters | None
+
+    @property
+    def cluster_count(self) -> int:
+        """Number of clusters."""
+        return len(self.clusters)
+
+
+def _build_cluster(features: FeatureMatrix, member_rows: list[int]) -> Cluster:
+    cluster = Cluster(member_ids=[])
+    for row in member_rows:
+        record = features.records[row]
+        cluster.member_ids.append(record.element_id)
+        cluster.labels.update(record.labels)
+        cluster.property_keys.update(record.property_keys)
+        cluster.member_property_keys.append(record.property_keys)
+        if record.source_token is not None:
+            cluster.source_tokens.add(record.source_token)
+        if record.target_token is not None:
+            cluster.target_tokens.add(record.target_token)
+    return cluster
+
+
+def cluster_features(
+    features: FeatureMatrix,
+    config: PGHiveConfig,
+    kind: str,
+) -> ClusteringOutcome:
+    """Cluster one :class:`FeatureMatrix` with the configured LSH method.
+
+    ``kind`` is ``"nodes"`` or ``"edges"``; it selects the adaptive-T
+    formula and the per-kind manual overrides.
+    """
+    if len(features) == 0:
+        return ClusteringOutcome([], None)
+
+    overrides = config.node_lsh if kind == "nodes" else config.edge_lsh
+    label_count = len({label for record in features.records for label in record.labels})
+    parameters = adapt_parameters(
+        features.vectors,
+        label_count=label_count,
+        kind=kind,
+        overrides=overrides,
+        seed=derive_seed(config.seed, "adaptive", kind),
+    )
+
+    if config.method is ClusteringMethod.ELSH:
+        lsh = EuclideanLSH(
+            bucket_length=parameters.bucket_length,
+            num_tables=parameters.num_tables,
+            hashes_per_table=config.hashes_per_table,
+            seed=derive_seed(config.seed, "elsh", kind),
+        )
+        groups = lsh.cluster(features.vectors, rule=config.grouping_rule)
+    else:
+        lsh = MinHashLSH(
+            num_tables=parameters.num_tables,
+            band_size=config.minhash_band_size,
+            seed=derive_seed(config.seed, "minhash", kind),
+        )
+        groups = lsh.cluster(features.token_sets, rule=config.grouping_rule)
+
+    clusters = [_build_cluster(features, group_rows) for group_rows in groups]
+    return ClusteringOutcome(clusters, parameters)

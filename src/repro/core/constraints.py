@@ -1,0 +1,38 @@
+"""Mandatory/optional property inference (section 4.4).
+
+A property ``p`` is MANDATORY for type ``T`` when its frequency
+``f_T(p) = |{i in I_T : p in P_i}| / |I_T|`` equals 1 -- it appears in
+every instance -- and OPTIONAL otherwise.  Each type already accumulated
+per-key occurrence counters while instances were recorded, so this pass is
+a single walk over the schema with no graph access.
+"""
+
+from __future__ import annotations
+
+from repro.schema.model import SchemaGraph, _TypeBase
+
+
+def property_frequency(schema_type: _TypeBase, key: str) -> float:
+    """``f_T(p)``: fraction of instances of the type carrying ``key``."""
+    if schema_type.instance_count == 0:
+        return 0.0
+    return schema_type.property_counts.get(key, 0) / schema_type.instance_count
+
+
+def infer_type_constraints(schema_type: _TypeBase) -> None:
+    """Flag every property spec of one type as mandatory or optional."""
+    for key, spec in schema_type.properties.items():
+        spec.mandatory = (
+            schema_type.instance_count > 0
+            and schema_type.property_counts.get(key, 0)
+            == schema_type.instance_count
+        )
+
+
+def infer_property_constraints(schema: SchemaGraph) -> SchemaGraph:
+    """Run constraint inference over every node and edge type."""
+    for node_type in schema.node_types():
+        infer_type_constraints(node_type)
+    for edge_type in schema.edge_types():
+        infer_type_constraints(edge_type)
+    return schema

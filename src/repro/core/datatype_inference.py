@@ -1,0 +1,100 @@
+"""Property data-type inference (section 4.4).
+
+For each (type, property) pair the observed values are reduced to the most
+specific compatible :class:`~repro.schema.datatypes.DataType` through the
+priority chain (integer, float, boolean, date/time regex, string).  Because
+reconciliation generalises (int+float -> float, conflicts -> string), the
+assigned type is always compatible with every observed value (section 4.7).
+
+Full scans can be expensive, so the sampled mode draws
+``max(fraction * |values|, min_sample)`` values uniformly at random; the
+Figure 8 experiment measures how often sampling disagrees with a full scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import PGHiveConfig
+from repro.graph.model import PropertyGraph
+from repro.schema.datatypes import DataType, infer_type
+from repro.schema.model import EdgeType, NodeType, SchemaGraph
+from repro.util import derive_seed
+
+
+def collect_property_values(
+    graph: PropertyGraph,
+    schema_type: NodeType | EdgeType,
+    key: str,
+    is_edge: bool,
+) -> list:
+    """All values of ``key`` across the type's instances present in ``graph``."""
+    getter = graph.edge if is_edge else graph.node
+    values = []
+    for instance_id in schema_type.instance_ids:
+        if is_edge:
+            if not graph.has_edge(instance_id):
+                continue
+        elif not graph.has_node(instance_id):
+            continue
+        element = getter(instance_id)
+        if key in element.properties:
+            values.append(element.properties[key])
+    return values
+
+
+def sample_values(
+    values: list,
+    fraction: float,
+    min_sample: int,
+    rng: np.random.Generator,
+) -> list:
+    """Uniform sample of ``values``: ``max(fraction*n, min_sample)`` items."""
+    if not values:
+        return []
+    size = max(int(len(values) * fraction), min_sample)
+    if size >= len(values):
+        return list(values)
+    indices = rng.choice(len(values), size=size, replace=False)
+    return [values[i] for i in indices]
+
+
+def infer_datatypes(
+    schema: SchemaGraph,
+    graph: PropertyGraph,
+    config: PGHiveConfig | None = None,
+) -> SchemaGraph:
+    """Fill ``spec.data_type`` for every property of every type.
+
+    With ``config.datatype_sampling`` enabled only a sample of the values is
+    scanned (falling back to STRING-compatible generalisation as always);
+    otherwise the full value set is used.
+    """
+    config = config or PGHiveConfig()
+    rng = np.random.default_rng(derive_seed(config.seed, "datatype-sampling"))
+    for node_type in schema.node_types():
+        _infer_for_type(schema_type=node_type, graph=graph, is_edge=False,
+                        config=config, rng=rng)
+    for edge_type in schema.edge_types():
+        _infer_for_type(schema_type=edge_type, graph=graph, is_edge=True,
+                        config=config, rng=rng)
+    return schema
+
+
+def _infer_for_type(
+    schema_type: NodeType | EdgeType,
+    graph: PropertyGraph,
+    is_edge: bool,
+    config: PGHiveConfig,
+    rng: np.random.Generator,
+) -> None:
+    for key, spec in schema_type.properties.items():
+        values = collect_property_values(graph, schema_type, key, is_edge)
+        if config.datatype_sampling:
+            values = sample_values(
+                values,
+                config.datatype_sample_fraction,
+                config.datatype_min_sample,
+                rng,
+            )
+        spec.data_type = infer_type(values) if values else DataType.STRING

@@ -1,0 +1,96 @@
+"""Incremental schema discovery (section 4.6).
+
+Each arriving batch is preprocessed, clustered, and merged into the running
+schema with the same Algorithm 2 used in the static pipeline -- the schema
+therefore evolves as a monotone chain ``S_1 ⊑ S_2 ⊑ ...`` (no label,
+property, or endpoint is ever dropped; see Lemmas 1-2).
+
+Post-processing (constraints, datatypes, cardinalities) runs after the
+final batch by default, or after every batch when
+``config.post_process_each_batch`` is set -- matching the
+``postProcessing or i = n`` guard of Algorithm 1.  The engine keeps a
+cumulative union graph solely so those passes can read property values;
+clustering itself never revisits earlier batches.  Deletions are out of
+scope, as in the paper (future work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import PGHiveConfig
+from repro.core.pipeline import DiscoveryResult, PGHive
+from repro.graph.model import PropertyGraph
+from repro.schema.model import SchemaGraph
+from repro.util import Timer
+
+
+@dataclass(frozen=True, slots=True)
+class BatchReport:
+    """Diagnostics for one processed batch."""
+
+    batch_index: int
+    nodes: int
+    edges: int
+    seconds: float
+    node_types_after: int
+    edge_types_after: int
+
+
+class IncrementalSchemaDiscovery:
+    """Stateful batch-at-a-time discovery engine."""
+
+    def __init__(
+        self,
+        config: PGHiveConfig | None = None,
+        schema_name: str = "incremental-schema",
+    ) -> None:
+        self.config = config or PGHiveConfig()
+        self._pipeline = PGHive(self.config)
+        self._timer = Timer()
+        self._schema = SchemaGraph(schema_name)
+        self._union = PropertyGraph(f"{schema_name}-union")
+        self._result = DiscoveryResult(
+            schema=self._schema,
+            timer=self._timer,
+            config=self.config,
+            batches_processed=0,
+        )
+        self.reports: list[BatchReport] = []
+
+    @property
+    def schema(self) -> SchemaGraph:
+        """The running schema (monotonically growing)."""
+        return self._schema
+
+    def add_batch(self, batch: PropertyGraph) -> BatchReport:
+        """Process one insert batch and merge its types into the schema."""
+        batch_timer = Timer()
+        with batch_timer.measure("batch"):
+            self._pipeline._process_batch(
+                batch, self._schema, self._timer, self._result
+            )
+            self._union.merge_in(batch)
+            if self.config.post_process_each_batch and self.config.post_processing:
+                with self._timer.measure("postprocess"):
+                    self._pipeline.post_process(self._schema, self._union)
+        self._result.batches_processed += 1
+        seconds = batch_timer.lap("batch")
+        self._result.batch_seconds.append(seconds)
+        report = BatchReport(
+            batch_index=len(self.reports) + 1,
+            nodes=batch.node_count,
+            edges=batch.edge_count,
+            seconds=seconds,
+            node_types_after=self._schema.node_type_count,
+            edge_types_after=self._schema.edge_type_count,
+        )
+        self.reports.append(report)
+        return report
+
+    def finalize(self) -> DiscoveryResult:
+        """Run the final post-processing pass and return the result."""
+        if self.config.post_processing and not self.config.post_process_each_batch:
+            with self._timer.measure("postprocess"):
+                self._pipeline.post_process(self._schema, self._union)
+        return self._result

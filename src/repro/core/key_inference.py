@@ -1,0 +1,124 @@
+"""Key-constraint inference (extension; PG-Keys [9]).
+
+The paper's schema definition builds on PG-Keys but the published pipeline
+stops at mandatory/optional flags.  This extension closes that gap: a
+property is a *candidate key* for a type when it is mandatory and its
+values are pairwise distinct across the type's instances (an EXCLUSIVE
+SINGLETON key in PG-Keys terms).  Composite pairs are searched only among
+mandatory non-key properties, capped to keep the pass linear-ish.
+
+Candidate keys are upper-bound claims in the same sense as cardinalities:
+they hold on the observed data and may be invalidated by future inserts.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.graph.model import PropertyGraph
+from repro.schema.model import EdgeType, NodeType, SchemaGraph
+
+#: Skip composite-key search above this many mandatory candidates.
+MAX_COMPOSITE_CANDIDATES = 6
+#: Keys over types with fewer instances than this are too weak to claim.
+MIN_INSTANCES_FOR_KEY = 2
+
+
+def _hashable(value) -> object:
+    """Values are scalars in this model, but stay safe against lists."""
+    if isinstance(value, (list, dict, set)):
+        return repr(value)
+    return value
+
+
+def _instance_values(
+    graph: PropertyGraph,
+    schema_type: NodeType | EdgeType,
+    keys: tuple[str, ...],
+    is_edge: bool,
+) -> list[tuple] | None:
+    """Tuples of the given keys' values per instance; None when any absent."""
+    getter = graph.edge if is_edge else graph.node
+    exists = graph.has_edge if is_edge else graph.has_node
+    rows: list[tuple] = []
+    for instance_id in schema_type.instance_ids:
+        if not exists(instance_id):
+            continue
+        element = getter(instance_id)
+        try:
+            rows.append(
+                tuple(_hashable(element.properties[key]) for key in keys)
+            )
+        except KeyError:
+            return None  # a key is absent on some instance -> not a key
+    return rows
+
+
+def candidate_keys_for_type(
+    graph: PropertyGraph,
+    schema_type: NodeType | EdgeType,
+    is_edge: bool,
+) -> list[tuple[str, ...]]:
+    """All singleton and pair candidate keys of one type."""
+    if schema_type.instance_count < MIN_INSTANCES_FOR_KEY:
+        return []
+    mandatory = sorted(schema_type.mandatory_keys())
+    singles: list[tuple[str, ...]] = []
+    non_keys: list[str] = []
+    for key in mandatory:
+        rows = _instance_values(graph, schema_type, (key,), is_edge)
+        if rows and len(set(rows)) == len(rows):
+            singles.append((key,))
+        else:
+            non_keys.append(key)
+
+    composites: list[tuple[str, ...]] = []
+    if len(non_keys) <= MAX_COMPOSITE_CANDIDATES:
+        for pair in combinations(non_keys, 2):
+            rows = _instance_values(graph, schema_type, pair, is_edge)
+            if rows and len(set(rows)) == len(rows):
+                composites.append(pair)
+    return singles + composites
+
+
+def infer_keys(schema: SchemaGraph, graph: PropertyGraph) -> SchemaGraph:
+    """Fill ``type.candidate_keys`` for every node and edge type."""
+    for node_type in schema.node_types():
+        node_type.candidate_keys = candidate_keys_for_type(
+            graph, node_type, is_edge=False
+        )
+        for (key,) in (k for k in node_type.candidate_keys if len(k) == 1):
+            node_type.properties[key].unique = True
+    for edge_type in schema.edge_types():
+        edge_type.candidate_keys = candidate_keys_for_type(
+            graph, edge_type, is_edge=True
+        )
+        for (key,) in (k for k in edge_type.candidate_keys if len(k) == 1):
+            edge_type.properties[key].unique = True
+    return schema
+
+
+def to_pg_keys(schema: SchemaGraph) -> str:
+    """Render candidate keys as PG-Keys statements.
+
+    One ``FOR (x:Label) EXCLUSIVE MANDATORY SINGLETON x.key`` line per
+    singleton key; composite keys list the property tuple.
+    """
+    lines: list[str] = []
+    for node_type in schema.node_types():
+        spec = node_type.display_name
+        for key_tuple in getattr(node_type, "candidate_keys", []) or []:
+            properties = ", ".join(f"x.{key}" for key in key_tuple)
+            kind = "SINGLETON" if len(key_tuple) == 1 else "COMPOSITE"
+            lines.append(
+                f"FOR (x:{spec}) EXCLUSIVE MANDATORY {kind} {properties}"
+            )
+    for edge_type in schema.edge_types():
+        spec = edge_type.display_name
+        for key_tuple in getattr(edge_type, "candidate_keys", []) or []:
+            properties = ", ".join(f"r.{key}" for key in key_tuple)
+            kind = "SINGLETON" if len(key_tuple) == 1 else "COMPOSITE"
+            lines.append(
+                f"FOR ()-[r:{spec}]->() EXCLUSIVE MANDATORY {kind} {properties}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Schema maintenance under deletions (extension; future work in the paper).
+
+The published incremental step is insert-only: schemas grow monotonically
+(section 4.6) and "handling updates and deletions is left for future work".
+This extension implements the natural completion:
+
+* :class:`MaintainedSchema` wraps an incremental engine and a union graph;
+* deletions remove instances from their types, decrement the per-key
+  counters, and drop types whose instance set becomes empty;
+* post-processing flags (constraints, datatypes, cardinalities, keys) are
+  recomputed over the surviving data, because deletion breaks monotonicity
+  -- a property can *become* mandatory again once its violating instances
+  leave, and cardinality upper bounds can tighten.
+
+The monotone-chain guarantee of section 4.6 therefore holds between
+deletions but deliberately not across them; tests pin both behaviours.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.cardinality_inference import compute_cardinalities
+from repro.core.config import PGHiveConfig
+from repro.core.constraints import infer_property_constraints
+from repro.core.datatype_inference import infer_datatypes
+from repro.core.incremental import IncrementalSchemaDiscovery
+from repro.core.key_inference import infer_keys
+from repro.errors import MissingElementError
+from repro.graph.model import PropertyGraph
+from repro.schema.model import SchemaGraph
+
+
+class MaintainedSchema:
+    """Incremental discovery plus deletion support."""
+
+    def __init__(
+        self,
+        config: PGHiveConfig | None = None,
+        schema_name: str = "maintained-schema",
+        infer_key_constraints: bool = False,
+    ) -> None:
+        self.config = config or PGHiveConfig()
+        self._engine = IncrementalSchemaDiscovery(
+            self.config, schema_name=schema_name
+        )
+        self.infer_key_constraints = infer_key_constraints
+
+    @property
+    def schema(self) -> SchemaGraph:
+        """The live schema."""
+        return self._engine.schema
+
+    @property
+    def graph(self) -> PropertyGraph:
+        """The union of all inserted (and not yet deleted) data."""
+        return self._engine._union
+
+    # ------------------------------------------------------------------
+    # Inserts (delegated)
+    # ------------------------------------------------------------------
+    def insert_batch(self, batch: PropertyGraph) -> None:
+        """Process one insert batch through the incremental engine."""
+        self._engine.add_batch(batch)
+
+    # ------------------------------------------------------------------
+    # Deletions
+    # ------------------------------------------------------------------
+    def delete_nodes(self, node_ids: Iterable[str]) -> int:
+        """Delete nodes (and their incident edges); returns removed count."""
+        graph = self.graph
+        removed = 0
+        node_ids = [n for n in node_ids if graph.has_node(n)]
+        # Incident edges go first so edge types update before node removal.
+        incident: set[str] = set()
+        for node_id in node_ids:
+            incident.update(e.edge_id for e in graph.out_edges(node_id))
+            incident.update(e.edge_id for e in graph.in_edges(node_id))
+        self.delete_edges(incident)
+        for node_id in node_ids:
+            self._detach_instance(node_id, is_edge=False)
+            graph.remove_node(node_id)
+            removed += 1
+        self._drop_empty_types()
+        return removed
+
+    def delete_edges(self, edge_ids: Iterable[str]) -> int:
+        """Delete edges; returns removed count."""
+        graph = self.graph
+        removed = 0
+        for edge_id in list(edge_ids):
+            if not graph.has_edge(edge_id):
+                continue
+            self._detach_instance(edge_id, is_edge=True)
+            graph.remove_edge(edge_id)
+            removed += 1
+        self._drop_empty_types()
+        return removed
+
+    def _detach_instance(self, instance_id: str, is_edge: bool) -> None:
+        graph = self.graph
+        try:
+            element = graph.edge(instance_id) if is_edge else graph.node(instance_id)
+        except MissingElementError:
+            return
+        types = self.schema.edge_types() if is_edge else self.schema.node_types()
+        for schema_type in types:
+            if instance_id not in schema_type.instance_ids:
+                continue
+            schema_type.instance_ids.discard(instance_id)
+            schema_type.instance_count -= 1
+            for key in element.properties:
+                schema_type.property_counts[key] -= 1
+                if schema_type.property_counts[key] <= 0:
+                    del schema_type.property_counts[key]
+            return
+
+    def _drop_empty_types(self) -> None:
+        for node_type in list(self.schema.node_types()):
+            if node_type.instance_count <= 0:
+                self.schema.remove_node_type(node_type.type_id)
+        for edge_type in list(self.schema.edge_types()):
+            if edge_type.instance_count <= 0:
+                self.schema.remove_edge_type(edge_type.type_id)
+
+    # ------------------------------------------------------------------
+    # Post-processing (recomputed, not merged -- see module docstring)
+    # ------------------------------------------------------------------
+    def refresh(self) -> SchemaGraph:
+        """Recompute constraints, datatypes, cardinalities (and keys)."""
+        infer_property_constraints(self.schema)
+        infer_datatypes(self.schema, self.graph, self.config)
+        compute_cardinalities(self.schema, self.graph)
+        if self.infer_key_constraints:
+            infer_keys(self.schema, self.graph)
+        return self.schema

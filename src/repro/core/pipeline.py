@@ -1,0 +1,168 @@
+"""The PG-HIVE pipeline (Algorithm 1 / Figure 2).
+
+:class:`PGHive` wires together the steps: (a) data load, (b) preprocessing
+into representation vectors, (c) LSH clustering, (d) type extraction and
+merging, then -- optionally -- (e) property constraints, (f) datatype
+inference, (g) cardinalities, and (h) serialisation helpers.  The same
+object also drives incremental discovery over a batch stream, delegating to
+:class:`~repro.core.incremental.IncrementalSchemaDiscovery`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.core.adaptive import AdaptiveParameters
+from repro.core.cardinality_inference import compute_cardinalities
+from repro.core.clustering import cluster_features
+from repro.core.config import PGHiveConfig
+from repro.core.constraints import infer_property_constraints
+from repro.core.datatype_inference import infer_datatypes
+from repro.core.preprocess import Preprocessor
+from repro.core.serialization import to_pg_schema, to_xsd
+from repro.core.type_extraction import extract_types
+from repro.graph.model import PropertyGraph
+from repro.graph.store import GraphStore
+from repro.schema.model import SchemaGraph
+from repro.schema.validation import ValidationMode
+from repro.util import Timer
+
+#: Table 1 capability row for PG-HIVE.
+CAPABILITIES = {
+    "label_independent": True,
+    "multilabeled_elements": True,
+    "schema_elements": "nodes, edges & constraints",
+    "constraints": True,
+    "incremental": True,
+    "automation": True,
+    "notes": "LSH and fine tuning",
+}
+
+
+@dataclass
+class DiscoveryResult:
+    """Outcome of a discovery run: the schema plus run diagnostics."""
+
+    schema: SchemaGraph
+    timer: Timer
+    config: PGHiveConfig
+    node_parameters: AdaptiveParameters | None = None
+    edge_parameters: AdaptiveParameters | None = None
+    node_cluster_count: int = 0
+    edge_cluster_count: int = 0
+    batches_processed: int = 1
+    batch_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Total wall-clock time across all stages."""
+        return self.timer.total
+
+    @property
+    def type_discovery_seconds(self) -> float:
+        """Time until types exist (Figure 5): load+preprocess+cluster+extract."""
+        return (
+            self.timer.lap("preprocess")
+            + self.timer.lap("clustering")
+            + self.timer.lap("extraction")
+        )
+
+    def node_assignments(self) -> dict[str, str]:
+        """node id -> discovered node-type id."""
+        return self.schema.node_assignments()
+
+    def edge_assignments(self) -> dict[str, str]:
+        """edge id -> discovered edge-type id."""
+        return self.schema.edge_assignments()
+
+    def to_pg_schema(self, mode: ValidationMode = ValidationMode.STRICT) -> str:
+        """PG-Schema rendering of the discovered schema."""
+        return to_pg_schema(self.schema, mode)
+
+    def to_xsd(self) -> str:
+        """XSD rendering of the discovered schema."""
+        return to_xsd(self.schema)
+
+
+class PGHive:
+    """Hybrid incremental schema discovery for property graphs."""
+
+    def __init__(self, config: PGHiveConfig | None = None) -> None:
+        self.config = config or PGHiveConfig()
+
+    # ------------------------------------------------------------------
+    # Static discovery (single batch)
+    # ------------------------------------------------------------------
+    def discover(
+        self,
+        source: PropertyGraph | GraphStore,
+        schema_name: str | None = None,
+    ) -> DiscoveryResult:
+        """Run the full pipeline over one graph."""
+        graph = source.graph if isinstance(source, GraphStore) else source
+        timer = Timer()
+        schema = SchemaGraph(schema_name or f"{graph.name}-schema")
+        result = DiscoveryResult(schema=schema, timer=timer, config=self.config)
+        self._process_batch(graph, schema, timer, result)
+        if self.config.post_processing:
+            with timer.measure("postprocess"):
+                self.post_process(schema, graph)
+        return result
+
+    # ------------------------------------------------------------------
+    # Incremental discovery (batch stream)
+    # ------------------------------------------------------------------
+    def discover_incremental(
+        self,
+        batches: Iterable[PropertyGraph],
+        schema_name: str = "incremental-schema",
+    ) -> DiscoveryResult:
+        """Run Algorithm 1 over a stream of insert batches."""
+        from repro.core.incremental import IncrementalSchemaDiscovery
+
+        engine = IncrementalSchemaDiscovery(self.config, schema_name=schema_name)
+        for batch in batches:
+            engine.add_batch(batch)
+        return engine.finalize()
+
+    # ------------------------------------------------------------------
+    # Shared internals
+    # ------------------------------------------------------------------
+    def _process_batch(
+        self,
+        graph: PropertyGraph,
+        schema: SchemaGraph,
+        timer: Timer,
+        result: DiscoveryResult,
+    ) -> None:
+        """Steps (b)-(d) for one batch, merging into ``schema`` in place."""
+        with timer.measure("preprocess"):
+            preprocessor = Preprocessor(self.config).fit(graph)
+            node_features = preprocessor.node_features(graph)
+            edge_features = preprocessor.edge_features(graph)
+        with timer.measure("clustering"):
+            node_outcome = cluster_features(node_features, self.config, "nodes")
+            edge_outcome = cluster_features(edge_features, self.config, "edges")
+        with timer.measure("extraction"):
+            extract_types(
+                schema,
+                node_outcome.clusters,
+                edge_outcome.clusters,
+                theta=self.config.theta,
+            )
+        result.node_parameters = node_outcome.parameters or result.node_parameters
+        result.edge_parameters = edge_outcome.parameters or result.edge_parameters
+        result.node_cluster_count += node_outcome.cluster_count
+        result.edge_cluster_count += edge_outcome.cluster_count
+
+    def post_process(self, schema: SchemaGraph, graph: PropertyGraph) -> SchemaGraph:
+        """Steps (e)-(g): constraints, datatypes, cardinalities (+ keys)."""
+        infer_property_constraints(schema)
+        infer_datatypes(schema, graph, self.config)
+        compute_cardinalities(schema, graph)
+        if self.config.infer_keys:
+            from repro.core.key_inference import infer_keys
+
+            infer_keys(schema, graph)
+        return schema

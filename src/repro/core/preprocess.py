@@ -1,0 +1,192 @@
+"""Preprocessing: representation vectors of section 4.1.
+
+Every node becomes ``f_v in R^(d+K)``: a Word2Vec embedding of its label
+token concatenated with a binary indicator over the dataset's distinct node
+property keys.  Every edge becomes ``f_e in R^(3d+Q)``: embeddings of the
+edge token and both endpoint tokens, plus a binary indicator over the edge
+property keys.  Unlabeled elements embed as the zero vector (Example 3).
+
+For the MinHash variant, the same information is exposed as token *sets*:
+the element's label token (plus role-tagged endpoint tokens for edges)
+together with its property keys.  This keeps the approach hybrid in both
+variants; the label contribution disappears automatically when labels are
+absent, leaving the pure property-set behaviour the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import PGHiveConfig
+from repro.embedding.corpus import build_label_corpus
+from repro.embedding.word2vec import Word2Vec
+from repro.graph.model import PropertyGraph
+from repro.util import derive_seed
+
+
+@dataclass
+class ElementRecord:
+    """Per-element metadata flowing from preprocessing into type extraction."""
+
+    element_id: str
+    token: str
+    labels: frozenset[str]
+    property_keys: frozenset[str]
+    source_token: str | None = None
+    target_token: str | None = None
+
+    @property
+    def is_labeled(self) -> bool:
+        """True when the element carries at least one label."""
+        return bool(self.labels)
+
+
+@dataclass
+class FeatureMatrix:
+    """Clustering input for one element kind (nodes or edges)."""
+
+    records: list[ElementRecord]
+    vectors: np.ndarray
+    token_sets: list[frozenset[str]]
+    property_keys: list[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class Preprocessor:
+    """Trains the shared Word2Vec model and vectorises nodes and edges.
+
+    Label embeddings are L2-normalised and scaled by ``config.label_weight``
+    before concatenation with the binary property block, so a label
+    disagreement moves a vector by a distance comparable to a few property
+    flips -- without this, raw Word2Vec magnitudes (which start near zero)
+    would let structurally identical elements of different types collide.
+    The zero vector of unlabeled elements is preserved by normalisation.
+    """
+
+    def __init__(self, config: PGHiveConfig) -> None:
+        self.config = config
+        self.model: Word2Vec | None = None
+
+    def _scaled_embedding(self, model: Word2Vec, token: str) -> np.ndarray:
+        """Blend of trained-semantic and deterministic-identity directions.
+
+        Skip-gram training can collapse distinct labels that share contexts
+        onto nearly identical directions; blending in the content-derived
+        identity vector guarantees distinct tokens stay separated (the
+        hybrid vectors must "prevent semantically different nodes from
+        being merged", section 4.1) while identical label sets still map to
+        identical embeddings everywhere.
+        """
+        if not token:
+            return np.zeros(self.config.embedding_dim)
+        blend = np.zeros(self.config.embedding_dim)
+        for component in (model.vector(token), model.initial_vector(token)):
+            norm = float(np.linalg.norm(component))
+            if norm > 0.0:
+                blend += component / norm
+        norm = float(np.linalg.norm(blend))
+        if norm == 0.0:
+            blend = model.initial_vector(token)
+            norm = float(np.linalg.norm(blend)) or 1.0
+        return blend * (self.config.label_weight / norm)
+
+    def fit(self, graph: PropertyGraph) -> "Preprocessor":
+        """Train the label-token Word2Vec model on ``graph``."""
+        corpus = build_label_corpus(
+            graph,
+            max_sentences=self.config.max_corpus_sentences,
+            seed=derive_seed(self.config.seed, "corpus"),
+        )
+        self.model = Word2Vec(
+            dim=self.config.embedding_dim,
+            window=self.config.embedding_window,
+            negative=self.config.embedding_negative,
+            epochs=self.config.embedding_epochs,
+            seed=derive_seed(self.config.seed, "word2vec"),
+        ).fit(corpus)
+        return self
+
+    def _require_model(self) -> Word2Vec:
+        if self.model is None:
+            raise RuntimeError("Preprocessor.fit must run before transforming")
+        return self.model
+
+    def node_features(self, graph: PropertyGraph) -> FeatureMatrix:
+        """Vectorise every node of ``graph``."""
+        model = self._require_model()
+        keys = graph.all_node_property_keys()
+        key_index = {key: position for position, key in enumerate(keys)}
+        dim = model.dim
+
+        records: list[ElementRecord] = []
+        token_sets: list[frozenset[str]] = []
+        vectors = np.zeros((graph.node_count, dim + len(keys)))
+        token_cache: dict[str, np.ndarray] = {}
+        for row, node in enumerate(graph.nodes()):
+            token = node.token
+            embedding = token_cache.get(token)
+            if embedding is None:
+                embedding = self._scaled_embedding(model, token)
+                token_cache[token] = embedding
+            vectors[row, :dim] = embedding
+            for key in node.properties:
+                vectors[row, dim + key_index[key]] = 1.0
+            records.append(
+                ElementRecord(node.node_id, token, node.labels, node.property_keys)
+            )
+            tokens = set(node.properties)
+            if token:
+                tokens.add(f"label:{token}")
+            token_sets.append(frozenset(tokens))
+        return FeatureMatrix(records, vectors, token_sets, keys)
+
+    def edge_features(self, graph: PropertyGraph) -> FeatureMatrix:
+        """Vectorise every edge of ``graph`` (3 embeddings + binary props)."""
+        model = self._require_model()
+        keys = graph.all_edge_property_keys()
+        key_index = {key: position for position, key in enumerate(keys)}
+        dim = model.dim
+
+        records: list[ElementRecord] = []
+        token_sets: list[frozenset[str]] = []
+        vectors = np.zeros((graph.edge_count, 3 * dim + len(keys)))
+        token_cache: dict[str, np.ndarray] = {}
+
+        def embed(token: str) -> np.ndarray:
+            cached = token_cache.get(token)
+            if cached is None:
+                cached = self._scaled_embedding(model, token)
+                token_cache[token] = cached
+            return cached
+
+        for row, edge in enumerate(graph.edges()):
+            source_token = graph.node(edge.source_id).token
+            target_token = graph.node(edge.target_id).token
+            vectors[row, :dim] = embed(edge.token)
+            vectors[row, dim : 2 * dim] = embed(source_token)
+            vectors[row, 2 * dim : 3 * dim] = embed(target_token)
+            for key in edge.properties:
+                vectors[row, 3 * dim + key_index[key]] = 1.0
+            records.append(
+                ElementRecord(
+                    edge.edge_id,
+                    edge.token,
+                    edge.labels,
+                    edge.property_keys,
+                    source_token=source_token,
+                    target_token=target_token,
+                )
+            )
+            tokens = set(edge.properties)
+            if edge.token:
+                tokens.add(f"label:{edge.token}")
+            if source_token:
+                tokens.add(f"src:{source_token}")
+            if target_token:
+                tokens.add(f"tgt:{target_token}")
+            token_sets.append(frozenset(tokens))
+        return FeatureMatrix(records, vectors, token_sets, keys)

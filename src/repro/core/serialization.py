@@ -1,0 +1,158 @@
+"""Schema serialisation (section 4.5): PG-Schema text and XSD.
+
+PG-Schema has no finalised concrete syntax, so -- like the paper -- we emit
+both a LOOSE and a STRICT graph-type declaration in the style of the
+PG-Schema paper [8]:
+
+* **LOOSE** lists types with their labels and property names only, leaving
+  room for deviation on insert;
+* **STRICT** additionally prints datatypes, MANDATORY/OPTIONAL markers,
+  endpoint types, and cardinalities.
+
+The XSD export maps node and edge types to ``xs:complexType`` definitions
+for interoperability with XML-based tooling.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.schema.datatypes import DataType
+from repro.schema.model import EdgeType, NodeType, SchemaGraph
+from repro.schema.validation import ValidationMode
+
+_XSD_TYPES = {
+    DataType.INTEGER: "xs:integer",
+    DataType.FLOAT: "xs:double",
+    DataType.BOOLEAN: "xs:boolean",
+    DataType.DATE: "xs:date",
+    DataType.DATETIME: "xs:dateTime",
+    DataType.STRING: "xs:string",
+}
+
+
+def _label_spec(schema_type: NodeType | EdgeType) -> str:
+    if schema_type.labels:
+        return " & ".join(sorted(schema_type.labels))
+    return "ABSTRACT"
+
+
+def _property_spec(schema_type: NodeType | EdgeType, strict: bool) -> str:
+    if not schema_type.properties:
+        return "{}"
+    parts = []
+    for key in sorted(schema_type.properties):
+        spec = schema_type.properties[key]
+        if not strict:
+            parts.append(key)
+            continue
+        data_type = spec.data_type.value if spec.data_type else "ANY"
+        if spec.mandatory is None:
+            requirement = ""
+        elif spec.mandatory:
+            requirement = " MANDATORY"
+        else:
+            requirement = " OPTIONAL"
+        parts.append(f"{key} {data_type}{requirement}")
+    return "{" + ", ".join(parts) + "}"
+
+
+def _node_line(node_type: NodeType, strict: bool) -> str:
+    return (
+        f"  ({node_type.type_id} : {_label_spec(node_type)} "
+        f"{_property_spec(node_type, strict)})"
+    )
+
+
+def _endpoint_spec(tokens: set[str]) -> str:
+    rendered = sorted(token if token else "_unlabeled_" for token in tokens)
+    return " | ".join(rendered) or "ANY"
+
+
+def _edge_line(edge_type: EdgeType, strict: bool) -> str:
+    sources = _endpoint_spec(edge_type.source_tokens)
+    targets = _endpoint_spec(edge_type.target_tokens)
+    line = (
+        f"  (:{sources})-[{edge_type.type_id} : {_label_spec(edge_type)} "
+        f"{_property_spec(edge_type, strict)}]->(:{targets})"
+    )
+    if strict and edge_type.cardinality is not None:
+        line += f"  /* cardinality {edge_type.cardinality} */"
+    return line
+
+
+def to_pg_schema(
+    schema: SchemaGraph,
+    mode: ValidationMode = ValidationMode.STRICT,
+) -> str:
+    """Render ``schema`` as a PG-Schema graph-type declaration."""
+    strict = mode is ValidationMode.STRICT
+    lines = [f"CREATE GRAPH TYPE {schema.name or 'DiscoveredSchema'} {mode.value} {{"]
+    body: list[str] = []
+    for node_type in schema.node_types():
+        body.append(_node_line(node_type, strict))
+    for edge_type in schema.edge_types():
+        body.append(_edge_line(edge_type, strict))
+    lines.append(",\n".join(body))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _xsd_property_elements(schema_type: NodeType | EdgeType) -> list[str]:
+    elements = []
+    for key in sorted(schema_type.properties):
+        spec = schema_type.properties[key]
+        xsd_type = _XSD_TYPES.get(spec.data_type or DataType.STRING, "xs:string")
+        min_occurs = "1" if spec.mandatory else "0"
+        elements.append(
+            f'        <xs:element name={quoteattr(key)} type="{xsd_type}" '
+            f'minOccurs="{min_occurs}" maxOccurs="1"/>'
+        )
+    return elements
+
+
+def _sanitize_name(name: str) -> str:
+    cleaned = "".join(ch if ch.isalnum() or ch in "_-." else "_" for ch in name)
+    return cleaned or "unnamed"
+
+
+def to_xsd(schema: SchemaGraph) -> str:
+    """Render ``schema`` as an XML Schema document."""
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        '<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema" '
+        f'targetNamespace="urn:pg-hive:{escape(_sanitize_name(schema.name))}">',
+    ]
+    for node_type in schema.node_types():
+        type_name = _sanitize_name(node_type.display_name)
+        lines.append(f'  <xs:complexType name={quoteattr("node_" + type_name)}>')
+        lines.append("    <xs:all>")
+        lines.extend(_xsd_property_elements(node_type))
+        lines.append("    </xs:all>")
+        lines.append(
+            f'    <xs:attribute name="labels" type="xs:string" '
+            f'fixed={quoteattr(";".join(sorted(node_type.labels)))}/>'
+        )
+        lines.append("  </xs:complexType>")
+    for edge_type in schema.edge_types():
+        type_name = _sanitize_name(edge_type.display_name)
+        lines.append(f'  <xs:complexType name={quoteattr("edge_" + type_name)}>')
+        lines.append("    <xs:all>")
+        lines.extend(_xsd_property_elements(edge_type))
+        lines.append("    </xs:all>")
+        lines.append(
+            f'    <xs:attribute name="source" type="xs:string" '
+            f'fixed={quoteattr(";".join(sorted(edge_type.source_tokens)))}/>'
+        )
+        lines.append(
+            f'    <xs:attribute name="target" type="xs:string" '
+            f'fixed={quoteattr(";".join(sorted(edge_type.target_tokens)))}/>'
+        )
+        if edge_type.cardinality is not None:
+            lines.append(
+                f'    <xs:attribute name="cardinality" type="xs:string" '
+                f'fixed={quoteattr(str(edge_type.cardinality))}/>'
+            )
+        lines.append("  </xs:complexType>")
+    lines.append("</xs:schema>")
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Type extraction and merging (Algorithm 2, section 4.3).
+
+Clusters produced by LSH are folded into the running schema graph:
+
+1. **Labelled clusters** merge directly with the existing type carrying the
+   same label token ("clusters that have the same label(s) are merged
+   directly"); otherwise they found a new type.
+2. **Unlabeled clusters** merge with the labelled type whose property-key
+   set is Jaccard-similar at ``theta`` (0.9), then with each other, and any
+   survivor becomes an ABSTRACT type (PG-Schema's escape hatch).
+3. **Edge clusters** merge by label, guarded by endpoint compatibility:
+   two same-label clusters merge only when their source and target token
+   sets overlap.  Edge patterns (Def. 3.6) distinguish ``R = (L_s, L_t)``,
+   and Table 2 datasets contain same-label edge types told apart purely by
+   endpoints (e.g. the two ``ConnectsTo`` types of MB6) -- merging by bare
+   label would collapse them, which is precisely SchemI's weakness.
+   The merged type's endpoint unions realise ``rho_s`` (section 4.3
+   "Edges").  Unlabeled edge clusters fall back to the Jaccard rule with
+   the same endpoint guard.
+
+All merging is monotone (Lemmas 1 and 2): labels, property keys, endpoints
+and member instances only accumulate.
+"""
+
+from __future__ import annotations
+
+from repro.core.clustering import Cluster
+from repro.schema.model import EdgeType, NodeType, SchemaGraph
+from repro.util import jaccard
+
+
+def _record_members(schema_type, cluster: Cluster) -> None:
+    for instance_id, keys in zip(cluster.member_ids, cluster.member_property_keys):
+        schema_type.record_instance(instance_id, keys)
+
+
+def _new_node_type(schema: SchemaGraph, cluster: Cluster) -> NodeType:
+    node_type = NodeType(
+        schema.new_type_id("n"), cluster.labels, abstract=not cluster.labels
+    )
+    _record_members(node_type, cluster)
+    return schema.add_node_type(node_type)
+
+
+def _new_edge_type(schema: SchemaGraph, cluster: Cluster) -> EdgeType:
+    edge_type = EdgeType(
+        schema.new_type_id("e"), cluster.labels, abstract=not cluster.labels
+    )
+    _record_members(edge_type, cluster)
+    for source_token in cluster.source_tokens:
+        edge_type.source_tokens.add(source_token)
+    for target_token in cluster.target_tokens:
+        edge_type.target_tokens.add(target_token)
+    return schema.add_edge_type(edge_type)
+
+
+def _absorb_node_cluster(node_type: NodeType, cluster: Cluster) -> None:
+    node_type.labels |= cluster.labels
+    if cluster.labels:
+        node_type.abstract = False
+    _record_members(node_type, cluster)
+
+
+def _absorb_edge_cluster(edge_type: EdgeType, cluster: Cluster) -> None:
+    edge_type.labels |= cluster.labels
+    if cluster.labels:
+        edge_type.abstract = False
+    edge_type.source_tokens |= cluster.source_tokens
+    edge_type.target_tokens |= cluster.target_tokens
+    _record_members(edge_type, cluster)
+
+
+def extract_node_types(
+    schema: SchemaGraph,
+    clusters: list[Cluster],
+    theta: float,
+) -> SchemaGraph:
+    """Fold node clusters into ``schema`` (lines 2-14 of Algorithm 2)."""
+    unlabeled: list[Cluster] = []
+    for cluster in clusters:
+        if not cluster.is_labeled:
+            unlabeled.append(cluster)
+            continue
+        token = "+".join(sorted(cluster.labels))
+        existing = schema.node_type_by_token(token)
+        if existing is not None:
+            _absorb_node_cluster(existing, cluster)
+        else:
+            _new_node_type(schema, cluster)
+
+    for cluster in unlabeled:
+        target = _best_jaccard_match(
+            (t for t in schema.node_types() if t.labels), cluster, theta
+        )
+        if target is None:
+            target = _best_jaccard_match(
+                (t for t in schema.node_types() if not t.labels), cluster, theta
+            )
+        if target is not None:
+            _absorb_node_cluster(target, cluster)
+        else:
+            _new_node_type(schema, cluster)
+    return schema
+
+
+def extract_edge_types(
+    schema: SchemaGraph,
+    clusters: list[Cluster],
+    theta: float,
+) -> SchemaGraph:
+    """Fold edge clusters into ``schema`` (section 4.3 "Edges")."""
+    unlabeled: list[Cluster] = []
+    for cluster in clusters:
+        if not cluster.is_labeled:
+            unlabeled.append(cluster)
+            continue
+        token = "+".join(sorted(cluster.labels))
+        existing = next(
+            (
+                candidate
+                for candidate in schema.edge_types()
+                if candidate.labels
+                and candidate.token == token
+                and _endpoints_compatible(candidate, cluster)
+            ),
+            None,
+        )
+        if existing is not None:
+            _absorb_edge_cluster(existing, cluster)
+        else:
+            _new_edge_type(schema, cluster)
+
+    for cluster in unlabeled:
+        target = _best_edge_match(schema, cluster, theta)
+        if target is not None:
+            _absorb_edge_cluster(target, cluster)
+        else:
+            _new_edge_type(schema, cluster)
+    return schema
+
+
+def extract_types(
+    schema: SchemaGraph,
+    node_clusters: list[Cluster],
+    edge_clusters: list[Cluster],
+    theta: float = 0.9,
+) -> SchemaGraph:
+    """Algorithm 2 entry point: merge both cluster kinds into ``schema``."""
+    extract_node_types(schema, node_clusters, theta)
+    extract_edge_types(schema, edge_clusters, theta)
+    return schema
+
+
+def _best_jaccard_match(candidates, cluster: Cluster, theta: float):
+    best, best_score = None, -1.0
+    for candidate in candidates:
+        score = jaccard(candidate.property_keys, frozenset(cluster.property_keys))
+        if score >= theta and score > best_score:
+            best, best_score = candidate, score
+    return best
+
+
+def _best_edge_match(schema: SchemaGraph, cluster: Cluster, theta: float):
+    best, best_score = None, -1.0
+    for candidate in schema.edge_types():
+        if not _endpoints_compatible(candidate, cluster):
+            continue
+        score = jaccard(candidate.property_keys, frozenset(cluster.property_keys))
+        if score >= theta and score > best_score:
+            best, best_score = candidate, score
+    return best
+
+
+def _endpoints_compatible(edge_type: EdgeType, cluster: Cluster) -> bool:
+    """Source and target token sets must both overlap.
+
+    The empty token (an unlabeled endpoint) is a *wildcard*: it gives no
+    evidence of incompatibility, so sides whose only information is
+    unlabeled endpoints match anything.
+    """
+    return _tokens_overlap(
+        edge_type.source_tokens, cluster.source_tokens
+    ) and _tokens_overlap(edge_type.target_tokens, cluster.target_tokens)
+
+
+def _tokens_overlap(left: set[str], right: set[str]) -> bool:
+    left_known = left - {""}
+    right_known = right - {""}
+    if not left_known or not right_known:
+        return True
+    return bool(left_known & right_known)

@@ -1,0 +1,39 @@
+"""Synthetic equivalents of the paper's eight evaluation datasets."""
+
+from repro.datasets.base import (
+    DatasetSpec,
+    EdgeTypeSpec,
+    GeneratedDataset,
+    NodeTypeSpec,
+    PropertyGen,
+    generate_dataset,
+)
+from repro.datasets.noise import (
+    apply_noise,
+    reduce_label_availability,
+    remove_properties,
+)
+from repro.datasets.registry import (
+    ALL_SPECS,
+    dataset_names,
+    get_spec,
+    load_all,
+    load_dataset,
+)
+
+__all__ = [
+    "ALL_SPECS",
+    "DatasetSpec",
+    "EdgeTypeSpec",
+    "GeneratedDataset",
+    "NodeTypeSpec",
+    "PropertyGen",
+    "apply_noise",
+    "dataset_names",
+    "generate_dataset",
+    "get_spec",
+    "load_all",
+    "load_dataset",
+    "reduce_label_availability",
+    "remove_properties",
+]

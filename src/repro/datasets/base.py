@@ -1,0 +1,279 @@
+"""Dataset specification DSL and the synthetic property-graph generator.
+
+The paper evaluates on eight datasets (Table 2); none of the real ones are
+redistributable offline, so every dataset here is a *synthetic equivalent*
+generated from a declarative spec that reproduces the schema-level shape
+the discovery algorithms actually face:
+
+* the ground-truth node/edge type inventory (counts per Table 2),
+* label structure -- single labels, multi-label combos, shared extra
+  labels (the HET.IO ``HetionetNode`` pattern),
+* property keys with per-key datatypes, optional-presence probabilities
+  (these create the "Node Pat." multiplicity of Table 2), and rare
+  heterogeneous outlier values (these populate Figure 8's error bins),
+* edge wiring styles (many-to-one, one-to-one, many-to-many) that fix the
+  ground-truth cardinalities.
+
+Generation is fully deterministic under the seed, and every generated
+element is recorded in a ground-truth assignment used by the F1* metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graph.model import Edge, Node, PropertyGraph
+from repro.graph.statistics import GraphStatistics, compute_statistics
+
+_WORDS = (
+    "alpha beta gamma delta epsilon zeta eta theta iota kappa lambda mu nu "
+    "xi omicron pi rho sigma tau upsilon phi chi psi omega"
+).split()
+
+
+@dataclass(frozen=True, slots=True)
+class PropertyGen:
+    """One generated property key.
+
+    ``kind`` picks the value generator: ``int``, ``float``, ``bool``,
+    ``date``, ``datetime``, ``string``, ``name``, ``url``.  ``presence`` is
+    the probability the key appears on an instance (values below 1 create
+    extra structural patterns).  ``outlier_kind``/``outlier_rate`` mix in
+    rare values of a different kind, making the property heterogeneous for
+    the datatype-sampling experiment.
+    """
+
+    key: str
+    kind: str = "string"
+    presence: float = 1.0
+    outlier_kind: str | None = None
+    outlier_rate: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class NodeTypeSpec:
+    """Ground-truth node type: labels, properties, relative frequency."""
+
+    name: str
+    labels: tuple[str, ...]
+    properties: tuple[PropertyGen, ...]
+    weight: float = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeTypeSpec:
+    """Ground-truth edge type: label, endpoints, wiring, properties.
+
+    ``wiring`` fixes the true cardinality: ``many_to_one`` gives every
+    source exactly one target, ``one_to_one`` pairs sources and targets
+    bijectively, ``many_to_many`` samples random pairs.  ``fanout`` is the
+    expected number of edges per source instance.
+    """
+
+    name: str
+    label: str
+    source: str
+    target: str
+    properties: tuple[PropertyGen, ...] = ()
+    wiring: str = "many_to_many"
+    fanout: float = 1.5
+    weight: float = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetSpec:
+    """A complete dataset description."""
+
+    name: str
+    node_types: tuple[NodeTypeSpec, ...]
+    edge_types: tuple[EdgeTypeSpec, ...]
+    default_nodes: int
+    real: bool = False
+    #: Table 2 reference row (paper-scale counts) for EXPERIMENTS.md.
+    paper_nodes: int = 0
+    paper_edges: int = 0
+
+    def node_type(self, name: str) -> NodeTypeSpec:
+        """Spec of the node type called ``name``."""
+        for node_type in self.node_types:
+            if node_type.name == name:
+                return node_type
+        raise DatasetError(f"{self.name}: unknown node type {name!r}")
+
+
+@dataclass
+class GeneratedDataset:
+    """A generated graph plus its ground truth."""
+
+    spec: DatasetSpec
+    graph: PropertyGraph
+    node_truth: dict[str, str] = field(default_factory=dict)
+    edge_truth: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        """Dataset name."""
+        return self.spec.name
+
+    def statistics(self) -> GraphStatistics:
+        """Table 2 row for the generated graph (ground-truth type counts)."""
+        return compute_statistics(
+            self.graph,
+            node_type_count=len(self.spec.node_types),
+            edge_type_count=len(self.spec.edge_types),
+            real=self.spec.real,
+        )
+
+
+# ----------------------------------------------------------------------
+# Value generation
+# ----------------------------------------------------------------------
+def _value(kind: str, rng: np.random.Generator) -> object:
+    if kind == "int":
+        return int(rng.integers(0, 100_000))
+    if kind == "float":
+        return float(np.round(rng.uniform(0, 1000), 3)) + 0.0001
+    if kind == "bool":
+        return bool(rng.integers(0, 2))
+    if kind == "date":
+        year = int(rng.integers(1960, 2026))
+        month = int(rng.integers(1, 13))
+        day = int(rng.integers(1, 29))
+        return f"{year:04d}-{month:02d}-{day:02d}"
+    if kind == "datetime":
+        date = _value("date", rng)
+        hour = int(rng.integers(0, 24))
+        minute = int(rng.integers(0, 60))
+        return f"{date}T{hour:02d}:{minute:02d}:00"
+    if kind == "string":
+        count = int(rng.integers(1, 4))
+        return " ".join(str(rng.choice(_WORDS)) for _ in range(count))
+    if kind == "name":
+        return f"{rng.choice(_WORDS)}-{int(rng.integers(0, 10_000))}"
+    if kind == "url":
+        return f"https://{rng.choice(_WORDS)}.example.org/{int(rng.integers(0, 999))}"
+    raise DatasetError(f"unknown property kind {kind!r}")
+
+
+def _property_values(
+    spec: PropertyGen, rng: np.random.Generator
+) -> object | None:
+    if spec.presence < 1.0 and rng.random() >= spec.presence:
+        return None
+    if spec.outlier_kind is not None and rng.random() < spec.outlier_rate:
+        return _value(spec.outlier_kind, rng)
+    return _value(spec.kind, rng)
+
+
+# ----------------------------------------------------------------------
+# Graph generation
+# ----------------------------------------------------------------------
+def _allocate_counts(
+    weights: list[float], total: int, minimum: int = 2
+) -> list[int]:
+    weight_sum = sum(weights)
+    counts = [max(minimum, int(round(total * w / weight_sum))) for w in weights]
+    return counts
+
+
+def generate_dataset(
+    spec: DatasetSpec,
+    nodes: int | None = None,
+    seed: int = 0,
+) -> GeneratedDataset:
+    """Generate a :class:`GeneratedDataset` of roughly ``nodes`` nodes."""
+    total_nodes = nodes if nodes is not None else spec.default_nodes
+    if total_nodes < 2 * len(spec.node_types):
+        raise DatasetError(
+            f"{spec.name}: need at least {2 * len(spec.node_types)} nodes, "
+            f"got {total_nodes}"
+        )
+    rng = np.random.default_rng(seed)
+    graph = PropertyGraph(spec.name)
+    dataset = GeneratedDataset(spec, graph)
+
+    instances: dict[str, list[str]] = {}
+    counts = _allocate_counts(
+        [t.weight for t in spec.node_types], total_nodes
+    )
+    serial = 0
+    for node_type, count in zip(spec.node_types, counts):
+        ids: list[str] = []
+        for _ in range(count):
+            node_id = f"{spec.name}-n{serial}"
+            serial += 1
+            properties = {}
+            for prop in node_type.properties:
+                value = _property_values(prop, rng)
+                if value is not None:
+                    properties[prop.key] = value
+            graph.add_node(Node(node_id, frozenset(node_type.labels), properties))
+            dataset.node_truth[node_id] = node_type.name
+            ids.append(node_id)
+        instances[node_type.name] = ids
+
+    edge_serial = 0
+    for edge_type in spec.edge_types:
+        sources = instances.get(edge_type.source)
+        targets = instances.get(edge_type.target)
+        if not sources or not targets:
+            raise DatasetError(
+                f"{spec.name}: edge type {edge_type.name!r} references "
+                f"missing node types"
+            )
+        for source_id, target_id in _wire(edge_type, sources, targets, rng):
+            edge_id = f"{spec.name}-e{edge_serial}"
+            edge_serial += 1
+            properties = {}
+            for prop in edge_type.properties:
+                value = _property_values(prop, rng)
+                if value is not None:
+                    properties[prop.key] = value
+            graph.add_edge(
+                Edge(
+                    edge_id,
+                    source_id,
+                    target_id,
+                    frozenset({edge_type.label}),
+                    properties,
+                )
+            )
+            dataset.edge_truth[edge_id] = edge_type.name
+    return dataset
+
+
+def _wire(
+    edge_type: EdgeTypeSpec,
+    sources: list[str],
+    targets: list[str],
+    rng: np.random.Generator,
+) -> list[tuple[str, str]]:
+    if edge_type.wiring == "many_to_one":
+        # Every source points at exactly one target (true N:1).
+        return [
+            (source, targets[int(rng.integers(0, len(targets)))])
+            for source in sources
+        ]
+    if edge_type.wiring == "one_to_one":
+        # Bijective pairing over the shorter side (true 0:1).
+        pair_count = min(len(sources), len(targets))
+        shuffled_sources = list(sources)
+        shuffled_targets = list(targets)
+        rng.shuffle(shuffled_sources)
+        rng.shuffle(shuffled_targets)
+        return list(zip(shuffled_sources[:pair_count], shuffled_targets[:pair_count]))
+    if edge_type.wiring == "many_to_many":
+        edge_count = max(1, int(round(len(sources) * edge_type.fanout)))
+        source_picks = rng.integers(0, len(sources), edge_count)
+        target_picks = rng.integers(0, len(targets), edge_count)
+        pairs = []
+        for source_index, target_index in zip(source_picks, target_picks):
+            source = sources[int(source_index)]
+            target = targets[int(target_index)]
+            if source != target:
+                pairs.append((source, target))
+        return pairs
+    raise DatasetError(f"unknown wiring {edge_type.wiring!r}")

@@ -1,0 +1,111 @@
+"""CORD19: the CovidGraph knowledge graph [29].
+
+Synthetic equivalent of the COVID-19 graph integrating publications,
+genotype and disease data: 16 single-label node types, 16 edge types, and
+substantial pattern diversity (89 node patterns in the paper) from
+partially filled bibliographic metadata (paper scale: 5,485,296 nodes /
+5,720,776 edges -- the largest "simple-structured" dataset).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import (
+    DatasetSpec,
+    EdgeTypeSpec as E,
+    NodeTypeSpec as N,
+    PropertyGen as P,
+)
+
+CORD19 = DatasetSpec(
+    name="CORD19",
+    default_nodes=3500,
+    real=True,
+    paper_nodes=5_485_296,
+    paper_edges=5_720_776,
+    node_types=(
+        N("Paper", ("Paper",), (
+            P("cord_uid", "string"), P("title", "string"),
+            P("publish_time", "date", presence=0.85),
+            P("journal", "string", presence=0.7),
+            P("doi", "string", presence=0.8),
+            P("cord19_fulltext_hash", "string", presence=0.5),
+        ), weight=5.0),
+        N("Author", ("Author",), (
+            P("first", "name", presence=0.9), P("last", "name"),
+            P("middle", "name", presence=0.3),
+            P("email", "string", presence=0.2),
+        ), weight=8.0),
+        N("Affiliation", ("Affiliation",), (
+            P("institution", "string"), P("laboratory", "string", presence=0.4),
+            P("settlement", "string", presence=0.6),
+        ), weight=2.0),
+        N("Abstract", ("Abstract",), (P("text", "string"),), weight=4.0),
+        N("BodyText", ("BodyText",), (
+            P("text", "string"), P("section", "string", presence=0.8),
+        ), weight=6.0),
+        N("Citation", ("Citation",), (
+            P("title", "string", presence=0.9),
+            P("year", "int", presence=0.8, outlier_kind="string",
+              outlier_rate=0.03),
+            P("venue", "string", presence=0.5),
+        ), weight=6.0),
+        N("Journal", ("Journal",), (P("name", "string"),), weight=0.8),
+        N("PaperID", ("PaperID",), (
+            P("id", "string"), P("type", "string"),
+        ), weight=4.0),
+        N("Gene", ("Gene",), (
+            P("sid", "string"), P("ensembl_id", "string", presence=0.85),
+        ), weight=3.0),
+        N("GeneSymbol", ("GeneSymbol",), (P("sid", "string"),), weight=2.0),
+        N("Transcript", ("Transcript",), (P("sid", "string"),), weight=3.0),
+        N("Protein", ("Protein",), (
+            P("sid", "string"), P("name", "name", presence=0.7),
+            P("desc", "string", presence=0.4),
+        ), weight=3.0),
+        N("Disease", ("Disease",), (
+            P("doid", "string"), P("name", "name"),
+            P("definition", "string", presence=0.6),
+        ), weight=0.8),
+        N("ClinicalTrial", ("ClinicalTrial",), (
+            P("nct_id", "string"), P("status", "string", presence=0.9),
+            P("start_date", "date", presence=0.7),
+        ), weight=0.8),
+        N("Patent", ("Patent",), (
+            P("publication_number", "string"),
+            P("filing_date", "date", presence=0.8),
+        ), weight=0.6),
+        N("Fragment", ("Fragment",), (
+            P("text", "string"), P("sequence", "int"),
+        ), weight=3.0),
+    ),
+    edge_types=(
+        E("PAPER_HAS_ABSTRACT", "PAPER_HAS_ABSTRACT", "Paper", "Abstract",
+          wiring="one_to_one"),
+        E("PAPER_HAS_BODYTEXT", "PAPER_HAS_BODYTEXT", "Paper", "BodyText",
+          fanout=1.5),
+        E("PAPER_HAS_CITATION", "PAPER_HAS_CITATION", "Paper", "Citation",
+          fanout=2.0),
+        E("PAPER_HAS_ID", "PAPER_HAS_ID", "Paper", "PaperID", wiring="many_to_one"),
+        E("PAPER_IN_JOURNAL", "PAPER_IN_JOURNAL", "Paper", "Journal",
+          wiring="many_to_one"),
+        E("PAPER_WRITTEN_BY", "PAPER_WRITTEN_BY", "Paper", "Author", fanout=3.0),
+        E("AUTHOR_AFFILIATED", "AUTHOR_HAS_AFFILIATION", "Author", "Affiliation",
+          wiring="many_to_one"),
+        E("ABSTRACT_MENTIONS_GENE", "MENTIONS", "Abstract", "GeneSymbol",
+          fanout=1.0),
+        E("BODYTEXT_HAS_FRAGMENT", "HAS_FRAGMENT", "BodyText", "Fragment",
+          fanout=0.8),
+        E("FRAGMENT_MENTIONS", "MENTIONS_DISEASE", "Fragment", "Disease",
+          fanout=0.5),
+        E("GENE_HAS_SYMBOL", "HAS_SYMBOL", "Gene", "GeneSymbol",
+          wiring="many_to_one"),
+        E("GENE_HAS_TRANSCRIPT", "CODES", "Gene", "Transcript", fanout=1.4),
+        E("TRANSCRIPT_CODES_PROTEIN", "CODES_PROTEIN", "Transcript", "Protein",
+          wiring="many_to_one"),
+        E("PROTEIN_LINKS_DISEASE", "ASSOCIATED_WITH", "Protein", "Disease",
+          fanout=0.6),
+        E("TRIAL_STUDIES_DISEASE", "STUDIES", "ClinicalTrial", "Disease",
+          wiring="many_to_one"),
+        E("PATENT_ABOUT_GENE", "ABOUT", "Patent", "Gene", fanout=0.8),
+    ),
+)

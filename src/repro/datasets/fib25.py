@@ -1,0 +1,62 @@
+"""FIB25: medulla connectome of the fruit-fly visual system [91].
+
+Synthetic equivalent in the same neuPrint family as MB6: 4 node types via
+multi-label combos over 10 labels, 3 edge labels across 5 edge types, and
+31 node patterns in the paper -- slightly less pattern-diverse than MB6,
+modelled with fewer optional properties (paper scale: 802,473 nodes /
+1,625,428 edges).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import (
+    DatasetSpec,
+    EdgeTypeSpec as E,
+    NodeTypeSpec as N,
+    PropertyGen as P,
+)
+
+FIB25 = DatasetSpec(
+    name="FIB25",
+    default_nodes=2500,
+    real=False,
+    paper_nodes=802_473,
+    paper_edges=1_625_428,
+    node_types=(
+        N("Neuron", ("Neuron", "Segment", "Cell", "fib25"), (
+            P("bodyId", "int"),
+            P("status", "string", presence=0.9),
+            P("pre", "int", presence=0.85),
+            P("post", "int", presence=0.85),
+            P("name", "name", presence=0.5),
+            P("type", "string", presence=0.45),
+        ), weight=3.0),
+        N("Segment", ("Segment", "fib25"), (
+            P("bodyId", "int"),
+            P("size", "int", presence=0.85,
+              outlier_kind="string", outlier_rate=0.01),
+            P("pre", "int", presence=0.35),
+            P("post", "int", presence=0.35),
+        ), weight=12.0),
+        N("SynapseSet", ("SynapseSet", "fib25", "ElementSet"), (
+            P("datasetBodyIds", "string"),
+        ), weight=5.0),
+        N("Meta", ("Meta", "fib25", "Dataset", "Annotations", "DataModel"), (
+            P("dataset", "string"), P("uuid", "string"),
+            P("lastDatabaseEdit", "datetime"),
+            P("totalPreCount", "int"), P("totalPostCount", "int"),
+        ), weight=0.2),
+    ),
+    edge_types=(
+        E("ConnectsTo_NN", "ConnectsTo", "Neuron", "Neuron",
+          (P("weight", "int"), P("roiInfo", "string", presence=0.7)),
+          wiring="many_to_many", fanout=3.0),
+        E("ConnectsTo_SS", "ConnectsTo", "Segment", "Segment",
+          (P("weight", "int"),), wiring="many_to_many", fanout=1.2),
+        E("Contains_NSet", "Contains", "Neuron", "SynapseSet",
+          wiring="many_to_many", fanout=1.5),
+        E("Contains_SSet", "Contains", "Segment", "SynapseSet",
+          wiring="many_to_many", fanout=0.3),
+        E("From_Meta", "From", "SynapseSet", "Meta", wiring="many_to_one"),
+    ),
+)

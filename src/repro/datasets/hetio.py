@@ -1,0 +1,76 @@
+"""HET.IO: the Hetionet integrative biomedical knowledge graph [45].
+
+Synthetic equivalent: 11 node types, each carrying its own label *plus* the
+shared integration label ``HetionetNode`` (12 distinct labels total) -- the
+multi-labelling scenario the paper singles out.  24 edge types over 24 edge
+labels connect genes, diseases, compounds, anatomy and ontology terms
+(paper scale: 47,031 nodes / 2,250,197 edges -- note the extreme edge/node
+ratio, reproduced here with high fanouts).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import (
+    DatasetSpec,
+    EdgeTypeSpec as E,
+    NodeTypeSpec as N,
+    PropertyGen as P,
+)
+
+_BASE = (P("identifier", "string"), P("name", "name"), P("url", "url", presence=0.7))
+
+
+def _typed(name: str, weight: float, *extra: P) -> N:
+    return N(name, (name, "HetionetNode"), _BASE + tuple(extra), weight=weight)
+
+
+HETIO = DatasetSpec(
+    name="HET.IO",
+    default_nodes=1800,
+    real=True,
+    paper_nodes=47_031,
+    paper_edges=2_250_197,
+    node_types=(
+        _typed("Gene", 6.0, P("chromosome", "string", presence=0.9),
+               P("description", "string", presence=0.6)),
+        _typed("Disease", 1.0, P("source", "string")),
+        _typed("Compound", 2.0, P("inchikey", "string"),
+               P("license", "string", presence=0.8)),
+        _typed("Anatomy", 1.0, P("mesh_id", "string", presence=0.9)),
+        _typed("BiologicalProcess", 3.0),
+        _typed("CellularComponent", 1.0),
+        _typed("MolecularFunction", 1.0),
+        _typed("Pathway", 1.0, P("source", "string")),
+        _typed("PharmacologicClass", 0.5, P("class_type", "string")),
+        _typed("SideEffect", 1.5, P("umls_id", "string")),
+        _typed("Symptom", 0.5, P("mesh_id", "string")),
+    ),
+    edge_types=(
+        E("GpBP", "PARTICIPATES_GpBP", "Gene", "BiologicalProcess", fanout=6.0),
+        E("GpCC", "PARTICIPATES_GpCC", "Gene", "CellularComponent", fanout=3.0),
+        E("GpMF", "PARTICIPATES_GpMF", "Gene", "MolecularFunction", fanout=2.5),
+        E("GpPW", "PARTICIPATES_GpPW", "Gene", "Pathway", fanout=2.0),
+        E("GiG", "INTERACTS_GiG", "Gene", "Gene", fanout=4.0),
+        E("GrG", "REGULATES_GrG", "Gene", "Gene", fanout=3.5),
+        E("GcG", "COVARIES_GcG", "Gene", "Gene", fanout=2.5),
+        E("DaG", "ASSOCIATES_DaG", "Disease", "Gene", fanout=8.0),
+        E("DuG", "UPREGULATES_DuG", "Disease", "Gene", fanout=5.0),
+        E("DdG", "DOWNREGULATES_DdG", "Disease", "Gene", fanout=5.0),
+        E("DlA", "LOCALIZES_DlA", "Disease", "Anatomy", fanout=4.0),
+        E("DpS", "PRESENTS_DpS", "Disease", "Symptom", fanout=4.0),
+        E("DrD", "RESEMBLES_DrD", "Disease", "Disease", fanout=1.5),
+        E("CtD", "TREATS_CtD", "Compound", "Disease", fanout=1.0),
+        E("CpD", "PALLIATES_CpD", "Compound", "Disease", fanout=0.8),
+        E("CbG", "BINDS_CbG", "Compound", "Gene", fanout=3.0,
+          properties=(P("affinity_nM", "float", presence=0.4),)),
+        E("CuG", "UPREGULATES_CuG", "Compound", "Gene", fanout=2.5),
+        E("CdG", "DOWNREGULATES_CdG", "Compound", "Gene", fanout=2.5),
+        E("CrC", "RESEMBLES_CrC", "Compound", "Compound", fanout=1.5,
+          properties=(P("similarity", "float"),)),
+        E("CcSE", "CAUSES_CcSE", "Compound", "SideEffect", fanout=5.0),
+        E("PCiC", "INCLUDES_PCiC", "PharmacologicClass", "Compound", fanout=2.0),
+        E("AuG", "UPREGULATES_AuG", "Anatomy", "Gene", fanout=6.0),
+        E("AdG", "DOWNREGULATES_AdG", "Anatomy", "Gene", fanout=6.0),
+        E("AeG", "EXPRESSES_AeG", "Anatomy", "Gene", fanout=8.0),
+    ),
+)

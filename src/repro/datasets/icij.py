@@ -1,0 +1,86 @@
+"""ICIJ: the Offshore Leaks / Panama Papers graph [49].
+
+Synthetic equivalent of the integration-heavy ICIJ database: 5 node types
+over 6 labels (Entity carries an extra ``OffshoreLeaks`` provenance label),
+14 edge types, and -- its defining feature -- extreme structural
+heterogeneity: 208 node patterns in the paper, reproduced through many
+low-presence properties merged from different leaks (paper scale:
+2,016,523 nodes / 3,339,267 edges).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import (
+    DatasetSpec,
+    EdgeTypeSpec as E,
+    NodeTypeSpec as N,
+    PropertyGen as P,
+)
+
+ICIJ = DatasetSpec(
+    name="ICIJ",
+    default_nodes=3000,
+    real=True,
+    paper_nodes=2_016_523,
+    paper_edges=3_339_267,
+    node_types=(
+        N("Entity", ("Entity", "OffshoreLeaks"), (
+            P("name", "name"),
+            P("jurisdiction", "string", presence=0.8),
+            P("incorporation_date", "date", presence=0.6),
+            P("inactivation_date", "date", presence=0.25),
+            P("struck_off_date", "date", presence=0.2),
+            P("status", "string", presence=0.55),
+            P("company_type", "string", presence=0.35),
+            P("service_provider", "string", presence=0.45),
+            P("ibcRUC", "string", presence=0.3,
+              outlier_kind="int", outlier_rate=0.15),
+            P("note", "string", presence=0.1),
+        ), weight=5.0),
+        N("Officer", ("Officer",), (
+            P("name", "name"),
+            P("country_codes", "string", presence=0.7),
+            P("sourceID", "string", presence=0.9),
+            P("valid_until", "date", presence=0.4),
+            P("note", "string", presence=0.05),
+        ), weight=6.0),
+        N("Intermediary", ("Intermediary",), (
+            P("name", "name"),
+            P("address", "string", presence=0.55),
+            P("country_codes", "string", presence=0.75),
+            P("status", "string", presence=0.5),
+            P("internal_id", "int", presence=0.6,
+              outlier_kind="string", outlier_rate=0.05),
+        ), weight=1.5),
+        N("Address", ("Address",), (
+            P("address", "string"),
+            P("country_codes", "string", presence=0.85),
+            P("sourceID", "string", presence=0.9),
+            P("valid_until", "date", presence=0.3),
+        ), weight=4.0),
+        N("Other", ("Other",), (
+            P("name", "name"),
+            P("sourceID", "string", presence=0.7),
+            P("note", "string", presence=0.2),
+        ), weight=0.8),
+    ),
+    edge_types=(
+        E("officer_of", "officer_of", "Officer", "Entity", fanout=1.6),
+        E("intermediary_of", "intermediary_of", "Intermediary", "Entity",
+          fanout=6.0),
+        E("registered_address_E", "registered_address", "Entity", "Address",
+          wiring="many_to_one"),
+        E("registered_address_O", "registered_address", "Officer", "Address",
+          wiring="many_to_one"),
+        E("connected_to", "connected_to", "Entity", "Entity", fanout=0.5),
+        E("same_name_as", "same_name_as", "Entity", "Entity", fanout=0.4),
+        E("same_id_as", "same_id_as", "Entity", "Entity", fanout=0.2),
+        E("same_as_officer", "same_as", "Officer", "Officer", fanout=0.3),
+        E("shareholder_of", "shareholder_of", "Officer", "Entity", fanout=0.9),
+        E("director_of", "director_of", "Officer", "Entity", fanout=0.8),
+        E("beneficiary_of", "beneficiary_of", "Officer", "Entity", fanout=0.5),
+        E("secretary_of", "secretary_of", "Officer", "Entity", fanout=0.3),
+        E("trustee_of", "trustee_of", "Officer", "Entity", fanout=0.2),
+        E("underlying", "underlying", "Other", "Entity", fanout=1.0),
+    ),
+)

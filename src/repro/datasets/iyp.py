@@ -1,0 +1,137 @@
+"""IYP: the Internet Yellow Pages internet-measurement knowledge graph [37].
+
+The paper-scale IYP has 44.5M nodes, 86 node types over 33 labels, 25 edge
+types, and 1,210 node patterns -- by far the most heterogeneous dataset.
+The synthetic equivalent reproduces that shape programmatically: a dozen
+base entities (AS, Prefix, IP, ...) fan out into multi-label variants via
+qualifier labels (``BGPPrefix``, ``RPKIPrefix``, ...), exactly how IYP tags
+provenance, yielding dozens of ground-truth types over ~33 labels.  Every
+node carries the IYP-style ``reference_*`` provenance properties at varied
+presence rates, producing the huge pattern count.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import (
+    DatasetSpec,
+    EdgeTypeSpec as E,
+    NodeTypeSpec as N,
+    PropertyGen as P,
+)
+
+_PROVENANCE = (
+    P("reference_org", "string", presence=0.9),
+    P("reference_url", "url", presence=0.7),
+    P("reference_time", "datetime", presence=0.6),
+    P("reference_name", "string", presence=0.4),
+)
+
+#: (base label, identifying properties, qualifier labels, base weight)
+_BASES: tuple[tuple[str, tuple[P, ...], tuple[str, ...], float], ...] = (
+    ("AS", (P("asn", "int"),),
+     ("BGPCollector", "RIPEAtlas", "IHRCountry", "Transit", "Stub"), 6.0),
+    ("Prefix", (P("prefix", "string"), P("af", "int", presence=0.8)),
+     ("BGPPrefix", "RPKIPrefix", "RIRPrefix", "GeoPrefix", "DelegatedPrefix"),
+     8.0),
+    ("IP", (P("ip", "string"), P("af", "int", presence=0.9)),
+     ("AtlasTarget", "AnycastIP"), 6.0),
+    ("DomainName", (P("name", "name"),), ("TrancoDomain", "UmbrellaDomain"),
+     5.0),
+    ("HostName", (P("name", "name"),), ("AuthoritativeNS", "MailServer"), 5.0),
+    ("Country", (P("country_code", "string"), P("alpha3", "string",
+                                                presence=0.8)), (), 0.6),
+    ("IXP", (P("name", "name"), P("ix_id", "int", presence=0.7)),
+     ("PeeringLAN",), 1.0),
+    ("Organization", (P("name", "name"),), ("PeeringdbOrg",), 2.0),
+    ("Tag", (P("label", "string"),), (), 1.0),
+    ("Ranking", (P("name", "string"), P("rank", "int",
+                                        outlier_kind="string",
+                                        outlier_rate=0.02)), (), 1.0),
+    ("AtlasProbe", (P("id", "int"), P("status", "string", presence=0.85)),
+     ("Anchor",), 1.5),
+    ("OpaqueID", (P("id", "string"),), (), 1.0),
+)
+
+
+def _node_types() -> tuple[N, ...]:
+    types: list[N] = []
+    for base, props, qualifiers, weight in _BASES:
+        props = props + _PROVENANCE
+        types.append(N(base, (base,), props, weight=weight))
+        for qualifier in qualifiers:
+            types.append(
+                N(f"{base}+{qualifier}", (base, qualifier), props,
+                  weight=weight / (1.5 * len(qualifiers) + 1))
+            )
+        if len(qualifiers) >= 2:
+            types.append(
+                N(
+                    f"{base}+{qualifiers[0]}+{qualifiers[1]}",
+                    (base, qualifiers[0], qualifiers[1]),
+                    props,
+                    weight=weight / (3 * len(qualifiers)),
+                )
+            )
+    return tuple(types)
+
+
+_COUNT = (P("count", "int", presence=0.5),)
+
+IYP = DatasetSpec(
+    name="IYP",
+    default_nodes=5000,
+    real=True,
+    paper_nodes=44_539_999,
+    paper_edges=251_432_812,
+    node_types=_node_types(),
+    edge_types=(
+        E("ORIGINATE", "ORIGINATE", "AS", "Prefix", _PROVENANCE, fanout=3.0),
+        E("PEERS_WITH", "PEERS_WITH", "AS", "AS", _PROVENANCE + _COUNT,
+          fanout=4.0),
+        E("DEPENDS_ON", "DEPENDS_ON", "AS", "AS",
+          (P("hegemony", "float"),) + _PROVENANCE, fanout=2.0),
+        E("MEMBER_OF_IXP", "MEMBER_OF", "AS", "IXP", _PROVENANCE, fanout=1.0),
+        E("MEMBER_OF_ORG", "MEMBER_OF", "AS", "Organization", _PROVENANCE,
+          fanout=0.6),
+        E("AS_COUNTRY", "COUNTRY", "AS", "Country", _PROVENANCE,
+          wiring="many_to_one"),
+        E("AS_NAME", "NAME", "AS", "OpaqueID", _PROVENANCE,
+          wiring="many_to_one"),
+        E("AS_RANK", "RANK", "AS", "Ranking",
+          (P("rank", "int"),) + _PROVENANCE, fanout=1.5),
+        E("AS_CATEGORIZED", "CATEGORIZED", "AS", "Tag", _PROVENANCE,
+          fanout=1.0),
+        E("PREFIX_PART_OF", "PART_OF", "Prefix", "Prefix", _PROVENANCE,
+          fanout=0.8),
+        E("PREFIX_COUNTRY", "COUNTRY", "Prefix", "Country", _PROVENANCE,
+          wiring="many_to_one"),
+        E("PREFIX_CATEGORIZED", "CATEGORIZED", "Prefix", "Tag", _PROVENANCE,
+          fanout=0.7),
+        E("IP_PART_OF", "PART_OF", "IP", "Prefix", _PROVENANCE,
+          wiring="many_to_one"),
+        E("IP_RESOLVES", "RESOLVES_TO", "HostName", "IP", _PROVENANCE,
+          fanout=1.2),
+        E("MANAGED_BY_IXP", "MANAGED_BY", "IXP", "Organization", _PROVENANCE,
+          wiring="many_to_one"),
+        E("MANAGED_BY_HOST", "MANAGED_BY", "HostName", "Organization",
+          _PROVENANCE, wiring="many_to_one"),
+        E("DOMAIN_PART_OF", "PART_OF", "DomainName", "HostName", _PROVENANCE,
+          fanout=0.9),
+        E("DOMAIN_RANK", "RANK", "DomainName", "Ranking",
+          (P("rank", "int"),) + _PROVENANCE, fanout=1.0),
+        E("DOMAIN_ALIAS", "ALIAS_OF", "DomainName", "DomainName", _PROVENANCE,
+          fanout=0.3),
+        E("IXP_COUNTRY", "COUNTRY", "IXP", "Country", _PROVENANCE,
+          wiring="many_to_one"),
+        E("ORG_COUNTRY", "COUNTRY", "Organization", "Country", _PROVENANCE,
+          wiring="many_to_one"),
+        E("PROBE_LOCATED_AS", "LOCATED_IN", "AtlasProbe", "AS", _PROVENANCE,
+          wiring="many_to_one"),
+        E("PROBE_LOCATED_COUNTRY", "LOCATED_IN", "AtlasProbe", "Country",
+          _PROVENANCE, wiring="many_to_one"),
+        E("PROBE_TARGETS", "TARGETS", "AtlasProbe", "IP", _PROVENANCE,
+          fanout=1.5),
+        E("ORG_EXTERNAL_ID", "EXTERNAL_ID", "Organization", "OpaqueID",
+          _PROVENANCE, wiring="many_to_one"),
+    ),
+)

@@ -1,0 +1,84 @@
+"""LDBC SNB: the LDBC Social Network Benchmark graph [35, 90].
+
+Synthetic equivalent of the interactive-workload social network: 7 node
+types over 8 labels (Post and Comment both carry the shared ``Message``
+super-label), 17 edge types over 15 edge labels (``likes`` and
+``hasCreator`` each span two endpoint combinations), and very low pattern
+diversity (9 node patterns) -- LDBC data is generated, hence regular
+(paper scale: 3,181,724 nodes / 12,505,476 edges).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import (
+    DatasetSpec,
+    EdgeTypeSpec as E,
+    NodeTypeSpec as N,
+    PropertyGen as P,
+)
+
+LDBC = DatasetSpec(
+    name="LDBC",
+    default_nodes=3000,
+    real=False,
+    paper_nodes=3_181_724,
+    paper_edges=12_505_476,
+    node_types=(
+        N("Person", ("Person",), (
+            P("firstName", "name"), P("lastName", "name"),
+            P("gender", "string"), P("birthday", "date"),
+            P("creationDate", "datetime"), P("locationIP", "string"),
+            P("browserUsed", "string"),
+        ), weight=2.0),
+        N("Forum", ("Forum",), (
+            P("title", "string"), P("creationDate", "datetime"),
+        ), weight=2.0),
+        N("Post", ("Message", "Post"), (
+            P("creationDate", "datetime"), P("locationIP", "string"),
+            P("browserUsed", "string"), P("language", "string", presence=0.8),
+            P("content", "string", presence=0.75),
+            P("imageFile", "string", presence=0.25),
+            P("length", "int"),
+        ), weight=6.0),
+        N("Comment", ("Message", "Comment"), (
+            P("creationDate", "datetime"), P("locationIP", "string"),
+            P("browserUsed", "string"), P("content", "string"),
+            P("length", "int"),
+        ), weight=8.0),
+        N("Tag", ("Tag",), (P("name", "name"), P("url", "url")), weight=1.0),
+        N("TagClass", ("TagClass",), (P("name", "name"), P("url", "url")),
+          weight=0.3),
+        N("Organisation", ("Organisation",), (
+            P("name", "name"), P("url", "url"), P("type", "string"),
+        ), weight=0.7),
+    ),
+    edge_types=(
+        E("knows", "knows", "Person", "Person",
+          (P("creationDate", "datetime"),), fanout=4.0),
+        E("hasInterest", "hasInterest", "Person", "Tag", fanout=2.0),
+        E("likes_post", "likes", "Person", "Post",
+          (P("creationDate", "datetime"),), fanout=3.0),
+        E("likes_comment", "likes", "Person", "Comment",
+          (P("creationDate", "datetime"),), fanout=3.0),
+        E("studyAt", "studyAt", "Person", "Organisation",
+          (P("classYear", "int"),), wiring="many_to_one"),
+        E("workAt", "workAt", "Person", "Organisation",
+          (P("workFrom", "int"),), wiring="many_to_one"),
+        E("hasModerator", "hasModerator", "Forum", "Person",
+          wiring="many_to_one"),
+        E("hasMember", "hasMember", "Forum", "Person",
+          (P("joinDate", "datetime"),), fanout=5.0),
+        E("containerOf", "containerOf", "Forum", "Post", fanout=2.5),
+        E("forumHasTag", "hasTag", "Forum", "Tag", fanout=1.5),
+        E("postHasCreator", "hasCreator", "Post", "Person",
+          wiring="many_to_one"),
+        E("commentHasCreator", "hasCreator", "Comment", "Person",
+          wiring="many_to_one"),
+        E("postHasTag", "hasTag", "Post", "Tag", fanout=1.2),
+        E("commentHasTag", "hasTag", "Comment", "Tag", fanout=0.8),
+        E("replyOf_post", "replyOf", "Comment", "Post", wiring="many_to_one"),
+        E("replyOf_comment", "replyOf", "Comment", "Comment",
+          wiring="many_to_one"),
+        E("hasType", "hasType", "Tag", "TagClass", wiring="many_to_one"),
+    ),
+)

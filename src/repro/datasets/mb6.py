@@ -1,0 +1,69 @@
+"""MB6: mushroom-body connectome of the adult fruit fly brain [92].
+
+Synthetic equivalent of the neuPrint MB6 export: 4 ground-truth node types
+distinguished by *multi-label combinations* over 10 labels (the neuPrint
+convention tags every segment with the dataset label plus status labels),
+3 edge labels spanning 5 edge types, and a large number of node patterns
+(52 in the paper) driven by sparsely present measurement properties
+(paper scale: 486,267 nodes / 961,571 edges).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import (
+    DatasetSpec,
+    EdgeTypeSpec as E,
+    NodeTypeSpec as N,
+    PropertyGen as P,
+)
+
+_SPARSE_NEURON_PROPS = (
+    P("bodyId", "int"),
+    P("status", "string", presence=0.85),
+    P("statusLabel", "string", presence=0.5),
+    P("pre", "int", presence=0.8),
+    P("post", "int", presence=0.8),
+    P("size", "int", presence=0.7, outlier_kind="string", outlier_rate=0.01),
+    P("name", "name", presence=0.45),
+    P("type", "string", presence=0.4),
+    P("cropped", "bool", presence=0.3),
+)
+
+MB6 = DatasetSpec(
+    name="MB6",
+    default_nodes=2500,
+    real=False,
+    paper_nodes=486_267,
+    paper_edges=961_571,
+    node_types=(
+        N("Neuron", ("Neuron", "Segment", "Cell", "mb6"), _SPARSE_NEURON_PROPS,
+          weight=4.0),
+        N("Segment", ("Segment", "mb6"), (
+            P("bodyId", "int"),
+            P("size", "int", presence=0.8),
+            P("pre", "int", presence=0.4),
+            P("post", "int", presence=0.4),
+            P("cropped", "bool", presence=0.25),
+        ), weight=10.0),
+        N("SynapseSet", ("SynapseSet", "mb6", "ElementSet"), (
+            P("datasetBodyIds", "string"),
+        ), weight=5.0),
+        N("Meta", ("Meta", "mb6", "Dataset", "Annotations", "DataModel"), (
+            P("dataset", "string"), P("lastDatabaseEdit", "datetime"),
+            P("uuid", "string"), P("totalPreCount", "int"),
+            P("totalPostCount", "int"),
+        ), weight=0.2),
+    ),
+    edge_types=(
+        E("ConnectsTo_NN", "ConnectsTo", "Neuron", "Neuron",
+          (P("weight", "int"), P("roiInfo", "string", presence=0.6)),
+          wiring="many_to_many", fanout=3.0),
+        E("ConnectsTo_SS", "ConnectsTo", "Segment", "Segment",
+          (P("weight", "int"),), wiring="many_to_many", fanout=1.5),
+        E("Contains_NSet", "Contains", "Neuron", "SynapseSet",
+          wiring="many_to_many", fanout=1.2),
+        E("Contains_SSet", "Contains", "Segment", "SynapseSet",
+          wiring="many_to_many", fanout=0.4),
+        E("From_Meta", "From", "SynapseSet", "Meta", wiring="many_to_one"),
+    ),
+)

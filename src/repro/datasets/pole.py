@@ -1,0 +1,84 @@
+"""POLE: crime-investigation benchmark (Person-Object-Location-Event) [75].
+
+Synthetic equivalent of the Neo4j POLE example dataset: 11 single-label
+node types, 17 edge types over 16 edge labels (CALLED appears with two
+endpoint combinations), flat structure, few optional properties -- the
+paper's "simple/homogeneous" end of the spectrum (paper scale: 61,521
+nodes / 105,840 edges).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import (
+    DatasetSpec,
+    EdgeTypeSpec as E,
+    NodeTypeSpec as N,
+    PropertyGen as P,
+)
+
+POLE = DatasetSpec(
+    name="POLE",
+    default_nodes=1500,
+    real=False,
+    paper_nodes=61_521,
+    paper_edges=105_840,
+    node_types=(
+        N("Person", ("Person",), (
+            P("name", "name"), P("surname", "name"),
+            P("nhs_no", "string"), P("age", "int"),
+        ), weight=6.0),
+        N("Officer", ("Officer",), (
+            P("badge_no", "string"), P("rank", "string"),
+            P("name", "name"), P("surname", "name"),
+        ), weight=1.5),
+        N("PhoneCall", ("PhoneCall",), (
+            P("call_date", "date"), P("call_time", "datetime"),
+            P("call_duration", "int", outlier_kind="string", outlier_rate=0.02),
+            P("call_type", "string"),
+        ), weight=8.0),
+        N("Crime", ("Crime",), (
+            P("date", "date"), P("type", "string"),
+            P("last_outcome", "string", presence=0.8), P("note", "string", presence=0.3),
+        ), weight=5.0),
+        N("Location", ("Location",), (
+            P("address", "string"), P("postcode", "string"),
+            P("latitude", "float"), P("longitude", "float"),
+        ), weight=5.0),
+        N("Object", ("Object",), (
+            P("description", "string"), P("object_id", "int"),
+        ), weight=1.0),
+        N("Vehicle", ("Vehicle",), (
+            P("make", "string"), P("model", "string"),
+            P("reg", "string"), P("year", "int"),
+        ), weight=1.0),
+        N("Area", ("Area",), (P("areaCode", "string"),), weight=0.5),
+        N("PostCode", ("PostCode",), (P("code", "string"),), weight=1.5),
+        N("Email", ("Email",), (P("email_address", "string"),), weight=1.0),
+        N("Phone", ("Phone",), (P("phoneNo", "string"),), weight=1.5),
+    ),
+    edge_types=(
+        E("KNOWS", "KNOWS", "Person", "Person", wiring="many_to_many", fanout=2.0),
+        E("KNOWS_LW", "KNOWS_LW", "Person", "Person", fanout=0.7),
+        E("KNOWS_PHONE", "KNOWS_PHONE", "Person", "Person", fanout=0.8),
+        E("FAMILY_REL", "FAMILY_REL", "Person", "Person",
+          (P("rel_type", "string"),), fanout=0.8),
+        E("CALLER", "CALLED", "PhoneCall", "Phone", wiring="many_to_one"),
+        E("CALLED", "CALLED", "PhoneCall", "Person", wiring="many_to_one"),
+        E("HAS_PHONE", "HAS_PHONE", "Person", "Phone", wiring="many_to_one"),
+        E("HAS_EMAIL", "HAS_EMAIL", "Person", "Email", wiring="many_to_one"),
+        E("CURRENT_ADDRESS", "CURRENT_ADDRESS", "Person", "Location",
+          wiring="many_to_one"),
+        E("PARTY_TO", "PARTY_TO", "Person", "Crime", fanout=1.0),
+        E("INVESTIGATED_BY", "INVESTIGATED_BY", "Crime", "Officer",
+          wiring="many_to_one"),
+        E("OCCURRED_AT", "OCCURRED_AT", "Crime", "Location", wiring="many_to_one"),
+        E("INVOLVED_IN", "INVOLVED_IN", "Object", "Crime", fanout=1.2),
+        E("VEHICLE_IN", "VEHICLE_INVOLVED", "Vehicle", "Crime", fanout=1.0),
+        E("LOCATION_IN_AREA", "LOCATION_IN_AREA", "Location", "Area",
+          wiring="many_to_one"),
+        E("HAS_POSTCODE", "HAS_POSTCODE", "Location", "PostCode",
+          wiring="many_to_one"),
+        E("POSTCODE_IN_AREA", "POSTCODE_IN_AREA", "PostCode", "Area",
+          wiring="many_to_one"),
+    ),
+)

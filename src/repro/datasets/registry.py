@@ -1,0 +1,61 @@
+"""Dataset registry: all eight Table 2 datasets by name."""
+
+from __future__ import annotations
+
+from repro.datasets.base import DatasetSpec, GeneratedDataset, generate_dataset
+from repro.datasets.cord19 import CORD19
+from repro.datasets.fib25 import FIB25
+from repro.datasets.hetio import HETIO
+from repro.datasets.icij import ICIJ
+from repro.datasets.iyp import IYP
+from repro.datasets.ldbc import LDBC
+from repro.datasets.mb6 import MB6
+from repro.datasets.pole import POLE
+from repro.errors import DatasetError
+
+#: Table 2 order.
+ALL_SPECS: tuple[DatasetSpec, ...] = (
+    POLE,
+    MB6,
+    HETIO,
+    FIB25,
+    ICIJ,
+    LDBC,
+    CORD19,
+    IYP,
+)
+
+_BY_NAME = {spec.name: spec for spec in ALL_SPECS}
+
+
+def dataset_names() -> list[str]:
+    """All registered dataset names in Table 2 order."""
+    return [spec.name for spec in ALL_SPECS]
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Spec by (case-insensitive) name."""
+    for key, spec in _BY_NAME.items():
+        if key.lower() == name.lower():
+            return spec
+    raise DatasetError(
+        f"unknown dataset {name!r}; available: {', '.join(_BY_NAME)}"
+    )
+
+
+def load_dataset(
+    name: str, nodes: int | None = None, seed: int = 0
+) -> GeneratedDataset:
+    """Generate the named dataset (``nodes`` overrides the default size)."""
+    return generate_dataset(get_spec(name), nodes=nodes, seed=seed)
+
+
+def load_all(
+    scale: float = 1.0, seed: int = 0
+) -> list[GeneratedDataset]:
+    """Generate every dataset, scaling each default node count by ``scale``."""
+    datasets = []
+    for spec in ALL_SPECS:
+        nodes = max(2 * len(spec.node_types), int(spec.default_nodes * scale))
+        datasets.append(generate_dataset(spec, nodes=nodes, seed=seed))
+    return datasets

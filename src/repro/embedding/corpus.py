@@ -1,0 +1,59 @@
+"""Building the label-token corpus a discovery run trains Word2Vec on.
+
+Section 4.1: "We train a Word2Vec model on the set of node and edge labels
+observed in the dataset to ensure consistent semantic embeddings across
+identical label sets."  The co-occurrence signal comes from the graph
+structure itself: every edge contributes the sentence
+
+    [source-label-token, edge-label-token, target-label-token]
+
+so labels that appear in the same relationships end up with nearby
+embeddings.  Unlabeled endpoints (empty tokens) are dropped from sentences;
+isolated labelled nodes still register their token through single-token
+sentences so every observed label set owns an embedding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.model import PropertyGraph
+
+
+def build_label_corpus(
+    graph: PropertyGraph,
+    max_sentences: int | None = 50_000,
+    seed: int = 0,
+) -> list[list[str]]:
+    """Label-token sentences for ``graph``.
+
+    When the graph has more edges than ``max_sentences`` a uniform random
+    subsample (deterministic under ``seed``) keeps training time bounded;
+    the vocabulary still registers every node token via the single-token
+    sentences, so no label set loses its embedding.
+    """
+    sentences: list[list[str]] = []
+    seen_tokens: set[str] = set()
+    for node in graph.nodes():
+        token = node.token
+        if token and token not in seen_tokens:
+            seen_tokens.add(token)
+            sentences.append([token])
+
+    edge_sentences: list[list[str]] = []
+    for edge in graph.edges():
+        source_token = graph.node(edge.source_id).token
+        target_token = graph.node(edge.target_id).token
+        sentence = [t for t in (source_token, edge.token, target_token) if t]
+        if len(sentence) >= 2:
+            edge_sentences.append(sentence)
+        elif len(sentence) == 1 and sentence[0] not in seen_tokens:
+            seen_tokens.add(sentence[0])
+            sentences.append(sentence)
+
+    if max_sentences is not None and len(edge_sentences) > max_sentences:
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(len(edge_sentences), size=max_sentences, replace=False)
+        edge_sentences = [edge_sentences[i] for i in sorted(chosen)]
+    sentences.extend(edge_sentences)
+    return sentences

@@ -1,0 +1,71 @@
+"""Vocabulary over label-combination tokens.
+
+Tokens are the canonical sorted-concatenation of a label set (section 4.1);
+the vocabulary assigns dense indices, tracks frequencies, and exposes the
+``count^0.75`` unigram distribution used for negative sampling.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+import numpy as np
+
+
+class Vocabulary:
+    """Token <-> index mapping with unigram negative-sampling weights."""
+
+    def __init__(self) -> None:
+        self._index: dict[str, int] = {}
+        self._tokens: list[str] = []
+        self._counts: Counter[str] = Counter()
+
+    def add(self, token: str, count: int = 1) -> int:
+        """Register ``token`` (empty tokens are rejected) and return its index."""
+        if not token:
+            raise ValueError("empty token cannot enter the vocabulary")
+        if token not in self._index:
+            self._index[token] = len(self._tokens)
+            self._tokens.append(token)
+        self._counts[token] += count
+        return self._index[token]
+
+    def add_sentences(self, sentences: Iterable[list[str]]) -> "Vocabulary":
+        """Register every token of every sentence."""
+        for sentence in sentences:
+            for token in sentence:
+                if token:
+                    self.add(token)
+        return self
+
+    def index(self, token: str) -> int | None:
+        """Index of ``token`` or None when unknown."""
+        return self._index.get(token)
+
+    def token(self, index: int) -> str:
+        """Token at ``index``."""
+        return self._tokens[index]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._index
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __iter__(self):
+        return iter(self._tokens)
+
+    def count(self, token: str) -> int:
+        """Observed frequency of ``token``."""
+        return self._counts.get(token, 0)
+
+    def negative_sampling_probabilities(self, power: float = 0.75) -> np.ndarray:
+        """Unigram^power distribution over indices (Mikolov et al.)."""
+        if not self._tokens:
+            return np.zeros(0)
+        counts = np.array(
+            [self._counts[token] for token in self._tokens], dtype=np.float64
+        )
+        weights = counts**power
+        return weights / weights.sum()

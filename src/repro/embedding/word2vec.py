@@ -1,0 +1,220 @@
+"""Skip-gram Word2Vec with negative sampling, implemented in numpy.
+
+This is the reproduction's substitute for gensim (Mikolov et al. [69] in the
+paper).  The vocabulary here is tiny -- one token per distinct label
+combination -- so a vectorised numpy SGNS trainer converges in milliseconds
+while exposing the exact semantics the paper relies on:
+
+* identical label sets always map to identical embeddings (tokens are
+  canonical, and vectors are deterministic under the seed);
+* the empty label set maps to the all-zero vector (section 4.1, Example 3);
+* tokens never seen in any context keep their deterministic initial vector,
+  which is derived from the token *text*, so the same label set embeds the
+  same way across incremental batches even when trained separately.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.embedding.vocab import Vocabulary
+
+
+def _token_seed(token: str) -> int:
+    """Stable 64-bit seed derived from the token text."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def _deterministic_init(token: str, dim: int, scale: float) -> np.ndarray:
+    rng = np.random.default_rng(_token_seed(token))
+    return rng.uniform(-scale, scale, dim)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+#: Embedding rows are renormalised to this L2 norm when training pushes
+#: them beyond it (see Word2Vec._train_chunk).
+_MAX_ROW_NORM = 5.0
+
+
+class Word2Vec:
+    """Skip-gram with negative sampling over token sentences.
+
+    Parameters follow the classic formulation: embedding ``dim``, context
+    ``window``, ``negative`` samples per positive pair, ``epochs`` passes,
+    and a linearly decaying ``learning_rate``.
+    """
+
+    def __init__(
+        self,
+        dim: int = 16,
+        window: int = 2,
+        negative: int = 5,
+        epochs: int = 5,
+        learning_rate: float = 0.025,
+        seed: int = 0,
+    ) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.dim = dim
+        self.window = window
+        self.negative = negative
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self.vocabulary = Vocabulary()
+        self._input: np.ndarray | None = None  # W: |V| x dim
+        self._output: np.ndarray | None = None  # C: |V| x dim
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, sentences: Sequence[list[str]]) -> "Word2Vec":
+        """Train on ``sentences`` (lists of non-empty tokens)."""
+        self.vocabulary = Vocabulary().add_sentences(sentences)
+        size = len(self.vocabulary)
+        scale = 0.5 / self.dim
+        self._input = np.vstack(
+            [
+                _deterministic_init(self.vocabulary.token(i), self.dim, scale)
+                for i in range(size)
+            ]
+        ) if size else np.zeros((0, self.dim))
+        self._output = np.zeros((size, self.dim))
+
+        pairs = self._skipgram_pairs(sentences)
+        if pairs.size == 0:
+            return self
+
+        probabilities = self.vocabulary.negative_sampling_probabilities()
+        rng = np.random.default_rng(self.seed)
+        # The vocabulary is tiny (one token per label combination), so a
+        # large chunk would fold hundreds of same-token gradients into one
+        # stale-point step and diverge; modest chunks plus the norm cap in
+        # _train_chunk keep SGNS stable at any corpus size.
+        chunk_size = 512
+        for epoch in range(self.epochs):
+            order = rng.permutation(len(pairs))
+            rate = self.learning_rate * (1.0 - epoch / max(1, self.epochs))
+            rate = max(rate, self.learning_rate * 0.1)
+            for start in range(0, len(order), chunk_size):
+                chunk = pairs[order[start : start + chunk_size]]
+                self._train_chunk(chunk, probabilities, rng, rate)
+        return self
+
+    def _skipgram_pairs(self, sentences: Sequence[list[str]]) -> np.ndarray:
+        pairs: list[tuple[int, int]] = []
+        for sentence in sentences:
+            indices = [
+                self.vocabulary.index(token) for token in sentence if token
+            ]
+            indices = [i for i in indices if i is not None]
+            for position, center in enumerate(indices):
+                low = max(0, position - self.window)
+                high = min(len(indices), position + self.window + 1)
+                for other in range(low, high):
+                    if other != position:
+                        pairs.append((center, indices[other]))
+        return np.array(pairs, dtype=np.int64) if pairs else np.zeros((0, 2), np.int64)
+
+    def _train_chunk(
+        self,
+        chunk: np.ndarray,
+        probabilities: np.ndarray,
+        rng: np.random.Generator,
+        rate: float,
+    ) -> None:
+        centers = chunk[:, 0]
+        positives = chunk[:, 1]
+        negatives = rng.choice(
+            len(probabilities), size=(len(chunk), self.negative), p=probabilities
+        )
+
+        center_vectors = self._input[centers]  # (B, d)
+
+        # Positive updates: maximise sigma(w . c_pos).
+        pos_vectors = self._output[positives]
+        pos_scores = _sigmoid(np.einsum("bd,bd->b", center_vectors, pos_vectors))
+        pos_gradient = (1.0 - pos_scores)[:, None]  # (B, 1)
+        input_gradient = pos_gradient * pos_vectors
+        np.add.at(self._output, positives, rate * pos_gradient * center_vectors)
+
+        # Negative updates: minimise sigma(w . c_neg).
+        neg_vectors = self._output[negatives]  # (B, k, d)
+        neg_scores = _sigmoid(
+            np.einsum("bd,bkd->bk", center_vectors, neg_vectors)
+        )
+        neg_gradient = -neg_scores[:, :, None]  # (B, k, 1)
+        input_gradient = input_gradient + np.einsum(
+            "bkd,bk->bd", neg_vectors, neg_gradient[:, :, 0]
+        )
+        flat_negatives = negatives.reshape(-1)
+        flat_updates = (
+            rate * neg_gradient.reshape(-1, 1) * np.repeat(
+                center_vectors, self.negative, axis=0
+            )
+        )
+        np.add.at(self._output, flat_negatives, flat_updates)
+
+        np.add.at(self._input, centers, rate * input_gradient)
+
+        # Cap row norms: only directions matter downstream (vectors are
+        # normalised before use), and the cap prevents the positive-feedback
+        # blow-up a tiny vocabulary is prone to.
+        for matrix in (self._input, self._output):
+            norms = np.linalg.norm(matrix, axis=1)
+            oversized = norms > _MAX_ROW_NORM
+            if np.any(oversized):
+                matrix[oversized] *= (_MAX_ROW_NORM / norms[oversized])[:, None]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def vector(self, token: str) -> np.ndarray:
+        """Embedding of ``token``.
+
+        The empty token (unlabeled element) maps to the zero vector; a token
+        never seen in training maps to its deterministic initial vector so
+        unseen-but-identical label sets still agree across models.
+        """
+        if not token:
+            return np.zeros(self.dim)
+        index = self.vocabulary.index(token)
+        if index is None or self._input is None:
+            return _deterministic_init(token, self.dim, 0.5 / self.dim)
+        return self._input[index].copy()
+
+    def initial_vector(self, token: str) -> np.ndarray:
+        """The deterministic content-derived init vector of ``token``.
+
+        Useful as an *identity* component: distinct tokens get near-
+        orthogonal vectors regardless of how training moved them, while
+        identical tokens always agree (even across separately trained
+        models, e.g. incremental batches).
+        """
+        if not token:
+            return np.zeros(self.dim)
+        return _deterministic_init(token, self.dim, 0.5 / self.dim)
+
+    def vectors(self, tokens: Iterable[str]) -> np.ndarray:
+        """Stacked embeddings for ``tokens`` (rows follow input order)."""
+        return np.vstack([self.vector(token) for token in tokens])
+
+    def similarity(self, left: str, right: str) -> float:
+        """Cosine similarity between two tokens' embeddings."""
+        u, v = self.vector(left), self.vector(right)
+        norm = float(np.linalg.norm(u) * np.linalg.norm(v))
+        if norm == 0.0:
+            return 0.0
+        return float(np.dot(u, v) / norm)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self.vocabulary

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the PG-HIVE reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Base class for property-graph data-model errors."""
+
+
+class DuplicateElementError(GraphError):
+    """An element with the same identifier already exists in the graph."""
+
+
+class MissingElementError(GraphError, KeyError):
+    """A node or edge identifier was not found in the graph."""
+
+    def __str__(self) -> str:  # KeyError quotes its message; keep it plain.
+        return Exception.__str__(self)
+
+
+class DanglingEdgeError(GraphError):
+    """An edge refers to a source or target node that is not in the graph."""
+
+
+class SchemaError(ReproError):
+    """Base class for schema-model errors."""
+
+
+class SchemaValidationError(SchemaError):
+    """A graph does not conform to a schema under the requested mode."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid user-supplied configuration (parameters out of range, ...)."""
+
+
+class SerializationError(ReproError):
+    """Schema or graph (de)serialization failed."""
+
+
+class DatasetError(ReproError):
+    """Dataset generation or loading failed."""
+
+
+class ClusteringError(ReproError):
+    """LSH clustering could not be performed on the given input."""

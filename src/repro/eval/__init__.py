@@ -1,0 +1,41 @@
+"""Evaluation layer: F1*, statistical ranking, sampling error."""
+
+from repro.eval.clustering_metrics import (
+    F1Result,
+    TypeScore,
+    cluster_purity,
+    majority_f1,
+    majority_prediction,
+)
+from repro.eval.ranking import (
+    NemenyiResult,
+    average_ranks,
+    friedman_statistic,
+    nemenyi_critical_difference,
+    nemenyi_test,
+    rank_rows,
+)
+from repro.eval.sampling_error import (
+    BIN_LABELS,
+    ERROR_BINS,
+    bin_errors,
+    sampling_error,
+)
+
+__all__ = [
+    "BIN_LABELS",
+    "ERROR_BINS",
+    "F1Result",
+    "NemenyiResult",
+    "TypeScore",
+    "average_ranks",
+    "bin_errors",
+    "cluster_purity",
+    "friedman_statistic",
+    "majority_f1",
+    "majority_prediction",
+    "nemenyi_critical_difference",
+    "nemenyi_test",
+    "rank_rows",
+    "sampling_error",
+]

@@ -1,0 +1,123 @@
+"""Majority-based F1* score (section 5 "Evaluation metrics").
+
+Each discovered cluster is labelled with the majority ground-truth type of
+its members; an element is correctly placed when its own type matches its
+cluster's majority.  From the induced prediction we compute per-type
+precision/recall/F1 and aggregate:
+
+* **macro-F1** -- unweighted mean over ground-truth types (the default,
+  robust to type imbalance);
+* **micro-F1** -- global accuracy (under majority assignment precision and
+  recall coincide).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class TypeScore:
+    """Per-ground-truth-type precision/recall/F1."""
+
+    type_name: str
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+@dataclass
+class F1Result:
+    """Majority-F1 evaluation outcome."""
+
+    macro_f1: float
+    micro_f1: float
+    per_type: list[TypeScore] = field(default_factory=list)
+    cluster_count: int = 0
+    evaluated: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"F1*(macro={self.macro_f1:.3f}, micro={self.micro_f1:.3f}, "
+            f"clusters={self.cluster_count}, n={self.evaluated})"
+        )
+
+
+def majority_prediction(
+    assignment: dict[str, str], truth: dict[str, str]
+) -> dict[str, str]:
+    """element id -> majority ground-truth type of the element's cluster.
+
+    Elements missing from either mapping are skipped; ties break towards
+    the lexicographically smallest type for determinism.
+    """
+    members: dict[str, list[str]] = defaultdict(list)
+    for element_id, cluster_id in assignment.items():
+        if element_id in truth:
+            members[cluster_id].append(element_id)
+    prediction: dict[str, str] = {}
+    for cluster_id, element_ids in members.items():
+        counts = Counter(truth[element_id] for element_id in element_ids)
+        top = max(counts.items(), key=lambda item: (item[1], item[0]))
+        # Deterministic tie-break: highest count, then smallest name.
+        best_count = top[1]
+        majority = min(
+            name for name, count in counts.items() if count == best_count
+        )
+        for element_id in element_ids:
+            prediction[element_id] = majority
+    return prediction
+
+
+def majority_f1(
+    assignment: dict[str, str], truth: dict[str, str]
+) -> F1Result:
+    """Score cluster ``assignment`` against ``truth`` with majority F1*."""
+    prediction = majority_prediction(assignment, truth)
+    evaluated = list(prediction)
+    if not evaluated:
+        return F1Result(macro_f1=0.0, micro_f1=0.0)
+
+    true_positive: Counter[str] = Counter()
+    predicted_total: Counter[str] = Counter()
+    truth_total: Counter[str] = Counter()
+    correct = 0
+    for element_id in evaluated:
+        actual = truth[element_id]
+        predicted = prediction[element_id]
+        truth_total[actual] += 1
+        predicted_total[predicted] += 1
+        if actual == predicted:
+            true_positive[actual] += 1
+            correct += 1
+
+    per_type: list[TypeScore] = []
+    for type_name in sorted(truth_total):
+        tp = true_positive[type_name]
+        precision = tp / predicted_total[type_name] if predicted_total[type_name] else 0.0
+        recall = tp / truth_total[type_name]
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall > 0
+            else 0.0
+        )
+        per_type.append(
+            TypeScore(type_name, precision, recall, f1, truth_total[type_name])
+        )
+
+    macro = sum(score.f1 for score in per_type) / len(per_type)
+    micro = correct / len(evaluated)
+    return F1Result(
+        macro_f1=macro,
+        micro_f1=micro,
+        per_type=per_type,
+        cluster_count=len(set(assignment.values())),
+        evaluated=len(evaluated),
+    )
+
+
+def cluster_purity(assignment: dict[str, str], truth: dict[str, str]) -> float:
+    """Fraction of elements matching their cluster majority (= micro F1*)."""
+    return majority_f1(assignment, truth).micro_f1

@@ -1,0 +1,120 @@
+"""Friedman average ranks and the Nemenyi post-hoc test (Figure 3).
+
+The paper ranks methods over 40 test cases (8 datasets x 5 noise levels)
+and applies the Nemenyi test [74] to decide which pairwise differences are
+significant.  Two methods differ significantly when their average ranks
+differ by at least the critical difference
+
+    CD = q_alpha * sqrt(k (k + 1) / (6 N))
+
+with ``k`` methods, ``N`` cases, and ``q_alpha`` the studentized-range
+quantile divided by sqrt(2) (scipy provides the distribution directly, so
+no hard-coded table is needed).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ConfigurationError
+
+
+def rank_rows(scores: dict[str, list[float]]) -> np.ndarray:
+    """Per-case ranks (1 = best = highest score), shape ``(cases, methods)``.
+
+    Ties receive average ranks, following the standard Friedman procedure.
+    """
+    methods = list(scores)
+    if not methods:
+        raise ConfigurationError("scores must contain at least one method")
+    lengths = {len(values) for values in scores.values()}
+    if len(lengths) != 1:
+        raise ConfigurationError(
+            f"all methods need the same number of cases, got {lengths}"
+        )
+    matrix = np.array([scores[m] for m in methods], dtype=float).T  # (n, k)
+    # rankdata ranks ascending; we want rank 1 for the highest score.
+    return np.vstack([stats.rankdata(-row) for row in matrix])
+
+
+def average_ranks(scores: dict[str, list[float]]) -> dict[str, float]:
+    """Mean rank per method over all cases (lower = better)."""
+    methods = list(scores)
+    ranks = rank_rows(scores)
+    means = ranks.mean(axis=0)
+    return dict(zip(methods, (float(m) for m in means)))
+
+
+def friedman_statistic(scores: dict[str, list[float]]) -> tuple[float, float]:
+    """Friedman chi-square statistic and p-value over the score table."""
+    methods = list(scores)
+    if len(methods) < 3:
+        raise ConfigurationError("the Friedman test needs at least 3 methods")
+    statistic, p_value = stats.friedmanchisquare(
+        *[scores[m] for m in methods]
+    )
+    return float(statistic), float(p_value)
+
+
+def nemenyi_critical_difference(
+    method_count: int, case_count: int, alpha: float = 0.05
+) -> float:
+    """The Nemenyi critical difference CD for ``k`` methods over ``N`` cases."""
+    if method_count < 2:
+        raise ConfigurationError("need at least 2 methods")
+    if case_count < 1:
+        raise ConfigurationError("need at least 1 case")
+    q_alpha = stats.studentized_range.ppf(
+        1.0 - alpha, method_count, np.inf
+    ) / math.sqrt(2.0)
+    return float(
+        q_alpha * math.sqrt(method_count * (method_count + 1) / (6.0 * case_count))
+    )
+
+
+@dataclass
+class NemenyiResult:
+    """Average ranks plus pairwise significance decisions."""
+
+    ranks: dict[str, float]
+    critical_difference: float
+    case_count: int
+    alpha: float = 0.05
+    significant_pairs: list[tuple[str, str]] = field(default_factory=list)
+
+    def is_significant(self, left: str, right: str) -> bool:
+        """True when ``left`` and ``right`` differ significantly."""
+        return (left, right) in self.significant_pairs or (
+            right,
+            left,
+        ) in self.significant_pairs
+
+    def ordered(self) -> list[tuple[str, float]]:
+        """Methods sorted best (lowest rank) first."""
+        return sorted(self.ranks.items(), key=lambda item: item[1])
+
+
+def nemenyi_test(
+    scores: dict[str, list[float]], alpha: float = 0.05
+) -> NemenyiResult:
+    """Full Figure 3 analysis: ranks, CD, and significant pairs."""
+    ranks = average_ranks(scores)
+    case_count = len(next(iter(scores.values())))
+    cd = nemenyi_critical_difference(len(scores), case_count, alpha)
+    pairs: list[tuple[str, str]] = []
+    methods = sorted(ranks, key=ranks.get)
+    for i, left in enumerate(methods):
+        for right in methods[i + 1 :]:
+            if abs(ranks[left] - ranks[right]) >= cd:
+                pairs.append((left, right))
+    return NemenyiResult(
+        ranks=ranks,
+        critical_difference=cd,
+        case_count=case_count,
+        alpha=alpha,
+        significant_pairs=pairs,
+    )

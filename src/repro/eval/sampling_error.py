@@ -1,0 +1,51 @@
+"""Datatype sampling error (section 5, Figure 8).
+
+For a property ``p`` with full value set ``D_p`` and sample ``S_p``:
+
+    error(p) = (1 / |S_p|) * sum_{v in S_p} 1[f(v) != f(D_p)]
+
+where ``f(v)`` is the per-value inferred datatype and ``f(D_p)`` the
+full-scan inference.  Homogeneous properties score exactly 0; properties
+whose full-scan type is a generalisation forced by outliers (e.g. rare
+strings inside an integer column) score the fraction of sampled values
+disagreeing with that generalisation.  Figure 8 bins these errors per
+dataset and normalises by the property count.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.schema.datatypes import infer_type, infer_value_type
+
+#: Figure 8 bin edges (left-closed).
+ERROR_BINS: tuple[tuple[float, float], ...] = (
+    (0.0, 0.05),
+    (0.05, 0.10),
+    (0.10, 0.20),
+    (0.20, 1.0 + 1e-9),
+)
+BIN_LABELS = ("0-0.05", "0.05-0.10", "0.10-0.20", ">=0.20")
+
+
+def sampling_error(full_values: Iterable, sampled_values: Sequence) -> float:
+    """``error(p)`` for one property."""
+    if len(sampled_values) == 0:
+        return 0.0
+    full_type = infer_type(full_values)
+    disagreements = sum(
+        1 for value in sampled_values if infer_value_type(value) is not full_type
+    )
+    return disagreements / len(sampled_values)
+
+
+def bin_errors(errors: Sequence[float]) -> dict[str, float]:
+    """Normalised share of properties per Figure 8 error bin."""
+    counts = dict.fromkeys(BIN_LABELS, 0)
+    for error in errors:
+        for (low, high), label in zip(ERROR_BINS, BIN_LABELS):
+            if low <= error < high:
+                counts[label] += 1
+                break
+    total = max(len(errors), 1)
+    return {label: counts[label] / total for label in BIN_LABELS}

@@ -1,0 +1,123 @@
+"""CSV import/export in a neo4j-admin-like layout.
+
+Nodes file columns:   ``id``, ``labels`` (``;``-separated), one column per
+property key.  Edges file columns: ``id``, ``source``, ``target``,
+``labels``, one column per property key.  Empty cells mean "property
+absent" (not an empty string), matching how graph databases treat missing
+properties; values are serialised with a small type-tag-free convention and
+re-inferred on load using the schema layer's parsing primitives.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.errors import SerializationError
+from repro.graph.model import Edge, Node, PropertyGraph, PropertyValue
+
+_LABEL_SEPARATOR = ";"
+
+
+def _format_value(value: PropertyValue) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _parse_value(text: str) -> PropertyValue:
+    """Parse a CSV cell back into the most specific scalar."""
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def write_graph_csv(graph: PropertyGraph, directory: str | Path) -> tuple[Path, Path]:
+    """Write ``graph`` to ``<dir>/nodes.csv`` and ``<dir>/edges.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    nodes_path = directory / "nodes.csv"
+    edges_path = directory / "edges.csv"
+
+    node_keys = graph.all_node_property_keys()
+    with nodes_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "labels", *node_keys])
+        for node in graph.nodes():
+            row = [node.node_id, _LABEL_SEPARATOR.join(sorted(node.labels))]
+            for key in node_keys:
+                if key in node.properties:
+                    row.append(_format_value(node.properties[key]))
+                else:
+                    row.append("")
+            writer.writerow(row)
+
+    edge_keys = graph.all_edge_property_keys()
+    with edges_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "source", "target", "labels", *edge_keys])
+        for edge in graph.edges():
+            row = [
+                edge.edge_id,
+                edge.source_id,
+                edge.target_id,
+                _LABEL_SEPARATOR.join(sorted(edge.labels)),
+            ]
+            for key in edge_keys:
+                if key in edge.properties:
+                    row.append(_format_value(edge.properties[key]))
+                else:
+                    row.append("")
+            writer.writerow(row)
+    return nodes_path, edges_path
+
+
+def read_graph_csv(directory: str | Path, name: str = "csv-graph") -> PropertyGraph:
+    """Load a graph previously written by :func:`write_graph_csv`."""
+    directory = Path(directory)
+    nodes_path = directory / "nodes.csv"
+    edges_path = directory / "edges.csv"
+    if not nodes_path.exists() or not edges_path.exists():
+        raise SerializationError(f"missing nodes.csv/edges.csv under {directory}")
+
+    graph = PropertyGraph(name)
+    with nodes_path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or header[:2] != ["id", "labels"]:
+            raise SerializationError(f"bad nodes.csv header: {header}")
+        keys = header[2:]
+        for row in reader:
+            labels = frozenset(part for part in row[1].split(_LABEL_SEPARATOR) if part)
+            properties = {
+                key: _parse_value(cell)
+                for key, cell in zip(keys, row[2:])
+                if cell != ""
+            }
+            graph.add_node(Node(row[0], labels, properties))
+
+    with edges_path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or header[:4] != ["id", "source", "target", "labels"]:
+            raise SerializationError(f"bad edges.csv header: {header}")
+        keys = header[4:]
+        for row in reader:
+            labels = frozenset(part for part in row[3].split(_LABEL_SEPARATOR) if part)
+            properties = {
+                key: _parse_value(cell)
+                for key, cell in zip(keys, row[4:])
+                if cell != ""
+            }
+            graph.add_edge(Edge(row[0], row[1], row[2], labels, properties))
+    return graph

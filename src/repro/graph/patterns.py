@@ -1,0 +1,110 @@
+"""Node and edge patterns (Definitions 3.5 and 3.6 of the paper).
+
+A *node pattern* is a pair ``(L, K)`` of a label set and a property-key set;
+an *edge pattern* additionally records the source/target label sets
+``R = (L_s, L_t)``.  A schema *type* can be associated with several patterns
+(same labels, different property sets), which is exactly what lets PG-HIVE
+tolerate noisy or incomplete data.  The "Node Pat." / "Edge Pat." columns of
+Table 2 count distinct patterns per dataset.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.graph.model import Edge, Node, PropertyGraph, label_token
+
+
+@dataclass(frozen=True, slots=True)
+class NodePattern:
+    """``(L, K)``: a label set and a property-key set."""
+
+    labels: frozenset[str]
+    property_keys: frozenset[str]
+
+    @classmethod
+    def of(cls, node: Node) -> "NodePattern":
+        """The pattern instantiated by ``node``."""
+        return cls(node.labels, node.property_keys)
+
+    @property
+    def token(self) -> str:
+        """Canonical token of the pattern's label set."""
+        return label_token(self.labels)
+
+    @property
+    def is_labeled(self) -> bool:
+        """True when the label set is non-empty."""
+        return bool(self.labels)
+
+    def __str__(self) -> str:
+        labels = "{" + ", ".join(sorted(self.labels)) + "}"
+        keys = "{" + ", ".join(sorted(self.property_keys)) + "}"
+        return f"({labels}, {keys})"
+
+
+@dataclass(frozen=True, slots=True)
+class EdgePattern:
+    """``(L, K, R)``: labels, property keys, and endpoint label sets."""
+
+    labels: frozenset[str]
+    property_keys: frozenset[str]
+    source_labels: frozenset[str]
+    target_labels: frozenset[str]
+
+    @classmethod
+    def of(cls, edge: Edge, graph: PropertyGraph) -> "EdgePattern":
+        """The pattern instantiated by ``edge`` within ``graph``."""
+        source = graph.node(edge.source_id)
+        target = graph.node(edge.target_id)
+        return cls(edge.labels, edge.property_keys, source.labels, target.labels)
+
+    @property
+    def token(self) -> str:
+        """Canonical token of the pattern's label set."""
+        return label_token(self.labels)
+
+    @property
+    def endpoint_tokens(self) -> tuple[str, str]:
+        """Canonical (source, target) label tokens."""
+        return (label_token(self.source_labels), label_token(self.target_labels))
+
+    @property
+    def is_labeled(self) -> bool:
+        """True when the edge label set is non-empty."""
+        return bool(self.labels)
+
+    def __str__(self) -> str:
+        labels = "{" + ", ".join(sorted(self.labels)) + "}"
+        keys = "{" + ", ".join(sorted(self.property_keys)) + "}"
+        src = "{" + ", ".join(sorted(self.source_labels)) + "}"
+        tgt = "{" + ", ".join(sorted(self.target_labels)) + "}"
+        return f"({labels}, {keys}, ({src}, {tgt}))"
+
+
+def node_patterns(graph: PropertyGraph) -> Counter[NodePattern]:
+    """Distinct node patterns of ``graph`` with their instance counts."""
+    counts: Counter[NodePattern] = Counter()
+    for node in graph.nodes():
+        counts[NodePattern.of(node)] += 1
+    return counts
+
+
+def edge_patterns(graph: PropertyGraph) -> Counter[EdgePattern]:
+    """Distinct edge patterns of ``graph`` with their instance counts."""
+    counts: Counter[EdgePattern] = Counter()
+    for edge in graph.edges():
+        counts[EdgePattern.of(edge, graph)] += 1
+    return counts
+
+
+def patterns_by_token(
+    patterns: Iterable[NodePattern] | Iterable[EdgePattern],
+) -> dict[str, list]:
+    """Group patterns by their canonical label token ("type patterns")."""
+    grouped: dict[str, list] = {}
+    for pattern in patterns:
+        grouped.setdefault(pattern.token, []).append(pattern)
+    return grouped

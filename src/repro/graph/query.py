@@ -1,0 +1,223 @@
+"""A small declarative query layer over :class:`~repro.graph.store.GraphStore`.
+
+The discovery pipeline loads data with "a single query" (section 4.1); user
+code and examples also need targeted lookups.  This module provides a fluent
+matcher in the spirit of Cypher's ``MATCH (n:Label {key: value})`` without a
+full query language:
+
+    >>> q = NodeQuery(store).with_label("Person").where("age", lambda v: v > 30)
+    >>> adults = q.all()
+
+Both node and edge queries narrow candidate sets through the store indexes
+first (labels, property keys) and only then apply residual predicates, so
+selective queries never perform a full scan.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from typing import Any
+
+from repro.graph.model import Edge, Node
+from repro.graph.store import GraphStore
+
+Predicate = Callable[[Any], bool]
+
+
+class _BaseQuery:
+    """Shared plumbing of node and edge queries."""
+
+    def __init__(self, store: GraphStore) -> None:
+        self._store = store
+        self._labels: list[str] = []
+        self._unlabeled_only = False
+        self._required_keys: list[str] = []
+        self._predicates: list[tuple[str, Predicate]] = []
+        self._limit: int | None = None
+
+    def _matches_properties(self, element: Node | Edge) -> bool:
+        for key in self._required_keys:
+            if key not in element.properties:
+                return False
+        for key, predicate in self._predicates:
+            if key not in element.properties:
+                return False
+            if not predicate(element.properties[key]):
+                return False
+        return True
+
+    def _matches_labels(self, element: Node | Edge) -> bool:
+        if self._unlabeled_only:
+            return not element.labels
+        return all(label in element.labels for label in self._labels)
+
+
+class NodeQuery(_BaseQuery):
+    """Fluent node matcher; every refinement returns ``self`` for chaining."""
+
+    def with_label(self, *labels: str) -> "NodeQuery":
+        """Require all of ``labels`` to be present on matched nodes."""
+        self._labels.extend(labels)
+        return self
+
+    def unlabeled(self) -> "NodeQuery":
+        """Match only nodes with an empty label set."""
+        self._unlabeled_only = True
+        return self
+
+    def has_property(self, *keys: str) -> "NodeQuery":
+        """Require all of ``keys`` to be present on matched nodes."""
+        self._required_keys.extend(keys)
+        return self
+
+    def where(self, key: str, predicate: Predicate) -> "NodeQuery":
+        """Require property ``key`` to exist and satisfy ``predicate``."""
+        self._predicates.append((key, predicate))
+        return self
+
+    def where_equals(self, key: str, value: Any) -> "NodeQuery":
+        """Require property ``key`` to equal ``value``."""
+        return self.where(key, lambda v, _value=value: v == _value)
+
+    def limit(self, count: int) -> "NodeQuery":
+        """Stop after ``count`` results."""
+        self._limit = count
+        return self
+
+    def _candidates(self) -> Iterator[Node]:
+        if self._unlabeled_only:
+            yield from self._store.unlabeled_nodes()
+        elif self._labels:
+            yield from self._store.nodes_with_label(self._labels[0])
+        elif self._required_keys:
+            yield from self._store.nodes_with_property(self._required_keys[0])
+        else:
+            yield from self._store.scan_nodes()
+
+    def __iter__(self) -> Iterator[Node]:
+        emitted = 0
+        for node in self._candidates():
+            if self._limit is not None and emitted >= self._limit:
+                return
+            if self._matches_labels(node) and self._matches_properties(node):
+                emitted += 1
+                yield node
+
+    def all(self) -> list[Node]:
+        """Materialise every match."""
+        return list(self)
+
+    def first(self) -> Node | None:
+        """The first match, or None."""
+        for node in self:
+            return node
+        return None
+
+    def count(self) -> int:
+        """Number of matches."""
+        return sum(1 for _ in self)
+
+
+class EdgeQuery(_BaseQuery):
+    """Fluent edge matcher, including endpoint-label constraints."""
+
+    def __init__(self, store: GraphStore) -> None:
+        super().__init__(store)
+        self._source_labels: list[str] = []
+        self._target_labels: list[str] = []
+
+    def with_label(self, *labels: str) -> "EdgeQuery":
+        """Require all of ``labels`` on matched edges."""
+        self._labels.extend(labels)
+        return self
+
+    def unlabeled(self) -> "EdgeQuery":
+        """Match only edges with an empty label set."""
+        self._unlabeled_only = True
+        return self
+
+    def has_property(self, *keys: str) -> "EdgeQuery":
+        """Require all of ``keys`` on matched edges."""
+        self._required_keys.extend(keys)
+        return self
+
+    def where(self, key: str, predicate: Predicate) -> "EdgeQuery":
+        """Require property ``key`` to exist and satisfy ``predicate``."""
+        self._predicates.append((key, predicate))
+        return self
+
+    def where_equals(self, key: str, value: Any) -> "EdgeQuery":
+        """Require property ``key`` to equal ``value``."""
+        return self.where(key, lambda v, _value=value: v == _value)
+
+    def from_label(self, *labels: str) -> "EdgeQuery":
+        """Require the source node to carry all of ``labels``."""
+        self._source_labels.extend(labels)
+        return self
+
+    def to_label(self, *labels: str) -> "EdgeQuery":
+        """Require the target node to carry all of ``labels``."""
+        self._target_labels.extend(labels)
+        return self
+
+    def limit(self, count: int) -> "EdgeQuery":
+        """Stop after ``count`` results."""
+        self._limit = count
+        return self
+
+    def _candidates(self) -> Iterator[Edge]:
+        if self._unlabeled_only:
+            yield from self._store.unlabeled_edges()
+        elif self._labels:
+            yield from self._store.edges_with_label(self._labels[0])
+        elif self._required_keys:
+            yield from self._store.edges_with_property(self._required_keys[0])
+        else:
+            yield from self._store.scan_edges()
+
+    def _matches_endpoints(self, edge: Edge) -> bool:
+        if not self._source_labels and not self._target_labels:
+            return True
+        source_labels, target_labels = self._store.endpoint_labels(edge)
+        if any(label not in source_labels for label in self._source_labels):
+            return False
+        if any(label not in target_labels for label in self._target_labels):
+            return False
+        return True
+
+    def __iter__(self) -> Iterator[Edge]:
+        emitted = 0
+        for edge in self._candidates():
+            if self._limit is not None and emitted >= self._limit:
+                return
+            if (
+                self._matches_labels(edge)
+                and self._matches_properties(edge)
+                and self._matches_endpoints(edge)
+            ):
+                emitted += 1
+                yield edge
+
+    def all(self) -> list[Edge]:
+        """Materialise every match."""
+        return list(self)
+
+    def first(self) -> Edge | None:
+        """The first match, or None."""
+        for edge in self:
+            return edge
+        return None
+
+    def count(self) -> int:
+        """Number of matches."""
+        return sum(1 for _ in self)
+
+
+def query_nodes(store: GraphStore) -> NodeQuery:
+    """Start a node query against ``store``."""
+    return NodeQuery(store)
+
+
+def query_edges(store: GraphStore) -> EdgeQuery:
+    """Start an edge query against ``store``."""
+    return EdgeQuery(store)

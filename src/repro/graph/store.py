@@ -1,0 +1,263 @@
+"""In-memory property-graph storage engine.
+
+This is the reproduction's substitute for Neo4j (section 5 "Setup"): a
+single-process store that keeps a :class:`~repro.graph.model.PropertyGraph`
+together with secondary indexes so the discovery pipeline can issue the same
+kinds of requests it would send to a graph database:
+
+* full scans of nodes/edges with labels and properties ("a single query to
+  ensure similar structure", section 4.1),
+* label and property-key lookups,
+* per-source / per-target distinct-endpoint counts for cardinality
+  inference (section 4.4).
+
+Indexes are maintained incrementally on write, so reads never rescan.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+
+from repro.errors import MissingElementError
+from repro.graph.model import Edge, Node, PropertyGraph
+
+
+class _LabelIndex:
+    """label -> set of element ids (one instance for nodes, one for edges)."""
+
+    def __init__(self) -> None:
+        self._by_label: dict[str, set[str]] = defaultdict(set)
+        self._unlabeled: set[str] = set()
+
+    def add(self, element_id: str, labels: frozenset[str]) -> None:
+        if not labels:
+            self._unlabeled.add(element_id)
+            return
+        for label in labels:
+            self._by_label[label].add(element_id)
+
+    def remove(self, element_id: str, labels: frozenset[str]) -> None:
+        if not labels:
+            self._unlabeled.discard(element_id)
+            return
+        for label in labels:
+            bucket = self._by_label.get(label)
+            if bucket is not None:
+                bucket.discard(element_id)
+                if not bucket:
+                    del self._by_label[label]
+
+    def with_label(self, label: str) -> set[str]:
+        return set(self._by_label.get(label, ()))
+
+    def unlabeled(self) -> set[str]:
+        return set(self._unlabeled)
+
+    def labels(self) -> list[str]:
+        return sorted(self._by_label)
+
+
+class _PropertyKeyIndex:
+    """property key -> set of element ids carrying that key."""
+
+    def __init__(self) -> None:
+        self._by_key: dict[str, set[str]] = defaultdict(set)
+
+    def add(self, element_id: str, keys: Iterable[str]) -> None:
+        for key in keys:
+            self._by_key[key].add(element_id)
+
+    def remove(self, element_id: str, keys: Iterable[str]) -> None:
+        for key in keys:
+            bucket = self._by_key.get(key)
+            if bucket is not None:
+                bucket.discard(element_id)
+                if not bucket:
+                    del self._by_key[key]
+
+    def with_key(self, key: str) -> set[str]:
+        return set(self._by_key.get(key, ()))
+
+    def keys(self) -> list[str]:
+        return sorted(self._by_key)
+
+
+class GraphStore:
+    """Indexed storage over a :class:`PropertyGraph`.
+
+    The store owns its graph; mutate through the store so indexes stay
+    consistent.  Construction from an existing graph bulk-loads the indexes.
+    """
+
+    def __init__(self, graph: PropertyGraph | None = None, name: str = "store") -> None:
+        self.name = name
+        self._graph = PropertyGraph(name)
+        self._node_labels = _LabelIndex()
+        self._edge_labels = _LabelIndex()
+        self._node_props = _PropertyKeyIndex()
+        self._edge_props = _PropertyKeyIndex()
+        if graph is not None:
+            self.load(graph)
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    def load(self, graph: PropertyGraph) -> "GraphStore":
+        """Bulk-insert every element of ``graph`` into the store."""
+        for node in graph.nodes():
+            self.add_node(node)
+        for edge in graph.edges():
+            self.add_edge(edge)
+        return self
+
+    # ------------------------------------------------------------------
+    # Writes (index-maintaining)
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        """Insert a node and index its labels and property keys."""
+        self._graph.add_node(node)
+        self._node_labels.add(node.node_id, node.labels)
+        self._node_props.add(node.node_id, node.properties)
+        return node
+
+    def add_edge(self, edge: Edge) -> Edge:
+        """Insert an edge and index its labels and property keys."""
+        self._graph.add_edge(edge)
+        self._edge_labels.add(edge.edge_id, edge.labels)
+        self._edge_props.add(edge.edge_id, edge.properties)
+        return edge
+
+    def update_node(self, node: Node) -> Node:
+        """Replace an existing node, reindexing labels/keys."""
+        old = self._graph.node(node.node_id)
+        self._node_labels.remove(old.node_id, old.labels)
+        self._node_props.remove(old.node_id, old.properties.keys())
+        self._graph.put_node(node)
+        self._node_labels.add(node.node_id, node.labels)
+        self._node_props.add(node.node_id, node.properties)
+        return node
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a node plus incident edges, updating every index."""
+        node = self._graph.node(node_id)
+        for edge in list(self._graph.out_edges(node_id)) + list(
+            self._graph.in_edges(node_id)
+        ):
+            if self._graph.has_edge(edge.edge_id):
+                self.remove_edge(edge.edge_id)
+        self._node_labels.remove(node_id, node.labels)
+        self._node_props.remove(node_id, node.properties.keys())
+        self._graph.remove_node(node_id)
+
+    def remove_edge(self, edge_id: str) -> None:
+        """Remove an edge, updating every index."""
+        edge = self._graph.edge(edge_id)
+        self._edge_labels.remove(edge_id, edge.labels)
+        self._edge_props.remove(edge_id, edge.properties.keys())
+        self._graph.remove_edge(edge_id)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> PropertyGraph:
+        """The underlying graph (treat as read-only)."""
+        return self._graph
+
+    def node(self, node_id: str) -> Node:
+        """Fetch one node by id."""
+        return self._graph.node(node_id)
+
+    def edge(self, edge_id: str) -> Edge:
+        """Fetch one edge by id."""
+        return self._graph.edge(edge_id)
+
+    def scan_nodes(self) -> Iterator[Node]:
+        """Full node scan in insertion order (the section 4.1 load query)."""
+        return self._graph.nodes()
+
+    def scan_edges(self) -> Iterator[Edge]:
+        """Full edge scan in insertion order (the section 4.1 load query)."""
+        return self._graph.edges()
+
+    @property
+    def node_count(self) -> int:
+        """Number of stored nodes."""
+        return self._graph.node_count
+
+    @property
+    def edge_count(self) -> int:
+        """Number of stored edges."""
+        return self._graph.edge_count
+
+    # ------------------------------------------------------------------
+    # Index-backed lookups
+    # ------------------------------------------------------------------
+    def nodes_with_label(self, label: str) -> list[Node]:
+        """All nodes carrying ``label`` (order: ascending node id)."""
+        ids = sorted(self._node_labels.with_label(label))
+        return [self._graph.node(node_id) for node_id in ids]
+
+    def edges_with_label(self, label: str) -> list[Edge]:
+        """All edges carrying ``label`` (order: ascending edge id)."""
+        ids = sorted(self._edge_labels.with_label(label))
+        return [self._graph.edge(edge_id) for edge_id in ids]
+
+    def unlabeled_nodes(self) -> list[Node]:
+        """All nodes with an empty label set."""
+        return [self._graph.node(i) for i in sorted(self._node_labels.unlabeled())]
+
+    def unlabeled_edges(self) -> list[Edge]:
+        """All edges with an empty label set."""
+        return [self._graph.edge(i) for i in sorted(self._edge_labels.unlabeled())]
+
+    def nodes_with_property(self, key: str) -> list[Node]:
+        """All nodes carrying property ``key``."""
+        return [self._graph.node(i) for i in sorted(self._node_props.with_key(key))]
+
+    def edges_with_property(self, key: str) -> list[Edge]:
+        """All edges carrying property ``key``."""
+        return [self._graph.edge(i) for i in sorted(self._edge_props.with_key(key))]
+
+    def node_labels(self) -> list[str]:
+        """Sorted distinct node labels."""
+        return self._node_labels.labels()
+
+    def edge_labels(self) -> list[str]:
+        """Sorted distinct edge labels."""
+        return self._edge_labels.labels()
+
+    def node_property_keys(self) -> list[str]:
+        """Sorted distinct node property keys."""
+        return self._node_props.keys()
+
+    def edge_property_keys(self) -> list[str]:
+        """Sorted distinct edge property keys."""
+        return self._edge_props.keys()
+
+    # ------------------------------------------------------------------
+    # Degree aggregates (cardinality inference, section 4.4)
+    # ------------------------------------------------------------------
+    def out_degree(self, node_id: str) -> int:
+        """Outgoing-edge count for ``node_id``."""
+        return self._graph.out_degree(node_id)
+
+    def in_degree(self, node_id: str) -> int:
+        """Incoming-edge count for ``node_id``."""
+        return self._graph.in_degree(node_id)
+
+    def endpoint_labels(self, edge: Edge) -> tuple[frozenset[str], frozenset[str]]:
+        """Label sets of an edge's source and target nodes."""
+        try:
+            source = self._graph.node(edge.source_id)
+            target = self._graph.node(edge.target_id)
+        except MissingElementError:  # pragma: no cover - add_edge forbids this
+            raise
+        return source.labels, target.labels
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphStore(name={self.name!r}, nodes={self.node_count}, "
+            f"edges={self.edge_count})"
+        )

@@ -1,0 +1,28 @@
+"""Locality-Sensitive Hashing substrate: ELSH, MinHash, grouping rules."""
+
+from repro.lsh.base import (
+    GroupingRule,
+    and_rule_probability,
+    elsh_collision_probability,
+    group,
+    group_by_any_table,
+    group_by_signature,
+    or_rule_probability,
+)
+from repro.lsh.elsh import EuclideanLSH
+from repro.lsh.minhash import MinHashLSH, exact_jaccard
+from repro.lsh.union_find import UnionFind
+
+__all__ = [
+    "EuclideanLSH",
+    "GroupingRule",
+    "MinHashLSH",
+    "UnionFind",
+    "and_rule_probability",
+    "elsh_collision_probability",
+    "exact_jaccard",
+    "group",
+    "group_by_any_table",
+    "group_by_signature",
+    "or_rule_probability",
+]

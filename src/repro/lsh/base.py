@@ -1,0 +1,108 @@
+"""Shared LSH machinery: grouping rules and collision-probability theory.
+
+Both LSH families hash every element into ``T`` buckets (one per table).
+Two rules turn bucket membership into clusters:
+
+* ``GroupingRule.AND`` -- elements cluster together only when their *full*
+  signature (all T buckets) agrees.  This over-fragments but never merges
+  elements no table agrees on; PG-HIVE prefers it because Algorithm 2
+  repairs fragmentation afterwards ("we prefer more separate types, as we
+  are going to perform a merging step afterwards", section 4.2).
+* ``GroupingRule.OR`` -- elements sharing a bucket in *any* table are
+  unioned transitively (classic OR-construction).  Higher recall, but
+  transitive unions can chain distinct types together.
+
+The collision-probability helpers implement the formulas quoted in section
+4.2 and back the Figure 6 discussion; they are exercised by tests rather
+than by the pipeline itself.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+from scipy import stats
+
+from repro.lsh.union_find import UnionFind
+
+
+class GroupingRule(Enum):
+    """How per-table buckets combine into clusters."""
+
+    AND = "and"
+    OR = "or"
+
+
+def group_by_signature(signatures: np.ndarray) -> list[list[int]]:
+    """AND rule: rows with identical signatures form one cluster."""
+    buckets: dict[tuple, list[int]] = {}
+    for row_index, row in enumerate(signatures):
+        buckets.setdefault(tuple(row.tolist()), []).append(row_index)
+    return sorted(buckets.values(), key=lambda group: group[0])
+
+
+def group_by_any_table(signatures: np.ndarray) -> list[list[int]]:
+    """OR rule: rows sharing any per-table bucket are unioned transitively."""
+    count, tables = signatures.shape
+    union = UnionFind(count)
+    for table in range(tables):
+        first_seen: dict = {}
+        column = signatures[:, table]
+        for row_index in range(count):
+            key = column[row_index] if column.ndim == 1 else tuple(column[row_index])
+            anchor = first_seen.setdefault(key, row_index)
+            if anchor != row_index:
+                union.union(anchor, row_index)
+    return union.groups()
+
+
+def group(signatures: np.ndarray, rule: GroupingRule) -> list[list[int]]:
+    """Cluster rows of a ``(n, T)`` signature matrix under ``rule``."""
+    if signatures.ndim != 2:
+        raise ValueError(f"expected (n, T) signatures, got shape {signatures.shape}")
+    if rule is GroupingRule.AND:
+        return group_by_signature(signatures)
+    return group_by_any_table(signatures)
+
+
+def elsh_collision_probability(distance: float, bucket_length: float) -> float:
+    """Single-table collision probability of p-stable Euclidean LSH.
+
+    Datar et al. [32]: for Gaussian projections with bucket length ``b`` and
+    points at distance ``d``,
+
+        p_b(d) = 1 - 2 Phi(-b/d) - (2 d / (sqrt(2 pi) b)) (1 - exp(-b^2 / 2 d^2))
+
+    ``p_b`` is 1 at distance 0 and strictly decreasing in ``d``.
+    """
+    if bucket_length <= 0:
+        raise ValueError(f"bucket_length must be > 0, got {bucket_length}")
+    if distance < 0:
+        raise ValueError(f"distance must be >= 0, got {distance}")
+    if distance == 0.0:
+        return 1.0
+    ratio = bucket_length / distance
+    term_tail = 2.0 * stats.norm.cdf(-ratio)
+    term_density = (
+        2.0 / (np.sqrt(2.0 * np.pi) * ratio) * (1.0 - np.exp(-(ratio**2) / 2.0))
+    )
+    return float(1.0 - term_tail - term_density)
+
+
+def or_rule_probability(single_table: float, tables: int) -> float:
+    """P(collide in >= 1 of ``tables``) = 1 - (1 - p)^T (section 4.2)."""
+    if not 0.0 <= single_table <= 1.0:
+        raise ValueError(f"probability out of range: {single_table}")
+    if tables < 1:
+        raise ValueError(f"tables must be >= 1, got {tables}")
+    return 1.0 - (1.0 - single_table) ** tables
+
+
+def and_rule_probability(single_table: float, tables: int) -> float:
+    """P(collide in all ``tables``) = p^T."""
+    if not 0.0 <= single_table <= 1.0:
+        raise ValueError(f"probability out of range: {single_table}")
+    if tables < 1:
+        raise ValueError(f"tables must be >= 1, got {tables}")
+    return single_table**tables

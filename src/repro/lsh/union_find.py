@@ -1,0 +1,55 @@
+"""Disjoint-set forest used by the OR-rule LSH grouping."""
+
+from __future__ import annotations
+
+
+class UnionFind:
+    """Union-find over the integers ``0..n-1`` with path compression."""
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        self._parent = list(range(size))
+        self._rank = [0] * size
+        self._components = size
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def component_count(self) -> int:
+        """Number of disjoint components."""
+        return self._components
+
+    def find(self, item: int) -> int:
+        """Representative of ``item``'s component (with path compression)."""
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, left: int, right: int) -> bool:
+        """Merge two components; True when a merge actually happened."""
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root == right_root:
+            return False
+        if self._rank[left_root] < self._rank[right_root]:
+            left_root, right_root = right_root, left_root
+        self._parent[right_root] = left_root
+        if self._rank[left_root] == self._rank[right_root]:
+            self._rank[left_root] += 1
+        self._components -= 1
+        return True
+
+    def connected(self, left: int, right: int) -> bool:
+        """True when both items share a component."""
+        return self.find(left) == self.find(right)
+
+    def groups(self) -> list[list[int]]:
+        """Members of each component, ordered by smallest member."""
+        by_root: dict[int, list[int]] = {}
+        for item in range(len(self._parent)):
+            by_root.setdefault(self.find(item), []).append(item)
+        return sorted(by_root.values(), key=lambda group: group[0])

@@ -1,0 +1,54 @@
+"""Schema-graph model: types, datatypes, cardinalities, merging, validation."""
+
+from repro.schema.cardinality import Cardinality, CardinalityBounds
+from repro.schema.datatypes import (
+    DataType,
+    dominant_type,
+    generalize,
+    infer_type,
+    infer_value_type,
+    is_value_compatible,
+)
+from repro.schema.diff import SchemaDiff, TypeChange, diff_schemas
+from repro.schema.merge import DEFAULT_THETA, merge_into, merge_schemas
+from repro.schema.model import (
+    ABSTRACT_PREFIX,
+    EdgeType,
+    NodeType,
+    PropertySpec,
+    SchemaGraph,
+    subsumes,
+)
+from repro.schema.validation import (
+    ValidationMode,
+    ValidationReport,
+    Violation,
+    validate_graph,
+)
+
+__all__ = [
+    "ABSTRACT_PREFIX",
+    "Cardinality",
+    "CardinalityBounds",
+    "DEFAULT_THETA",
+    "DataType",
+    "EdgeType",
+    "NodeType",
+    "PropertySpec",
+    "SchemaDiff",
+    "SchemaGraph",
+    "TypeChange",
+    "ValidationMode",
+    "ValidationReport",
+    "Violation",
+    "diff_schemas",
+    "dominant_type",
+    "generalize",
+    "infer_type",
+    "infer_value_type",
+    "is_value_compatible",
+    "merge_into",
+    "merge_schemas",
+    "subsumes",
+    "validate_graph",
+]

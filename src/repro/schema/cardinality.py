@@ -1,0 +1,57 @@
+"""Edge-type cardinalities (section 4.4).
+
+The paper computes, per edge type, the maximum out-degree (distinct targets
+of any single source) and maximum in-degree (distinct sources of any single
+target) and interprets the pair:
+
+    (1, 1)   -> "0:1"   one-to-one (lower bound unresolved)
+    (>1, 1)  -> "N:1"
+    (1, >1)  -> "0:N"   one-to-many (lower bound unresolved)
+    (>1, >1) -> "M:N"
+
+Lower bounds cannot be told apart from 0 without scanning unconnected nodes;
+like the paper, we record only the upper-bound classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Cardinality(Enum):
+    """Upper-bound cardinality classes for an edge type."""
+
+    ONE_TO_ONE = "0:1"
+    MANY_TO_ONE = "N:1"
+    ONE_TO_MANY = "0:N"
+    MANY_TO_MANY = "M:N"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class CardinalityBounds:
+    """Raw (max-out, max-in) degrees backing a cardinality classification."""
+
+    max_out: int
+    max_in: int
+
+    def classify(self) -> Cardinality:
+        """Map the degree pair to a :class:`Cardinality` per the table above."""
+        if self.max_out <= 1 and self.max_in <= 1:
+            return Cardinality.ONE_TO_ONE
+        if self.max_out > 1 and self.max_in <= 1:
+            # A source reaches many targets; each target has one source.
+            return Cardinality.ONE_TO_MANY
+        if self.max_out <= 1 and self.max_in > 1:
+            # Many sources share one target.
+            return Cardinality.MANY_TO_ONE
+        return Cardinality.MANY_TO_MANY
+
+    def merged_with(self, other: "CardinalityBounds") -> "CardinalityBounds":
+        """Monotone union of two bounds (used by incremental schema merge)."""
+        return CardinalityBounds(
+            max(self.max_out, other.max_out), max(self.max_in, other.max_in)
+        )

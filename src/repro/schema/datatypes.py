@@ -1,0 +1,126 @@
+"""Property data types and value-level type inference (section 4.4).
+
+The paper applies a priority-based chain per value: integer, float, boolean,
+date/time via ISO-format regexes, defaulting to string.  Types of different
+values of the same property are reconciled with a least-general
+generalisation (integer+float -> float, date+datetime -> datetime, anything
+else -> string), so the inferred type is always compatible with every
+observed value (section 4.7 "Data type inference" guarantee).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from collections.abc import Iterable
+from enum import Enum
+from typing import Any
+
+
+class DataType(Enum):
+    """GQL-style primitive data types used by PG-Schema serialisations."""
+
+    INTEGER = "INT"
+    FLOAT = "DOUBLE"
+    BOOLEAN = "BOOLEAN"
+    DATE = "DATE"
+    DATETIME = "TIMESTAMP"
+    STRING = "STRING"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: ISO calendar date: 2024-03-09
+_ISO_DATE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+#: European date as in the paper's example: 19/12/1999
+_SLASH_DATE = re.compile(r"^\d{1,2}/\d{1,2}/\d{4}$")
+#: ISO timestamp: 2024-03-09T12:30:00 (optional fraction / zone suffix)
+_ISO_DATETIME = re.compile(
+    r"^\d{4}-\d{2}-\d{2}[T ]\d{2}:\d{2}(:\d{2})?(\.\d+)?(Z|[+-]\d{2}:?\d{2})?$"
+)
+_BOOL_STRINGS = {"true", "false"}
+
+
+def infer_value_type(value: Any) -> DataType:
+    """The most specific :class:`DataType` for a single value.
+
+    Follows the paper's priority chain.  ``bool`` is tested before ``int``
+    because Python booleans are integers; the paper's mathematical notation
+    (v in Z, v in R\\Z, v in {true,false}) has no such overlap.
+    """
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        if value.is_integer():
+            return DataType.INTEGER
+        return DataType.FLOAT
+    if isinstance(value, str):
+        if _ISO_DATETIME.match(value):
+            return DataType.DATETIME
+        if _ISO_DATE.match(value) or _SLASH_DATE.match(value):
+            return DataType.DATE
+        if value.lower() in _BOOL_STRINGS:
+            return DataType.BOOLEAN
+        return DataType.STRING
+    return DataType.STRING
+
+
+def generalize(left: DataType, right: DataType) -> DataType:
+    """Least general common type of two data types.
+
+    Compatible pairs keep the wider member (INTEGER/FLOAT -> FLOAT,
+    DATE/DATETIME -> DATETIME); incompatible pairs fall back to STRING,
+    mirroring the paper's "defaulting to a string" rule.
+    """
+    if left is right:
+        return left
+    pair = {left, right}
+    if pair == {DataType.INTEGER, DataType.FLOAT}:
+        return DataType.FLOAT
+    if pair == {DataType.DATE, DataType.DATETIME}:
+        return DataType.DATETIME
+    return DataType.STRING
+
+
+def infer_type(values: Iterable[Any]) -> DataType:
+    """Generalised type over all ``values`` (full-scan inference ``f(D_p)``).
+
+    Empty input defaults to STRING, the chain's bottom element.
+    """
+    result: DataType | None = None
+    for value in values:
+        value_type = infer_value_type(value)
+        result = value_type if result is None else generalize(result, value_type)
+        if result is DataType.STRING:
+            break  # STRING is absorbing; no need to scan further.
+    return result if result is not None else DataType.STRING
+
+
+def dominant_type(values: Iterable[Any]) -> DataType:
+    """Most frequent value-level type (ties broken by enum declaration order).
+
+    Used by the Figure 8 experiment, which compares sampled inference with
+    "the dominant types determined using a full scan".
+    """
+    counts: Counter[DataType] = Counter(infer_value_type(v) for v in values)
+    if not counts:
+        return DataType.STRING
+    order = {dt: i for i, dt in enumerate(DataType)}
+    return max(counts, key=lambda dt: (counts[dt], -order[dt]))
+
+
+def is_value_compatible(value: Any, data_type: DataType) -> bool:
+    """True when ``value`` conforms to ``data_type`` (STRICT validation)."""
+    value_type = infer_value_type(value)
+    if value_type is data_type:
+        return True
+    if data_type is DataType.STRING:
+        return True  # STRING accepts everything (generalisation bottom).
+    if data_type is DataType.FLOAT and value_type is DataType.INTEGER:
+        return True
+    if data_type is DataType.DATETIME and value_type is DataType.DATE:
+        return True
+    return False

@@ -1,0 +1,162 @@
+"""Schema diffing (extension): what changed between two schema snapshots.
+
+Incremental discovery produces a monotone chain of schemas; a diff answers
+"what did this batch teach us?" -- new types, new properties on existing
+types, widened cardinalities, weakened constraints.  Types are matched by
+label token (labelled) or by property-key set (abstract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.schema.model import EdgeType, NodeType, SchemaGraph
+
+
+@dataclass(frozen=True, slots=True)
+class TypeChange:
+    """Changes observed on one matched type."""
+
+    display_name: str
+    added_labels: frozenset[str]
+    added_properties: frozenset[str]
+    weakened_to_optional: frozenset[str]
+    cardinality_before: str | None = None
+    cardinality_after: str | None = None
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing actually changed."""
+        return (
+            not self.added_labels
+            and not self.added_properties
+            and not self.weakened_to_optional
+            and self.cardinality_before == self.cardinality_after
+        )
+
+
+@dataclass
+class SchemaDiff:
+    """Difference report between two schemas."""
+
+    added_node_types: list[str] = field(default_factory=list)
+    added_edge_types: list[str] = field(default_factory=list)
+    removed_node_types: list[str] = field(default_factory=list)
+    removed_edge_types: list[str] = field(default_factory=list)
+    changed_node_types: list[TypeChange] = field(default_factory=list)
+    changed_edge_types: list[TypeChange] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the schemas are equivalent under this comparison."""
+        return not (
+            self.added_node_types
+            or self.added_edge_types
+            or self.removed_node_types
+            or self.removed_edge_types
+            or self.changed_node_types
+            or self.changed_edge_types
+        )
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        if self.is_empty:
+            return "no schema changes"
+        parts = []
+        if self.added_node_types:
+            parts.append(f"+{len(self.added_node_types)} node type(s): "
+                         f"{', '.join(self.added_node_types)}")
+        if self.added_edge_types:
+            parts.append(f"+{len(self.added_edge_types)} edge type(s): "
+                         f"{', '.join(self.added_edge_types)}")
+        if self.removed_node_types:
+            parts.append(f"-{len(self.removed_node_types)} node type(s)")
+        if self.removed_edge_types:
+            parts.append(f"-{len(self.removed_edge_types)} edge type(s)")
+        for change in self.changed_node_types + self.changed_edge_types:
+            details = []
+            if change.added_labels:
+                details.append(f"labels +{sorted(change.added_labels)}")
+            if change.added_properties:
+                details.append(f"props +{sorted(change.added_properties)}")
+            if change.weakened_to_optional:
+                details.append(
+                    f"now optional {sorted(change.weakened_to_optional)}"
+                )
+            if change.cardinality_before != change.cardinality_after:
+                details.append(
+                    f"cardinality {change.cardinality_before} -> "
+                    f"{change.cardinality_after}"
+                )
+            parts.append(f"{change.display_name}: {'; '.join(details)}")
+        return " | ".join(parts)
+
+
+def _match_key(schema_type: NodeType | EdgeType) -> tuple:
+    if schema_type.labels:
+        return ("token", schema_type.token)
+    return ("keys", schema_type.property_keys)
+
+
+def _type_change(
+    before: NodeType | EdgeType, after: NodeType | EdgeType
+) -> TypeChange:
+    added_labels = frozenset(after.labels - before.labels)
+    added_properties = frozenset(after.property_keys - before.property_keys)
+    weakened = frozenset(
+        key
+        for key in before.property_keys & after.property_keys
+        if before.properties[key].mandatory is True
+        and after.properties[key].mandatory is False
+    )
+    cardinality_before = cardinality_after = None
+    if isinstance(before, EdgeType) and isinstance(after, EdgeType):
+        cardinality_before = (
+            str(before.cardinality) if before.cardinality else None
+        )
+        cardinality_after = str(after.cardinality) if after.cardinality else None
+    return TypeChange(
+        display_name=after.display_name,
+        added_labels=added_labels,
+        added_properties=added_properties,
+        weakened_to_optional=weakened,
+        cardinality_before=cardinality_before,
+        cardinality_after=cardinality_after,
+    )
+
+
+def diff_schemas(before: SchemaGraph, after: SchemaGraph) -> SchemaDiff:
+    """Compare two schemas; see module docstring for matching rules."""
+    diff = SchemaDiff()
+    for kind, iter_before, iter_after in (
+        ("node", list(before.node_types()), list(after.node_types())),
+        ("edge", list(before.edge_types()), list(after.edge_types())),
+    ):
+        before_map = {_match_key(t): t for t in iter_before}
+        after_map = {_match_key(t): t for t in iter_after}
+        added = [
+            after_map[key].display_name for key in after_map if key not in before_map
+        ]
+        removed = [
+            before_map[key].display_name
+            for key in before_map
+            if key not in after_map
+        ]
+        changed = []
+        for key in before_map.keys() & after_map.keys():
+            change = _type_change(before_map[key], after_map[key])
+            if not change.is_empty:
+                changed.append(change)
+        if kind == "node":
+            diff.added_node_types = sorted(added)
+            diff.removed_node_types = sorted(removed)
+            diff.changed_node_types = sorted(
+                changed, key=lambda c: c.display_name
+            )
+        else:
+            diff.added_edge_types = sorted(added)
+            diff.removed_edge_types = sorted(removed)
+            diff.changed_edge_types = sorted(
+                changed, key=lambda c: c.display_name
+            )
+    return diff

@@ -1,0 +1,155 @@
+"""Schema merging (section 4.6): the least-general schema covering both inputs.
+
+Merge rules mirror Algorithm 2, lifted from clusters to whole schemas:
+
+* labelled node/edge types with the same label token merge directly;
+* unlabeled node types merge with a labelled type when the Jaccard
+  similarity of their property-key sets reaches ``theta`` (0.9 by default),
+  then with each other, and otherwise survive as ABSTRACT types;
+* unlabeled edge types additionally require overlapping endpoint tokens
+  before a Jaccard merge, so structurally similar but differently wired
+  relationships stay apart;
+* property specs union, datatypes generalise, mandatory weakens to optional,
+  cardinality bounds take componentwise maxima.
+
+Monotonicity (Lemmas 1-2) makes the result a generalisation of both inputs;
+:func:`repro.schema.model.subsumes` checks that relation.
+"""
+
+from __future__ import annotations
+
+from repro.schema.model import EdgeType, NodeType, SchemaGraph
+from repro.util import jaccard
+
+DEFAULT_THETA = 0.9
+
+
+def merge_schemas(
+    base: SchemaGraph,
+    incoming: SchemaGraph,
+    theta: float = DEFAULT_THETA,
+    name: str | None = None,
+) -> SchemaGraph:
+    """Return a new schema generalising ``base`` and ``incoming``."""
+    merged = base.copy(name or base.name)
+    merge_into(merged, incoming, theta)
+    return merged
+
+
+def merge_into(
+    target: SchemaGraph,
+    incoming: SchemaGraph,
+    theta: float = DEFAULT_THETA,
+) -> SchemaGraph:
+    """Destructively merge ``incoming`` into ``target`` (section 4.6 rules)."""
+    deferred_nodes: list[NodeType] = []
+    for node_type in incoming.node_types():
+        if node_type.labels:
+            existing = target.node_type_by_token(node_type.token)
+            if existing is not None:
+                existing.absorb(node_type.copy())
+            else:
+                _add_node_copy(target, node_type)
+        else:
+            deferred_nodes.append(node_type)
+
+    for node_type in deferred_nodes:
+        _merge_unlabeled_node(target, node_type, theta)
+
+    deferred_edges: list[EdgeType] = []
+    for edge_type in incoming.edge_types():
+        if edge_type.labels:
+            existing = next(
+                (
+                    candidate
+                    for candidate in target.edge_types()
+                    if candidate.labels
+                    and candidate.token == edge_type.token
+                    and _endpoints_overlap(candidate, edge_type)
+                ),
+                None,
+            )
+            if existing is not None:
+                existing.absorb(edge_type.copy())
+            else:
+                _add_edge_copy(target, edge_type)
+        else:
+            deferred_edges.append(edge_type)
+
+    for edge_type in deferred_edges:
+        _merge_unlabeled_edge(target, edge_type, theta)
+    return target
+
+
+def _add_node_copy(target: SchemaGraph, node_type: NodeType) -> NodeType:
+    clone = node_type.copy()
+    if any(t.type_id == clone.type_id for t in target.node_types()):
+        clone.type_id = target.new_type_id("n")
+    return target.add_node_type(clone)
+
+
+def _add_edge_copy(target: SchemaGraph, edge_type: EdgeType) -> EdgeType:
+    clone = edge_type.copy()
+    if any(t.type_id == clone.type_id for t in target.edge_types()):
+        clone.type_id = target.new_type_id("e")
+    return target.add_edge_type(clone)
+
+
+def _merge_unlabeled_node(
+    target: SchemaGraph, node_type: NodeType, theta: float
+) -> None:
+    best, best_score = None, -1.0
+    for candidate in target.node_types():
+        if not candidate.labels:
+            continue
+        score = jaccard(candidate.property_keys, node_type.property_keys)
+        if score >= theta and score > best_score:
+            best, best_score = candidate, score
+    if best is None:
+        for candidate in target.node_types():
+            if candidate.labels:
+                continue
+            score = jaccard(candidate.property_keys, node_type.property_keys)
+            if score >= theta and score > best_score:
+                best, best_score = candidate, score
+    if best is not None:
+        best.absorb(node_type.copy())
+    else:
+        clone = _add_node_copy(target, node_type)
+        clone.abstract = True
+
+
+def _merge_unlabeled_edge(
+    target: SchemaGraph, edge_type: EdgeType, theta: float
+) -> None:
+    best, best_score = None, -1.0
+    for candidate in target.edge_types():
+        if not _endpoints_overlap(candidate, edge_type):
+            continue
+        score = jaccard(candidate.property_keys, edge_type.property_keys)
+        if score >= theta and score > best_score:
+            best, best_score = candidate, score
+    if best is not None:
+        best.absorb(edge_type.copy())
+    else:
+        clone = _add_edge_copy(target, edge_type)
+        clone.abstract = True
+
+
+def _endpoints_overlap(left: EdgeType, right: EdgeType) -> bool:
+    """True when both endpoint token sets intersect.
+
+    Empty tokens (unlabeled endpoints) act as wildcards: a side whose only
+    observed endpoints are unlabeled is compatible with anything.
+    """
+    return _tokens_overlap(
+        left.source_tokens, right.source_tokens
+    ) and _tokens_overlap(left.target_tokens, right.target_tokens)
+
+
+def _tokens_overlap(left: set[str], right: set[str]) -> bool:
+    left_known = left - {""}
+    right_known = right - {""}
+    if not left_known or not right_known:
+        return True
+    return bool(left_known & right_known)

@@ -1,0 +1,172 @@
+"""Validation of a property graph against a discovered schema.
+
+PG-Schema distinguishes LOOSE and STRICT conformance (section 3, "Schema
+constraint level", and section 4.5):
+
+* **LOOSE** -- every element must be covered by some type: its labels equal
+  a type's label set (unlabeled elements may match any type) and its
+  property keys are a subset of the type's keys.
+* **STRICT** -- additionally, every property flagged MANDATORY must be
+  present, every present value must be compatible with the inferred
+  datatype, and edge endpoints must match the type's recorded endpoint
+  tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.graph.model import Edge, Node, PropertyGraph
+from repro.schema.datatypes import is_value_compatible
+from repro.schema.model import EdgeType, NodeType, SchemaGraph
+
+
+class ValidationMode(Enum):
+    """Conformance strictness."""
+
+    LOOSE = "LOOSE"
+    STRICT = "STRICT"
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One conformance failure."""
+
+    element_id: str
+    kind: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.element_id}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating a graph against a schema."""
+
+    mode: ValidationMode
+    checked_nodes: int = 0
+    checked_edges: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def valid(self) -> bool:
+        """True when no violations were recorded."""
+        return not self.violations
+
+    def add(self, element_id: str, kind: str, message: str) -> None:
+        """Record a violation."""
+        self.violations.append(Violation(element_id, kind, message))
+
+    def __str__(self) -> str:
+        status = "VALID" if self.valid else f"{len(self.violations)} violation(s)"
+        return (
+            f"ValidationReport(mode={self.mode.value}, nodes={self.checked_nodes}, "
+            f"edges={self.checked_edges}, {status})"
+        )
+
+
+def _node_candidates(node: Node, schema: SchemaGraph) -> list[NodeType]:
+    if node.labels:
+        exact = [t for t in schema.node_types() if t.labels == set(node.labels)]
+        if exact:
+            return exact
+        return [t for t in schema.node_types() if set(node.labels) <= t.labels]
+    return list(schema.node_types())
+
+
+def _edge_candidates(edge: Edge, schema: SchemaGraph) -> list[EdgeType]:
+    if edge.labels:
+        exact = [t for t in schema.edge_types() if t.labels == set(edge.labels)]
+        if exact:
+            return exact
+        return [t for t in schema.edge_types() if set(edge.labels) <= t.labels]
+    return list(schema.edge_types())
+
+
+def _loose_match(element: Node | Edge, candidate: NodeType | EdgeType) -> bool:
+    return element.property_keys <= candidate.property_keys
+
+
+def _strict_issues(
+    element: Node | Edge, candidate: NodeType | EdgeType
+) -> list[str]:
+    issues: list[str] = []
+    for key in candidate.mandatory_keys():
+        if key not in element.properties:
+            issues.append(f"missing mandatory property {key!r}")
+    for key, value in element.properties.items():
+        spec = candidate.properties.get(key)
+        if spec is None:
+            issues.append(f"unexpected property {key!r}")
+            continue
+        if spec.data_type is not None and not is_value_compatible(
+            value, spec.data_type
+        ):
+            issues.append(
+                f"property {key!r} value {value!r} incompatible with "
+                f"{spec.data_type}"
+            )
+    return issues
+
+
+def validate_graph(
+    graph: PropertyGraph,
+    schema: SchemaGraph,
+    mode: ValidationMode = ValidationMode.LOOSE,
+) -> ValidationReport:
+    """Validate every node and edge of ``graph`` against ``schema``."""
+    report = ValidationReport(mode)
+    for node in graph.nodes():
+        report.checked_nodes += 1
+        _validate_element(node.node_id, node, _node_candidates(node, schema), report)
+    for edge in graph.edges():
+        report.checked_edges += 1
+        candidates = _edge_candidates(edge, schema)
+        if mode is ValidationMode.STRICT and candidates:
+            source = graph.node(edge.source_id)
+            target = graph.node(edge.target_id)
+            candidates = [
+                c
+                for c in candidates
+                if _endpoint_ok(source.token, c.source_tokens)
+                and _endpoint_ok(target.token, c.target_tokens)
+            ] or candidates  # fall back so the property check still reports
+        _validate_element(edge.edge_id, edge, candidates, report)
+    return report
+
+
+def _endpoint_ok(token: str, allowed: set[str]) -> bool:
+    return not allowed or token in allowed
+
+
+def _validate_element(
+    element_id: str,
+    element: Node | Edge,
+    candidates: list,
+    report: ValidationReport,
+) -> None:
+    if not candidates:
+        report.add(element_id, "no-type", "no schema type covers this element")
+        return
+    loose_matches = [c for c in candidates if _loose_match(element, c)]
+    if not loose_matches:
+        report.add(
+            element_id,
+            "loose",
+            "property keys "
+            f"{sorted(element.property_keys)} exceed every candidate type",
+        )
+        return
+    if report.mode is ValidationMode.LOOSE:
+        return
+    best_issues: list[str] | None = None
+    for candidate in loose_matches:
+        issues = _strict_issues(element, candidate)
+        if not issues:
+            return
+        if best_issues is None or len(issues) < len(best_issues):
+            best_issues = issues
+    for issue in best_issues or []:
+        report.add(element_id, "strict", issue)

@@ -1,0 +1,81 @@
+"""Small shared utilities: set similarity, timing, deterministic seeding."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Set
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+def jaccard(left: Set, right: Set) -> float:
+    """Jaccard similarity |A ∩ B| / |A ∪ B|; two empty sets score 1.0.
+
+    The 1.0 convention for empty sets means two property-less unlabeled
+    clusters are considered identical, which is the behaviour Algorithm 2
+    needs (they carry no distinguishing information).
+    """
+    if not left and not right:
+        return 1.0
+    union = len(left | right)
+    if union == 0:
+        return 1.0
+    return len(left & right) / union
+
+
+def derive_seed(base_seed: int, *components: int | str) -> int:
+    """Derive a stable sub-seed from a base seed and arbitrary components.
+
+    Python's ``hash`` on strings is salted per process, so a small
+    deterministic FNV-1a fold is used instead.
+    """
+    state = (base_seed * 0x100000001B3 + 0xCBF29CE484222325) % (1 << 63)
+    for component in components:
+        text = str(component)
+        for char in text.encode("utf-8"):
+            state = ((state ^ char) * 0x100000001B3) % (1 << 63)
+    return state
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer with named laps.
+
+    >>> timer = Timer()
+    >>> with timer.measure("clustering"):
+    ...     pass
+    >>> timer.total  # doctest: +SKIP
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str):
+        """Context manager adding the elapsed time to lap ``name``."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self.laps[name] = self.laps.get(name, 0.0) + elapsed
+
+    @property
+    def total(self) -> float:
+        """Sum of all laps in seconds."""
+        return sum(self.laps.values())
+
+    def lap(self, name: str) -> float:
+        """Elapsed seconds recorded for ``name`` (0.0 when absent)."""
+        return self.laps.get(name, 0.0)
+
+
+def chunked(items: Iterable, size: int) -> Iterable[list]:
+    """Yield successive lists of at most ``size`` items."""
+    batch: list = []
+    for item in items:
+        batch.append(item)
+        if len(batch) == size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

@@ -1,0 +1,62 @@
+"""Unit tests for the common method interface."""
+
+import pytest
+
+from repro.baselines.base import (
+    MethodResult,
+    SchemaDiscoveryMethod,
+    UnsupportedGraphError,
+)
+from repro.graph.model import Node, PropertyGraph
+
+
+class _Dummy(SchemaDiscoveryMethod):
+    name = "dummy"
+    requires_full_labels = True
+
+    def _run(self, graph):
+        return MethodResult(
+            method=self.name,
+            node_assignment={n.node_id: "c0" for n in graph.nodes()},
+            edge_assignment={},
+            seconds=0.0,
+        )
+
+
+class TestSchemaDiscoveryMethod:
+    def test_run_times_execution(self):
+        graph = PropertyGraph()
+        graph.add_node(Node("a", {"T"}))
+        result = _Dummy().run(graph)
+        assert result.seconds >= 0.0
+        assert result.node_assignment == {"a": "c0"}
+
+    def test_precondition_enforced(self):
+        graph = PropertyGraph()
+        graph.add_node(Node("a"))
+        with pytest.raises(UnsupportedGraphError):
+            _Dummy().run(graph)
+
+    def test_base_run_not_implemented(self):
+        graph = PropertyGraph()
+        method = SchemaDiscoveryMethod()
+        with pytest.raises(NotImplementedError):
+            method.run(graph)
+
+
+class TestMethodResult:
+    def test_cluster_counts(self):
+        result = MethodResult(
+            method="m",
+            node_assignment={"a": "x", "b": "x", "c": "y"},
+            edge_assignment={"e": "z"},
+            seconds=1.0,
+        )
+        assert result.node_cluster_count == 2
+        assert result.edge_cluster_count == 1
+
+    def test_edge_cluster_count_when_unsupported(self):
+        result = MethodResult(
+            method="m", node_assignment={}, edge_assignment=None, seconds=0.0
+        )
+        assert result.edge_cluster_count == 0

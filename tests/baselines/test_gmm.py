@@ -1,0 +1,99 @@
+"""Unit tests for the from-scratch Gaussian mixture (EM + BIC)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gmm import GaussianMixture, select_components_by_bic
+from repro.errors import ClusteringError
+
+
+def two_blobs(seed=0, per_blob=100):
+    rng = np.random.default_rng(seed)
+    left = rng.normal(0.0, 0.3, (per_blob, 3))
+    right = rng.normal(5.0, 0.3, (per_blob, 3))
+    return np.vstack([left, right])
+
+
+class TestFitting:
+    def test_two_components_separate_blobs(self):
+        data = two_blobs()
+        model = GaussianMixture(2, seed=1).fit(data)
+        labels = model.predict(data)
+        first_half = set(labels[:100])
+        second_half = set(labels[100:])
+        assert len(first_half) == 1
+        assert len(second_half) == 1
+        assert first_half != second_half
+
+    def test_convergence_reported(self):
+        model = GaussianMixture(2, seed=1, max_iterations=200).fit(two_blobs())
+        assert model.converged
+        assert model.iterations_run <= 200
+
+    def test_log_likelihood_improves_with_right_k(self):
+        data = two_blobs()
+        one = GaussianMixture(1, seed=1).fit(data)
+        two = GaussianMixture(2, seed=1).fit(data)
+        assert two.log_likelihood > one.log_likelihood
+
+    def test_weights_sum_to_one(self):
+        model = GaussianMixture(3, seed=2).fit(two_blobs())
+        assert np.isclose(model.weights.sum(), 1.0)
+
+    def test_variance_floor_respected(self):
+        # Constant data would otherwise produce zero variance.
+        data = np.ones((50, 4))
+        model = GaussianMixture(1, seed=0, variance_floor=1e-3).fit(data)
+        assert np.all(model.variances >= 1e-3 - 1e-12)
+
+    def test_binary_data(self):
+        rng = np.random.default_rng(3)
+        patterns = np.array([[1, 1, 0, 0], [0, 0, 1, 1]], dtype=float)
+        data = patterns[rng.integers(0, 2, 200)]
+        model = GaussianMixture(2, seed=1).fit(data)
+        labels = model.predict(patterns)
+        assert labels[0] != labels[1]
+
+    def test_deterministic_under_seed(self):
+        data = two_blobs()
+        first = GaussianMixture(2, seed=9).fit(data).predict(data)
+        second = GaussianMixture(2, seed=9).fit(data).predict(data)
+        assert np.array_equal(first, second)
+
+
+class TestValidation:
+    def test_invalid_components(self):
+        with pytest.raises(ClusteringError):
+            GaussianMixture(0)
+
+    def test_more_components_than_points(self):
+        with pytest.raises(ClusteringError):
+            GaussianMixture(10).fit(np.zeros((3, 2)))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ClusteringError):
+            GaussianMixture(2).predict(np.zeros((3, 2)))
+
+    def test_empty_data(self):
+        with pytest.raises(ClusteringError):
+            GaussianMixture(1).fit(np.zeros((0, 2)))
+
+
+class TestBICSelection:
+    def test_bic_prefers_true_component_count(self):
+        data = two_blobs(per_blob=200)
+        model = select_components_by_bic(data, [1, 2, 3, 4], seed=1)
+        assert model.n_components == 2
+
+    def test_infeasible_candidates_skipped(self):
+        data = two_blobs(per_blob=5)
+        model = select_components_by_bic(data, [2, 1000], seed=1)
+        assert model.n_components == 2
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ClusteringError):
+            select_components_by_bic(two_blobs(), [])
+
+    def test_all_infeasible_rejected(self):
+        with pytest.raises(ClusteringError):
+            select_components_by_bic(np.zeros((2, 2)), [5, 6])

@@ -1,0 +1,63 @@
+"""Unit tests for the GMMSchema baseline."""
+
+import pytest
+
+from repro.baselines.base import UnsupportedGraphError
+from repro.baselines.gmm_schema import GMMSchema
+from repro.datasets import apply_noise, load_dataset
+from repro.eval.clustering_metrics import majority_f1
+
+
+@pytest.fixture(scope="module")
+def pole():
+    return load_dataset("POLE", nodes=600, seed=5)
+
+
+class TestPreconditions:
+    def test_rejects_unlabeled_nodes(self, pole):
+        stripped = apply_noise(pole, label_availability=0.5, seed=1)
+        with pytest.raises(UnsupportedGraphError):
+            GMMSchema(seed=0).run(stripped.graph)
+
+    def test_accepts_fully_labeled(self, pole):
+        result = GMMSchema(seed=0).run(pole.graph)
+        assert len(result.node_assignment) == pole.graph.node_count
+
+
+class TestBehaviour:
+    def test_no_edge_types(self, pole):
+        result = GMMSchema(seed=0).run(pole.graph)
+        assert result.edge_assignment is None
+        assert result.edge_cluster_count == 0
+
+    def test_clean_data_high_f1(self, pole):
+        result = GMMSchema(seed=0).run(pole.graph)
+        score = majority_f1(result.node_assignment, pole.node_truth)
+        assert score.macro_f1 >= 0.9
+
+    def test_noise_degrades_f1(self, pole):
+        # Average over noise realisations: a single draw can get lucky.
+        clean = GMMSchema(seed=1).run(pole.graph)
+        clean_f1 = majority_f1(clean.node_assignment, pole.node_truth).macro_f1
+        noisy_scores = []
+        for noise_seed in (2, 3, 4):
+            noisy_dataset = apply_noise(pole, property_noise=0.4, seed=noise_seed)
+            noisy = GMMSchema(seed=1).run(noisy_dataset.graph)
+            noisy_scores.append(
+                majority_f1(noisy.node_assignment, pole.node_truth).macro_f1
+            )
+        mean_noisy = sum(noisy_scores) / len(noisy_scores)
+        assert mean_noisy < clean_f1 - 0.05, (clean_f1, noisy_scores)
+
+    def test_sampling_mode(self, pole):
+        sampled = GMMSchema(seed=0, sample_size=100).run(pole.graph)
+        assert len(sampled.node_assignment) == pole.graph.node_count
+
+    def test_extras_reported(self, pole):
+        result = GMMSchema(seed=0).run(pole.graph)
+        assert result.extras["components"] >= 1
+        assert "bic" in result.extras
+
+    def test_timing_recorded(self, pole):
+        result = GMMSchema(seed=0).run(pole.graph)
+        assert result.seconds > 0.0

@@ -1,0 +1,65 @@
+"""Unit tests for the SchemI baseline."""
+
+import pytest
+
+from repro.baselines.base import UnsupportedGraphError
+from repro.baselines.schemi import SchemI
+from repro.datasets import apply_noise, load_dataset
+from repro.eval.clustering_metrics import majority_f1
+from repro.graph.model import Edge, Node, PropertyGraph
+
+
+@pytest.fixture(scope="module")
+def pole():
+    return load_dataset("POLE", nodes=600, seed=5)
+
+
+@pytest.fixture(scope="module")
+def mb6():
+    return load_dataset("MB6", nodes=800, seed=5)
+
+
+class TestPreconditions:
+    def test_rejects_unlabeled_nodes(self, pole):
+        stripped = apply_noise(pole, label_availability=0.0, seed=1)
+        with pytest.raises(UnsupportedGraphError):
+            SchemI().run(stripped.graph)
+
+    def test_rejects_unlabeled_edges(self):
+        graph = PropertyGraph()
+        graph.add_node(Node("a", {"A"}))
+        graph.add_node(Node("b", {"B"}))
+        graph.add_edge(Edge("e", "a", "b"))  # no edge label
+        with pytest.raises(UnsupportedGraphError):
+            SchemI().run(graph)
+
+
+class TestBehaviour:
+    def test_single_label_dataset_perfect(self, pole):
+        result = SchemI().run(pole.graph)
+        score = majority_f1(result.node_assignment, pole.node_truth)
+        assert score.macro_f1 >= 0.99
+
+    def test_multilabel_dataset_collapses(self, mb6):
+        # MB6 types share the Segment/mb6 labels; shared-label unification
+        # collapses them (Table 1: SchemI has no multi-label support).
+        result = SchemI().run(mb6.graph)
+        score = majority_f1(result.node_assignment, mb6.node_truth)
+        assert score.macro_f1 < 0.6
+        assert result.node_cluster_count < len(mb6.spec.node_types)
+
+    def test_edge_types_by_label_only(self, mb6):
+        # MB6 has 5 ground-truth edge types over 3 labels; SchemI finds 3.
+        result = SchemI().run(mb6.graph)
+        assert result.edge_cluster_count == 3
+
+    def test_property_noise_does_not_change_assignment(self, pole):
+        clean = SchemI().run(pole.graph)
+        noisy_dataset = apply_noise(pole, property_noise=0.4, seed=3)
+        noisy = SchemI().run(noisy_dataset.graph)
+        assert clean.node_assignment == noisy.node_assignment
+
+    def test_every_element_assigned(self, pole):
+        result = SchemI().run(pole.graph)
+        assert set(result.node_assignment) == set(pole.graph.node_ids())
+        assert set(result.edge_assignment) == set(pole.graph.edge_ids())

@@ -1,0 +1,107 @@
+"""Unit tests for adaptive LSH parameterization (section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import (
+    MAX_TABLES,
+    adapt_parameters,
+    alpha_for_label_count,
+    estimate_distance_scale,
+)
+from repro.core.config import AdaptiveOverrides
+
+
+class TestAlphaHeuristic:
+    @pytest.mark.parametrize(
+        "label_count,expected",
+        [(0, 0.8), (1, 0.8), (3, 0.8), (4, 1.0), (10, 1.0), (11, 1.5), (100, 1.5)],
+    )
+    def test_paper_brackets(self, label_count, expected):
+        assert alpha_for_label_count(label_count) == expected
+
+
+class TestDistanceScale:
+    def test_known_configuration(self):
+        rng = np.random.default_rng(0)
+        # Two points at distance 2: mean pairwise distance must be 2.
+        vectors = np.array([[0.0, 0.0], [2.0, 0.0]])
+        assert estimate_distance_scale(vectors, rng) == pytest.approx(2.0)
+
+    def test_single_point_is_zero(self):
+        rng = np.random.default_rng(0)
+        assert estimate_distance_scale(np.ones((1, 3)), rng) == 0.0
+
+    def test_identical_points_zero(self):
+        rng = np.random.default_rng(0)
+        assert estimate_distance_scale(np.ones((50, 3)), rng) == 0.0
+
+    def test_scale_grows_with_spread(self):
+        rng = np.random.default_rng(0)
+        tight = rng.normal(0, 0.1, (500, 4))
+        wide = rng.normal(0, 10.0, (500, 4))
+        assert estimate_distance_scale(
+            wide, np.random.default_rng(1)
+        ) > estimate_distance_scale(tight, np.random.default_rng(1))
+
+
+class TestAdaptParameters:
+    def make_vectors(self, count=300, seed=0):
+        return np.random.default_rng(seed).normal(0, 1.0, (count, 6))
+
+    def test_bucket_length_is_1_2_mu_alpha(self):
+        vectors = self.make_vectors()
+        params = adapt_parameters(vectors, label_count=5, kind="nodes", seed=1)
+        assert params.alpha == 1.0
+        assert params.bucket_length == pytest.approx(1.2 * params.mu, rel=1e-9)
+        assert params.b_base == pytest.approx(1.2 * params.mu, rel=1e-9)
+
+    def test_alpha_scales_bucket(self):
+        vectors = self.make_vectors()
+        few = adapt_parameters(vectors, label_count=2, kind="nodes", seed=1)
+        many = adapt_parameters(vectors, label_count=20, kind="nodes", seed=1)
+        assert few.alpha == 0.8 and many.alpha == 1.5
+        assert many.bucket_length > few.bucket_length
+
+    def test_tables_clamped(self):
+        vectors = self.make_vectors()
+        params = adapt_parameters(vectors, label_count=5, kind="nodes", seed=1)
+        assert 1 <= params.num_tables <= MAX_TABLES
+
+    def test_edges_use_lower_floor(self):
+        vectors = self.make_vectors()
+        nodes = adapt_parameters(vectors, label_count=5, kind="nodes", seed=1)
+        edges = adapt_parameters(vectors, label_count=5, kind="edges", seed=1)
+        assert edges.num_tables <= nodes.num_tables
+
+    def test_overrides_win(self):
+        vectors = self.make_vectors()
+        overrides = AdaptiveOverrides(bucket_length=9.0, num_tables=7, alpha=2.0)
+        params = adapt_parameters(
+            vectors, label_count=5, kind="nodes", overrides=overrides, seed=1
+        )
+        assert params.bucket_length == 9.0
+        assert params.num_tables == 7
+        assert params.alpha == 2.0
+
+    def test_alpha_override_feeds_heuristic_bucket(self):
+        vectors = self.make_vectors()
+        overrides = AdaptiveOverrides(alpha=2.0)
+        params = adapt_parameters(
+            vectors, label_count=5, kind="nodes", overrides=overrides, seed=1
+        )
+        assert params.bucket_length == pytest.approx(params.b_base * 2.0)
+
+    def test_degenerate_vectors_yield_usable_bucket(self):
+        vectors = np.zeros((100, 4))
+        params = adapt_parameters(vectors, label_count=1, kind="nodes", seed=1)
+        assert params.bucket_length > 0
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            adapt_parameters(self.make_vectors(), 3, kind="hyperedges")
+
+    def test_describe_mentions_parameters(self):
+        params = adapt_parameters(self.make_vectors(), 3, kind="nodes")
+        text = params.describe()
+        assert "b=" in text and "T=" in text

@@ -1,0 +1,77 @@
+"""Unit tests for cardinality inference (section 4.4, Example 8)."""
+
+from repro.core.cardinality_inference import bounds_for_edge_type, compute_cardinalities
+from repro.core.config import PGHiveConfig
+from repro.core.pipeline import PGHive
+from repro.graph.model import Edge, Node, PropertyGraph
+from repro.schema.cardinality import Cardinality
+from repro.schema.model import EdgeType
+
+
+def star_graph(fan: int) -> PropertyGraph:
+    """One hub with ``fan`` spokes: WORKS_AT(spoke -> hub)."""
+    graph = PropertyGraph()
+    graph.add_node(Node("hub", {"Org"}))
+    for i in range(fan):
+        graph.add_node(Node(f"p{i}", {"Person"}))
+        graph.add_edge(Edge(f"e{i}", f"p{i}", "hub", {"WORKS_AT"}))
+    return graph
+
+
+class TestBoundsForEdgeType:
+    def test_star_is_many_to_one(self):
+        graph = star_graph(5)
+        edge_type = EdgeType("e0", {"WORKS_AT"})
+        for i in range(5):
+            edge_type.record_instance(f"e{i}", ())
+        bounds = bounds_for_edge_type(graph, edge_type)
+        assert bounds.max_out == 1
+        assert bounds.max_in == 5
+        assert bounds.classify() is Cardinality.MANY_TO_ONE
+
+    def test_distinct_endpoint_counting(self):
+        # Parallel edges to the same target count once (distinct targets).
+        graph = PropertyGraph()
+        graph.add_node(Node("a"))
+        graph.add_node(Node("b"))
+        graph.add_edge(Edge("e1", "a", "b", {"R"}))
+        graph.add_edge(Edge("e2", "a", "b", {"R"}))
+        edge_type = EdgeType("e0", {"R"})
+        edge_type.record_instance("e1", ())
+        edge_type.record_instance("e2", ())
+        bounds = bounds_for_edge_type(graph, edge_type)
+        assert bounds.max_out == 1
+        assert bounds.max_in == 1
+
+    def test_empty_type(self):
+        graph = star_graph(1)
+        edge_type = EdgeType("e0", {"GHOST"})
+        bounds = bounds_for_edge_type(graph, edge_type)
+        assert bounds.max_out == 0 and bounds.max_in == 0
+
+
+class TestPipelineCardinalities:
+    def test_figure1_example8(self, figure1_graph):
+        result = PGHive(PGHiveConfig(seed=0)).discover(figure1_graph)
+        schema = result.schema
+        likes = schema.edge_type_by_token("LIKES")
+        assert likes.cardinality is Cardinality.ONE_TO_ONE  # 1 like each here
+        knows = schema.edge_type_by_token("KNOWS")
+        # john is known by both alice and bob -> N:1 upper bound.
+        assert knows.cardinality is Cardinality.MANY_TO_ONE
+
+    def test_compute_cardinalities_covers_all_types(self, figure1_graph):
+        result = PGHive(PGHiveConfig(seed=0, post_processing=False)).discover(
+            figure1_graph
+        )
+        compute_cardinalities(result.schema, figure1_graph)
+        for edge_type in result.schema.edge_types():
+            assert edge_type.cardinality is not None
+            assert edge_type.cardinality_bounds is not None
+
+    def test_upper_bound_guarantee(self, figure1_graph):
+        # Section 4.7: recorded maxima are true upper bounds over instances.
+        result = PGHive(PGHiveConfig(seed=0)).discover(figure1_graph)
+        for edge_type in result.schema.edge_types():
+            recomputed = bounds_for_edge_type(figure1_graph, edge_type)
+            assert edge_type.cardinality_bounds == recomputed

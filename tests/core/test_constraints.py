@@ -1,0 +1,74 @@
+"""Unit tests for mandatory/optional property inference (section 4.4)."""
+
+from repro.core.constraints import (
+    infer_property_constraints,
+    infer_type_constraints,
+    property_frequency,
+)
+from repro.schema.model import NodeType, SchemaGraph
+
+
+def typed(instances):
+    """NodeType with given {instance_id: keys} recorded."""
+    node_type = NodeType("n0", {"T"})
+    for instance_id, keys in instances.items():
+        node_type.record_instance(instance_id, keys)
+    return node_type
+
+
+class TestPropertyFrequency:
+    def test_full_presence(self):
+        node_type = typed({"a": {"x"}, "b": {"x"}})
+        assert property_frequency(node_type, "x") == 1.0
+
+    def test_partial_presence(self):
+        node_type = typed({"a": {"x"}, "b": set(), "c": {"x"}, "d": set()})
+        assert property_frequency(node_type, "x") == 0.5
+
+    def test_empty_type(self):
+        assert property_frequency(NodeType("n0"), "x") == 0.0
+
+
+class TestInferTypeConstraints:
+    def test_example6_semantics(self):
+        # Every Person has name/gender/bday; only some Posts have imgFile.
+        person = typed({"bob": {"name", "bday"}, "john": {"name", "bday"}})
+        infer_type_constraints(person)
+        assert person.properties["name"].mandatory is True
+        assert person.properties["bday"].mandatory is True
+
+        post = typed({"p1": {"imgFile"}, "p2": {"content"}})
+        infer_type_constraints(post)
+        assert post.properties["imgFile"].mandatory is False
+        assert post.properties["content"].mandatory is False
+
+    def test_soundness_guarantee(self):
+        # Section 4.7: mandatory => present in every instance.
+        node_type = typed(
+            {"a": {"x", "y"}, "b": {"x"}, "c": {"x", "y", "z"}}
+        )
+        infer_type_constraints(node_type)
+        for key in node_type.mandatory_keys():
+            for _instance in node_type.instance_ids:
+                assert node_type.property_counts[key] == node_type.instance_count
+
+    def test_mandatory_and_optional_partition_keys(self):
+        node_type = typed({"a": {"x", "y"}, "b": {"x"}})
+        infer_type_constraints(node_type)
+        assert node_type.mandatory_keys() == frozenset({"x"})
+        assert node_type.optional_keys() == frozenset({"y"})
+
+
+class TestSchemaLevel:
+    def test_all_types_processed(self):
+        schema = SchemaGraph()
+        left = typed({"a": {"x"}})
+        right = NodeType("n1", {"U"})
+        right.record_instance("b", {"y"})
+        right.record_instance("c", set())
+        schema.add_node_type(left)
+        right.type_id = "n1"
+        schema.add_node_type(right)
+        infer_property_constraints(schema)
+        assert left.properties["x"].mandatory is True
+        assert right.properties["y"].mandatory is False

@@ -1,0 +1,117 @@
+"""Unit tests for key-constraint inference (PG-Keys extension)."""
+
+import pytest
+
+from repro.core.config import PGHiveConfig
+from repro.core.key_inference import (
+    candidate_keys_for_type,
+    infer_keys,
+    to_pg_keys,
+)
+from repro.core.pipeline import PGHive
+from repro.graph.model import Node, PropertyGraph
+from repro.schema.model import NodeType, SchemaGraph
+
+
+def graph_of(rows):
+    """rows: {node_id: properties}; single 'T'-labelled type."""
+    graph = PropertyGraph()
+    node_type = NodeType("n0", {"T"})
+    for node_id, properties in rows.items():
+        graph.add_node(Node(node_id, {"T"}, properties))
+        node_type.record_instance(node_id, properties.keys())
+    schema = SchemaGraph()
+    schema.add_node_type(node_type)
+    from repro.core.constraints import infer_property_constraints
+
+    infer_property_constraints(schema)
+    return graph, schema, node_type
+
+
+class TestSingletonKeys:
+    def test_unique_mandatory_property_is_key(self):
+        graph, _, node_type = graph_of(
+            {"a": {"id": 1, "city": "x"}, "b": {"id": 2, "city": "x"}}
+        )
+        keys = candidate_keys_for_type(graph, node_type, is_edge=False)
+        assert ("id",) in keys
+        assert ("city",) not in keys
+
+    def test_optional_property_never_a_key(self):
+        graph, _, node_type = graph_of(
+            {"a": {"id": 1, "rare": 9}, "b": {"id": 2}}
+        )
+        keys = candidate_keys_for_type(graph, node_type, is_edge=False)
+        assert ("rare",) not in keys
+
+    def test_duplicated_values_not_a_key(self):
+        graph, _, node_type = graph_of({"a": {"v": 1}, "b": {"v": 1}})
+        assert candidate_keys_for_type(graph, node_type, is_edge=False) == []
+
+    def test_single_instance_type_claims_nothing(self):
+        graph, _, node_type = graph_of({"a": {"id": 1}})
+        assert candidate_keys_for_type(graph, node_type, is_edge=False) == []
+
+
+class TestCompositeKeys:
+    def test_pair_key_found_when_no_singleton(self):
+        graph, _, node_type = graph_of(
+            {
+                "a": {"row": 1, "col": 1},
+                "b": {"row": 1, "col": 2},
+                "c": {"row": 2, "col": 1},
+            }
+        )
+        keys = candidate_keys_for_type(graph, node_type, is_edge=False)
+        assert ("col", "row") in keys or ("row", "col") in keys
+        assert all(len(k) == 2 for k in keys)
+
+    def test_no_composite_when_duplicate_pairs(self):
+        graph, _, node_type = graph_of(
+            {"a": {"row": 1, "col": 1}, "b": {"row": 1, "col": 1}}
+        )
+        assert candidate_keys_for_type(graph, node_type, is_edge=False) == []
+
+
+class TestInferKeysOverSchema:
+    def test_unique_flag_set(self):
+        graph, schema, node_type = graph_of(
+            {"a": {"id": 1, "v": 5}, "b": {"id": 2, "v": 5}}
+        )
+        infer_keys(schema, graph)
+        assert node_type.properties["id"].unique is True
+        assert node_type.candidate_keys == [("id",)]
+
+    def test_pipeline_flag(self, figure1_graph):
+        config = PGHiveConfig(seed=0, infer_keys=True)
+        result = PGHive(config).discover(figure1_graph)
+        person = result.schema.node_type_by_token("Person")
+        # name is unique across bob/alice/john.
+        assert ("name",) in person.candidate_keys
+
+    def test_pipeline_flag_off_by_default(self, figure1_graph):
+        result = PGHive(PGHiveConfig(seed=0)).discover(figure1_graph)
+        person = result.schema.node_type_by_token("Person")
+        assert person.candidate_keys == []
+
+
+class TestPGKeysSerialisation:
+    def test_statements_rendered(self, figure1_graph):
+        config = PGHiveConfig(seed=0, infer_keys=True)
+        result = PGHive(config).discover(figure1_graph)
+        text = to_pg_keys(result.schema)
+        assert "FOR (x:Person) EXCLUSIVE MANDATORY SINGLETON x.name" in text
+
+    def test_empty_schema(self):
+        assert to_pg_keys(SchemaGraph()) == ""
+
+    def test_merge_resets_uniqueness(self):
+        graph, schema, node_type = graph_of(
+            {"a": {"id": 1}, "b": {"id": 2}}
+        )
+        infer_keys(schema, graph)
+        other = NodeType("n1", {"T"})
+        other.record_instance("c", {"id"})
+        node_type.absorb(other)
+        assert node_type.candidate_keys == []
+        assert node_type.properties["id"].unique is None

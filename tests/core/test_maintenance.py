@@ -1,0 +1,114 @@
+"""Unit tests for schema maintenance under deletions (extension)."""
+
+import pytest
+
+from repro.core.config import PGHiveConfig
+from repro.core.maintenance import MaintainedSchema
+from repro.graph.batching import split_into_batches
+from repro.graph.model import Edge, Node, PropertyGraph
+
+
+def build_maintained(graph, batches=2, seed=0, **kwargs) -> MaintainedSchema:
+    maintained = MaintainedSchema(PGHiveConfig(seed=seed), **kwargs)
+    for batch in split_into_batches(graph, batches, seed=seed):
+        maintained.insert_batch(batch)
+    maintained.refresh()
+    return maintained
+
+
+class TestDeletionBasics:
+    def test_delete_node_removes_instance(self, figure1_graph):
+        maintained = build_maintained(figure1_graph)
+        person = maintained.schema.node_type_by_token("Person")
+        before = person.instance_count
+        assert maintained.delete_nodes(["john"]) == 1
+        assert person.instance_count == before - 1
+        assert "john" not in person.instance_ids
+        assert not maintained.graph.has_node("john")
+
+    def test_delete_node_cascades_to_edges(self, figure1_graph):
+        maintained = build_maintained(figure1_graph)
+        knows = maintained.schema.edge_type_by_token("KNOWS")
+        maintained.delete_nodes(["john"])  # both KNOWS edges end at john
+        assert knows.instance_count == 0 or not any(
+            t.token == "KNOWS" for t in maintained.schema.edge_types()
+        )
+
+    def test_type_dropped_when_empty(self, figure1_graph):
+        maintained = build_maintained(figure1_graph)
+        maintained.delete_nodes(["place"])
+        assert maintained.schema.node_type_by_token("Place") is None
+
+    def test_delete_unknown_ids_is_noop(self, figure1_graph):
+        maintained = build_maintained(figure1_graph)
+        assert maintained.delete_nodes(["ghost"]) == 0
+        assert maintained.delete_edges(["ghost"]) == 0
+
+    def test_delete_edges_only(self, figure1_graph):
+        maintained = build_maintained(figure1_graph)
+        assert maintained.delete_edges(["e3", "e4"]) == 2
+        assert maintained.schema.edge_type_by_token("LIKES") is None
+        # Endpoint nodes survive.
+        assert maintained.graph.has_node("post1")
+
+
+class TestConstraintRecomputation:
+    def test_property_can_become_mandatory_after_deletion(self):
+        # Three instances; one lacks "x".  After deleting it, x is mandatory.
+        graph = PropertyGraph()
+        graph.add_node(Node("a", {"T"}, {"x": 1, "y": 1}))
+        graph.add_node(Node("b", {"T"}, {"x": 2, "y": 2}))
+        graph.add_node(Node("c", {"T"}, {"y": 3}))
+        maintained = build_maintained(graph, batches=1)
+        node_type = maintained.schema.node_type_by_token("T")
+        assert node_type.properties["x"].mandatory is False
+        maintained.delete_nodes(["c"])
+        maintained.refresh()
+        assert node_type.properties["x"].mandatory is True
+
+    def test_cardinality_tightens_after_deletion(self):
+        graph = PropertyGraph()
+        graph.add_node(Node("hub", {"H"}, {"k": 1}))
+        for i in range(3):
+            graph.add_node(Node(f"s{i}", {"S"}, {"k": i}))
+            graph.add_edge(Edge(f"e{i}", f"s{i}", "hub", {"R"}))
+        maintained = build_maintained(graph, batches=1)
+        edge_type = maintained.schema.edge_type_by_token("R")
+        assert str(edge_type.cardinality) == "N:1"
+        maintained.delete_edges(["e1", "e2"])
+        maintained.refresh()
+        assert str(edge_type.cardinality) == "0:1"
+
+    def test_property_disappears_with_last_holder(self):
+        graph = PropertyGraph()
+        graph.add_node(Node("a", {"T"}, {"x": 1}))
+        graph.add_node(Node("b", {"T"}, {"x": 2, "extra": 9}))
+        maintained = build_maintained(graph, batches=1)
+        node_type = maintained.schema.node_type_by_token("T")
+        maintained.delete_nodes(["b"])
+        assert node_type.property_counts.get("extra", 0) == 0
+
+    def test_keys_recomputed_when_enabled(self):
+        graph = PropertyGraph()
+        graph.add_node(Node("a", {"T"}, {"v": 1}))
+        graph.add_node(Node("b", {"T"}, {"v": 1}))
+        graph.add_node(Node("c", {"T"}, {"v": 2}))
+        maintained = build_maintained(
+            graph, batches=1, infer_key_constraints=True
+        )
+        node_type = maintained.schema.node_type_by_token("T")
+        assert node_type.candidate_keys == []  # duplicate value 1
+        maintained.delete_nodes(["b"])
+        maintained.refresh()
+        assert node_type.candidate_keys == [("v",)]
+
+
+class TestInsertAfterDelete:
+    def test_reinsertion_recreates_type(self, figure1_graph):
+        maintained = build_maintained(figure1_graph)
+        maintained.delete_nodes(["place"])
+        assert maintained.schema.node_type_by_token("Place") is None
+        addition = PropertyGraph("more")
+        addition.add_node(Node("place2", {"Place"}, {"name": "Crete"}))
+        maintained.insert_batch(addition)
+        assert maintained.schema.node_type_by_token("Place") is not None

@@ -1,0 +1,102 @@
+"""Unit tests for the end-to-end pipeline (Algorithm 1) on Figure 1."""
+
+import pytest
+
+from repro.core.config import ClusteringMethod, PGHiveConfig
+from repro.core.pipeline import CAPABILITIES, DiscoveryResult, PGHive
+from repro.graph.store import GraphStore
+from repro.schema.cardinality import Cardinality
+
+
+@pytest.mark.parametrize("method", list(ClusteringMethod))
+class TestFigure1Discovery:
+    def discover(self, graph, method) -> DiscoveryResult:
+        return PGHive(PGHiveConfig(method=method, seed=0)).discover(graph)
+
+    def test_node_types_match_example(self, figure1_graph, method):
+        schema = self.discover(figure1_graph, method).schema
+        tokens = {t.token for t in schema.node_types()}
+        assert tokens == {"Person", "Post", "Org.", "Place"}
+
+    def test_unlabeled_alice_joins_person(self, figure1_graph, method):
+        schema = self.discover(figure1_graph, method).schema
+        person = schema.node_type_by_token("Person")
+        assert "alice" in person.instance_ids  # Example 5
+
+    def test_posts_merged_despite_structure(self, figure1_graph, method):
+        schema = self.discover(figure1_graph, method).schema
+        post = schema.node_type_by_token("Post")
+        assert post.instance_ids == {"post1", "post2"}
+
+    def test_edge_types_match_example(self, figure1_graph, method):
+        schema = self.discover(figure1_graph, method).schema
+        tokens = {t.token for t in schema.edge_types()}
+        assert tokens == {"KNOWS", "LIKES", "WORKS_AT", "LOCATED_IN"}
+
+    def test_constraints_match_example6(self, figure1_graph, method):
+        schema = self.discover(figure1_graph, method).schema
+        person = schema.node_type_by_token("Person")
+        assert person.mandatory_keys() == {"name", "gender", "bday"}
+        post = schema.node_type_by_token("Post")
+        assert post.mandatory_keys() == frozenset()
+        assert post.optional_keys() == {"imgFile", "content"}
+
+    def test_cardinality_example8(self, figure1_graph, method):
+        schema = self.discover(figure1_graph, method).schema
+        works_at = schema.edge_type_by_token("WORKS_AT")
+        # Only one person works here, so the sound upper bound is 0:1.
+        assert works_at.cardinality in (
+            Cardinality.ONE_TO_ONE,
+            Cardinality.MANY_TO_ONE,
+        )
+
+    def test_assignments_cover_every_element(self, figure1_graph, method):
+        result = self.discover(figure1_graph, method)
+        assert set(result.node_assignments()) == set(figure1_graph.node_ids())
+        assert set(result.edge_assignments()) == set(figure1_graph.edge_ids())
+
+    def test_timer_stages_recorded(self, figure1_graph, method):
+        result = self.discover(figure1_graph, method)
+        for stage in ("preprocess", "clustering", "extraction", "postprocess"):
+            assert result.timer.lap(stage) >= 0.0
+        assert result.type_discovery_seconds <= result.elapsed_seconds
+
+
+class TestPipelineOptions:
+    def test_post_processing_disabled(self, figure1_graph):
+        result = PGHive(PGHiveConfig(post_processing=False, seed=0)).discover(
+            figure1_graph
+        )
+        person = result.schema.node_type_by_token("Person")
+        assert person.properties["name"].data_type is None
+        assert person.properties["name"].mandatory is None
+
+    def test_accepts_graph_store(self, figure1_graph):
+        store = GraphStore(figure1_graph)
+        result = PGHive(PGHiveConfig(seed=0)).discover(store)
+        assert result.schema.node_type_count == 4
+
+    def test_schema_name(self, figure1_graph):
+        result = PGHive(PGHiveConfig(seed=0)).discover(
+            figure1_graph, schema_name="custom"
+        )
+        assert result.schema.name == "custom"
+
+    def test_deterministic_under_seed(self, figure1_graph):
+        first = PGHive(PGHiveConfig(seed=11)).discover(figure1_graph)
+        second = PGHive(PGHiveConfig(seed=11)).discover(figure1_graph)
+        assert first.node_assignments() == second.node_assignments()
+        assert first.edge_assignments() == second.edge_assignments()
+
+    def test_serialization_helpers(self, figure1_graph):
+        result = PGHive(PGHiveConfig(seed=0)).discover(figure1_graph)
+        assert "CREATE GRAPH TYPE" in result.to_pg_schema()
+        assert result.to_xsd().startswith("<?xml")
+
+
+class TestCapabilities:
+    def test_table1_row(self):
+        assert CAPABILITIES["label_independent"] is True
+        assert CAPABILITIES["constraints"] is True
+        assert CAPABILITIES["incremental"] is True
+        assert "constraints" in CAPABILITIES["schema_elements"]

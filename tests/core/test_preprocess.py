@@ -1,0 +1,113 @@
+"""Unit tests for representation vectors (section 4.1, Example 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PGHiveConfig
+from repro.core.preprocess import Preprocessor
+
+
+@pytest.fixture
+def preprocessor(figure1_graph) -> Preprocessor:
+    return Preprocessor(PGHiveConfig(embedding_dim=8, seed=1)).fit(figure1_graph)
+
+
+class TestNodeFeatures:
+    def test_vector_dimension_is_d_plus_K(self, preprocessor, figure1_graph):
+        features = preprocessor.node_features(figure1_graph)
+        distinct_keys = len(figure1_graph.all_node_property_keys())
+        assert features.vectors.shape == (7, 8 + distinct_keys)
+
+    def test_binary_block_flags_present_properties(
+        self, preprocessor, figure1_graph
+    ):
+        features = preprocessor.node_features(figure1_graph)
+        keys = features.property_keys
+        row = [r.element_id for r in features.records].index("bob")
+        binary = features.vectors[row, 8:]
+        for position, key in enumerate(keys):
+            expected = 1.0 if key in {"name", "gender", "bday"} else 0.0
+            assert binary[position] == expected
+
+    def test_unlabeled_node_has_zero_embedding(self, preprocessor, figure1_graph):
+        features = preprocessor.node_features(figure1_graph)
+        row = [r.element_id for r in features.records].index("alice")
+        assert np.allclose(features.vectors[row, :8], 0.0)
+
+    def test_same_token_same_embedding(self, preprocessor, figure1_graph):
+        features = preprocessor.node_features(figure1_graph)
+        ids = [r.element_id for r in features.records]
+        bob, john = ids.index("bob"), ids.index("john")
+        assert np.allclose(
+            features.vectors[bob, :8], features.vectors[john, :8]
+        )
+
+    def test_embedding_scaled_to_label_weight(self, figure1_graph):
+        config = PGHiveConfig(embedding_dim=8, label_weight=3.0, seed=1)
+        features = Preprocessor(config).fit(figure1_graph).node_features(
+            figure1_graph
+        )
+        row = [r.element_id for r in features.records].index("bob")
+        assert np.linalg.norm(features.vectors[row, :8]) == pytest.approx(3.0)
+
+    def test_distinct_tokens_separated(self, preprocessor, figure1_graph):
+        features = preprocessor.node_features(figure1_graph)
+        ids = [r.element_id for r in features.records]
+        post = features.vectors[ids.index("post1"), :8]
+        org = features.vectors[ids.index("org"), :8]
+        assert np.linalg.norm(post - org) > 0.5
+
+    def test_token_sets_include_label_and_keys(self, preprocessor, figure1_graph):
+        features = preprocessor.node_features(figure1_graph)
+        ids = [r.element_id for r in features.records]
+        bob_tokens = features.token_sets[ids.index("bob")]
+        assert "label:Person" in bob_tokens
+        assert {"name", "gender", "bday"} <= set(bob_tokens)
+        alice_tokens = features.token_sets[ids.index("alice")]
+        assert not any(t.startswith("label:") for t in alice_tokens)
+
+
+class TestEdgeFeatures:
+    def test_vector_dimension_is_3d_plus_Q(self, preprocessor, figure1_graph):
+        features = preprocessor.edge_features(figure1_graph)
+        assert features.vectors.shape == (7, 3 * 8 + 2)  # keys: from, since
+
+    def test_three_embedding_blocks(self, preprocessor, figure1_graph):
+        features = preprocessor.edge_features(figure1_graph)
+        ids = [r.element_id for r in features.records]
+        row = ids.index("e5")  # WORKS_AT bob->org
+        edge_block = features.vectors[row, :8]
+        source_block = features.vectors[row, 8:16]
+        target_block = features.vectors[row, 16:24]
+        assert np.linalg.norm(edge_block) > 0
+        assert np.linalg.norm(source_block) > 0
+        assert np.linalg.norm(target_block) > 0
+        assert not np.allclose(source_block, target_block)
+
+    def test_unlabeled_source_zero_block(self, preprocessor, figure1_graph):
+        features = preprocessor.edge_features(figure1_graph)
+        ids = [r.element_id for r in features.records]
+        row = ids.index("e1")  # KNOWS alice->john, alice unlabeled
+        assert np.allclose(features.vectors[row, 8:16], 0.0)
+
+    def test_records_carry_endpoint_tokens(self, preprocessor, figure1_graph):
+        features = preprocessor.edge_features(figure1_graph)
+        record = next(r for r in features.records if r.element_id == "e5")
+        assert record.source_token == "Person"
+        assert record.target_token == "Org."
+
+    def test_edge_token_sets_role_tagged(self, preprocessor, figure1_graph):
+        features = preprocessor.edge_features(figure1_graph)
+        ids = [r.element_id for r in features.records]
+        tokens = features.token_sets[ids.index("e5")]
+        assert "label:WORKS_AT" in tokens
+        assert "src:Person" in tokens
+        assert "tgt:Org." in tokens
+        assert "from" in tokens
+
+
+class TestLifecycle:
+    def test_transform_before_fit_raises(self, figure1_graph):
+        preprocessor = Preprocessor(PGHiveConfig())
+        with pytest.raises(RuntimeError):
+            preprocessor.node_features(figure1_graph)

@@ -1,0 +1,109 @@
+"""Unit tests for PG-Schema / XSD serialisation (section 4.5)."""
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.core.config import PGHiveConfig
+from repro.core.pipeline import PGHive
+from repro.core.serialization import to_pg_schema, to_xsd
+from repro.schema.validation import ValidationMode
+
+
+@pytest.fixture(scope="module")
+def discovered(request):
+    from tests.conftest import build_figure1_graph
+
+    graph = build_figure1_graph()
+    return PGHive(PGHiveConfig(seed=0)).discover(graph), graph
+
+
+class TestPGSchemaText:
+    def test_strict_contains_datatypes_and_constraints(self, discovered):
+        result, _ = discovered
+        text = to_pg_schema(result.schema, ValidationMode.STRICT)
+        assert text.startswith("CREATE GRAPH TYPE")
+        assert "STRICT" in text
+        assert "MANDATORY" in text
+        assert "OPTIONAL" in text
+        assert "DATE" in text
+        assert "cardinality" in text
+
+    def test_loose_omits_datatypes(self, discovered):
+        result, _ = discovered
+        text = to_pg_schema(result.schema, ValidationMode.LOOSE)
+        assert "LOOSE" in text
+        assert "MANDATORY" not in text
+        assert "STRING" not in text
+
+    def test_every_type_rendered(self, discovered):
+        result, _ = discovered
+        text = to_pg_schema(result.schema, ValidationMode.STRICT)
+        for node_type in result.schema.node_types():
+            assert node_type.type_id in text
+        for edge_type in result.schema.edge_types():
+            assert edge_type.type_id in text
+
+    def test_edge_endpoints_rendered(self, discovered):
+        result, _ = discovered
+        text = to_pg_schema(result.schema, ValidationMode.STRICT)
+        assert "(:Person)-[" in text
+        assert "]->(:Org.)" in text
+
+    def test_abstract_marker(self):
+        from repro.schema.model import NodeType, SchemaGraph
+
+        schema = SchemaGraph("s")
+        schema.add_node_type(NodeType("n0", (), abstract=True))
+        assert "ABSTRACT" in to_pg_schema(schema)
+
+    def test_unlabeled_endpoint_rendered_as_placeholder(self):
+        from repro.schema.model import EdgeType, SchemaGraph
+
+        schema = SchemaGraph("s")
+        edge_type = EdgeType("e0", {"R"})
+        edge_type.record_endpoints("", "Person")
+        schema.add_edge_type(edge_type)
+        assert "_unlabeled_" in to_pg_schema(schema)
+
+
+class TestXSD:
+    def test_output_is_wellformed_xml(self, discovered):
+        result, _ = discovered
+        root = ElementTree.fromstring(to_xsd(result.schema))
+        assert root.tag.endswith("schema")
+
+    def test_complex_types_per_schema_type(self, discovered):
+        result, _ = discovered
+        root = ElementTree.fromstring(to_xsd(result.schema))
+        complex_types = root.findall(
+            "{http://www.w3.org/2001/XMLSchema}complexType"
+        )
+        expected = result.schema.node_type_count + result.schema.edge_type_count
+        assert len(complex_types) == expected
+
+    def test_mandatory_min_occurs(self, discovered):
+        result, _ = discovered
+        xsd = to_xsd(result.schema)
+        root = ElementTree.fromstring(xsd)
+        namespace = "{http://www.w3.org/2001/XMLSchema}"
+        person = next(
+            t
+            for t in root.findall(f"{namespace}complexType")
+            if t.get("name") == "node_Person"
+        )
+        elements = person.find(f"{namespace}all").findall(f"{namespace}element")
+        by_name = {e.get("name"): e for e in elements}
+        assert by_name["name"].get("minOccurs") == "1"
+        assert by_name["name"].get("type") == "xs:string"
+        assert by_name["bday"].get("type") == "xs:date"
+
+    def test_special_characters_escaped(self):
+        from repro.schema.model import NodeType, SchemaGraph
+
+        schema = SchemaGraph('weird "name" <&>')
+        node_type = NodeType("n0", {"A<B"})
+        node_type.ensure_property('k"ey')
+        schema.add_node_type(node_type)
+        root = ElementTree.fromstring(to_xsd(schema))  # must not raise
+        assert root is not None

@@ -1,0 +1,193 @@
+"""Unit tests for the dataset generator substrate."""
+
+import pytest
+
+from repro.datasets.base import (
+    DatasetSpec,
+    EdgeTypeSpec,
+    GeneratedDataset,
+    NodeTypeSpec,
+    PropertyGen,
+    generate_dataset,
+)
+from repro.errors import DatasetError
+
+SIMPLE = DatasetSpec(
+    name="simple",
+    default_nodes=100,
+    node_types=(
+        NodeTypeSpec("A", ("A",), (PropertyGen("x", "int"),), weight=1.0),
+        NodeTypeSpec(
+            "B",
+            ("B",),
+            (
+                PropertyGen("y", "string"),
+                PropertyGen("maybe", "float", presence=0.5),
+            ),
+            weight=3.0,
+        ),
+    ),
+    edge_types=(
+        EdgeTypeSpec("AB", "REL", "A", "B", wiring="many_to_one"),
+        EdgeTypeSpec("BB", "LINK", "B", "B", wiring="many_to_many", fanout=2.0),
+        EdgeTypeSpec("pair", "PAIR", "A", "B", wiring="one_to_one"),
+    ),
+)
+
+
+class TestGeneration:
+    def test_node_counts_follow_weights(self):
+        dataset = generate_dataset(SIMPLE, nodes=400, seed=0)
+        truth_counts = {}
+        for type_name in dataset.node_truth.values():
+            truth_counts[type_name] = truth_counts.get(type_name, 0) + 1
+        assert truth_counts["B"] > truth_counts["A"] * 2
+
+    def test_ground_truth_covers_every_element(self):
+        dataset = generate_dataset(SIMPLE, nodes=200, seed=0)
+        assert set(dataset.node_truth) == set(dataset.graph.node_ids())
+        assert set(dataset.edge_truth) == set(dataset.graph.edge_ids())
+
+    def test_labels_follow_spec(self):
+        dataset = generate_dataset(SIMPLE, nodes=200, seed=0)
+        for node in dataset.graph.nodes():
+            type_name = dataset.node_truth[node.node_id]
+            spec = SIMPLE.node_type(type_name)
+            assert node.labels == frozenset(spec.labels)
+
+    def test_optional_properties_create_patterns(self):
+        dataset = generate_dataset(SIMPLE, nodes=400, seed=0)
+        b_keysets = {
+            node.property_keys
+            for node in dataset.graph.nodes()
+            if dataset.node_truth[node.node_id] == "B"
+        }
+        assert len(b_keysets) == 2  # with and without "maybe"
+
+    def test_deterministic_under_seed(self):
+        first = generate_dataset(SIMPLE, nodes=150, seed=7)
+        second = generate_dataset(SIMPLE, nodes=150, seed=7)
+        assert list(first.graph.node_ids()) == list(second.graph.node_ids())
+        for node in first.graph.nodes():
+            assert second.graph.node(node.node_id).properties == dict(
+                node.properties
+            )
+
+    def test_different_seeds_differ(self):
+        first = generate_dataset(SIMPLE, nodes=150, seed=1)
+        second = generate_dataset(SIMPLE, nodes=150, seed=2)
+        first_values = [dict(n.properties) for n in first.graph.nodes()]
+        second_values = [dict(n.properties) for n in second.graph.nodes()]
+        assert first_values != second_values
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_dataset(SIMPLE, nodes=2)
+
+
+class TestWiring:
+    @pytest.fixture(scope="class")
+    def dataset(self) -> GeneratedDataset:
+        return generate_dataset(SIMPLE, nodes=300, seed=3)
+
+    def edges_of(self, dataset, type_name):
+        return [
+            dataset.graph.edge(edge_id)
+            for edge_id, name in dataset.edge_truth.items()
+            if name == type_name
+        ]
+
+    def test_many_to_one_each_source_once(self, dataset):
+        edges = self.edges_of(dataset, "AB")
+        sources = [e.source_id for e in edges]
+        assert len(sources) == len(set(sources))
+        a_nodes = [i for i, t in dataset.node_truth.items() if t == "A"]
+        assert len(edges) == len(a_nodes)
+
+    def test_one_to_one_bijective(self, dataset):
+        edges = self.edges_of(dataset, "pair")
+        sources = [e.source_id for e in edges]
+        targets = [e.target_id for e in edges]
+        assert len(sources) == len(set(sources))
+        assert len(targets) == len(set(targets))
+
+    def test_many_to_many_no_self_loops(self, dataset):
+        edges = self.edges_of(dataset, "BB")
+        assert all(e.source_id != e.target_id for e in edges)
+        assert len(edges) > 0
+
+    def test_edge_endpoints_match_spec_types(self, dataset):
+        for edge in self.edges_of(dataset, "AB"):
+            assert dataset.node_truth[edge.source_id] == "A"
+            assert dataset.node_truth[edge.target_id] == "B"
+
+
+class TestPropertyKinds:
+    def test_all_kinds_generate(self):
+        spec = DatasetSpec(
+            name="kinds",
+            default_nodes=40,
+            node_types=(
+                NodeTypeSpec(
+                    "K",
+                    ("K",),
+                    tuple(
+                        PropertyGen(kind, kind)
+                        for kind in (
+                            "int",
+                            "float",
+                            "bool",
+                            "date",
+                            "datetime",
+                            "string",
+                            "name",
+                            "url",
+                        )
+                    ),
+                ),
+            ),
+            edge_types=(),
+        )
+        dataset = generate_dataset(spec, nodes=40, seed=0)
+        node = next(dataset.graph.nodes())
+        assert isinstance(node.properties["int"], int)
+        assert isinstance(node.properties["float"], float)
+        assert isinstance(node.properties["bool"], bool)
+        assert "-" in node.properties["date"]
+        assert "T" in node.properties["datetime"]
+
+    def test_unknown_kind_rejected(self):
+        spec = DatasetSpec(
+            name="bad",
+            default_nodes=10,
+            node_types=(
+                NodeTypeSpec("K", ("K",), (PropertyGen("x", "quaternion"),)),
+            ),
+            edge_types=(),
+        )
+        with pytest.raises(DatasetError):
+            generate_dataset(spec, nodes=10, seed=0)
+
+    def test_outliers_mixed_in(self):
+        spec = DatasetSpec(
+            name="outliers",
+            default_nodes=500,
+            node_types=(
+                NodeTypeSpec(
+                    "K",
+                    ("K",),
+                    (
+                        PropertyGen(
+                            "v", "int", outlier_kind="string", outlier_rate=0.1
+                        ),
+                    ),
+                ),
+            ),
+            edge_types=(),
+        )
+        dataset = generate_dataset(spec, nodes=500, seed=0)
+        values = [n.properties["v"] for n in dataset.graph.nodes()]
+        strings = [v for v in values if isinstance(v, str)]
+        integers = [v for v in values if isinstance(v, int)]
+        assert strings and integers
+        assert len(strings) < len(integers)

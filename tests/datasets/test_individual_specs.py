@@ -1,0 +1,136 @@
+"""Per-dataset shape tests: each generator matches its paper description."""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.graph.statistics import label_coverage, property_fill_ratio
+
+
+@pytest.fixture(scope="module")
+def generated():
+    names = ["POLE", "MB6", "HET.IO", "FIB25", "ICIJ", "LDBC", "CORD19", "IYP"]
+    return {name: load_dataset(name, nodes=600, seed=11) for name in names}
+
+
+class TestPOLE:
+    def test_single_label_types(self, generated):
+        for node in generated["POLE"].graph.nodes():
+            assert len(node.labels) == 1
+
+    def test_seventeen_edge_types_sixteen_labels(self, generated):
+        stats = generated["POLE"].statistics()
+        assert stats.edge_types == 17
+        assert stats.edge_labels == 16  # CALLED is shared
+
+    def test_full_label_coverage(self, generated):
+        assert label_coverage(generated["POLE"].graph) == 1.0
+
+
+class TestConnectomes:
+    @pytest.mark.parametrize("name", ["MB6", "FIB25"])
+    def test_multilabel_nodes(self, generated, name):
+        dataset = generated[name]
+        max_labels = max(len(n.labels) for n in dataset.graph.nodes())
+        assert max_labels >= 3  # Meta carries 5, Neuron 4
+
+    @pytest.mark.parametrize("name", ["MB6", "FIB25"])
+    def test_ten_node_labels(self, generated, name):
+        assert generated[name].statistics().node_labels == 10
+
+    @pytest.mark.parametrize("name", ["MB6", "FIB25"])
+    def test_shared_connects_to_label(self, generated, name):
+        dataset = generated[name]
+        connects = {
+            type_name
+            for edge_id, type_name in dataset.edge_truth.items()
+            if "ConnectsTo" in dataset.graph.edge(edge_id).labels
+        }
+        assert len(connects) == 2  # Neuron-Neuron and Segment-Segment
+
+    def test_mb6_more_pattern_diverse_than_fib25(self, generated):
+        # Paper: MB6 has 52 node patterns, FIB25 has 31.
+        assert (
+            generated["MB6"].statistics().node_patterns
+            >= generated["FIB25"].statistics().node_patterns
+        )
+
+
+class TestHETIO:
+    def test_every_node_has_extra_integration_label(self, generated):
+        for node in generated["HET.IO"].graph.nodes():
+            assert "HetionetNode" in node.labels
+            assert len(node.labels) == 2
+
+    def test_twelve_labels_eleven_types(self, generated):
+        stats = generated["HET.IO"].statistics()
+        assert stats.node_labels == 12
+        assert stats.node_types == 11
+
+
+class TestICIJ:
+    def test_six_labels_five_types(self, generated):
+        stats = generated["ICIJ"].statistics()
+        assert stats.node_labels == 6
+        assert stats.node_types == 5
+
+    def test_high_structural_heterogeneity(self, generated):
+        # Low fill ratio = many optional properties = many patterns.
+        assert property_fill_ratio(generated["ICIJ"].graph) < 0.5
+
+
+class TestLDBC:
+    def test_message_superlabel(self, generated):
+        dataset = generated["LDBC"]
+        for node in dataset.graph.nodes():
+            type_name = dataset.node_truth[node.node_id]
+            if type_name in ("Post", "Comment"):
+                assert "Message" in node.labels
+
+    def test_low_pattern_diversity(self, generated):
+        # LDBC is generated data: few patterns relative to ICIJ.
+        assert (
+            generated["LDBC"].statistics().node_patterns
+            < generated["ICIJ"].statistics().node_patterns
+        )
+
+    def test_replyOf_two_types_one_label(self, generated):
+        dataset = generated["LDBC"]
+        reply_types = {
+            type_name
+            for edge_id, type_name in dataset.edge_truth.items()
+            if "replyOf" in dataset.graph.edge(edge_id).labels
+        }
+        assert len(reply_types) == 2
+
+
+class TestCORD19:
+    def test_sixteen_single_label_types(self, generated):
+        stats = generated["CORD19"].statistics()
+        assert stats.node_types == 16
+        assert stats.node_labels == 16
+
+
+class TestIYP:
+    def test_provenance_properties_everywhere(self, generated):
+        dataset = generated["IYP"]
+        with_provenance = sum(
+            1
+            for node in dataset.graph.nodes()
+            if "reference_org" in node.properties
+        )
+        assert with_provenance / dataset.graph.node_count > 0.7
+
+    def test_qualifier_multilabels(self, generated):
+        dataset = generated["IYP"]
+        combos = {node.token for node in dataset.graph.nodes()}
+        assert any("+" not in token for token in combos)  # bases
+        assert sum(1 for token in combos if "+" in token) >= 10  # variants
+
+    def test_shared_edge_labels_across_endpoints(self, generated):
+        dataset = generated["IYP"]
+        country_types = {
+            type_name
+            for edge_id, type_name in dataset.edge_truth.items()
+            if "COUNTRY" in dataset.graph.edge(edge_id).labels
+        }
+        assert len(country_types) >= 3  # AS, Prefix, IXP, Org -> Country

@@ -1,0 +1,101 @@
+"""Unit tests for noise injection (section 5)."""
+
+import pytest
+
+from repro.datasets import apply_noise, load_dataset
+from repro.datasets.noise import reduce_label_availability, remove_properties
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("POLE", nodes=500, seed=0)
+
+
+class TestRemoveProperties:
+    def test_zero_noise_is_identity(self, dataset):
+        noisy = remove_properties(dataset.graph, 0.0, seed=1)
+        for node in dataset.graph.nodes():
+            assert noisy.node(node.node_id).properties == dict(node.properties)
+
+    def test_rate_removes_expected_fraction(self, dataset):
+        before = sum(len(n.properties) for n in dataset.graph.nodes())
+        noisy = remove_properties(dataset.graph, 0.4, seed=1)
+        after = sum(len(n.properties) for n in noisy.nodes())
+        assert after < before
+        assert after / before == pytest.approx(0.6, abs=0.05)
+
+    def test_full_removal(self, dataset):
+        noisy = remove_properties(dataset.graph, 1.0, seed=1)
+        assert all(not n.properties for n in noisy.nodes())
+        assert all(not e.properties for e in noisy.edges())
+
+    def test_labels_untouched(self, dataset):
+        noisy = remove_properties(dataset.graph, 0.4, seed=1)
+        for node in dataset.graph.nodes():
+            assert noisy.node(node.node_id).labels == node.labels
+
+    def test_deterministic(self, dataset):
+        first = remove_properties(dataset.graph, 0.3, seed=9)
+        second = remove_properties(dataset.graph, 0.3, seed=9)
+        for node in first.nodes():
+            assert second.node(node.node_id).property_keys == node.property_keys
+
+    def test_invalid_rate(self, dataset):
+        with pytest.raises(ConfigurationError):
+            remove_properties(dataset.graph, 1.5)
+
+
+class TestReduceLabelAvailability:
+    def test_full_availability_is_identity(self, dataset):
+        reduced = reduce_label_availability(dataset.graph, 1.0, seed=1)
+        for node in dataset.graph.nodes():
+            assert reduced.node(node.node_id).labels == node.labels
+
+    def test_zero_availability_strips_all_node_labels(self, dataset):
+        reduced = reduce_label_availability(dataset.graph, 0.0, seed=1)
+        assert all(not n.labels for n in reduced.nodes())
+
+    def test_edge_labels_survive_by_default(self, dataset):
+        reduced = reduce_label_availability(dataset.graph, 0.0, seed=1)
+        for edge in dataset.graph.edges():
+            assert reduced.edge(edge.edge_id).labels == edge.labels
+
+    def test_include_edges_strips_edge_labels_too(self, dataset):
+        reduced = reduce_label_availability(
+            dataset.graph, 0.0, seed=1, include_edges=True
+        )
+        assert all(not e.labels for e in reduced.edges())
+
+    def test_half_availability_partial(self, dataset):
+        reduced = reduce_label_availability(dataset.graph, 0.5, seed=1)
+        labeled = sum(1 for n in reduced.nodes() if n.labels)
+        assert 0.35 < labeled / reduced.node_count < 0.65
+
+    def test_properties_untouched(self, dataset):
+        reduced = reduce_label_availability(dataset.graph, 0.0, seed=1)
+        for node in dataset.graph.nodes():
+            assert reduced.node(node.node_id).properties == dict(node.properties)
+
+    def test_invalid_availability(self, dataset):
+        with pytest.raises(ConfigurationError):
+            reduce_label_availability(dataset.graph, -0.2)
+
+
+class TestApplyNoise:
+    def test_truth_preserved(self, dataset):
+        noisy = apply_noise(dataset, 0.4, 0.0, seed=2)
+        assert noisy.node_truth == dataset.node_truth
+        assert noisy.edge_truth == dataset.edge_truth
+
+    def test_both_perturbations_applied(self, dataset):
+        noisy = apply_noise(dataset, 0.4, 0.5, seed=2)
+        properties_before = sum(len(n.properties) for n in dataset.graph.nodes())
+        properties_after = sum(len(n.properties) for n in noisy.graph.nodes())
+        assert properties_after < properties_before
+        labeled = sum(1 for n in noisy.graph.nodes() if n.labels)
+        assert labeled < dataset.graph.node_count
+
+    def test_original_untouched(self, dataset):
+        apply_noise(dataset, 1.0, 0.0, seed=2)
+        assert any(n.properties for n in dataset.graph.nodes())

@@ -1,0 +1,115 @@
+"""Tests over the eight registered datasets (Table 2 shape checks)."""
+
+import pytest
+
+from repro.datasets import (
+    ALL_SPECS,
+    dataset_names,
+    get_spec,
+    load_all,
+    load_dataset,
+)
+from repro.errors import DatasetError
+
+#: Ground-truth type inventories straight from Table 2.
+EXPECTED_TYPES = {
+    "POLE": (11, 17),
+    "MB6": (4, 5),
+    "HET.IO": (11, 24),
+    "FIB25": (4, 5),
+    "ICIJ": (5, 14),
+    "LDBC": (7, 17),
+    "CORD19": (16, 16),
+}
+
+
+class TestRegistry:
+    def test_eight_datasets_in_table2_order(self):
+        assert dataset_names() == [
+            "POLE",
+            "MB6",
+            "HET.IO",
+            "FIB25",
+            "ICIJ",
+            "LDBC",
+            "CORD19",
+            "IYP",
+        ]
+
+    def test_lookup_case_insensitive(self):
+        assert get_spec("pole").name == "POLE"
+        assert get_spec("Het.IO").name == "HET.IO"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            get_spec("ENRON")
+
+    @pytest.mark.parametrize("name,expected", EXPECTED_TYPES.items())
+    def test_type_inventories_match_table2(self, name, expected):
+        spec = get_spec(name)
+        assert (len(spec.node_types), len(spec.edge_types)) == expected
+
+    def test_iyp_is_heterogeneous(self):
+        spec = get_spec("IYP")
+        assert len(spec.node_types) >= 30
+        assert len(spec.edge_types) == 25
+        labels = {label for t in spec.node_types for label in t.labels}
+        assert len(labels) >= 25
+
+    def test_edge_specs_reference_existing_node_types(self):
+        for spec in ALL_SPECS:
+            node_names = {t.name for t in spec.node_types}
+            for edge_type in spec.edge_types:
+                assert edge_type.source in node_names, (spec.name, edge_type.name)
+                assert edge_type.target in node_names, (spec.name, edge_type.name)
+
+    def test_edge_type_names_unique(self):
+        for spec in ALL_SPECS:
+            names = [t.name for t in spec.edge_types]
+            assert len(names) == len(set(names)), spec.name
+
+    def test_node_type_label_sets_unique(self):
+        # Distinct ground-truth types must be distinguishable by label set.
+        for spec in ALL_SPECS:
+            label_sets = [frozenset(t.labels) for t in spec.node_types]
+            assert len(label_sets) == len(set(label_sets)), spec.name
+
+
+class TestGeneratedShape:
+    @pytest.fixture(scope="class")
+    def datasets(self):
+        return {d.name: d for d in load_all(scale=0.2, seed=1)}
+
+    def test_multilabel_datasets(self, datasets):
+        for name in ("MB6", "FIB25", "HET.IO", "LDBC"):
+            stats = datasets[name].statistics()
+            assert stats.node_labels > stats.node_types or any(
+                len(t.labels) > 1 for t in datasets[name].spec.node_types
+            ), name
+
+    def test_shared_edge_labels(self, datasets):
+        # MB6/FIB25: 5 edge types over 3 labels.
+        for name in ("MB6", "FIB25"):
+            stats = datasets[name].statistics()
+            assert stats.edge_labels == 3, name
+
+    def test_pattern_multiplicity_ordering(self, datasets):
+        # Integration datasets are much more pattern-diverse than LDBC.
+        assert (
+            datasets["ICIJ"].statistics().node_patterns
+            > datasets["LDBC"].statistics().node_patterns
+        )
+        assert (
+            datasets["IYP"].statistics().node_patterns
+            > datasets["POLE"].statistics().node_patterns
+        )
+
+    def test_hetio_edge_heavy(self, datasets):
+        stats = datasets["HET.IO"].statistics()
+        assert stats.edges > 5 * stats.nodes
+
+    def test_explicit_size_override(self):
+        dataset = load_dataset("POLE", nodes=333, seed=0)
+        assert abs(dataset.graph.node_count - 333) <= len(
+            dataset.spec.node_types
+        ) * 2

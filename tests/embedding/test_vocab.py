@@ -1,0 +1,61 @@
+"""Unit tests for the token vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.vocab import Vocabulary
+
+
+class TestVocabulary:
+    def test_add_assigns_dense_indices(self):
+        vocab = Vocabulary()
+        assert vocab.add("a") == 0
+        assert vocab.add("b") == 1
+        assert vocab.add("a") == 0  # repeated adds keep the index
+
+    def test_empty_token_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary().add("")
+
+    def test_counts_accumulate(self):
+        vocab = Vocabulary()
+        vocab.add("a")
+        vocab.add("a", count=3)
+        assert vocab.count("a") == 4
+        assert vocab.count("missing") == 0
+
+    def test_add_sentences_skips_empty_tokens(self):
+        vocab = Vocabulary().add_sentences([["a", "", "b"], ["a"]])
+        assert len(vocab) == 2
+        assert vocab.count("a") == 2
+
+    def test_lookup_roundtrip(self):
+        vocab = Vocabulary()
+        vocab.add("Person")
+        assert vocab.token(vocab.index("Person")) == "Person"
+        assert vocab.index("missing") is None
+        assert "Person" in vocab
+
+    def test_iteration_order(self):
+        vocab = Vocabulary().add_sentences([["c", "a"], ["b"]])
+        assert list(vocab) == ["c", "a", "b"]
+
+
+class TestNegativeSampling:
+    def test_probabilities_sum_to_one(self):
+        vocab = Vocabulary().add_sentences([["a"] * 10, ["b"] * 2, ["c"]])
+        probabilities = vocab.negative_sampling_probabilities()
+        assert probabilities.shape == (3,)
+        assert np.isclose(probabilities.sum(), 1.0)
+
+    def test_power_dampens_frequent_tokens(self):
+        vocab = Vocabulary()
+        vocab.add("frequent", count=1000)
+        vocab.add("rare", count=1)
+        probabilities = vocab.negative_sampling_probabilities(power=0.75)
+        ratio = probabilities[0] / probabilities[1]
+        assert ratio < 1000  # damped below the raw frequency ratio
+        assert ratio > 1
+
+    def test_empty_vocab(self):
+        assert Vocabulary().negative_sampling_probabilities().size == 0

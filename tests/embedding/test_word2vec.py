@@ -1,0 +1,99 @@
+"""Unit tests for the from-scratch skip-gram Word2Vec."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.word2vec import Word2Vec
+
+CORPUS = [
+    ["Person", "KNOWS", "Person"],
+    ["Person", "WORKS_AT", "Org"],
+    ["Org", "LOCATED_IN", "Place"],
+    ["Person", "LIKES", "Post"],
+] * 20
+
+
+class TestTraining:
+    def test_fit_builds_vocabulary(self):
+        model = Word2Vec(dim=8, epochs=1).fit(CORPUS)
+        assert "Person" in model
+        assert "KNOWS" in model
+        assert len(model.vocabulary) == 8
+
+    def test_vector_shapes(self):
+        model = Word2Vec(dim=12, epochs=1).fit(CORPUS)
+        assert model.vector("Person").shape == (12,)
+        assert model.vectors(["Person", "Org"]).shape == (2, 12)
+
+    def test_empty_token_is_zero_vector(self):
+        model = Word2Vec(dim=8).fit(CORPUS)
+        assert np.allclose(model.vector(""), 0.0)
+
+    def test_unknown_token_is_deterministic(self):
+        model = Word2Vec(dim=8).fit(CORPUS)
+        first = model.vector("NeverSeen")
+        second = model.vector("NeverSeen")
+        assert np.allclose(first, second)
+        assert not np.allclose(first, 0.0)
+
+    def test_identical_label_sets_identical_embeddings(self):
+        # Two separately trained models on the same corpus agree exactly.
+        left = Word2Vec(dim=8, seed=3).fit(CORPUS)
+        right = Word2Vec(dim=8, seed=3).fit(CORPUS)
+        assert np.allclose(left.vector("Person"), right.vector("Person"))
+
+    def test_initial_vectors_shared_across_models(self):
+        # Even models trained on different corpora agree on init vectors.
+        left = Word2Vec(dim=8).fit(CORPUS)
+        right = Word2Vec(dim=8).fit([["A", "B"]])
+        assert np.allclose(
+            left.initial_vector("Person"), right.initial_vector("Person")
+        )
+
+    def test_training_moves_vectors(self):
+        model = Word2Vec(dim=8, epochs=5, seed=1).fit(CORPUS)
+        trained = model.vector("Person")
+        initial = model.initial_vector("Person")
+        assert not np.allclose(trained, initial)
+
+    def test_norms_bounded(self):
+        model = Word2Vec(dim=8, epochs=10, learning_rate=0.1, seed=0).fit(
+            CORPUS * 10
+        )
+        for token in model.vocabulary:
+            assert np.linalg.norm(model.vector(token)) <= 5.0 + 1e-9
+
+    def test_empty_corpus(self):
+        model = Word2Vec(dim=4).fit([])
+        assert len(model.vocabulary) == 0
+        assert model.vector("anything").shape == (4,)
+
+
+class TestSemantics:
+    def test_cooccurring_tokens_more_similar_than_random(self):
+        rng_corpus = []
+        # "A" always appears with "B"; "C" always with "D".
+        for _ in range(200):
+            rng_corpus.append(["A", "B"])
+            rng_corpus.append(["C", "D"])
+        model = Word2Vec(dim=8, epochs=10, seed=2).fit(rng_corpus)
+        assert model.similarity("A", "B") > model.similarity("A", "D")
+
+    def test_similarity_bounds(self):
+        model = Word2Vec(dim=8).fit(CORPUS)
+        value = model.similarity("Person", "Org")
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+    def test_similarity_with_empty_token_is_zero(self):
+        model = Word2Vec(dim=8).fit(CORPUS)
+        assert model.similarity("", "Person") == 0.0
+
+
+class TestValidation:
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            Word2Vec(dim=0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            Word2Vec(window=0)

@@ -1,0 +1,86 @@
+"""Unit tests for the majority-based F1* metric (section 5)."""
+
+import pytest
+
+from repro.eval.clustering_metrics import (
+    cluster_purity,
+    majority_f1,
+    majority_prediction,
+)
+
+
+class TestMajorityPrediction:
+    def test_majority_assigns_cluster_label(self):
+        assignment = {"a": "c1", "b": "c1", "c": "c1"}
+        truth = {"a": "X", "b": "X", "c": "Y"}
+        prediction = majority_prediction(assignment, truth)
+        assert prediction == {"a": "X", "b": "X", "c": "X"}
+
+    def test_tie_breaks_to_smallest_name(self):
+        assignment = {"a": "c1", "b": "c1"}
+        truth = {"a": "B", "b": "A"}
+        prediction = majority_prediction(assignment, truth)
+        assert prediction["a"] == "A"
+
+    def test_elements_missing_truth_skipped(self):
+        assignment = {"a": "c1", "ghost": "c1"}
+        truth = {"a": "X"}
+        prediction = majority_prediction(assignment, truth)
+        assert "ghost" not in prediction
+
+
+class TestMajorityF1:
+    def test_perfect_clustering(self):
+        assignment = {"a": "c1", "b": "c1", "c": "c2"}
+        truth = {"a": "X", "b": "X", "c": "Y"}
+        result = majority_f1(assignment, truth)
+        assert result.macro_f1 == 1.0
+        assert result.micro_f1 == 1.0
+
+    def test_fragmentation_is_not_penalised(self):
+        # Majority-based scoring: pure singleton clusters are all correct.
+        assignment = {"a": "c1", "b": "c2", "c": "c3"}
+        truth = {"a": "X", "b": "X", "c": "Y"}
+        assert majority_f1(assignment, truth).macro_f1 == 1.0
+
+    def test_mixing_is_penalised(self):
+        # One cluster swallows both types: minority type scores zero.
+        assignment = {"a": "c1", "b": "c1", "c": "c1"}
+        truth = {"a": "X", "b": "X", "c": "Y"}
+        result = majority_f1(assignment, truth)
+        per_type = {s.type_name: s for s in result.per_type}
+        assert per_type["Y"].f1 == 0.0
+        assert per_type["X"].recall == 1.0
+        assert result.macro_f1 == pytest.approx((per_type["X"].f1 + 0.0) / 2)
+
+    def test_micro_equals_accuracy(self):
+        assignment = {"a": "c1", "b": "c1", "c": "c1", "d": "c2"}
+        truth = {"a": "X", "b": "X", "c": "Y", "d": "Y"}
+        result = majority_f1(assignment, truth)
+        assert result.micro_f1 == pytest.approx(3 / 4)
+
+    def test_empty_input(self):
+        result = majority_f1({}, {})
+        assert result.macro_f1 == 0.0
+        assert result.evaluated == 0
+
+    def test_per_type_support(self):
+        assignment = {"a": "c1", "b": "c1", "c": "c2"}
+        truth = {"a": "X", "b": "X", "c": "Y"}
+        result = majority_f1(assignment, truth)
+        supports = {s.type_name: s.support for s in result.per_type}
+        assert supports == {"X": 2, "Y": 1}
+
+    def test_cluster_count_reported(self):
+        assignment = {"a": "c1", "b": "c2", "c": "c2"}
+        result = majority_f1(assignment, {"a": "X", "b": "X", "c": "X"})
+        assert result.cluster_count == 2
+
+    def test_purity_shortcut(self):
+        assignment = {"a": "c1", "b": "c1"}
+        truth = {"a": "X", "b": "Y"}
+        assert cluster_purity(assignment, truth) == 0.5
+
+    def test_str(self):
+        result = majority_f1({"a": "c"}, {"a": "X"})
+        assert "F1*" in str(result)

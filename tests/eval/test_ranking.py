@@ -1,0 +1,107 @@
+"""Unit tests for Friedman ranks and the Nemenyi test (Figure 3)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.ranking import (
+    average_ranks,
+    friedman_statistic,
+    nemenyi_critical_difference,
+    nemenyi_test,
+    rank_rows,
+)
+
+
+class TestRankRows:
+    def test_higher_score_gets_rank_one(self):
+        scores = {"good": [0.9, 0.8], "bad": [0.1, 0.2]}
+        ranks = rank_rows(scores)
+        assert ranks.tolist() == [[1.0, 2.0], [1.0, 2.0]]
+
+    def test_ties_get_average_rank(self):
+        scores = {"a": [0.5], "b": [0.5], "c": [0.1]}
+        ranks = rank_rows(scores)
+        assert sorted(ranks[0].tolist()) == [1.5, 1.5, 3.0]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rank_rows({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rank_rows({})
+
+
+class TestAverageRanks:
+    def test_dominant_method_ranks_first(self):
+        scores = {
+            "winner": [0.9, 0.95, 0.99],
+            "middle": [0.5, 0.6, 0.7],
+            "loser": [0.1, 0.2, 0.3],
+        }
+        ranks = average_ranks(scores)
+        assert ranks["winner"] == 1.0
+        assert ranks["loser"] == 3.0
+
+
+class TestFriedman:
+    def test_clear_differences_significant(self):
+        scores = {
+            "a": [0.9, 0.91, 0.92, 0.93, 0.94, 0.95],
+            "b": [0.5, 0.51, 0.52, 0.53, 0.54, 0.55],
+            "c": [0.1, 0.11, 0.12, 0.13, 0.14, 0.15],
+        }
+        statistic, p_value = friedman_statistic(scores)
+        assert statistic > 0
+        assert p_value < 0.05
+
+    def test_needs_three_methods(self):
+        with pytest.raises(ConfigurationError):
+            friedman_statistic({"a": [1.0], "b": [2.0]})
+
+
+class TestCriticalDifference:
+    def test_known_value(self):
+        # Demsar (2006): q_0.05 for k=4 is ~2.569; CD = 2.569*sqrt(4*5/(6*40)).
+        cd = nemenyi_critical_difference(4, 40)
+        assert cd == pytest.approx(2.569 * (20 / 240) ** 0.5, rel=0.01)
+
+    def test_more_cases_tighter_cd(self):
+        assert nemenyi_critical_difference(4, 100) < nemenyi_critical_difference(
+            4, 10
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            nemenyi_critical_difference(1, 10)
+        with pytest.raises(ConfigurationError):
+            nemenyi_critical_difference(3, 0)
+
+
+class TestNemenyiTest:
+    def test_significant_pair_detected(self):
+        cases = 20
+        scores = {
+            "strong": [0.95 + 0.001 * i for i in range(cases)],
+            "medium": [0.7 + 0.001 * i for i in range(cases)],
+            "weak": [0.3 + 0.001 * i for i in range(cases)],
+        }
+        result = nemenyi_test(scores)
+        assert result.is_significant("strong", "weak")
+        assert result.ranks["strong"] < result.ranks["weak"]
+
+    def test_indistinguishable_methods_not_significant(self):
+        # Alternate winners: average ranks nearly equal.
+        scores = {
+            "a": [0.9, 0.1] * 10,
+            "b": [0.1, 0.9] * 10,
+            "c": [0.5, 0.5] * 10,
+        }
+        result = nemenyi_test(scores)
+        assert not result.is_significant("a", "b")
+
+    def test_ordered_output(self):
+        scores = {"x": [0.2, 0.3], "y": [0.9, 0.8], "z": [0.5, 0.6]}
+        result = nemenyi_test(scores)
+        names = [name for name, _ in result.ordered()]
+        assert names == ["y", "z", "x"]

@@ -1,0 +1,51 @@
+"""Unit tests for the datatype sampling-error metric (Figure 8)."""
+
+import pytest
+
+from repro.eval.sampling_error import BIN_LABELS, bin_errors, sampling_error
+
+
+class TestSamplingError:
+    def test_homogeneous_property_scores_zero(self):
+        values = list(range(100))
+        assert sampling_error(values, values[:10]) == 0.0
+
+    def test_heterogeneous_property_counts_disagreements(self):
+        # Full scan sees a string outlier -> STRING; sampled ints disagree.
+        full = [1, 2, 3, 4, "oops"]
+        sample = [1, 2, 3, 4]
+        assert sampling_error(full, sample) == 1.0
+
+    def test_partial_disagreement(self):
+        full = [1, 2, 3, "x"]
+        sample = [1, 2, "x", "y"]
+        # f(D_p) = STRING; 1, 2 disagree; "x", "y" agree.
+        assert sampling_error(full, sample) == 0.5
+
+    def test_empty_sample(self):
+        assert sampling_error([1, 2], []) == 0.0
+
+    def test_numeric_generalisation(self):
+        full = [1, 2.5]
+        sample = [1]
+        # f(D_p) = FLOAT, f(1) = INTEGER -> disagreement.
+        assert sampling_error(full, sample) == 1.0
+
+
+class TestBinErrors:
+    def test_bins_partition_range(self):
+        errors = [0.0, 0.04, 0.05, 0.09, 0.1, 0.19, 0.2, 0.5, 1.0]
+        bins = bin_errors(errors)
+        assert bins["0-0.05"] == pytest.approx(2 / 9)
+        assert bins["0.05-0.10"] == pytest.approx(2 / 9)
+        assert bins["0.10-0.20"] == pytest.approx(2 / 9)
+        assert bins[">=0.20"] == pytest.approx(3 / 9)
+
+    def test_normalised(self):
+        bins = bin_errors([0.0, 0.0, 0.3])
+        assert sum(bins.values()) == pytest.approx(1.0)
+
+    def test_empty(self):
+        bins = bin_errors([])
+        assert all(v == 0.0 for v in bins.values())
+        assert set(bins) == set(BIN_LABELS)

@@ -1,0 +1,70 @@
+"""Unit tests for graph batch splitting (section 4.6 / Figure 7 setup)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.batching import reassemble, split_into_batches, stream_batches
+
+
+class TestSplitIntoBatches:
+    def test_batches_partition_nodes(self, figure1_graph):
+        batches = split_into_batches(figure1_graph, 3, seed=1)
+        primary_counts = sum(b.node_count for b in batches)
+        # Stub endpoint copies may duplicate nodes across batches, but the
+        # union must equal the original node set.
+        union_ids = set()
+        for batch in batches:
+            union_ids.update(batch.node_ids())
+        assert union_ids == set(figure1_graph.node_ids())
+        assert primary_counts >= figure1_graph.node_count
+
+    def test_every_edge_appears_exactly_once(self, figure1_graph):
+        batches = split_into_batches(figure1_graph, 4, seed=2)
+        seen = []
+        for batch in batches:
+            seen.extend(batch.edge_ids())
+        assert sorted(seen) == sorted(figure1_graph.edge_ids())
+
+    def test_batches_are_valid_graphs(self, figure1_graph):
+        # Constructing each batch would raise DanglingEdgeError otherwise.
+        for batch in split_into_batches(figure1_graph, 5, seed=3):
+            for edge in batch.edges():
+                assert batch.has_node(edge.source_id)
+                assert batch.has_node(edge.target_id)
+
+    def test_deterministic_under_seed(self, figure1_graph):
+        first = split_into_batches(figure1_graph, 3, seed=42)
+        second = split_into_batches(figure1_graph, 3, seed=42)
+        for left, right in zip(first, second):
+            assert list(left.node_ids()) == list(right.node_ids())
+            assert list(left.edge_ids()) == list(right.edge_ids())
+
+    def test_different_seeds_differ(self, figure1_graph):
+        first = split_into_batches(figure1_graph, 3, seed=1)
+        second = split_into_batches(figure1_graph, 3, seed=2)
+        assert any(
+            list(l.node_ids()) != list(r.node_ids())
+            for l, r in zip(first, second)
+        )
+
+    def test_single_batch_is_whole_graph(self, figure1_graph):
+        (batch,) = split_into_batches(figure1_graph, 1, seed=0)
+        assert batch.node_count == figure1_graph.node_count
+        assert batch.edge_count == figure1_graph.edge_count
+
+    def test_invalid_count_rejected(self, figure1_graph):
+        with pytest.raises(ConfigurationError):
+            split_into_batches(figure1_graph, 0)
+
+
+class TestReassemble:
+    def test_roundtrip(self, figure1_graph):
+        batches = split_into_batches(figure1_graph, 4, seed=9)
+        merged = reassemble(batches)
+        assert set(merged.node_ids()) == set(figure1_graph.node_ids())
+        assert set(merged.edge_ids()) == set(figure1_graph.edge_ids())
+
+    def test_stream_is_lazy_equivalent(self, figure1_graph):
+        streamed = list(stream_batches(figure1_graph, 3, seed=5))
+        direct = split_into_batches(figure1_graph, 3, seed=5)
+        assert [b.node_count for b in streamed] == [b.node_count for b in direct]

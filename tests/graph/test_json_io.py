@@ -1,0 +1,81 @@
+"""Unit tests for JSON-lines import/export."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.graph.json_io import (
+    edge_to_record,
+    graph_from_elements,
+    node_to_record,
+    read_graph_jsonl,
+    record_to_element,
+    write_graph_jsonl,
+)
+from repro.graph.model import Edge, Node
+
+
+class TestRecords:
+    def test_node_record_roundtrip(self):
+        node = Node("a", {"X", "Y"}, {"k": 1, "s": "v"})
+        back = record_to_element(node_to_record(node))
+        assert back == node
+
+    def test_edge_record_roundtrip(self):
+        edge = Edge("e", "a", "b", {"R"}, {"w": 1.5})
+        back = record_to_element(edge_to_record(edge))
+        assert back == edge
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            record_to_element({"kind": "hyperedge"})
+
+
+class TestFileRoundTrip:
+    def test_figure1_roundtrip_preserves_values_exactly(
+        self, figure1_graph, tmp_path
+    ):
+        path = write_graph_jsonl(figure1_graph, tmp_path / "graph.jsonl")
+        loaded = read_graph_jsonl(path)
+        for node in figure1_graph.nodes():
+            assert loaded.node(node.node_id).properties == dict(node.properties)
+        for edge in figure1_graph.edges():
+            assert loaded.edge(edge.edge_id).properties == dict(edge.properties)
+
+    def test_edges_before_nodes_are_buffered(self, tmp_path):
+        path = tmp_path / "g.jsonl"
+        import json
+
+        records = [
+            edge_to_record(Edge("e", "a", "b", {"R"})),
+            node_to_record(Node("a")),
+            node_to_record(Node("b")),
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        loaded = read_graph_jsonl(path)
+        assert loaded.has_edge("e")
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.jsonl"
+        import json
+
+        path.write_text(json.dumps(node_to_record(Node("a"))) + "\n\n\n")
+        assert read_graph_jsonl(path).node_count == 1
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "g.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(SerializationError, match=":1:"):
+            read_graph_jsonl(path)
+
+
+class TestGraphFromElements:
+    def test_builds_from_mixed_iterable(self):
+        graph = graph_from_elements(
+            [
+                Edge("e", "a", "b", {"R"}),
+                Node("a", {"T"}),
+                Node("b"),
+            ]
+        )
+        assert graph.node_count == 2
+        assert graph.edge_count == 1

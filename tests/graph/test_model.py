@@ -1,0 +1,224 @@
+"""Unit tests for the property-graph data model (Def. 3.1)."""
+
+import pytest
+
+from repro.errors import (
+    DanglingEdgeError,
+    DuplicateElementError,
+    MissingElementError,
+)
+from repro.graph.model import Edge, Node, PropertyGraph, label_token
+
+
+class TestLabelToken:
+    def test_sorted_concatenation(self):
+        assert label_token({"Student", "Person"}) == "Person+Student"
+
+    def test_empty_set_maps_to_empty_token(self):
+        assert label_token(frozenset()) == ""
+
+    def test_order_insensitive(self):
+        assert label_token(["b", "a", "c"]) == label_token(["c", "a", "b"])
+
+    def test_single_label(self):
+        assert label_token({"Person"}) == "Person"
+
+
+class TestNode:
+    def test_labels_coerced_to_frozenset(self):
+        node = Node("n1", {"Person"}, {"age": 3})
+        assert isinstance(node.labels, frozenset)
+
+    def test_property_keys(self):
+        node = Node("n1", frozenset(), {"a": 1, "b": 2})
+        assert node.property_keys == frozenset({"a", "b"})
+
+    def test_token_of_multilabel_node(self):
+        node = Node("n1", {"Student", "Person"})
+        assert node.token == "Person+Student"
+
+    def test_with_labels_returns_new_node(self):
+        node = Node("n1", {"Person"}, {"a": 1})
+        relabeled = node.with_labels(set())
+        assert relabeled.labels == frozenset()
+        assert node.labels == frozenset({"Person"})
+        assert relabeled.properties == {"a": 1}
+
+    def test_with_properties_returns_new_node(self):
+        node = Node("n1", {"Person"}, {"a": 1})
+        updated = node.with_properties({"b": 2})
+        assert updated.property_keys == frozenset({"b"})
+        assert node.property_keys == frozenset({"a"})
+
+    def test_properties_copied_from_input(self):
+        source = {"a": 1}
+        node = Node("n1", frozenset(), source)
+        source["b"] = 2
+        assert "b" not in node.properties
+
+
+class TestEdge:
+    def test_endpoints(self):
+        edge = Edge("e1", "a", "b", {"KNOWS"})
+        assert edge.endpoints() == ("a", "b")
+
+    def test_token(self):
+        edge = Edge("e1", "a", "b", {"LIKES", "KNOWS"})
+        assert edge.token == "KNOWS+LIKES"
+
+    def test_with_labels(self):
+        edge = Edge("e1", "a", "b", {"KNOWS"}, {"since": 2020})
+        updated = edge.with_labels({"LIKES"})
+        assert updated.labels == frozenset({"LIKES"})
+        assert updated.properties == {"since": 2020}
+
+
+class TestPropertyGraphMutation:
+    def test_add_and_lookup_node(self):
+        graph = PropertyGraph()
+        graph.add_node(Node("n1", {"A"}))
+        assert graph.node("n1").labels == frozenset({"A"})
+
+    def test_duplicate_node_rejected(self):
+        graph = PropertyGraph()
+        graph.add_node(Node("n1"))
+        with pytest.raises(DuplicateElementError):
+            graph.add_node(Node("n1"))
+
+    def test_edge_requires_endpoints(self):
+        graph = PropertyGraph()
+        graph.add_node(Node("a"))
+        with pytest.raises(DanglingEdgeError):
+            graph.add_edge(Edge("e1", "a", "missing"))
+
+    def test_duplicate_edge_rejected(self):
+        graph = PropertyGraph()
+        graph.add_node(Node("a"))
+        graph.add_node(Node("b"))
+        graph.add_edge(Edge("e1", "a", "b"))
+        with pytest.raises(DuplicateElementError):
+            graph.add_edge(Edge("e1", "b", "a"))
+
+    def test_missing_lookup_raises(self):
+        graph = PropertyGraph()
+        with pytest.raises(MissingElementError):
+            graph.node("nope")
+        with pytest.raises(MissingElementError):
+            graph.edge("nope")
+
+    def test_remove_node_removes_incident_edges(self):
+        graph = PropertyGraph()
+        for node_id in ("a", "b", "c"):
+            graph.add_node(Node(node_id))
+        graph.add_edge(Edge("e1", "a", "b"))
+        graph.add_edge(Edge("e2", "c", "a"))
+        graph.add_edge(Edge("e3", "b", "c"))
+        graph.remove_node("a")
+        assert not graph.has_edge("e1")
+        assert not graph.has_edge("e2")
+        assert graph.has_edge("e3")
+        assert graph.node_count == 2
+
+    def test_remove_edge_updates_degrees(self):
+        graph = PropertyGraph()
+        graph.add_node(Node("a"))
+        graph.add_node(Node("b"))
+        graph.add_edge(Edge("e1", "a", "b"))
+        graph.remove_edge("e1")
+        assert graph.out_degree("a") == 0
+        assert graph.in_degree("b") == 0
+
+    def test_put_node_replaces(self):
+        graph = PropertyGraph()
+        graph.add_node(Node("a", {"X"}))
+        graph.put_node(Node("a", {"Y"}))
+        assert graph.node("a").labels == frozenset({"Y"})
+        assert graph.node_count == 1
+
+
+class TestPropertyGraphAdjacency:
+    @pytest.fixture
+    def diamond(self) -> PropertyGraph:
+        graph = PropertyGraph()
+        for node_id in ("a", "b", "c", "d"):
+            graph.add_node(Node(node_id))
+        graph.add_edge(Edge("e1", "a", "b"))
+        graph.add_edge(Edge("e2", "a", "c"))
+        graph.add_edge(Edge("e3", "b", "d"))
+        graph.add_edge(Edge("e4", "c", "d"))
+        return graph
+
+    def test_out_edges(self, diamond):
+        assert {e.edge_id for e in diamond.out_edges("a")} == {"e1", "e2"}
+
+    def test_in_edges(self, diamond):
+        assert {e.edge_id for e in diamond.in_edges("d")} == {"e3", "e4"}
+
+    def test_degrees(self, diamond):
+        assert diamond.out_degree("a") == 2
+        assert diamond.in_degree("a") == 0
+        assert diamond.in_degree("d") == 2
+
+    def test_neighbors_distinct_both_directions(self, diamond):
+        assert set(diamond.neighbors("b")) == {"a", "d"}
+
+    def test_multigraph_parallel_edges(self):
+        graph = PropertyGraph()
+        graph.add_node(Node("a"))
+        graph.add_node(Node("b"))
+        graph.add_edge(Edge("e1", "a", "b", {"KNOWS"}))
+        graph.add_edge(Edge("e2", "a", "b", {"KNOWS"}))
+        assert graph.out_degree("a") == 2
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self, figure1_graph):
+        clone = figure1_graph.copy()
+        clone.remove_node("bob")
+        assert figure1_graph.has_node("bob")
+        assert not clone.has_node("bob")
+
+    def test_subgraph_induced(self, figure1_graph):
+        sub = figure1_graph.subgraph({"bob", "john", "alice"})
+        assert sub.node_count == 3
+        assert {e.edge_id for e in sub.edges()} == {"e1", "e2"}
+
+    def test_subgraph_with_dangling(self, figure1_graph):
+        sub = figure1_graph.subgraph({"bob"}, include_dangling=True)
+        assert sub.has_node("org")  # pulled in by WORKS_AT
+        assert sub.has_edge("e5")
+
+    def test_subgraph_unknown_node_raises(self, figure1_graph):
+        with pytest.raises(MissingElementError):
+            figure1_graph.subgraph({"ghost"})
+
+    def test_merge_in_unions(self, figure1_graph):
+        other = PropertyGraph()
+        other.add_node(Node("new", {"Person"}))
+        merged = figure1_graph.copy().merge_in(other)
+        assert merged.has_node("new")
+        assert merged.node_count == figure1_graph.node_count + 1
+
+
+class TestAggregates:
+    def test_all_node_property_keys_sorted(self, figure1_graph):
+        keys = figure1_graph.all_node_property_keys()
+        assert keys == sorted(keys)
+        assert "bday" in keys and "imgFile" in keys
+
+    def test_all_edge_property_keys(self, figure1_graph):
+        assert figure1_graph.all_edge_property_keys() == ["from", "since"]
+
+    def test_all_node_labels(self, figure1_graph):
+        assert figure1_graph.all_node_labels() == [
+            "Org.",
+            "Person",
+            "Place",
+            "Post",
+        ]
+
+    def test_len_and_contains(self, figure1_graph):
+        assert len(figure1_graph) == 7 + 7
+        assert "bob" in figure1_graph
+        assert "e1" in figure1_graph
+        assert "nope" not in figure1_graph

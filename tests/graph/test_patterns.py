@@ -1,0 +1,78 @@
+"""Unit tests for node/edge patterns (Def. 3.5, 3.6 and Example 2)."""
+
+from repro.graph.patterns import (
+    EdgePattern,
+    NodePattern,
+    edge_patterns,
+    node_patterns,
+    patterns_by_token,
+)
+
+
+class TestNodePatterns:
+    def test_figure1_node_patterns_match_example2(self, figure1_graph):
+        patterns = set(node_patterns(figure1_graph))
+        expected = {
+            NodePattern(
+                frozenset({"Person"}), frozenset({"name", "gender", "bday"})
+            ),
+            NodePattern(frozenset(), frozenset({"name", "gender", "bday"})),
+            NodePattern(frozenset({"Org."}), frozenset({"name", "url"})),
+            NodePattern(frozenset({"Post"}), frozenset({"imgFile"})),
+            NodePattern(frozenset({"Post"}), frozenset({"content"})),
+            NodePattern(frozenset({"Place"}), frozenset({"name"})),
+        }
+        assert patterns == expected
+
+    def test_pattern_counts(self, figure1_graph):
+        counts = node_patterns(figure1_graph)
+        person = NodePattern(
+            frozenset({"Person"}), frozenset({"name", "gender", "bday"})
+        )
+        assert counts[person] == 2  # bob and john
+
+    def test_is_labeled(self):
+        assert NodePattern(frozenset({"A"}), frozenset()).is_labeled
+        assert not NodePattern(frozenset(), frozenset({"k"})).is_labeled
+
+    def test_str_is_readable(self):
+        pattern = NodePattern(frozenset({"A"}), frozenset({"x", "y"}))
+        assert str(pattern) == "({A}, {x, y})"
+
+
+class TestEdgePatterns:
+    def test_figure1_edge_patterns_match_example2(self, figure1_graph):
+        patterns = set(edge_patterns(figure1_graph))
+        # Example 2 lists 6 distinct edge patterns; "alice" is unlabeled so
+        # the KNOWS(alice->john) pattern has an empty source label set.
+        assert (
+            EdgePattern(
+                frozenset({"KNOWS"}),
+                frozenset({"since"}),
+                frozenset({"Person"}),
+                frozenset({"Person"}),
+            )
+            in patterns
+        )
+        assert (
+            EdgePattern(
+                frozenset({"KNOWS"}),
+                frozenset(),
+                frozenset(),
+                frozenset({"Person"}),
+            )
+            in patterns
+        )
+        assert len(patterns) == 7  # 6 of Example 2 + the unlabeled-source LIKES
+
+    def test_endpoint_tokens(self, figure1_graph):
+        counts = edge_patterns(figure1_graph)
+        works_at = next(p for p in counts if "WORKS_AT" in p.labels)
+        assert works_at.endpoint_tokens == ("Person", "Org.")
+
+
+class TestGrouping:
+    def test_patterns_by_token_groups_same_type(self, figure1_graph):
+        grouped = patterns_by_token(node_patterns(figure1_graph))
+        assert len(grouped["Post"]) == 2  # two structural variants
+        assert len(grouped[""]) == 1  # the unlabeled pattern

@@ -1,0 +1,85 @@
+"""Unit tests for the declarative query layer."""
+
+import pytest
+
+from repro.graph.query import query_edges, query_nodes
+from repro.graph.store import GraphStore
+
+
+@pytest.fixture
+def store(figure1_graph) -> GraphStore:
+    return GraphStore(figure1_graph)
+
+
+class TestNodeQuery:
+    def test_label_match(self, store):
+        assert {n.node_id for n in query_nodes(store).with_label("Person")} == {
+            "bob",
+            "john",
+        }
+
+    def test_unlabeled(self, store):
+        assert [n.node_id for n in query_nodes(store).unlabeled()] == ["alice"]
+
+    def test_has_property(self, store):
+        assert {n.node_id for n in query_nodes(store).has_property("url")} == {"org"}
+
+    def test_where_predicate(self, store):
+        males = query_nodes(store).where("gender", lambda v: v == "male").all()
+        assert {n.node_id for n in males} == {"bob", "john"}
+
+    def test_where_equals(self, store):
+        found = query_nodes(store).where_equals("name", "Greece").all()
+        assert [n.node_id for n in found] == ["place"]
+
+    def test_predicate_requires_key_presence(self, store):
+        # Nodes lacking the key never match, even with a permissive predicate.
+        found = query_nodes(store).where("url", lambda _v: True).all()
+        assert {n.node_id for n in found} == {"org"}
+
+    def test_combined_label_and_property(self, store):
+        found = (
+            query_nodes(store)
+            .with_label("Person")
+            .where("gender", lambda v: v == "male")
+            .all()
+        )
+        assert {n.node_id for n in found} == {"bob", "john"}
+
+    def test_limit(self, store):
+        assert len(query_nodes(store).limit(3).all()) == 3
+
+    def test_first_and_count(self, store):
+        query = query_nodes(store).with_label("Post")
+        assert query.first() is not None
+        assert query.count() == 2
+
+    def test_no_match_returns_empty(self, store):
+        assert query_nodes(store).with_label("Ghost").all() == []
+        assert query_nodes(store).with_label("Ghost").first() is None
+
+
+class TestEdgeQuery:
+    def test_label(self, store):
+        assert query_edges(store).with_label("KNOWS").count() == 2
+
+    def test_endpoint_labels(self, store):
+        found = query_edges(store).with_label("LOCATED_IN").from_label("Org.").all()
+        assert [e.edge_id for e in found] == ["e6"]
+
+    def test_to_label(self, store):
+        found = query_edges(store).to_label("Post").all()
+        assert {e.edge_id for e in found} == {"e3", "e4"}
+
+    def test_has_property(self, store):
+        assert {e.edge_id for e in query_edges(store).has_property("from")} == {
+            "e5",
+            "e7",
+        }
+
+    def test_where(self, store):
+        found = query_edges(store).where("since", lambda v: v > 2000).all()
+        assert [e.edge_id for e in found] == ["e2"]
+
+    def test_limit(self, store):
+        assert query_edges(store).limit(2).count() == 2

@@ -1,0 +1,55 @@
+"""Unit tests for graph statistics (Table 2 rows)."""
+
+from repro.graph.model import Node, PropertyGraph
+from repro.graph.statistics import (
+    compute_statistics,
+    label_coverage,
+    property_fill_ratio,
+)
+
+
+class TestComputeStatistics:
+    def test_figure1_row(self, figure1_graph):
+        stats = compute_statistics(figure1_graph)
+        assert stats.nodes == 7
+        assert stats.edges == 7
+        assert stats.node_labels == 4
+        assert stats.edge_labels == 4
+        assert stats.node_patterns == 6
+        assert stats.edge_patterns == 7
+
+    def test_type_counts_from_ground_truth(self, figure1_graph):
+        stats = compute_statistics(
+            figure1_graph, node_type_count=4, edge_type_count=4, real=True
+        )
+        assert stats.node_types == 4
+        assert stats.edge_types == 4
+        assert stats.as_row()[-1] == "R"
+
+    def test_type_counts_fallback_to_tokens(self, figure1_graph):
+        stats = compute_statistics(figure1_graph)
+        # Tokens: Person, "", Org., Post, Place -> 5
+        assert stats.node_types == 5
+
+
+class TestSparsityMeasures:
+    def test_fill_ratio_full(self):
+        graph = PropertyGraph()
+        graph.add_node(Node("a", properties={"x": 1, "y": 2}))
+        graph.add_node(Node("b", properties={"x": 3, "y": 4}))
+        assert property_fill_ratio(graph) == 1.0
+
+    def test_fill_ratio_partial(self):
+        graph = PropertyGraph()
+        graph.add_node(Node("a", properties={"x": 1}))
+        graph.add_node(Node("b", properties={"x": 3, "y": 4}))
+        assert property_fill_ratio(graph) == 0.75
+
+    def test_fill_ratio_empty_graph(self):
+        assert property_fill_ratio(PropertyGraph()) == 0.0
+
+    def test_label_coverage(self, figure1_graph):
+        assert label_coverage(figure1_graph) == 6 / 7
+
+    def test_label_coverage_empty(self):
+        assert label_coverage(PropertyGraph()) == 0.0

@@ -1,0 +1,105 @@
+"""Unit tests for the indexed graph store."""
+
+import pytest
+
+from repro.graph.model import Edge, Node
+from repro.graph.store import GraphStore
+
+
+@pytest.fixture
+def store(figure1_graph) -> GraphStore:
+    return GraphStore(figure1_graph)
+
+
+class TestLoading:
+    def test_counts_match_source(self, figure1_graph, store):
+        assert store.node_count == figure1_graph.node_count
+        assert store.edge_count == figure1_graph.edge_count
+
+    def test_scan_order_is_insertion_order(self, figure1_graph, store):
+        assert [n.node_id for n in store.scan_nodes()] == list(
+            figure1_graph.node_ids()
+        )
+
+
+class TestLabelIndex:
+    def test_nodes_with_label(self, store):
+        assert {n.node_id for n in store.nodes_with_label("Person")} == {
+            "bob",
+            "john",
+        }
+
+    def test_unlabeled_nodes(self, store):
+        assert [n.node_id for n in store.unlabeled_nodes()] == ["alice"]
+
+    def test_edges_with_label(self, store):
+        assert {e.edge_id for e in store.edges_with_label("KNOWS")} == {"e1", "e2"}
+
+    def test_label_lists_sorted(self, store):
+        assert store.node_labels() == ["Org.", "Person", "Place", "Post"]
+        assert "KNOWS" in store.edge_labels()
+
+    def test_missing_label_is_empty(self, store):
+        assert store.nodes_with_label("Ghost") == []
+
+
+class TestPropertyIndex:
+    def test_nodes_with_property(self, store):
+        assert {n.node_id for n in store.nodes_with_property("name")} == {
+            "bob",
+            "alice",
+            "john",
+            "org",
+            "place",
+        }
+
+    def test_edges_with_property(self, store):
+        assert {e.edge_id for e in store.edges_with_property("from")} == {
+            "e5",
+            "e7",
+        }
+
+    def test_property_key_lists(self, store):
+        assert "bday" in store.node_property_keys()
+        assert store.edge_property_keys() == ["from", "since"]
+
+
+class TestIndexMaintenance:
+    def test_remove_node_updates_indexes(self, store):
+        store.remove_node("bob")
+        assert {n.node_id for n in store.nodes_with_label("Person")} == {"john"}
+        assert not store.graph.has_edge("e2")  # KNOWS bob->john gone
+        assert not store.graph.has_edge("e5")  # WORKS_AT gone
+
+    def test_remove_edge_updates_indexes(self, store):
+        store.remove_edge("e2")
+        assert {e.edge_id for e in store.edges_with_label("KNOWS")} == {"e1"}
+        assert {e.edge_id for e in store.edges_with_property("since")} == set()
+
+    def test_update_node_reindexes(self, store):
+        node = store.node("alice").with_labels({"Person"})
+        store.update_node(node)
+        assert {n.node_id for n in store.nodes_with_label("Person")} == {
+            "bob",
+            "john",
+            "alice",
+        }
+        assert store.unlabeled_nodes() == []
+
+    def test_add_after_load(self, store):
+        store.add_node(Node("x", {"Person"}, {"name": "X"}))
+        store.add_edge(Edge("ex", "x", "bob", {"KNOWS"}))
+        assert store.node("x").properties["name"] == "X"
+        assert "x" in {n.node_id for n in store.nodes_with_label("Person")}
+
+
+class TestDegreeQueries:
+    def test_degrees(self, store):
+        assert store.in_degree("john") == 2  # KNOWS from alice and bob
+        assert store.out_degree("bob") == 2  # KNOWS + WORKS_AT
+
+    def test_endpoint_labels(self, store):
+        edge = store.edge("e5")
+        source_labels, target_labels = store.endpoint_labels(edge)
+        assert source_labels == frozenset({"Person"})
+        assert target_labels == frozenset({"Org."})

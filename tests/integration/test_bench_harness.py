@@ -1,0 +1,154 @@
+"""Integration tests for the bench harness and experiment drivers."""
+
+import pytest
+
+from repro.bench.experiments import (
+    figure3_ranking,
+    figure4_series,
+    figure5_series,
+    figure6_heatmap,
+    figure7_incremental,
+    figure8_sampling_errors,
+    headline_summary,
+    run_quality_grid,
+)
+from repro.bench.harness import (
+    NOISE_LEVELS,
+    PGHiveMethod,
+    all_methods,
+    bench_scale,
+    evaluate_on,
+    format_table,
+)
+from repro.core.config import ClusteringMethod
+from repro.datasets import apply_noise, load_dataset
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return load_dataset("POLE", nodes=250, seed=30)
+
+
+@pytest.fixture(scope="module")
+def tiny_grid(small_dataset):
+    return run_quality_grid(
+        [small_dataset],
+        noise_levels=(0.0, 0.4),
+        availabilities=(1.0, 0.0),
+        seed=30,
+    )
+
+
+class TestHarness:
+    def test_all_methods_roster(self):
+        names = [m.name for m in all_methods()]
+        assert names == [
+            "PG-HIVE-ELSH",
+            "PG-HIVE-MinHash",
+            "GMM",
+            "SchemI",
+        ]
+
+    def test_evaluate_on_scores_and_times(self, small_dataset):
+        method = PGHiveMethod(ClusteringMethod.ELSH, seed=30)
+        case = evaluate_on(method, small_dataset, 0.0, 1.0)
+        assert case.supported
+        assert case.node_f1 is not None and case.node_f1 > 0.9
+        assert case.edge_f1 is not None
+        assert case.seconds > 0
+
+    def test_evaluate_on_unsupported(self, small_dataset):
+        from repro.baselines.schemi import SchemI
+
+        stripped = apply_noise(small_dataset, 0.0, 0.0, seed=1)
+        case = evaluate_on(SchemI(), stripped, 0.0, 0.0)
+        assert not case.supported
+        assert case.node_f1 is None
+
+    def test_format_table(self):
+        table = format_table(
+            ["a", "bb"], [[1, 0.5], [None, True]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "0.500" in table
+        assert "-" in table
+        assert "yes" in table
+
+    def test_bench_scale_env(self, monkeypatch):
+        monkeypatch.setenv("PGHIVE_SCALE", "0.5")
+        assert bench_scale(1.0) == 0.5
+        monkeypatch.setenv("PGHIVE_SCALE", "junk")
+        assert bench_scale(1.0) == 1.0
+        monkeypatch.setenv("PGHIVE_SCALE", "-2")
+        assert bench_scale(1.0) == 1.0
+        monkeypatch.delenv("PGHIVE_SCALE")
+        assert bench_scale(0.3) == 0.3
+
+
+class TestGridDrivers:
+    def test_grid_shape(self, tiny_grid):
+        # 1 dataset x 2 availabilities x 2 noise x 4 methods.
+        assert len(tiny_grid.cases) == 16
+        assert set(tiny_grid.method_names()) == {
+            "PG-HIVE-ELSH",
+            "PG-HIVE-MinHash",
+            "GMM",
+            "SchemI",
+        }
+
+    def test_select_filters(self, tiny_grid):
+        subset = tiny_grid.select(noise=0.4, availability=1.0)
+        assert len(subset) == 4
+        assert all(c.noise == 0.4 for c in subset)
+
+    def test_figure3_excludes_gmm_from_edges(self, tiny_grid):
+        nodes_result, edges_result = figure3_ranking(tiny_grid)
+        assert "GMM" in nodes_result.ranks
+        assert "GMM" not in edges_result.ranks
+
+    def test_figure4_series_baselines_absent_without_labels(self, tiny_grid):
+        series = figure4_series(tiny_grid, "nodes")
+        gmm_rows = [row for row in series if row[2] == "GMM"]
+        availabilities = {row[1] for row in gmm_rows}
+        assert availabilities == {1.0}
+
+    def test_figure5_series_rows(self, tiny_grid):
+        series = figure5_series(tiny_grid)
+        assert {row[1] for row in series} == set(tiny_grid.method_names())
+
+    def test_headline_summary_keys(self, tiny_grid):
+        summary = headline_summary(tiny_grid)
+        assert set(summary) == {
+            "max_node_f1_gain",
+            "max_edge_f1_gain",
+            "max_speedup_vs_schemi",
+        }
+        assert summary["max_node_f1_gain"] >= 0.0
+
+
+class TestFigureDrivers:
+    def test_figure6_heatmap(self, small_dataset):
+        heatmap = figure6_heatmap(
+            small_dataset, table_counts=(5, 10), alphas=(1.0,), seed=30
+        )
+        assert set(heatmap["cells"]) == {(5, 1.0), (10, 1.0)}
+        assert 0.0 <= heatmap["adaptive_f1"] <= 1.0
+        assert heatmap["adaptive_T"] >= 1
+
+    def test_figure7_incremental(self, small_dataset):
+        seconds = figure7_incremental(
+            small_dataset, ClusteringMethod.MINHASH, batch_count=4, seed=30
+        )
+        assert len(seconds) == 4
+        assert all(s >= 0 for s in seconds)
+
+    def test_figure8_bins_normalised(self, small_dataset):
+        bins = figure8_sampling_errors(
+            small_dataset, ClusteringMethod.ELSH, seed=30
+        )
+        assert sum(bins.values()) == pytest.approx(1.0)
+        assert bins["0-0.05"] >= 0.5
+
+    def test_noise_levels_constant(self):
+        assert NOISE_LEVELS == (0.0, 0.1, 0.2, 0.3, 0.4)

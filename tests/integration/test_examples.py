@@ -1,0 +1,31 @@
+"""Smoke tests: every example script runs cleanly as a subprocess."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize(
+    "script,expected",
+    [
+        ("quickstart.py", "Discovered 4 node types"),
+        ("social_network_discovery.py", "node F1*"),
+        ("incremental_streaming.py", "final schema"),
+        ("heterogeneous_integration.py", "cannot run"),
+        ("schema_export.py", "candidate keys"),
+    ],
+)
+def test_example_runs(script, expected, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=tmp_path,  # scripts must not depend on the working directory
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout

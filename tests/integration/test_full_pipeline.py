@@ -1,0 +1,47 @@
+"""Integration: full discovery on every generated dataset."""
+
+import pytest
+
+from repro.core.config import ClusteringMethod, PGHiveConfig
+from repro.core.pipeline import PGHive
+from repro.datasets import dataset_names, load_dataset
+from repro.eval.clustering_metrics import majority_f1
+
+SMALL = {
+    "POLE": 400,
+    "MB6": 400,
+    "HET.IO": 400,
+    "FIB25": 400,
+    "ICIJ": 400,
+    "LDBC": 400,
+    "CORD19": 500,
+    "IYP": 700,
+}
+
+
+@pytest.mark.parametrize("name", dataset_names())
+@pytest.mark.parametrize("method", list(ClusteringMethod))
+class TestDiscoveryOnAllDatasets:
+    def test_high_f1_on_clean_data(self, name, method):
+        dataset = load_dataset(name, nodes=SMALL[name], seed=13)
+        config = PGHiveConfig(method=method, seed=13)
+        result = PGHive(config).discover(dataset.graph)
+        node_score = majority_f1(result.node_assignments(), dataset.node_truth)
+        assert node_score.macro_f1 >= 0.95, (name, method, node_score)
+        edge_score = majority_f1(result.edge_assignments(), dataset.edge_truth)
+        assert edge_score.macro_f1 >= 0.9, (name, method, edge_score)
+
+    def test_schema_structures_filled(self, name, method):
+        dataset = load_dataset(name, nodes=SMALL[name], seed=13)
+        config = PGHiveConfig(method=method, seed=13)
+        result = PGHive(config).discover(dataset.graph)
+        schema = result.schema
+        assert schema.node_type_count >= 1
+        assert schema.edge_type_count >= 1
+        for node_type in schema.node_types():
+            for spec in node_type.properties.values():
+                assert spec.data_type is not None
+                assert spec.mandatory is not None
+        for edge_type in schema.edge_types():
+            assert edge_type.cardinality is not None
+            assert edge_type.source_tokens and edge_type.target_tokens

@@ -1,0 +1,68 @@
+"""Integration: the paper's robustness claims at small scale.
+
+These mirror the Figure 4 shape assertions but run fast enough for the
+unit-test suite; the benches exercise the full grid.
+"""
+
+import pytest
+
+from repro.baselines.base import UnsupportedGraphError
+from repro.baselines.gmm_schema import GMMSchema
+from repro.baselines.schemi import SchemI
+from repro.core.config import ClusteringMethod, PGHiveConfig
+from repro.core.pipeline import PGHive
+from repro.datasets import apply_noise, load_dataset
+from repro.eval.clustering_metrics import majority_f1
+
+
+@pytest.fixture(scope="module")
+def pole():
+    return load_dataset("POLE", nodes=500, seed=6)
+
+
+@pytest.fixture(scope="module")
+def hetio():
+    return load_dataset("HET.IO", nodes=400, seed=6)
+
+
+def pg_hive_f1(dataset, method, noise, availability, seed=6):
+    noisy = apply_noise(dataset, noise, availability, seed=seed)
+    config = PGHiveConfig(method=method, seed=seed, post_processing=False)
+    result = PGHive(config).discover(noisy.graph)
+    return majority_f1(result.node_assignments(), dataset.node_truth).macro_f1
+
+
+@pytest.mark.parametrize("method", list(ClusteringMethod))
+class TestPGHiveRobustness:
+    def test_high_noise_full_labels(self, pole, method):
+        assert pg_hive_f1(pole, method, 0.4, 1.0) >= 0.9
+
+    def test_no_labels_clean(self, pole, method):
+        assert pg_hive_f1(pole, method, 0.0, 0.0) >= 0.8
+
+    def test_half_labels_moderate_noise(self, pole, method):
+        assert pg_hive_f1(pole, method, 0.2, 0.5) >= 0.8
+
+    def test_multilabel_dataset_with_noise(self, hetio, method):
+        assert pg_hive_f1(hetio, method, 0.3, 1.0) >= 0.9
+
+
+class TestBaselinesDegradeOrFail:
+    def test_baselines_fail_without_labels(self, pole):
+        stripped = apply_noise(pole, 0.0, 0.0, seed=1)
+        for baseline in (GMMSchema(seed=1), SchemI()):
+            with pytest.raises(UnsupportedGraphError):
+                baseline.run(stripped.graph)
+
+    def test_schemi_below_pg_hive_on_multilabel(self, hetio):
+        schemi = SchemI().run(hetio.graph)
+        schemi_f1 = majority_f1(schemi.node_assignment, hetio.node_truth).macro_f1
+        pg = pg_hive_f1(hetio, ClusteringMethod.ELSH, 0.0, 1.0)
+        assert pg - schemi_f1 >= 0.4  # the paper's "up to 65%" direction
+
+    def test_gmm_below_pg_hive_under_noise(self, pole):
+        noisy = apply_noise(pole, 0.4, 1.0, seed=3)
+        gmm = GMMSchema(seed=3).run(noisy.graph)
+        gmm_f1 = majority_f1(gmm.node_assignment, pole.node_truth).macro_f1
+        pg = pg_hive_f1(pole, ClusteringMethod.ELSH, 0.4, 1.0, seed=3)
+        assert pg >= gmm_f1

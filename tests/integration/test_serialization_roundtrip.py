@@ -1,0 +1,66 @@
+"""Integration: serialised schemas and graphs survive round trips."""
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.core.config import PGHiveConfig
+from repro.core.pipeline import PGHive
+from repro.core.serialization import to_pg_schema, to_xsd
+from repro.datasets import load_dataset
+from repro.graph.csv_io import read_graph_csv, write_graph_csv
+from repro.graph.json_io import read_graph_jsonl, write_graph_jsonl
+from repro.schema.validation import ValidationMode, validate_graph
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("POLE", nodes=300, seed=4)
+
+
+class TestGraphIORoundTrips:
+    def test_discovery_identical_after_jsonl_roundtrip(self, dataset, tmp_path):
+        path = write_graph_jsonl(dataset.graph, tmp_path / "g.jsonl")
+        loaded = read_graph_jsonl(path)
+        config = PGHiveConfig(seed=4)
+        original = PGHive(config).discover(dataset.graph)
+        reloaded = PGHive(config).discover(loaded)
+        assert original.node_assignments() == reloaded.node_assignments()
+        assert original.edge_assignments() == reloaded.edge_assignments()
+
+    def test_discovery_equivalent_after_csv_roundtrip(self, dataset, tmp_path):
+        write_graph_csv(dataset.graph, tmp_path)
+        loaded = read_graph_csv(tmp_path)
+        config = PGHiveConfig(seed=4)
+        original = PGHive(config).discover(dataset.graph)
+        reloaded = PGHive(config).discover(loaded)
+        original_tokens = {t.token for t in original.schema.node_types()}
+        reloaded_tokens = {t.token for t in reloaded.schema.node_types()}
+        assert original_tokens == reloaded_tokens
+
+
+class TestSchemaExports:
+    def test_discovered_schema_validates_its_own_graph_loose(self, dataset):
+        result = PGHive(PGHiveConfig(seed=4)).discover(dataset.graph)
+        report = validate_graph(
+            dataset.graph, result.schema, ValidationMode.LOOSE
+        )
+        assert report.valid, report.violations[:5]
+
+    def test_discovered_schema_validates_its_own_graph_strict(self, dataset):
+        result = PGHive(PGHiveConfig(seed=4)).discover(dataset.graph)
+        report = validate_graph(
+            dataset.graph, result.schema, ValidationMode.STRICT
+        )
+        assert report.valid, report.violations[:5]
+
+    def test_pg_schema_text_stable(self, dataset):
+        config = PGHiveConfig(seed=4)
+        first = to_pg_schema(PGHive(config).discover(dataset.graph).schema)
+        second = to_pg_schema(PGHive(config).discover(dataset.graph).schema)
+        assert first == second
+
+    def test_xsd_parses_for_every_dataset_schema(self, dataset):
+        result = PGHive(PGHiveConfig(seed=4)).discover(dataset.graph)
+        root = ElementTree.fromstring(to_xsd(result.schema))
+        assert len(list(root)) > 0

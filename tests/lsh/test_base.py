@@ -1,0 +1,105 @@
+"""Unit tests for LSH grouping rules and collision-probability theory."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.base import (
+    GroupingRule,
+    and_rule_probability,
+    elsh_collision_probability,
+    group,
+    group_by_any_table,
+    group_by_signature,
+    or_rule_probability,
+)
+
+
+class TestGroupBySignature:
+    def test_identical_rows_cluster(self):
+        signatures = np.array([[1, 2], [1, 2], [3, 4]])
+        assert group_by_signature(signatures) == [[0, 1], [2]]
+
+    def test_all_distinct(self):
+        signatures = np.array([[1, 1], [1, 2], [2, 1]])
+        assert group_by_signature(signatures) == [[0], [1], [2]]
+
+    def test_partial_agreement_not_enough(self):
+        # AND rule: sharing one of two tables does not cluster.
+        signatures = np.array([[1, 2], [1, 3]])
+        assert group_by_signature(signatures) == [[0], [1]]
+
+
+class TestGroupByAnyTable:
+    def test_single_table_agreement_clusters(self):
+        signatures = np.array([[1, 2], [1, 3]])
+        assert group_by_any_table(signatures) == [[0, 1]]
+
+    def test_transitive_union(self):
+        signatures = np.array([[1, 9], [1, 5], [7, 5]])
+        # 0~1 via table 0, 1~2 via table 1 -> all together.
+        assert group_by_any_table(signatures) == [[0, 1, 2]]
+
+    def test_disjoint_stays_apart(self):
+        signatures = np.array([[1, 2], [3, 4]])
+        assert group_by_any_table(signatures) == [[0], [1]]
+
+
+class TestGroupDispatch:
+    def test_rules_differ(self):
+        signatures = np.array([[1, 2], [1, 3]])
+        assert group(signatures, GroupingRule.AND) == [[0], [1]]
+        assert group(signatures, GroupingRule.OR) == [[0, 1]]
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            group(np.zeros(3), GroupingRule.AND)
+
+
+class TestCollisionProbabilities:
+    def test_zero_distance_certain_collision(self):
+        assert elsh_collision_probability(0.0, 1.0) == 1.0
+
+    def test_decreasing_in_distance(self):
+        probabilities = [
+            elsh_collision_probability(d, 2.0) for d in (0.1, 0.5, 1.0, 4.0, 10.0)
+        ]
+        assert all(
+            earlier > later
+            for earlier, later in zip(probabilities, probabilities[1:])
+        )
+
+    def test_increasing_in_bucket_length(self):
+        narrow = elsh_collision_probability(1.0, 0.5)
+        wide = elsh_collision_probability(1.0, 4.0)
+        assert wide > narrow
+
+    def test_probability_bounds(self):
+        for distance in (0.01, 1.0, 100.0):
+            for bucket in (0.1, 1.0, 10.0):
+                p = elsh_collision_probability(distance, bucket)
+                assert 0.0 <= p <= 1.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            elsh_collision_probability(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            elsh_collision_probability(1.0, 0.0)
+
+    def test_or_rule_formula(self):
+        # 1 - (1 - p)^T from section 4.2.
+        assert or_rule_probability(0.3, 1) == pytest.approx(0.3)
+        assert or_rule_probability(0.3, 2) == pytest.approx(1 - 0.7**2)
+        assert or_rule_probability(0.0, 10) == 0.0
+        assert or_rule_probability(1.0, 3) == 1.0
+
+    def test_or_rule_increases_with_tables(self):
+        assert or_rule_probability(0.2, 10) > or_rule_probability(0.2, 2)
+
+    def test_and_rule_decreases_with_tables(self):
+        assert and_rule_probability(0.9, 10) < and_rule_probability(0.9, 2)
+
+    def test_rule_argument_validation(self):
+        with pytest.raises(ValueError):
+            or_rule_probability(1.5, 2)
+        with pytest.raises(ValueError):
+            and_rule_probability(0.5, 0)

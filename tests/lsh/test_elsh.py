@@ -1,0 +1,110 @@
+"""Unit tests for Euclidean (p-stable) LSH."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError, ConfigurationError
+from repro.lsh.base import GroupingRule
+from repro.lsh.elsh import EuclideanLSH
+
+
+def blobs(seed=0, per_blob=30, spread=0.05):
+    """Three well-separated Gaussian blobs in 8 dimensions."""
+    rng = np.random.default_rng(seed)
+    centers = np.array(
+        [[0.0] * 8, [10.0] * 8, [-10.0, 10.0] * 4], dtype=float
+    )
+    points, labels = [], []
+    for index, center in enumerate(centers):
+        points.append(center + rng.normal(0, spread, (per_blob, 8)))
+        labels.extend([index] * per_blob)
+    return np.vstack(points), np.array(labels)
+
+
+class TestConfiguration:
+    def test_invalid_bucket_length(self):
+        with pytest.raises(ConfigurationError):
+            EuclideanLSH(bucket_length=0, num_tables=4)
+
+    def test_invalid_tables(self):
+        with pytest.raises(ConfigurationError):
+            EuclideanLSH(bucket_length=1.0, num_tables=0)
+
+    def test_invalid_hashes_per_table(self):
+        with pytest.raises(ConfigurationError):
+            EuclideanLSH(bucket_length=1.0, num_tables=2, hashes_per_table=0)
+
+    def test_bad_input_shape(self):
+        lsh = EuclideanLSH(bucket_length=1.0, num_tables=2)
+        with pytest.raises(ClusteringError):
+            lsh.signatures(np.zeros(5))
+
+
+class TestHashing:
+    def test_signature_shape(self):
+        lsh = EuclideanLSH(bucket_length=1.0, num_tables=6)
+        vectors = np.random.default_rng(0).normal(size=(10, 4))
+        assert lsh.signatures(vectors).shape == (10, 6)
+
+    def test_identical_vectors_identical_signatures(self):
+        lsh = EuclideanLSH(bucket_length=1.0, num_tables=8)
+        vector = np.ones((1, 5))
+        stacked = np.vstack([vector, vector])
+        signatures = lsh.signatures(stacked)
+        assert np.array_equal(signatures[0], signatures[1])
+
+    def test_deterministic_under_seed(self):
+        vectors = np.random.default_rng(1).normal(size=(20, 4))
+        first = EuclideanLSH(1.0, 4, seed=7).signatures(vectors)
+        second = EuclideanLSH(1.0, 4, seed=7).signatures(vectors)
+        assert np.array_equal(first, second)
+
+    def test_different_seed_differs(self):
+        vectors = np.random.default_rng(1).normal(size=(20, 4))
+        first = EuclideanLSH(1.0, 4, seed=1).signatures(vectors)
+        second = EuclideanLSH(1.0, 4, seed=2).signatures(vectors)
+        assert not np.array_equal(first, second)
+
+    def test_hashes_per_table_folding(self):
+        lsh = EuclideanLSH(1.0, num_tables=3, hashes_per_table=4)
+        vectors = np.random.default_rng(0).normal(size=(5, 6))
+        assert lsh.hash_values(vectors).shape == (5, 12)
+        assert lsh.signatures(vectors).shape == (5, 3)
+
+    def test_refit_on_dimension_change(self):
+        lsh = EuclideanLSH(1.0, 4)
+        lsh.signatures(np.zeros((3, 4)))
+        signatures = lsh.signatures(np.zeros((3, 9)))
+        assert signatures.shape == (3, 4)
+
+
+class TestClustering:
+    def test_separated_blobs_no_cross_cluster_mixing(self):
+        points, labels = blobs()
+        lsh = EuclideanLSH(bucket_length=2.0, num_tables=10, seed=0)
+        clusters = lsh.cluster(points, rule=GroupingRule.AND)
+        for cluster in clusters:
+            cluster_labels = {labels[i] for i in cluster}
+            assert len(cluster_labels) == 1, "AND rule must not mix blobs"
+
+    def test_or_rule_recovers_blobs(self):
+        points, labels = blobs()
+        lsh = EuclideanLSH(bucket_length=2.0, num_tables=10, seed=0)
+        clusters = lsh.cluster(points, rule=GroupingRule.OR)
+        # With buckets wider than the blob spread the OR rule reunites each
+        # blob; three pure clusters result.
+        assert len(clusters) == 3
+        for cluster in clusters:
+            assert len({labels[i] for i in cluster}) == 1
+
+    def test_wide_bucket_merges_everything_or_rule(self):
+        points, _ = blobs(spread=0.01)
+        lsh = EuclideanLSH(bucket_length=1000.0, num_tables=4, seed=0)
+        clusters = lsh.cluster(points, rule=GroupingRule.OR)
+        assert len(clusters) == 1
+
+    def test_narrow_bucket_fragments(self):
+        points, _ = blobs(spread=1.0)
+        narrow = EuclideanLSH(bucket_length=0.01, num_tables=4, seed=0)
+        wide = EuclideanLSH(bucket_length=100.0, num_tables=4, seed=0)
+        assert len(narrow.cluster(points)) > len(wide.cluster(points))

@@ -1,0 +1,55 @@
+"""Unit tests for the disjoint-set forest."""
+
+import pytest
+
+from repro.lsh.union_find import UnionFind
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        union = UnionFind(4)
+        assert union.component_count == 4
+        assert not union.connected(0, 1)
+
+    def test_union_connects(self):
+        union = UnionFind(4)
+        assert union.union(0, 1) is True
+        assert union.connected(0, 1)
+        assert union.component_count == 3
+
+    def test_union_same_component_is_noop(self):
+        union = UnionFind(3)
+        union.union(0, 1)
+        assert union.union(1, 0) is False
+        assert union.component_count == 2
+
+    def test_transitivity(self):
+        union = UnionFind(5)
+        union.union(0, 1)
+        union.union(1, 2)
+        assert union.connected(0, 2)
+        assert not union.connected(0, 3)
+
+    def test_groups_ordered_by_smallest_member(self):
+        union = UnionFind(6)
+        union.union(4, 5)
+        union.union(1, 2)
+        groups = union.groups()
+        assert groups == [[0], [1, 2], [3], [4, 5]]
+
+    def test_find_path_compression_consistent(self):
+        union = UnionFind(100)
+        for i in range(99):
+            union.union(i, i + 1)
+        root = union.find(0)
+        assert all(union.find(i) == root for i in range(100))
+        assert union.component_count == 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_empty(self):
+        union = UnionFind(0)
+        assert len(union) == 0
+        assert union.groups() == []

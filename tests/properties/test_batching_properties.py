@@ -1,0 +1,70 @@
+"""Property-based tests for batch splitting invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.batching import reassemble, split_into_batches
+from repro.graph.model import Edge, Node, PropertyGraph
+
+
+@st.composite
+def graphs_and_counts(draw):
+    graph = PropertyGraph("g")
+    node_count = draw(st.integers(1, 15))
+    for index in range(node_count):
+        graph.add_node(Node(f"n{index}", frozenset({"T"}), {"k": index}))
+    edge_count = draw(st.integers(0, 20))
+    for index in range(edge_count):
+        source = f"n{draw(st.integers(0, node_count - 1))}"
+        target = f"n{draw(st.integers(0, node_count - 1))}"
+        graph.add_edge(Edge(f"e{index}", source, target, frozenset({"R"})))
+    batch_count = draw(st.integers(1, 6))
+    seed = draw(st.integers(0, 100))
+    return graph, batch_count, seed
+
+
+class TestBatchInvariants:
+    @given(data=graphs_and_counts())
+    @settings(max_examples=60, deadline=None)
+    def test_union_restores_graph(self, data):
+        graph, batch_count, seed = data
+        batches = split_into_batches(graph, batch_count, seed)
+        merged = reassemble(batches)
+        assert set(merged.node_ids()) == set(graph.node_ids())
+        assert set(merged.edge_ids()) == set(graph.edge_ids())
+
+    @given(data=graphs_and_counts())
+    @settings(max_examples=60, deadline=None)
+    def test_edges_partitioned_exactly_once(self, data):
+        graph, batch_count, seed = data
+        batches = split_into_batches(graph, batch_count, seed)
+        seen: list[str] = []
+        for batch in batches:
+            seen.extend(batch.edge_ids())
+        assert sorted(seen) == sorted(graph.edge_ids())
+
+    @given(data=graphs_and_counts())
+    @settings(max_examples=60, deadline=None)
+    def test_every_batch_is_self_contained(self, data):
+        graph, batch_count, seed = data
+        for batch in split_into_batches(graph, batch_count, seed):
+            for edge in batch.edges():
+                assert batch.has_node(edge.source_id)
+                assert batch.has_node(edge.target_id)
+
+    @given(data=graphs_and_counts())
+    @settings(max_examples=40, deadline=None)
+    def test_batch_count_respected(self, data):
+        graph, batch_count, seed = data
+        batches = split_into_batches(graph, batch_count, seed)
+        assert len(batches) == batch_count
+
+    @given(data=graphs_and_counts())
+    @settings(max_examples=40, deadline=None)
+    def test_elements_keep_their_payload(self, data):
+        graph, batch_count, seed = data
+        for batch in split_into_batches(graph, batch_count, seed):
+            for node in batch.nodes():
+                original = graph.node(node.node_id)
+                assert node.labels == original.labels
+                assert dict(node.properties) == dict(original.properties)

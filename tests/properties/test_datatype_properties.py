@@ -1,0 +1,73 @@
+"""Property-based tests for datatype inference invariants (section 4.7)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schema.datatypes import (
+    DataType,
+    generalize,
+    infer_type,
+    infer_value_type,
+    is_value_compatible,
+)
+
+scalar_values = st.one_of(
+    st.integers(-10**9, 10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    st.text(max_size=12),
+    st.dates().map(str),
+)
+
+
+class TestInferenceInvariants:
+    @given(values=st.lists(scalar_values, min_size=1, max_size=30))
+    @settings(max_examples=200)
+    def test_inferred_type_compatible_with_every_value(self, values):
+        # The section 4.7 guarantee: all values conform to the result.
+        inferred = infer_type(values)
+        for value in values:
+            assert is_value_compatible(value, inferred)
+
+    @given(value=scalar_values)
+    @settings(max_examples=200)
+    def test_value_compatible_with_own_type(self, value):
+        assert is_value_compatible(value, infer_value_type(value))
+
+    @given(values=st.lists(scalar_values, min_size=1, max_size=20))
+    @settings(max_examples=100)
+    def test_order_independent(self, values):
+        assert infer_type(values) is infer_type(list(reversed(values)))
+
+    @given(
+        values=st.lists(scalar_values, min_size=1, max_size=20),
+        extra=scalar_values,
+    )
+    @settings(max_examples=100)
+    def test_adding_values_only_generalises(self, values, extra):
+        before = infer_type(values)
+        after = infer_type(values + [extra])
+        # after must be a generalisation of before.
+        assert generalize(before, after) is after
+
+
+class TestGeneralizeAlgebra:
+    types = st.sampled_from(list(DataType))
+
+    @given(left=types, right=types)
+    def test_commutative(self, left, right):
+        assert generalize(left, right) is generalize(right, left)
+
+    @given(left=types, right=types, third=types)
+    def test_associative(self, left, right, third):
+        assert generalize(generalize(left, right), third) is generalize(
+            left, generalize(right, third)
+        )
+
+    @given(data_type=types)
+    def test_idempotent(self, data_type):
+        assert generalize(data_type, data_type) is data_type
+
+    @given(data_type=types)
+    def test_string_is_absorbing(self, data_type):
+        assert generalize(data_type, DataType.STRING) is DataType.STRING

@@ -1,0 +1,142 @@
+"""Property-based tests for Lemmas 1 and 2 (monotone type merging)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schema.cardinality import CardinalityBounds
+from repro.schema.model import EdgeType, NodeType
+
+labels_strategy = st.frozensets(
+    st.sampled_from(["Person", "Org", "Post", "Place", "Student", "Paper"]),
+    max_size=4,
+)
+keys_strategy = st.frozensets(
+    st.sampled_from(["name", "age", "url", "bday", "content", "rank", "size"]),
+    max_size=5,
+)
+tokens_strategy = st.sets(
+    st.sampled_from(["Person", "Org", "Post", "", "A+B"]), max_size=3
+)
+
+
+def build_node_type(type_id, labels, keys, instances):
+    node_type = NodeType(type_id, labels, abstract=not labels)
+    for index in range(instances):
+        node_type.record_instance(f"{type_id}-i{index}", keys)
+    return node_type
+
+
+def build_edge_type(type_id, labels, keys, sources, targets, bounds):
+    edge_type = EdgeType(type_id, labels, abstract=not labels)
+    edge_type.record_instance(f"{type_id}-e0", keys)
+    edge_type.source_tokens = set(sources)
+    edge_type.target_tokens = set(targets)
+    if bounds is not None:
+        edge_type.cardinality_bounds = bounds
+        edge_type.cardinality = bounds.classify()
+    return edge_type
+
+
+class TestLemma1NodeMonotonicity:
+    @given(
+        left_labels=labels_strategy,
+        left_keys=keys_strategy,
+        right_labels=labels_strategy,
+        right_keys=keys_strategy,
+        left_count=st.integers(0, 5),
+        right_count=st.integers(0, 5),
+    )
+    @settings(max_examples=200)
+    def test_no_label_or_key_lost(
+        self, left_labels, left_keys, right_labels, right_keys, left_count,
+        right_count,
+    ):
+        left = build_node_type("L", left_labels, left_keys, left_count)
+        right = build_node_type("R", right_labels, right_keys, right_count)
+        merged = left.absorb(right)
+        assert left_labels <= merged.labels
+        assert right_labels <= merged.labels
+        if left_count:
+            assert left_keys <= merged.property_keys
+        if right_count:
+            assert right_keys <= merged.property_keys
+        assert merged.instance_count == left_count + right_count
+
+    @given(
+        labels=labels_strategy,
+        keys=keys_strategy,
+        count=st.integers(1, 5),
+    )
+    @settings(max_examples=100)
+    def test_self_union_idempotent_on_labels(self, labels, keys, count):
+        left = build_node_type("L", labels, keys, count)
+        right = build_node_type("R", labels, keys, count)
+        merged = left.absorb(right)
+        assert merged.labels == set(labels)
+        assert merged.property_keys == keys
+
+
+class TestLemma2EdgeMonotonicity:
+    @given(
+        left_labels=labels_strategy,
+        left_keys=keys_strategy,
+        left_sources=tokens_strategy,
+        left_targets=tokens_strategy,
+        right_labels=labels_strategy,
+        right_keys=keys_strategy,
+        right_sources=tokens_strategy,
+        right_targets=tokens_strategy,
+        left_bounds=st.one_of(
+            st.none(),
+            st.builds(
+                CardinalityBounds, st.integers(0, 9), st.integers(0, 9)
+            ),
+        ),
+        right_bounds=st.one_of(
+            st.none(),
+            st.builds(
+                CardinalityBounds, st.integers(0, 9), st.integers(0, 9)
+            ),
+        ),
+    )
+    @settings(max_examples=200)
+    def test_no_label_key_or_endpoint_lost(
+        self,
+        left_labels,
+        left_keys,
+        left_sources,
+        left_targets,
+        right_labels,
+        right_keys,
+        right_sources,
+        right_targets,
+        left_bounds,
+        right_bounds,
+    ):
+        left = build_edge_type(
+            "L", left_labels, left_keys, left_sources, left_targets, left_bounds
+        )
+        right = build_edge_type(
+            "R",
+            right_labels,
+            right_keys,
+            right_sources,
+            right_targets,
+            right_bounds,
+        )
+        merged = left.absorb(right)
+        assert left_labels <= merged.labels
+        assert right_labels <= merged.labels
+        assert left_keys <= merged.property_keys
+        assert right_keys <= merged.property_keys
+        assert left_sources <= merged.source_tokens
+        assert right_sources <= merged.source_tokens
+        assert left_targets <= merged.target_tokens
+        assert right_targets <= merged.target_tokens
+        if left_bounds is not None and right_bounds is not None:
+            assert merged.cardinality_bounds.max_out == max(
+                left_bounds.max_out, right_bounds.max_out
+            )
+            assert merged.cardinality_bounds.max_in == max(
+                left_bounds.max_in, right_bounds.max_in
+            )

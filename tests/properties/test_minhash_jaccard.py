@@ -1,0 +1,59 @@
+"""Property-based tests: MinHash agreement estimates Jaccard similarity."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsh.minhash import MinHashLSH, exact_jaccard
+
+token_sets = st.sets(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=4), min_size=0, max_size=20
+)
+
+
+class TestMinHashEstimatesJaccard:
+    @given(left=token_sets, right=token_sets)
+    @settings(max_examples=80, deadline=None)
+    def test_estimate_within_tolerance(self, left, right):
+        lsh = MinHashLSH(num_tables=256, band_size=1, seed=17)
+        exact = exact_jaccard(left, right)
+        estimate = lsh.estimate_jaccard(left, right)
+        # 256 hashes: standard error sqrt(J(1-J)/256) <= 0.032; 5 sigma.
+        assert abs(estimate - exact) <= 0.16
+
+    @given(tokens=token_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_self_similarity_is_one(self, tokens):
+        lsh = MinHashLSH(num_tables=32, seed=3)
+        assert lsh.estimate_jaccard(tokens, set(tokens)) == 1.0
+
+    @given(left=token_sets, right=token_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, left, right):
+        lsh = MinHashLSH(num_tables=64, seed=5)
+        assert lsh.estimate_jaccard(left, right) == lsh.estimate_jaccard(
+            right, left
+        )
+
+    @given(tokens=st.sets(st.text("abcde", min_size=1, max_size=3), min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_signature_is_permutation_invariant(self, tokens):
+        lsh = MinHashLSH(num_tables=16, seed=7)
+        ordered = sorted(tokens)
+        import numpy as np
+
+        assert np.array_equal(
+            lsh.signature(ordered), lsh.signature(reversed(ordered))
+        )
+
+    @given(
+        base=st.sets(st.text("abcdef", min_size=1, max_size=3), min_size=2, max_size=12),
+        extra=st.text("ghij", min_size=1, max_size=3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_superset_similarity_below_one(self, base, extra):
+        lsh = MinHashLSH(num_tables=512, band_size=1, seed=11)
+        superset = set(base) | {extra}
+        estimate = lsh.estimate_jaccard(base, superset)
+        exact = exact_jaccard(base, superset)
+        assert abs(estimate - exact) <= 0.15
+        assert exact < 1.0

@@ -1,0 +1,103 @@
+"""Property-based tests for noise injection invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.noise import reduce_label_availability, remove_properties
+from repro.graph.model import Edge, Node, PropertyGraph
+
+
+@st.composite
+def small_graphs(draw):
+    graph = PropertyGraph("g")
+    node_count = draw(st.integers(1, 12))
+    for index in range(node_count):
+        labels = draw(
+            st.frozensets(st.sampled_from(["A", "B", "C"]), max_size=2)
+        )
+        key_count = draw(st.integers(0, 4))
+        properties = {f"k{i}": i for i in range(key_count)}
+        graph.add_node(Node(f"n{index}", labels, properties))
+    edge_count = draw(st.integers(0, 10))
+    for index in range(edge_count):
+        source = f"n{draw(st.integers(0, node_count - 1))}"
+        target = f"n{draw(st.integers(0, node_count - 1))}"
+        graph.add_edge(
+            Edge(f"e{index}", source, target, frozenset({"R"}), {"w": 1})
+        )
+    return graph
+
+
+def total_properties(graph):
+    return sum(len(n.properties) for n in graph.nodes()) + sum(
+        len(e.properties) for e in graph.edges()
+    )
+
+
+class TestRemovePropertiesInvariants:
+    @given(graph=small_graphs(), rate=st.floats(0.0, 1.0), seed=st.integers(0, 50))
+    @settings(max_examples=80, deadline=None)
+    def test_never_adds_properties(self, graph, rate, seed):
+        noisy = remove_properties(graph, rate, seed)
+        for node in graph.nodes():
+            assert noisy.node(node.node_id).property_keys <= node.property_keys
+        for edge in graph.edges():
+            assert noisy.edge(edge.edge_id).property_keys <= edge.property_keys
+
+    @given(graph=small_graphs(), rate=st.floats(0.0, 1.0), seed=st.integers(0, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_structure_preserved(self, graph, rate, seed):
+        noisy = remove_properties(graph, rate, seed)
+        assert noisy.node_count == graph.node_count
+        assert noisy.edge_count == graph.edge_count
+        for node in graph.nodes():
+            assert noisy.node(node.node_id).labels == node.labels
+
+    @given(graph=small_graphs(), rate=st.floats(0.0, 1.0), seed=st.integers(0, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic(self, graph, rate, seed):
+        first = remove_properties(graph, rate, seed)
+        second = remove_properties(graph, rate, seed)
+        assert total_properties(first) == total_properties(second)
+
+    @given(graph=small_graphs(), seed=st.integers(0, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_boundary_rates(self, graph, seed):
+        untouched = remove_properties(graph, 0.0, seed)
+        assert total_properties(untouched) == total_properties(graph)
+        stripped = remove_properties(graph, 1.0, seed)
+        assert total_properties(stripped) == 0
+
+
+class TestLabelAvailabilityInvariants:
+    @given(
+        graph=small_graphs(),
+        availability=st.floats(0.0, 1.0),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_labels_only_removed_never_invented(self, graph, availability, seed):
+        reduced = reduce_label_availability(graph, availability, seed)
+        for node in graph.nodes():
+            reduced_labels = reduced.node(node.node_id).labels
+            assert reduced_labels == node.labels or reduced_labels == frozenset()
+
+    @given(
+        graph=small_graphs(),
+        availability=st.floats(0.0, 1.0),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_properties_untouched(self, graph, availability, seed):
+        reduced = reduce_label_availability(graph, availability, seed)
+        assert total_properties(reduced) == total_properties(graph)
+
+    @given(graph=small_graphs(), seed=st.integers(0, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_edge_labels_survive_unless_included(self, graph, seed):
+        reduced = reduce_label_availability(graph, 0.0, seed)
+        for edge in graph.edges():
+            assert reduced.edge(edge.edge_id).labels == edge.labels
+        harsher = reduce_label_availability(graph, 0.0, seed, include_edges=True)
+        for edge in graph.edges():
+            assert harsher.edge(edge.edge_id).labels == frozenset()

@@ -1,0 +1,107 @@
+"""Property-based tests on whole-pipeline guarantees (section 4.7).
+
+Random small property graphs are generated directly (not via the dataset
+specs) so the pipeline faces arbitrary label/property shapes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ClusteringMethod, PGHiveConfig
+from repro.core.pipeline import PGHive
+from repro.graph.model import Edge, Node, PropertyGraph
+
+label_pool = ["A", "B", "C", "D"]
+key_pool = ["k1", "k2", "k3", "k4"]
+
+
+@st.composite
+def random_graphs(draw):
+    graph = PropertyGraph("random")
+    node_count = draw(st.integers(2, 14))
+    for index in range(node_count):
+        labels = draw(st.frozensets(st.sampled_from(label_pool), max_size=2))
+        keys = draw(st.frozensets(st.sampled_from(key_pool), max_size=3))
+        graph.add_node(Node(f"n{index}", labels, {k: 1 for k in keys}))
+    edge_count = draw(st.integers(0, 16))
+    for index in range(edge_count):
+        source = f"n{draw(st.integers(0, node_count - 1))}"
+        target = f"n{draw(st.integers(0, node_count - 1))}"
+        labels = draw(
+            st.frozensets(st.sampled_from(["R", "S"]), max_size=1)
+        )
+        keys = draw(st.frozensets(st.sampled_from(["w", "t"]), max_size=2))
+        graph.add_edge(Edge(f"e{index}", source, target, labels, {k: 1 for k in keys}))
+    return graph
+
+
+@st.composite
+def configs(draw):
+    return PGHiveConfig(
+        method=draw(st.sampled_from(list(ClusteringMethod))),
+        seed=draw(st.integers(0, 5)),
+        embedding_dim=8,
+        embedding_epochs=1,
+    )
+
+
+class TestTypeCompleteness:
+    @given(graph=random_graphs(), config=configs())
+    @settings(max_examples=30, deadline=None)
+    def test_every_element_assigned_to_exactly_one_type(self, graph, config):
+        result = PGHive(config).discover(graph)
+        node_assignment = result.node_assignments()
+        assert set(node_assignment) == set(graph.node_ids())
+        edge_assignment = result.edge_assignments()
+        assert set(edge_assignment) == set(graph.edge_ids())
+        # Types partition instances: totals agree.
+        node_total = sum(
+            t.instance_count for t in result.schema.node_types()
+        )
+        assert node_total == graph.node_count
+
+    @given(graph=random_graphs(), config=configs())
+    @settings(max_examples=30, deadline=None)
+    def test_no_label_or_property_lost(self, graph, config):
+        # Section 4.7 "Type completeness": for every node there is a type
+        # containing its labels and all its property keys.
+        result = PGHive(config).discover(graph)
+        assignment = result.node_assignments()
+        for node in graph.nodes():
+            node_type = result.schema.node_type(assignment[node.node_id])
+            assert node.labels <= frozenset(node_type.labels)
+            assert node.property_keys <= node_type.property_keys
+
+    @given(graph=random_graphs(), config=configs())
+    @settings(max_examples=30, deadline=None)
+    def test_mandatory_properties_sound(self, graph, config):
+        # Section 4.7: a property marked mandatory appears in EVERY instance.
+        result = PGHive(config).discover(graph)
+        assignment = result.node_assignments()
+        by_type: dict[str, list] = {}
+        for node in graph.nodes():
+            by_type.setdefault(assignment[node.node_id], []).append(node)
+        for node_type in result.schema.node_types():
+            members = by_type.get(node_type.type_id, [])
+            for key in node_type.mandatory_keys():
+                assert all(key in m.properties for m in members)
+
+    @given(graph=random_graphs(), config=configs())
+    @settings(max_examples=20, deadline=None)
+    def test_cardinality_upper_bounds_sound(self, graph, config):
+        from collections import defaultdict
+
+        result = PGHive(config).discover(graph)
+        edge_assignment = result.edge_assignments()
+        for edge_type in result.schema.edge_types():
+            outs = defaultdict(set)
+            ins = defaultdict(set)
+            for edge in graph.edges():
+                if edge_assignment[edge.edge_id] != edge_type.type_id:
+                    continue
+                outs[edge.source_id].add(edge.target_id)
+                ins[edge.target_id].add(edge.source_id)
+            max_out = max((len(v) for v in outs.values()), default=0)
+            max_in = max((len(v) for v in ins.values()), default=0)
+            assert edge_type.cardinality_bounds.max_out == max_out
+            assert edge_type.cardinality_bounds.max_in == max_in

@@ -1,0 +1,85 @@
+"""Property-based tests for schema merging (section 4.6 generalisation)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schema.merge import merge_schemas
+from repro.schema.model import EdgeType, NodeType, SchemaGraph, subsumes
+
+label_pool = ["Person", "Org", "Post", "Gene", "AS"]
+key_pool = ["name", "age", "url", "rank", "size", "asn"]
+
+
+@st.composite
+def schemas(draw):
+    schema = SchemaGraph("s")
+    node_count = draw(st.integers(1, 4))
+    tokens_used = set()
+    for index in range(node_count):
+        labels = draw(
+            st.frozensets(st.sampled_from(label_pool), max_size=2)
+        )
+        token = "+".join(sorted(labels))
+        if labels and token in tokens_used:
+            labels = frozenset()  # avoid duplicate labelled tokens
+        tokens_used.add(token)
+        node_type = NodeType(f"n{index}", labels, abstract=not labels)
+        keys = draw(st.frozensets(st.sampled_from(key_pool), max_size=4))
+        node_type.record_instance(f"n{index}-i", keys)
+        schema.add_node_type(node_type)
+    edge_count = draw(st.integers(0, 3))
+    for index in range(edge_count):
+        labels = draw(
+            st.frozensets(st.sampled_from(["KNOWS", "LIKES", "AT"]), min_size=1, max_size=1)
+        )
+        edge_type = EdgeType(f"e{index}", labels)
+        keys = draw(st.frozensets(st.sampled_from(key_pool), max_size=2))
+        edge_type.record_instance(f"e{index}-i", keys)
+        edge_type.source_tokens = set(
+            draw(st.sets(st.sampled_from(label_pool), min_size=1, max_size=2))
+        )
+        edge_type.target_tokens = set(
+            draw(st.sets(st.sampled_from(label_pool), min_size=1, max_size=2))
+        )
+        schema.add_edge_type(edge_type)
+    return schema
+
+
+class TestMergeGeneralises:
+    @given(left=schemas(), right=schemas())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_subsumes_both_inputs(self, left, right):
+        merged = merge_schemas(left, right)
+        assert subsumes(merged, left)
+        assert subsumes(merged, right)
+
+    @given(schema=schemas())
+    @settings(max_examples=40, deadline=None)
+    def test_self_merge_adds_no_labelled_types(self, schema):
+        merged = merge_schemas(schema, schema)
+        labelled_before = sum(1 for t in schema.node_types() if t.labels)
+        labelled_after = sum(1 for t in merged.node_types() if t.labels)
+        assert labelled_after == labelled_before
+
+    @given(left=schemas(), right=schemas())
+    @settings(max_examples=60, deadline=None)
+    def test_instances_preserved(self, left, right):
+        expected = set()
+        for schema in (left, right):
+            for node_type in schema.node_types():
+                expected |= node_type.instance_ids
+        merged = merge_schemas(left, right)
+        got = set()
+        for node_type in merged.node_types():
+            got |= node_type.instance_ids
+        assert got == expected
+
+    @given(left=schemas(), right=schemas())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_never_shrinks_type_count_below_either(self, left, right):
+        merged = merge_schemas(left, right)
+        labelled_tokens_left = {
+            t.token for t in left.node_types() if t.labels
+        }
+        merged_tokens = {t.token for t in merged.node_types() if t.labels}
+        assert labelled_tokens_left <= merged_tokens

@@ -1,0 +1,46 @@
+"""Unit tests for cardinality classification (section 4.4, Example 8)."""
+
+import pytest
+
+from repro.schema.cardinality import Cardinality, CardinalityBounds
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "max_out,max_in,expected",
+        [
+            (1, 1, Cardinality.ONE_TO_ONE),
+            (0, 0, Cardinality.ONE_TO_ONE),
+            (1, 5, Cardinality.MANY_TO_ONE),
+            (5, 1, Cardinality.ONE_TO_MANY),
+            (3, 7, Cardinality.MANY_TO_MANY),
+        ],
+    )
+    def test_degree_pairs(self, max_out, max_in, expected):
+        assert CardinalityBounds(max_out, max_in).classify() is expected
+
+    def test_example8_works_at(self):
+        # Each person works at exactly one organisation (max_out = 1);
+        # organisations employ many people (max_in > 1) => N:1.
+        bounds = CardinalityBounds(max_out=1, max_in=12)
+        assert bounds.classify() is Cardinality.MANY_TO_ONE
+        assert str(bounds.classify()) == "N:1"
+
+    def test_example8_knows(self):
+        bounds = CardinalityBounds(max_out=4, max_in=6)
+        assert bounds.classify() is Cardinality.MANY_TO_MANY
+        assert str(bounds.classify()) == "M:N"
+
+
+class TestMerging:
+    def test_merge_takes_componentwise_max(self):
+        left = CardinalityBounds(1, 4)
+        right = CardinalityBounds(3, 2)
+        merged = left.merged_with(right)
+        assert merged == CardinalityBounds(3, 4)
+
+    def test_merge_is_monotone_in_classification(self):
+        # Merging can only widen: 0:1 + N:1 -> N:1.
+        narrow = CardinalityBounds(1, 1)
+        wide = CardinalityBounds(1, 9)
+        assert narrow.merged_with(wide).classify() is Cardinality.MANY_TO_ONE

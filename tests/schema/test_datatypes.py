@@ -1,0 +1,109 @@
+"""Unit tests for datatype inference (section 4.4 priority chain)."""
+
+import pytest
+
+from repro.schema.datatypes import (
+    DataType,
+    dominant_type,
+    generalize,
+    infer_type,
+    infer_value_type,
+    is_value_compatible,
+)
+
+
+class TestInferValueType:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (42, DataType.INTEGER),
+            (-1, DataType.INTEGER),
+            (3.0, DataType.INTEGER),  # integral float counts as integer
+            (2.5, DataType.FLOAT),
+            (True, DataType.BOOLEAN),
+            (False, DataType.BOOLEAN),
+            ("true", DataType.BOOLEAN),
+            ("FALSE", DataType.BOOLEAN),
+            ("2024-03-09", DataType.DATE),
+            ("19/12/1999", DataType.DATE),  # the paper's Example 7 format
+            ("2024-03-09T12:30:00", DataType.DATETIME),
+            ("2024-03-09 12:30", DataType.DATETIME),
+            ("2024-03-09T12:30:00.123Z", DataType.DATETIME),
+            ("2024-03-09T12:30:00+02:00", DataType.DATETIME),
+            ("hello", DataType.STRING),
+            ("12abc", DataType.STRING),
+            (None, DataType.STRING),
+        ],
+    )
+    def test_priority_chain(self, value, expected):
+        assert infer_value_type(value) is expected
+
+    def test_bool_not_mistaken_for_int(self):
+        # Python bool subclasses int; the chain must still say BOOLEAN.
+        assert infer_value_type(True) is DataType.BOOLEAN
+
+    def test_non_date_slash_string(self):
+        assert infer_value_type("1/2") is DataType.STRING
+
+
+class TestGeneralize:
+    def test_same_type_identity(self):
+        for data_type in DataType:
+            assert generalize(data_type, data_type) is data_type
+
+    def test_numeric_widening(self):
+        assert generalize(DataType.INTEGER, DataType.FLOAT) is DataType.FLOAT
+        assert generalize(DataType.FLOAT, DataType.INTEGER) is DataType.FLOAT
+
+    def test_temporal_widening(self):
+        assert generalize(DataType.DATE, DataType.DATETIME) is DataType.DATETIME
+
+    def test_conflicts_fall_to_string(self):
+        assert generalize(DataType.INTEGER, DataType.BOOLEAN) is DataType.STRING
+        assert generalize(DataType.DATE, DataType.FLOAT) is DataType.STRING
+
+
+class TestInferType:
+    def test_homogeneous(self):
+        assert infer_type([1, 2, 3]) is DataType.INTEGER
+
+    def test_mixed_numeric(self):
+        assert infer_type([1, 2.5]) is DataType.FLOAT
+
+    def test_outlier_forces_string(self):
+        assert infer_type([1, 2, "oops"]) is DataType.STRING
+
+    def test_empty_defaults_to_string(self):
+        assert infer_type([]) is DataType.STRING
+
+    def test_dates(self):
+        assert infer_type(["2020-01-01", "19/12/1999"]) is DataType.DATE
+
+
+class TestDominantType:
+    def test_most_frequent_wins(self):
+        assert dominant_type([1, 2, 3, "x"]) is DataType.INTEGER
+
+    def test_tie_breaks_by_declaration_order(self):
+        assert dominant_type([1, "x"]) is DataType.INTEGER
+
+    def test_empty(self):
+        assert dominant_type([]) is DataType.STRING
+
+
+class TestCompatibility:
+    def test_string_accepts_everything(self):
+        for value in (1, 2.5, True, "x", "2020-01-01"):
+            assert is_value_compatible(value, DataType.STRING)
+
+    def test_float_accepts_int(self):
+        assert is_value_compatible(3, DataType.FLOAT)
+
+    def test_int_rejects_float(self):
+        assert not is_value_compatible(2.5, DataType.INTEGER)
+
+    def test_datetime_accepts_date(self):
+        assert is_value_compatible("2020-01-01", DataType.DATETIME)
+
+    def test_date_rejects_datetime(self):
+        assert not is_value_compatible("2020-01-01T10:00", DataType.DATE)

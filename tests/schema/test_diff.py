@@ -1,0 +1,111 @@
+"""Unit tests for schema diffing (extension)."""
+
+from repro.schema.diff import diff_schemas
+from repro.schema.model import EdgeType, NodeType, SchemaGraph
+
+
+def schema_with_person(keys=("name",), mandatory=(), cardinality=None):
+    schema = SchemaGraph()
+    person = NodeType("n0", {"Person"})
+    for key in keys:
+        spec = person.ensure_property(key)
+        spec.mandatory = key in mandatory
+    schema.add_node_type(person)
+    return schema
+
+
+class TestTypeAdditionRemoval:
+    def test_added_node_type(self):
+        before = schema_with_person()
+        after = before.copy()
+        after.add_node_type(NodeType("n1", {"Org"}))
+        diff = diff_schemas(before, after)
+        assert diff.added_node_types == ["Org"]
+        assert not diff.removed_node_types
+
+    def test_removed_node_type(self):
+        after = schema_with_person()
+        before = after.copy()
+        before.add_node_type(NodeType("n1", {"Org"}))
+        diff = diff_schemas(before, after)
+        assert diff.removed_node_types == ["Org"]
+
+    def test_added_edge_type(self):
+        before = schema_with_person()
+        after = before.copy()
+        knows = EdgeType("e0", {"KNOWS"})
+        knows.record_endpoints("Person", "Person")
+        after.add_edge_type(knows)
+        diff = diff_schemas(before, after)
+        assert diff.added_edge_types == ["KNOWS"]
+
+    def test_identical_schemas_empty_diff(self):
+        schema = schema_with_person()
+        diff = diff_schemas(schema, schema.copy())
+        assert diff.is_empty
+        assert diff.summary() == "no schema changes"
+
+
+class TestTypeChanges:
+    def test_added_property_detected(self):
+        before = schema_with_person(keys=("name",))
+        after = schema_with_person(keys=("name", "age"))
+        diff = diff_schemas(before, after)
+        (change,) = diff.changed_node_types
+        assert change.added_properties == frozenset({"age"})
+
+    def test_weakened_constraint_detected(self):
+        before = schema_with_person(keys=("name",), mandatory=("name",))
+        after = schema_with_person(keys=("name",))
+        diff = diff_schemas(before, after)
+        (change,) = diff.changed_node_types
+        assert change.weakened_to_optional == frozenset({"name"})
+
+    def test_added_label_detected(self):
+        before = schema_with_person()
+        after = schema_with_person()
+        # Same token match is by token; add label via absorb-like mutation
+        # on a matched abstract type instead.
+        before_abstract = SchemaGraph()
+        abstract = NodeType("n0", (), abstract=True)
+        abstract.ensure_property("k")
+        before_abstract.add_node_type(abstract)
+        after_abstract = SchemaGraph()
+        promoted = NodeType("n0", {"Found"})
+        promoted.ensure_property("k")
+        after_abstract.add_node_type(promoted)
+        # Abstract matches by property keys; labelled matches by token, so
+        # the promoted type appears as an addition plus a removal-free match
+        # is not possible -- assert the diff is visible either way.
+        diff = diff_schemas(before_abstract, after_abstract)
+        assert not diff.is_empty
+
+    def test_cardinality_change_detected(self):
+        def edge_schema(cardinality):
+            from repro.schema.cardinality import CardinalityBounds
+
+            schema = SchemaGraph()
+            edge = EdgeType("e0", {"R"})
+            edge.record_endpoints("A", "B")
+            edge.cardinality_bounds = cardinality
+            edge.cardinality = cardinality.classify()
+            schema.add_edge_type(edge)
+            return schema
+
+        from repro.schema.cardinality import CardinalityBounds
+
+        before = edge_schema(CardinalityBounds(1, 1))
+        after = edge_schema(CardinalityBounds(1, 5))
+        diff = diff_schemas(before, after)
+        (change,) = diff.changed_edge_types
+        assert change.cardinality_before == "0:1"
+        assert change.cardinality_after == "N:1"
+        assert "cardinality" in diff.summary()
+
+    def test_summary_lists_changes(self):
+        before = schema_with_person(keys=("name",))
+        after = schema_with_person(keys=("name", "age"))
+        after.add_node_type(NodeType("n9", {"Org"}))
+        summary = diff_schemas(before, after).summary()
+        assert "Org" in summary
+        assert "age" in summary

@@ -1,0 +1,152 @@
+"""Unit tests for schema merging (section 4.6)."""
+
+from repro.schema.cardinality import CardinalityBounds
+from repro.schema.merge import merge_into, merge_schemas
+from repro.schema.model import EdgeType, NodeType, SchemaGraph, subsumes
+
+
+def schema_with(node_specs, edge_specs=()):
+    """Helper: build a schema from (id, labels, keys) node tuples and
+    (id, labels, keys, src_tokens, tgt_tokens) edge tuples."""
+    schema = SchemaGraph()
+    for type_id, labels, keys in node_specs:
+        node_type = NodeType(type_id, labels, abstract=not labels)
+        for key in keys:
+            node_type.ensure_property(key)
+        schema.add_node_type(node_type)
+    for type_id, labels, keys, sources, targets in edge_specs:
+        edge_type = EdgeType(type_id, labels, abstract=not labels)
+        for key in keys:
+            edge_type.ensure_property(key)
+        edge_type.source_tokens = set(sources)
+        edge_type.target_tokens = set(targets)
+        schema.add_edge_type(edge_type)
+    return schema
+
+
+class TestLabeledNodeMerge:
+    def test_same_token_types_merge(self):
+        left = schema_with([("n0", {"Person"}, {"name"})])
+        right = schema_with([("x0", {"Person"}, {"age"})])
+        merged = merge_schemas(left, right)
+        assert merged.node_type_count == 1
+        assert merged.node_type_by_token("Person").property_keys == frozenset(
+            {"name", "age"}
+        )
+
+    def test_distinct_tokens_stay_separate(self):
+        left = schema_with([("n0", {"Person"}, {"name"})])
+        right = schema_with([("x0", {"Org"}, {"name"})])
+        merged = merge_schemas(left, right)
+        assert merged.node_type_count == 2
+
+    def test_multilabel_token_must_match_exactly(self):
+        left = schema_with([("n0", {"Person", "Student"}, {"name"})])
+        right = schema_with([("x0", {"Person"}, {"name"})])
+        merged = merge_schemas(left, right)
+        assert merged.node_type_count == 2
+
+    def test_id_clash_resolved(self):
+        left = schema_with([("n0", {"A"}, set())])
+        right = schema_with([("n0", {"B"}, set())])
+        merged = merge_schemas(left, right)
+        assert merged.node_type_count == 2
+        ids = [t.type_id for t in merged.node_types()]
+        assert len(set(ids)) == 2
+
+
+class TestUnlabeledNodeMerge:
+    def test_merges_into_jaccard_similar_labeled_type(self):
+        left = schema_with([("n0", {"Person"}, {"name", "age", "city"})])
+        right = schema_with([("x0", set(), {"name", "age", "city"})])
+        merged = merge_schemas(left, right, theta=0.9)
+        assert merged.node_type_count == 1
+
+    def test_below_theta_stays_abstract(self):
+        left = schema_with([("n0", {"Person"}, {"name", "age", "city"})])
+        right = schema_with([("x0", set(), {"name"})])
+        merged = merge_schemas(left, right, theta=0.9)
+        assert merged.node_type_count == 2
+        assert len(merged.abstract_node_types()) == 1
+
+    def test_unlabeled_pair_merges_with_each_other(self):
+        left = schema_with([("n0", set(), {"a", "b"})])
+        right = schema_with([("x0", set(), {"a", "b"})])
+        merged = merge_schemas(left, right)
+        assert merged.node_type_count == 1
+        assert merged.abstract_node_types()[0].property_keys == frozenset(
+            {"a", "b"}
+        )
+
+    def test_prefers_labeled_over_unlabeled(self):
+        base = schema_with(
+            [("n0", {"Person"}, {"a", "b"}), ("n1", set(), {"a", "b"})]
+        )
+        incoming = schema_with([("x0", set(), {"a", "b"})])
+        merged = merge_schemas(base, incoming)
+        assert merged.node_type_by_token("Person").property_keys == frozenset(
+            {"a", "b"}
+        )
+        # The incoming unlabeled type went to the labeled candidate.
+        assert merged.node_type_count == 2
+
+
+class TestEdgeMerge:
+    def test_same_label_compatible_endpoints_merge(self):
+        left = schema_with(
+            [], [("e0", {"KNOWS"}, {"since"}, {"Person"}, {"Person"})]
+        )
+        right = schema_with(
+            [], [("y0", {"KNOWS"}, set(), {"Person"}, {"Person"})]
+        )
+        merged = merge_schemas(left, right)
+        assert merged.edge_type_count == 1
+        edge_type = next(merged.edge_types())
+        assert edge_type.property_keys == frozenset({"since"})
+
+    def test_same_label_disjoint_endpoints_stay_separate(self):
+        left = schema_with(
+            [], [("e0", {"ConnectsTo"}, set(), {"Neuron"}, {"Neuron"})]
+        )
+        right = schema_with(
+            [], [("y0", {"ConnectsTo"}, set(), {"Segment"}, {"Segment"})]
+        )
+        merged = merge_schemas(left, right)
+        assert merged.edge_type_count == 2
+
+    def test_cardinality_bounds_union(self):
+        left = schema_with([], [("e0", {"R"}, set(), {"A"}, {"B"})])
+        next(left.edge_types()).cardinality_bounds = CardinalityBounds(1, 1)
+        right = schema_with([], [("y0", {"R"}, set(), {"A"}, {"B"})])
+        next(right.edge_types()).cardinality_bounds = CardinalityBounds(1, 7)
+        merged = merge_schemas(left, right)
+        assert next(merged.edge_types()).cardinality_bounds == CardinalityBounds(1, 7)
+
+
+class TestMergeProperties:
+    def test_merge_generalises_both_inputs(self):
+        left = schema_with(
+            [("n0", {"A"}, {"x"})], [("e0", {"R"}, {"p"}, {"A"}, {"A"})]
+        )
+        right = schema_with(
+            [("n0", {"A"}, {"y"}), ("n1", {"B"}, set())],
+            [("e0", {"R"}, {"q"}, {"A"}, {"B"})],
+        )
+        merged = merge_schemas(left, right)
+        assert subsumes(merged, left)
+        assert subsumes(merged, right)
+
+    def test_merge_into_mutates_target(self):
+        target = schema_with([("n0", {"A"}, {"x"})])
+        incoming = schema_with([("y0", {"B"}, {"z"})])
+        result = merge_into(target, incoming)
+        assert result is target
+        assert target.node_type_count == 2
+
+    def test_merge_idempotent(self):
+        schema = schema_with(
+            [("n0", {"A"}, {"x"})], [("e0", {"R"}, set(), {"A"}, {"A"})]
+        )
+        once = merge_schemas(schema, schema)
+        assert once.node_type_count == schema.node_type_count
+        assert once.edge_type_count == schema.edge_type_count

@@ -1,0 +1,168 @@
+"""Unit tests for the schema-graph model (Def. 3.2-3.4)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.cardinality import CardinalityBounds
+from repro.schema.datatypes import DataType
+from repro.schema.model import (
+    EdgeType,
+    NodeType,
+    PropertySpec,
+    SchemaGraph,
+    subsumes,
+)
+
+
+class TestPropertySpec:
+    def test_merge_generalises_datatype(self):
+        left = PropertySpec("k", DataType.INTEGER, True)
+        right = PropertySpec("k", DataType.FLOAT, True)
+        merged = left.merged_with(right)
+        assert merged.data_type is DataType.FLOAT
+        assert merged.mandatory is True
+
+    def test_merge_weakens_mandatory(self):
+        left = PropertySpec("k", DataType.STRING, True)
+        right = PropertySpec("k", DataType.STRING, False)
+        assert left.merged_with(right).mandatory is False
+
+    def test_merge_keeps_known_side(self):
+        left = PropertySpec("k")
+        right = PropertySpec("k", DataType.DATE, True)
+        merged = left.merged_with(right)
+        assert merged.data_type is DataType.DATE
+        assert merged.mandatory is True
+
+    def test_merge_key_mismatch_raises(self):
+        with pytest.raises(SchemaError):
+            PropertySpec("a").merged_with(PropertySpec("b"))
+
+
+class TestNodeType:
+    def test_record_instance_tracks_counts(self):
+        node_type = NodeType("n0", {"Person"})
+        node_type.record_instance("a", {"name", "age"})
+        node_type.record_instance("b", {"name"})
+        assert node_type.instance_count == 2
+        assert node_type.property_counts["name"] == 2
+        assert node_type.property_counts["age"] == 1
+        assert node_type.property_keys == frozenset({"name", "age"})
+
+    def test_absorb_unions_everything(self):
+        left = NodeType("n0", {"Person"})
+        left.record_instance("a", {"name"})
+        right = NodeType("n1", {"Student"})
+        right.record_instance("b", {"grade"})
+        left.absorb(right)
+        assert left.labels == {"Person", "Student"}
+        assert left.property_keys == frozenset({"name", "grade"})
+        assert left.instance_ids == {"a", "b"}
+        assert left.instance_count == 2
+
+    def test_absorb_labeled_clears_abstract(self):
+        abstract = NodeType("n0", (), abstract=True)
+        labeled = NodeType("n1", {"X"})
+        abstract.absorb(labeled)
+        assert not abstract.abstract
+
+    def test_display_name(self):
+        assert NodeType("n0", {"B", "A"}).display_name == "A+B"
+        assert NodeType("n7", (), abstract=True).display_name == "ABSTRACT:n7"
+
+    def test_copy_is_deep(self):
+        original = NodeType("n0", {"X"})
+        original.record_instance("a", {"k"})
+        clone = original.copy()
+        clone.record_instance("b", {"j"})
+        clone.properties["k"].mandatory = True
+        assert original.instance_count == 1
+        assert original.properties["k"].mandatory is None
+
+
+class TestEdgeType:
+    def test_endpoints_recorded(self):
+        edge_type = EdgeType("e0", {"KNOWS"})
+        edge_type.record_endpoints("Person", "Person")
+        edge_type.record_endpoints("Person", "Org.")
+        assert edge_type.source_tokens == {"Person"}
+        assert edge_type.target_tokens == {"Person", "Org."}
+
+    def test_absorb_merges_cardinality_bounds(self):
+        left = EdgeType("e0", {"R"})
+        left.cardinality_bounds = CardinalityBounds(1, 1)
+        left.cardinality = left.cardinality_bounds.classify()
+        right = EdgeType("e1", {"R"})
+        right.cardinality_bounds = CardinalityBounds(4, 1)
+        left.absorb(right)
+        assert left.cardinality_bounds == CardinalityBounds(4, 1)
+        assert str(left.cardinality) == "0:N"
+
+
+class TestSchemaGraph:
+    def test_add_and_lookup(self):
+        schema = SchemaGraph("s")
+        node_type = schema.add_node_type(NodeType("n0", {"Person"}))
+        assert schema.node_type("n0") is node_type
+        assert schema.node_type_by_token("Person") is node_type
+
+    def test_duplicate_id_rejected(self):
+        schema = SchemaGraph()
+        schema.add_node_type(NodeType("n0"))
+        with pytest.raises(SchemaError):
+            schema.add_node_type(NodeType("n0"))
+
+    def test_missing_type_raises(self):
+        with pytest.raises(SchemaError):
+            SchemaGraph().node_type("nope")
+
+    def test_new_type_ids_unique(self):
+        schema = SchemaGraph()
+        ids = {schema.new_type_id("n") for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_edge_endpoints_resolution(self):
+        schema = SchemaGraph()
+        person = schema.add_node_type(NodeType("n0", {"Person"}))
+        org = schema.add_node_type(NodeType("n1", {"Org."}))
+        works = EdgeType("e0", {"WORKS_AT"})
+        works.record_endpoints("Person", "Org.")
+        schema.add_edge_type(works)
+        sources, targets = schema.edge_endpoints(works)
+        assert sources == [person]
+        assert targets == [org]
+
+    def test_assignments(self):
+        schema = SchemaGraph()
+        node_type = NodeType("n0", {"X"})
+        node_type.record_instance("a", ())
+        node_type.record_instance("b", ())
+        schema.add_node_type(node_type)
+        assert schema.node_assignments() == {"a": "n0", "b": "n0"}
+
+    def test_summary(self):
+        schema = SchemaGraph()
+        node_type = NodeType("n0", (), abstract=True)
+        node_type.record_instance("a", ())
+        schema.add_node_type(node_type)
+        summary = schema.summary()
+        assert summary["node_types"] == 1
+        assert summary["abstract_node_types"] == 1
+        assert summary["node_instances"] == 1
+
+
+class TestSubsumes:
+    def test_reflexive(self):
+        schema = SchemaGraph()
+        schema.add_node_type(NodeType("n0", {"A"}))
+        assert subsumes(schema, schema)
+
+    def test_superset_subsumes(self):
+        small = SchemaGraph()
+        small.add_node_type(NodeType("n0", {"A"}))
+        big = small.copy()
+        extra = NodeType("n1", {"A"})
+        extra.ensure_property("k")
+        big.node_type("n0").absorb(extra)
+        assert subsumes(big, small)
+        assert not subsumes(small, big)

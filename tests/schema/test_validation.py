@@ -1,0 +1,94 @@
+"""Unit tests for LOOSE/STRICT schema validation."""
+
+import pytest
+
+from repro.graph.model import Edge, Node, PropertyGraph
+from repro.schema.datatypes import DataType
+from repro.schema.model import EdgeType, NodeType, SchemaGraph
+from repro.schema.validation import ValidationMode, validate_graph
+
+
+@pytest.fixture
+def person_schema() -> SchemaGraph:
+    schema = SchemaGraph("people")
+    person = NodeType("n0", {"Person"})
+    for key, data_type, mandatory in (
+        ("name", DataType.STRING, True),
+        ("age", DataType.INTEGER, False),
+    ):
+        spec = person.ensure_property(key)
+        spec.data_type = data_type
+        spec.mandatory = mandatory
+    schema.add_node_type(person)
+    knows = EdgeType("e0", {"KNOWS"})
+    knows.record_endpoints("Person", "Person")
+    schema.add_edge_type(knows)
+    return schema
+
+
+def graph_with(*nodes, edges=()):
+    graph = PropertyGraph()
+    for node in nodes:
+        graph.add_node(node)
+    for edge in edges:
+        graph.add_edge(edge)
+    return graph
+
+
+class TestLooseValidation:
+    def test_conforming_graph(self, person_schema):
+        graph = graph_with(Node("a", {"Person"}, {"name": "A"}))
+        report = validate_graph(graph, person_schema, ValidationMode.LOOSE)
+        assert report.valid
+        assert report.checked_nodes == 1
+
+    def test_loose_ignores_missing_mandatory(self, person_schema):
+        graph = graph_with(Node("a", {"Person"}, {}))
+        report = validate_graph(graph, person_schema, ValidationMode.LOOSE)
+        assert report.valid
+
+    def test_unknown_property_violates_loose(self, person_schema):
+        graph = graph_with(Node("a", {"Person"}, {"salary": 1}))
+        report = validate_graph(graph, person_schema, ValidationMode.LOOSE)
+        assert not report.valid
+        assert report.violations[0].kind == "loose"
+
+    def test_unknown_label_has_no_type(self, person_schema):
+        graph = graph_with(Node("a", {"Robot"}, {}))
+        report = validate_graph(graph, person_schema, ValidationMode.LOOSE)
+        assert not report.valid
+        assert report.violations[0].kind == "no-type"
+
+    def test_unlabeled_node_may_match_any_type(self, person_schema):
+        graph = graph_with(Node("a", frozenset(), {"name": "X"}))
+        report = validate_graph(graph, person_schema, ValidationMode.LOOSE)
+        assert report.valid
+
+
+class TestStrictValidation:
+    def test_missing_mandatory_property(self, person_schema):
+        graph = graph_with(Node("a", {"Person"}, {"age": 3}))
+        report = validate_graph(graph, person_schema, ValidationMode.STRICT)
+        assert not report.valid
+        assert any("mandatory" in str(v) for v in report.violations)
+
+    def test_incompatible_datatype(self, person_schema):
+        graph = graph_with(Node("a", {"Person"}, {"name": "A", "age": "old"}))
+        report = validate_graph(graph, person_schema, ValidationMode.STRICT)
+        assert not report.valid
+        assert any("incompatible" in str(v) for v in report.violations)
+
+    def test_conforming_strict(self, person_schema):
+        graph = graph_with(
+            Node("a", {"Person"}, {"name": "A", "age": 30}),
+            Node("b", {"Person"}, {"name": "B"}),
+            edges=(Edge("e1", "a", "b", {"KNOWS"}),),
+        )
+        report = validate_graph(graph, person_schema, ValidationMode.STRICT)
+        assert report.valid
+        assert report.checked_edges == 1
+
+    def test_report_str(self, person_schema):
+        graph = graph_with(Node("a", {"Person"}, {"name": "A"}))
+        report = validate_graph(graph, person_schema, ValidationMode.STRICT)
+        assert "VALID" in str(report)

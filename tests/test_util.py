@@ -1,0 +1,92 @@
+"""Unit tests for shared utilities."""
+
+import time
+
+import pytest
+
+from repro.util import Timer, chunked, derive_seed, jaccard
+
+
+class TestJaccard:
+    def test_basic(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_identical(self):
+        assert jaccard({"a"}, {"a"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_empty_sets_count_as_identical(self):
+        # Algorithm 2 needs property-less clusters to merge.
+        assert jaccard(set(), set()) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard(set(), {"a"}) == 0.0
+
+    def test_symmetry(self):
+        left, right = {"a", "b", "c"}, {"b", "d"}
+        assert jaccard(left, right) == jaccard(right, left)
+
+    def test_works_with_frozensets(self):
+        assert jaccard(frozenset({"a"}), frozenset({"a", "b"})) == 0.5
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "x", 2) == derive_seed(1, "x", 2)
+
+    def test_sensitive_to_components(self):
+        assert derive_seed(1, "x") != derive_seed(1, "y")
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_fits_in_63_bits(self):
+        for seed in (0, 1, 10**12):
+            assert 0 <= derive_seed(seed, "component") < (1 << 63)
+
+
+class TestTimer:
+    def test_measure_accumulates(self):
+        timer = Timer()
+        with timer.measure("a"):
+            time.sleep(0.01)
+        with timer.measure("a"):
+            time.sleep(0.01)
+        assert timer.lap("a") >= 0.02
+
+    def test_multiple_laps_and_total(self):
+        timer = Timer()
+        with timer.measure("x"):
+            pass
+        with timer.measure("y"):
+            pass
+        assert timer.total == pytest.approx(
+            timer.lap("x") + timer.lap("y")
+        )
+
+    def test_unknown_lap_is_zero(self):
+        assert Timer().lap("nothing") == 0.0
+
+    def test_exception_still_records(self):
+        timer = Timer()
+        with pytest.raises(ValueError):
+            with timer.measure("boom"):
+                raise ValueError("x")
+        assert timer.lap("boom") > 0.0
+
+
+class TestChunked:
+    def test_even_split(self):
+        assert list(chunked(range(6), 2)) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_remainder(self):
+        assert list(chunked(range(5), 2)) == [[0, 1], [2, 3], [4]]
+
+    def test_empty(self):
+        assert list(chunked([], 3)) == []
+
+    def test_works_with_generators(self):
+        assert list(chunked((i for i in range(3)), 5)) == [[0, 1, 2]]
