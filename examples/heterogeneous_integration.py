@@ -9,6 +9,12 @@ recovers the types while the baselines either degrade or refuse to run.
 Run:  python examples/heterogeneous_integration.py
 """
 
+import sys
+from pathlib import Path
+
+# Allow running from any cwd without installing the package.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro import PGHive, PGHiveConfig, ClusteringMethod
 from repro.baselines import GMMSchema, SchemI, UnsupportedGraphError
 from repro.datasets import apply_noise, load_dataset

@@ -8,6 +8,12 @@ deletion-maintenance extension.
 Run:  python examples/incremental_streaming.py
 """
 
+import sys
+from pathlib import Path
+
+# Allow running from any cwd without installing the package.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro import PGHiveConfig
 from repro.core.incremental import IncrementalSchemaDiscovery
 from repro.core.maintenance import MaintainedSchema

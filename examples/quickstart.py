@@ -6,6 +6,12 @@ prints the discovered types, constraints, and the STRICT PG-Schema.
 Run:  python examples/quickstart.py
 """
 
+import sys
+from pathlib import Path
+
+# Allow running from any cwd without installing the package.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro import Edge, Node, PGHive, PGHiveConfig, PropertyGraph, ValidationMode
 
 

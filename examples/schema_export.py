@@ -7,7 +7,11 @@ inference enabled and writes all four serialisations next to this script
 Run:  python examples/schema_export.py
 """
 
+import sys
 from pathlib import Path
+
+# Allow running from any cwd without installing the package.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro import PGHive, PGHiveConfig, ValidationMode
 from repro.core.key_inference import to_pg_keys

@@ -8,6 +8,12 @@ its own discovered schema.
 Run:  python examples/social_network_discovery.py
 """
 
+import sys
+from pathlib import Path
+
+# Allow running from any cwd without installing the package.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro import PGHive, PGHiveConfig, ClusteringMethod, ValidationMode, validate_graph
 from repro.datasets import load_dataset
 from repro.eval.clustering_metrics import majority_f1

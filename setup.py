@@ -1,3 +1,21 @@
-from setuptools import setup
+"""Installable package metadata for the PG-HIVE reproduction.
 
-setup()
+``pip install -e .`` makes ``import repro`` work everywhere; the examples
+additionally carry a tiny ``sys.path`` bootstrap so they run straight from
+a source checkout without installation.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="pg-hive-repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of PG-HIVE: hybrid incremental schema discovery "
+        "for property graphs"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+)

@@ -73,11 +73,19 @@ def cluster_features(
     features: FeatureMatrix,
     config: PGHiveConfig,
     kind: str,
+    minhash_cache: dict[tuple[int, int, int], MinHashLSH] | None = None,
 ) -> ClusteringOutcome:
     """Cluster one :class:`FeatureMatrix` with the configured LSH method.
 
     ``kind`` is ``"nodes"`` or ``"edges"``; it selects the adaptive-T
     formula and the per-kind manual overrides.
+
+    ``minhash_cache`` (keyed by ``(num_tables, band_size, seed)``) lets an
+    incremental run reuse one :class:`MinHashLSH` instance -- and with it
+    the signature cache of every structural pattern seen in earlier
+    batches -- whenever batches resolve to the same adaptive parameters
+    (always the case under manual ``num_tables`` overrides; otherwise only
+    when the adaptive formula lands on the same value).
     """
     if len(features) == 0:
         return ClusteringOutcome([], None)
@@ -101,11 +109,19 @@ def cluster_features(
         )
         groups = lsh.cluster(features.vectors, rule=config.grouping_rule)
     else:
-        lsh = MinHashLSH(
-            num_tables=parameters.num_tables,
-            band_size=config.minhash_band_size,
-            seed=derive_seed(config.seed, "minhash", kind),
-        )
+        seed = derive_seed(config.seed, "minhash", kind)
+        cache_key = (parameters.num_tables, config.minhash_band_size, seed)
+        lsh = None if minhash_cache is None else minhash_cache.get(cache_key)
+        if lsh is None:
+            lsh = MinHashLSH(
+                num_tables=parameters.num_tables,
+                band_size=config.minhash_band_size,
+                seed=seed,
+            )
+            if minhash_cache is not None:
+                minhash_cache[cache_key] = lsh
+        # cluster() runs on the batched kernel: one signatures_batch pass
+        # over all token sets, served from the signature cache when warm.
         groups = lsh.cluster(features.token_sets, rule=config.grouping_rule)
 
     clusters = [_build_cluster(features, group_rows) for group_rows in groups]

@@ -10,8 +10,14 @@ final batch by default, or after every batch when
 ``config.post_process_each_batch`` is set -- matching the
 ``postProcessing or i = n`` guard of Algorithm 1.  The engine keeps a
 cumulative union graph solely so those passes can read property values;
-clustering itself never revisits earlier batches.  Deletions are out of
-scope, as in the paper (future work).
+clustering itself never revisits earlier batches.  A persistent
+:class:`~repro.core.pipeline.PipelineState` carries the fitted
+preprocessor (with its token-embedding cache) and the MinHash instances
+from batch to batch; together with the process-wide token-id cache this
+means each distinct token is embedded and blake2b-hashed once per stream,
+and structural patterns re-use their signatures whenever consecutive
+batches resolve to the same adaptive LSH parameters.  Deletions are out
+of scope, as in the paper (future work).
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import PGHiveConfig
-from repro.core.pipeline import DiscoveryResult, PGHive
+from repro.core.pipeline import DiscoveryResult, PGHive, PipelineState
 from repro.graph.model import PropertyGraph
 from repro.schema.model import SchemaGraph
 from repro.util import Timer
@@ -47,6 +53,8 @@ class IncrementalSchemaDiscovery:
     ) -> None:
         self.config = config or PGHiveConfig()
         self._pipeline = PGHive(self.config)
+        #: survives across batches: fitted preprocessor + signature caches.
+        self._state = PipelineState()
         self._timer = Timer()
         self._schema = SchemaGraph(schema_name)
         self._union = PropertyGraph(f"{schema_name}-union")
@@ -63,12 +71,17 @@ class IncrementalSchemaDiscovery:
         """The running schema (monotonically growing)."""
         return self._schema
 
+    @property
+    def state(self) -> PipelineState:
+        """Cross-batch pipeline state (preprocessor + signature caches)."""
+        return self._state
+
     def add_batch(self, batch: PropertyGraph) -> BatchReport:
         """Process one insert batch and merge its types into the schema."""
         batch_timer = Timer()
         with batch_timer.measure("batch"):
             self._pipeline._process_batch(
-                batch, self._schema, self._timer, self._result
+                batch, self._schema, self._timer, self._result, self._state
             )
             self._union.merge_in(batch)
             if self.config.post_process_each_batch and self.config.post_processing:

@@ -23,6 +23,7 @@ from repro.core.preprocess import Preprocessor
 from repro.core.serialization import to_pg_schema, to_xsd
 from repro.core.type_extraction import extract_types
 from repro.graph.model import PropertyGraph
+from repro.lsh.minhash import MinHashLSH
 from repro.graph.store import GraphStore
 from repro.schema.model import SchemaGraph
 from repro.schema.validation import ValidationMode
@@ -38,6 +39,25 @@ CAPABILITIES = {
     "automation": True,
     "notes": "LSH and fine tuning",
 }
+
+
+@dataclass
+class PipelineState:
+    """Mutable per-run state shared across the batches of one discovery.
+
+    The incremental engine owns one of these for its whole lifetime so the
+    expensive artefacts survive from batch to batch instead of being
+    rebuilt per ``add_batch`` call: the fitted :class:`Preprocessor` (the
+    Word2Vec model plus its token-embedding cache) and the
+    :class:`MinHashLSH` instances whose signature caches already hold
+    every structural pattern seen so far.  Static discovery uses a fresh
+    state per run, which degenerates to the old per-call behaviour.
+    """
+
+    preprocessor: Preprocessor | None = None
+    minhash_cache: dict[tuple[int, int, int], MinHashLSH] = field(
+        default_factory=dict
+    )
 
 
 @dataclass
@@ -135,15 +155,32 @@ class PGHive:
         schema: SchemaGraph,
         timer: Timer,
         result: DiscoveryResult,
+        state: PipelineState | None = None,
     ) -> None:
-        """Steps (b)-(d) for one batch, merging into ``schema`` in place."""
+        """Steps (b)-(d) for one batch, merging into ``schema`` in place.
+
+        When ``state`` is supplied (incremental runs), the preprocessor is
+        fitted on the first batch only and reused afterwards -- tokens the
+        model never saw embed through their deterministic identity vector,
+        so identical tokens still agree across batches -- and the MinHash
+        signature caches persist, honouring the paper's "never revisit
+        earlier batches" design.
+        """
+        if state is None:
+            state = PipelineState()
         with timer.measure("preprocess"):
-            preprocessor = Preprocessor(self.config).fit(graph)
+            if state.preprocessor is None:
+                state.preprocessor = Preprocessor(self.config).fit(graph)
+            preprocessor = state.preprocessor
             node_features = preprocessor.node_features(graph)
             edge_features = preprocessor.edge_features(graph)
         with timer.measure("clustering"):
-            node_outcome = cluster_features(node_features, self.config, "nodes")
-            edge_outcome = cluster_features(edge_features, self.config, "edges")
+            node_outcome = cluster_features(
+                node_features, self.config, "nodes", state.minhash_cache
+            )
+            edge_outcome = cluster_features(
+                edge_features, self.config, "edges", state.minhash_cache
+            )
         with timer.measure("extraction"):
             extract_types(
                 schema,

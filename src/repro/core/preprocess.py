@@ -15,6 +15,7 @@ absent, leaving the pure property-set behaviour the paper describes.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -70,6 +71,10 @@ class Preprocessor:
     def __init__(self, config: PGHiveConfig) -> None:
         self.config = config
         self.model: Word2Vec | None = None
+        #: token -> scaled embedding, valid for the current model; survives
+        #: across batches so an incremental stream embeds each distinct
+        #: token once, not once per batch.
+        self._embedding_cache: dict[str, np.ndarray] = {}
 
     def _scaled_embedding(self, model: Word2Vec, token: str) -> np.ndarray:
         """Blend of trained-semantic and deterministic-identity directions.
@@ -108,12 +113,64 @@ class Preprocessor:
             epochs=self.config.embedding_epochs,
             seed=derive_seed(self.config.seed, "word2vec"),
         ).fit(corpus)
+        self._embedding_cache.clear()
         return self
 
     def _require_model(self) -> Word2Vec:
         if self.model is None:
             raise RuntimeError("Preprocessor.fit must run before transforming")
         return self.model
+
+    def _embedding_table(self, tokens: list[str]) -> tuple[np.ndarray, np.ndarray]:
+        """Embeddings for ``tokens`` as ``(table, row_of_token)``.
+
+        ``table`` holds one scaled embedding per *distinct* token (computed
+        at most once per model lifetime, via the persistent cache) and
+        ``row_of_token[i]`` indexes the table row of ``tokens[i]``, so the
+        caller gathers all element embeddings in one fancy-indexing pass.
+        """
+        model = self._require_model()
+        cache = self._embedding_cache
+        table_index: dict[str, int] = {}
+        table_rows: list[np.ndarray] = []
+        row_of_token = np.empty(len(tokens), dtype=np.intp)
+        for position, token in enumerate(tokens):
+            row = table_index.get(token)
+            if row is None:
+                embedding = cache.get(token)
+                if embedding is None:
+                    embedding = self._scaled_embedding(model, token)
+                    cache[token] = embedding
+                row = len(table_rows)
+                table_index[token] = row
+                table_rows.append(embedding)
+            row_of_token[position] = row
+        if not table_rows:
+            return np.zeros((0, self.config.embedding_dim)), row_of_token
+        return np.vstack(table_rows), row_of_token
+
+    @staticmethod
+    def _indicator_block(
+        vectors: np.ndarray,
+        offset: int,
+        key_index: dict[str, int],
+        keys_per_row: list[Iterable[str]],
+    ) -> None:
+        """Set the binary property-indicator block via index arrays."""
+        rows = np.fromiter(
+            (
+                row
+                for row, row_keys in enumerate(keys_per_row)
+                for _ in row_keys
+            ),
+            dtype=np.intp,
+        )
+        columns = np.fromiter(
+            (key_index[key] for row_keys in keys_per_row for key in row_keys),
+            dtype=np.intp,
+            count=rows.size,
+        )
+        vectors[rows, offset + columns] = 1.0
 
     def node_features(self, graph: PropertyGraph) -> FeatureMatrix:
         """Vectorise every node of ``graph``."""
@@ -124,17 +181,12 @@ class Preprocessor:
 
         records: list[ElementRecord] = []
         token_sets: list[frozenset[str]] = []
-        vectors = np.zeros((graph.node_count, dim + len(keys)))
-        token_cache: dict[str, np.ndarray] = {}
-        for row, node in enumerate(graph.nodes()):
+        tokens_per_row: list[str] = []
+        keys_per_row: list[Iterable[str]] = []
+        for node in graph.nodes():
             token = node.token
-            embedding = token_cache.get(token)
-            if embedding is None:
-                embedding = self._scaled_embedding(model, token)
-                token_cache[token] = embedding
-            vectors[row, :dim] = embedding
-            for key in node.properties:
-                vectors[row, dim + key_index[key]] = 1.0
+            tokens_per_row.append(token)
+            keys_per_row.append(node.properties)
             records.append(
                 ElementRecord(node.node_id, token, node.labels, node.property_keys)
             )
@@ -142,6 +194,12 @@ class Preprocessor:
             if token:
                 tokens.add(f"label:{token}")
             token_sets.append(frozenset(tokens))
+
+        vectors = np.zeros((graph.node_count, dim + len(keys)))
+        table, row_of_token = self._embedding_table(tokens_per_row)
+        if table.size:
+            vectors[:, :dim] = table[row_of_token]
+        self._indicator_block(vectors, dim, key_index, keys_per_row)
         return FeatureMatrix(records, vectors, token_sets, keys)
 
     def edge_features(self, graph: PropertyGraph) -> FeatureMatrix:
@@ -153,24 +211,17 @@ class Preprocessor:
 
         records: list[ElementRecord] = []
         token_sets: list[frozenset[str]] = []
-        vectors = np.zeros((graph.edge_count, 3 * dim + len(keys)))
-        token_cache: dict[str, np.ndarray] = {}
-
-        def embed(token: str) -> np.ndarray:
-            cached = token_cache.get(token)
-            if cached is None:
-                cached = self._scaled_embedding(model, token)
-                token_cache[token] = cached
-            return cached
-
-        for row, edge in enumerate(graph.edges()):
+        edge_tokens: list[str] = []
+        source_tokens: list[str] = []
+        target_tokens: list[str] = []
+        keys_per_row: list[Iterable[str]] = []
+        for edge in graph.edges():
             source_token = graph.node(edge.source_id).token
             target_token = graph.node(edge.target_id).token
-            vectors[row, :dim] = embed(edge.token)
-            vectors[row, dim : 2 * dim] = embed(source_token)
-            vectors[row, 2 * dim : 3 * dim] = embed(target_token)
-            for key in edge.properties:
-                vectors[row, 3 * dim + key_index[key]] = 1.0
+            edge_tokens.append(edge.token)
+            source_tokens.append(source_token)
+            target_tokens.append(target_token)
+            keys_per_row.append(edge.properties)
             records.append(
                 ElementRecord(
                     edge.edge_id,
@@ -189,4 +240,15 @@ class Preprocessor:
             if target_token:
                 tokens.add(f"tgt:{target_token}")
             token_sets.append(frozenset(tokens))
+
+        vectors = np.zeros((graph.edge_count, 3 * dim + len(keys)))
+        table, row_of_token = self._embedding_table(
+            edge_tokens + source_tokens + target_tokens
+        )
+        if table.size:
+            count = graph.edge_count
+            vectors[:, :dim] = table[row_of_token[:count]]
+            vectors[:, dim : 2 * dim] = table[row_of_token[count : 2 * count]]
+            vectors[:, 2 * dim : 3 * dim] = table[row_of_token[2 * count :]]
+        self._indicator_block(vectors, 3 * dim, key_index, keys_per_row)
         return FeatureMatrix(records, vectors, token_sets, keys)
