@@ -1,18 +1,40 @@
 """PG-HIVE core: the hybrid incremental schema-discovery pipeline."""
 
+from repro.core.accumulators import (
+    DatatypeAccumulator,
+    DistinctTracker,
+    EndpointAccumulator,
+    KeyAccumulator,
+    SummaryOptions,
+    TypeSummaries,
+)
 from repro.core.adaptive import (
     AdaptiveParameters,
     adapt_parameters,
     alpha_for_label_count,
     estimate_distance_scale,
 )
-from repro.core.cardinality_inference import bounds_for_edge_type, compute_cardinalities
+from repro.core.cardinality_inference import (
+    bounds_for_edge_type,
+    compute_cardinalities,
+    compute_cardinalities_streaming,
+)
 from repro.core.clustering import Cluster, ClusteringOutcome, cluster_features
 from repro.core.config import AdaptiveOverrides, ClusteringMethod, PGHiveConfig
 from repro.core.constraints import infer_property_constraints, property_frequency
-from repro.core.datatype_inference import infer_datatypes, sample_values
+from repro.core.datatype_inference import (
+    infer_datatypes,
+    infer_datatypes_streaming,
+    sample_values,
+)
 from repro.core.incremental import BatchReport, IncrementalSchemaDiscovery
-from repro.core.key_inference import candidate_keys_for_type, infer_keys, to_pg_keys
+from repro.core.key_inference import (
+    candidate_keys_for_type,
+    candidate_keys_from_summaries,
+    infer_keys,
+    infer_keys_streaming,
+    to_pg_keys,
+)
 from repro.core.maintenance import MaintainedSchema
 from repro.core.pipeline import CAPABILITIES, DiscoveryResult, PGHive
 from repro.core.preprocess import ElementRecord, FeatureMatrix, Preprocessor
@@ -31,26 +53,36 @@ __all__ = [
     "Cluster",
     "ClusteringMethod",
     "ClusteringOutcome",
+    "DatatypeAccumulator",
     "DiscoveryResult",
+    "DistinctTracker",
     "ElementRecord",
+    "EndpointAccumulator",
     "FeatureMatrix",
     "IncrementalSchemaDiscovery",
+    "KeyAccumulator",
     "MaintainedSchema",
     "PGHive",
     "PGHiveConfig",
     "Preprocessor",
+    "SummaryOptions",
+    "TypeSummaries",
     "adapt_parameters",
     "alpha_for_label_count",
     "bounds_for_edge_type",
     "candidate_keys_for_type",
+    "candidate_keys_from_summaries",
     "cluster_features",
     "compute_cardinalities",
+    "compute_cardinalities_streaming",
     "estimate_distance_scale",
     "extract_edge_types",
     "extract_node_types",
     "extract_types",
     "infer_datatypes",
+    "infer_datatypes_streaming",
     "infer_keys",
+    "infer_keys_streaming",
     "infer_property_constraints",
     "property_frequency",
     "sample_values",

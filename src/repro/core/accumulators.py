@@ -1,0 +1,363 @@
+"""Streaming post-processing accumulators (incremental steps (e)-(g)).
+
+The static pipeline computes constraints, datatypes, cardinalities, and
+keys by re-scanning every instance of every type -- O(cumulative graph)
+per invocation, which is exactly the cost Algorithm 1 promises to avoid
+("never revisits earlier batches").  This module provides per-type
+incremental summaries that consume each element **once, at arrival**, so
+the post-processing passes become pure reads over O(|schema|) state:
+
+* :class:`DatatypeAccumulator` -- one datatype-lattice element per
+  property key, folded through ``generalize``.  The lattice
+  (INT < FLOAT < STRING, DATE < DATETIME < STRING, BOOLEAN < STRING) is a
+  join-semilattice: the fold is associative, commutative, and idempotent,
+  so results are batch-order invariant and replay-safe.
+* :class:`EndpointAccumulator` -- per edge type, the distinct targets per
+  source and sources per target, with running maxima, yielding the same
+  :class:`~repro.schema.cardinality.CardinalityBounds` a full re-scan
+  would produce.
+* :class:`KeyAccumulator` -- distinct-value/null trackers per property
+  (and per capped property pair) for PG-Keys candidate-key inference.
+  Trackers record one *witness* instance per value so that merging two
+  types with overlapping instance sets (batch streams replay endpoint
+  stubs) does not manufacture false duplicates.
+
+Mandatory/optional tallies need no new state: ``_TypeBase`` already
+maintains ``property_counts`` / ``instance_count`` incrementally and
+:mod:`repro.core.constraints` reads only those.
+
+Summaries attach to schema types as the duck-typed ``summaries``
+attribute; :meth:`repro.schema.model._TypeBase._absorb_base` merges them
+monotonically when Algorithm 2 collapses two types, so the streaming
+reads stay equal to the full-scan oracle across arbitrary merge orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Any, Mapping
+
+from repro.schema.cardinality import CardinalityBounds
+from repro.schema.datatypes import DataType, generalize, infer_value_type
+
+#: Pair trackers are only created while a type's first instance carries at
+#: most this many property keys (C(cap, 2) trackers); wider types skip
+#: composite-key tracking and flag ``pair_overflow``.
+DEFAULT_PAIR_CAP = 24
+
+
+def hashable_value(value: Any) -> object:
+    """Normalise a property value for set membership (lists -> repr)."""
+    if isinstance(value, (list, dict, set)):
+        return repr(value)
+    return value
+
+
+@dataclass(frozen=True, slots=True)
+class SummaryOptions:
+    """What the per-type summaries should track."""
+
+    track_keys: bool = False
+    pair_cap: int = DEFAULT_PAIR_CAP
+
+
+DEFAULT_OPTIONS = SummaryOptions()
+
+
+class DatatypeAccumulator:
+    """Per-property datatype lattice state: ``key -> join of value types``."""
+
+    __slots__ = ("types",)
+
+    def __init__(self) -> None:
+        self.types: dict[str, DataType] = {}
+
+    def observe(self, key: str, value: Any) -> None:
+        """Fold one observed value into the lattice element for ``key``."""
+        current = self.types.get(key)
+        if current is DataType.STRING:
+            return  # STRING is the absorbing top element.
+        value_type = infer_value_type(value)
+        self.types[key] = (
+            value_type if current is None else generalize(current, value_type)
+        )
+
+    def observe_all(self, properties: Mapping[str, Any]) -> None:
+        """Fold every property of one element."""
+        for key, value in properties.items():
+            self.observe(key, value)
+
+    def merge_from(self, other: "DatatypeAccumulator") -> None:
+        """Lattice join with another accumulator (type merge)."""
+        for key, value_type in other.types.items():
+            current = self.types.get(key)
+            self.types[key] = (
+                value_type if current is None else generalize(current, value_type)
+            )
+
+    def copy(self) -> "DatatypeAccumulator":
+        clone = DatatypeAccumulator()
+        clone.types = dict(self.types)
+        return clone
+
+
+class EndpointAccumulator:
+    """Distinct-endpoint counters for one edge type, with running maxima."""
+
+    __slots__ = ("targets_per_source", "sources_per_target", "max_out", "max_in")
+
+    def __init__(self) -> None:
+        self.targets_per_source: dict[str, set[str]] = {}
+        self.sources_per_target: dict[str, set[str]] = {}
+        self.max_out = 0
+        self.max_in = 0
+
+    def observe(self, source_id: str, target_id: str) -> None:
+        """Fold one edge instance's endpoints."""
+        targets = self.targets_per_source.setdefault(source_id, set())
+        targets.add(target_id)
+        if len(targets) > self.max_out:
+            self.max_out = len(targets)
+        sources = self.sources_per_target.setdefault(target_id, set())
+        sources.add(source_id)
+        if len(sources) > self.max_in:
+            self.max_in = len(sources)
+
+    def merge_from(self, other: "EndpointAccumulator") -> None:
+        """Union endpoint sets and re-establish the maxima."""
+        for source_id, targets in other.targets_per_source.items():
+            mine = self.targets_per_source.setdefault(source_id, set())
+            mine |= targets
+            if len(mine) > self.max_out:
+                self.max_out = len(mine)
+        for target_id, sources in other.sources_per_target.items():
+            mine = self.sources_per_target.setdefault(target_id, set())
+            mine |= sources
+            if len(mine) > self.max_in:
+                self.max_in = len(mine)
+
+    def bounds(self) -> CardinalityBounds:
+        """The (max-out, max-in) pair a full endpoint re-scan would yield."""
+        return CardinalityBounds(self.max_out, self.max_in)
+
+    def copy(self) -> "EndpointAccumulator":
+        clone = EndpointAccumulator()
+        clone.targets_per_source = {
+            k: set(v) for k, v in self.targets_per_source.items()
+        }
+        clone.sources_per_target = {
+            k: set(v) for k, v in self.sources_per_target.items()
+        }
+        clone.max_out = self.max_out
+        clone.max_in = self.max_in
+        return clone
+
+
+class DistinctTracker:
+    """Are all observed values pairwise distinct across instances?
+
+    ``witnesses`` maps each value to the instance that first produced it;
+    a second *distinct* instance producing the same value collapses the
+    tracker to the terminal duplicated state (``witnesses = None``) and
+    frees the map -- duplication is monotone under inserts and merges.
+    The witness identity makes merges of types with overlapping instance
+    sets exact: the same instance replayed on both sides is not a
+    duplicate, mirroring the full scan over the deduplicated instance set.
+    """
+
+    __slots__ = ("witnesses", "count")
+
+    def __init__(self) -> None:
+        self.witnesses: dict[object, str] | None = {}
+        self.count = 0
+
+    @property
+    def distinct(self) -> bool:
+        """True while no two distinct instances shared a value."""
+        return self.witnesses is not None
+
+    def observe(self, value: object, instance_id: str) -> None:
+        """Fold one (value, instance) observation."""
+        self.count += 1
+        witnesses = self.witnesses
+        if witnesses is None:
+            return
+        prior = witnesses.setdefault(value, instance_id)
+        if prior != instance_id:
+            self.witnesses = None
+
+    def merge_from(self, other: "DistinctTracker") -> None:
+        """Union two trackers; cross-side value collisions mean duplicates."""
+        self.count += other.count
+        if self.witnesses is None:
+            return
+        if other.witnesses is None:
+            self.witnesses = None
+            return
+        witnesses = self.witnesses
+        for value, witness in other.witnesses.items():
+            prior = witnesses.setdefault(value, witness)
+            if prior != witness:
+                self.witnesses = None
+                return
+
+    def copy(self) -> "DistinctTracker":
+        clone = DistinctTracker()
+        clone.witnesses = None if self.witnesses is None else dict(self.witnesses)
+        clone.count = self.count
+        return clone
+
+
+class KeyAccumulator:
+    """Distinct-value state backing streaming candidate-key inference.
+
+    ``singles`` holds one :class:`DistinctTracker` per property key ever
+    observed with a value; ``pairs`` holds trackers for the property pairs
+    of the type's *first* instance (a pair can only be a composite key
+    when both keys are mandatory, i.e. present from the very first
+    instance onward), pruned the moment an instance misses either key.
+    ``instances`` counts folded elements so reads can require that a
+    tracker covered every instance.
+    """
+
+    __slots__ = ("singles", "pairs", "pair_overflow", "pair_cap", "instances")
+
+    def __init__(self, pair_cap: int = DEFAULT_PAIR_CAP) -> None:
+        self.singles: dict[str, DistinctTracker] = {}
+        self.pairs: dict[tuple[str, str], DistinctTracker] = {}
+        self.pair_overflow = False
+        self.pair_cap = pair_cap
+        self.instances = 0
+
+    def observe(self, instance_id: str, properties: Mapping[str, Any]) -> None:
+        """Fold one instance's property map."""
+        first_instance = self.instances == 0
+        self.instances += 1
+        for key, value in properties.items():
+            tracker = self.singles.get(key)
+            if tracker is None:
+                tracker = self.singles[key] = DistinctTracker()
+            tracker.observe(hashable_value(value), instance_id)
+        if first_instance:
+            keys = sorted(properties)
+            if len(keys) > self.pair_cap:
+                self.pair_overflow = True
+                return
+            for left, right in combinations(keys, 2):
+                tracker = DistinctTracker()
+                tracker.observe(
+                    (
+                        hashable_value(properties[left]),
+                        hashable_value(properties[right]),
+                    ),
+                    instance_id,
+                )
+                self.pairs[(left, right)] = tracker
+            return
+        dead: list[tuple[str, str]] = []
+        for pair, tracker in self.pairs.items():
+            left, right = pair
+            if left in properties and right in properties:
+                tracker.observe(
+                    (
+                        hashable_value(properties[left]),
+                        hashable_value(properties[right]),
+                    ),
+                    instance_id,
+                )
+            else:
+                # One key absent on one instance: neither key can be
+                # mandatory over this instance set, so the pair is dead.
+                dead.append(pair)
+        for pair in dead:
+            del self.pairs[pair]
+
+    def merge_from(self, other: "KeyAccumulator") -> None:
+        """Merge on type absorption: pairs survive only on both sides."""
+        self.instances += other.instances
+        for key, tracker in other.singles.items():
+            mine = self.singles.get(key)
+            if mine is None:
+                self.singles[key] = tracker.copy()
+            else:
+                mine.merge_from(tracker)
+        self.pair_overflow = self.pair_overflow or other.pair_overflow
+        if self.pair_overflow:
+            self.pairs.clear()
+            return
+        merged: dict[tuple[str, str], DistinctTracker] = {}
+        for pair, tracker in self.pairs.items():
+            theirs = other.pairs.get(pair)
+            if theirs is not None:
+                tracker.merge_from(theirs)
+                merged[pair] = tracker
+        self.pairs = merged
+
+    def copy(self) -> "KeyAccumulator":
+        clone = KeyAccumulator(self.pair_cap)
+        clone.singles = {k: t.copy() for k, t in self.singles.items()}
+        clone.pairs = {p: t.copy() for p, t in self.pairs.items()}
+        clone.pair_overflow = self.pair_overflow
+        clone.instances = self.instances
+        return clone
+
+
+class TypeSummaries:
+    """The bundle of accumulators attached to one schema type."""
+
+    __slots__ = ("datatypes", "endpoints", "keys")
+
+    def __init__(
+        self,
+        is_edge: bool,
+        options: SummaryOptions = DEFAULT_OPTIONS,
+    ) -> None:
+        self.datatypes = DatatypeAccumulator()
+        self.endpoints = EndpointAccumulator() if is_edge else None
+        self.keys = KeyAccumulator(options.pair_cap) if options.track_keys else None
+
+    def observe(
+        self,
+        instance_id: str,
+        properties: Mapping[str, Any],
+        endpoints: tuple[str, str] | None = None,
+    ) -> None:
+        """Fold one newly recorded instance (exactly once per type)."""
+        self.datatypes.observe_all(properties)
+        if self.endpoints is not None and endpoints is not None:
+            self.endpoints.observe(*endpoints)
+        if self.keys is not None:
+            self.keys.observe(instance_id, properties)
+
+    def merge_from(self, other: "TypeSummaries") -> None:
+        """Monotone merge for type absorption (Lemmas 1-2 extended)."""
+        self.datatypes.merge_from(other.datatypes)
+        if self.endpoints is not None and other.endpoints is not None:
+            self.endpoints.merge_from(other.endpoints)
+        elif other.endpoints is not None:
+            self.endpoints = other.endpoints.copy()
+        if self.keys is not None and other.keys is not None:
+            self.keys.merge_from(other.keys)
+        elif self.keys is not None or other.keys is not None:
+            # One side never tracked keys: the union's key state is unknown.
+            self.keys = None
+
+    def copy(self) -> "TypeSummaries":
+        clone = TypeSummaries(is_edge=False)
+        clone.datatypes = self.datatypes.copy()
+        clone.endpoints = None if self.endpoints is None else self.endpoints.copy()
+        clone.keys = None if self.keys is None else self.keys.copy()
+        return clone
+
+
+def ensure_summaries(
+    schema_type,
+    is_edge: bool,
+    options: SummaryOptions = DEFAULT_OPTIONS,
+) -> TypeSummaries:
+    """Get-or-create the :class:`TypeSummaries` of ``schema_type``."""
+    summaries = schema_type.summaries
+    if summaries is None:
+        summaries = schema_type.summaries = TypeSummaries(is_edge, options)
+    return summaries

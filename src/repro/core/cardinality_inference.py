@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.errors import SchemaError
 from repro.graph.model import PropertyGraph
 from repro.schema.cardinality import CardinalityBounds
 from repro.schema.model import EdgeType, SchemaGraph
@@ -43,6 +44,27 @@ def compute_cardinalities(schema: SchemaGraph, graph: PropertyGraph) -> SchemaGr
     """Fill cardinality bounds and classes for every edge type."""
     for edge_type in schema.edge_types():
         bounds = bounds_for_edge_type(graph, edge_type)
+        edge_type.cardinality_bounds = bounds
+        edge_type.cardinality = bounds.classify()
+    return schema
+
+
+def compute_cardinalities_streaming(schema: SchemaGraph) -> SchemaGraph:
+    """Fill cardinality bounds from the per-type endpoint accumulators.
+
+    The :class:`~repro.core.accumulators.EndpointAccumulator` maintains
+    the distinct-endpoint sets and their maxima per batch, so this read is
+    O(|schema|) -- the maxima equal what :func:`bounds_for_edge_type`
+    would recount over the cumulative union graph.
+    """
+    for edge_type in schema.edge_types():
+        summaries = edge_type.summaries
+        if summaries is None or summaries.endpoints is None:
+            raise SchemaError(
+                f"edge type {edge_type.display_name!r} has no endpoint "
+                "accumulator; use the full-scan compute_cardinalities"
+            )
+        bounds = summaries.endpoints.bounds()
         edge_type.cardinality_bounds = bounds
         edge_type.cardinality = bounds.classify()
     return schema

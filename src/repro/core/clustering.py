@@ -29,6 +29,11 @@ class Cluster:
     target_tokens: set[str] = field(default_factory=set)
     #: per-member observed property keys (constraint inference needs them)
     member_property_keys: list[frozenset[str]] = field(default_factory=list)
+    #: per-member full property maps (shared references); the streaming
+    #: post-processing accumulators fold these values once, at arrival.
+    member_properties: list = field(default_factory=list)
+    #: per-member (source_id, target_id) pairs for edges, None for nodes.
+    member_endpoints: list = field(default_factory=list)
 
     @property
     def is_labeled(self) -> bool:
@@ -62,6 +67,12 @@ def _build_cluster(features: FeatureMatrix, member_rows: list[int]) -> Cluster:
         cluster.labels.update(record.labels)
         cluster.property_keys.update(record.property_keys)
         cluster.member_property_keys.append(record.property_keys)
+        cluster.member_properties.append(record.properties)
+        cluster.member_endpoints.append(
+            None
+            if record.source_id is None
+            else (record.source_id, record.target_id)
+        )
         if record.source_token is not None:
             cluster.source_tokens.add(record.source_token)
         if record.target_token is not None:

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro.core.accumulators import DEFAULT_PAIR_CAP
 from repro.errors import ConfigurationError
 from repro.lsh.base import GroupingRule
 
@@ -83,6 +84,18 @@ class PGHiveConfig:
     #: Apply post-processing after every incremental batch instead of only
     #: after the final one (the ``postProcessing`` flag of Algorithm 1).
     post_process_each_batch: bool = False
+    #: Incremental post-processing reads the per-type streaming
+    #: accumulators (O(|schema|) per pass) instead of re-scanning a
+    #: cumulative union graph.  Disable (debug/oracle mode) to restore the
+    #: pre-accumulator full-scan behaviour; requires ``retain_union``.
+    streaming_postprocess: bool = True
+    #: Keep the cumulative union graph inside the incremental engine.  Off
+    #: by default -- the union grows without bound and exists only for
+    #: debugging, the full-scan oracle, and deletion maintenance.
+    retain_union: bool = False
+    #: Composite-key tracking cap: pair trackers are only created while a
+    #: type's first instance has at most this many property keys.
+    key_pair_tracking_cap: int = DEFAULT_PAIR_CAP
     #: Datatype inference by sampling (section 4.4): fraction + floor.
     datatype_sampling: bool = False
     datatype_sample_fraction: float = 0.1
@@ -117,4 +130,14 @@ class PGHiveConfig:
         if self.hashes_per_table < 1:
             raise ConfigurationError(
                 f"hashes_per_table must be >= 1, got {self.hashes_per_table}"
+            )
+        if not self.streaming_postprocess and not self.retain_union:
+            raise ConfigurationError(
+                "streaming_postprocess=False re-scans the union graph and "
+                "therefore requires retain_union=True"
+            )
+        if self.key_pair_tracking_cap < 0:
+            raise ConfigurationError(
+                "key_pair_tracking_cap must be >= 0, got "
+                f"{self.key_pair_tracking_cap}"
             )

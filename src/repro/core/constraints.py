@@ -5,6 +5,13 @@ A property ``p`` is MANDATORY for type ``T`` when its frequency
 every instance -- and OPTIONAL otherwise.  Each type already accumulated
 per-key occurrence counters while instances were recorded, so this pass is
 a single walk over the schema with no graph access.
+
+This makes constraint inference the model for the whole streaming
+post-processing subsystem: ``property_counts`` / ``instance_count`` *are*
+the mandatory/optional accumulators, maintained once per arriving element
+and merged monotonically on type absorption.  The same function therefore
+serves both the full-scan and the streaming paths -- there is no separate
+``infer_property_constraints_streaming``.
 """
 
 from __future__ import annotations

@@ -5,19 +5,25 @@ schema with the same Algorithm 2 used in the static pipeline -- the schema
 therefore evolves as a monotone chain ``S_1 ⊑ S_2 ⊑ ...`` (no label,
 property, or endpoint is ever dropped; see Lemmas 1-2).
 
-Post-processing (constraints, datatypes, cardinalities) runs after the
-final batch by default, or after every batch when
+Post-processing (constraints, datatypes, cardinalities, keys) runs after
+the final batch by default, or after every batch when
 ``config.post_process_each_batch`` is set -- matching the
-``postProcessing or i = n`` guard of Algorithm 1.  The engine keeps a
-cumulative union graph solely so those passes can read property values;
-clustering itself never revisits earlier batches.  A persistent
-:class:`~repro.core.pipeline.PipelineState` carries the fitted
-preprocessor (with its token-embedding cache) and the MinHash instances
-from batch to batch; together with the process-wide token-id cache this
-means each distinct token is embedded and blake2b-hashed once per stream,
-and structural patterns re-use their signatures whenever consecutive
-batches resolve to the same adaptive LSH parameters.  Deletions are out
-of scope, as in the paper (future work).
+``postProcessing or i = n`` guard of Algorithm 1.  Each batch's values are
+folded into per-type streaming accumulators exactly once, at arrival
+(:mod:`repro.core.accumulators`), so the post-processing passes are pure
+O(|schema|) reads and the engine retains **no** cumulative union graph:
+``add_batch`` is O(|batch|) in time and the resident state is
+O(|schema| + distinct values tracked).  Set ``config.retain_union`` to
+keep the old union graph around for debugging, and additionally
+``streaming_postprocess=False`` to restore the full re-scan behaviour
+(the equivalence oracle of the streaming tests).
+
+A persistent :class:`~repro.core.pipeline.PipelineState` carries the
+fitted preprocessor (with its token-embedding cache) and the MinHash
+instances from batch to batch; together with the process-wide token-id
+cache this means each distinct token is embedded and blake2b-hashed once
+per stream.  Deletions are out of scope here (see
+:mod:`repro.core.maintenance` for the extension, which retains the union).
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from dataclasses import dataclass
 
 from repro.core.config import PGHiveConfig
 from repro.core.pipeline import DiscoveryResult, PGHive, PipelineState
+from repro.errors import ConfigurationError
 from repro.graph.model import PropertyGraph
 from repro.schema.model import SchemaGraph
 from repro.util import Timer
@@ -57,7 +64,13 @@ class IncrementalSchemaDiscovery:
         self._state = PipelineState()
         self._timer = Timer()
         self._schema = SchemaGraph(schema_name)
-        self._union = PropertyGraph(f"{schema_name}-union")
+        #: opt-in debugging/oracle state only; None in the default
+        #: streaming mode, where no batch is ever revisited.
+        self._union: PropertyGraph | None = (
+            PropertyGraph(f"{schema_name}-union")
+            if self.config.retain_union
+            else None
+        )
         self._result = DiscoveryResult(
             schema=self._schema,
             timer=self._timer,
@@ -76,17 +89,36 @@ class IncrementalSchemaDiscovery:
         """Cross-batch pipeline state (preprocessor + signature caches)."""
         return self._state
 
+    @property
+    def union_graph(self) -> PropertyGraph:
+        """The cumulative union graph (requires ``config.retain_union``)."""
+        if self._union is None:
+            raise ConfigurationError(
+                "the incremental engine no longer retains a union graph by "
+                "default; construct it with PGHiveConfig(retain_union=True)"
+            )
+        return self._union
+
     def add_batch(self, batch: PropertyGraph) -> BatchReport:
         """Process one insert batch and merge its types into the schema."""
         batch_timer = Timer()
         with batch_timer.measure("batch"):
             self._pipeline._process_batch(
-                batch, self._schema, self._timer, self._result, self._state
+                batch,
+                self._schema,
+                self._timer,
+                self._result,
+                self._state,
+                build_summaries=(
+                    self.config.streaming_postprocess
+                    and self.config.post_processing
+                ),
             )
-            self._union.merge_in(batch)
+            if self._union is not None:
+                self._union.merge_in(batch)
             if self.config.post_process_each_batch and self.config.post_processing:
                 with self._timer.measure("postprocess"):
-                    self._pipeline.post_process(self._schema, self._union)
+                    self._post_process()
         self._result.batches_processed += 1
         seconds = batch_timer.lap("batch")
         self._result.batch_seconds.append(seconds)
@@ -105,5 +137,12 @@ class IncrementalSchemaDiscovery:
         """Run the final post-processing pass and return the result."""
         if self.config.post_processing and not self.config.post_process_each_batch:
             with self._timer.measure("postprocess"):
-                self._pipeline.post_process(self._schema, self._union)
+                self._post_process()
         return self._result
+
+    def _post_process(self) -> None:
+        """Streaming accumulator reads, or the full-scan oracle path."""
+        if self.config.streaming_postprocess:
+            self._pipeline.post_process_streaming(self._schema)
+        else:
+            self._pipeline.post_process(self._schema, self.union_graph)

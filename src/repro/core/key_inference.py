@@ -13,8 +13,11 @@ they hold on the observed data and may be invalidated by future inserts.
 
 from __future__ import annotations
 
+import warnings
 from itertools import combinations
 
+from repro.core.accumulators import hashable_value as _hashable
+from repro.errors import SchemaError
 from repro.graph.model import PropertyGraph
 from repro.schema.model import EdgeType, NodeType, SchemaGraph
 
@@ -22,13 +25,6 @@ from repro.schema.model import EdgeType, NodeType, SchemaGraph
 MAX_COMPOSITE_CANDIDATES = 6
 #: Keys over types with fewer instances than this are too weak to claim.
 MIN_INSTANCES_FOR_KEY = 2
-
-
-def _hashable(value) -> object:
-    """Values are scalars in this model, but stay safe against lists."""
-    if isinstance(value, (list, dict, set)):
-        return repr(value)
-    return value
 
 
 def _instance_values(
@@ -79,6 +75,77 @@ def candidate_keys_for_type(
             if rows and len(set(rows)) == len(rows):
                 composites.append(pair)
     return singles + composites
+
+
+def candidate_keys_from_summaries(schema_type: NodeType | EdgeType) -> list[tuple[str, ...]]:
+    """Streaming equivalent of :func:`candidate_keys_for_type`.
+
+    Reads the per-type :class:`~repro.core.accumulators.KeyAccumulator`
+    in the exact candidate order of the full scan (sorted mandatory
+    singles, then pairs of the non-key remainder), so the result lists
+    are identical.  A singleton is a key when its distinct-value tracker
+    covered every instance without a cross-instance duplicate; pairs read
+    the pair trackers that survived since the type's first instance.
+    Types whose first instance exceeded the pair-tracking cap report no
+    composites (``pair_overflow``).
+    """
+    if schema_type.instance_count < MIN_INSTANCES_FOR_KEY:
+        return []
+    summaries = schema_type.summaries
+    if summaries is None or summaries.keys is None:
+        raise SchemaError(
+            f"type {schema_type.display_name!r} has no key accumulator; "
+            "enable infer_keys before the stream starts or use the "
+            "full-scan candidate_keys_for_type"
+        )
+    accumulator = summaries.keys
+    mandatory = sorted(schema_type.mandatory_keys())
+    singles: list[tuple[str, ...]] = []
+    non_keys: list[str] = []
+    for key in mandatory:
+        tracker = accumulator.singles.get(key)
+        if (
+            tracker is not None
+            and tracker.count == accumulator.instances
+            and tracker.distinct
+        ):
+            singles.append((key,))
+        else:
+            non_keys.append(key)
+
+    composites: list[tuple[str, ...]] = []
+    if len(non_keys) <= MAX_COMPOSITE_CANDIDATES:
+        if accumulator.pair_overflow:
+            if len(non_keys) >= 2:
+                # The full scan would search these pairs; say so instead of
+                # silently diverging for very wide types.
+                warnings.warn(
+                    f"type {schema_type.display_name!r}: composite-key "
+                    "tracking overflowed (first instance exceeded "
+                    f"key_pair_tracking_cap={accumulator.pair_cap}); "
+                    "streaming inference reports no composite keys",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        else:
+            for pair in combinations(non_keys, 2):
+                tracker = accumulator.pairs.get(pair)
+                if tracker is not None and tracker.distinct:
+                    composites.append(pair)
+    return singles + composites
+
+
+def infer_keys_streaming(schema: SchemaGraph) -> SchemaGraph:
+    """Fill ``type.candidate_keys`` from the streaming accumulators."""
+    for node_type in schema.node_types():
+        node_type.candidate_keys = candidate_keys_from_summaries(node_type)
+        for (key,) in (k for k in node_type.candidate_keys if len(k) == 1):
+            node_type.properties[key].unique = True
+    for edge_type in schema.edge_types():
+        edge_type.candidate_keys = candidate_keys_from_summaries(edge_type)
+        for (key,) in (k for k in edge_type.candidate_keys if len(k) == 1):
+            edge_type.properties[key].unique = True
+    return schema
 
 
 def infer_keys(schema: SchemaGraph, graph: PropertyGraph) -> SchemaGraph:

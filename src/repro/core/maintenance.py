@@ -18,6 +18,7 @@ deletions but deliberately not across them; tests pin both behaviours.
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Iterable
 
 from repro.core.cardinality_inference import compute_cardinalities
@@ -41,8 +42,14 @@ class MaintainedSchema:
         infer_key_constraints: bool = False,
     ) -> None:
         self.config = config or PGHiveConfig()
+        # Deletions must re-read surviving values, and streaming
+        # accumulators are insert-monotone, so this extension always keeps
+        # the union graph and post-processes by full scan.
         self._engine = IncrementalSchemaDiscovery(
-            self.config, schema_name=schema_name
+            dataclasses.replace(
+                self.config, retain_union=True, streaming_postprocess=False
+            ),
+            schema_name=schema_name,
         )
         self.infer_key_constraints = infer_key_constraints
 
@@ -54,7 +61,7 @@ class MaintainedSchema:
     @property
     def graph(self) -> PropertyGraph:
         """The union of all inserted (and not yet deleted) data."""
-        return self._engine._union
+        return self._engine.union_graph
 
     # ------------------------------------------------------------------
     # Inserts (delegated)

@@ -13,12 +13,16 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from repro.core.accumulators import SummaryOptions
 from repro.core.adaptive import AdaptiveParameters
-from repro.core.cardinality_inference import compute_cardinalities
+from repro.core.cardinality_inference import (
+    compute_cardinalities,
+    compute_cardinalities_streaming,
+)
 from repro.core.clustering import cluster_features
 from repro.core.config import PGHiveConfig
 from repro.core.constraints import infer_property_constraints
-from repro.core.datatype_inference import infer_datatypes
+from repro.core.datatype_inference import infer_datatypes, infer_datatypes_streaming
 from repro.core.preprocess import Preprocessor
 from repro.core.serialization import to_pg_schema, to_xsd
 from repro.core.type_extraction import extract_types
@@ -156,6 +160,7 @@ class PGHive:
         timer: Timer,
         result: DiscoveryResult,
         state: PipelineState | None = None,
+        build_summaries: bool = False,
     ) -> None:
         """Steps (b)-(d) for one batch, merging into ``schema`` in place.
 
@@ -165,9 +170,22 @@ class PGHive:
         so identical tokens still agree across batches -- and the MinHash
         signature caches persist, honouring the paper's "never revisit
         earlier batches" design.
+
+        ``build_summaries`` feeds the per-type streaming accumulators
+        during extraction; only the incremental engine's streaming path
+        sets it -- static discovery and the union-rescan oracle post-process
+        by full scan, so building summaries there would be pure overhead.
         """
         if state is None:
             state = PipelineState()
+        summary_options = (
+            SummaryOptions(
+                track_keys=self.config.infer_keys,
+                pair_cap=self.config.key_pair_tracking_cap,
+            )
+            if build_summaries
+            else None
+        )
         with timer.measure("preprocess"):
             if state.preprocessor is None:
                 state.preprocessor = Preprocessor(self.config).fit(graph)
@@ -187,6 +205,7 @@ class PGHive:
                 node_outcome.clusters,
                 edge_outcome.clusters,
                 theta=self.config.theta,
+                summary_options=summary_options,
             )
         result.node_parameters = node_outcome.parameters or result.node_parameters
         result.edge_parameters = edge_outcome.parameters or result.edge_parameters
@@ -194,7 +213,12 @@ class PGHive:
         result.edge_cluster_count += edge_outcome.cluster_count
 
     def post_process(self, schema: SchemaGraph, graph: PropertyGraph) -> SchemaGraph:
-        """Steps (e)-(g): constraints, datatypes, cardinalities (+ keys)."""
+        """Steps (e)-(g): constraints, datatypes, cardinalities (+ keys).
+
+        Full-scan variant: re-reads every instance's values from ``graph``.
+        Used by static discovery and as the equivalence oracle for the
+        streaming path below.
+        """
         infer_property_constraints(schema)
         infer_datatypes(schema, graph, self.config)
         compute_cardinalities(schema, graph)
@@ -202,4 +226,21 @@ class PGHive:
             from repro.core.key_inference import infer_keys
 
             infer_keys(schema, graph)
+        return schema
+
+    def post_process_streaming(self, schema: SchemaGraph) -> SchemaGraph:
+        """Steps (e)-(g) as pure reads over the per-type accumulators.
+
+        O(|schema|) per call and independent of how many batches the
+        stream has carried: every value was folded exactly once when its
+        batch arrived (see :mod:`repro.core.accumulators`), so no graph
+        argument exists to re-scan.
+        """
+        infer_property_constraints(schema)
+        infer_datatypes_streaming(schema)
+        compute_cardinalities_streaming(schema)
+        if self.config.infer_keys:
+            from repro.core.key_inference import infer_keys_streaming
+
+            infer_keys_streaming(schema)
         return schema

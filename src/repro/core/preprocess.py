@@ -15,7 +15,7 @@ absent, leaving the pure property-set behaviour the paper describes.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -37,6 +37,12 @@ class ElementRecord:
     property_keys: frozenset[str]
     source_token: str | None = None
     target_token: str | None = None
+    #: full property map (shared reference, not copied); the streaming
+    #: post-processing accumulators fold these values at arrival.
+    properties: Mapping[str, object] = field(default_factory=dict)
+    #: endpoint node ids (edges only) for distinct-endpoint counters.
+    source_id: str | None = None
+    target_id: str | None = None
 
     @property
     def is_labeled(self) -> bool:
@@ -188,7 +194,13 @@ class Preprocessor:
             tokens_per_row.append(token)
             keys_per_row.append(node.properties)
             records.append(
-                ElementRecord(node.node_id, token, node.labels, node.property_keys)
+                ElementRecord(
+                    node.node_id,
+                    token,
+                    node.labels,
+                    node.property_keys,
+                    properties=node.properties,
+                )
             )
             tokens = set(node.properties)
             if token:
@@ -230,6 +242,9 @@ class Preprocessor:
                     edge.property_keys,
                     source_token=source_token,
                     target_token=target_token,
+                    properties=edge.properties,
+                    source_id=edge.source_id,
+                    target_id=edge.target_id,
                 )
             )
             tokens = set(edge.properties)

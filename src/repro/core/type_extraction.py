@@ -24,29 +24,71 @@ and member instances only accumulate.
 
 from __future__ import annotations
 
+from repro.core.accumulators import DEFAULT_OPTIONS, SummaryOptions, ensure_summaries
 from repro.core.clustering import Cluster
 from repro.schema.model import EdgeType, NodeType, SchemaGraph
 from repro.util import jaccard
 
 
-def _record_members(schema_type, cluster: Cluster) -> None:
-    for instance_id, keys in zip(cluster.member_ids, cluster.member_property_keys):
-        schema_type.record_instance(instance_id, keys)
+def _record_members(
+    schema_type,
+    cluster: Cluster,
+    options: SummaryOptions | None = DEFAULT_OPTIONS,
+) -> None:
+    """Attach cluster members to a type, folding values into its summaries.
+
+    Each member's property values are consumed exactly once per type (the
+    ``record_instance`` replay guard), which is what keeps the streaming
+    post-processing reads equal to a full re-scan of the union graph.
+    ``options=None`` skips accumulation entirely (full-scan-only runs).
+    Clusters built without value payloads -- or edge clusters without
+    endpoint payloads (hand-assembled in tests) -- invalidate the type's
+    summaries instead of silently under-counting.
+    """
+    is_edge = isinstance(schema_type, EdgeType)
+    member_count = len(cluster.member_ids)
+    has_values = (
+        options is not None
+        and len(cluster.member_properties) == member_count
+        and (not is_edge or len(cluster.member_endpoints) == member_count)
+    )
+    summaries = None
+    if has_values and (
+        schema_type.summaries is not None or schema_type.instance_count == 0
+    ):
+        # Never resurrect summaries over unfolded history: a type whose
+        # summaries were invalidated stays invalid.
+        summaries = ensure_summaries(schema_type, is_edge, options)
+    endpoints_list = cluster.member_endpoints
+    for index, (instance_id, keys) in enumerate(
+        zip(cluster.member_ids, cluster.member_property_keys)
+    ):
+        if not schema_type.record_instance(instance_id, keys):
+            continue
+        if summaries is None:
+            schema_type.summaries = None
+            continue
+        endpoints = endpoints_list[index] if index < len(endpoints_list) else None
+        summaries.observe(instance_id, cluster.member_properties[index], endpoints)
 
 
-def _new_node_type(schema: SchemaGraph, cluster: Cluster) -> NodeType:
+def _new_node_type(
+    schema: SchemaGraph, cluster: Cluster, options: SummaryOptions | None
+) -> NodeType:
     node_type = NodeType(
         schema.new_type_id("n"), cluster.labels, abstract=not cluster.labels
     )
-    _record_members(node_type, cluster)
+    _record_members(node_type, cluster, options)
     return schema.add_node_type(node_type)
 
 
-def _new_edge_type(schema: SchemaGraph, cluster: Cluster) -> EdgeType:
+def _new_edge_type(
+    schema: SchemaGraph, cluster: Cluster, options: SummaryOptions | None
+) -> EdgeType:
     edge_type = EdgeType(
         schema.new_type_id("e"), cluster.labels, abstract=not cluster.labels
     )
-    _record_members(edge_type, cluster)
+    _record_members(edge_type, cluster, options)
     for source_token in cluster.source_tokens:
         edge_type.source_tokens.add(source_token)
     for target_token in cluster.target_tokens:
@@ -54,26 +96,31 @@ def _new_edge_type(schema: SchemaGraph, cluster: Cluster) -> EdgeType:
     return schema.add_edge_type(edge_type)
 
 
-def _absorb_node_cluster(node_type: NodeType, cluster: Cluster) -> None:
+def _absorb_node_cluster(
+    node_type: NodeType, cluster: Cluster, options: SummaryOptions | None
+) -> None:
     node_type.labels |= cluster.labels
     if cluster.labels:
         node_type.abstract = False
-    _record_members(node_type, cluster)
+    _record_members(node_type, cluster, options)
 
 
-def _absorb_edge_cluster(edge_type: EdgeType, cluster: Cluster) -> None:
+def _absorb_edge_cluster(
+    edge_type: EdgeType, cluster: Cluster, options: SummaryOptions | None
+) -> None:
     edge_type.labels |= cluster.labels
     if cluster.labels:
         edge_type.abstract = False
     edge_type.source_tokens |= cluster.source_tokens
     edge_type.target_tokens |= cluster.target_tokens
-    _record_members(edge_type, cluster)
+    _record_members(edge_type, cluster, options)
 
 
 def extract_node_types(
     schema: SchemaGraph,
     clusters: list[Cluster],
     theta: float,
+    summary_options: SummaryOptions | None = DEFAULT_OPTIONS,
 ) -> SchemaGraph:
     """Fold node clusters into ``schema`` (lines 2-14 of Algorithm 2)."""
     unlabeled: list[Cluster] = []
@@ -84,9 +131,9 @@ def extract_node_types(
         token = "+".join(sorted(cluster.labels))
         existing = schema.node_type_by_token(token)
         if existing is not None:
-            _absorb_node_cluster(existing, cluster)
+            _absorb_node_cluster(existing, cluster, summary_options)
         else:
-            _new_node_type(schema, cluster)
+            _new_node_type(schema, cluster, summary_options)
 
     for cluster in unlabeled:
         target = _best_jaccard_match(
@@ -97,9 +144,9 @@ def extract_node_types(
                 (t for t in schema.node_types() if not t.labels), cluster, theta
             )
         if target is not None:
-            _absorb_node_cluster(target, cluster)
+            _absorb_node_cluster(target, cluster, summary_options)
         else:
-            _new_node_type(schema, cluster)
+            _new_node_type(schema, cluster, summary_options)
     return schema
 
 
@@ -107,6 +154,7 @@ def extract_edge_types(
     schema: SchemaGraph,
     clusters: list[Cluster],
     theta: float,
+    summary_options: SummaryOptions | None = DEFAULT_OPTIONS,
 ) -> SchemaGraph:
     """Fold edge clusters into ``schema`` (section 4.3 "Edges")."""
     unlabeled: list[Cluster] = []
@@ -126,16 +174,16 @@ def extract_edge_types(
             None,
         )
         if existing is not None:
-            _absorb_edge_cluster(existing, cluster)
+            _absorb_edge_cluster(existing, cluster, summary_options)
         else:
-            _new_edge_type(schema, cluster)
+            _new_edge_type(schema, cluster, summary_options)
 
     for cluster in unlabeled:
         target = _best_edge_match(schema, cluster, theta)
         if target is not None:
-            _absorb_edge_cluster(target, cluster)
+            _absorb_edge_cluster(target, cluster, summary_options)
         else:
-            _new_edge_type(schema, cluster)
+            _new_edge_type(schema, cluster, summary_options)
     return schema
 
 
@@ -144,17 +192,19 @@ def extract_types(
     node_clusters: list[Cluster],
     edge_clusters: list[Cluster],
     theta: float = 0.9,
+    summary_options: SummaryOptions | None = DEFAULT_OPTIONS,
 ) -> SchemaGraph:
     """Algorithm 2 entry point: merge both cluster kinds into ``schema``."""
-    extract_node_types(schema, node_clusters, theta)
-    extract_edge_types(schema, edge_clusters, theta)
+    extract_node_types(schema, node_clusters, theta, summary_options)
+    extract_edge_types(schema, edge_clusters, theta, summary_options)
     return schema
 
 
 def _best_jaccard_match(candidates, cluster: Cluster, theta: float):
     best, best_score = None, -1.0
+    cluster_keys = frozenset(cluster.property_keys)
     for candidate in candidates:
-        score = jaccard(candidate.property_keys, frozenset(cluster.property_keys))
+        score = jaccard(candidate.property_keys, cluster_keys)
         if score >= theta and score > best_score:
             best, best_score = candidate, score
     return best
@@ -162,10 +212,11 @@ def _best_jaccard_match(candidates, cluster: Cluster, theta: float):
 
 def _best_edge_match(schema: SchemaGraph, cluster: Cluster, theta: float):
     best, best_score = None, -1.0
+    cluster_keys = frozenset(cluster.property_keys)
     for candidate in schema.edge_types():
         if not _endpoints_compatible(candidate, cluster):
             continue
-        score = jaccard(candidate.property_keys, frozenset(cluster.property_keys))
+        score = jaccard(candidate.property_keys, cluster_keys)
         if score >= theta and score > best_score:
             best, best_score = candidate, score
     return best

@@ -115,6 +115,11 @@ class _TypeBase:
         self.instance_count = 0
         #: candidate keys (tuples of property names) from key inference
         self.candidate_keys: list[tuple[str, ...]] = []
+        #: streaming post-processing accumulators
+        #: (:class:`repro.core.accumulators.TypeSummaries`), attached and
+        #: fed by type extraction.  Kept duck-typed (``merge_from`` /
+        #: ``copy``) so the schema layer needs no import from core.
+        self.summaries = None
 
     @property
     def token(self) -> str:
@@ -139,20 +144,23 @@ class _TypeBase:
             self.properties[key] = spec
         return spec
 
-    def record_instance(self, instance_id: str, property_keys: Iterable[str]) -> None:
+    def record_instance(self, instance_id: str, property_keys: Iterable[str]) -> bool:
         """Attach an instance: update counts and ensure property specs exist.
 
         Replayed instances (batch streams ship endpoint stubs with every
         batch that references them) are counted once -- double counting
         would skew the constraint frequencies ``f_T(p)`` of section 4.4.
+        Returns True when the instance was newly recorded (callers fold
+        property values into the streaming summaries exactly then).
         """
         if instance_id in self.instance_ids:
-            return
+            return False
         self.instance_ids.add(instance_id)
         self.instance_count += 1
         for key in property_keys:
             self.property_counts[key] += 1
             self.ensure_property(key)
+        return True
 
     def _absorb_base(self, other: "_TypeBase") -> None:
         self.labels |= other.labels
@@ -166,6 +174,12 @@ class _TypeBase:
         self.instance_count += other.instance_count
         # Uniqueness within each side says nothing about the union.
         self.candidate_keys = []
+        if self.summaries is not None and other.summaries is not None:
+            self.summaries.merge_from(other.summaries)
+        else:
+            # A side without summaries carries unfolded values: the union's
+            # streaming state would be incomplete, so drop it entirely.
+            self.summaries = None
         if other.labels:
             self.abstract = False
 
@@ -198,6 +212,7 @@ class NodeType(_TypeBase):
         clone.property_counts = Counter(self.property_counts)
         clone.instance_count = self.instance_count
         clone.candidate_keys = list(self.candidate_keys)
+        clone.summaries = None if self.summaries is None else self.summaries.copy()
         return clone
 
     def __repr__(self) -> str:
@@ -259,6 +274,7 @@ class EdgeType(_TypeBase):
         clone.cardinality = self.cardinality
         clone.cardinality_bounds = self.cardinality_bounds
         clone.candidate_keys = list(self.candidate_keys)
+        clone.summaries = None if self.summaries is None else self.summaries.copy()
         return clone
 
     def __repr__(self) -> str:

@@ -1,0 +1,438 @@
+"""Streaming post-processing equivalence and accumulator unit tests.
+
+The streaming subsystem (``repro.core.accumulators``) must reproduce the
+full-scan post-processing results *bit for bit*: same datatypes, same
+cardinality bounds and classes, same mandatory/optional flags, same
+candidate keys -- on any insert stream, in any batch order, including the
+single-batch degenerate case.  The oracle is the pre-accumulator
+behaviour, still reachable via ``retain_union=True,
+streaming_postprocess=False``.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.accumulators import (
+    DatatypeAccumulator,
+    DistinctTracker,
+    EndpointAccumulator,
+    KeyAccumulator,
+    SummaryOptions,
+    TypeSummaries,
+)
+from repro.core.config import PGHiveConfig
+from repro.core.incremental import IncrementalSchemaDiscovery
+from repro.core.pipeline import PGHive
+from repro.errors import ConfigurationError, SchemaError
+from repro.graph.batching import split_into_batches
+from repro.graph.model import Edge, Node, PropertyGraph
+from repro.schema.datatypes import DataType
+
+
+# ----------------------------------------------------------------------
+# Accumulator unit behaviour
+# ----------------------------------------------------------------------
+class TestDatatypeAccumulator:
+    def test_folds_through_lattice(self):
+        acc = DatatypeAccumulator()
+        acc.observe("x", 1)
+        assert acc.types["x"] is DataType.INTEGER
+        acc.observe("x", 2.5)
+        assert acc.types["x"] is DataType.FLOAT
+        acc.observe("x", "hello")
+        assert acc.types["x"] is DataType.STRING
+        # STRING is absorbing.
+        acc.observe("x", 3)
+        assert acc.types["x"] is DataType.STRING
+
+    def test_merge_is_lattice_join(self):
+        left, right = DatatypeAccumulator(), DatatypeAccumulator()
+        left.observe("a", 1)
+        right.observe("a", 2.5)
+        right.observe("b", "2024-03-09")
+        left.merge_from(right)
+        assert left.types["a"] is DataType.FLOAT
+        assert left.types["b"] is DataType.DATE
+
+    def test_order_invariance(self):
+        values = [1, 2.5, True, "2024-03-09", None, "text"]
+        forward, backward = DatatypeAccumulator(), DatatypeAccumulator()
+        for v in values:
+            forward.observe("k", v)
+        for v in reversed(values):
+            backward.observe("k", v)
+        assert forward.types == backward.types
+
+
+class TestEndpointAccumulator:
+    def test_running_maxima(self):
+        acc = EndpointAccumulator()
+        acc.observe("s1", "t1")
+        acc.observe("s1", "t2")
+        acc.observe("s2", "t1")
+        bounds = acc.bounds()
+        assert (bounds.max_out, bounds.max_in) == (2, 2)
+
+    def test_duplicate_edges_do_not_inflate(self):
+        acc = EndpointAccumulator()
+        acc.observe("s", "t")
+        acc.observe("s", "t")
+        assert (acc.max_out, acc.max_in) == (1, 1)
+
+    def test_merge_unions_endpoint_sets(self):
+        left, right = EndpointAccumulator(), EndpointAccumulator()
+        left.observe("s", "t1")
+        right.observe("s", "t2")
+        right.observe("u", "t1")
+        left.merge_from(right)
+        assert (left.max_out, left.max_in) == (2, 2)
+        # Shared (s, t1) on both sides stays one distinct endpoint.
+        left2, right2 = EndpointAccumulator(), EndpointAccumulator()
+        left2.observe("s", "t1")
+        right2.observe("s", "t1")
+        left2.merge_from(right2)
+        assert (left2.max_out, left2.max_in) == (1, 1)
+
+
+class TestDistinctTracker:
+    def test_detects_cross_instance_duplicates(self):
+        tracker = DistinctTracker()
+        tracker.observe("v", "i1")
+        assert tracker.distinct
+        tracker.observe("v", "i2")
+        assert not tracker.distinct
+
+    def test_merge_same_witness_is_not_a_duplicate(self):
+        # The same instance replayed on both sides of a type merge must
+        # not collapse the tracker (overlapping instance sets dedup).
+        left, right = DistinctTracker(), DistinctTracker()
+        left.observe("v", "i1")
+        right.observe("v", "i1")
+        left.merge_from(right)
+        assert left.distinct
+
+    def test_merge_cross_side_collision_is_a_duplicate(self):
+        left, right = DistinctTracker(), DistinctTracker()
+        left.observe("v", "i1")
+        right.observe("v", "i2")
+        left.merge_from(right)
+        assert not left.distinct
+
+    def test_duplicated_state_is_terminal_and_frees_memory(self):
+        tracker = DistinctTracker()
+        tracker.observe("v", "i1")
+        tracker.observe("v", "i2")
+        assert tracker.witnesses is None
+        tracker.observe("w", "i3")
+        assert not tracker.distinct
+
+
+class TestKeyAccumulator:
+    def test_pairs_seeded_from_first_instance(self):
+        acc = KeyAccumulator()
+        acc.observe("i1", {"a": 1, "b": 2, "c": 3})
+        assert set(acc.pairs) == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_pair_dies_when_key_missing(self):
+        acc = KeyAccumulator()
+        acc.observe("i1", {"a": 1, "b": 2})
+        acc.observe("i2", {"a": 2})
+        assert acc.pairs == {}
+
+    def test_pair_overflow_above_cap(self):
+        acc = KeyAccumulator(pair_cap=2)
+        acc.observe("i1", {"a": 1, "b": 2, "c": 3})
+        assert acc.pair_overflow
+        assert acc.pairs == {}
+
+    def test_single_tracker_counts_cover_instances(self):
+        acc = KeyAccumulator()
+        acc.observe("i1", {"a": 1})
+        acc.observe("i2", {"a": 2, "b": 1})
+        assert acc.singles["a"].count == acc.instances == 2
+        assert acc.singles["b"].count == 1  # absent on i1 -> not a key
+
+
+class TestTypeSummariesMerge:
+    def test_key_state_lost_when_one_side_untracked(self):
+        options = SummaryOptions(track_keys=True)
+        left = TypeSummaries(is_edge=False, options=options)
+        right = TypeSummaries(is_edge=False)
+        left.observe("i1", {"a": 1})
+        right.observe("i2", {"a": 2})
+        left.merge_from(right)
+        assert left.keys is None  # unknown, never wrong
+
+    def test_copy_is_independent(self):
+        options = SummaryOptions(track_keys=True)
+        original = TypeSummaries(is_edge=True, options=options)
+        original.observe("e1", {"w": 1}, endpoints=("s", "t"))
+        clone = original.copy()
+        clone.observe("e2", {"w": 2}, endpoints=("s", "t2"))
+        assert original.endpoints.max_out == 1
+        assert clone.endpoints.max_out == 2
+        assert original.keys.instances == 1
+
+
+# ----------------------------------------------------------------------
+# Engine-level behaviour
+# ----------------------------------------------------------------------
+class TestUnionRetention:
+    def test_no_union_graph_by_default(self, figure1_graph):
+        engine = IncrementalSchemaDiscovery(PGHiveConfig(seed=0))
+        for batch in split_into_batches(figure1_graph, 2, seed=1):
+            engine.add_batch(batch)
+        assert engine._union is None
+        with pytest.raises(ConfigurationError):
+            engine.union_graph
+
+    def test_retain_union_keeps_all_batches(self, figure1_graph):
+        engine = IncrementalSchemaDiscovery(
+            PGHiveConfig(seed=0, retain_union=True)
+        )
+        for batch in split_into_batches(figure1_graph, 2, seed=1):
+            engine.add_batch(batch)
+        assert engine.union_graph.node_count == figure1_graph.node_count
+        assert engine.union_graph.edge_count == figure1_graph.edge_count
+
+    def test_full_scan_mode_requires_union(self):
+        with pytest.raises(ConfigurationError):
+            PGHiveConfig(streaming_postprocess=False)
+
+    def test_streaming_read_raises_without_summaries(self):
+        from repro.core.datatype_inference import infer_datatypes_streaming
+        from repro.schema.model import NodeType, SchemaGraph
+
+        schema = SchemaGraph()
+        schema.add_node_type(NodeType("n0", {"T"}))
+        with pytest.raises(SchemaError):
+            infer_datatypes_streaming(schema)
+
+    def test_edge_cluster_without_endpoints_invalidates_summaries(self):
+        # Property payloads alone are not enough for an edge type: missing
+        # endpoint payloads must invalidate (streaming read then raises)
+        # rather than silently reporting 0-degree cardinality bounds.
+        from repro.core.cardinality_inference import (
+            compute_cardinalities_streaming,
+        )
+        from repro.core.clustering import Cluster
+        from repro.core.type_extraction import extract_types
+        from repro.schema.model import SchemaGraph
+
+        cluster = Cluster(
+            member_ids=["e1", "e2"],
+            labels={"REL"},
+            property_keys={"w"},
+            member_property_keys=[frozenset({"w"})] * 2,
+            member_properties=[{"w": 1}, {"w": 2}],
+        )
+        schema = SchemaGraph()
+        extract_types(schema, [], [cluster])
+        (edge_type,) = schema.edge_types()
+        assert edge_type.summaries is None
+        with pytest.raises(SchemaError):
+            compute_cardinalities_streaming(schema)
+
+    def test_no_summaries_when_post_processing_disabled(self, figure1_graph):
+        # config.post_processing=False times clustering alone; the engine
+        # must not pay for accumulators nobody will ever read.
+        engine = IncrementalSchemaDiscovery(
+            PGHiveConfig(seed=0, post_processing=False)
+        )
+        for batch in split_into_batches(figure1_graph, 2, seed=1):
+            engine.add_batch(batch)
+        engine.finalize()
+        assert all(
+            t.summaries is None
+            for t in (*engine.schema.node_types(), *engine.schema.edge_types())
+        )
+
+    def test_pair_overflow_warns_instead_of_silent_divergence(self):
+        import warnings
+
+        from repro.core.key_inference import candidate_keys_from_summaries
+        from repro.schema.model import NodeType
+
+        node_type = NodeType("n0", {"Wide"})
+        node_type.summaries = TypeSummaries(
+            is_edge=False, options=SummaryOptions(track_keys=True, pair_cap=2)
+        )
+        # Three shared-value keys on every instance: all mandatory, none a
+        # singleton key, so the full scan would search their pairs.
+        for index in range(3):
+            properties = {"a": 1, "b": 2, "c": 3}
+            node_type.record_instance(f"i{index}", properties)
+            node_type.summaries.observe(f"i{index}", properties)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            from repro.core.constraints import infer_type_constraints
+
+            infer_type_constraints(node_type)
+            keys = candidate_keys_from_summaries(node_type)
+        assert keys == []
+        assert any("composite-key tracking overflowed" in str(w.message)
+                   for w in caught)
+
+    def test_full_scan_runs_build_no_summaries(self, figure1_graph):
+        # Static discovery and the union-rescan oracle never read the
+        # accumulators, so they must not pay for building them.
+        static = PGHive(PGHiveConfig(seed=0, infer_keys=True)).discover(
+            figure1_graph
+        )
+        assert all(
+            t.summaries is None
+            for t in (*static.schema.node_types(), *static.schema.edge_types())
+        )
+        engine = IncrementalSchemaDiscovery(
+            PGHiveConfig(seed=0, retain_union=True, streaming_postprocess=False)
+        )
+        for batch in split_into_batches(figure1_graph, 2, seed=1):
+            engine.add_batch(batch)
+        engine.finalize()
+        assert all(
+            t.summaries is None
+            for t in (*engine.schema.node_types(), *engine.schema.edge_types())
+        )
+
+
+# ----------------------------------------------------------------------
+# Equivalence with the full-scan oracle
+# ----------------------------------------------------------------------
+def _snapshot(schema):
+    """Everything post-processing writes, keyed by type id."""
+    out = {}
+    for schema_type in (*schema.node_types(), *schema.edge_types()):
+        out[schema_type.type_id] = (
+            schema_type.display_name,
+            {
+                key: (spec.data_type, spec.mandatory, spec.unique)
+                for key, spec in schema_type.properties.items()
+            },
+            list(schema_type.candidate_keys),
+            getattr(schema_type, "cardinality", None),
+            getattr(schema_type, "cardinality_bounds", None),
+        )
+    return out
+
+
+def _run_stream(batches, seed, **overrides):
+    config = PGHiveConfig(seed=seed, infer_keys=True, **overrides)
+    engine = IncrementalSchemaDiscovery(config)
+    for batch in batches:
+        engine.add_batch(batch)
+    engine.finalize()
+    return engine.schema
+
+
+def _assert_equivalent(batches, seed):
+    streaming = _run_stream(batches, seed)
+    oracle = _run_stream(
+        batches, seed, retain_union=True, streaming_postprocess=False
+    )
+    assert _snapshot(streaming) == _snapshot(oracle)
+
+
+_VALUES = st.one_of(
+    st.integers(min_value=-10, max_value=10),
+    st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
+    st.booleans(),
+    st.sampled_from(["2024-03-09", "2024-03-09T12:30:00", "x", "yy", None]),
+    st.text(alphabet="abAB", min_size=0, max_size=4),
+)
+
+#: label -> (property key, chance the key is present)
+_TEMPLATES = {
+    "Person": (("pid", 1.0), ("name", 1.0), ("age", 0.7)),
+    "Post": (("pid", 1.0), ("content", 0.9), ("score", 0.5)),
+    "Place": (("name", 1.0), ("lat", 0.8)),
+}
+_EDGE_TEMPLATES = {
+    "KNOWS": (("since", 0.8),),
+    "LIKES": (("weight", 0.6), ("since", 0.4)),
+}
+
+
+@st.composite
+def _streams(draw):
+    node_count = draw(st.integers(min_value=6, max_value=28))
+    graph = PropertyGraph("hypothesis-graph")
+    labels = sorted(_TEMPLATES)
+    for index in range(node_count):
+        label = draw(st.sampled_from(labels))
+        properties = {}
+        for key, presence in _TEMPLATES[label]:
+            if draw(st.floats(min_value=0.0, max_value=1.0)) <= presence:
+                if key == "pid":
+                    # Mostly unique with occasional duplicates, so both
+                    # key outcomes are exercised.
+                    duplicate = draw(st.booleans()) and index > 0
+                    properties[key] = f"id-{0 if duplicate else index}"
+                else:
+                    properties[key] = draw(_VALUES)
+        graph.add_node(Node(f"n{index}", {label}, properties))
+    edge_count = draw(st.integers(min_value=0, max_value=2 * node_count))
+    for index in range(edge_count):
+        source = f"n{draw(st.integers(min_value=0, max_value=node_count - 1))}"
+        target = f"n{draw(st.integers(min_value=0, max_value=node_count - 1))}"
+        label = draw(st.sampled_from(sorted(_EDGE_TEMPLATES)))
+        properties = {}
+        for key, presence in _EDGE_TEMPLATES[label]:
+            if draw(st.floats(min_value=0.0, max_value=1.0)) <= presence:
+                properties[key] = draw(_VALUES)
+        graph.add_edge(Edge(f"e{index}", source, target, {label}, properties))
+    batch_count = draw(st.integers(min_value=1, max_value=4))
+    batch_seed = draw(st.integers(min_value=0, max_value=99))
+    return split_into_batches(graph, batch_count, seed=batch_seed)
+
+
+class TestStreamingEquivalence:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(batches=_streams(), seed=st.integers(min_value=0, max_value=9))
+    def test_randomized_streams_match_oracle(self, batches, seed):
+        _assert_equivalent(batches, seed)
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(batches=_streams(), seed=st.integers(min_value=0, max_value=9))
+    def test_per_batch_postprocess_matches_oracle(self, batches, seed):
+        streaming = _run_stream(batches, seed, post_process_each_batch=True)
+        oracle = _run_stream(
+            batches,
+            seed,
+            post_process_each_batch=True,
+            retain_union=True,
+            streaming_postprocess=False,
+        )
+        assert _snapshot(streaming) == _snapshot(oracle)
+
+    def test_figure1_stream_matches_oracle(self, figure1_graph):
+        for batch_count in (1, 2, 4):
+            batches = split_into_batches(figure1_graph, batch_count, seed=7)
+            _assert_equivalent(batches, seed=0)
+
+    def test_single_batch_matches_static_full_scan(self, figure1_graph):
+        # Degenerate stream of one batch: the streaming engine must agree
+        # with static discovery's full scan over the very same graph.
+        config = PGHiveConfig(seed=0, infer_keys=True)
+        static = PGHive(config).discover(figure1_graph)
+        streaming = _run_stream([figure1_graph], seed=0)
+        assert _snapshot(streaming) == _snapshot(static.schema)
+
+    def test_streaming_ignores_sampling_and_stays_exact(self, figure1_graph):
+        # Sampled datatype inference is a full-scan concession; the
+        # accumulators are exact by construction, so the streaming path
+        # matches the *exact* oracle even when sampling is configured.
+        batches = split_into_batches(figure1_graph, 2, seed=11)
+        sampled = _run_stream(batches, seed=0, datatype_sampling=True)
+        exact = _run_stream(
+            batches, seed=0, retain_union=True, streaming_postprocess=False
+        )
+        assert _snapshot(sampled) == _snapshot(exact)
