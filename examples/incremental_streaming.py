@@ -1,25 +1,35 @@
-"""Incremental schema discovery over an insert stream, plus deletions.
+"""One long-lived `SchemaSession` driving incremental schema discovery.
 
-Splits a POLE-style crime-investigation graph into ten insert batches,
-feeds them through the incremental engine, prints what each batch taught
-the schema (using the schema-diff extension), and finally exercises the
-deletion-maintenance extension.
+Splits a POLE-style crime-investigation graph into ten insert batches and
+feeds them through a single change-feed session, showing everything the
+session API adds over the classic engine:
+
+* a diff subscription printing what each change-set taught the schema;
+* a mid-stream ``session.schema()`` snapshot (post-processed on demand,
+  cached until the next write);
+* ``checkpoint`` / ``restore``: the stream is interrupted halfway, the
+  session resumes from disk, and the result is bit-identical to an
+  uninterrupted run;
+* deletions routed through the same ``apply(ChangeSet)`` feed (gated on
+  the retained union graph).
 
 Run:  python examples/incremental_streaming.py
 """
 
 import sys
+import tempfile
 from pathlib import Path
 
 # Allow running from any cwd without installing the package.
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro import PGHiveConfig
-from repro.core.incremental import IncrementalSchemaDiscovery
-from repro.core.maintenance import MaintainedSchema
+from repro import ChangeSet, PGHiveConfig, SchemaSession, schema_fingerprint
 from repro.datasets import load_dataset
 from repro.graph.batching import split_into_batches
-from repro.schema.diff import diff_schemas
+
+
+def on_diff(event) -> None:
+    print(f"  event #{event.sequence}: {event.diff.summary()[:100]}")
 
 
 def main() -> None:
@@ -27,38 +37,59 @@ def main() -> None:
     batches = split_into_batches(dataset.graph, 10, seed=7)
     config = PGHiveConfig(seed=7)
 
-    print("=== Insert stream (10 batches) ===")
-    engine = IncrementalSchemaDiscovery(config, schema_name="pole-stream")
-    previous = engine.schema.copy()
-    for batch in batches:
-        report = engine.add_batch(batch)
-        diff = diff_schemas(previous, engine.schema)
-        previous = engine.schema.copy()
-        print(f"batch {report.batch_index:2d}: "
-              f"+{report.nodes:4d}N/+{report.edges:4d}E "
-              f"{report.seconds * 1000:6.1f}ms  "
-              f"types={report.node_types_after}N/{report.edge_types_after}E  "
-              f"{diff.summary()[:90]}")
-    result = engine.finalize()
-    print(f"\nfinal schema: {result.schema.node_type_count} node types, "
-          f"{result.schema.edge_type_count} edge types "
-          f"({len(result.schema.abstract_node_types())} abstract)")
+    print("=== Change feed with a diff subscription (10 insert batches) ===")
+    session = SchemaSession(config, schema_name="pole-stream")
+    session.subscribe(on_diff)
+    for index, batch in enumerate(batches, start=1):
+        report = session.add_batch(batch)
+        print(f"batch {index:2d}: +{report.nodes_inserted:4d}N/"
+              f"+{report.edges_inserted:4d}E {report.seconds * 1000:6.1f}ms  "
+              f"types={report.node_types_after}N/{report.edge_types_after}E")
+        if index == 4:
+            # Mid-stream read: lazily post-processed, cached until the
+            # next write -- the feed keeps going afterwards.
+            snapshot = session.schema()
+            person = snapshot.node_type_by_token("Person")
+            print(f"  mid-stream snapshot after batch 4: "
+                  f"{snapshot.node_type_count} node types; Person has "
+                  f"{len(person.mandatory_keys())} mandatory properties")
+    final = session.schema()
+    print(f"\nfinal schema: {final.node_type_count} node types, "
+          f"{final.edge_type_count} edge types "
+          f"({len(final.abstract_node_types())} abstract)")
 
-    print("\n=== Deletion maintenance (extension) ===")
-    maintained = MaintainedSchema(config, schema_name="pole-maintained")
+    print("\n=== Checkpoint / restore (crash after batch 5) ===")
+    worker = SchemaSession(config, schema_name="pole-stream")
+    for batch in batches[:5]:
+        worker.add_batch(batch)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = worker.checkpoint(Path(tmp) / "pole.ckpt")
+        print(f"checkpointed after {worker.sequence} change-sets "
+              f"({path.stat().st_size / 1024:.0f} kB)")
+        del worker  # the worker process dies here
+
+        resumed = SchemaSession.restore(path)
+    for batch in batches[5:]:
+        resumed.add_batch(batch)
+    identical = schema_fingerprint(resumed.schema()) == schema_fingerprint(final)
+    print(f"resumed stream matches uninterrupted run: {identical}")
+
+    print("\n=== Deletions through the same feed (retained union) ===")
+    maintained = SchemaSession(
+        PGHiveConfig(seed=7, retain_union=True), schema_name="pole-maintained"
+    )
     for batch in split_into_batches(dataset.graph, 4, seed=7):
-        maintained.insert_batch(batch)
-    maintained.refresh()
-
+        maintained.add_batch(batch)
     vehicles = [
         node_id
         for node_id, type_name in dataset.node_truth.items()
         if type_name == "Vehicle"
     ]
     print(f"deleting all {len(vehicles)} Vehicle nodes ...")
-    maintained.delete_nodes(vehicles)
-    maintained.refresh()
-    survivors = {t.display_name for t in maintained.schema.node_types()}
+    report = maintained.apply(ChangeSet.deletions(nodes=vehicles))
+    print(f"removed {report.nodes_deleted} nodes and "
+          f"{report.edges_deleted} incident edges")
+    survivors = {t.display_name for t in maintained.schema().node_types()}
     print(f"Vehicle type still present: {'Vehicle' in survivors}")
     print(f"surviving node types: {len(survivors)}")
 

@@ -1,7 +1,9 @@
 """Quickstart: discover the schema of a small property graph.
 
-Builds the paper's running example (Figure 1) by hand, runs PG-HIVE, and
-prints the discovered types, constraints, and the STRICT PG-Schema.
+Builds the paper's running example (Figure 1) by hand, runs a one-shot
+discovery, prints the discovered types, constraints, and the STRICT
+PG-Schema -- then rebuilds the same graph live through a `GraphStore`
+attached to a `SchemaSession`, the change-feed way to consume PG-HIVE.
 
 Run:  python examples/quickstart.py
 """
@@ -12,7 +14,16 @@ from pathlib import Path
 # Allow running from any cwd without installing the package.
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro import Edge, Node, PGHive, PGHiveConfig, PropertyGraph, ValidationMode
+from repro import (
+    Edge,
+    GraphStore,
+    Node,
+    PGHive,
+    PGHiveConfig,
+    PropertyGraph,
+    SchemaSession,
+    ValidationMode,
+)
 
 
 def build_graph() -> PropertyGraph:
@@ -65,6 +76,24 @@ def main() -> None:
 
     print("\n--- STRICT PG-Schema ---")
     print(result.to_pg_schema(ValidationMode.STRICT))
+
+    # The same discovery as a live change feed: attach a session to a
+    # store and every mutation flows into the schema as it happens.
+    print("\n--- Live session over a GraphStore ---")
+    store = GraphStore(name="figure1-live")
+    session = store.attach(
+        SchemaSession(PGHiveConfig(seed=0), schema_name="figure1-live"),
+        flush_every=len(graph),  # buffer everything into one change-set
+    )
+    for node in graph.nodes():
+        store.add_node(node)
+    for edge in graph.edges():
+        store.add_edge(edge)
+    store.flush()
+    live = session.schema()  # post-processed on demand, cached until a write
+    print(f"live session after {session.sequence} change-set(s): "
+          f"{live.node_type_count} node types, "
+          f"{live.edge_type_count} edge types")
 
 
 if __name__ == "__main__":

@@ -3,46 +3,62 @@
 Reproduction of Sideri et al., EDBT 2026 (arXiv:2512.01092).  The public
 API in one import::
 
-    from repro import PGHive, PGHiveConfig, PropertyGraph, Node, Edge
+    from repro import ChangeSet, SchemaSession, PropertyGraph, Node, Edge
 
-    graph = PropertyGraph("example")
-    ...
-    result = PGHive().discover(graph)
-    print(result.to_pg_schema())
+    session = SchemaSession()
+    session.subscribe(lambda event: print(event.diff.summary()))
+    session.apply(ChangeSet.inserts(nodes=[...], edges=[...]))
+    print(session.schema().summary())       # mid-stream snapshot
+    session.checkpoint("discovery.ckpt")    # resume later, anywhere
+
+One-shot discovery stays one line (``PGHive().discover(graph)``); it and
+every other historical entry point are adapters over the session.
 """
 
 from repro.core.config import AdaptiveOverrides, ClusteringMethod, PGHiveConfig
 from repro.core.incremental import IncrementalSchemaDiscovery
+from repro.core.maintenance import MaintainedSchema
 from repro.core.pipeline import DiscoveryResult, PGHive
+from repro.core.session import ChangeReport, DiffEvent, SchemaSession
+from repro.graph.changes import ChangeSet
 from repro.graph.model import Edge, Node, PropertyGraph, label_token
 from repro.graph.store import GraphStore
 from repro.lsh.base import GroupingRule
 from repro.schema.cardinality import Cardinality
 from repro.schema.datatypes import DataType
-from repro.schema.model import EdgeType, NodeType, SchemaGraph
+from repro.schema.diff import SchemaDiff, diff_schemas
+from repro.schema.model import EdgeType, NodeType, SchemaGraph, schema_fingerprint
 from repro.schema.validation import ValidationMode, validate_graph
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdaptiveOverrides",
     "Cardinality",
+    "ChangeReport",
+    "ChangeSet",
     "ClusteringMethod",
     "DataType",
+    "DiffEvent",
     "DiscoveryResult",
     "Edge",
     "EdgeType",
     "GraphStore",
     "GroupingRule",
     "IncrementalSchemaDiscovery",
+    "MaintainedSchema",
     "Node",
     "NodeType",
     "PGHive",
     "PGHiveConfig",
     "PropertyGraph",
+    "SchemaDiff",
     "SchemaGraph",
+    "SchemaSession",
     "ValidationMode",
+    "diff_schemas",
     "label_token",
+    "schema_fingerprint",
     "validate_graph",
     "__version__",
 ]

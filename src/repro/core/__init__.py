@@ -39,6 +39,7 @@ from repro.core.maintenance import MaintainedSchema
 from repro.core.pipeline import CAPABILITIES, DiscoveryResult, PGHive
 from repro.core.preprocess import ElementRecord, FeatureMatrix, Preprocessor
 from repro.core.serialization import to_pg_schema, to_xsd
+from repro.core.session import ChangeReport, DiffEvent, SchemaSession
 from repro.core.type_extraction import (
     extract_edge_types,
     extract_node_types,
@@ -50,10 +51,12 @@ __all__ = [
     "AdaptiveParameters",
     "BatchReport",
     "CAPABILITIES",
+    "ChangeReport",
     "Cluster",
     "ClusteringMethod",
     "ClusteringOutcome",
     "DatatypeAccumulator",
+    "DiffEvent",
     "DiscoveryResult",
     "DistinctTracker",
     "ElementRecord",
@@ -65,6 +68,7 @@ __all__ = [
     "PGHive",
     "PGHiveConfig",
     "Preprocessor",
+    "SchemaSession",
     "SummaryOptions",
     "TypeSummaries",
     "adapt_parameters",

@@ -1,29 +1,18 @@
-"""Incremental schema discovery (section 4.6).
+"""Incremental schema discovery (section 4.6) -- adapter over the session.
 
 Each arriving batch is preprocessed, clustered, and merged into the running
 schema with the same Algorithm 2 used in the static pipeline -- the schema
 therefore evolves as a monotone chain ``S_1 ⊑ S_2 ⊑ ...`` (no label,
 property, or endpoint is ever dropped; see Lemmas 1-2).
 
-Post-processing (constraints, datatypes, cardinalities, keys) runs after
-the final batch by default, or after every batch when
-``config.post_process_each_batch`` is set -- matching the
-``postProcessing or i = n`` guard of Algorithm 1.  Each batch's values are
-folded into per-type streaming accumulators exactly once, at arrival
-(:mod:`repro.core.accumulators`), so the post-processing passes are pure
-O(|schema|) reads and the engine retains **no** cumulative union graph:
-``add_batch`` is O(|batch|) in time and the resident state is
-O(|schema| + distinct values tracked).  Set ``config.retain_union`` to
-keep the old union graph around for debugging, and additionally
-``streaming_postprocess=False`` to restore the full re-scan behaviour
-(the equivalence oracle of the streaming tests).
-
-A persistent :class:`~repro.core.pipeline.PipelineState` carries the
-fitted preprocessor (with its token-embedding cache) and the MinHash
-instances from batch to batch; together with the process-wide token-id
-cache this means each distinct token is embedded and blake2b-hashed once
-per stream.  Deletions are out of scope here (see
-:mod:`repro.core.maintenance` for the extension, which retains the union).
+Since the :class:`~repro.core.session.SchemaSession` redesign this class
+is a thin historical façade: ``add_batch`` forwards each batch as one
+insert-only change-set, and every guarantee (streaming accumulators fed
+exactly once per element, no retained union graph by default, persistent
+preprocessor and MinHash caches, O(|batch|) per-batch cost) lives in the
+session.  Prefer the session directly for new code -- it adds mid-stream
+snapshots, diff subscriptions, deletions, and checkpoint/restore.
+Deletions here remain out of scope (see :mod:`repro.core.maintenance`).
 """
 
 from __future__ import annotations
@@ -31,8 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import PGHiveConfig
-from repro.core.pipeline import DiscoveryResult, PGHive, PipelineState
-from repro.errors import ConfigurationError
+from repro.core.pipeline import DiscoveryResult
+from repro.core.session import SchemaSession
 from repro.graph.model import PropertyGraph
 from repro.schema.model import SchemaGraph
 from repro.util import Timer
@@ -51,7 +40,7 @@ class BatchReport:
 
 
 class IncrementalSchemaDiscovery:
-    """Stateful batch-at-a-time discovery engine."""
+    """Stateful batch-at-a-time discovery engine (session adapter)."""
 
     def __init__(
         self,
@@ -59,90 +48,46 @@ class IncrementalSchemaDiscovery:
         schema_name: str = "incremental-schema",
     ) -> None:
         self.config = config or PGHiveConfig()
-        self._pipeline = PGHive(self.config)
-        #: survives across batches: fitted preprocessor + signature caches.
-        self._state = PipelineState()
-        self._timer = Timer()
-        self._schema = SchemaGraph(schema_name)
-        #: opt-in debugging/oracle state only; None in the default
-        #: streaming mode, where no batch is ever revisited.
-        self._union: PropertyGraph | None = (
-            PropertyGraph(f"{schema_name}-union")
-            if self.config.retain_union
-            else None
-        )
-        self._result = DiscoveryResult(
-            schema=self._schema,
-            timer=self._timer,
-            config=self.config,
-            batches_processed=0,
-        )
+        self.session = SchemaSession(self.config, schema_name=schema_name)
         self.reports: list[BatchReport] = []
 
     @property
     def schema(self) -> SchemaGraph:
         """The running schema (monotonically growing)."""
-        return self._schema
+        return self.session.schema_graph
 
     @property
-    def state(self) -> PipelineState:
+    def state(self):
         """Cross-batch pipeline state (preprocessor + signature caches)."""
-        return self._state
+        return self.session.state
 
     @property
     def union_graph(self) -> PropertyGraph:
         """The cumulative union graph (requires ``config.retain_union``)."""
-        if self._union is None:
-            raise ConfigurationError(
-                "the incremental engine no longer retains a union graph by "
-                "default; construct it with PGHiveConfig(retain_union=True)"
-            )
-        return self._union
+        return self.session.union_graph
+
+    @property
+    def _union(self) -> PropertyGraph | None:
+        return self.session._union
+
+    @property
+    def _timer(self) -> Timer:
+        return self.session.timer
 
     def add_batch(self, batch: PropertyGraph) -> BatchReport:
         """Process one insert batch and merge its types into the schema."""
-        batch_timer = Timer()
-        with batch_timer.measure("batch"):
-            self._pipeline._process_batch(
-                batch,
-                self._schema,
-                self._timer,
-                self._result,
-                self._state,
-                build_summaries=(
-                    self.config.streaming_postprocess
-                    and self.config.post_processing
-                ),
-            )
-            if self._union is not None:
-                self._union.merge_in(batch)
-            if self.config.post_process_each_batch and self.config.post_processing:
-                with self._timer.measure("postprocess"):
-                    self._post_process()
-        self._result.batches_processed += 1
-        seconds = batch_timer.lap("batch")
-        self._result.batch_seconds.append(seconds)
+        change = self.session.add_batch(batch)
         report = BatchReport(
             batch_index=len(self.reports) + 1,
             nodes=batch.node_count,
             edges=batch.edge_count,
-            seconds=seconds,
-            node_types_after=self._schema.node_type_count,
-            edge_types_after=self._schema.edge_type_count,
+            seconds=change.seconds,
+            node_types_after=change.node_types_after,
+            edge_types_after=change.edge_types_after,
         )
         self.reports.append(report)
         return report
 
     def finalize(self) -> DiscoveryResult:
         """Run the final post-processing pass and return the result."""
-        if self.config.post_processing and not self.config.post_process_each_batch:
-            with self._timer.measure("postprocess"):
-                self._post_process()
-        return self._result
-
-    def _post_process(self) -> None:
-        """Streaming accumulator reads, or the full-scan oracle path."""
-        if self.config.streaming_postprocess:
-            self._pipeline.post_process_streaming(self._schema)
-        else:
-            self._pipeline.post_process(self._schema, self.union_graph)
+        return self.session.finalize()

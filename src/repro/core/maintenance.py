@@ -2,15 +2,15 @@
 
 The published incremental step is insert-only: schemas grow monotonically
 (section 4.6) and "handling updates and deletions is left for future work".
-This extension implements the natural completion:
-
-* :class:`MaintainedSchema` wraps an incremental engine and a union graph;
-* deletions remove instances from their types, decrement the per-key
-  counters, and drop types whose instance set becomes empty;
-* post-processing flags (constraints, datatypes, cardinalities, keys) are
-  recomputed over the surviving data, because deletion breaks monotonicity
-  -- a property can *become* mandatory again once its violating instances
-  leave, and cardinality upper bounds can tighten.
+This extension implements the natural completion, and since the
+:class:`~repro.core.session.SchemaSession` redesign it is a thin adapter:
+the session owns the delete path (detach instances, decrement per-key
+counters, drop empty types, cascade node deletions to incident edges) and
+this class pins the historical configuration -- the union graph is always
+retained and post-processing always re-reads the surviving data by full
+scan, because deletion breaks monotonicity: a property can *become*
+mandatory again once its violating instances leave, and cardinality upper
+bounds can tighten.
 
 The monotone-chain guarantee of section 4.6 therefore holds between
 deletions but deliberately not across them; tests pin both behaviours.
@@ -18,22 +18,17 @@ deletions but deliberately not across them; tests pin both behaviours.
 
 from __future__ import annotations
 
-import dataclasses
 from collections.abc import Iterable
 
-from repro.core.cardinality_inference import compute_cardinalities
 from repro.core.config import PGHiveConfig
-from repro.core.constraints import infer_property_constraints
-from repro.core.datatype_inference import infer_datatypes
-from repro.core.incremental import IncrementalSchemaDiscovery
-from repro.core.key_inference import infer_keys
-from repro.errors import MissingElementError
+from repro.core.session import SchemaSession
+from repro.graph.changes import ChangeSet
 from repro.graph.model import PropertyGraph
 from repro.schema.model import SchemaGraph
 
 
 class MaintainedSchema:
-    """Incremental discovery plus deletion support."""
+    """Incremental discovery plus deletion support (session adapter)."""
 
     def __init__(
         self,
@@ -45,99 +40,48 @@ class MaintainedSchema:
         # Deletions must re-read surviving values, and streaming
         # accumulators are insert-monotone, so this extension always keeps
         # the union graph and post-processes by full scan.
-        self._engine = IncrementalSchemaDiscovery(
-            dataclasses.replace(
-                self.config, retain_union=True, streaming_postprocess=False
-            ),
+        self.session = SchemaSession(
+            self.config,
             schema_name=schema_name,
+            retain_union=True,
+            streaming_postprocess=False,
+            track_keys=infer_key_constraints,
         )
         self.infer_key_constraints = infer_key_constraints
 
     @property
     def schema(self) -> SchemaGraph:
         """The live schema."""
-        return self._engine.schema
+        return self.session.schema_graph
 
     @property
     def graph(self) -> PropertyGraph:
         """The union of all inserted (and not yet deleted) data."""
-        return self._engine.union_graph
+        return self.session.union_graph
 
     # ------------------------------------------------------------------
     # Inserts (delegated)
     # ------------------------------------------------------------------
     def insert_batch(self, batch: PropertyGraph) -> None:
-        """Process one insert batch through the incremental engine."""
-        self._engine.add_batch(batch)
+        """Process one insert batch through the session."""
+        self.session.add_batch(batch)
 
     # ------------------------------------------------------------------
-    # Deletions
+    # Deletions (delegated to the session's delete path)
     # ------------------------------------------------------------------
     def delete_nodes(self, node_ids: Iterable[str]) -> int:
         """Delete nodes (and their incident edges); returns removed count."""
-        graph = self.graph
-        removed = 0
-        node_ids = [n for n in node_ids if graph.has_node(n)]
-        # Incident edges go first so edge types update before node removal.
-        incident: set[str] = set()
-        for node_id in node_ids:
-            incident.update(e.edge_id for e in graph.out_edges(node_id))
-            incident.update(e.edge_id for e in graph.in_edges(node_id))
-        self.delete_edges(incident)
-        for node_id in node_ids:
-            self._detach_instance(node_id, is_edge=False)
-            graph.remove_node(node_id)
-            removed += 1
-        self._drop_empty_types()
-        return removed
+        report = self.session.apply(ChangeSet.deletions(nodes=list(node_ids)))
+        return report.nodes_deleted
 
     def delete_edges(self, edge_ids: Iterable[str]) -> int:
         """Delete edges; returns removed count."""
-        graph = self.graph
-        removed = 0
-        for edge_id in list(edge_ids):
-            if not graph.has_edge(edge_id):
-                continue
-            self._detach_instance(edge_id, is_edge=True)
-            graph.remove_edge(edge_id)
-            removed += 1
-        self._drop_empty_types()
-        return removed
-
-    def _detach_instance(self, instance_id: str, is_edge: bool) -> None:
-        graph = self.graph
-        try:
-            element = graph.edge(instance_id) if is_edge else graph.node(instance_id)
-        except MissingElementError:
-            return
-        types = self.schema.edge_types() if is_edge else self.schema.node_types()
-        for schema_type in types:
-            if instance_id not in schema_type.instance_ids:
-                continue
-            schema_type.instance_ids.discard(instance_id)
-            schema_type.instance_count -= 1
-            for key in element.properties:
-                schema_type.property_counts[key] -= 1
-                if schema_type.property_counts[key] <= 0:
-                    del schema_type.property_counts[key]
-            return
-
-    def _drop_empty_types(self) -> None:
-        for node_type in list(self.schema.node_types()):
-            if node_type.instance_count <= 0:
-                self.schema.remove_node_type(node_type.type_id)
-        for edge_type in list(self.schema.edge_types()):
-            if edge_type.instance_count <= 0:
-                self.schema.remove_edge_type(edge_type.type_id)
+        report = self.session.apply(ChangeSet.deletions(edges=list(edge_ids)))
+        return report.edges_deleted
 
     # ------------------------------------------------------------------
     # Post-processing (recomputed, not merged -- see module docstring)
     # ------------------------------------------------------------------
     def refresh(self) -> SchemaGraph:
         """Recompute constraints, datatypes, cardinalities (and keys)."""
-        infer_property_constraints(self.schema)
-        infer_datatypes(self.schema, self.graph, self.config)
-        compute_cardinalities(self.schema, self.graph)
-        if self.infer_key_constraints:
-            infer_keys(self.schema, self.graph)
-        return self.schema
+        return self.session.refresh()

@@ -123,16 +123,28 @@ class PGHive:
         source: PropertyGraph | GraphStore,
         schema_name: str | None = None,
     ) -> DiscoveryResult:
-        """Run the full pipeline over one graph."""
+        """Run the full pipeline over one graph.
+
+        One-shot adapter over :class:`~repro.core.session.SchemaSession`:
+        the graph is applied as a single change-set and post-processed by
+        full scan (the union of one batch *is* the input graph), which
+        preserves the historical static semantics exactly -- including
+        datatype sampling, which only exists on the full-scan path.
+        """
+        from repro.core.session import SchemaSession
+
         graph = source.graph if isinstance(source, GraphStore) else source
-        timer = Timer()
-        schema = SchemaGraph(schema_name or f"{graph.name}-schema")
-        result = DiscoveryResult(schema=schema, timer=timer, config=self.config)
-        self._process_batch(graph, schema, timer, result)
-        if self.config.post_processing:
-            with timer.measure("postprocess"):
-                self.post_process(schema, graph)
-        return result
+        session = SchemaSession(
+            self.config,
+            schema_name=schema_name or f"{graph.name}-schema",
+            retain_union=True,
+            streaming_postprocess=False,
+        )
+        # The union of one batch is the input graph: adopt it by reference
+        # instead of paying an O(|graph|) merge copy.
+        session._adopt_union(graph)
+        session.add_batch(graph)
+        return session.finalize()
 
     # ------------------------------------------------------------------
     # Incremental discovery (batch stream)
@@ -142,13 +154,18 @@ class PGHive:
         batches: Iterable[PropertyGraph],
         schema_name: str = "incremental-schema",
     ) -> DiscoveryResult:
-        """Run Algorithm 1 over a stream of insert batches."""
-        from repro.core.incremental import IncrementalSchemaDiscovery
+        """Run Algorithm 1 over a stream of insert batches.
 
-        engine = IncrementalSchemaDiscovery(self.config, schema_name=schema_name)
+        Adapter over :class:`~repro.core.session.SchemaSession`: each
+        batch becomes one applied change-set; post-processing runs once,
+        lazily, at :meth:`finalize` (or per batch when configured).
+        """
+        from repro.core.session import SchemaSession
+
+        session = SchemaSession(self.config, schema_name=schema_name)
         for batch in batches:
-            engine.add_batch(batch)
-        return engine.finalize()
+            session.add_batch(batch)
+        return session.finalize()
 
     # ------------------------------------------------------------------
     # Shared internals
@@ -161,6 +178,7 @@ class PGHive:
         result: DiscoveryResult,
         state: PipelineState | None = None,
         build_summaries: bool = False,
+        summary_options: SummaryOptions | None = None,
     ) -> None:
         """Steps (b)-(d) for one batch, merging into ``schema`` in place.
 
@@ -172,20 +190,21 @@ class PGHive:
         earlier batches" design.
 
         ``build_summaries`` feeds the per-type streaming accumulators
-        during extraction; only the incremental engine's streaming path
-        sets it -- static discovery and the union-rescan oracle post-process
-        by full scan, so building summaries there would be pure overhead.
+        during extraction; only the session's streaming path sets it --
+        static discovery and the union-rescan oracle post-process by full
+        scan, so building summaries there would be pure overhead.  When
+        set, ``summary_options`` overrides the config-derived tracking
+        options (the session uses it to apply its per-session key flag).
         """
         if state is None:
             state = PipelineState()
-        summary_options = (
-            SummaryOptions(
+        if not build_summaries:
+            summary_options = None
+        elif summary_options is None:
+            summary_options = SummaryOptions(
                 track_keys=self.config.infer_keys,
                 pair_cap=self.config.key_pair_tracking_cap,
             )
-            if build_summaries
-            else None
-        )
         with timer.measure("preprocess"):
             if state.preprocessor is None:
                 state.preprocessor = Preprocessor(self.config).fit(graph)
@@ -212,23 +231,31 @@ class PGHive:
         result.node_cluster_count += node_outcome.cluster_count
         result.edge_cluster_count += edge_outcome.cluster_count
 
-    def post_process(self, schema: SchemaGraph, graph: PropertyGraph) -> SchemaGraph:
+    def post_process(
+        self,
+        schema: SchemaGraph,
+        graph: PropertyGraph,
+        track_keys: bool | None = None,
+    ) -> SchemaGraph:
         """Steps (e)-(g): constraints, datatypes, cardinalities (+ keys).
 
         Full-scan variant: re-reads every instance's values from ``graph``.
         Used by static discovery and as the equivalence oracle for the
-        streaming path below.
+        streaming path below.  ``track_keys`` overrides
+        ``config.infer_keys`` (the session's per-session key flag).
         """
         infer_property_constraints(schema)
         infer_datatypes(schema, graph, self.config)
         compute_cardinalities(schema, graph)
-        if self.config.infer_keys:
+        if self.config.infer_keys if track_keys is None else track_keys:
             from repro.core.key_inference import infer_keys
 
             infer_keys(schema, graph)
         return schema
 
-    def post_process_streaming(self, schema: SchemaGraph) -> SchemaGraph:
+    def post_process_streaming(
+        self, schema: SchemaGraph, track_keys: bool | None = None
+    ) -> SchemaGraph:
         """Steps (e)-(g) as pure reads over the per-type accumulators.
 
         O(|schema|) per call and independent of how many batches the
@@ -239,7 +266,7 @@ class PGHive:
         infer_property_constraints(schema)
         infer_datatypes_streaming(schema)
         compute_cardinalities_streaming(schema)
-        if self.config.infer_keys:
+        if self.config.infer_keys if track_keys is None else track_keys:
             from repro.core.key_inference import infer_keys_streaming
 
             infer_keys_streaming(schema)

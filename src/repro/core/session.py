@@ -1,0 +1,639 @@
+"""`SchemaSession`: the long-lived change-feed façade over discovery.
+
+The paper's pipeline is exposed through several historical entry points
+(:meth:`~repro.core.pipeline.PGHive.discover`, ``discover_incremental``,
+:class:`~repro.core.incremental.IncrementalSchemaDiscovery`,
+:class:`~repro.core.maintenance.MaintainedSchema`).  This module unifies
+them: every one of those surfaces is now a thin adapter over one
+:class:`SchemaSession`, which models discovery the way PG-Schema frames
+schemas -- as first-class evolving objects driven by a stream of change
+operations:
+
+* **Change feed** -- :meth:`SchemaSession.apply` consumes
+  :class:`~repro.graph.changes.ChangeSet` bundles (node/edge inserts plus
+  node/edge deletions); :meth:`add_batch` is sugar for insert-only
+  property-graph batches, and :meth:`GraphStore.attach
+  <repro.graph.store.GraphStore.attach>` forwards live store mutations.
+* **Snapshots** -- :meth:`schema` serves the schema at any point
+  mid-stream.  Post-processing (constraints, datatypes, cardinalities,
+  keys) runs lazily, only when the schema is dirty, and is cached until
+  the next write; on the streaming path each refresh is an O(|schema|)
+  read over the per-type accumulators.
+* **Diff subscriptions** -- registered subscribers receive one
+  :class:`DiffEvent` (a :class:`~repro.schema.diff.SchemaDiff` plus the
+  change report) after every applied change-set, computed against a
+  lightweight baseline snapshot.
+* **Checkpoint / restore** -- :meth:`checkpoint` serialises the schema,
+  the per-type accumulators, the MinHash signature caches, and the fitted
+  preprocessor to a versioned on-disk format; :meth:`restore` resumes in
+  a fresh process without replaying the stream, producing bit-identical
+  subsequent results.
+
+Deletions break the insert-monotone guarantees of the streaming
+accumulators, so they are gated on a retained union graph
+(``retain_union``): the first applied deletion permanently switches
+post-processing to the full re-scan over the surviving union, exactly the
+semantics :class:`MaintainedSchema` always had.
+
+Checkpoint files embed a pickle payload.  Pickle executes code on load:
+only restore checkpoints produced by a process you trust.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.accumulators import SummaryOptions
+from repro.core.config import PGHiveConfig
+from repro.core.pipeline import DiscoveryResult, PGHive, PipelineState
+from repro.errors import (
+    CheckpointError,
+    ConfigurationError,
+    DanglingEdgeError,
+    MissingElementError,
+)
+from repro.graph.changes import ChangeSet
+from repro.graph.model import Node, PropertyGraph
+from repro.schema.diff import SchemaDiff, diff_schemas
+from repro.schema.model import EdgeType, NodeType, SchemaGraph
+from repro.util import Timer
+
+#: First line of every checkpoint file: magic token + format version.
+CHECKPOINT_MAGIC = b"pghive-session-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)  # no slots: checkpoints pickle these, and
+class ChangeReport:       # frozen+slots dataclasses cannot unpickle on 3.10
+    """Diagnostics for one applied change-set."""
+
+    sequence: int
+    nodes_inserted: int
+    edges_inserted: int
+    nodes_deleted: int
+    edges_deleted: int
+    seconds: float
+    node_types_after: int
+    edge_types_after: int
+
+
+@dataclass(frozen=True, slots=True)
+class DiffEvent:
+    """What one change-set taught the schema, delivered to subscribers."""
+
+    sequence: int
+    diff: SchemaDiff
+    report: ChangeReport
+
+
+#: Subscriber callback signature.
+DiffSubscriber = Callable[[DiffEvent], None]
+
+
+def _diff_snapshot(schema: SchemaGraph) -> SchemaGraph:
+    """Cheap baseline copy for diffing: specs and tokens, no instance sets.
+
+    :func:`~repro.schema.diff.diff_schemas` only reads labels, property
+    specs, and cardinalities, so the per-change baseline skips the
+    instance-id sets and streaming accumulators a full ``copy()`` would
+    duplicate -- keeping subscription overhead O(|schema|) per change-set.
+    """
+    snapshot = SchemaGraph(schema.name)
+    for node_type in schema.node_types():
+        clone = NodeType(node_type.type_id, node_type.labels, node_type.abstract)
+        clone.properties = {
+            key: spec.copy() for key, spec in node_type.properties.items()
+        }
+        snapshot.add_node_type(clone)
+    for edge_type in schema.edge_types():
+        clone = EdgeType(edge_type.type_id, edge_type.labels, edge_type.abstract)
+        clone.properties = {
+            key: spec.copy() for key, spec in edge_type.properties.items()
+        }
+        clone.source_tokens = set(edge_type.source_tokens)
+        clone.target_tokens = set(edge_type.target_tokens)
+        clone.cardinality = edge_type.cardinality
+        clone.cardinality_bounds = edge_type.cardinality_bounds
+        snapshot.add_edge_type(clone)
+    return snapshot
+
+
+class SchemaSession:
+    """One long-lived, observable, persistable discovery session.
+
+    ``retain_union``, ``streaming_postprocess``, and ``track_keys``
+    override the corresponding config fields for this session only (the
+    adapters use them to pin their historical semantics without mutating
+    the user's config object).
+    """
+
+    def __init__(
+        self,
+        config: PGHiveConfig | None = None,
+        schema_name: str = "session-schema",
+        *,
+        retain_union: bool | None = None,
+        streaming_postprocess: bool | None = None,
+        track_keys: bool | None = None,
+    ) -> None:
+        self.config = config or PGHiveConfig()
+        self.schema_name = schema_name
+        self._retain_union = (
+            self.config.retain_union if retain_union is None else retain_union
+        )
+        self._streaming = (
+            self.config.streaming_postprocess
+            if streaming_postprocess is None
+            else streaming_postprocess
+        )
+        self._track_keys = (
+            self.config.infer_keys if track_keys is None else track_keys
+        )
+        if not self._streaming and not self._retain_union:
+            raise ConfigurationError(
+                "streaming_postprocess=False re-scans the union graph and "
+                "therefore requires retain_union=True"
+            )
+        self._pipeline = PGHive(self.config)
+        #: survives across change-sets: fitted preprocessor + MinHash caches.
+        self._state = PipelineState()
+        self._timer = Timer()
+        self._schema = SchemaGraph(schema_name)
+        self._union: PropertyGraph | None = (
+            PropertyGraph(f"{schema_name}-union") if self._retain_union else None
+        )
+        self._result = DiscoveryResult(
+            schema=self._schema,
+            timer=self._timer,
+            config=self.config,
+            batches_processed=0,
+        )
+        self.reports: list[ChangeReport] = []
+        self._subscribers: list[DiffSubscriber] = []
+        self._baseline: SchemaGraph | None = None
+        self._store = None  # set by GraphStore.attach
+        #: streaming reads stay valid until the first applied deletion.
+        self._streaming_valid = self._streaming
+        self._dirty = False
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def schema_graph(self) -> SchemaGraph:
+        """The live schema *without* triggering a post-processing refresh."""
+        return self._schema
+
+    @property
+    def state(self) -> PipelineState:
+        """Cross-batch pipeline state (preprocessor + signature caches)."""
+        return self._state
+
+    @property
+    def timer(self) -> Timer:
+        """Accumulated stage timings for this session (process-local)."""
+        return self._timer
+
+    @property
+    def retains_union(self) -> bool:
+        """True when the session keeps a union graph (deletions allowed)."""
+        return self._union is not None
+
+    @property
+    def union_graph(self) -> PropertyGraph:
+        """The cumulative union graph (requires ``retain_union``)."""
+        if self._union is None:
+            raise ConfigurationError(
+                "the incremental engine no longer retains a union graph by "
+                "default; construct it with PGHiveConfig(retain_union=True)"
+            )
+        return self._union
+
+    @property
+    def sequence(self) -> int:
+        """Number of change-sets applied so far (monotone, checkpointed)."""
+        return self._sequence
+
+    @property
+    def dirty(self) -> bool:
+        """True when writes arrived after the last post-processing pass."""
+        return self._dirty
+
+    # ------------------------------------------------------------------
+    # Change feed
+    # ------------------------------------------------------------------
+    def apply(self, change_set: ChangeSet) -> ChangeReport:
+        """Apply one change-set: inserts first, then deletions."""
+        if change_set.has_deletions and self._union is None:
+            raise ConfigurationError(
+                "deletions require the retained union graph: construct the "
+                "session with PGHiveConfig(retain_union=True)"
+            )
+        batch = self._insert_graph(change_set)
+        return self._apply(
+            batch,
+            change_set.delete_edges,
+            change_set.delete_nodes,
+            inserted=(len(change_set.nodes), len(change_set.edges)),
+        )
+
+    def add_batch(self, batch: PropertyGraph) -> ChangeReport:
+        """Sugar: apply one insert-only property-graph batch.
+
+        Unlike :meth:`apply` on an insert-free change-set, an *empty*
+        batch still runs the pipeline step (fitting the preprocessor on
+        the first batch, empty or not, exactly as the historical engine
+        did).
+        """
+        return self._apply(
+            batch, (), (), inserted=(batch.node_count, batch.edge_count)
+        )
+
+    def _apply(
+        self,
+        batch: PropertyGraph | None,
+        delete_edge_ids: Iterable[str],
+        delete_node_ids: Iterable[str],
+        inserted: tuple[int, int] = (0, 0),
+    ) -> ChangeReport:
+        """Shared apply path.  ``inserted`` is the *producer's* insert
+        count -- endpoint stubs resolved into the materialised batch are
+        replays, not inserts, and must not inflate the report."""
+        self._sequence += 1
+        nodes_deleted = edges_deleted = 0
+        change_timer = Timer()
+        with change_timer.measure("change"):
+            if batch is not None:
+                self._ingest(batch)
+            if delete_edge_ids or delete_node_ids:
+                edges_deleted = self._delete_edges(delete_edge_ids)
+                nodes_deleted, cascaded = self._delete_nodes(delete_node_ids)
+                edges_deleted += cascaded
+            if self.config.post_process_each_batch:
+                self._flush_postprocess()
+        self._result.batches_processed += 1
+        seconds = change_timer.lap("change")
+        self._result.batch_seconds.append(seconds)
+        report = ChangeReport(
+            sequence=self._sequence,
+            nodes_inserted=inserted[0],
+            edges_inserted=inserted[1],
+            nodes_deleted=nodes_deleted,
+            edges_deleted=edges_deleted,
+            seconds=seconds,
+            node_types_after=self._schema.node_type_count,
+            edge_types_after=self._schema.edge_type_count,
+        )
+        self.reports.append(report)
+        self._emit(report)
+        return report
+
+    def _ingest(self, batch: PropertyGraph) -> None:
+        """Steps (b)-(d) for one insert batch, merging into the schema."""
+        self._pipeline._process_batch(
+            batch,
+            self._schema,
+            self._timer,
+            self._result,
+            self._state,
+            build_summaries=(
+                self._streaming
+                and self._streaming_valid
+                and self.config.post_processing
+            ),
+            summary_options=SummaryOptions(
+                track_keys=self._track_keys,
+                pair_cap=self.config.key_pair_tracking_cap,
+            ),
+        )
+        if self._union is not None and self._union is not batch:
+            self._union.merge_in(batch)
+        self._dirty = True
+
+    def _adopt_union(self, graph: PropertyGraph) -> None:
+        """Adopt ``graph`` as the union by reference (no element copies).
+
+        One-shot static discovery applies exactly one batch and full-scans
+        it; merging that batch into an empty union would duplicate the
+        whole graph for nothing.  Only valid before the first change-set;
+        the caller guarantees the graph outlives the session.
+        """
+        if self._union is None or len(self._union) or self._sequence:
+            raise ConfigurationError(
+                "a union graph can only be adopted into a fresh "
+                "union-retaining session"
+            )
+        self._union = graph
+
+    def _insert_graph(self, change_set: ChangeSet) -> PropertyGraph | None:
+        """Materialise the change-set's inserts as a well-formed batch.
+
+        Edges whose endpoints are not in the change-set resolve against the
+        retained union graph, then an attached store; an unresolvable
+        endpoint is an error, matching the batch-stream convention that
+        every fragment ships endpoint stubs.
+        """
+        if not change_set.has_inserts:
+            return None
+        batch = PropertyGraph(f"{self.schema_name}-change{self._sequence + 1}")
+        for node in change_set.nodes:
+            batch.put_node(node)
+        for edge in change_set.edges:
+            for endpoint_id in edge.endpoints():
+                if not batch.has_node(endpoint_id):
+                    batch.add_node(self._resolve_endpoint(endpoint_id, edge))
+            if not batch.has_edge(edge.edge_id):
+                batch.add_edge(edge)
+        return batch
+
+    def _resolve_endpoint(self, node_id: str, edge) -> Node:
+        if self._union is not None and self._union.has_node(node_id):
+            return self._union.node(node_id)
+        if self._store is not None and self._store.graph.has_node(node_id):
+            return self._store.node(node_id)
+        raise DanglingEdgeError(
+            f"change-set edge {edge.edge_id!r} references unknown node "
+            f"{node_id!r}; ship an endpoint stub in the change-set, retain "
+            "the union graph, or attach the originating GraphStore"
+        )
+
+    # ------------------------------------------------------------------
+    # Deletions (gated on the retained union; see module docstring)
+    # ------------------------------------------------------------------
+    def _delete_nodes(self, node_ids: Iterable[str]) -> tuple[int, int]:
+        graph = self.union_graph
+        present = [n for n in node_ids if graph.has_node(n)]
+        # Incident edges go first so edge types update before node removal.
+        incident: set[str] = set()
+        for node_id in present:
+            incident.update(e.edge_id for e in graph.out_edges(node_id))
+            incident.update(e.edge_id for e in graph.in_edges(node_id))
+        cascaded = self._delete_edges(incident)
+        removed = 0
+        for node_id in present:
+            self._detach_instance(node_id, is_edge=False)
+            graph.remove_node(node_id)
+            removed += 1
+        if removed:
+            self._after_deletion()
+        return removed, cascaded
+
+    def _delete_edges(self, edge_ids: Iterable[str]) -> int:
+        graph = self.union_graph
+        removed = 0
+        for edge_id in list(edge_ids):
+            if not graph.has_edge(edge_id):
+                continue
+            self._detach_instance(edge_id, is_edge=True)
+            graph.remove_edge(edge_id)
+            removed += 1
+        if removed:
+            self._after_deletion()
+        return removed
+
+    def _after_deletion(self) -> None:
+        self._drop_empty_types()
+        self._dirty = True
+        # Accumulators are insert-monotone; they now overcount forever.
+        self._streaming_valid = False
+
+    def _detach_instance(self, instance_id: str, is_edge: bool) -> None:
+        graph = self.union_graph
+        try:
+            element = (
+                graph.edge(instance_id) if is_edge else graph.node(instance_id)
+            )
+        except MissingElementError:
+            return
+        types = self._schema.edge_types() if is_edge else self._schema.node_types()
+        for schema_type in types:
+            if instance_id not in schema_type.instance_ids:
+                continue
+            schema_type.instance_ids.discard(instance_id)
+            schema_type.instance_count -= 1
+            for key in element.properties:
+                schema_type.property_counts[key] -= 1
+                if schema_type.property_counts[key] <= 0:
+                    del schema_type.property_counts[key]
+            return
+
+    def _drop_empty_types(self) -> None:
+        for node_type in list(self._schema.node_types()):
+            if node_type.instance_count <= 0:
+                self._schema.remove_node_type(node_type.type_id)
+        for edge_type in list(self._schema.edge_types()):
+            if edge_type.instance_count <= 0:
+                self._schema.remove_edge_type(edge_type.type_id)
+
+    # ------------------------------------------------------------------
+    # Snapshots and post-processing
+    # ------------------------------------------------------------------
+    def schema(self) -> SchemaGraph:
+        """The schema as of the last applied change-set.
+
+        Runs post-processing only when writes arrived since the previous
+        read (the result is cached until the next write), so mid-stream
+        reads are free on a quiet feed and O(|schema|) after traffic.
+        """
+        self._flush_postprocess()
+        return self._schema
+
+    def refresh(self) -> SchemaGraph:
+        """Force a post-processing pass now, regardless of the dirty flag."""
+        with self._timer.measure("postprocess"):
+            self._run_post_processing()
+        self._dirty = False
+        return self._schema
+
+    def finalize(self) -> DiscoveryResult:
+        """Flush pending post-processing and return the discovery result."""
+        self._flush_postprocess()
+        return self._result
+
+    def _flush_postprocess(self) -> None:
+        """Run the lazy post-processing pass iff writes are pending."""
+        if self._dirty and self.config.post_processing:
+            with self._timer.measure("postprocess"):
+                self._run_post_processing()
+            self._dirty = False
+
+    def _run_post_processing(self) -> None:
+        if self._streaming_valid:
+            self._pipeline.post_process_streaming(
+                self._schema, track_keys=self._track_keys
+            )
+        else:
+            self._pipeline.post_process(
+                self._schema, self.union_graph, track_keys=self._track_keys
+            )
+
+    # ------------------------------------------------------------------
+    # Diff subscriptions
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: DiffSubscriber) -> DiffSubscriber:
+        """Register ``callback`` for one DiffEvent per applied change-set.
+
+        The first subscription baselines the diff at the current schema;
+        events describe changes from that point on.  Subscribing implies
+        post-processing after every change-set (diffs report constraint
+        and cardinality movement, which only exists post-processed).
+        """
+        if callback not in self._subscribers:
+            self._subscribers.append(callback)
+        if self._baseline is None:
+            self._flush_postprocess()
+            self._baseline = _diff_snapshot(self._schema)
+        return callback
+
+    def unsubscribe(self, callback: DiffSubscriber) -> None:
+        """Remove a subscriber (no-op when unknown)."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            return
+        if not self._subscribers:
+            self._baseline = None
+
+    def _emit(self, report: ChangeReport) -> None:
+        if not self._subscribers:
+            return
+        self._flush_postprocess()
+        diff = diff_schemas(self._baseline, self._schema)
+        self._baseline = _diff_snapshot(self._schema)
+        event = DiffEvent(sequence=report.sequence, diff=diff, report=report)
+        for callback in list(self._subscribers):
+            callback(event)
+
+    # ------------------------------------------------------------------
+    # Store binding (see GraphStore.attach)
+    # ------------------------------------------------------------------
+    def bind_store(self, store) -> None:
+        """Called by :meth:`GraphStore.attach` / ``detach``; not user API."""
+        self._store = store
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: str | Path) -> Path:
+        """Write a versioned checkpoint a fresh process can resume from.
+
+        The file carries everything subsequent batches depend on: the
+        schema (with its per-type accumulators), the fitted preprocessor
+        and its embedding cache, the MinHash instances with their
+        signature caches, the union graph when retained, and the stream
+        position.  Subscribers, the store binding, and wall-clock timings
+        are process-local and deliberately not captured.  Written
+        atomically (temp file + rename).
+        """
+        path = Path(path)
+        payload = {
+            "config": self.config,
+            "schema_name": self.schema_name,
+            "retain_union": self._retain_union,
+            "streaming_postprocess": self._streaming,
+            "track_keys": self._track_keys,
+            "streaming_valid": self._streaming_valid,
+            "dirty": self._dirty,
+            "sequence": self._sequence,
+            "schema": self._schema,
+            "state": self._state,
+            "union": self._union,
+            "reports": list(self.reports),
+            "result": {
+                "batches_processed": self._result.batches_processed,
+                "batch_seconds": list(self._result.batch_seconds),
+                "node_cluster_count": self._result.node_cluster_count,
+                "edge_cluster_count": self._result.edge_cluster_count,
+                "node_parameters": self._result.node_parameters,
+                "edge_parameters": self._result.edge_parameters,
+            },
+        }
+        temp = path.with_name(path.name + ".tmp")
+        try:
+            with open(temp, "wb") as handle:
+                handle.write(
+                    CHECKPOINT_MAGIC + b" %d\n" % CHECKPOINT_VERSION
+                )
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp, path)
+        except OSError as error:
+            raise CheckpointError(
+                f"could not write checkpoint {path}: {error}"
+            ) from error
+        finally:
+            temp.unlink(missing_ok=True)
+        return path
+
+    @classmethod
+    def restore(cls, path: str | Path) -> "SchemaSession":
+        """Rebuild a session from :meth:`checkpoint` output.
+
+        The restored session produces bit-identical results for any
+        subsequent change feed (the round-trip tests pin this).  Only
+        restore files from trusted sources: the payload is a pickle.
+        """
+        path = Path(path)
+        try:
+            with open(path, "rb") as handle:
+                header = handle.readline().split()
+                if len(header) != 2 or header[0] != CHECKPOINT_MAGIC:
+                    raise CheckpointError(
+                        f"{path} is not a PG-HIVE session checkpoint"
+                    )
+                try:
+                    version = int(header[1])
+                except ValueError:
+                    raise CheckpointError(
+                        f"{path}: unparseable checkpoint version {header[1]!r}"
+                    ) from None
+                if version != CHECKPOINT_VERSION:
+                    raise CheckpointError(
+                        f"{path}: unsupported checkpoint version {version} "
+                        f"(this build reads version {CHECKPOINT_VERSION})"
+                    )
+                try:
+                    payload = pickle.load(handle)
+                except Exception as error:
+                    raise CheckpointError(
+                        f"{path}: corrupt checkpoint payload: {error}"
+                    ) from error
+        except OSError as error:
+            raise CheckpointError(
+                f"could not read checkpoint {path}: {error}"
+            ) from error
+        session = cls(
+            payload["config"],
+            schema_name=payload["schema_name"],
+            retain_union=payload["retain_union"],
+            streaming_postprocess=payload["streaming_postprocess"],
+            track_keys=payload["track_keys"],
+        )
+        session._schema = payload["schema"]
+        session._state = payload["state"]
+        session._union = payload["union"]
+        session._streaming_valid = payload["streaming_valid"]
+        session._dirty = payload["dirty"]
+        session._sequence = payload["sequence"]
+        session.reports = list(payload["reports"])
+        meta = payload["result"]
+        session._result.schema = session._schema
+        session._result.batches_processed = meta["batches_processed"]
+        session._result.batch_seconds = list(meta["batch_seconds"])
+        session._result.node_cluster_count = meta["node_cluster_count"]
+        session._result.edge_cluster_count = meta["edge_cluster_count"]
+        session._result.node_parameters = meta["node_parameters"]
+        session._result.edge_parameters = meta["edge_parameters"]
+        return session
+
+    def __repr__(self) -> str:
+        return (
+            f"SchemaSession(name={self.schema_name!r}, "
+            f"changes={self._sequence}, "
+            f"node_types={self._schema.node_type_count}, "
+            f"edge_types={self._schema.edge_type_count})"
+        )

@@ -46,6 +46,10 @@ class SerializationError(ReproError):
     """Schema or graph (de)serialization failed."""
 
 
+class CheckpointError(SerializationError):
+    """A session checkpoint could not be written or restored."""
+
+
 class DatasetError(ReproError):
     """Dataset generation or loading failed."""
 

@@ -1,6 +1,7 @@
 """Property-graph substrate: data model, storage engine, IO, patterns."""
 
 from repro.graph.batching import reassemble, split_into_batches, stream_batches
+from repro.graph.changes import ChangeSet
 from repro.graph.csv_io import read_graph_csv, write_graph_csv
 from repro.graph.json_io import (
     graph_from_elements,
@@ -27,6 +28,7 @@ from repro.graph.statistics import (
 from repro.graph.store import GraphStore
 
 __all__ = [
+    "ChangeSet",
     "Edge",
     "EdgePattern",
     "EdgeQuery",

@@ -1,0 +1,96 @@
+"""Change-feed primitives for live schema sessions.
+
+A :class:`ChangeSet` is one unit of the change feed consumed by
+:class:`repro.core.session.SchemaSession`: a bundle of node/edge inserts
+and node/edge deletions that the producer wants applied atomically (one
+discovery step, one diff event).  It is the property-graph analogue of the
+"stream of schema evolution operations" framing of Bonifati et al. --
+instead of replaying whole graphs, producers describe what changed.
+
+Conventions:
+
+* Inserts are full :class:`~repro.graph.model.Node` / ``Edge`` elements.
+  An edge whose endpoints are not part of the same change-set is legal;
+  the consumer resolves the endpoints against its retained union graph or
+  an attached :class:`~repro.graph.store.GraphStore` (or the producer
+  ships endpoint stubs, exactly as batch streams do).
+* Deletions are bare identifiers.  Deleting a node implies deleting its
+  incident edges (the consumer cascades).
+* Within one change-set, inserts are applied before deletions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.model import Edge, Node, PropertyGraph
+
+
+@dataclass
+class ChangeSet:
+    """One atomic unit of a schema session's change feed."""
+
+    nodes: list[Node] = field(default_factory=list)
+    edges: list[Edge] = field(default_factory=list)
+    delete_nodes: list[str] = field(default_factory=list)
+    delete_edges: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def inserts(cls, nodes=(), edges=()) -> "ChangeSet":
+        """Insert-only change-set."""
+        return cls(nodes=list(nodes), edges=list(edges))
+
+    @classmethod
+    def deletions(cls, nodes=(), edges=()) -> "ChangeSet":
+        """Deletion-only change-set (identifiers, not elements)."""
+        return cls(delete_nodes=list(nodes), delete_edges=list(edges))
+
+    @classmethod
+    def from_graph(cls, graph: PropertyGraph) -> "ChangeSet":
+        """Insert-only change-set carrying every element of ``graph``."""
+        return cls(nodes=list(graph.nodes()), edges=list(graph.edges()))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def has_inserts(self) -> bool:
+        """True when the change-set carries at least one insert."""
+        return bool(self.nodes or self.edges)
+
+    @property
+    def has_deletions(self) -> bool:
+        """True when the change-set carries at least one deletion."""
+        return bool(self.delete_nodes or self.delete_edges)
+
+    @property
+    def insert_count(self) -> int:
+        """Number of inserted elements."""
+        return len(self.nodes) + len(self.edges)
+
+    @property
+    def delete_count(self) -> int:
+        """Number of deletion targets (cascades not included)."""
+        return len(self.delete_nodes) + len(self.delete_edges)
+
+    @property
+    def change_count(self) -> int:
+        """Total operations carried by this change-set."""
+        return self.insert_count + self.delete_count
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the change-set carries nothing at all."""
+        return not (self.has_inserts or self.has_deletions)
+
+    def __bool__(self) -> bool:
+        return not self.is_empty
+
+    def __repr__(self) -> str:
+        return (
+            f"ChangeSet(+{len(self.nodes)}N/+{len(self.edges)}E, "
+            f"-{len(self.delete_nodes)}N/-{len(self.delete_edges)}E)"
+        )

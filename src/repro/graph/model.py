@@ -171,6 +171,33 @@ class PropertyGraph:
         self._in[edge.target_id].append(edge.edge_id)
         return edge
 
+    def put_edge(self, edge: Edge) -> Edge:
+        """Insert or replace ``edge``, keeping adjacency lists consistent.
+
+        Replacement preserves the edge's position in insertion order; when
+        the replacement moves an endpoint, the adjacency lists of the old
+        and new endpoint nodes are updated.
+        """
+        existing = self._edges.get(edge.edge_id)
+        if existing is None:
+            return self.add_edge(edge)
+        if edge.source_id not in self._nodes:
+            raise DanglingEdgeError(
+                f"edge {edge.edge_id!r}: unknown source {edge.source_id!r}"
+            )
+        if edge.target_id not in self._nodes:
+            raise DanglingEdgeError(
+                f"edge {edge.edge_id!r}: unknown target {edge.target_id!r}"
+            )
+        if existing.source_id != edge.source_id:
+            self._out[existing.source_id].remove(edge.edge_id)
+            self._out[edge.source_id].append(edge.edge_id)
+        if existing.target_id != edge.target_id:
+            self._in[existing.target_id].remove(edge.edge_id)
+            self._in[edge.target_id].append(edge.edge_id)
+        self._edges[edge.edge_id] = edge
+        return edge
+
     def remove_node(self, node_id: str) -> None:
         """Remove a node and every edge incident to it."""
         node = self.node(node_id)

@@ -19,7 +19,8 @@ from __future__ import annotations
 from collections import defaultdict
 from collections.abc import Iterable, Iterator
 
-from repro.errors import MissingElementError
+from repro.errors import ConfigurationError, MissingElementError
+from repro.graph.changes import ChangeSet
 from repro.graph.model import Edge, Node, PropertyGraph
 
 
@@ -97,8 +98,106 @@ class GraphStore:
         self._edge_labels = _LabelIndex()
         self._node_props = _PropertyKeyIndex()
         self._edge_props = _PropertyKeyIndex()
+        #: live change-feed consumer (see attach); mutations forward to it.
+        self._session = None
+        self._pending: ChangeSet | None = None
+        self._flush_every = 1
         if graph is not None:
             self.load(graph)
+
+    # ------------------------------------------------------------------
+    # Live session attachment (change-feed forwarding)
+    # ------------------------------------------------------------------
+    def attach(self, session, flush_every: int = 1, replay: bool = False):
+        """Feed every subsequent store mutation into ``session`` live.
+
+        ``flush_every`` batches mutations into pending change-sets of up
+        to that many operations before applying them (1 = apply each
+        mutation immediately).  ``replay=True`` first applies the store's
+        current contents as one insert batch, so a pre-loaded store and
+        its session start in sync.  Deletions and updates forwarded to the
+        session require it to retain the union graph.  Returns ``session``.
+        """
+        if self._session is not None:
+            raise ConfigurationError(
+                f"store {self.name!r} is already attached to a session; "
+                "detach() first"
+            )
+        if flush_every < 1:
+            raise ConfigurationError(
+                f"flush_every must be >= 1, got {flush_every}"
+            )
+        self._session = session
+        self._flush_every = flush_every
+        self._pending = ChangeSet()
+        session.bind_store(self)
+        if replay and (self.node_count or self.edge_count):
+            session.add_batch(self._graph)
+        return session
+
+    def detach(self) -> None:
+        """Flush pending mutations and stop forwarding to the session."""
+        if self._session is None:
+            return
+        self.flush()
+        session = self._session
+        self._session = None
+        self._pending = None
+        session.bind_store(None)
+
+    def flush(self):
+        """Apply buffered mutations now; returns the session's report.
+
+        When the session refuses the change-set (e.g. deletions without a
+        retained union graph) the buffer is restored, so the mutations --
+        already committed to the store -- are not silently dropped.
+        """
+        if self._session is None or self._pending is None or self._pending.is_empty:
+            return None
+        pending, self._pending = self._pending, ChangeSet()
+        try:
+            return self._session.apply(pending)
+        except Exception:
+            self._pending = pending
+            raise
+
+    def _forward_inserts(self, nodes=(), edges=()) -> None:
+        if self._session is None:
+            return
+        if self._pending.has_deletions:
+            self.flush()  # keep the op order: deletes before later inserts
+        self._pending.nodes.extend(nodes)
+        self._pending.edges.extend(edges)
+        self._maybe_flush()
+
+    def _forward_deletions(self, node_ids=(), edge_ids=()) -> None:
+        if self._session is None:
+            return
+        if self._pending.has_inserts:
+            self.flush()  # keep the op order: inserts before later deletes
+        self._pending.delete_nodes.extend(node_ids)
+        self._pending.delete_edges.extend(edge_ids)
+        self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        if self._pending.change_count >= self._flush_every:
+            self.flush()
+
+    def _require_forwardable_deletion(self, operation: str) -> None:
+        """Refuse un-forwardable mutations *before* touching the store.
+
+        A session without a retained union graph cannot consume deletions
+        (or updates, which replay as delete + reinsert); raising up front
+        keeps the store and the session consistent instead of committing
+        the mutation locally and then failing to forward it.
+        """
+        if self._session is not None and not self._session.retains_union:
+            raise ConfigurationError(
+                f"{operation} on a store attached to a session without a "
+                "retained union graph cannot be forwarded; attach a session "
+                "built with PGHiveConfig(retain_union=True), or detach() "
+                "first"
+            )
 
     # ------------------------------------------------------------------
     # Bulk loading
@@ -119,6 +218,7 @@ class GraphStore:
         self._graph.add_node(node)
         self._node_labels.add(node.node_id, node.labels)
         self._node_props.add(node.node_id, node.properties)
+        self._forward_inserts(nodes=(node,))
         return node
 
     def add_edge(self, edge: Edge) -> Edge:
@@ -126,20 +226,66 @@ class GraphStore:
         self._graph.add_edge(edge)
         self._edge_labels.add(edge.edge_id, edge.labels)
         self._edge_props.add(edge.edge_id, edge.properties)
+        self._forward_inserts(edges=(edge,))
         return edge
 
     def update_node(self, node: Node) -> Node:
         """Replace an existing node, reindexing labels/keys."""
+        self._require_forwardable_deletion("update_node")
         old = self._graph.node(node.node_id)
         self._node_labels.remove(old.node_id, old.labels)
         self._node_props.remove(old.node_id, old.properties.keys())
         self._graph.put_node(node)
         self._node_labels.add(node.node_id, node.labels)
         self._node_props.add(node.node_id, node.properties)
+        if self._session is not None:
+            self._forward_node_update(node)
         return node
+
+    def update_edge(self, edge: Edge) -> Edge:
+        """Replace an existing edge, reindexing labels/keys.
+
+        Endpoint changes are allowed; the graph's adjacency lists follow.
+        Parity with :meth:`update_node` -- without this, edge property
+        updates could not keep the label/property-key indexes consistent.
+        """
+        self._require_forwardable_deletion("update_edge")
+        old = self._graph.edge(edge.edge_id)
+        self._edge_labels.remove(old.edge_id, old.labels)
+        self._edge_props.remove(old.edge_id, old.properties.keys())
+        self._graph.put_edge(edge)
+        self._edge_labels.add(edge.edge_id, edge.labels)
+        self._edge_props.add(edge.edge_id, edge.properties)
+        if self._session is not None:
+            self.flush()
+            self._session.apply(ChangeSet.deletions(edges=(edge.edge_id,)))
+            self._session.apply(ChangeSet.inserts(edges=(edge,)))
+        return edge
+
+    def _forward_node_update(self, node: Node) -> None:
+        """Replay a node replacement as delete + reinsert on the session.
+
+        The schema cannot retract an already-folded observation, so an
+        update deletes the stale instance (cascading its incident edges
+        out of their types) and reinserts the new node together with the
+        surviving incident edges.
+        """
+        self.flush()
+        incident = {
+            e.edge_id: e
+            for e in (
+                *self._graph.out_edges(node.node_id),
+                *self._graph.in_edges(node.node_id),
+            )
+        }
+        self._session.apply(ChangeSet.deletions(nodes=(node.node_id,)))
+        self._session.apply(
+            ChangeSet.inserts(nodes=(node,), edges=incident.values())
+        )
 
     def remove_node(self, node_id: str) -> None:
         """Remove a node plus incident edges, updating every index."""
+        self._require_forwardable_deletion("remove_node")
         node = self._graph.node(node_id)
         for edge in list(self._graph.out_edges(node_id)) + list(
             self._graph.in_edges(node_id)
@@ -149,13 +295,16 @@ class GraphStore:
         self._node_labels.remove(node_id, node.labels)
         self._node_props.remove(node_id, node.properties.keys())
         self._graph.remove_node(node_id)
+        self._forward_deletions(node_ids=(node_id,))
 
     def remove_edge(self, edge_id: str) -> None:
         """Remove an edge, updating every index."""
+        self._require_forwardable_deletion("remove_edge")
         edge = self._graph.edge(edge_id)
         self._edge_labels.remove(edge_id, edge.labels)
         self._edge_props.remove(edge_id, edge.properties.keys())
         self._graph.remove_edge(edge_id)
+        self._forward_deletions(edge_ids=(edge_id,))
 
     # ------------------------------------------------------------------
     # Reads

@@ -503,3 +503,46 @@ def _find_covering(candidates, wanted, labels: bool = True):
             continue
         return candidate
     return None
+
+
+def _type_fingerprint(schema_type: NodeType | EdgeType) -> tuple:
+    base = (
+        schema_type.type_id,
+        tuple(sorted(schema_type.labels)),
+        schema_type.abstract,
+        tuple(
+            (spec.key, spec.data_type, spec.mandatory, spec.unique)
+            for spec in sorted(
+                schema_type.properties.values(), key=lambda s: s.key
+            )
+        ),
+        tuple(sorted(schema_type.instance_ids)),
+        tuple(sorted(schema_type.property_counts.items())),
+        schema_type.instance_count,
+        tuple(sorted(schema_type.candidate_keys)),
+    )
+    if isinstance(schema_type, EdgeType):
+        bounds = schema_type.cardinality_bounds
+        base += (
+            tuple(sorted(schema_type.source_tokens)),
+            tuple(sorted(schema_type.target_tokens)),
+            schema_type.cardinality,
+            None if bounds is None else (bounds.max_out, bounds.max_in),
+        )
+    return base
+
+
+def schema_fingerprint(schema: SchemaGraph) -> tuple:
+    """Canonical, hashable digest of everything a schema asserts.
+
+    Two schemas with equal fingerprints agree on every type, label,
+    property spec, instance assignment, endpoint token, cardinality, and
+    candidate key.  Streaming accumulators (``summaries``) are deliberately
+    excluded: they are internal post-processing state, not part of the
+    schema itself.  Used by the checkpoint round-trip tests and the
+    session-vs-maintenance equivalence oracle.
+    """
+    return (
+        tuple(_type_fingerprint(t) for t in schema.node_types()),
+        tuple(_type_fingerprint(t) for t in schema.edge_types()),
+    )

@@ -1,0 +1,163 @@
+"""Checkpoint/restore round-trip tests for `SchemaSession`.
+
+The acceptance bar: a session checkpointed mid-stream, restored (as a
+fresh process would), and fed the remaining batches must produce a
+bit-identical schema to an uninterrupted run over the same stream.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.config import ClusteringMethod, PGHiveConfig
+from repro.core.session import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    SchemaSession,
+)
+from repro.errors import CheckpointError
+from repro.graph.batching import split_into_batches
+from repro.graph.changes import ChangeSet
+from repro.schema.model import schema_fingerprint
+
+
+def stream(graph, batches=5, seed=4):
+    return split_into_batches(graph, batches, seed=seed)
+
+
+@pytest.mark.parametrize("method", list(ClusteringMethod))
+class TestRoundTrip:
+    def test_restore_is_bit_identical(self, figure1_graph, tmp_path, method):
+        config = PGHiveConfig(method=method, seed=0, infer_keys=True)
+        session = SchemaSession(config)
+        for batch in stream(figure1_graph)[:3]:
+            session.add_batch(batch)
+        path = session.checkpoint(tmp_path / "mid.ckpt")
+        restored = SchemaSession.restore(path)
+        assert schema_fingerprint(restored.schema_graph) == schema_fingerprint(
+            session.schema_graph
+        )
+        assert restored.sequence == session.sequence
+        assert restored.reports == session.reports
+
+    def test_resumed_stream_matches_uninterrupted(
+        self, figure1_graph, tmp_path, method
+    ):
+        config = PGHiveConfig(method=method, seed=0, infer_keys=True)
+        batches = stream(figure1_graph)
+
+        uninterrupted = SchemaSession(config)
+        for batch in batches:
+            uninterrupted.add_batch(batch)
+
+        interrupted = SchemaSession(config)
+        for batch in batches[:2]:
+            interrupted.add_batch(batch)
+        path = interrupted.checkpoint(tmp_path / "crash.ckpt")
+        del interrupted  # the worker "crashes" here
+
+        resumed = SchemaSession.restore(path)
+        for batch in batches[2:]:
+            resumed.add_batch(batch)
+        assert schema_fingerprint(resumed.schema()) == schema_fingerprint(
+            uninterrupted.schema()
+        )
+
+
+class TestCheckpointCoverage:
+    def test_pipeline_state_survives(self, figure1_graph, tmp_path):
+        config = PGHiveConfig(method=ClusteringMethod.MINHASH, seed=0)
+        session = SchemaSession(config)
+        for batch in stream(figure1_graph)[:3]:
+            session.add_batch(batch)
+        restored = SchemaSession.restore(
+            session.checkpoint(tmp_path / "state.ckpt")
+        )
+        # The fitted preprocessor (with its embedding cache) came along ...
+        assert restored.state.preprocessor is not None
+        assert set(restored.state.preprocessor._embedding_cache) == set(
+            session.state.preprocessor._embedding_cache
+        )
+        # ... as did the MinHash instances with their signature caches.
+        assert set(restored.state.minhash_cache) == set(session.state.minhash_cache)
+        for key, lsh in session.state.minhash_cache.items():
+            assert set(restored.state.minhash_cache[key]._signature_cache) == set(
+                lsh._signature_cache
+            )
+
+    def test_union_and_deletions_survive(self, figure1_graph, tmp_path):
+        session = SchemaSession(PGHiveConfig(seed=0), retain_union=True)
+        session.add_batch(figure1_graph)
+        session.apply(ChangeSet.deletions(nodes=["place"]))
+        restored = SchemaSession.restore(
+            session.checkpoint(tmp_path / "union.ckpt")
+        )
+        assert not restored.union_graph.has_node("place")
+        assert not restored._streaming_valid
+        # The restored session keeps deleting against the restored union.
+        restored.apply(ChangeSet.deletions(nodes=["org"]))
+        assert restored.schema().node_type_by_token("Org.") is None
+
+    def test_dirty_flag_round_trips(self, figure1_graph, tmp_path):
+        session = SchemaSession(PGHiveConfig(seed=0))
+        session.add_batch(figure1_graph)
+        assert session.dirty
+        restored = SchemaSession.restore(
+            session.checkpoint(tmp_path / "dirty.ckpt")
+        )
+        assert restored.dirty
+        assert restored.schema().node_type_by_token("Person") is not None
+
+
+class TestFormat:
+    def test_header_pins_magic_and_version(self, figure1_graph, tmp_path):
+        session = SchemaSession(PGHiveConfig(seed=0))
+        session.add_batch(figure1_graph)
+        path = session.checkpoint(tmp_path / "fmt.ckpt")
+        first_line = path.read_bytes().split(b"\n", 1)[0]
+        assert first_line == CHECKPOINT_MAGIC + b" %d" % CHECKPOINT_VERSION
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "noise.bin"
+        path.write_bytes(b"definitely not a checkpoint\n" + b"\x00" * 32)
+        with pytest.raises(CheckpointError):
+            SchemaSession.restore(path)
+
+    def test_rejects_future_version(self, figure1_graph, tmp_path):
+        session = SchemaSession(PGHiveConfig(seed=0))
+        session.add_batch(figure1_graph)
+        original = session.checkpoint(tmp_path / "v1.ckpt").read_bytes()
+        bumped = original.replace(
+            CHECKPOINT_MAGIC + b" %d\n" % CHECKPOINT_VERSION,
+            CHECKPOINT_MAGIC + b" %d\n" % (CHECKPOINT_VERSION + 1),
+            1,
+        )
+        path = tmp_path / "v2.ckpt"
+        path.write_bytes(bumped)
+        with pytest.raises(CheckpointError, match="version"):
+            SchemaSession.restore(path)
+
+    def test_rejects_truncated_payload(self, figure1_graph, tmp_path):
+        session = SchemaSession(PGHiveConfig(seed=0))
+        session.add_batch(figure1_graph)
+        original = session.checkpoint(tmp_path / "full.ckpt").read_bytes()
+        path = tmp_path / "cut.ckpt"
+        path.write_bytes(original[: len(original) // 2])
+        with pytest.raises(CheckpointError):
+            SchemaSession.restore(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            SchemaSession.restore(tmp_path / "absent.ckpt")
+
+    def test_payload_is_a_plain_pickle_after_header(
+        self, figure1_graph, tmp_path
+    ):
+        session = SchemaSession(PGHiveConfig(seed=0))
+        session.add_batch(figure1_graph)
+        path = session.checkpoint(tmp_path / "raw.ckpt")
+        with open(path, "rb") as handle:
+            handle.readline()
+            payload = pickle.load(handle)
+        assert payload["sequence"] == 1
+        assert payload["schema_name"] == "session-schema"

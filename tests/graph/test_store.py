@@ -86,6 +86,40 @@ class TestIndexMaintenance:
         }
         assert store.unlabeled_nodes() == []
 
+    def test_update_edge_reindexes_labels(self, store):
+        edge = store.edge("e2").with_labels({"FOLLOWS"})
+        store.update_edge(edge)
+        assert {e.edge_id for e in store.edges_with_label("KNOWS")} == {"e1"}
+        assert {e.edge_id for e in store.edges_with_label("FOLLOWS")} == {"e2"}
+
+    def test_update_edge_reindexes_property_keys(self, store):
+        edge = store.edge("e2").with_properties({"weight": 0.5})
+        store.update_edge(edge)
+        assert {e.edge_id for e in store.edges_with_property("since")} == set()
+        assert {e.edge_id for e in store.edges_with_property("weight")} == {"e2"}
+        assert "weight" in store.edge_property_keys()
+        assert "since" not in store.edge_property_keys()
+
+    def test_update_edge_moves_endpoints(self, store):
+        old = store.edge("e2")  # bob -> john
+        store.update_edge(Edge("e2", "alice", "john", old.labels, old.properties))
+        assert store.out_degree("bob") == 1  # only WORKS_AT left
+        assert store.out_degree("alice") == 3  # e1 + e3 + moved e2
+        assert store.in_degree("john") == 2  # still two KNOWS
+        assert store.edge("e2").source_id == "alice"
+
+    def test_update_edge_preserves_scan_order(self, store):
+        order_before = [e.edge_id for e in store.scan_edges()]
+        store.update_edge(store.edge("e2").with_properties({"since": 2026}))
+        assert [e.edge_id for e in store.scan_edges()] == order_before
+        assert store.edge("e2").properties["since"] == 2026
+
+    def test_update_edge_unknown_id_raises(self, store):
+        from repro.errors import MissingElementError
+
+        with pytest.raises(MissingElementError):
+            store.update_edge(Edge("ghost", "bob", "john", {"KNOWS"}))
+
     def test_add_after_load(self, store):
         store.add_node(Node("x", {"Person"}, {"name": "X"}))
         store.add_edge(Edge("ex", "x", "bob", {"KNOWS"}))

@@ -39,6 +39,48 @@ class TestReadmeQuickstart:
         assert works_at.cardinality is not None
 
 
+class TestReadmeSessionQuickstart:
+    def test_session_snippet_executes(self, tmp_path):
+        # The session code block from README.md's Quickstart section.
+        from repro import ChangeSet, Edge, Node, SchemaSession
+
+        session = SchemaSession(schema_name="example")
+        events = []
+        session.subscribe(events.append)
+
+        session.apply(ChangeSet.inserts(
+            nodes=[
+                Node("bob", {"Person"}, {"name": "Bob", "bday": "2/5/1980"}),
+                Node("alice", frozenset(),
+                     {"name": "Alice", "bday": "19/12/1999"}),
+                Node("acme", {"Org"}, {"name": "ACME", "url": "acme.example"}),
+            ],
+            edges=[Edge("e1", "bob", "acme", {"WORKS_AT"}, {"from": 2000})],
+        ))
+
+        schema = session.schema()
+        assert schema.summary()["node_types"] >= 2
+        assert events and not events[0].diff.is_empty
+
+        # Claims made in the README about this snippet:
+        person = schema.node_type_by_token("Person")
+        assert "alice" in person.instance_ids
+        from repro import DataType
+
+        assert person.properties["bday"].data_type is DataType.DATE
+        works_at = schema.edge_type_by_token("WORKS_AT")
+        assert works_at.properties["from"].data_type is DataType.INTEGER
+        assert works_at.cardinality is not None
+
+        path = session.checkpoint(tmp_path / "example.ckpt")
+        resumed = SchemaSession.restore(path)
+        from repro import schema_fingerprint
+
+        assert schema_fingerprint(resumed.schema_graph) == schema_fingerprint(
+            schema
+        )
+
+
 class TestRequiredDocuments:
     def test_design_document_covers_every_figure(self):
         design = (REPO / "DESIGN.md").read_text()
