@@ -1,0 +1,179 @@
+"""Sharded ingestion scaling: insert throughput vs shard count.
+
+Drives one synthetic labelled insert stream through
+:class:`ShardedSchemaSession` at several shard counts (each shard a
+dedicated worker process) and reports elements/sec, speedup over the
+1-shard baseline, and merged-snapshot latency.  Correctness gate: every
+shard count must produce a schema fingerprint-identical to a single
+:class:`SchemaSession` consuming the same feed -- the gate CI enforces in
+``--quick`` mode.
+
+Speedup expectations: partitioned ingestion parallelises preprocessing,
+LSH clustering, and extraction across worker processes, so on a
+multi-core machine the full run is expected to reach >= 2x insert
+throughput at 4 process shards over 1.  On single-core containers (CI
+runners included) process shards only add IPC overhead; the bench still
+*measures* honestly and prints the machine's core count next to the
+numbers.  Pass ``--require-speedup R`` to turn the speedup into a hard
+gate on hardware where it is meaningful.
+
+Run:        PYTHONPATH=src python benchmarks/bench_sharded_scaling.py
+Quick (CI): PYTHONPATH=src python benchmarks/bench_sharded_scaling.py --quick
+JSON:       ... --json sharded_bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_incremental_stream import synthetic_stream
+
+from repro.core.config import PGHiveConfig
+from repro.core.session import SchemaSession
+from repro.core.sharding import ShardedSchemaSession
+from repro.graph.changes import ChangeSet
+from repro.schema.model import schema_fingerprint
+
+SEED = 2026
+FULL_BATCHES, FULL_NODES, FULL_SHARDS = 30, 400, (1, 2, 4)
+QUICK_BATCHES, QUICK_NODES, QUICK_SHARDS = 8, 120, (1, 2)
+
+
+def single_session_reference(change_sets, config):
+    session = SchemaSession(config, schema_name="scaling-single")
+    start = time.perf_counter()
+    for change_set in change_sets:
+        session.apply(change_set)
+    ingest_seconds = time.perf_counter() - start
+    return schema_fingerprint(session.schema()), ingest_seconds
+
+
+def bench_shard_count(change_sets, config, n_shards, parallel):
+    with ShardedSchemaSession(
+        config,
+        schema_name="scaling-sharded",
+        n_shards=n_shards,
+        parallel=parallel,
+    ) as session:
+        start = time.perf_counter()
+        for change_set in change_sets:
+            session.apply(change_set)
+        ingest_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        schema = session.schema()
+        merge_seconds = time.perf_counter() - start
+        fingerprint = schema_fingerprint(schema)
+    return fingerprint, {
+        "n_shards": n_shards,
+        "parallel": parallel,
+        "ingest_seconds": ingest_seconds,
+        "merge_ms": merge_seconds * 1000,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI scale")
+    parser.add_argument("--batches", type=int, default=None)
+    parser.add_argument("--nodes-per-batch", type=int, default=None)
+    parser.add_argument(
+        "--serial",
+        action="store_true",
+        help="in-process shards instead of worker processes",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=None,
+        metavar="R",
+        help="fail unless max-shard speedup over 1 shard reaches R",
+    )
+    parser.add_argument("--json", type=Path, default=None, metavar="PATH")
+    args = parser.parse_args(argv)
+
+    batch_count = args.batches or (QUICK_BATCHES if args.quick else FULL_BATCHES)
+    nodes = args.nodes_per_batch or (QUICK_NODES if args.quick else FULL_NODES)
+    shard_counts = QUICK_SHARDS if args.quick else FULL_SHARDS
+    parallel = not args.serial
+
+    batches = synthetic_stream(batch_count, nodes, SEED)
+    change_sets = [ChangeSet.from_graph(batch) for batch in batches]
+    total = sum(len(batch) for batch in batches)
+    cores = os.cpu_count() or 1
+    mode = "process shards" if parallel else "serial shards"
+    print(
+        f"sharded scaling bench: {batch_count} change-sets, ~{nodes} nodes "
+        f"each, {total:,} elements, {mode}, {cores} core(s)"
+    )
+
+    config = PGHiveConfig(seed=SEED)
+    reference, single_seconds = single_session_reference(change_sets, config)
+    print(
+        f"  single session  {total / max(single_seconds, 1e-12):10,.0f} "
+        f"elements/sec ({single_seconds:.2f}s)"
+    )
+
+    rows = []
+    fingerprints_match = True
+    baseline_seconds = None
+    for n_shards in shard_counts:
+        fingerprint, row = bench_shard_count(
+            change_sets, config, n_shards, parallel
+        )
+        row["matches_single_session"] = fingerprint == reference
+        fingerprints_match &= row["matches_single_session"]
+        if baseline_seconds is None:
+            baseline_seconds = row["ingest_seconds"]
+        row["throughput"] = total / max(row["ingest_seconds"], 1e-12)
+        row["speedup_vs_1_shard"] = baseline_seconds / max(
+            row["ingest_seconds"], 1e-12
+        )
+        rows.append(row)
+        print(
+            f"  {n_shards} shard(s)      {row['throughput']:10,.0f} "
+            f"elements/sec  ({row['ingest_seconds']:.2f}s ingest, "
+            f"{row['merge_ms']:.1f}ms merged snapshot, "
+            f"{row['speedup_vs_1_shard']:.2f}x vs 1 shard, "
+            f"fingerprint match: {row['matches_single_session']})"
+        )
+
+    payload = {
+        "batches": batch_count,
+        "nodes_per_batch": nodes,
+        "total_elements": total,
+        "seed": SEED,
+        "cores": cores,
+        "parallel": parallel,
+        "single_session_seconds": single_seconds,
+        "shards": rows,
+        "fingerprints_match": fingerprints_match,
+    }
+    if args.json is not None:
+        args.json.write_text(json.dumps(payload, indent=2))
+        print(f"  wrote {args.json}")
+
+    if not fingerprints_match:
+        print("FAIL: a sharded run diverged from the single-session schema")
+        return 1
+    if args.require_speedup is not None:
+        best = max(row["speedup_vs_1_shard"] for row in rows)
+        if best < args.require_speedup:
+            print(
+                f"FAIL: best speedup {best:.2f}x < required "
+                f"{args.require_speedup:.2f}x"
+            )
+            return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,10 @@ API in one import::
     session.checkpoint("discovery.ckpt")    # resume later, anywhere
 
 One-shot discovery stays one line (``PGHive().discover(graph)``); it and
-every other historical entry point are adapters over the session.
+every other historical entry point are adapters over the session.  For
+partitioned/parallel ingestion, ``ShardedSchemaSession(n_shards=4)``
+accepts the same change feed and serves the same snapshots from N
+mergeable per-shard sessions (optionally in worker processes).
 """
 
 from repro.core.config import AdaptiveOverrides, ClusteringMethod, PGHiveConfig
@@ -20,7 +23,9 @@ from repro.core.incremental import IncrementalSchemaDiscovery
 from repro.core.maintenance import MaintainedSchema
 from repro.core.pipeline import DiscoveryResult, PGHive
 from repro.core.session import ChangeReport, DiffEvent, SchemaSession
-from repro.graph.changes import ChangeSet
+from repro.core.sharding import ShardedChangeReport, ShardedSchemaSession
+from repro.core.state import DiscoveryState
+from repro.graph.changes import ChangeSet, HashPartitioner, changesets_from_elements
 from repro.graph.model import Edge, Node, PropertyGraph, label_token
 from repro.graph.store import GraphStore
 from repro.lsh.base import GroupingRule
@@ -30,7 +35,7 @@ from repro.schema.diff import SchemaDiff, diff_schemas
 from repro.schema.model import EdgeType, NodeType, SchemaGraph, schema_fingerprint
 from repro.schema.validation import ValidationMode, validate_graph
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AdaptiveOverrides",
@@ -41,10 +46,12 @@ __all__ = [
     "DataType",
     "DiffEvent",
     "DiscoveryResult",
+    "DiscoveryState",
     "Edge",
     "EdgeType",
     "GraphStore",
     "GroupingRule",
+    "HashPartitioner",
     "IncrementalSchemaDiscovery",
     "MaintainedSchema",
     "Node",
@@ -55,7 +62,10 @@ __all__ = [
     "SchemaDiff",
     "SchemaGraph",
     "SchemaSession",
+    "ShardedChangeReport",
+    "ShardedSchemaSession",
     "ValidationMode",
+    "changesets_from_elements",
     "diff_schemas",
     "label_token",
     "schema_fingerprint",

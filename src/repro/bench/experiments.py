@@ -14,7 +14,6 @@ from repro.bench.harness import (
     AVAILABILITIES,
     NOISE_LEVELS,
     CaseResult,
-    PGHiveMethod,
     all_methods,
     evaluate_on,
 )

@@ -40,6 +40,8 @@ from repro.core.pipeline import CAPABILITIES, DiscoveryResult, PGHive
 from repro.core.preprocess import ElementRecord, FeatureMatrix, Preprocessor
 from repro.core.serialization import to_pg_schema, to_xsd
 from repro.core.session import ChangeReport, DiffEvent, SchemaSession
+from repro.core.sharding import ShardedChangeReport, ShardedSchemaSession
+from repro.core.state import DiscoveryState
 from repro.core.type_extraction import (
     extract_edge_types,
     extract_node_types,
@@ -58,6 +60,7 @@ __all__ = [
     "DatatypeAccumulator",
     "DiffEvent",
     "DiscoveryResult",
+    "DiscoveryState",
     "DistinctTracker",
     "ElementRecord",
     "EndpointAccumulator",
@@ -69,6 +72,8 @@ __all__ = [
     "PGHiveConfig",
     "Preprocessor",
     "SchemaSession",
+    "ShardedChangeReport",
+    "ShardedSchemaSession",
     "SummaryOptions",
     "TypeSummaries",
     "adapt_parameters",

@@ -5,7 +5,8 @@ The published incremental step is insert-only: schemas grow monotonically
 This extension implements the natural completion, and since the
 :class:`~repro.core.session.SchemaSession` redesign it is a thin adapter:
 the session owns the delete path (detach instances, decrement per-key
-counters, drop empty types, cascade node deletions to incident edges) and
+counters, prune specs whose last carrier died, drop empty types, cascade
+node deletions to incident edges) and
 this class pins the historical configuration -- the union graph is always
 retained and post-processing always re-reads the surviving data by full
 scan, because deletion breaks monotonicity: a property can *become*

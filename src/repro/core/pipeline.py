@@ -179,6 +179,7 @@ class PGHive:
         state: PipelineState | None = None,
         build_summaries: bool = False,
         summary_options: SummaryOptions | None = None,
+        exclude_record: frozenset[str] = frozenset(),
     ) -> None:
         """Steps (b)-(d) for one batch, merging into ``schema`` in place.
 
@@ -195,6 +196,12 @@ class PGHive:
         scan, so building summaries there would be pure overhead.  When
         set, ``summary_options`` overrides the config-derived tracking
         options (the session uses it to apply its per-session key flag).
+
+        ``exclude_record`` names batch elements that must not be recorded
+        as instances -- endpoint stubs owned by another shard.  They still
+        participate in preprocessing and clustering (endpoint tokens and
+        batch well-formedness need them) but contribute no counts, specs,
+        or accumulator folds.
         """
         if state is None:
             state = PipelineState()
@@ -225,6 +232,7 @@ class PGHive:
                 edge_outcome.clusters,
                 theta=self.config.theta,
                 summary_options=summary_options,
+                exclude_record=exclude_record,
             )
         result.node_parameters = node_outcome.parameters or result.node_parameters
         result.edge_parameters = edge_outcome.parameters or result.edge_parameters

@@ -35,6 +35,15 @@ accumulators, so they are gated on a retained union graph
 post-processing to the full re-scan over the surviving union, exactly the
 semantics :class:`MaintainedSchema` always had.
 
+Since the sharded-discovery work every mutable artefact the session
+accumulates -- schema, accumulators, preprocessor, MinHash caches, union
+graph, stream position -- lives in one explicit
+:class:`~repro.core.state.DiscoveryState` value object (the ``_dstate``
+attribute, exposed read-only as :attr:`SchemaSession.discovery_state`).
+Checkpoints serialise that state; :meth:`SchemaSession.from_state`
+resumes from one; and :class:`~repro.core.sharding.ShardedSchemaSession`
+merges one per shard through ``DiscoveryState.merge``.
+
 Checkpoint files embed a pickle payload.  Pickle executes code on load:
 only restore checkpoints produced by a process you trust.
 """
@@ -50,6 +59,7 @@ from pathlib import Path
 from repro.core.accumulators import SummaryOptions
 from repro.core.config import PGHiveConfig
 from repro.core.pipeline import DiscoveryResult, PGHive, PipelineState
+from repro.core.state import DiscoveryState
 from repro.errors import (
     CheckpointError,
     ConfigurationError,
@@ -159,15 +169,15 @@ class SchemaSession:
                 "therefore requires retain_union=True"
             )
         self._pipeline = PGHive(self.config)
-        #: survives across change-sets: fitted preprocessor + MinHash caches.
-        self._state = PipelineState()
-        self._timer = Timer()
-        self._schema = SchemaGraph(schema_name)
-        self._union: PropertyGraph | None = (
-            PropertyGraph(f"{schema_name}-union") if self._retain_union else None
+        #: every mutable discovery artefact, as one mergeable value object.
+        self._dstate = DiscoveryState.fresh(
+            schema_name, retain_union=self._retain_union
         )
+        #: streaming reads stay valid until the first applied deletion.
+        self._dstate.streaming_valid = self._streaming
+        self._timer = Timer()
         self._result = DiscoveryResult(
-            schema=self._schema,
+            schema=self._dstate.schema,
             timer=self._timer,
             config=self.config,
             batches_processed=0,
@@ -176,14 +186,63 @@ class SchemaSession:
         self._subscribers: list[DiffSubscriber] = []
         self._baseline: SchemaGraph | None = None
         self._store = None  # set by GraphStore.attach
-        #: streaming reads stay valid until the first applied deletion.
-        self._streaming_valid = self._streaming
-        self._dirty = False
-        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # DiscoveryState delegation (all mutable state lives in ``_dstate``)
+    # ------------------------------------------------------------------
+    @property
+    def _schema(self) -> SchemaGraph:
+        return self._dstate.schema
+
+    @property
+    def _state(self) -> PipelineState:
+        return self._dstate.pipeline
+
+    @property
+    def _union(self) -> PropertyGraph | None:
+        return self._dstate.union
+
+    @_union.setter
+    def _union(self, graph: PropertyGraph | None) -> None:
+        self._dstate.union = graph
+
+    @property
+    def _dirty(self) -> bool:
+        return self._dstate.dirty
+
+    @_dirty.setter
+    def _dirty(self, value: bool) -> None:
+        self._dstate.dirty = value
+
+    @property
+    def _sequence(self) -> int:
+        return self._dstate.sequence
+
+    @_sequence.setter
+    def _sequence(self, value: int) -> None:
+        self._dstate.sequence = value
+
+    @property
+    def _streaming_valid(self) -> bool:
+        return self._dstate.streaming_valid
+
+    @_streaming_valid.setter
+    def _streaming_valid(self, value: bool) -> None:
+        self._dstate.streaming_valid = value
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def discovery_state(self) -> DiscoveryState:
+        """The session's live :class:`DiscoveryState`.
+
+        This is the session's *own* state, not a copy: callers may read
+        it (the sharded merge does, through the non-mutating
+        ``DiscoveryState.merged``) but must not mutate it.
+        """
+        return self._dstate
+
     @property
     def schema_graph(self) -> SchemaGraph:
         """The live schema *without* triggering a post-processing refresh."""
@@ -235,11 +294,16 @@ class SchemaSession:
                 "session with PGHiveConfig(retain_union=True)"
             )
         batch = self._insert_graph(change_set)
+        stubs = change_set.stub_node_ids
+        if stubs:
+            # Guard against producers flagging ids they did not ship.
+            stubs = frozenset(stubs) & {n.node_id for n in change_set.nodes}
         return self._apply(
             batch,
             change_set.delete_edges,
             change_set.delete_nodes,
-            inserted=(len(change_set.nodes), len(change_set.edges)),
+            inserted=(len(change_set.nodes) - len(stubs), len(change_set.edges)),
+            exclude_record=stubs,
         )
 
     def add_batch(self, batch: PropertyGraph) -> ChangeReport:
@@ -260,16 +324,19 @@ class SchemaSession:
         delete_edge_ids: Iterable[str],
         delete_node_ids: Iterable[str],
         inserted: tuple[int, int] = (0, 0),
+        exclude_record: frozenset[str] = frozenset(),
     ) -> ChangeReport:
         """Shared apply path.  ``inserted`` is the *producer's* insert
         count -- endpoint stubs resolved into the materialised batch are
-        replays, not inserts, and must not inflate the report."""
+        replays, not inserts, and must not inflate the report.
+        ``exclude_record`` carries producer-marked stub ids (sharded
+        feeds): clustered but never recorded as instances."""
         self._sequence += 1
         nodes_deleted = edges_deleted = 0
         change_timer = Timer()
         with change_timer.measure("change"):
             if batch is not None:
-                self._ingest(batch)
+                self._ingest(batch, exclude_record)
             if delete_edge_ids or delete_node_ids:
                 edges_deleted = self._delete_edges(delete_edge_ids)
                 nodes_deleted, cascaded = self._delete_nodes(delete_node_ids)
@@ -293,7 +360,11 @@ class SchemaSession:
         self._emit(report)
         return report
 
-    def _ingest(self, batch: PropertyGraph) -> None:
+    def _ingest(
+        self,
+        batch: PropertyGraph,
+        exclude_record: frozenset[str] = frozenset(),
+    ) -> None:
         """Steps (b)-(d) for one insert batch, merging into the schema."""
         self._pipeline._process_batch(
             batch,
@@ -310,6 +381,7 @@ class SchemaSession:
                 track_keys=self._track_keys,
                 pair_cap=self.config.key_pair_tracking_cap,
             ),
+            exclude_record=exclude_record,
         )
         if self._union is not None and self._union is not batch:
             self._union.merge_in(batch)
@@ -420,6 +492,15 @@ class SchemaSession:
                 schema_type.property_counts[key] -= 1
                 if schema_type.property_counts[key] <= 0:
                     del schema_type.property_counts[key]
+                    # The last carrier of this property is gone: drop the
+                    # spec rather than leave a phantom STRING/optional
+                    # entry no surviving instance backs.  Deletion is
+                    # already non-monotone (empty types drop, bounds
+                    # tighten, mandatory can return) -- and this is what
+                    # keeps sharded discovery exact: a shard that loses
+                    # its last local carrier must agree with the merged
+                    # global view, which only counts live carriers.
+                    schema_type.properties.pop(key, None)
             return
 
     def _drop_empty_types(self) -> None:
@@ -515,6 +596,44 @@ class SchemaSession:
     def bind_store(self, store) -> None:
         """Called by :meth:`GraphStore.attach` / ``detach``; not user API."""
         self._store = store
+
+    # ------------------------------------------------------------------
+    # State adoption (restore, sharded workers, merged continuations)
+    # ------------------------------------------------------------------
+    def _adopt_state(self, state: DiscoveryState) -> None:
+        """Replace the session's state wholesale (fresh sessions only)."""
+        self._dstate = state
+        self._result.schema = state.schema
+
+    @classmethod
+    def from_state(
+        cls,
+        state: DiscoveryState,
+        config: PGHiveConfig | None = None,
+        *,
+        schema_name: str | None = None,
+        streaming_postprocess: bool | None = None,
+        track_keys: bool | None = None,
+    ) -> "SchemaSession":
+        """A session that continues from an existing :class:`DiscoveryState`.
+
+        The state is adopted by reference, not copied -- do not keep
+        feeding the donor.  ``retain_union`` follows the state (a state
+        without a union graph cannot accept deletions).  Useful for
+        resuming from a merged shard state or a state built elsewhere;
+        note that a merged state keeps only one fitted preprocessor, so
+        continuation embeds unseen label tokens through their
+        deterministic identity vectors.
+        """
+        session = cls(
+            config,
+            schema_name=schema_name or state.schema.name,
+            retain_union=state.union is not None,
+            streaming_postprocess=streaming_postprocess,
+            track_keys=track_keys,
+        )
+        session._adopt_state(state)
+        return session
 
     # ------------------------------------------------------------------
     # Checkpoint / restore
@@ -613,12 +732,16 @@ class SchemaSession:
             streaming_postprocess=payload["streaming_postprocess"],
             track_keys=payload["track_keys"],
         )
-        session._schema = payload["schema"]
-        session._state = payload["state"]
-        session._union = payload["union"]
-        session._streaming_valid = payload["streaming_valid"]
-        session._dirty = payload["dirty"]
-        session._sequence = payload["sequence"]
+        session._adopt_state(
+            DiscoveryState(
+                schema=payload["schema"],
+                pipeline=payload["state"],
+                union=payload["union"],
+                sequence=payload["sequence"],
+                streaming_valid=payload["streaming_valid"],
+                dirty=payload["dirty"],
+            )
+        )
         session.reports = list(payload["reports"])
         meta = payload["result"]
         session._result.schema = session._schema

@@ -1,0 +1,533 @@
+"""`ShardedSchemaSession`: partitioned, parallel discovery over N shards.
+
+The incremental-view-maintenance literature's standard route to parallel
+maintenance -- partition the change feed, keep mergeable per-partition
+state, combine on read -- applied to PG-HIVE:
+
+* A :class:`~repro.graph.changes.HashPartitioner` routes every node and
+  edge of an incoming :class:`~repro.graph.changes.ChangeSet` to one of
+  ``n_shards`` per-shard :class:`~repro.core.session.SchemaSession`\\ s by
+  stable content hashing.  Edges travel with full *stub* copies of
+  endpoints owned by other shards (resolved from the session's node
+  registry), flagged so the receiving shard clusters them for context but
+  never records them -- each element is counted by exactly one shard,
+  which is what makes the per-shard states mergeable without
+  double-counting.  Node deletions broadcast to every shard (stub copies
+  and their incident edges must cascade everywhere); edge deletions route
+  to the owning shard.
+* Shards run serially in-process by default, or -- with
+  ``parallel=True`` -- each shard gets a dedicated single-worker
+  ``ProcessPoolExecutor`` so its session lives in a pinned OS process and
+  change-sets for different shards are ingested concurrently.
+* :meth:`schema` merges the per-shard
+  :class:`~repro.core.state.DiscoveryState` values through
+  ``DiscoveryState.merged`` and post-processes the combined schema
+  (streaming-accumulator reads, or a full scan of the merged union once
+  any deletion occurred).  Dirty tracking makes the read lazy: states of
+  untouched shards are served from the parent's snapshot cache instead of
+  being re-fetched (in parallel mode a fetch is a pickle round-trip), and
+  a read on a quiet feed returns the cached merged schema outright.
+* :meth:`checkpoint` extends the session checkpoint format with a
+  per-shard manifest: one versioned manifest file plus one ordinary
+  session checkpoint per shard, so shards restore independently (and, in
+  parallel mode, write/load their own files inside their worker
+  processes).
+
+Determinism: shard states fold in shard order, the schema merge processes
+types in canonical content order, and the merged schema gets canonical
+type names -- so for label-mergeable feeds the merged schema is
+fingerprint-identical to a single :class:`SchemaSession` over the same
+change-sets, for every shard count (the sharding oracle pins this).
+Abstract-type Jaccard absorption remains order-sensitive, exactly as it
+is between batches of a single session.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, wait
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.core.config import PGHiveConfig
+from repro.core.pipeline import PGHive
+from repro.core.session import ChangeReport, SchemaSession
+from repro.core.state import DiscoveryState
+from repro.errors import CheckpointError, ConfigurationError
+from repro.graph.changes import ChangeSet, HashPartitioner
+from repro.graph.model import Node, PropertyGraph
+from repro.schema.model import SchemaGraph
+
+#: First line of every sharded-checkpoint manifest.
+MANIFEST_MAGIC = b"pghive-sharded-checkpoint"
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "manifest.ckpt"
+
+
+@dataclass(frozen=True)
+class ShardedChangeReport:
+    """Diagnostics for one change-set applied across shards.
+
+    Insert counts are the producer's (stubs excluded); deletion counts
+    are global -- a node removed from three shards (owner plus two stub
+    copies) counts once.  ``shard_reports`` carries the per-shard
+    :class:`~repro.core.session.ChangeReport` of every shard that
+    received a non-empty sub-change-set.
+    """
+
+    sequence: int
+    nodes_inserted: int
+    edges_inserted: int
+    nodes_deleted: int
+    edges_deleted: int
+    seconds: float
+    shard_reports: tuple[tuple[int, ChangeReport], ...]
+
+    @property
+    def shards_touched(self) -> int:
+        """Number of shards that received work from this change-set."""
+        return len(self.shard_reports)
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing (parallel mode).  Each shard owns a dedicated
+# single-worker ProcessPoolExecutor, so one module-level session per
+# worker process is exactly one session per shard.
+# ----------------------------------------------------------------------
+_WORKER_SESSION: SchemaSession | None = None
+
+
+def _worker_init(config, schema_name, retain_union, streaming, track_keys):
+    global _WORKER_SESSION
+    _WORKER_SESSION = SchemaSession(
+        config,
+        schema_name=schema_name,
+        retain_union=retain_union,
+        streaming_postprocess=streaming,
+        track_keys=track_keys,
+    )
+
+
+def _worker_apply(change_set: ChangeSet) -> ChangeReport:
+    return _WORKER_SESSION.apply(change_set)
+
+
+def _worker_state() -> DiscoveryState:
+    return _WORKER_SESSION.discovery_state
+
+
+def _worker_checkpoint(path: str) -> str:
+    return str(_WORKER_SESSION.checkpoint(path))
+
+
+def _worker_restore(path: str) -> int:
+    global _WORKER_SESSION
+    _WORKER_SESSION = SchemaSession.restore(path)
+    return _WORKER_SESSION.sequence
+
+
+class ShardedSchemaSession:
+    """N-way partitioned discovery with a mergeable combined read view.
+
+    Accepts the same change feed as :class:`SchemaSession` (``apply`` /
+    ``add_batch``) and serves the same lazy :meth:`schema` snapshots;
+    ``retain_union``, ``streaming_postprocess``, and ``track_keys``
+    override config fields exactly as on the single session.  Use as a
+    context manager (or call :meth:`close`) when ``parallel=True`` so the
+    worker processes shut down deterministically.
+    """
+
+    def __init__(
+        self,
+        config: PGHiveConfig | None = None,
+        schema_name: str = "sharded-schema",
+        *,
+        n_shards: int = 4,
+        parallel: bool = False,
+        retain_union: bool | None = None,
+        streaming_postprocess: bool | None = None,
+        track_keys: bool | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        self.config = config or PGHiveConfig()
+        self.schema_name = schema_name
+        self.n_shards = int(n_shards)
+        self.parallel = bool(parallel)
+        self._retain_union = (
+            self.config.retain_union if retain_union is None else retain_union
+        )
+        self._streaming = (
+            self.config.streaming_postprocess
+            if streaming_postprocess is None
+            else streaming_postprocess
+        )
+        self._track_keys = (
+            self.config.infer_keys if track_keys is None else track_keys
+        )
+        if not self._streaming and not self._retain_union:
+            raise ConfigurationError(
+                "streaming_postprocess=False re-scans the union graph and "
+                "therefore requires retain_union=True"
+            )
+        # Shards must never flush post-processing themselves: specs stay
+        # raw so the passes run once, over the merged state.
+        self._shard_config = replace(self.config, post_process_each_batch=False)
+        self._partitioner = HashPartitioner(self.n_shards)
+        #: first-inserted version of every live node, for stub routing
+        #: (mirrors the union graph's first-version-wins semantics).
+        self._registry: dict[str, Node] = {}
+        self._sequence = 0
+        self.reports: list[ShardedChangeReport] = []
+        self._shard_dirty = [True] * self.n_shards
+        self._shard_states: list[DiscoveryState | None] = [None] * self.n_shards
+        self._merged_state: DiscoveryState | None = None
+        self._shards: list[SchemaSession] | None = None
+        self._pools: list[ProcessPoolExecutor] | None = None
+        if not self.parallel:
+            self._shards = [
+                self._make_shard_session(index) for index in range(self.n_shards)
+            ]
+
+    # ------------------------------------------------------------------
+    # Shard plumbing
+    # ------------------------------------------------------------------
+    def _make_shard_session(self, index: int) -> SchemaSession:
+        return SchemaSession(
+            self._shard_config,
+            schema_name=f"{self.schema_name}-shard{index}",
+            retain_union=self._retain_union,
+            streaming_postprocess=self._streaming,
+            track_keys=self._track_keys,
+        )
+
+    def _ensure_pools(self) -> list[ProcessPoolExecutor]:
+        if self._pools is None:
+            self._pools = [
+                ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_worker_init,
+                    initargs=(
+                        self._shard_config,
+                        f"{self.schema_name}-shard{index}",
+                        self._retain_union,
+                        self._streaming,
+                        self._track_keys,
+                    ),
+                )
+                for index in range(self.n_shards)
+            ]
+        return self._pools
+
+    def close(self) -> None:
+        """Shut down worker processes (no-op in serial mode)."""
+        if self._pools is not None:
+            for pool in self._pools:
+                pool.shutdown(wait=True)
+            self._pools = None
+
+    def __enter__(self) -> "ShardedSchemaSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def sequence(self) -> int:
+        """Number of change-sets applied to the sharded session."""
+        return self._sequence
+
+    @property
+    def dirty(self) -> bool:
+        """True when some shard changed since the last merged read."""
+        return self._merged_state is None or any(self._shard_dirty)
+
+    @property
+    def shard_sessions(self) -> list[SchemaSession]:
+        """The in-process shard sessions (serial mode only)."""
+        if self._shards is None:
+            raise ConfigurationError(
+                "shard sessions live in worker processes under parallel=True"
+            )
+        return self._shards
+
+    def __repr__(self) -> str:
+        mode = "parallel" if self.parallel else "serial"
+        return (
+            f"ShardedSchemaSession(name={self.schema_name!r}, "
+            f"n_shards={self.n_shards}, mode={mode}, "
+            f"changes={self._sequence})"
+        )
+
+    # ------------------------------------------------------------------
+    # Change feed
+    # ------------------------------------------------------------------
+    def apply(self, change_set: ChangeSet) -> ShardedChangeReport:
+        """Partition one change-set and apply the parts to their shards."""
+        if change_set.has_deletions and not self._retain_union:
+            raise ConfigurationError(
+                "deletions require retained union graphs: construct the "
+                "sharded session with PGHiveConfig(retain_union=True)"
+            )
+        for node in change_set.nodes:
+            self._registry.setdefault(node.node_id, node)
+        parts = self._partitioner.partition(change_set, self._registry)
+        deleted_nodes = {
+            node_id
+            for node_id in change_set.delete_nodes
+            if node_id in self._registry
+        }
+        for node_id in deleted_nodes:
+            del self._registry[node_id]
+
+        start = time.perf_counter()
+        shard_reports = self._dispatch(parts)
+        seconds = time.perf_counter() - start
+
+        self._sequence += 1
+        stubs = frozenset(change_set.stub_node_ids) & {
+            n.node_id for n in change_set.nodes
+        }
+        report = ShardedChangeReport(
+            sequence=self._sequence,
+            nodes_inserted=len(change_set.nodes) - len(stubs),
+            edges_inserted=len(change_set.edges),
+            nodes_deleted=len(deleted_nodes),
+            edges_deleted=sum(r.edges_deleted for _, r in shard_reports),
+            seconds=seconds,
+            shard_reports=shard_reports,
+        )
+        self.reports.append(report)
+        return report
+
+    def add_batch(self, batch: PropertyGraph) -> ShardedChangeReport:
+        """Sugar: apply one insert-only property-graph batch."""
+        return self.apply(ChangeSet.from_graph(batch))
+
+    def _dispatch(
+        self, parts: dict[int, ChangeSet]
+    ) -> tuple[tuple[int, ChangeReport], ...]:
+        if not parts:
+            return ()
+        for index in parts:
+            self._shard_dirty[index] = True
+        if not self.parallel:
+            return tuple(
+                (index, self._shards[index].apply(part))
+                for index, part in parts.items()
+            )
+        pools = self._ensure_pools()
+        futures = {
+            index: pools[index].submit(_worker_apply, part)
+            for index, part in parts.items()
+        }
+        wait(list(futures.values()))
+        return tuple(
+            (index, future.result()) for index, future in futures.items()
+        )
+
+    # ------------------------------------------------------------------
+    # Merged read view
+    # ------------------------------------------------------------------
+    def _fetch_state(self, index: int) -> DiscoveryState:
+        if not self.parallel:
+            return self._shards[index].discovery_state
+        return self._ensure_pools()[index].submit(_worker_state).result()
+
+    def _refresh_states(self) -> list[DiscoveryState]:
+        states: list[DiscoveryState] = []
+        if self.parallel:
+            # Fetch all dirty shards concurrently (pickle round-trips).
+            pools = self._ensure_pools()
+            futures = {
+                index: pools[index].submit(_worker_state)
+                for index in range(self.n_shards)
+                if self._shard_dirty[index] or self._shard_states[index] is None
+            }
+            wait(list(futures.values()))
+            for index, future in futures.items():
+                self._shard_states[index] = future.result()
+                self._shard_dirty[index] = False
+        for index in range(self.n_shards):
+            if self._shard_dirty[index] or self._shard_states[index] is None:
+                self._shard_states[index] = self._fetch_state(index)
+                self._shard_dirty[index] = False
+            states.append(self._shard_states[index])
+        return states
+
+    def schema(self) -> SchemaGraph:
+        """The merged schema as of the last applied change-set.
+
+        Lazily merged with dirty tracking: untouched shards contribute
+        their cached state snapshot, and a read on a quiet feed returns
+        the previous merged schema without any merge at all.  The merged
+        schema is a value -- later writes never mutate it; the next read
+        builds a fresh one.
+        """
+        if not self.dirty:
+            return self._merged_state.schema
+        states = self._refresh_states()
+        merged = DiscoveryState.merged(
+            states, theta=self.config.theta, name=self.schema_name
+        )
+        merged.sequence = self._sequence
+        if self.config.post_processing:
+            self._post_process(merged)
+        self._merged_state = merged
+        return merged.schema
+
+    @property
+    def discovery_state(self) -> DiscoveryState:
+        """The merged :class:`DiscoveryState` (refreshing it if stale)."""
+        self.schema()
+        return self._merged_state
+
+    def _post_process(self, merged: DiscoveryState) -> None:
+        pipeline = PGHive(self.config)
+        if self._streaming and merged.streaming_valid:
+            pipeline.post_process_streaming(
+                merged.schema, track_keys=self._track_keys
+            )
+        else:
+            if merged.union is None:
+                raise ConfigurationError(
+                    "full-scan post-processing needs the merged union "
+                    "graph; construct the sharded session with "
+                    "retain_union=True"
+                )
+            pipeline.post_process(
+                merged.schema, merged.union, track_keys=self._track_keys
+            )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (per-shard manifest format)
+    # ------------------------------------------------------------------
+    def checkpoint(self, directory: str | Path) -> Path:
+        """Write a per-shard manifest checkpoint under ``directory``.
+
+        Layout: one ``manifest.ckpt`` (versioned header + pickled
+        metadata incl. the node registry and the stream position) plus
+        one ordinary :meth:`SchemaSession.checkpoint` file per shard.
+        In parallel mode every shard writes its own file from inside its
+        worker process.  The manifest is written last, so a directory
+        with a readable manifest always has complete shard files.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        shard_files = [f"shard-{index:03d}.ckpt" for index in range(self.n_shards)]
+        if self.parallel:
+            pools = self._ensure_pools()
+            futures = [
+                pools[index].submit(
+                    _worker_checkpoint, str(directory / shard_files[index])
+                )
+                for index in range(self.n_shards)
+            ]
+            wait(futures)
+            for future in futures:
+                future.result()  # surface worker-side errors
+        else:
+            for index in range(self.n_shards):
+                self._shards[index].checkpoint(directory / shard_files[index])
+        payload = {
+            "config": self.config,
+            "schema_name": self.schema_name,
+            "n_shards": self.n_shards,
+            "parallel": self.parallel,
+            "retain_union": self._retain_union,
+            "streaming_postprocess": self._streaming,
+            "track_keys": self._track_keys,
+            "sequence": self._sequence,
+            "registry": dict(self._registry),
+            "shard_files": shard_files,
+        }
+        manifest = directory / MANIFEST_NAME
+        temp = manifest.with_name(manifest.name + ".tmp")
+        try:
+            with open(temp, "wb") as handle:
+                handle.write(MANIFEST_MAGIC + b" %d\n" % MANIFEST_VERSION)
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp, manifest)
+        except OSError as error:
+            raise CheckpointError(
+                f"could not write sharded checkpoint manifest {manifest}: "
+                f"{error}"
+            ) from error
+        finally:
+            temp.unlink(missing_ok=True)
+        return directory
+
+    @classmethod
+    def restore(
+        cls, directory: str | Path, *, parallel: bool | None = None
+    ) -> "ShardedSchemaSession":
+        """Rebuild a sharded session from :meth:`checkpoint` output.
+
+        ``parallel`` overrides the execution mode of the restored session
+        (the on-disk format is mode-agnostic: shard checkpoints are plain
+        session checkpoints either way).  Only restore manifests from
+        trusted sources: payloads are pickles.
+        """
+        directory = Path(directory)
+        manifest = directory / MANIFEST_NAME
+        try:
+            with open(manifest, "rb") as handle:
+                header = handle.readline().split()
+                if len(header) != 2 or header[0] != MANIFEST_MAGIC:
+                    raise CheckpointError(
+                        f"{manifest} is not a PG-HIVE sharded checkpoint"
+                    )
+                try:
+                    version = int(header[1])
+                except ValueError:
+                    raise CheckpointError(
+                        f"{manifest}: unparseable manifest version "
+                        f"{header[1]!r}"
+                    ) from None
+                if version != MANIFEST_VERSION:
+                    raise CheckpointError(
+                        f"{manifest}: unsupported manifest version {version} "
+                        f"(this build reads version {MANIFEST_VERSION})"
+                    )
+                try:
+                    payload = pickle.load(handle)
+                except Exception as error:
+                    raise CheckpointError(
+                        f"{manifest}: corrupt manifest payload: {error}"
+                    ) from error
+        except OSError as error:
+            raise CheckpointError(
+                f"could not read sharded checkpoint manifest {manifest}: "
+                f"{error}"
+            ) from error
+        session = cls(
+            payload["config"],
+            schema_name=payload["schema_name"],
+            n_shards=payload["n_shards"],
+            parallel=payload.get("parallel", False) if parallel is None else parallel,
+            retain_union=payload["retain_union"],
+            streaming_postprocess=payload["streaming_postprocess"],
+            track_keys=payload["track_keys"],
+        )
+        session._sequence = payload["sequence"]
+        session._registry = dict(payload["registry"])
+        shard_paths = [directory / name for name in payload["shard_files"]]
+        if session.parallel:
+            pools = session._ensure_pools()
+            futures = [
+                pools[index].submit(_worker_restore, str(shard_paths[index]))
+                for index in range(session.n_shards)
+            ]
+            wait(futures)
+            for future in futures:
+                future.result()
+        else:
+            session._shards = [
+                SchemaSession.restore(path) for path in shard_paths
+            ]
+        return session

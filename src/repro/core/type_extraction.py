@@ -34,6 +34,7 @@ def _record_members(
     schema_type,
     cluster: Cluster,
     options: SummaryOptions | None = DEFAULT_OPTIONS,
+    exclude_record: frozenset[str] = frozenset(),
 ) -> None:
     """Attach cluster members to a type, folding values into its summaries.
 
@@ -44,6 +45,12 @@ def _record_members(
     Clusters built without value payloads -- or edge clusters without
     endpoint payloads (hand-assembled in tests) -- invalidate the type's
     summaries instead of silently under-counting.
+
+    ``exclude_record`` lists member ids that must not be recorded at all:
+    endpoint stubs shipped by a partitioner, whose instances are owned
+    (and counted) by another shard.  Excluded members still shaped the
+    cluster's labels and endpoint tokens -- only the instance attachment
+    and value folding are skipped.
     """
     is_edge = isinstance(schema_type, EdgeType)
     member_count = len(cluster.member_ids)
@@ -63,6 +70,8 @@ def _record_members(
     for index, (instance_id, keys) in enumerate(
         zip(cluster.member_ids, cluster.member_property_keys)
     ):
+        if instance_id in exclude_record:
+            continue
         if not schema_type.record_instance(instance_id, keys):
             continue
         if summaries is None:
@@ -73,12 +82,15 @@ def _record_members(
 
 
 def _new_node_type(
-    schema: SchemaGraph, cluster: Cluster, options: SummaryOptions | None
+    schema: SchemaGraph,
+    cluster: Cluster,
+    options: SummaryOptions | None,
+    exclude_record: frozenset[str] = frozenset(),
 ) -> NodeType:
     node_type = NodeType(
         schema.new_type_id("n"), cluster.labels, abstract=not cluster.labels
     )
-    _record_members(node_type, cluster, options)
+    _record_members(node_type, cluster, options, exclude_record)
     return schema.add_node_type(node_type)
 
 
@@ -97,12 +109,15 @@ def _new_edge_type(
 
 
 def _absorb_node_cluster(
-    node_type: NodeType, cluster: Cluster, options: SummaryOptions | None
+    node_type: NodeType,
+    cluster: Cluster,
+    options: SummaryOptions | None,
+    exclude_record: frozenset[str] = frozenset(),
 ) -> None:
     node_type.labels |= cluster.labels
     if cluster.labels:
         node_type.abstract = False
-    _record_members(node_type, cluster, options)
+    _record_members(node_type, cluster, options, exclude_record)
 
 
 def _absorb_edge_cluster(
@@ -121,6 +136,7 @@ def extract_node_types(
     clusters: list[Cluster],
     theta: float,
     summary_options: SummaryOptions | None = DEFAULT_OPTIONS,
+    exclude_record: frozenset[str] = frozenset(),
 ) -> SchemaGraph:
     """Fold node clusters into ``schema`` (lines 2-14 of Algorithm 2)."""
     unlabeled: list[Cluster] = []
@@ -131,9 +147,9 @@ def extract_node_types(
         token = "+".join(sorted(cluster.labels))
         existing = schema.node_type_by_token(token)
         if existing is not None:
-            _absorb_node_cluster(existing, cluster, summary_options)
+            _absorb_node_cluster(existing, cluster, summary_options, exclude_record)
         else:
-            _new_node_type(schema, cluster, summary_options)
+            _new_node_type(schema, cluster, summary_options, exclude_record)
 
     for cluster in unlabeled:
         target = _best_jaccard_match(
@@ -144,9 +160,9 @@ def extract_node_types(
                 (t for t in schema.node_types() if not t.labels), cluster, theta
             )
         if target is not None:
-            _absorb_node_cluster(target, cluster, summary_options)
+            _absorb_node_cluster(target, cluster, summary_options, exclude_record)
         else:
-            _new_node_type(schema, cluster, summary_options)
+            _new_node_type(schema, cluster, summary_options, exclude_record)
     return schema
 
 
@@ -193,9 +209,17 @@ def extract_types(
     edge_clusters: list[Cluster],
     theta: float = 0.9,
     summary_options: SummaryOptions | None = DEFAULT_OPTIONS,
+    exclude_record: frozenset[str] = frozenset(),
 ) -> SchemaGraph:
-    """Algorithm 2 entry point: merge both cluster kinds into ``schema``."""
-    extract_node_types(schema, node_clusters, theta, summary_options)
+    """Algorithm 2 entry point: merge both cluster kinds into ``schema``.
+
+    ``exclude_record`` skips instance attachment for the listed member
+    ids (cross-shard endpoint stubs); stubs are always *nodes*, and node
+    and edge ids live in separate namespaces that may overlap, so the
+    exclusion applies to node extraction only -- an edge whose id happens
+    to equal a stubbed node id must still be recorded.
+    """
+    extract_node_types(schema, node_clusters, theta, summary_options, exclude_record)
     extract_edge_types(schema, edge_clusters, theta, summary_options)
     return schema
 

@@ -1,10 +1,20 @@
 """Property-graph substrate: data model, storage engine, IO, patterns."""
 
 from repro.graph.batching import reassemble, split_into_batches, stream_batches
-from repro.graph.changes import ChangeSet
-from repro.graph.csv_io import read_graph_csv, write_graph_csv
+from repro.graph.changes import (
+    ChangeSet,
+    HashPartitioner,
+    changesets_from_elements,
+    stable_shard,
+)
+from repro.graph.csv_io import (
+    iter_changesets_csv,
+    read_graph_csv,
+    write_graph_csv,
+)
 from repro.graph.json_io import (
     graph_from_elements,
+    iter_changesets_jsonl,
     iter_graph_jsonl,
     read_graph_jsonl,
     write_graph_jsonl,
@@ -34,14 +44,18 @@ __all__ = [
     "EdgeQuery",
     "GraphStatistics",
     "GraphStore",
+    "HashPartitioner",
     "Node",
     "NodePattern",
     "NodeQuery",
     "PropertyGraph",
     "TABLE2_HEADER",
+    "changesets_from_elements",
     "compute_statistics",
     "edge_patterns",
     "graph_from_elements",
+    "iter_changesets_csv",
+    "iter_changesets_jsonl",
     "iter_graph_jsonl",
     "label_coverage",
     "label_token",
@@ -51,6 +65,7 @@ __all__ = [
     "query_edges",
     "query_nodes",
     "read_graph_csv",
+    "stable_shard",
     "read_graph_jsonl",
     "reassemble",
     "split_into_batches",

@@ -17,12 +17,29 @@ Conventions:
 * Deletions are bare identifiers.  Deleting a node implies deleting its
   incident edges (the consumer cascades).
 * Within one change-set, inserts are applied before deletions.
+* ``stub_node_ids`` marks nodes shipped only as *endpoint stubs*: full
+  copies of nodes that live (and were recorded) elsewhere, included so
+  the change-set's edges are endpoint-complete.  Consumers use stubs for
+  batch assembly and clustering context but do not record them as fresh
+  instances -- the property that keeps instance and property counts
+  exact when several consumers (shards) each see a stub copy of the same
+  node.
+
+The module also provides the partitioning side of sharded discovery:
+:class:`HashPartitioner` splits one change-set into per-shard change-sets
+(stable content hashing, endpoint stubs routed alongside their edges,
+node deletions broadcast so stub copies are cleaned up everywhere), and
+:func:`changesets_from_elements` groups any node/edge element stream into
+endpoint-complete change-sets for the streaming IO readers.
 """
 
 from __future__ import annotations
 
+import hashlib
+from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigurationError, DanglingEdgeError
 from repro.graph.model import Edge, Node, PropertyGraph
 
 
@@ -34,6 +51,8 @@ class ChangeSet:
     edges: list[Edge] = field(default_factory=list)
     delete_nodes: list[str] = field(default_factory=list)
     delete_edges: list[str] = field(default_factory=list)
+    #: ids among ``nodes`` that are endpoint stubs (see module docstring).
+    stub_node_ids: frozenset[str] = frozenset()
 
     # ------------------------------------------------------------------
     # Constructors
@@ -68,8 +87,13 @@ class ChangeSet:
 
     @property
     def insert_count(self) -> int:
-        """Number of inserted elements."""
+        """Number of inserted elements (stubs included)."""
         return len(self.nodes) + len(self.edges)
+
+    @property
+    def fresh_insert_count(self) -> int:
+        """Number of inserted elements that are not endpoint stubs."""
+        return self.insert_count - len(self.stub_node_ids)
 
     @property
     def delete_count(self) -> int:
@@ -94,3 +118,207 @@ class ChangeSet:
             f"ChangeSet(+{len(self.nodes)}N/+{len(self.edges)}E, "
             f"-{len(self.delete_nodes)}N/-{len(self.delete_edges)}E)"
         )
+
+
+def stable_shard(element_id: str, n_shards: int) -> int:
+    """Content-stable shard index of an element id.
+
+    Python's ``hash`` on strings is salted per process, so routing uses a
+    blake2b digest instead -- the same id lands on the same shard in
+    every process, which checkpoint/restore and process-parallel workers
+    both depend on.
+    """
+    digest = hashlib.blake2b(element_id.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little") % n_shards
+
+
+@dataclass
+class _ShardDraft:
+    """Mutable assembly buffer for one shard's sub-change-set."""
+
+    nodes: list[Node] = field(default_factory=list)
+    edges: list[Edge] = field(default_factory=list)
+    delete_nodes: list[str] = field(default_factory=list)
+    delete_edges: list[str] = field(default_factory=list)
+    present: set[str] = field(default_factory=set)
+    stubs: set[str] = field(default_factory=set)
+
+    def freeze(self) -> ChangeSet:
+        return ChangeSet(
+            nodes=self.nodes,
+            edges=self.edges,
+            delete_nodes=self.delete_nodes,
+            delete_edges=self.delete_edges,
+            stub_node_ids=frozenset(self.stubs),
+        )
+
+
+class HashPartitioner:
+    """Route change-sets to shards by stable content hashing.
+
+    Nodes route by ``stable_shard(node_id)``; edges by
+    ``stable_shard(edge_id)``.  An edge whose endpoint is owned by a
+    different shard travels with a full *stub* copy of the endpoint node
+    (taken from the change-set itself or from ``node_lookup``, typically
+    the sharded session's node registry), marked in
+    :attr:`ChangeSet.stub_node_ids` so the receiving shard does not
+    record it as a fresh instance.  Node deletions broadcast to every
+    shard -- each shard owns the edges incident to its stub copies and
+    must cascade them -- while edge deletions route to the edge's owner
+    only.
+    """
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = int(n_shards)
+
+    def shard_of(self, element_id: str) -> int:
+        """Stable shard index of one element id."""
+        return stable_shard(element_id, self.n_shards)
+
+    def partition(
+        self,
+        change_set: ChangeSet,
+        node_lookup: Mapping[str, Node] | None = None,
+    ) -> dict[int, ChangeSet]:
+        """Split ``change_set`` into non-empty per-shard change-sets."""
+        drafts: dict[int, _ShardDraft] = {}
+
+        def draft(shard: int) -> _ShardDraft:
+            existing = drafts.get(shard)
+            if existing is None:
+                existing = drafts[shard] = _ShardDraft()
+            return existing
+
+        in_change_set = {node.node_id: node for node in change_set.nodes}
+        for node in change_set.nodes:
+            part = draft(self.shard_of(node.node_id))
+            part.nodes.append(node)
+            part.present.add(node.node_id)
+            if node.node_id in change_set.stub_node_ids:
+                # The producer already marked this node as a replayed
+                # stub; keep the flag so no shard re-records it.
+                part.stubs.add(node.node_id)
+
+        for edge in change_set.edges:
+            part = draft(self.shard_of(edge.edge_id))
+            for endpoint_id in edge.endpoints():
+                if endpoint_id in part.present:
+                    continue
+                stub = in_change_set.get(endpoint_id)
+                if stub is None and node_lookup is not None:
+                    stub = node_lookup.get(endpoint_id)
+                if stub is None:
+                    raise DanglingEdgeError(
+                        f"change-set edge {edge.edge_id!r} references node "
+                        f"{endpoint_id!r}, which is neither in the change-set "
+                        "nor known to the partitioner's node lookup"
+                    )
+                part.nodes.append(stub)
+                part.present.add(endpoint_id)
+                part.stubs.add(endpoint_id)
+            part.edges.append(edge)
+
+        if change_set.delete_nodes:
+            for shard in range(self.n_shards):
+                draft(shard).delete_nodes.extend(change_set.delete_nodes)
+        for edge_id in change_set.delete_edges:
+            draft(self.shard_of(edge_id)).delete_edges.append(edge_id)
+
+        return {
+            shard: part.freeze()
+            for shard, part in sorted(drafts.items())
+            if part.nodes or part.edges or part.delete_nodes or part.delete_edges
+        }
+
+
+def changesets_from_elements(
+    elements: Iterable[Node | Edge], batch_size: int = 1000
+) -> Iterator[ChangeSet]:
+    """Group an element stream into endpoint-complete insert change-sets.
+
+    Consumes nodes and edges in stream order and emits change-sets of at
+    most ``batch_size`` fresh elements each.  An edge referencing a node
+    emitted in an *earlier* change-set ships a stub copy of it (marked in
+    ``stub_node_ids``), so the resulting feed is valid for any session --
+    no retained union graph or attached store required.  Edges arriving
+    before their endpoints are buffered until the endpoints appear; an
+    endpoint that never appears raises :class:`DanglingEdgeError` at end
+    of stream.
+
+    Memory holds one :class:`Node` per distinct node id (needed to
+    materialise stubs) but never edges or adjacency -- the point of the
+    streaming readers is to feed large datasets without assembling a full
+    :class:`PropertyGraph` first.
+    """
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    directory: dict[str, Node] = {}
+    pending: list[Edge] = []
+    draft = _ShardDraft()
+    fresh = 0
+
+    def resolve(edge: Edge) -> bool:
+        """Place ``edge`` in the draft iff both endpoints are known."""
+        missing = [e for e in edge.endpoints() if e not in directory]
+        if missing:
+            return False
+        for endpoint_id in edge.endpoints():
+            if endpoint_id in draft.present:
+                continue
+            draft.nodes.append(directory[endpoint_id])
+            draft.present.add(endpoint_id)
+            draft.stubs.add(endpoint_id)
+        draft.edges.append(edge)
+        return True
+
+    def flush() -> ChangeSet:
+        nonlocal draft, fresh
+        change_set = draft.freeze()
+        draft = _ShardDraft()
+        fresh = 0
+        return change_set
+
+    for element in elements:
+        if isinstance(element, Node):
+            directory[element.node_id] = element
+            if element.node_id in draft.present:
+                # Already shipped as a stub (or duplicated) in this
+                # batch; the real insert supersedes both copy and flag.
+                draft.stubs.discard(element.node_id)
+                draft.nodes = [
+                    element if n.node_id == element.node_id else n
+                    for n in draft.nodes
+                ]
+            else:
+                draft.nodes.append(element)
+                draft.present.add(element.node_id)
+            fresh += 1
+        else:
+            if resolve(element):
+                fresh += 1
+            else:
+                pending.append(element)
+        if fresh >= batch_size:
+            # Endpoints may have arrived for deferred edges; drain what
+            # resolved before emitting (slight over-fill is fine).
+            pending = [edge for edge in pending if not resolve(edge)]
+            yield flush()
+
+    pending = [edge for edge in pending if not resolve(edge)]
+    if pending:
+        missing = sorted(
+            {
+                endpoint
+                for edge in pending
+                for endpoint in edge.endpoints()
+                if endpoint not in directory
+            }
+        )
+        raise DanglingEdgeError(
+            f"{len(pending)} edge(s) reference node ids absent from the "
+            f"stream (first few: {missing[:5]})"
+        )
+    if draft.nodes or draft.edges:
+        yield flush()

@@ -6,14 +6,18 @@ property key.  Edges file columns: ``id``, ``source``, ``target``,
 absent" (not an empty string), matching how graph databases treat missing
 properties; values are serialised with a small type-tag-free convention and
 re-inferred on load using the schema layer's parsing primitives.
+:func:`iter_changesets_csv` streams the same layout as a change feed
+without assembling a full graph in memory.
 """
 
 from __future__ import annotations
 
 import csv
+from collections.abc import Iterator
 from pathlib import Path
 
 from repro.errors import SerializationError
+from repro.graph.changes import ChangeSet, changesets_from_elements
 from repro.graph.model import Edge, Node, PropertyGraph, PropertyValue
 
 _LABEL_SEPARATOR = ";"
@@ -82,6 +86,61 @@ def write_graph_csv(graph: PropertyGraph, directory: str | Path) -> tuple[Path, 
     return nodes_path, edges_path
 
 
+def _iter_elements_csv(
+    nodes_path: Path, edges_path: Path
+) -> Iterator[Node | Edge]:
+    """Stream nodes then edges off disk, one row at a time."""
+    with nodes_path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or header[:2] != ["id", "labels"]:
+            raise SerializationError(f"bad nodes.csv header: {header}")
+        keys = header[2:]
+        for row in reader:
+            labels = frozenset(part for part in row[1].split(_LABEL_SEPARATOR) if part)
+            properties = {
+                key: _parse_value(cell)
+                for key, cell in zip(keys, row[2:])
+                if cell != ""
+            }
+            yield Node(row[0], labels, properties)
+    with edges_path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or header[:4] != ["id", "source", "target", "labels"]:
+            raise SerializationError(f"bad edges.csv header: {header}")
+        keys = header[4:]
+        for row in reader:
+            labels = frozenset(part for part in row[3].split(_LABEL_SEPARATOR) if part)
+            properties = {
+                key: _parse_value(cell)
+                for key, cell in zip(keys, row[4:])
+                if cell != ""
+            }
+            yield Edge(row[0], row[1], row[2], labels, properties)
+
+
+def iter_changesets_csv(
+    directory: str | Path, batch_size: int = 1000
+) -> Iterator[ChangeSet]:
+    """Stream a CSV graph directory as endpoint-complete change-sets.
+
+    Rows stream off disk (never a full :class:`PropertyGraph`); edges
+    referencing nodes from earlier change-sets ship marked stub copies,
+    so the feed is valid for any session -- see
+    :func:`repro.graph.changes.changesets_from_elements` for grouping and
+    memory behaviour.
+    """
+    directory = Path(directory)
+    nodes_path = directory / "nodes.csv"
+    edges_path = directory / "edges.csv"
+    if not nodes_path.exists() or not edges_path.exists():
+        raise SerializationError(f"missing nodes.csv/edges.csv under {directory}")
+    return changesets_from_elements(
+        _iter_elements_csv(nodes_path, edges_path), batch_size
+    )
+
+
 def read_graph_csv(directory: str | Path, name: str = "csv-graph") -> PropertyGraph:
     """Load a graph previously written by :func:`write_graph_csv`."""
     directory = Path(directory)
@@ -121,3 +180,7 @@ def read_graph_csv(directory: str | Path, name: str = "csv-graph") -> PropertyGr
             }
             graph.add_edge(Edge(row[0], row[1], row[2], labels, properties))
     return graph
+
+
+#: Module-local alias: ``csv_io.iter_changesets(path, batch_size)``.
+iter_changesets = iter_changesets_csv

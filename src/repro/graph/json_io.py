@@ -4,6 +4,8 @@ One JSON object per line, tagged with ``"kind": "node" | "edge"``.  JSON
 preserves scalar types exactly, so this format round-trips graphs without
 the re-inference the CSV path needs.  It is also the on-disk format the
 incremental examples use to simulate an ingest stream.
+:func:`iter_changesets_jsonl` turns the same file into a change feed
+without ever assembling a full graph in memory.
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ from collections.abc import Iterable, Iterator
 from pathlib import Path
 
 from repro.errors import SerializationError
+from repro.graph.changes import ChangeSet, changesets_from_elements
 from repro.graph.model import Edge, Node, PropertyGraph
 
 
@@ -87,6 +90,22 @@ def iter_graph_jsonl(path: str | Path) -> Iterator[Node | Edge]:
             yield record_to_element(record)
 
 
+def iter_changesets_jsonl(
+    path: str | Path, batch_size: int = 1000
+) -> Iterator[ChangeSet]:
+    """Stream a JSON-lines file as endpoint-complete insert change-sets.
+
+    Feeds large datasets straight into a :class:`SchemaSession` or
+    :class:`ShardedSchemaSession` without materialising a full
+    :class:`PropertyGraph`: elements stream off disk, edges referencing
+    nodes from earlier change-sets ship stub copies (marked in
+    ``stub_node_ids``), and memory holds one node per distinct id but no
+    edges or adjacency (see
+    :func:`repro.graph.changes.changesets_from_elements`).
+    """
+    return changesets_from_elements(iter_graph_jsonl(path), batch_size)
+
+
 def read_graph_jsonl(path: str | Path, name: str = "jsonl-graph") -> PropertyGraph:
     """Load a whole graph from a JSON-lines file.
 
@@ -119,3 +138,7 @@ def graph_from_elements(
     for edge in pending:
         graph.add_edge(edge)
     return graph
+
+
+#: Module-local alias: ``json_io.iter_changesets(path, batch_size)``.
+iter_changesets = iter_changesets_jsonl

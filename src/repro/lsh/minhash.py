@@ -245,6 +245,36 @@ class MinHashLSH:
                 cache.update(zip(nonempty[lo:hi], mins))
         return out
 
+    def merge_cache_from(self, other: "MinHashLSH") -> "MinHashLSH":
+        """Union ``other``'s signature cache into this instance's.
+
+        Signatures are pure functions of the token set and the hash
+        coefficients, and the coefficients are derived from
+        ``(num_tables, band_size, seed)`` alone -- so two instances with
+        equal parameters sign every set bit-identically and their caches
+        can be unioned freely.  Rows already present are kept (they are
+        equal by construction); ``other`` is not mutated.  Used by
+        :meth:`repro.core.state.DiscoveryState.merge` to combine the
+        per-shard pattern caches of a sharded session.
+        """
+        if (self.num_tables, self.band_size, self.seed) != (
+            other.num_tables,
+            other.band_size,
+            other.seed,
+        ):
+            raise ConfigurationError(
+                "cannot merge MinHash caches across parameter sets: "
+                f"{self!r} (seed={self.seed}) vs {other!r} (seed={other.seed})"
+            )
+        for key, signature in other._signature_cache.items():
+            self._signature_cache.setdefault(key, signature)
+        return self
+
+    @property
+    def cache_size(self) -> int:
+        """Number of distinct token sets in the signature cache."""
+        return len(self._signature_cache)
+
     def fold_bands(self, raw: np.ndarray) -> np.ndarray:
         """Fold raw ``(n, T*r)`` signatures into banded ``(n, T)`` buckets.
 

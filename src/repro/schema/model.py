@@ -507,7 +507,6 @@ def _find_covering(candidates, wanted, labels: bool = True):
 
 def _type_fingerprint(schema_type: NodeType | EdgeType) -> tuple:
     base = (
-        schema_type.type_id,
         tuple(sorted(schema_type.labels)),
         schema_type.abstract,
         tuple(
@@ -537,12 +536,17 @@ def schema_fingerprint(schema: SchemaGraph) -> tuple:
 
     Two schemas with equal fingerprints agree on every type, label,
     property spec, instance assignment, endpoint token, cardinality, and
-    candidate key.  Streaming accumulators (``summaries``) are deliberately
-    excluded: they are internal post-processing state, not part of the
-    schema itself.  Used by the checkpoint round-trip tests and the
-    session-vs-maintenance equivalence oracle.
+    candidate key.  Deliberately excluded: streaming accumulators
+    (``summaries``, internal post-processing state), type *ids*, and the
+    registry insertion order -- ids and ordering are artefacts of arrival
+    and merge order, and the sharded read path reconstructs the same
+    schema under canonical names, so the fingerprint compares what the
+    schema *asserts*, not how it was assembled.  Per-type tuples are
+    sorted by their repr, a total and deterministic order.  Used by the
+    checkpoint round-trip tests, the session-vs-maintenance equivalence
+    oracle, and the sharded-vs-single-session oracle.
     """
     return (
-        tuple(_type_fingerprint(t) for t in schema.node_types()),
-        tuple(_type_fingerprint(t) for t in schema.edge_types()),
+        tuple(sorted((_type_fingerprint(t) for t in schema.node_types()), key=repr)),
+        tuple(sorted((_type_fingerprint(t) for t in schema.edge_types()), key=repr)),
     )

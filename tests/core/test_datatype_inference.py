@@ -1,8 +1,6 @@
 """Unit tests for schema-level datatype inference (section 4.4)."""
 
 import numpy as np
-import pytest
-
 from repro.core.config import PGHiveConfig
 from repro.core.datatype_inference import (
     collect_property_values,

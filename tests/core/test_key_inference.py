@@ -1,7 +1,5 @@
 """Unit tests for key-constraint inference (PG-Keys extension)."""
 
-import pytest
-
 from repro.core.config import PGHiveConfig
 from repro.core.key_inference import (
     candidate_keys_for_type,

@@ -1,7 +1,5 @@
 """Unit tests for schema maintenance under deletions (extension)."""
 
-import pytest
-
 from repro.core.config import PGHiveConfig
 from repro.core.maintenance import MaintainedSchema
 from repro.graph.batching import split_into_batches

@@ -170,10 +170,12 @@ class TestDeletions:
         assert not session._streaming_valid
         knows = session.schema().edge_type_by_token("KNOWS")
         assert knows.instance_ids == {"e1"}
-        # "since" died with e2: its count is gone and the surviving spec
-        # can no longer be mandatory (specs themselves are monotone).
+        # "since" died with e2: its count is gone and the spec is pruned
+        # with it -- no surviving instance backs it, so leaving a phantom
+        # STRING/optional entry would misdescribe the data (and would
+        # diverge from the sharded merge, which only sees live carriers).
         assert knows.property_counts.get("since", 0) == 0
-        assert knows.properties["since"].mandatory is False
+        assert "since" not in knows.properties
 
     def test_mixed_change_set_inserts_before_deletes(self, figure1_graph):
         session = SchemaSession(PGHiveConfig(seed=0), retain_union=True)

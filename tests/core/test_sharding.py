@@ -1,0 +1,279 @@
+"""Unit tests for the sharded session: partitioning, stubs, dirty
+tracking, per-shard checkpoint manifests, and process-parallel mode."""
+
+import pytest
+
+from repro.core.config import PGHiveConfig
+from repro.core.session import SchemaSession
+from repro.core.sharding import ShardedSchemaSession
+from repro.errors import CheckpointError, ConfigurationError, DanglingEdgeError
+from repro.graph.changes import ChangeSet, HashPartitioner, stable_shard
+from repro.graph.model import Edge, Node, PropertyGraph
+from repro.schema.model import schema_fingerprint
+
+LABELS = ["Person", "Org", "Post"]
+
+
+def labelled_node(serial: int) -> Node:
+    label = LABELS[serial % len(LABELS)]
+    return Node(
+        f"v{serial}",
+        {label},
+        {f"{label.lower()}_id": serial, "name": f"n{serial}"},
+    )
+
+
+def feed(change_set_count: int = 5, nodes_per_set: int = 4):
+    """Insert-only change-sets with cross-change-set edges."""
+    change_sets = []
+    nodes: list[Node] = []
+    edge_serial = 0
+    for index in range(change_set_count):
+        fresh = [
+            labelled_node(index * nodes_per_set + offset)
+            for offset in range(nodes_per_set)
+        ]
+        nodes.extend(fresh)
+        edges = []
+        for _ in range(3):
+            source = nodes[(edge_serial * 7) % len(nodes)]
+            target = nodes[(edge_serial * 3 + 1) % len(nodes)]
+            label = f"R_{sorted(source.labels)[0]}_{sorted(target.labels)[0]}"
+            edges.append(
+                Edge(
+                    f"r{edge_serial}",
+                    source.node_id,
+                    target.node_id,
+                    {label},
+                    {"w": edge_serial % 3},
+                )
+            )
+            edge_serial += 1
+        change_sets.append(ChangeSet.inserts(nodes=fresh, edges=edges))
+    return change_sets
+
+
+class TestStableShard:
+    def test_deterministic_and_in_range(self):
+        for n_shards in (1, 2, 5):
+            for element_id in ("a", "v12", "edge:9"):
+                shard = stable_shard(element_id, n_shards)
+                assert shard == stable_shard(element_id, n_shards)
+                assert 0 <= shard < n_shards
+
+    def test_single_shard_routes_everything_to_zero(self):
+        assert all(stable_shard(f"x{i}", 1) == 0 for i in range(20))
+
+
+class TestHashPartitioner:
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ConfigurationError):
+            HashPartitioner(0)
+
+    def test_every_element_lands_on_exactly_one_shard(self):
+        partitioner = HashPartitioner(4)
+        change_set = feed(1, 8)[0]
+        parts = partitioner.partition(change_set)
+        fresh_nodes = [
+            node.node_id
+            for part in parts.values()
+            for node in part.nodes
+            if node.node_id not in part.stub_node_ids
+        ]
+        edges = [e.edge_id for part in parts.values() for e in part.edges]
+        assert sorted(fresh_nodes) == sorted(n.node_id for n in change_set.nodes)
+        assert sorted(edges) == sorted(e.edge_id for e in change_set.edges)
+
+    def test_cross_shard_edges_ship_marked_stubs(self):
+        partitioner = HashPartitioner(3)
+        change_set = feed(1, 9)[0]
+        parts = partitioner.partition(change_set)
+        for index, part in parts.items():
+            shipped = {node.node_id for node in part.nodes}
+            for edge in part.edges:
+                assert set(edge.endpoints()) <= shipped
+            for stub_id in part.stub_node_ids:
+                # A stub is a node owned by a different shard.
+                assert partitioner.shard_of(stub_id) != index
+
+    def test_stub_resolution_uses_node_lookup(self):
+        partitioner = HashPartitioner(2)
+        older = labelled_node(0)
+        edge = Edge("r0", older.node_id, older.node_id, {"R"})
+        parts = partitioner.partition(
+            ChangeSet.inserts(edges=[edge]), {older.node_id: older}
+        )
+        (part,) = parts.values()
+        assert part.stub_node_ids == {older.node_id}
+        with pytest.raises(DanglingEdgeError):
+            partitioner.partition(ChangeSet.inserts(edges=[edge]), {})
+
+    def test_node_deletions_broadcast_edge_deletions_route(self):
+        partitioner = HashPartitioner(3)
+        parts = partitioner.partition(
+            ChangeSet.deletions(nodes=["v1"], edges=["r1"])
+        )
+        with_node_delete = [i for i, p in parts.items() if p.delete_nodes]
+        with_edge_delete = [i for i, p in parts.items() if p.delete_edges]
+        assert with_node_delete == [0, 1, 2]
+        assert with_edge_delete == [partitioner.shard_of("r1")]
+
+
+class TestShardedSession:
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError):
+            ShardedSchemaSession(n_shards=0)
+        with pytest.raises(ConfigurationError):
+            ShardedSchemaSession(streaming_postprocess=False)
+        session = ShardedSchemaSession(n_shards=2)
+        with pytest.raises(ConfigurationError):
+            session.apply(ChangeSet.deletions(nodes=["v0"]))
+
+    def test_report_counts_are_global(self):
+        config = PGHiveConfig(seed=1)
+        session = ShardedSchemaSession(config, n_shards=3, retain_union=True)
+        for change_set in feed(3):
+            report = session.apply(change_set)
+            assert report.nodes_inserted == len(change_set.nodes)
+            assert report.edges_inserted == len(change_set.edges)
+        report = session.apply(ChangeSet.deletions(nodes=["v0", "ghost"]))
+        # One node deleted globally, even though stub copies were removed
+        # from several shards; ghosts count zero.
+        assert report.nodes_deleted == 1
+        assert session.sequence == 4
+        assert len(session.reports) == 4
+
+    def test_dirty_tracking_caches_merged_reads(self):
+        config = PGHiveConfig(seed=1)
+        session = ShardedSchemaSession(config, n_shards=2)
+        change_sets = feed(2)
+        session.apply(change_sets[0])
+        assert session.dirty
+        first = session.schema()
+        assert not session.dirty
+        assert session.schema() is first  # quiet feed: cached object
+        session.apply(change_sets[1])
+        assert session.dirty
+        second = session.schema()
+        assert second is not first  # merged schema is a value, not a view
+
+    def test_only_dirty_shards_are_refetched(self):
+        config = PGHiveConfig(seed=1)
+        session = ShardedSchemaSession(config, n_shards=4)
+        session.apply(feed(1)[0])
+        session.schema()
+        cached = list(session._shard_states)
+        # A change-set touching one shard only invalidates that shard.
+        lonely = labelled_node(99)
+        target_shard = session._partitioner.shard_of(lonely.node_id)
+        session.apply(ChangeSet.inserts(nodes=[lonely]))
+        assert session._shard_dirty[target_shard]
+        untouched = [
+            index for index in range(4) if index != target_shard
+        ]
+        session.schema()
+        for index in untouched:
+            assert session._shard_states[index] is cached[index]
+
+    def test_add_batch_matches_apply_from_graph(self):
+        config = PGHiveConfig(seed=1)
+        batch = PropertyGraph("b")
+        for serial in range(6):
+            batch.add_node(labelled_node(serial))
+        by_batch = ShardedSchemaSession(config, n_shards=2)
+        by_batch.add_batch(batch)
+        by_change = ShardedSchemaSession(config, n_shards=2)
+        by_change.apply(ChangeSet.from_graph(batch))
+        assert schema_fingerprint(by_batch.schema()) == schema_fingerprint(
+            by_change.schema()
+        )
+
+    def test_matches_single_session_on_insert_feed(self):
+        config = PGHiveConfig(seed=1, infer_keys=True)
+        single = SchemaSession(config, retain_union=True)
+        sharded = ShardedSchemaSession(config, n_shards=3, retain_union=True)
+        for change_set in feed(4):
+            single.apply(change_set)
+            sharded.apply(change_set)
+        assert schema_fingerprint(sharded.schema()) == schema_fingerprint(
+            single.schema()
+        )
+
+    def test_shard_sessions_unavailable_in_parallel_mode(self):
+        session = ShardedSchemaSession(n_shards=2, parallel=True)
+        with pytest.raises(ConfigurationError):
+            session.shard_sessions
+        session.close()
+
+
+class TestShardedCheckpoint:
+    def test_round_trip_and_continuation(self, tmp_path):
+        config = PGHiveConfig(seed=5, infer_keys=True)
+        change_sets = feed(4)
+        session = ShardedSchemaSession(config, n_shards=3)
+        for change_set in change_sets[:2]:
+            session.apply(change_set)
+        directory = session.checkpoint(tmp_path / "ck")
+        assert (directory / "manifest.ckpt").exists()
+        assert sorted(p.name for p in directory.glob("shard-*.ckpt")) == [
+            "shard-000.ckpt",
+            "shard-001.ckpt",
+            "shard-002.ckpt",
+        ]
+        resumed = ShardedSchemaSession.restore(directory)
+        assert resumed.sequence == session.sequence
+        assert schema_fingerprint(resumed.schema()) == schema_fingerprint(
+            session.schema()
+        )
+        for change_set in change_sets[2:]:
+            session.apply(change_set)
+            resumed.apply(change_set)
+        assert schema_fingerprint(resumed.schema()) == schema_fingerprint(
+            session.schema()
+        )
+
+    def test_manifest_validation(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            ShardedSchemaSession.restore(tmp_path / "missing")
+        bogus = tmp_path / "bogus"
+        bogus.mkdir()
+        (bogus / "manifest.ckpt").write_bytes(b"not a manifest\n")
+        with pytest.raises(CheckpointError):
+            ShardedSchemaSession.restore(bogus)
+
+    def test_per_shard_files_are_plain_session_checkpoints(self, tmp_path):
+        config = PGHiveConfig(seed=5)
+        session = ShardedSchemaSession(config, n_shards=2)
+        session.apply(feed(1)[0])
+        directory = session.checkpoint(tmp_path / "ck")
+        shard = SchemaSession.restore(directory / "shard-000.ckpt")
+        assert schema_fingerprint(shard.schema_graph) == schema_fingerprint(
+            session.shard_sessions[0].schema_graph
+        )
+
+
+class TestParallelMode:
+    def test_parallel_matches_serial(self):
+        config = PGHiveConfig(seed=2, infer_keys=True)
+        change_sets = feed(3)
+        serial = ShardedSchemaSession(config, n_shards=2)
+        for change_set in change_sets:
+            serial.apply(change_set)
+        with ShardedSchemaSession(config, n_shards=2, parallel=True) as parallel:
+            for change_set in change_sets:
+                parallel.apply(change_set)
+            assert schema_fingerprint(parallel.schema()) == schema_fingerprint(
+                serial.schema()
+            )
+
+    def test_parallel_checkpoint_restores_serially(self, tmp_path):
+        config = PGHiveConfig(seed=2)
+        change_sets = feed(2)
+        with ShardedSchemaSession(config, n_shards=2, parallel=True) as session:
+            for change_set in change_sets:
+                session.apply(change_set)
+            directory = session.checkpoint(tmp_path / "ck")
+            expected = schema_fingerprint(session.schema())
+        resumed = ShardedSchemaSession.restore(directory, parallel=False)
+        assert not resumed.parallel
+        assert schema_fingerprint(resumed.schema()) == expected

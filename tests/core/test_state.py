@@ -1,0 +1,231 @@
+"""Unit tests for the mergeable :class:`DiscoveryState` value object."""
+
+from repro.core.config import PGHiveConfig
+from repro.core.session import SchemaSession
+from repro.core.state import DiscoveryState
+from repro.graph.changes import ChangeSet
+from repro.graph.model import Edge, Node
+from repro.lsh.minhash import MinHashLSH
+from repro.schema.model import NodeType, SchemaGraph, schema_fingerprint
+
+import pytest
+
+from repro.errors import ConfigurationError
+
+
+def person(serial: int) -> Node:
+    return Node(f"p{serial}", {"Person"}, {"person_id": serial})
+
+
+def org(serial: int) -> Node:
+    return Node(f"o{serial}", {"Org"}, {"org_id": serial, "url": f"u{serial}"})
+
+
+def driven_session(nodes, edges=(), config=None) -> SchemaSession:
+    session = SchemaSession(config or PGHiveConfig(seed=1))
+    session.apply(ChangeSet.inserts(nodes=nodes, edges=edges))
+    return session
+
+
+class TestFresh:
+    def test_fresh_state_shape(self):
+        state = DiscoveryState.fresh("s", retain_union=True)
+        assert state.schema.name == "s"
+        assert state.union is not None
+        assert state.sequence == 0
+        assert state.streaming_valid and not state.dirty
+        assert DiscoveryState.fresh("s").union is None
+
+
+class TestMerge:
+    def test_merge_combines_disjoint_partitions(self):
+        config = PGHiveConfig(seed=1)
+        left = driven_session([person(1), person(2)], config=config)
+        right = driven_session([person(3), org(4)], config=config)
+        merged = left.discovery_state.merge(right.discovery_state)
+        both = driven_session(
+            [person(1), person(2), person(3), org(4)], config=config
+        )
+        # Same assignments, counts, and accumulators as one session that
+        # saw everything (fingerprints ignore ids and ordering).
+        merged_session = SchemaSession.from_state(merged, config)
+        assert schema_fingerprint(merged_session.schema()) == schema_fingerprint(
+            both.schema()
+        )
+
+    def test_merge_does_not_mutate_inputs(self):
+        config = PGHiveConfig(seed=1)
+        left = driven_session([person(1)], config=config)
+        right = driven_session([org(2)], config=config)
+        before_left = schema_fingerprint(left.schema_graph)
+        before_right = schema_fingerprint(right.schema_graph)
+        left.discovery_state.merge(right.discovery_state)
+        assert schema_fingerprint(left.schema_graph) == before_left
+        assert schema_fingerprint(right.schema_graph) == before_right
+
+    def test_merge_unions_minhash_signature_caches(self):
+        left = DiscoveryState.fresh("l")
+        right = DiscoveryState.fresh("r")
+        key = (4, 2, 123)
+        left_lsh = MinHashLSH(4, 2, seed=123)
+        right_lsh = MinHashLSH(4, 2, seed=123)
+        left_lsh.signature(frozenset({"a", "b"}))
+        right_lsh.signature(frozenset({"c"}))
+        left.pipeline.minhash_cache[key] = left_lsh
+        right.pipeline.minhash_cache[key] = right_lsh
+        merged = left.merge(right)
+        merged_lsh = merged.pipeline.minhash_cache[key]
+        assert merged_lsh.cache_size == left_lsh.cache_size + right_lsh.cache_size
+        # Inputs untouched.
+        assert left_lsh.cache_size == 1 and right_lsh.cache_size == 1
+
+    def test_merge_rejects_mismatched_minhash_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MinHashLSH(4, 2, seed=1).merge_cache_from(MinHashLSH(4, 2, seed=2))
+
+    def test_merge_drops_zero_instance_stub_echo_types(self):
+        state = DiscoveryState.fresh("l")
+        ghost = NodeType("n0", {"Ghost"})
+        state.schema.add_node_type(ghost)  # zero recorded instances
+        merged = state.merge(DiscoveryState.fresh("r"))
+        assert merged.schema.node_type_count == 0
+
+    def test_merge_flags_fold_monotonically(self):
+        left = DiscoveryState.fresh("l")
+        right = DiscoveryState.fresh("r")
+        left.sequence, right.sequence = 3, 5
+        right.streaming_valid = False
+        left.dirty = True
+        merged = left.merge(right)
+        assert merged.sequence == 5
+        assert not merged.streaming_valid
+        assert merged.dirty
+
+    def test_merged_union_requires_union_on_every_input(self):
+        with_union = DiscoveryState.fresh("a", retain_union=True)
+        without = DiscoveryState.fresh("b")
+        assert with_union.merge(without).union is None
+        assert with_union.merge(
+            DiscoveryState.fresh("c", retain_union=True)
+        ).union is not None
+
+    def test_merged_schema_names_are_canonical(self):
+        config = PGHiveConfig(seed=1)
+        left = driven_session([person(1)], config=config)
+        right = driven_session([org(2)], config=config)
+        merged = DiscoveryState.merged(
+            [left.discovery_state, right.discovery_state]
+        )
+        assert sorted(t.type_id for t in merged.schema.node_types()) == [
+            "n:Org",
+            "n:Person",
+        ]
+        other_order = DiscoveryState.merged(
+            [right.discovery_state, left.discovery_state]
+        )
+        assert schema_fingerprint(other_order.schema) == schema_fingerprint(
+            merged.schema
+        )
+
+
+class TestFromState:
+    def test_from_state_continues_the_feed(self):
+        config = PGHiveConfig(seed=1)
+        donor = driven_session([person(1), org(2)], config=config)
+        resumed = SchemaSession.from_state(donor.discovery_state, config)
+        oracle = SchemaSession(config)
+        oracle.apply(ChangeSet.inserts(nodes=[person(1), org(2)]))
+        extra = ChangeSet.inserts(
+            nodes=[person(3)],
+            edges=[Edge("e1", "p3", "p1", {"R_Person_Person"})],
+        )
+        # The donor's union-free state cannot resolve p1; ship a stub.
+        stubbed = ChangeSet(
+            nodes=[person(3), person(1)],
+            edges=list(extra.edges),
+            stub_node_ids=frozenset({"p1"}),
+        )
+        resumed.apply(stubbed)
+        oracle.apply(stubbed)
+        assert schema_fingerprint(resumed.schema()) == schema_fingerprint(
+            oracle.schema()
+        )
+
+    def test_from_state_follows_union_presence(self):
+        config = PGHiveConfig(seed=1)
+        no_union = SchemaSession.from_state(DiscoveryState.fresh("s"), config)
+        assert not no_union.retains_union
+        with_union = SchemaSession.from_state(
+            DiscoveryState.fresh("s", retain_union=True), config
+        )
+        assert with_union.retains_union
+
+
+class TestStubRecording:
+    def test_marked_stubs_are_not_recorded(self):
+        config = PGHiveConfig(seed=1)
+        session = SchemaSession(config)
+        session.apply(
+            ChangeSet(
+                nodes=[person(1), person(2)],
+                stub_node_ids=frozenset({"p2"}),
+            )
+        )
+        (node_type,) = session.schema_graph.node_types()
+        assert node_type.instance_ids == {"p1"}
+        assert node_type.instance_count == 1
+
+    def test_edge_sharing_a_stubbed_node_id_is_still_recorded(self):
+        """Node and edge id namespaces may overlap: excluding a stub node
+        id must never suppress an edge whose edge_id collides with it."""
+        config = PGHiveConfig(seed=1)
+        session = SchemaSession(config)
+        session.apply(ChangeSet.inserts(nodes=[Node("7", {"Person"})]))
+        collision = ChangeSet(
+            nodes=[Node("8", {"Person"}), Node("7", {"Person"})],
+            # edge id "7" == the stubbed endpoint node id
+            edges=[Edge("7", "8", "7", {"R_Person_Person"})],
+            stub_node_ids=frozenset({"7"}),
+        )
+        session.apply(collision)
+        (edge_type,) = session.schema_graph.edge_types()
+        assert edge_type.instance_ids == {"7"}
+        assert edge_type.instance_count == 1
+
+    def test_stub_only_changeset_creates_no_instances(self):
+        config = PGHiveConfig(seed=1)
+        session = SchemaSession(config)
+        report = session.apply(
+            ChangeSet(nodes=[person(1)], stub_node_ids=frozenset({"p1"}))
+        )
+        assert report.nodes_inserted == 0
+        for node_type in session.schema_graph.node_types():
+            assert node_type.instance_count == 0
+
+
+class TestCanonicalFingerprint:
+    def test_fingerprint_ignores_type_ids_and_order(self):
+        left = SchemaGraph("l")
+        alpha = NodeType("n0", {"A"})
+        alpha.record_instance("a1", ["x"])
+        beta = NodeType("n1", {"B"})
+        beta.record_instance("b1", ["y"])
+        left.add_node_type(alpha)
+        left.add_node_type(beta)
+        right = SchemaGraph("r")
+        right.add_node_type(beta.copy())
+        renamed = alpha.copy()
+        renamed.type_id = "n:A"
+        right.add_node_type(renamed)
+        assert schema_fingerprint(left) == schema_fingerprint(right)
+
+    def test_fingerprint_still_separates_different_content(self):
+        left = SchemaGraph("l")
+        alpha = NodeType("n0", {"A"})
+        alpha.record_instance("a1", ["x"])
+        left.add_node_type(alpha)
+        right = SchemaGraph("r")
+        other = NodeType("n0", {"A"})
+        other.record_instance("a2", ["x"])
+        right.add_node_type(other)
+        assert schema_fingerprint(left) != schema_fingerprint(right)

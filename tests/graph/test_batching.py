@@ -43,8 +43,8 @@ class TestSplitIntoBatches:
         first = split_into_batches(figure1_graph, 3, seed=1)
         second = split_into_batches(figure1_graph, 3, seed=2)
         assert any(
-            list(l.node_ids()) != list(r.node_ids())
-            for l, r in zip(first, second)
+            list(left.node_ids()) != list(right.node_ids())
+            for left, right in zip(first, second)
         )
 
     def test_single_batch_is_whole_graph(self, figure1_graph):

@@ -81,6 +81,41 @@ class TestReadmeSessionQuickstart:
         )
 
 
+class TestReadmeShardedQuickstart:
+    def test_sharded_snippet_executes(self, tmp_path):
+        # The sharded code block from README.md's Quickstart section
+        # (serial shards here; parallel mode is pinned in
+        # tests/core/test_sharding.py).
+        from repro import Edge, Node, PGHiveConfig, PropertyGraph, ShardedSchemaSession
+        from repro.graph.json_io import iter_changesets_jsonl, write_graph_jsonl
+
+        graph = PropertyGraph("events")
+        for serial in range(12):
+            label = "Person" if serial % 2 else "Org"
+            graph.add_node(
+                Node(f"v{serial}", {label}, {f"{label.lower()}_id": serial})
+            )
+        for serial in range(8):
+            graph.add_edge(
+                Edge(
+                    f"r{serial}",
+                    f"v{serial % 12}",
+                    f"v{(serial + 3) % 12}",
+                    {"REL"},
+                )
+            )
+        path = write_graph_jsonl(graph, tmp_path / "events.jsonl")
+
+        with ShardedSchemaSession(PGHiveConfig(), n_shards=4) as session:
+            for change_set in iter_changesets_jsonl(path, batch_size=5):
+                session.apply(change_set)
+            summary = session.schema().summary()
+            assert summary["node_types"] >= 2
+            assert summary["node_instances"] == 12
+            directory = session.checkpoint(tmp_path / "discovery.ckpt")
+        assert (directory / "manifest.ckpt").exists()
+
+
 class TestRequiredDocuments:
     def test_design_document_covers_every_figure(self):
         design = (REPO / "DESIGN.md").read_text()

@@ -150,3 +150,79 @@ class TestMergeProperties:
         once = merge_schemas(schema, schema)
         assert once.node_type_count == schema.node_type_count
         assert once.edge_type_count == schema.edge_type_count
+
+
+class TestDeterministicMerge:
+    def test_merge_order_independent_for_labeled_types(self):
+        """Folding the same labeled partial schemas in any order yields a
+        fingerprint-identical result (the sharded-merge guarantee)."""
+        from itertools import permutations
+
+        from repro.schema.merge import canonicalize_schema
+        from repro.schema.model import schema_fingerprint
+
+        parts = [
+            schema_with(
+                [("a0", {"Person"}, {"name"})],
+                [("e0", {"R"}, {"p"}, {"Person"}, {"Person"})],
+            ),
+            schema_with(
+                [("b0", {"Person"}, {"age"}), ("b1", {"Org"}, {"url"})],
+                [("f0", {"R"}, {"q"}, {"Person"}, {"Person"})],
+            ),
+            schema_with([("c0", {"Org"}, {"name", "url"})]),
+        ]
+        fingerprints = set()
+        for order in permutations(range(3)):
+            target = SchemaGraph("merged")
+            for index in order:
+                merge_into(target, parts[index])
+            canonicalize_schema(target)
+            fingerprints.add(schema_fingerprint(target))
+        assert len(fingerprints) == 1
+
+    def test_incoming_insertion_order_is_irrelevant(self):
+        from repro.schema.model import schema_fingerprint
+
+        forward = schema_with([("n0", {"B"}, {"x"}), ("n1", {"A"}, {"y"})])
+        backward = schema_with([("n0", {"A"}, {"y"}), ("n1", {"B"}, {"x"})])
+        left = merge_schemas(SchemaGraph("t"), forward)
+        right = merge_schemas(SchemaGraph("t"), backward)
+        assert schema_fingerprint(left) == schema_fingerprint(right)
+
+    def test_absorbed_property_specs_are_key_sorted(self):
+        target = schema_with([("n0", {"A"}, {"zeta", "mid"})])
+        incoming = schema_with([("x0", {"A"}, {"alpha"})])
+        merge_into(target, incoming)
+        node_type = target.node_type_by_token("A")
+        assert list(node_type.properties) == sorted(node_type.properties)
+
+
+class TestCanonicalizeSchema:
+    def test_names_are_content_derived_and_ordered(self):
+        from repro.schema.merge import canonicalize_schema
+
+        schema = schema_with(
+            [("n7", {"Zebra"}, {"z"}), ("n3", {"Ant"}, {"a"}), ("n5", set(), {"q"})],
+            [("e9", {"R"}, set(), {"Ant"}, {"Zebra"})],
+        )
+        canonicalize_schema(schema)
+        ids = [t.type_id for t in schema.node_types()]
+        # canonical order sorts by token; the abstract type's empty token
+        # sorts first
+        assert ids[0].startswith("n:abstract:")
+        assert ids[1:] == ["n:Ant", "n:Zebra"]
+        assert [t.type_id for t in schema.edge_types()] == ["e:R"]
+
+    def test_colliding_stems_get_stable_suffixes(self):
+        from repro.schema.merge import canonicalize_schema
+
+        schema = schema_with(
+            [],
+            [
+                ("e0", {"R"}, set(), {"A"}, {"A"}),
+                ("e1", {"R"}, set(), {"B"}, {"B"}),
+            ],
+        )
+        canonicalize_schema(schema)
+        assert sorted(t.type_id for t in schema.edge_types()) == ["e:R", "e:R#2"]
