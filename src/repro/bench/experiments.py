@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.bench.harness import (
     AVAILABILITIES,
     NOISE_LEVELS,
@@ -27,8 +29,6 @@ from repro.eval.ranking import NemenyiResult, nemenyi_test
 from repro.eval.sampling_error import bin_errors, sampling_error
 from repro.graph.batching import split_into_batches
 from repro.util import derive_seed
-
-import numpy as np
 
 
 def load_bench_datasets(scale: float, seed: int = 0) -> list[GeneratedDataset]:

@@ -34,9 +34,12 @@ reads stay equal to the full-scan oracle across arbitrary merge orders.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from itertools import combinations
 from typing import Any, Mapping
+
+import numpy as np
 
 from repro.schema.cardinality import CardinalityBounds
 from repro.schema.datatypes import DataType, generalize, infer_value_type
@@ -65,6 +68,53 @@ class SummaryOptions:
 DEFAULT_OPTIONS = SummaryOptions()
 
 
+def _column_value_type(values: Sequence[Any]) -> DataType:
+    """The lattice join of ``infer_value_type`` over one value column.
+
+    Homogeneous columns short-circuit: all-``int`` is INTEGER, all-``bool``
+    BOOLEAN, all-``float`` reduces with one vectorised integrality check,
+    and all-``str`` folds distinct values only (the per-value regexes are
+    the expensive part).  Heterogeneous columns fall back to the scalar
+    fold; every path stops at the absorbing STRING element.
+    """
+    if isinstance(values, list):
+        vals = values
+    elif isinstance(values, np.ndarray):
+        vals = values.tolist()
+    else:
+        vals = list(values)
+    kinds = set(map(type, vals))
+    if kinds == {int}:
+        return DataType.INTEGER
+    if kinds == {bool}:
+        return DataType.BOOLEAN
+    if kinds == {float}:
+        arr = np.asarray(vals, dtype=float)
+        integral = np.isfinite(arr) & (arr == np.floor(arr))
+        return DataType.INTEGER if bool(np.all(integral)) else DataType.FLOAT
+    if kinds == {str}:
+        seen: set[str] = set()
+        result: DataType | None = None
+        for value in vals:
+            if value in seen:
+                continue
+            seen.add(value)
+            value_type = infer_value_type(value)
+            result = (
+                value_type if result is None else generalize(result, value_type)
+            )
+            if result is DataType.STRING:
+                return result
+        return DataType.STRING if result is None else result
+    result = None
+    for value in vals:
+        value_type = infer_value_type(value)
+        result = value_type if result is None else generalize(result, value_type)
+        if result is DataType.STRING:
+            return result
+    return DataType.STRING if result is None else result
+
+
 class DatatypeAccumulator:
     """Per-property datatype lattice state: ``key -> join of value types``."""
 
@@ -87,6 +137,25 @@ class DatatypeAccumulator:
         """Fold every property of one element."""
         for key, value in properties.items():
             self.observe(key, value)
+
+    def observe_column(self, key: str, values: Sequence[Any]) -> None:
+        """Fold one whole value column for ``key`` (columnar ingest path).
+
+        Equivalent to calling :meth:`observe` per cell -- the lattice join
+        is associative, commutative, and idempotent -- but vectorised:
+        homogeneous numeric/bool columns resolve with one type check,
+        string columns fold *distinct* values only, and every path stops
+        as soon as the join reaches the absorbing STRING element.
+        """
+        current = self.types.get(key)
+        if current is DataType.STRING or not len(values):
+            return
+        column_type = _column_value_type(values)
+        self.types[key] = (
+            column_type
+            if current is None
+            else generalize(current, column_type)
+        )
 
     def merge_from(self, other: "DatatypeAccumulator") -> None:
         """Lattice join with another accumulator (type merge)."""
@@ -123,6 +192,44 @@ class EndpointAccumulator:
         sources.add(source_id)
         if len(sources) > self.max_in:
             self.max_in = len(sources)
+
+    def observe_pairs(
+        self, source_ids: Sequence[str], target_ids: Sequence[str]
+    ) -> None:
+        """Fold many edge endpoint pairs at once (columnar ingest path).
+
+        Equivalent to :meth:`observe` per pair -- endpoint sets only grow,
+        so the running maxima are order-invariant -- with the per-pair
+        bookkeeping flattened into local bindings (this is the hottest
+        per-edge loop left on the columnar path).
+        """
+        targets_per_source = self.targets_per_source
+        sources_per_target = self.sources_per_target
+        max_out, max_in = self.max_out, self.max_in
+        get_targets = targets_per_source.get
+        get_sources = sources_per_target.get
+        for source_id, target_id in zip(source_ids, target_ids):
+            targets = get_targets(source_id)
+            if targets is None:
+                targets_per_source[source_id] = {target_id}
+                if max_out < 1:
+                    max_out = 1
+            else:
+                targets.add(target_id)
+                size = len(targets)
+                if size > max_out:
+                    max_out = size
+            sources = get_sources(target_id)
+            if sources is None:
+                sources_per_target[target_id] = {source_id}
+                if max_in < 1:
+                    max_in = 1
+            else:
+                sources.add(source_id)
+                size = len(sources)
+                if size > max_in:
+                    max_in = size
+        self.max_out, self.max_in = max_out, max_in
 
     def merge_from(self, other: "EndpointAccumulator") -> None:
         """Union endpoint sets and re-establish the maxima."""
@@ -186,6 +293,50 @@ class DistinctTracker:
         prior = witnesses.setdefault(value, instance_id)
         if prior != instance_id:
             self.witnesses = None
+
+    def observe_column(
+        self, values: Sequence[Any], instance_ids: Sequence[str]
+    ) -> None:
+        """Fold one value column (columnar ingest path).
+
+        Equivalent to per-cell :meth:`observe` calls: the duplicated
+        outcome is order-invariant, and a dead tracker skips the whole
+        column in O(1).
+        """
+        self.count += len(instance_ids)
+        witnesses = self.witnesses
+        if witnesses is None:
+            return
+        setdefault = witnesses.setdefault
+        for value, instance_id in zip(values, instance_ids):
+            if isinstance(value, (list, dict, set)):
+                value = repr(value)
+            if setdefault(value, instance_id) != instance_id:
+                self.witnesses = None
+                return
+
+    def observe_pair_column(
+        self,
+        left_values: Sequence[Any],
+        right_values: Sequence[Any],
+        instance_ids: Sequence[str],
+    ) -> None:
+        """Fold one aligned pair of value columns (composite-key tracking)."""
+        self.count += len(instance_ids)
+        witnesses = self.witnesses
+        if witnesses is None:
+            return
+        setdefault = witnesses.setdefault
+        for left, right, instance_id in zip(
+            left_values, right_values, instance_ids
+        ):
+            if isinstance(left, (list, dict, set)):
+                left = repr(left)
+            if isinstance(right, (list, dict, set)):
+                right = repr(right)
+            if setdefault((left, right), instance_id) != instance_id:
+                self.witnesses = None
+                return
 
     def merge_from(self, other: "DistinctTracker") -> None:
         """Union two trackers; cross-side value collisions mean duplicates."""
@@ -272,6 +423,55 @@ class KeyAccumulator:
                 dead.append(pair)
         for pair in dead:
             del self.pairs[pair]
+
+    def observe_group(
+        self,
+        instance_ids: Sequence[str],
+        keys: tuple[str, ...],
+        columns: Mapping[str, Sequence[Any]],
+    ) -> None:
+        """Fold a group of instances sharing one property-key set.
+
+        Columnar ingest groups instances by interned key-set, so presence
+        checks and pair pruning run once per group and trackers consume
+        whole columns.  ``keys`` must be sorted (key-set interning
+        guarantees it) and ``columns[key]`` aligned with ``instance_ids``.
+        Equivalent to per-instance :meth:`observe` calls in group order.
+        """
+        count = len(instance_ids)
+        if count == 0:
+            return
+        first_instance = self.instances == 0
+        self.instances += count
+        for key in keys:
+            tracker = self.singles.get(key)
+            if tracker is None:
+                tracker = self.singles[key] = DistinctTracker()
+            tracker.observe_column(columns[key], instance_ids)
+        if first_instance:
+            if len(keys) > self.pair_cap:
+                self.pair_overflow = True
+                return
+            for left, right in combinations(keys, 2):
+                tracker = self.pairs[(left, right)] = DistinctTracker()
+                tracker.observe_pair_column(
+                    columns[left], columns[right], instance_ids
+                )
+            return
+        if not self.pairs:
+            return
+        present = set(keys)
+        dead = [
+            pair
+            for pair in self.pairs
+            if pair[0] not in present or pair[1] not in present
+        ]
+        for pair in dead:
+            del self.pairs[pair]
+        for (left, right), tracker in self.pairs.items():
+            tracker.observe_pair_column(
+                columns[left], columns[right], instance_ids
+            )
 
     def merge_from(self, other: "KeyAccumulator") -> None:
         """Merge on type absorption: pairs survive only on both sides."""

@@ -10,9 +10,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.core.accumulators import SummaryOptions, ensure_summaries
 from repro.core.adaptive import AdaptiveParameters, adapt_parameters
 from repro.core.config import ClusteringMethod, PGHiveConfig
-from repro.core.preprocess import FeatureMatrix
+from repro.core.preprocess import ColumnarFeatures, FeatureMatrix
+from repro.graph.columnar import ColumnarElements, Interner
+from repro.lsh.base import GroupingRule, group
 from repro.lsh.elsh import EuclideanLSH
 from repro.lsh.minhash import MinHashLSH
 from repro.util import derive_seed
@@ -44,6 +49,162 @@ class Cluster:
     def size(self) -> int:
         """Number of member instances."""
         return len(self.member_ids)
+
+
+class ColumnarCluster:
+    """One candidate type over columnar batch rows (no member objects).
+
+    Exposes the same representative-pattern surface as :class:`Cluster`
+    (``labels``, ``property_keys``, endpoint token sets, ``member_ids``)
+    so Algorithm 2's merge decisions run unchanged, but recording is
+    columnar: :meth:`record_into` attaches members and folds their value
+    *columns* into the type's streaming summaries -- datatype lattice
+    joins, distinct-value witnesses, and endpoint counters consume one
+    column per (key-set group, key), not one cell per element.
+    """
+
+    __slots__ = (
+        "block",
+        "interner",
+        "member_rows",
+        "member_ids",
+        "labels",
+        "property_keys",
+        "source_tokens",
+        "target_tokens",
+    )
+
+    def __init__(
+        self,
+        block: ColumnarElements,
+        interner: Interner,
+        member_rows: list[int],
+    ) -> None:
+        self.block = block
+        self.interner = interner
+        self.member_rows = member_rows
+        ids = block.ids
+        self.member_ids = [ids[row] for row in member_rows]
+        labelset_list = block.labelset_list
+        labels: set[str] = set()
+        for lid in {labelset_list[row] for row in member_rows}:
+            labels |= interner.labelset(lid).labels
+        self.labels = labels
+        keyset_list = block.keyset_list
+        property_keys: set[str] = set()
+        for kid in {keyset_list[row] for row in member_rows}:
+            property_keys.update(interner.keyset(kid).keys)
+        self.property_keys = property_keys
+        if block.is_edges:
+            src_list = block.src_token_list
+            tgt_list = block.tgt_token_list
+            self.source_tokens = {
+                interner.string(sid)
+                for sid in {src_list[row] for row in member_rows}
+            }
+            self.target_tokens = {
+                interner.string(sid)
+                for sid in {tgt_list[row] for row in member_rows}
+            }
+        else:
+            self.source_tokens = set()
+            self.target_tokens = set()
+
+    @property
+    def is_labeled(self) -> bool:
+        """True when at least one member carried a label (section 4.3)."""
+        return bool(self.labels)
+
+    @property
+    def size(self) -> int:
+        """Number of member instances."""
+        return len(self.member_ids)
+
+    def record_into(
+        self,
+        schema_type,
+        options: SummaryOptions | None,
+        exclude_record: frozenset[str] = frozenset(),
+    ) -> None:
+        """Attach members to ``schema_type``, folding columns vectorised.
+
+        Element-for-element equivalent to the legacy per-member loop of
+        ``type_extraction._record_members``: replayed instances are
+        skipped, ``exclude_record`` stubs are never recorded, the
+        summary-resurrection guard is identical, and the accumulator
+        outcomes are order-invariant -- only the folding granularity
+        changes (per column instead of per cell).
+        """
+        block = self.block
+        is_edge = block.is_edges
+        # Mirror the legacy guard exactly, side effects included: when the
+        # type is fresh (or already carries summaries), summaries are
+        # ensured *before* member recording -- so a cluster whose members
+        # are all excluded stubs still leaves a (possibly empty) summary
+        # bundle on a zero-instance type, exactly like the element path.
+        summaries = None
+        if options is not None and (
+            schema_type.summaries is not None
+            or schema_type.instance_count == 0
+        ):
+            summaries = ensure_summaries(schema_type, is_edge, options)
+        instance_ids = schema_type.instance_ids
+        member_ids = self.member_ids
+        member_rows = self.member_rows
+        fresh_rows: list[int] = []
+        fresh_ids: list[str] = []
+        for position, instance_id in enumerate(member_ids):
+            if instance_id in exclude_record or instance_id in instance_ids:
+                continue
+            instance_ids.add(instance_id)
+            fresh_rows.append(member_rows[position])
+            fresh_ids.append(instance_id)
+        if not fresh_rows:
+            return
+        schema_type.instance_count += len(fresh_rows)
+        if summaries is None:
+            # Never resurrect summaries over unfolded history.
+            schema_type.summaries = None
+
+        # Group fresh members by interned key set (dict insertion order =
+        # first occurrence, which pins the KeyAccumulator's first-instance
+        # semantics; members stay ascending within each group).
+        keyset_list = block.keyset_list
+        groups: dict[int, list[int]] = {}
+        setdefault = groups.setdefault
+        for position, row in enumerate(fresh_rows):
+            setdefault(keyset_list[row], []).append(position)
+        property_counts = schema_type.property_counts
+        key_accumulator = None if summaries is None else summaries.keys
+        datatypes = None if summaries is None else summaries.datatypes
+        for keyset_id, positions in groups.items():
+            keyset = self.interner.keyset(keyset_id)
+            group_size = len(positions)
+            for key in keyset.keys:
+                property_counts[key] += group_size
+                schema_type.ensure_property(key)
+            if summaries is None:
+                continue
+            group_rows = [fresh_rows[p] for p in positions]
+            columns: dict[str, list] = {}
+            for key in keyset.keys:
+                values = block.columns[key].take(group_rows)
+                columns[key] = values
+                datatypes.observe_column(key, values)
+            if key_accumulator is not None:
+                group_ids = [fresh_ids[p] for p in positions]
+                key_accumulator.observe_group(group_ids, keyset.keys, columns)
+        if (
+            summaries is not None
+            and is_edge
+            and summaries.endpoints is not None
+        ):
+            source_ids = block.source_ids
+            target_ids = block.target_ids
+            summaries.endpoints.observe_pairs(
+                [source_ids[row] for row in fresh_rows],
+                [target_ids[row] for row in fresh_rows],
+            )
 
 
 @dataclass
@@ -136,4 +297,141 @@ def cluster_features(
         groups = lsh.cluster(features.token_sets, rule=config.grouping_rule)
 
     clusters = [_build_cluster(features, group_rows) for group_rows in groups]
+    return ClusteringOutcome(clusters, parameters)
+
+
+def _groups_by_first_occurrence(
+    group_of_element: np.ndarray, group_count: int
+) -> list[list[int]]:
+    """Member-row groups ordered like ``lsh.base.group_by_signature``.
+
+    ``group_of_element`` assigns each element a dense group id; the
+    result lists groups by first-member occurrence with members
+    ascending -- the exact order the element-wise AND grouping produces,
+    fully vectorised.
+    """
+    count = len(group_of_element)
+    first_member = np.full(group_count, count, dtype=np.intp)
+    np.minimum.at(first_member, group_of_element, np.arange(count, dtype=np.intp))
+    renumber = np.empty(group_count, dtype=np.intp)
+    renumber[np.argsort(first_member, kind="stable")] = np.arange(
+        group_count, dtype=np.intp
+    )
+    dense = renumber[group_of_element]
+    order = np.argsort(dense, kind="stable")
+    boundaries = np.cumsum(np.bincount(dense, minlength=group_count))[:-1]
+    return [rows.tolist() for rows in np.split(order, boundaries)]
+
+
+def cluster_features_columnar(
+    features: ColumnarFeatures,
+    config: PGHiveConfig,
+    kind: str,
+    minhash_cache: dict[tuple[int, int, int], MinHashLSH] | None = None,
+) -> ClusteringOutcome:
+    """Columnar counterpart of :func:`cluster_features`.
+
+    Identical adaptive parameters (the representation vectors are
+    bit-identical) and an identical element partition in identical
+    order.  On the MinHash path signatures are computed once per
+    *distinct* interned (label-token, key-set[, endpoint-token])
+    pattern -- handed to the kernel as pre-interned id arrays -- and the
+    AND grouping runs over patterns, then expands to elements through
+    the pattern-inverse column; elements with equal patterns sign
+    equally, so the expanded partition equals the per-element one.
+    """
+    if len(features) == 0:
+        return ClusteringOutcome([], None)
+    block = features.block
+    interner = features.interner
+
+    labels: set[str] = set()
+    for lid in np.unique(block.labelset_ids).tolist():
+        labels |= interner.labelset(int(lid)).labels
+    overrides = config.node_lsh if kind == "nodes" else config.edge_lsh
+    parameters = adapt_parameters(
+        features.vectors,
+        label_count=len(labels),
+        kind=kind,
+        overrides=overrides,
+        seed=derive_seed(config.seed, "adaptive", kind),
+    )
+
+    if config.method is ClusteringMethod.ELSH:
+        lsh = EuclideanLSH(
+            bucket_length=parameters.bucket_length,
+            num_tables=parameters.num_tables,
+            hashes_per_table=config.hashes_per_table,
+            seed=derive_seed(config.seed, "elsh", kind),
+        )
+        member_groups = [
+            list(rows)
+            for rows in lsh.cluster(features.vectors, rule=config.grouping_rule)
+        ]
+    else:
+        seed = derive_seed(config.seed, "minhash", kind)
+        cache_key = (parameters.num_tables, config.minhash_band_size, seed)
+        lsh = None if minhash_cache is None else minhash_cache.get(cache_key)
+        if lsh is None:
+            lsh = MinHashLSH(
+                num_tables=parameters.num_tables,
+                band_size=config.minhash_band_size,
+                seed=seed,
+            )
+            if minhash_cache is not None:
+                minhash_cache[cache_key] = lsh
+        if block.is_edges:
+            id_matrix = np.stack(
+                [
+                    block.token_sids,
+                    block.src_token_sids,
+                    block.tgt_token_sids,
+                    block.keyset_ids,
+                ],
+                axis=1,
+            )
+        else:
+            id_matrix = np.stack([block.token_sids, block.keyset_ids], axis=1)
+        distinct, inverse = np.unique(id_matrix, axis=0, return_inverse=True)
+        if block.is_edges:
+            patterns = [
+                interner.edge_pattern(int(t), int(s), int(g), int(k))
+                for t, s, g, k in distinct.tolist()
+            ]
+        else:
+            patterns = [
+                interner.node_pattern(int(t), int(k))
+                for t, k in distinct.tolist()
+            ]
+        banded = lsh.signatures(
+            [pattern.tokens for pattern in patterns],
+            token_ids=[pattern.minhash_ids for pattern in patterns],
+        )
+        inverse = np.asarray(inverse, dtype=np.intp).reshape(-1)
+        if config.grouping_rule is GroupingRule.AND:
+            data = np.ascontiguousarray(banded)
+            raw = data.tobytes()
+            stride = data.shape[1] * data.itemsize
+            buckets: dict[bytes, int] = {}
+            setdefault = buckets.setdefault
+            group_of_pattern = np.fromiter(
+                (
+                    setdefault(raw[i * stride : (i + 1) * stride], len(buckets))
+                    for i in range(len(patterns))
+                ),
+                dtype=np.intp,
+                count=len(patterns),
+            )
+            member_groups = _groups_by_first_occurrence(
+                group_of_pattern[inverse], len(buckets)
+            )
+        else:
+            member_groups = [
+                list(rows)
+                for rows in group(banded[inverse], config.grouping_rule)
+            ]
+
+    clusters = [
+        ColumnarCluster(block, interner, rows) for rows in member_groups
+    ]
     return ClusteringOutcome(clusters, parameters)

@@ -19,16 +19,17 @@ from repro.core.cardinality_inference import (
     compute_cardinalities,
     compute_cardinalities_streaming,
 )
-from repro.core.clustering import cluster_features
+from repro.core.clustering import cluster_features, cluster_features_columnar
 from repro.core.config import PGHiveConfig
 from repro.core.constraints import infer_property_constraints
 from repro.core.datatype_inference import infer_datatypes, infer_datatypes_streaming
 from repro.core.preprocess import Preprocessor
 from repro.core.serialization import to_pg_schema, to_xsd
 from repro.core.type_extraction import extract_types
+from repro.graph.columnar import ElementBatch
 from repro.graph.model import PropertyGraph
-from repro.lsh.minhash import MinHashLSH
 from repro.graph.store import GraphStore
+from repro.lsh.minhash import MinHashLSH
 from repro.schema.model import SchemaGraph
 from repro.schema.validation import ValidationMode
 from repro.util import Timer
@@ -205,13 +206,9 @@ class PGHive:
         """
         if state is None:
             state = PipelineState()
-        if not build_summaries:
-            summary_options = None
-        elif summary_options is None:
-            summary_options = SummaryOptions(
-                track_keys=self.config.infer_keys,
-                pair_cap=self.config.key_pair_tracking_cap,
-            )
+        summary_options = self._resolve_summary_options(
+            build_summaries, summary_options
+        )
         with timer.measure("preprocess"):
             if state.preprocessor is None:
                 state.preprocessor = Preprocessor(self.config).fit(graph)
@@ -225,6 +222,77 @@ class PGHive:
             edge_outcome = cluster_features(
                 edge_features, self.config, "edges", state.minhash_cache
             )
+        self._extract_and_tally(
+            schema, timer, result, node_outcome, edge_outcome,
+            summary_options, exclude_record,
+        )
+
+    def _process_batch_columnar(
+        self,
+        batch: ElementBatch,
+        schema: SchemaGraph,
+        timer: Timer,
+        result: DiscoveryResult,
+        state: PipelineState | None = None,
+        build_summaries: bool = False,
+        summary_options: SummaryOptions | None = None,
+        exclude_record: frozenset[str] = frozenset(),
+    ) -> None:
+        """Steps (b)-(d) for one columnar batch (the zero-copy fast path).
+
+        Mirrors :meth:`_process_batch` stage for stage but never touches
+        element objects: the preprocessor assembles vectors from interned
+        id columns, clustering signs one MinHash pattern per distinct
+        (label-token, key-set) combination, and extraction folds value
+        columns into the per-type accumulators.  Schema results are
+        fingerprint-identical to the element-wise path over the
+        materialised batch (the columnar oracle suite pins this).
+        """
+        if state is None:
+            state = PipelineState()
+        summary_options = self._resolve_summary_options(
+            build_summaries, summary_options
+        )
+        with timer.measure("preprocess"):
+            if state.preprocessor is None:
+                state.preprocessor = Preprocessor(self.config).fit_batch(batch)
+            preprocessor = state.preprocessor
+            node_features = preprocessor.node_features_columnar(batch)
+            edge_features = preprocessor.edge_features_columnar(batch)
+        with timer.measure("clustering"):
+            node_outcome = cluster_features_columnar(
+                node_features, self.config, "nodes", state.minhash_cache
+            )
+            edge_outcome = cluster_features_columnar(
+                edge_features, self.config, "edges", state.minhash_cache
+            )
+        self._extract_and_tally(
+            schema, timer, result, node_outcome, edge_outcome,
+            summary_options, exclude_record,
+        )
+
+    def _resolve_summary_options(
+        self, build_summaries: bool, summary_options: SummaryOptions | None
+    ) -> SummaryOptions | None:
+        if not build_summaries:
+            return None
+        if summary_options is not None:
+            return summary_options
+        return SummaryOptions(
+            track_keys=self.config.infer_keys,
+            pair_cap=self.config.key_pair_tracking_cap,
+        )
+
+    def _extract_and_tally(
+        self,
+        schema: SchemaGraph,
+        timer: Timer,
+        result: DiscoveryResult,
+        node_outcome,
+        edge_outcome,
+        summary_options: SummaryOptions | None,
+        exclude_record: frozenset[str],
+    ) -> None:
         with timer.measure("extraction"):
             extract_types(
                 schema,

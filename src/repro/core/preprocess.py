@@ -21,8 +21,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.config import PGHiveConfig
-from repro.embedding.corpus import build_label_corpus
+from repro.embedding.corpus import build_label_corpus, build_label_corpus_columnar
 from repro.embedding.word2vec import Word2Vec
+from repro.graph.columnar import ColumnarElements, ElementBatch, Interner
 from repro.graph.model import PropertyGraph
 from repro.util import derive_seed
 
@@ -61,6 +62,24 @@ class FeatureMatrix:
 
     def __len__(self) -> int:
         return len(self.records)
+
+
+@dataclass
+class ColumnarFeatures:
+    """Clustering input assembled straight from a columnar block.
+
+    Carries the representation vectors (bit-identical to the
+    :class:`FeatureMatrix` the element path would build) plus the block
+    itself: clustering reads interned id columns instead of per-element
+    records, and type extraction records members by row index.
+    """
+
+    block: ColumnarElements
+    interner: Interner
+    vectors: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.block)
 
 
 class Preprocessor:
@@ -112,6 +131,19 @@ class Preprocessor:
             max_sentences=self.config.max_corpus_sentences,
             seed=derive_seed(self.config.seed, "corpus"),
         )
+        return self._fit_corpus(corpus)
+
+    def fit_batch(self, batch: ElementBatch) -> "Preprocessor":
+        """Train on a columnar batch; equivalent to :meth:`fit` on the
+        materialised graph (the corpus builders emit identical sentences)."""
+        corpus = build_label_corpus_columnar(
+            batch,
+            max_sentences=self.config.max_corpus_sentences,
+            seed=derive_seed(self.config.seed, "corpus"),
+        )
+        return self._fit_corpus(corpus)
+
+    def _fit_corpus(self, corpus: list[list[str]]) -> "Preprocessor":
         self.model = Word2Vec(
             dim=self.config.embedding_dim,
             window=self.config.embedding_window,
@@ -267,3 +299,82 @@ class Preprocessor:
             vectors[:, 2 * dim : 3 * dim] = table[row_of_token[2 * count :]]
         self._indicator_block(vectors, 3 * dim, key_index, keys_per_row)
         return FeatureMatrix(records, vectors, token_sets, keys)
+
+    # ------------------------------------------------------------------
+    # Columnar fast path (same vectors, no per-element records)
+    # ------------------------------------------------------------------
+    def _embedding_rows(
+        self, token_sids: np.ndarray, interner: Interner
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Embedding table + row index over an interned token-id column.
+
+        One scaled embedding per *distinct* token id (served from the
+        persistent string-keyed cache, so the columnar and element paths
+        embed identical tokens identically), gathered per element by one
+        fancy-indexing pass.
+        """
+        model = self._require_model()
+        cache = self._embedding_cache
+        distinct, inverse = np.unique(token_sids, return_inverse=True)
+        rows: list[np.ndarray] = []
+        for sid in distinct.tolist():
+            token = interner.string(int(sid))
+            embedding = cache.get(token)
+            if embedding is None:
+                embedding = self._scaled_embedding(model, token)
+                cache[token] = embedding
+            rows.append(embedding)
+        if not rows:
+            return np.zeros((0, self.config.embedding_dim)), inverse
+        return np.vstack(rows), inverse
+
+    @staticmethod
+    def _indicator_from_columns(
+        vectors: np.ndarray,
+        offset: int,
+        key_index: dict[str, int],
+        block: ColumnarElements,
+    ) -> None:
+        """Set the binary indicator block, one fancy index per column."""
+        for key, column in block.columns.items():
+            vectors[column.rows, offset + key_index[key]] = 1.0
+
+    def node_features_columnar(self, batch: ElementBatch) -> ColumnarFeatures:
+        """Vectorise the node section of a columnar batch."""
+        model = self._require_model()
+        block = batch.nodes
+        keys = sorted(block.columns)
+        key_index = {key: position for position, key in enumerate(keys)}
+        dim = model.dim
+        vectors = np.zeros((len(block), dim + len(keys)))
+        if len(block):
+            table, inverse = self._embedding_rows(
+                block.token_sids, batch.interner
+            )
+            if table.size:
+                vectors[:, :dim] = table[inverse]
+            self._indicator_from_columns(vectors, dim, key_index, block)
+        return ColumnarFeatures(block, batch.interner, vectors)
+
+    def edge_features_columnar(self, batch: ElementBatch) -> ColumnarFeatures:
+        """Vectorise the edge section of a columnar batch."""
+        model = self._require_model()
+        block = batch.edges
+        keys = sorted(block.columns)
+        key_index = {key: position for position, key in enumerate(keys)}
+        dim = model.dim
+        vectors = np.zeros((len(block), 3 * dim + len(keys)))
+        if len(block):
+            segments = (
+                block.token_sids,
+                block.src_token_sids,
+                block.tgt_token_sids,
+            )
+            for segment, sids in enumerate(segments):
+                table, inverse = self._embedding_rows(sids, batch.interner)
+                if table.size:
+                    vectors[:, segment * dim : (segment + 1) * dim] = table[
+                        inverse
+                    ]
+            self._indicator_from_columns(vectors, 3 * dim, key_index, block)
+        return ColumnarFeatures(block, batch.interner, vectors)

@@ -67,6 +67,7 @@ from repro.errors import (
     MissingElementError,
 )
 from repro.graph.changes import ChangeSet
+from repro.graph.columnar import ElementBatch, global_interner
 from repro.graph.model import Node, PropertyGraph
 from repro.schema.diff import SchemaDiff, diff_schemas
 from repro.schema.model import EdgeType, NodeType, SchemaGraph
@@ -287,11 +288,39 @@ class SchemaSession:
     # Change feed
     # ------------------------------------------------------------------
     def apply(self, change_set: ChangeSet) -> ChangeReport:
-        """Apply one change-set: inserts first, then deletions."""
+        """Apply one change-set: inserts first, then deletions.
+
+        Change-sets carrying a columnar payload take the zero-copy ingest
+        path: the pipeline consumes the :class:`ElementBatch` natively
+        and no per-element dataclasses are materialised (unless the
+        session retains a union graph, which is maintained element-wise).
+        """
         if change_set.has_deletions and self._union is None:
             raise ConfigurationError(
                 "deletions require the retained union graph: construct the "
                 "session with PGHiveConfig(retain_union=True)"
+            )
+        columnar = change_set.columnar
+        if columnar is not None:
+            if change_set.nodes or change_set.edges:
+                raise ConfigurationError(
+                    "a change-set carries either element-wise or columnar "
+                    "inserts, not both"
+                )
+            stubs = change_set.stub_node_ids
+            if stubs:
+                # Guard against producers flagging ids they did not ship.
+                stubs = frozenset(stubs) & set(columnar.nodes.ids)
+            return self._apply(
+                None,
+                change_set.delete_edges,
+                change_set.delete_nodes,
+                inserted=(
+                    columnar.node_count - len(stubs),
+                    columnar.edge_count,
+                ),
+                exclude_record=stubs,
+                columnar=columnar if len(columnar) else None,
             )
         batch = self._insert_graph(change_set)
         stubs = change_set.stub_node_ids
@@ -325,6 +354,7 @@ class SchemaSession:
         delete_node_ids: Iterable[str],
         inserted: tuple[int, int] = (0, 0),
         exclude_record: frozenset[str] = frozenset(),
+        columnar: ElementBatch | None = None,
     ) -> ChangeReport:
         """Shared apply path.  ``inserted`` is the *producer's* insert
         count -- endpoint stubs resolved into the materialised batch are
@@ -337,6 +367,8 @@ class SchemaSession:
         with change_timer.measure("change"):
             if batch is not None:
                 self._ingest(batch, exclude_record)
+            elif columnar is not None:
+                self._ingest_columnar(columnar, exclude_record)
             if delete_edge_ids or delete_node_ids:
                 edges_deleted = self._delete_edges(delete_edge_ids)
                 nodes_deleted, cascaded = self._delete_nodes(delete_node_ids)
@@ -385,6 +417,50 @@ class SchemaSession:
         )
         if self._union is not None and self._union is not batch:
             self._union.merge_in(batch)
+        self._dirty = True
+
+    def _ingest_columnar(
+        self,
+        batch: ElementBatch,
+        exclude_record: frozenset[str] = frozenset(),
+    ) -> None:
+        """Steps (b)-(d) for one columnar batch (zero-copy fast path).
+
+        When the session retains a union graph (deletions enabled), the
+        batch is additionally materialised element-wise into the union --
+        deletions stay element-wise by design, so the fast path only
+        skips materialisation entirely on insert-only streaming sessions.
+        """
+        self._pipeline._process_batch_columnar(
+            batch,
+            self._schema,
+            self._timer,
+            self._result,
+            self._state,
+            build_summaries=(
+                self._streaming
+                and self._streaming_valid
+                and self.config.post_processing
+            ),
+            summary_options=SummaryOptions(
+                track_keys=self._track_keys,
+                pair_cap=self.config.key_pair_tracking_cap,
+            ),
+            exclude_record=exclude_record,
+        )
+        if self._union is not None:
+            self._union.merge_in(
+                batch.to_property_graph(
+                    f"{self.schema_name}-change{self._sequence}"
+                )
+            )
+        # Adopting the batch's interner per change-set is safe here: no
+        # session state stores interner-local ids across batches (schema,
+        # accumulators, and signature caches are content-keyed), and
+        # checkpoints persist a content-only snapshot.  Sharded workers
+        # rely on this -- each pickled change-set arrives with its own
+        # interner copy.
+        self._dstate.interner = batch.interner
         self._dirty = True
 
     def _adopt_union(self, graph: PropertyGraph) -> None:
@@ -662,6 +738,14 @@ class SchemaSession:
             "schema": self._schema,
             "state": self._state,
             "union": self._union,
+            # Content-only interner snapshot: restored processes re-warm
+            # the columnar content caches (ids themselves are process
+            # local; nothing persistent keys on them).
+            "interner": (
+                None
+                if self._dstate.interner is None
+                else self._dstate.interner.snapshot()
+            ),
             "reports": list(self.reports),
             "result": {
                 "batches_processed": self._result.batches_processed,
@@ -732,6 +816,10 @@ class SchemaSession:
             streaming_postprocess=payload["streaming_postprocess"],
             track_keys=payload["track_keys"],
         )
+        interner = global_interner()
+        snapshot = payload.get("interner")
+        if snapshot:
+            interner.merge_snapshot(snapshot)
         session._adopt_state(
             DiscoveryState(
                 schema=payload["schema"],
@@ -740,6 +828,7 @@ class SchemaSession:
                 sequence=payload["sequence"],
                 streaming_valid=payload["streaming_valid"],
                 dirty=payload["dirty"],
+                interner=interner,
             )
         )
         session.reports = list(payload["reports"])

@@ -57,6 +57,7 @@ from repro.core.session import ChangeReport, SchemaSession
 from repro.core.state import DiscoveryState
 from repro.errors import CheckpointError, ConfigurationError
 from repro.graph.changes import ChangeSet, HashPartitioner
+from repro.graph.columnar import Interner, global_interner, partition_columnar
 from repro.graph.model import Node, PropertyGraph
 from repro.schema.model import SchemaGraph
 
@@ -97,6 +98,58 @@ class ShardedChangeReport:
 # worker process is exactly one session per shard.
 # ----------------------------------------------------------------------
 _WORKER_SESSION: SchemaSession | None = None
+
+
+# ----------------------------------------------------------------------
+# Registry entries: legacy feeds register :class:`Node` objects, columnar
+# feeds register compact ``(labelset_id, keyset_id, values)`` records.
+# The two views below decode whichever is stored into whatever the
+# active partition path needs, so mixed feeds stay correct.
+# ----------------------------------------------------------------------
+def _entry_to_node(node_id: str, entry, interner: Interner) -> Node:
+    if isinstance(entry, Node):
+        return entry
+    labelset_id, keyset_id, values = entry
+    keys = interner.keyset(keyset_id).keys
+    return Node(
+        node_id,
+        interner.labelset(labelset_id).labels,
+        dict(zip(keys, values)),
+    )
+
+
+def _entry_to_record(entry, interner: Interner):
+    if not isinstance(entry, Node):
+        return entry
+    labelset_id = interner.intern_labels(entry.labels)
+    keyset_id = interner.intern_keys(entry.properties)
+    keys = interner.keyset(keyset_id).keys
+    return (
+        labelset_id,
+        keyset_id,
+        tuple(entry.properties[key] for key in keys),
+    )
+
+
+class _RegistryView:
+    """Read-only registry adapter decoding entries for one partition path."""
+
+    __slots__ = ("_registry", "_interner", "_as_record")
+
+    def __init__(
+        self, registry: dict, interner: Interner, as_record: bool
+    ) -> None:
+        self._registry = registry
+        self._interner = interner
+        self._as_record = as_record
+
+    def get(self, node_id: str):
+        entry = self._registry.get(node_id)
+        if entry is None:
+            return None
+        if self._as_record:
+            return _entry_to_record(entry, self._interner)
+        return _entry_to_node(node_id, entry, self._interner)
 
 
 def _worker_init(config, schema_name, retain_union, streaming, track_keys):
@@ -178,7 +231,16 @@ class ShardedSchemaSession:
         self._partitioner = HashPartitioner(self.n_shards)
         #: first-inserted version of every live node, for stub routing
         #: (mirrors the union graph's first-version-wins semantics).
-        self._registry: dict[str, Node] = {}
+        #: Values are :class:`Node` objects (legacy feeds) or compact
+        #: columnar records (columnar feeds); see ``_RegistryView``.
+        self._registry: dict[str, object] = {}
+        #: the single interner every columnar change-set of this session
+        #: must share: registry records store interner-local ids, so a
+        #: batch built against a different interner would silently decode
+        #: to wrong content.  Pinned by the first columnar apply (or by
+        #: restore) and enforced afterwards.
+        self._interner: Interner = global_interner()
+        self._interner_pinned = False
         self._sequence = 0
         self.reports: list[ShardedChangeReport] = []
         self._shard_dirty = [True] * self.n_shards
@@ -268,15 +330,64 @@ class ShardedSchemaSession:
     # Change feed
     # ------------------------------------------------------------------
     def apply(self, change_set: ChangeSet) -> ShardedChangeReport:
-        """Partition one change-set and apply the parts to their shards."""
+        """Partition one change-set and apply the parts to their shards.
+
+        Columnar change-sets partition over the batch's id column and the
+        per-shard sub-change-sets stay columnar, so every shard ingests
+        through the zero-copy path; the node registry then stores compact
+        records instead of :class:`Node` objects.
+        """
         if change_set.has_deletions and not self._retain_union:
             raise ConfigurationError(
                 "deletions require retained union graphs: construct the "
                 "sharded session with PGHiveConfig(retain_union=True)"
             )
-        for node in change_set.nodes:
-            self._registry.setdefault(node.node_id, node)
-        parts = self._partitioner.partition(change_set, self._registry)
+        columnar = change_set.columnar
+        if columnar is not None:
+            if change_set.nodes or change_set.edges:
+                raise ConfigurationError(
+                    "a change-set carries either element-wise or columnar "
+                    "inserts, not both"
+                )
+            if columnar.interner is not self._interner:
+                if self._interner_pinned:
+                    raise ConfigurationError(
+                        "columnar change-sets of one sharded session must "
+                        "all share one Interner: the node registry stores "
+                        "interner-local ids, and records from a different "
+                        "interner would decode to wrong content"
+                    )
+                self._interner = columnar.interner
+            self._interner_pinned = True
+            registry = self._registry
+            # Build each node's compact record once: it seeds the registry
+            # *and* pre-warms the partitioner's record cache.
+            batch_records: dict[str, tuple[int, int, tuple]] = {}
+            for row, node_id in enumerate(columnar.nodes.ids):
+                if node_id not in batch_records:
+                    batch_records[node_id] = columnar.node_record(row)
+            for node_id, record in batch_records.items():
+                if node_id not in registry:
+                    registry[node_id] = record
+            inserted_node_ids = set(batch_records)
+            nodes_inserted = columnar.node_count
+            edges_inserted = columnar.edge_count
+            parts = partition_columnar(
+                self._partitioner,
+                change_set,
+                _RegistryView(self._registry, self._interner, as_record=True),
+                record_cache=batch_records,
+            )
+        else:
+            for node in change_set.nodes:
+                self._registry.setdefault(node.node_id, node)
+            inserted_node_ids = {n.node_id for n in change_set.nodes}
+            nodes_inserted = len(change_set.nodes)
+            edges_inserted = len(change_set.edges)
+            parts = self._partitioner.partition(
+                change_set,
+                _RegistryView(self._registry, self._interner, as_record=False),
+            )
         deleted_nodes = {
             node_id
             for node_id in change_set.delete_nodes
@@ -290,13 +401,11 @@ class ShardedSchemaSession:
         seconds = time.perf_counter() - start
 
         self._sequence += 1
-        stubs = frozenset(change_set.stub_node_ids) & {
-            n.node_id for n in change_set.nodes
-        }
+        stubs = frozenset(change_set.stub_node_ids) & inserted_node_ids
         report = ShardedChangeReport(
             sequence=self._sequence,
-            nodes_inserted=len(change_set.nodes) - len(stubs),
-            edges_inserted=len(change_set.edges),
+            nodes_inserted=nodes_inserted - len(stubs),
+            edges_inserted=edges_inserted,
             nodes_deleted=len(deleted_nodes),
             edges_deleted=sum(r.edges_deleted for _, r in shard_reports),
             seconds=seconds,
@@ -443,7 +552,22 @@ class ShardedSchemaSession:
             "streaming_postprocess": self._streaming,
             "track_keys": self._track_keys,
             "sequence": self._sequence,
-            "registry": dict(self._registry),
+            # Columnar records are encoded by content (labels, keys,
+            # values): interner ids are process-local and would not
+            # survive a restore in a fresh process.
+            "registry": {
+                node_id: (
+                    entry
+                    if isinstance(entry, Node)
+                    else (
+                        "columnar",
+                        sorted(self._interner.labelset(entry[0]).labels),
+                        self._interner.keyset(entry[1]).keys,
+                        entry[2],
+                    )
+                )
+                for node_id, entry in self._registry.items()
+            },
             "shard_files": shard_files,
         }
         manifest = directory / MANIFEST_NAME
@@ -515,7 +639,23 @@ class ShardedSchemaSession:
             track_keys=payload["track_keys"],
         )
         session._sequence = payload["sequence"]
-        session._registry = dict(payload["registry"])
+        interner = global_interner()
+        registry: dict[str, object] = {}
+        for node_id, entry in payload["registry"].items():
+            if isinstance(entry, Node):
+                registry[node_id] = entry
+            else:
+                _, labels, keys, values = entry
+                labelset_id = interner.intern_labels(labels)
+                keyset_id = interner.intern_keys(keys)
+                registry[node_id] = (labelset_id, keyset_id, tuple(values))
+        session._registry = registry
+        session._interner = interner
+        # Restored records were re-interned against the process-wide
+        # interner; later columnar batches must share it.
+        session._interner_pinned = any(
+            not isinstance(entry, Node) for entry in registry.values()
+        )
         shard_paths = [directory / name for name in payload["shard_files"]]
         if session.parallel:
             pools = session._ensure_pools()

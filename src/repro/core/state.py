@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.core.pipeline import PipelineState
+from repro.graph.columnar import Interner, global_interner
 from repro.graph.model import PropertyGraph
 from repro.lsh.minhash import MinHashLSH
 from repro.schema.merge import DEFAULT_THETA, canonicalize_schema, merge_into
@@ -77,6 +78,10 @@ class DiscoveryState:
     sequence: int = 0
     streaming_valid: bool = True
     dirty: bool = False
+    #: the content interner backing columnar ingestion (usually the
+    #: process-wide one).  Ids are process-local; checkpoints persist a
+    #: content snapshot, and merging states unions their content.
+    interner: Interner | None = field(default_factory=global_interner)
 
     # ------------------------------------------------------------------
     # Construction
@@ -155,6 +160,11 @@ class DiscoveryState:
                 )
                 self.pipeline.minhash_cache[key] = mine
             mine.merge_cache_from(lsh)
+        if other.interner is not None:
+            if self.interner is None:
+                self.interner = other.interner
+            else:
+                self.interner.merge_from(other.interner)
         self.sequence = max(self.sequence, other.sequence)
         self.streaming_valid = self.streaming_valid and other.streaming_valid
         self.dirty = self.dirty or other.dirty

@@ -51,7 +51,15 @@ def _record_members(
     (and counted) by another shard.  Excluded members still shaped the
     cluster's labels and endpoint tokens -- only the instance attachment
     and value folding are skipped.
+
+    Columnar clusters implement the equivalent semantics themselves
+    (value folding runs per column, not per cell) and are dispatched to
+    :meth:`~repro.core.clustering.ColumnarCluster.record_into`.
     """
+    record_into = getattr(cluster, "record_into", None)
+    if record_into is not None:
+        record_into(schema_type, options, exclude_record)
+        return
     is_edge = isinstance(schema_type, EdgeType)
     member_count = len(cluster.member_ids)
     has_values = (

@@ -7,14 +7,23 @@ from repro.graph.changes import (
     changesets_from_elements,
     stable_shard,
 )
+from repro.graph.columnar import (
+    BatchBuilder,
+    ElementBatch,
+    Interner,
+    columnar_changesets_from_rows,
+    global_interner,
+)
 from repro.graph.csv_io import (
     iter_changesets_csv,
+    iter_columnar_changesets_csv,
     read_graph_csv,
     write_graph_csv,
 )
 from repro.graph.json_io import (
     graph_from_elements,
     iter_changesets_jsonl,
+    iter_columnar_changesets_jsonl,
     iter_graph_jsonl,
     read_graph_jsonl,
     write_graph_jsonl,
@@ -38,24 +47,31 @@ from repro.graph.statistics import (
 from repro.graph.store import GraphStore
 
 __all__ = [
+    "BatchBuilder",
     "ChangeSet",
     "Edge",
     "EdgePattern",
     "EdgeQuery",
+    "ElementBatch",
     "GraphStatistics",
     "GraphStore",
     "HashPartitioner",
+    "Interner",
     "Node",
     "NodePattern",
     "NodeQuery",
     "PropertyGraph",
     "TABLE2_HEADER",
     "changesets_from_elements",
+    "columnar_changesets_from_rows",
     "compute_statistics",
     "edge_patterns",
+    "global_interner",
     "graph_from_elements",
     "iter_changesets_csv",
     "iter_changesets_jsonl",
+    "iter_columnar_changesets_csv",
+    "iter_columnar_changesets_jsonl",
     "iter_graph_jsonl",
     "label_coverage",
     "label_token",

@@ -38,9 +38,13 @@ from __future__ import annotations
 import hashlib
 from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError, DanglingEdgeError
 from repro.graph.model import Edge, Node, PropertyGraph
+
+if TYPE_CHECKING:
+    from repro.graph.columnar import ElementBatch
 
 
 @dataclass
@@ -53,6 +57,11 @@ class ChangeSet:
     delete_edges: list[str] = field(default_factory=list)
     #: ids among ``nodes`` that are endpoint stubs (see module docstring).
     stub_node_ids: frozenset[str] = frozenset()
+    #: columnar insert payload (:class:`repro.graph.columnar.ElementBatch`).
+    #: Mutually exclusive with element-wise ``nodes``/``edges`` inserts;
+    #: ``stub_node_ids`` then names stub *rows* of the batch.  Deletions
+    #: stay element-wise (bare identifiers) either way.
+    columnar: "ElementBatch | None" = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -61,6 +70,11 @@ class ChangeSet:
     def inserts(cls, nodes=(), edges=()) -> "ChangeSet":
         """Insert-only change-set."""
         return cls(nodes=list(nodes), edges=list(edges))
+
+    @classmethod
+    def inserts_columnar(cls, batch: "ElementBatch") -> "ChangeSet":
+        """Insert-only change-set carrying a columnar batch."""
+        return cls(columnar=batch)
 
     @classmethod
     def deletions(cls, nodes=(), edges=()) -> "ChangeSet":
@@ -78,7 +92,11 @@ class ChangeSet:
     @property
     def has_inserts(self) -> bool:
         """True when the change-set carries at least one insert."""
-        return bool(self.nodes or self.edges)
+        return bool(
+            self.nodes
+            or self.edges
+            or (self.columnar is not None and len(self.columnar))
+        )
 
     @property
     def has_deletions(self) -> bool:
@@ -86,9 +104,25 @@ class ChangeSet:
         return bool(self.delete_nodes or self.delete_edges)
 
     @property
+    def inserted_node_count(self) -> int:
+        """Number of inserted node rows/elements (stubs included)."""
+        count = len(self.nodes)
+        if self.columnar is not None:
+            count += self.columnar.node_count
+        return count
+
+    @property
+    def inserted_edge_count(self) -> int:
+        """Number of inserted edge rows/elements."""
+        count = len(self.edges)
+        if self.columnar is not None:
+            count += self.columnar.edge_count
+        return count
+
+    @property
     def insert_count(self) -> int:
         """Number of inserted elements (stubs included)."""
-        return len(self.nodes) + len(self.edges)
+        return self.inserted_node_count + self.inserted_edge_count
 
     @property
     def fresh_insert_count(self) -> int:
@@ -114,9 +148,11 @@ class ChangeSet:
         return not self.is_empty
 
     def __repr__(self) -> str:
+        suffix = ", columnar" if self.columnar is not None else ""
         return (
-            f"ChangeSet(+{len(self.nodes)}N/+{len(self.edges)}E, "
-            f"-{len(self.delete_nodes)}N/-{len(self.delete_edges)}E)"
+            f"ChangeSet(+{self.inserted_node_count}N/"
+            f"+{self.inserted_edge_count}E, "
+            f"-{len(self.delete_nodes)}N/-{len(self.delete_edges)}E{suffix})"
         )
 
 
@@ -182,7 +218,17 @@ class HashPartitioner:
         change_set: ChangeSet,
         node_lookup: Mapping[str, Node] | None = None,
     ) -> dict[int, ChangeSet]:
-        """Split ``change_set`` into non-empty per-shard change-sets."""
+        """Split ``change_set`` into non-empty per-shard change-sets.
+
+        Columnar change-sets partition over the batch's id column (see
+        :func:`repro.graph.columnar.partition_columnar`); ``node_lookup``
+        must then map node ids to compact columnar records instead of
+        :class:`Node` objects.
+        """
+        if change_set.columnar is not None:
+            from repro.graph.columnar import partition_columnar
+
+            return partition_columnar(self, change_set, node_lookup)
         drafts: dict[int, _ShardDraft] = {}
 
         def draft(shard: int) -> _ShardDraft:

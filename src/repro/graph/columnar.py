@@ -1,0 +1,1034 @@
+"""Columnar zero-copy ingestion core: :class:`ElementBatch` + interning.
+
+The element-wise hot path materialises every node/edge as a Python
+dataclass and re-walks its property dict in four layers (type extraction,
+preprocessing, MinHash token sets, accumulators).  Incremental-view-
+maintenance systems avoid exactly this by keeping deltas in flat columnar
+relations (Szárnyas et al.), and PG-Schema's label/property-set formalism
+makes the schema-relevant content of an element fully internable: a
+label-set id, a property-key-set id, and typed value columns.
+
+This module provides that representation:
+
+* :class:`Interner` -- a process-wide content store mapping label *sets*,
+  token strings, property key *sets*, and LSH token patterns to small
+  integer ids.  Token strings carry their content-derived 61-bit MinHash
+  ids (shared with :mod:`repro.lsh.minhash`'s process-wide token-id
+  cache), so LSH signing of a columnar batch never re-hashes a token.
+  Label sets are interned by the *set* (not the joined token string):
+  two distinct sets whose tokens collide -- ``{"A+B"}`` vs ``{"A","B"}``
+  -- keep distinct ids while sharing embedding/LSH behaviour, exactly as
+  element-wise discovery treats them.
+* :class:`ElementBatch` -- one change-feed batch as contiguous columns:
+  element ids, interned label-set ids, interned key-set ids, per-key
+  value columns (``rows`` index array + object values), and, for edges,
+  endpoint ids and endpoint label-token string ids.
+  ``from_elements``/``to_elements`` convert to and from the dataclass
+  world (the element-wise oracle); :class:`BatchBuilder` appends raw rows
+  so file readers ingest without ever instantiating a ``Node``/``Edge``.
+* :func:`columnar_changesets_from_rows` -- the columnar analogue of
+  :func:`repro.graph.changes.changesets_from_elements`: groups a raw row
+  stream into endpoint-complete insert :class:`ChangeSet`\\ s whose
+  payload is an :class:`ElementBatch` (stub copies marked in
+  ``stub_node_ids``), holding one compact record per distinct node id in
+  memory instead of one dataclass.
+* :func:`partition_columnar` -- the sharded-session partitioning step
+  over the id column (stable blake2b routing, stub rows shipped across
+  shards), mirroring :meth:`repro.graph.changes.HashPartitioner.partition`.
+
+The interner is process-wide state exactly like the MinHash token-id
+cache: ids are assigned in first-intern order and are therefore *not*
+stable across processes.  Nothing persistent keys on them -- schemas,
+accumulators, and signature caches remain string-keyed -- but discovery
+state carries an interner *snapshot* through checkpoints so a restored
+process re-warms the content caches (and the sharded manifest encodes
+its stub registry by content, not by id).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DanglingEdgeError
+from repro.graph.changes import ChangeSet, _ShardDraft
+from repro.graph.model import Edge, Node, PropertyGraph, label_token
+from repro.lsh.minhash import token_content_id
+
+if TYPE_CHECKING:
+    from repro.graph.changes import HashPartitioner
+
+
+class LabelSet:
+    """One interned label set: the labels, their token, its string id."""
+
+    __slots__ = ("labelset_id", "labels", "token", "token_sid")
+
+    def __init__(
+        self, labelset_id: int, labels: frozenset[str], token: str, token_sid: int
+    ) -> None:
+        self.labelset_id = labelset_id
+        self.labels = labels
+        self.token = token
+        self.token_sid = token_sid
+
+
+class KeySet:
+    """One interned property-key set (keys sorted, frozenset cached)."""
+
+    __slots__ = ("keyset_id", "keys", "frozen", "index_of")
+
+    def __init__(self, keyset_id: int, keys: tuple[str, ...]) -> None:
+        self.keyset_id = keyset_id
+        self.keys = keys
+        self.frozen = frozenset(keys)
+        self.index_of = {key: position for position, key in enumerate(keys)}
+
+
+class TokenPattern:
+    """One interned LSH structural pattern: token set + MinHash id array."""
+
+    __slots__ = ("tokens", "minhash_ids")
+
+    def __init__(self, tokens: frozenset[str], minhash_ids: np.ndarray) -> None:
+        self.tokens = tokens
+        self.minhash_ids = minhash_ids
+
+
+class Interner:
+    """Process-wide content interner backing columnar batches.
+
+    All methods are idempotent: interning the same content twice returns
+    the same id.  The interner only grows (like the MinHash caches), and
+    its size is bounded by the number of *distinct* label sets, tokens,
+    key sets, and structural patterns -- small even for huge graphs.
+    """
+
+    def __init__(self) -> None:
+        self._string_ids: dict[str, int] = {}
+        self._strings: list[str] = []
+        self._string_minhash: list[int] = []
+        self._labelset_ids: dict[frozenset[str], int] = {}
+        self._labelsets: list[LabelSet] = []
+        self._keyset_ids: dict[tuple[str, ...], int] = {}
+        self._keysets: list[KeySet] = []
+        self._node_patterns: dict[tuple[int, int], TokenPattern] = {}
+        self._edge_patterns: dict[tuple[int, int, int, int], TokenPattern] = {}
+
+    # ------------------------------------------------------------------
+    # Token strings
+    # ------------------------------------------------------------------
+    def intern_string(self, text: str) -> int:
+        """Intern one token string; returns its dense string id."""
+        sid = self._string_ids.get(text)
+        if sid is None:
+            sid = len(self._strings)
+            self._string_ids[text] = sid
+            self._strings.append(text)
+            self._string_minhash.append(token_content_id(text))
+        return sid
+
+    def string(self, sid: int) -> str:
+        """The token string behind ``sid``."""
+        return self._strings[sid]
+
+    def string_minhash_id(self, sid: int) -> int:
+        """The content-derived 61-bit MinHash token id of string ``sid``."""
+        return self._string_minhash[sid]
+
+    # ------------------------------------------------------------------
+    # Label sets
+    # ------------------------------------------------------------------
+    def intern_labels(self, labels: Iterable[str]) -> int:
+        """Intern one label set; returns its dense label-set id."""
+        frozen = labels if isinstance(labels, frozenset) else frozenset(labels)
+        lid = self._labelset_ids.get(frozen)
+        if lid is None:
+            token = label_token(frozen)
+            lid = len(self._labelsets)
+            self._labelset_ids[frozen] = lid
+            self._labelsets.append(
+                LabelSet(lid, frozen, token, self.intern_string(token))
+            )
+        return lid
+
+    def labelset(self, lid: int) -> LabelSet:
+        """The :class:`LabelSet` behind ``lid``."""
+        return self._labelsets[lid]
+
+    # ------------------------------------------------------------------
+    # Property-key sets
+    # ------------------------------------------------------------------
+    def intern_keys(self, keys: Iterable[str]) -> int:
+        """Intern one property-key set (sorted); returns its key-set id."""
+        ordered = tuple(sorted(keys))
+        kid = self._keyset_ids.get(ordered)
+        if kid is None:
+            kid = len(self._keysets)
+            self._keyset_ids[ordered] = kid
+            self._keysets.append(KeySet(kid, ordered))
+            for key in ordered:
+                self.intern_string(key)
+        return kid
+
+    def keyset(self, kid: int) -> KeySet:
+        """The :class:`KeySet` behind ``kid``."""
+        return self._keysets[kid]
+
+    # ------------------------------------------------------------------
+    # LSH structural patterns
+    # ------------------------------------------------------------------
+    def _build_pattern(self, tokens: set[str]) -> TokenPattern:
+        frozen = frozenset(tokens)
+        ids = np.fromiter(
+            (self._string_minhash[self.intern_string(token)] for token in frozen),
+            dtype=np.uint64,
+            count=len(frozen),
+        )
+        return TokenPattern(frozen, ids)
+
+    def node_pattern(self, token_sid: int, keyset_id: int) -> TokenPattern:
+        """The MinHash token pattern of a (label token, key set) pair."""
+        key = (token_sid, keyset_id)
+        pattern = self._node_patterns.get(key)
+        if pattern is None:
+            tokens = set(self._keysets[keyset_id].keys)
+            token = self._strings[token_sid]
+            if token:
+                tokens.add(f"label:{token}")
+            pattern = self._node_patterns[key] = self._build_pattern(tokens)
+        return pattern
+
+    def edge_pattern(
+        self, token_sid: int, src_sid: int, tgt_sid: int, keyset_id: int
+    ) -> TokenPattern:
+        """The MinHash token pattern of an edge structural signature."""
+        key = (token_sid, src_sid, tgt_sid, keyset_id)
+        pattern = self._edge_patterns.get(key)
+        if pattern is None:
+            tokens = set(self._keysets[keyset_id].keys)
+            token = self._strings[token_sid]
+            if token:
+                tokens.add(f"label:{token}")
+            source_token = self._strings[src_sid]
+            if source_token:
+                tokens.add(f"src:{source_token}")
+            target_token = self._strings[tgt_sid]
+            if target_token:
+                tokens.add(f"tgt:{target_token}")
+            pattern = self._edge_patterns[key] = self._build_pattern(tokens)
+        return pattern
+
+    # ------------------------------------------------------------------
+    # Introspection / persistence
+    # ------------------------------------------------------------------
+    @property
+    def string_count(self) -> int:
+        """Number of interned token strings."""
+        return len(self._strings)
+
+    @property
+    def labelset_count(self) -> int:
+        """Number of interned label sets."""
+        return len(self._labelsets)
+
+    @property
+    def keyset_count(self) -> int:
+        """Number of interned property-key sets."""
+        return len(self._keysets)
+
+    def snapshot(self) -> dict:
+        """Content-only snapshot for checkpoints (no process-local ids).
+
+        Patterns are derived state and deliberately excluded: they
+        rebuild on first use from the interned content.
+        """
+        return {
+            "strings": list(self._strings),
+            "labelsets": [sorted(ls.labels) for ls in self._labelsets],
+            "keysets": [ks.keys for ks in self._keysets],
+        }
+
+    def merge_snapshot(self, snapshot: Mapping) -> "Interner":
+        """Re-intern a :meth:`snapshot` (restore path); idempotent."""
+        for text in snapshot.get("strings", ()):
+            self.intern_string(text)
+        for labels in snapshot.get("labelsets", ()):
+            self.intern_labels(labels)
+        for keys in snapshot.get("keysets", ()):
+            self.intern_keys(keys)
+        return self
+
+    def merge_from(self, other: "Interner") -> "Interner":
+        """Union another interner's content into this one (state merges).
+
+        Ids are *not* transferred -- they are process-local -- only the
+        content, so batches built against ``other`` must be re-encoded
+        (which never happens in practice: within one process every state
+        shares the process-wide interner and this is a no-op).
+        """
+        if other is self:
+            return self
+        return self.merge_snapshot(other.snapshot())
+
+
+#: The process-wide interner used by default everywhere.
+_GLOBAL = Interner()
+
+
+def global_interner() -> Interner:
+    """The process-wide :class:`Interner` (shared by every batch)."""
+    return _GLOBAL
+
+
+class ValueColumn:
+    """One property key's values: element row indices + aligned values."""
+
+    __slots__ = ("rows", "values", "_position_of", "_value_list")
+
+    def __init__(self, rows: np.ndarray, values: np.ndarray) -> None:
+        self.rows = rows
+        self.values = values
+        self._position_of: dict[int, int] | None = None
+        self._value_list: list | None = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def take(self, element_rows: list[int]) -> list:
+        """Values at a *list* of rows, via a lazily built position index.
+
+        The per-cluster recording path touches many tiny row groups;
+        dict indexing beats a numpy ``searchsorted`` round-trip there,
+        and the index amortises over every cluster of the batch.
+        """
+        position_of = self._position_of
+        if position_of is None:
+            position_of = self._position_of = {
+                row: position
+                for position, row in enumerate(self.rows.tolist())
+            }
+            self._value_list = self.values.tolist()
+        value_list = self._value_list
+        return [value_list[position_of[row]] for row in element_rows]
+
+
+class ColumnarElements:
+    """One element kind (nodes or edges) of a batch, as flat columns."""
+
+    __slots__ = (
+        "kind",
+        "ids",
+        "labelset_ids",
+        "token_sids",
+        "keyset_ids",
+        "columns",
+        "source_ids",
+        "target_ids",
+        "src_token_sids",
+        "tgt_token_sids",
+        "_labelset_list",
+        "_keyset_list",
+        "_src_token_list",
+        "_tgt_token_list",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        ids: list[str],
+        labelset_ids: np.ndarray,
+        token_sids: np.ndarray,
+        keyset_ids: np.ndarray,
+        columns: dict[str, ValueColumn],
+        source_ids: list[str] | None = None,
+        target_ids: list[str] | None = None,
+        src_token_sids: np.ndarray | None = None,
+        tgt_token_sids: np.ndarray | None = None,
+    ) -> None:
+        self.kind = kind
+        self.ids = ids
+        self.labelset_ids = labelset_ids
+        self.token_sids = token_sids
+        self.keyset_ids = keyset_ids
+        self.columns = columns
+        self.source_ids = source_ids
+        self.target_ids = target_ids
+        self.src_token_sids = src_token_sids
+        self.tgt_token_sids = tgt_token_sids
+        self._labelset_list: list[int] | None = None
+        self._keyset_list: list[int] | None = None
+        self._src_token_list: list[int] | None = None
+        self._tgt_token_list: list[int] | None = None
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @property
+    def is_edges(self) -> bool:
+        """True for the edge section of a batch."""
+        return self.kind == "edges"
+
+    @property
+    def labelset_list(self) -> list[int]:
+        """``labelset_ids`` as a plain list (lazy; per-cluster indexing)."""
+        cached = self._labelset_list
+        if cached is None:
+            cached = self._labelset_list = self.labelset_ids.tolist()
+        return cached
+
+    @property
+    def keyset_list(self) -> list[int]:
+        """``keyset_ids`` as a plain list (lazy; per-cluster indexing)."""
+        cached = self._keyset_list
+        if cached is None:
+            cached = self._keyset_list = self.keyset_ids.tolist()
+        return cached
+
+    @property
+    def src_token_list(self) -> list[int]:
+        """``src_token_sids`` as a plain list (edges only, lazy)."""
+        cached = self._src_token_list
+        if cached is None:
+            cached = self._src_token_list = self.src_token_sids.tolist()
+        return cached
+
+    @property
+    def tgt_token_list(self) -> list[int]:
+        """``tgt_token_sids`` as a plain list (edges only, lazy)."""
+        cached = self._tgt_token_list
+        if cached is None:
+            cached = self._tgt_token_list = self.tgt_token_sids.tolist()
+        return cached
+
+
+_EMPTY_IDS = np.zeros(0, dtype=np.intp)
+
+
+def _empty_block(kind: str) -> ColumnarElements:
+    edges = kind == "edges"
+    return ColumnarElements(
+        kind,
+        [],
+        _EMPTY_IDS,
+        _EMPTY_IDS,
+        _EMPTY_IDS,
+        {},
+        [] if edges else None,
+        [] if edges else None,
+        _EMPTY_IDS if edges else None,
+        _EMPTY_IDS if edges else None,
+    )
+
+
+def _object_array(values: list) -> np.ndarray:
+    out = np.empty(len(values), dtype=object)
+    for position, value in enumerate(values):
+        out[position] = value
+    return out
+
+
+class ElementBatch:
+    """One insert batch in columnar form (node section + edge section).
+
+    Batches are endpoint-complete by construction: every edge's endpoints
+    appear as node rows of the same batch (possibly stub copies), exactly
+    like the batch streams of the element-wise readers.
+    """
+
+    __slots__ = ("nodes", "edges", "interner")
+
+    def __init__(
+        self,
+        nodes: ColumnarElements,
+        edges: ColumnarElements,
+        interner: Interner,
+    ) -> None:
+        self.nodes = nodes
+        self.edges = edges
+        self.interner = interner
+
+    @property
+    def node_count(self) -> int:
+        """Number of node rows (stub copies included)."""
+        return len(self.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edge rows."""
+        return len(self.edges)
+
+    def __len__(self) -> int:
+        return self.node_count + self.edge_count
+
+    def __repr__(self) -> str:
+        return f"ElementBatch(nodes={self.node_count}, edges={self.edge_count})"
+
+    # ------------------------------------------------------------------
+    # Converters (the element-wise oracle boundary)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_elements(
+        cls,
+        nodes: Iterable[Node] = (),
+        edges: Iterable[Edge] = (),
+        interner: Interner | None = None,
+    ) -> "ElementBatch":
+        """Build a batch from dataclass elements (endpoint-complete)."""
+        builder = BatchBuilder(interner)
+        for node in nodes:
+            builder.put_node_element(node)
+        for edge in edges:
+            builder.add_edge_element(edge)
+        return builder.freeze()
+
+    @classmethod
+    def from_graph(
+        cls, graph: PropertyGraph, interner: Interner | None = None
+    ) -> "ElementBatch":
+        """Build a batch carrying every element of ``graph``."""
+        return cls.from_elements(graph.nodes(), graph.edges(), interner)
+
+    def _properties_per_row(self, block: ColumnarElements) -> list[dict]:
+        properties: list[dict] = [{} for _ in range(len(block))]
+        keysets = self.interner._keysets
+        order: list[list[tuple[int, object]]] = [
+            [] for _ in range(len(block))
+        ]
+        for key, column in block.columns.items():
+            for row, value in zip(column.rows.tolist(), column.values.tolist()):
+                order[row].append((keysets[int(block.keyset_ids[row])].index_of[key], value))
+        for row, pairs in enumerate(order):
+            keyset = keysets[int(block.keyset_ids[row])]
+            pairs.sort()
+            properties[row] = {
+                keyset.keys[position]: value for position, value in pairs
+            }
+        return properties
+
+    def to_elements(self) -> tuple[list[Node], list[Edge]]:
+        """Materialise dataclass elements (the slow oracle direction)."""
+        interner = self.interner
+        node_props = self._properties_per_row(self.nodes)
+        nodes = [
+            Node(
+                node_id,
+                interner.labelset(int(lid)).labels,
+                node_props[row],
+            )
+            for row, (node_id, lid) in enumerate(
+                zip(self.nodes.ids, self.nodes.labelset_ids.tolist())
+            )
+        ]
+        edge_props = self._properties_per_row(self.edges)
+        edges = [
+            Edge(
+                edge_id,
+                self.edges.source_ids[row],
+                self.edges.target_ids[row],
+                interner.labelset(int(lid)).labels,
+                edge_props[row],
+            )
+            for row, (edge_id, lid) in enumerate(
+                zip(self.edges.ids, self.edges.labelset_ids.tolist())
+            )
+        ]
+        return nodes, edges
+
+    def to_property_graph(self, name: str = "batch") -> PropertyGraph:
+        """Materialise the batch as a :class:`PropertyGraph`."""
+        graph = PropertyGraph(name)
+        nodes, edges = self.to_elements()
+        for node in nodes:
+            graph.put_node(node)
+        for edge in edges:
+            if not graph.has_edge(edge.edge_id):
+                graph.add_edge(edge)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Row records (stub shipping / partitioning)
+    # ------------------------------------------------------------------
+    def _row_values(self, block: ColumnarElements, row: int) -> tuple:
+        keyset = self.interner.keyset(int(block.keyset_ids[row]))
+        return tuple(
+            block.columns[key].values[
+                int(np.searchsorted(block.columns[key].rows, row))
+            ]
+            for key in keyset.keys
+        )
+
+    def node_record(self, row: int) -> tuple[int, int, tuple]:
+        """Compact ``(labelset_id, keyset_id, values)`` record of one node."""
+        return (
+            int(self.nodes.labelset_ids[row]),
+            int(self.nodes.keyset_ids[row]),
+            self._row_values(self.nodes, row),
+        )
+
+    def edge_record(self, row: int) -> tuple[str, str, int, int, tuple]:
+        """Compact ``(src, tgt, labelset_id, keyset_id, values)`` record."""
+        return (
+            self.edges.source_ids[row],
+            self.edges.target_ids[row],
+            int(self.edges.labelset_ids[row]),
+            int(self.edges.keyset_ids[row]),
+            self._row_values(self.edges, row),
+        )
+
+
+class BatchBuilder:
+    """Row-wise assembly buffer freezing into an :class:`ElementBatch`.
+
+    ``values`` tuples are aligned with the interned key set's sorted
+    ``keys`` tuple.  The builder never touches ``Node``/``Edge`` objects
+    unless the convenience ``*_element`` adapters are used.
+    """
+
+    def __init__(self, interner: Interner | None = None) -> None:
+        self.interner = interner or _GLOBAL
+        self._nodes: list[tuple[str, int, int, tuple]] = []
+        self._node_index: dict[str, int] = {}
+        self._edges: list[tuple[str, str, str, int, int, tuple]] = []
+
+    @property
+    def node_count(self) -> int:
+        """Node rows appended so far."""
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        """Edge rows appended so far."""
+        return len(self._edges)
+
+    def has_node(self, node_id: str) -> bool:
+        """True when a node row for ``node_id`` was appended."""
+        return node_id in self._node_index
+
+    def add_node(
+        self, node_id: str, labelset_id: int, keyset_id: int, values: tuple
+    ) -> None:
+        """Append one node row (first writer wins on duplicate ids)."""
+        if node_id in self._node_index:
+            return
+        self._node_index[node_id] = len(self._nodes)
+        self._nodes.append((node_id, labelset_id, keyset_id, values))
+
+    def put_node(
+        self, node_id: str, labelset_id: int, keyset_id: int, values: tuple
+    ) -> None:
+        """Append or replace one node row (replacement keeps the row)."""
+        position = self._node_index.get(node_id)
+        record = (node_id, labelset_id, keyset_id, values)
+        if position is None:
+            self._node_index[node_id] = len(self._nodes)
+            self._nodes.append(record)
+        else:
+            self._nodes[position] = record
+
+    def add_edge(
+        self,
+        edge_id: str,
+        source_id: str,
+        target_id: str,
+        labelset_id: int,
+        keyset_id: int,
+        values: tuple,
+    ) -> None:
+        """Append one edge row; endpoints must be appended before freeze.
+
+        Duplicate edge ids keep the first row (deduplicated at freeze),
+        matching how the element-wise session materialises a batch.
+        """
+        self._edges.append(
+            (edge_id, source_id, target_id, labelset_id, keyset_id, values)
+        )
+
+    # Convenience adapters from the dataclass world ---------------------
+    def _intern_element(self, element) -> tuple[int, int, tuple]:
+        interner = self.interner
+        labelset_id = interner.intern_labels(element.labels)
+        keyset_id = interner.intern_keys(element.properties)
+        keys = interner.keyset(keyset_id).keys
+        values = tuple(element.properties[key] for key in keys)
+        return labelset_id, keyset_id, values
+
+    def put_node_element(self, node: Node) -> None:
+        """Append/replace a node row from a :class:`Node`."""
+        self.put_node(node.node_id, *self._intern_element(node))
+
+    def add_edge_element(self, edge: Edge) -> None:
+        """Append an edge row from an :class:`Edge`."""
+        labelset_id, keyset_id, values = self._intern_element(edge)
+        self.add_edge(
+            edge.edge_id,
+            edge.source_id,
+            edge.target_id,
+            labelset_id,
+            keyset_id,
+            values,
+        )
+
+    # Freeze ------------------------------------------------------------
+    def _freeze_block(
+        self,
+        kind: str,
+        records: list,
+        endpoint_token: Mapping[str, int] | None = None,
+    ) -> ColumnarElements:
+        if not records:
+            return _empty_block(kind)
+        interner = self.interner
+        labelsets = interner._labelsets
+        count = len(records)
+        edges = kind == "edges"
+        if edges:
+            ids, source_ids, target_ids, lid_list, kid_list, values_list = map(
+                list, zip(*records)
+            )
+        else:
+            ids, lid_list, kid_list, values_list = map(list, zip(*records))
+        labelset_ids = np.asarray(lid_list, dtype=np.intp)
+        keyset_ids = np.asarray(kid_list, dtype=np.intp)
+        uniq, inverse = np.unique(labelset_ids, return_inverse=True)
+        token_sids = np.fromiter(
+            (labelsets[int(lid)].token_sid for lid in uniq),
+            dtype=np.intp,
+            count=len(uniq),
+        )[inverse]
+        # Column assembly is the one unavoidable per-cell pass; appenders
+        # are cached per key-set id as bound methods so the inner loop is
+        # two C-level calls per cell.
+        raw_columns: dict[str, tuple[list[int], list]] = {}
+        keysets = interner._keysets
+        appenders_of: dict[int, list] = {}
+        get_appenders = appenders_of.get
+        for row, (keyset_id, values) in enumerate(zip(kid_list, values_list)):
+            if not values:
+                continue
+            appenders = get_appenders(keyset_id)
+            if appenders is None:
+                appenders = appenders_of[keyset_id] = []
+                for key in keysets[keyset_id].keys:
+                    column = raw_columns.get(key)
+                    if column is None:
+                        column = raw_columns[key] = ([], [])
+                    appenders.append((column[0].append, column[1].append))
+            for (append_row, append_value), value in zip(appenders, values):
+                append_row(row)
+                append_value(value)
+        columns = {
+            key: ValueColumn(
+                np.asarray(rows, dtype=np.intp), _object_array(values)
+            )
+            for key, (rows, values) in raw_columns.items()
+        }
+        if not edges:
+            return ColumnarElements(
+                kind, ids, labelset_ids, token_sids, keyset_ids, columns
+            )
+        try:
+            src_token_sids = np.fromiter(
+                (endpoint_token[source_id] for source_id in source_ids),
+                dtype=np.intp,
+                count=count,
+            )
+            tgt_token_sids = np.fromiter(
+                (endpoint_token[target_id] for target_id in target_ids),
+                dtype=np.intp,
+                count=count,
+            )
+        except KeyError as error:
+            raise DanglingEdgeError(
+                f"columnar batch edge references node {error.args[0]!r} "
+                "absent from the batch; columnar change-sets must be "
+                "endpoint-complete (ship stub rows)"
+            ) from None
+        return ColumnarElements(
+            kind,
+            ids,
+            labelset_ids,
+            token_sids,
+            keyset_ids,
+            columns,
+            source_ids,
+            target_ids,
+            src_token_sids,
+            tgt_token_sids,
+        )
+
+    def freeze(self) -> ElementBatch:
+        """Finalize into an :class:`ElementBatch` (validates endpoints)."""
+        labelsets = self.interner._labelsets
+        endpoint_token = {
+            node_id: labelsets[self._nodes[position][1]].token_sid
+            for node_id, position in self._node_index.items()
+        }
+        edge_rows = self._edges
+        if len({record[0] for record in edge_rows}) != len(edge_rows):
+            # Duplicate edge ids keep the first row, like PropertyGraph
+            # materialisation of a change-set does.
+            seen: set[str] = set()
+            add = seen.add
+            edge_rows = [
+                record
+                for record in edge_rows
+                if record[0] not in seen and not add(record[0])
+            ]
+        nodes = self._freeze_block("nodes", self._nodes)
+        edges = self._freeze_block("edges", edge_rows, endpoint_token)
+        return ElementBatch(nodes, edges, self.interner)
+
+
+# ----------------------------------------------------------------------
+# Columnar change-set grouping (the streaming-reader backbone)
+# ----------------------------------------------------------------------
+
+#: One raw node row: ``(node_id, labelset_id, keyset_id, values)``.
+NodeRow = tuple[str, int, int, tuple]
+#: One raw edge row: ``(edge_id, src, tgt, labelset_id, keyset_id, values)``.
+EdgeRow = tuple[str, str, str, int, int, tuple]
+
+
+def columnar_changesets_from_rows(
+    rows: Iterable[tuple[str, tuple]],
+    batch_size: int = 1000,
+    interner: Interner | None = None,
+) -> Iterator[ChangeSet]:
+    """Group a raw row stream into endpoint-complete columnar change-sets.
+
+    The columnar analogue of
+    :func:`repro.graph.changes.changesets_from_elements`: ``rows`` yields
+    ``("n", NodeRow)`` and ``("e", EdgeRow)`` tuples in stream order;
+    change-sets of at most ``batch_size`` fresh rows are emitted with an
+    :class:`ElementBatch` payload, edges referencing earlier nodes ship
+    stub rows marked in ``stub_node_ids``, and out-of-order edges are
+    buffered until their endpoints appear (a missing endpoint raises
+    :class:`DanglingEdgeError` at end of stream).  Memory holds one
+    compact record per distinct node id -- never a dataclass.
+    """
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    interner = interner or _GLOBAL
+    directory: dict[str, tuple[int, int, tuple]] = {}
+    pending: list[EdgeRow] = []
+    # The draft state is kept in plain locals (lists + index dict) rather
+    # than a BatchBuilder: this loop runs once per element and per-row
+    # method dispatch is measurable at ingest rates.
+    node_rows: list[NodeRow] = []
+    node_index: dict[str, int] = {}
+    edge_rows: list[EdgeRow] = []
+    stubs: set[str] = set()
+    fresh = 0
+
+    directory_get = directory.get
+
+    def resolve(edge_row: EdgeRow) -> bool:
+        """Place ``edge_row`` iff both endpoints are known."""
+        source_id, target_id = edge_row[1], edge_row[2]
+        source_record = directory_get(source_id)
+        if source_record is None:
+            return False
+        target_record = directory_get(target_id)
+        if target_record is None:
+            return False
+        if source_id not in node_index:
+            node_index[source_id] = len(node_rows)
+            node_rows.append((source_id, *source_record))
+            stubs.add(source_id)
+        if target_id not in node_index:
+            node_index[target_id] = len(node_rows)
+            node_rows.append((target_id, *target_record))
+            stubs.add(target_id)
+        edge_rows.append(edge_row)
+        return True
+
+    def flush() -> ChangeSet:
+        nonlocal node_rows, node_index, edge_rows, stubs, fresh
+        builder = BatchBuilder(interner)
+        builder._nodes = node_rows
+        builder._node_index = node_index
+        builder._edges = edge_rows
+        change_set = ChangeSet(
+            columnar=builder.freeze(), stub_node_ids=frozenset(stubs)
+        )
+        node_rows, node_index, edge_rows = [], {}, []
+        stubs = set()
+        fresh = 0
+        return change_set
+
+    for kind, row in rows:
+        if kind == "n":
+            node_id = row[0]
+            record = (row[1], row[2], row[3])
+            directory[node_id] = record
+            position = node_index.get(node_id)
+            if position is not None:
+                # Already shipped as a stub (or duplicated) in this
+                # batch; the real insert supersedes both copy and flag.
+                stubs.discard(node_id)
+                node_rows[position] = row
+            else:
+                node_index[node_id] = len(node_rows)
+                node_rows.append(row)
+            fresh += 1
+        else:
+            if resolve(row):
+                fresh += 1
+            else:
+                pending.append(row)
+        if fresh >= batch_size:
+            pending = [edge_row for edge_row in pending if not resolve(edge_row)]
+            yield flush()
+
+    pending = [edge_row for edge_row in pending if not resolve(edge_row)]
+    if pending:
+        missing = sorted(
+            {
+                endpoint
+                for edge_row in pending
+                for endpoint in (edge_row[1], edge_row[2])
+                if endpoint not in directory
+            }
+        )
+        raise DanglingEdgeError(
+            f"{len(pending)} edge(s) reference node ids absent from the "
+            f"stream (first few: {missing[:5]})"
+        )
+    if node_rows or edge_rows:
+        yield flush()
+
+
+# ----------------------------------------------------------------------
+# Sharded partitioning over the id column
+# ----------------------------------------------------------------------
+def partition_columnar(
+    partitioner: "HashPartitioner",
+    change_set: ChangeSet,
+    node_lookup: Mapping[str, tuple[int, int, tuple]] | None = None,
+    record_cache: dict[str, tuple[int, int, tuple]] | None = None,
+) -> dict[int, ChangeSet]:
+    """Split a columnar change-set into per-shard columnar change-sets.
+
+    The columnar analogue of
+    :meth:`repro.graph.changes.HashPartitioner.partition`: node rows
+    route by ``stable_shard(node_id)``, edge rows by their edge id, and
+    cross-shard endpoints travel as stub rows (taken from the batch
+    itself or from ``node_lookup``, the sharded session's compact node
+    registry), marked in ``stub_node_ids``.  Node deletions broadcast,
+    edge deletions route to the owner shard.  ``record_cache`` may carry
+    pre-built compact records for this batch's node ids (the sharded
+    session builds them for its registry anyway); missing entries are
+    materialised on demand.
+    """
+    batch = change_set.columnar
+    shard_of = partitioner.shard_of
+    builders: dict[int, BatchBuilder] = {}
+    stubs: dict[int, set[str]] = {}
+    drafts: dict[int, _ShardDraft] = {}
+
+    def builder(shard: int) -> BatchBuilder:
+        existing = builders.get(shard)
+        if existing is None:
+            existing = builders[shard] = BatchBuilder(batch.interner)
+            stubs[shard] = set()
+        return existing
+
+    in_batch: dict[str, int] = {
+        node_id: row for row, node_id in enumerate(batch.nodes.ids)
+    }
+    if record_cache is None:
+        record_cache = {}
+
+    def record_of(node_id: str) -> tuple[int, int, tuple] | None:
+        record = record_cache.get(node_id)
+        if record is None:
+            row = in_batch.get(node_id)
+            if row is not None:
+                record = batch.node_record(row)
+            elif node_lookup is not None:
+                record = node_lookup.get(node_id)
+            if record is not None:
+                record_cache[node_id] = record
+        return record
+
+    for row, node_id in enumerate(batch.nodes.ids):
+        shard = shard_of(node_id)
+        part = builder(shard)
+        record = record_of(node_id)
+        part.add_node(node_id, *record)
+        if node_id in change_set.stub_node_ids:
+            stubs[shard].add(node_id)
+
+    edge_block = batch.edges
+    for row, edge_id in enumerate(edge_block.ids):
+        shard = shard_of(edge_id)
+        part = builder(shard)
+        for endpoint_id in (
+            edge_block.source_ids[row],
+            edge_block.target_ids[row],
+        ):
+            if part.has_node(endpoint_id):
+                continue
+            record = record_of(endpoint_id)
+            if record is None:
+                raise DanglingEdgeError(
+                    f"change-set edge {edge_id!r} references node "
+                    f"{endpoint_id!r}, which is neither in the change-set "
+                    "nor known to the partitioner's node lookup"
+                )
+            part.add_node(endpoint_id, *record)
+            stubs[shard].add(endpoint_id)
+        part.add_edge(edge_id, *batch.edge_record(row))
+
+    if change_set.delete_nodes:
+        for shard in range(partitioner.n_shards):
+            draft = drafts.get(shard)
+            if draft is None:
+                draft = drafts[shard] = _ShardDraft()
+            draft.delete_nodes.extend(change_set.delete_nodes)
+    for edge_id in change_set.delete_edges:
+        shard = shard_of(edge_id)
+        draft = drafts.get(shard)
+        if draft is None:
+            draft = drafts[shard] = _ShardDraft()
+        draft.delete_edges.append(edge_id)
+
+    parts: dict[int, ChangeSet] = {}
+    for shard in sorted(set(builders) | set(drafts)):
+        part_builder = builders.get(shard)
+        draft = drafts.get(shard)
+        columnar = (
+            part_builder.freeze()
+            if part_builder is not None
+            and (part_builder.node_count or part_builder.edge_count)
+            else None
+        )
+        delete_nodes = list(draft.delete_nodes) if draft is not None else []
+        delete_edges = list(draft.delete_edges) if draft is not None else []
+        if columnar is None and not delete_nodes and not delete_edges:
+            continue
+        parts[shard] = ChangeSet(
+            delete_nodes=delete_nodes,
+            delete_edges=delete_edges,
+            stub_node_ids=frozenset(stubs.get(shard, ())),
+            columnar=columnar,
+        )
+    return parts
+
+
+__all__ = [
+    "BatchBuilder",
+    "ColumnarElements",
+    "ElementBatch",
+    "Interner",
+    "KeySet",
+    "LabelSet",
+    "TokenPattern",
+    "ValueColumn",
+    "columnar_changesets_from_rows",
+    "global_interner",
+    "partition_columnar",
+]

@@ -57,6 +57,17 @@ def _token_id(token: str) -> int:
     return cached
 
 
+def token_content_id(token: str) -> int:
+    """Public alias of the process-wide content-derived token id.
+
+    The columnar :class:`~repro.graph.columnar.Interner` shares this cache
+    so pre-interned token-id arrays handed to
+    :meth:`MinHashLSH.signatures_batch` sign bit-identically to the string
+    path.
+    """
+    return _token_id(token)
+
+
 def _affine_mod_p61(a: np.ndarray, x: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Exact ``(a * x + b) mod (2^61 - 1)`` on ``uint64`` arrays.
 
@@ -138,7 +149,9 @@ class MinHashLSH:
         return cached.copy()
 
     def signatures_batch(
-        self, token_sets: Sequence[Iterable[str]]
+        self,
+        token_sets: Sequence[Iterable[str]],
+        token_ids: Sequence[np.ndarray] | None = None,
     ) -> np.ndarray:
         """Raw signatures for many sets in one pass, shape ``(n, T*r)``.
 
@@ -147,14 +160,31 @@ class MinHashLSH:
         containing a pattern seen earlier pays a dictionary lookup, not a
         hash computation), and all cache misses of the call are hashed in
         one vectorized kernel sweep.
+
+        ``token_ids`` (columnar ingest fast path) supplies one pre-interned
+        ``uint64`` id array per token set, aligned with ``token_sets``; the
+        kernel then skips per-token re-tokenisation entirely.  Ids must be
+        the content-derived 61-bit token ids of :func:`token_content_id`
+        (the :class:`repro.graph.columnar.Interner` caches exactly these),
+        so cached rows stay bit-identical to the string path.
         """
         keys = [
             tokens if isinstance(tokens, frozenset) else frozenset(tokens)
             for tokens in token_sets
         ]
         cache = self._signature_cache
-        missing = [key for key in dict.fromkeys(keys) if key not in cache]
-        computed = self._compute_signatures(missing) if missing else None
+        if token_ids is None:
+            missing = [key for key in dict.fromkeys(keys) if key not in cache]
+            ids_of_missing = None
+        else:
+            ids_by_key = dict(zip(keys, token_ids))
+            missing = [key for key in ids_by_key if key not in cache]
+            ids_of_missing = [ids_by_key[key] for key in missing]
+        computed = (
+            self._compute_signatures(missing, ids_of_missing)
+            if missing
+            else None
+        )
         if computed is not None and len(missing) == len(keys):
             # Cold all-distinct batch: rows already in input order.
             return computed
@@ -162,10 +192,16 @@ class MinHashLSH:
             return np.zeros((0, self.total_hashes), dtype=np.int64)
         return np.vstack([cache[key] for key in keys])
 
-    def _compute_signatures(self, sets: list[frozenset[str]]) -> np.ndarray:
+    def _compute_signatures(
+        self,
+        sets: list[frozenset[str]],
+        ids_of: list[np.ndarray] | None = None,
+    ) -> np.ndarray:
         """Hash ``sets`` (assumed distinct, uncached) into the cache.
 
         Returns the raw signatures in ``sets`` order, shape ``(n, T*r)``.
+        ``ids_of``, when given, carries the pre-interned token ids of each
+        set (skipping the per-token hash cache walk).
         """
         cache = self._signature_cache
         hashes = self.total_hashes
@@ -182,34 +218,56 @@ class MinHashLSH:
         if not nonempty_positions:
             return out
         nonempty = [sets[position] for position in nonempty_positions]
+        ids_nonempty = (
+            None
+            if ids_of is None
+            else [ids_of[position] for position in nonempty_positions]
+        )
 
         # Sort by set size so equal-length runs reshape into dense
         # (count, length) matrices -- the min then reduces one contiguous
         # axis with no per-set segment bookkeeping.
-        lengths = np.fromiter(
-            map(len, nonempty), dtype=np.int64, count=len(nonempty)
-        )
+        if ids_nonempty is None:
+            lengths = np.fromiter(
+                map(len, nonempty), dtype=np.int64, count=len(nonempty)
+            )
+        else:
+            lengths = np.fromiter(
+                map(len, ids_nonempty), dtype=np.int64, count=len(ids_nonempty)
+            )
         order = np.argsort(lengths, kind="stable")
         nonempty = [nonempty[i] for i in order]
         out_rows = np.asarray(nonempty_positions, dtype=np.intp)[order]
         sorted_lengths = lengths[order]
 
-        # Flatten once (in sorted order); map each occurrence to a dense
-        # row of the distinct-token hash table (token ids come from the
-        # process-wide cache, so blake2b runs once per distinct token).
-        tokens_flat = list(chain.from_iterable(nonempty))
-        distinct_tokens = list(set(tokens_flat))
-        row_of = {token: row for row, token in enumerate(distinct_tokens)}
-        unique_ids = np.fromiter(
-            map(_token_id, distinct_tokens),
-            dtype=np.uint64,
-            count=len(distinct_tokens),
-        )
-        flat_rows = np.fromiter(
-            map(row_of.__getitem__, tokens_flat),
-            dtype=np.intp,
-            count=len(tokens_flat),
-        )
+        if ids_nonempty is None:
+            # Flatten once (in sorted order); map each occurrence to a
+            # dense row of the distinct-token hash table (token ids come
+            # from the process-wide cache, so blake2b runs once per
+            # distinct token).
+            tokens_flat = list(chain.from_iterable(nonempty))
+            distinct_tokens = list(set(tokens_flat))
+            row_of = {token: row for row, token in enumerate(distinct_tokens)}
+            unique_ids = np.fromiter(
+                map(_token_id, distinct_tokens),
+                dtype=np.uint64,
+                count=len(distinct_tokens),
+            )
+            flat_rows = np.fromiter(
+                map(row_of.__getitem__, tokens_flat),
+                dtype=np.intp,
+                count=len(tokens_flat),
+            )
+        else:
+            # Pre-interned path: ids arrive as uint64 arrays, so the
+            # distinct-token table falls out of one np.unique pass.
+            flat_ids = np.concatenate(
+                [
+                    np.asarray(ids_nonempty[i], dtype=np.uint64)
+                    for i in order
+                ]
+            )
+            unique_ids, flat_rows = np.unique(flat_ids, return_inverse=True)
 
         # (U, H) table of h_i(x) over the distinct tokens, computed once;
         # row-major so every gather copies contiguous 8*H-byte rows.
@@ -292,11 +350,15 @@ class MinHashLSH:
             ) % _MERSENNE_PRIME
         return mixed
 
-    def signatures(self, token_sets: Sequence[Iterable[str]]) -> np.ndarray:
+    def signatures(
+        self,
+        token_sets: Sequence[Iterable[str]],
+        token_ids: Sequence[np.ndarray] | None = None,
+    ) -> np.ndarray:
         """Banded signatures for many sets, shape ``(n, T)``."""
         if len(token_sets) == 0:
             return np.zeros((0, self.num_tables), dtype=np.int64)
-        return self.fold_bands(self.signatures_batch(token_sets))
+        return self.fold_bands(self.signatures_batch(token_sets, token_ids))
 
     # ------------------------------------------------------------------
     # Clustering and similarity

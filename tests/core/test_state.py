@@ -1,16 +1,15 @@
 """Unit tests for the mergeable :class:`DiscoveryState` value object."""
 
+import pytest
+
 from repro.core.config import PGHiveConfig
 from repro.core.session import SchemaSession
 from repro.core.state import DiscoveryState
+from repro.errors import ConfigurationError
 from repro.graph.changes import ChangeSet
 from repro.graph.model import Edge, Node
 from repro.lsh.minhash import MinHashLSH
 from repro.schema.model import NodeType, SchemaGraph, schema_fingerprint
-
-import pytest
-
-from repro.errors import ConfigurationError
 
 
 def person(serial: int) -> Node:
