@@ -1,0 +1,67 @@
+"""CLI for the invariant checker: ``python -m repro.analysis src tests``.
+
+Exit status is 0 only when every scanned file parses and no unsuppressed
+diagnostic fires -- the CI ``repro-lint`` job gates on exactly this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.framework import META_RULE_IDS
+from repro.analysis.rules import all_rules, default_analyzer
+
+
+def _list_rules() -> str:
+    lines = ["Shipped rules (suppress with # repro-lint: ignore[ID] -- why):"]
+    for rule in all_rules():
+        ids = "/".join(rule.emitted_ids())
+        lines.append(f"  {ids:<16} {rule.name}: {rule.description}")
+    lines.append(
+        f"  {'/'.join(sorted(META_RULE_IDS)):<16} suppression hygiene "
+        "(not suppressible)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST invariant checker for the discovery core.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to check (default: src tests)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every shipped rule and exit",
+    )
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        print(_list_rules())
+        return 0
+
+    analyzer = default_analyzer()
+    result = analyzer.run(options.paths)
+    for diagnostic in result.parse_errors + result.diagnostics:
+        print(diagnostic.render())
+    status = "clean" if result.ok else "FAILED"
+    print(
+        f"repro-lint: {status} -- {result.files_checked} files, "
+        f"{len(result.diagnostics)} diagnostic(s), "
+        f"{len(result.parse_errors)} parse error(s), "
+        f"{result.suppressions_used} suppression(s) used",
+        file=sys.stderr,
+    )
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,393 @@
+"""Rule framework: diagnostics, suppressions, module/project contexts.
+
+The analyzer parses every target file once into a :class:`ModuleContext`
+(source, AST, per-line suppressions) and hands the set of modules to each
+rule twice: per-module (:meth:`Rule.check_module`) and once for the whole
+:class:`Project` (:meth:`Rule.check_project`, used by cross-module rules
+such as state-completeness).  Diagnostics are filtered against in-source
+suppressions afterwards, so a rule never needs to know about them.
+
+Suppression syntax (same line as the diagnostic, or a comment-only line
+directly above it)::
+
+    value = list(tokens)  # repro-lint: ignore[PGL101] -- why this is fine
+
+Three meta-rules keep suppressions honest and are not suppressible
+themselves: ``PGL001`` (missing justification), ``PGL002`` (unknown rule
+id), ``PGL003`` (suppression that no longer matches any diagnostic).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Suppression comments: a ``repro-lint: ignore[...]`` marker inside a
+#: hash comment, one or more comma-separated rule ids in the brackets,
+#: followed by a mandatory justification.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9_\-,\s]*)\]\s*(.*)"
+)
+
+#: Meta-diagnostics about the suppressions themselves.
+META_MISSING_JUSTIFICATION = "PGL001"
+META_UNKNOWN_RULE = "PGL002"
+META_UNUSED_SUPPRESSION = "PGL003"
+META_RULE_IDS = frozenset(
+    {META_MISSING_JUSTIFICATION, META_UNKNOWN_RULE, META_UNUSED_SUPPRESSION}
+)
+
+#: Directory-walk exclusions: rule fixtures deliberately violate rules
+#: (tests load them explicitly), and hidden/cache trees are never code.
+_FIXTURE_MARKER = ("analysis", "fixtures")
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One finding: where, which rule, and what to do about it."""
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line: RULE message`` (clickable in most terminals)."""
+        return f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+
+
+@dataclass(frozen=True, slots=True)
+class Suppression:
+    """One parsed ``repro-lint: ignore[...]`` comment."""
+
+    path: str
+    comment_line: int
+    #: the source line the suppression applies to (the comment's own line,
+    #: or the next code line for a comment-only line).
+    target_line: int
+    rule_ids: tuple[str, ...]
+    justification: str
+
+
+class ModuleContext:
+    """One parsed source file plus its suppression table."""
+
+    __slots__ = ("path", "display", "source", "lines", "tree", "suppressions")
+
+    def __init__(self, path: Path, display: str, source: str, tree: ast.Module):
+        self.path = path
+        self.display = display
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.suppressions: list[Suppression] = _parse_suppressions(
+            display, source, self.lines
+        )
+
+    def functions(self) -> Iterable[tuple[str, ast.AST]]:
+        """Yield ``(qualname, node)`` for every function, classes included."""
+        yield from _walk_functions(self.tree.body, prefix="")
+
+    def diagnostic(self, node: ast.AST, rule_id: str, message: str) -> Diagnostic:
+        """Build a diagnostic anchored at ``node``."""
+        return Diagnostic(self.display, getattr(node, "lineno", 1), rule_id, message)
+
+
+def _walk_functions(
+    body: Sequence[ast.stmt], prefix: str
+) -> Iterable[tuple[str, ast.AST]]:
+    for statement in body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{prefix}{statement.name}"
+            yield qualname, statement
+            yield from _walk_functions(statement.body, prefix=f"{qualname}.")
+        elif isinstance(statement, ast.ClassDef):
+            yield from _walk_functions(
+                statement.body, prefix=f"{prefix}{statement.name}."
+            )
+
+
+def _parse_suppressions(
+    display: str, source: str, lines: list[str]
+) -> list[Suppression]:
+    """Extract suppressions from real ``#`` comment tokens.
+
+    Tokenizing (rather than regex over raw lines) keeps suppression
+    examples inside docstrings and string literals inert.
+    """
+    suppressions: list[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        number = token.start[0]
+        rule_ids = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        justification = match.group(2).strip().lstrip("-— ").strip()
+        target = number
+        if lines[number - 1].lstrip().startswith("#"):
+            # Comment-only line: applies to the next non-blank code line.
+            probe = number
+            while probe < len(lines) and not lines[probe].strip():
+                probe += 1
+            target = probe + 1
+        suppressions.append(
+            Suppression(display, number, target, rule_ids, justification)
+        )
+    return suppressions
+
+
+class Project:
+    """Every parsed module of one analyzer run, with lookup helpers."""
+
+    def __init__(self, modules: list[ModuleContext]):
+        self.modules = modules
+
+    def module_ending_with(self, tail: str) -> ModuleContext | None:
+        """The unique module whose display path ends with ``tail``."""
+        matches = [
+            module
+            for module in self.modules
+            if module.display.endswith(tail)
+        ]
+        return matches[0] if len(matches) == 1 else None
+
+    def function(self, tail: str, qualname: str) -> ast.AST | None:
+        """Look up one function by module tail + dotted qualname."""
+        module = self.module_ending_with(tail)
+        if module is None:
+            return None
+        for name, node in module.functions():
+            if name == qualname:
+                return node
+        return None
+
+
+class Rule:
+    """Base class: one invariant, one stable id, two check hooks.
+
+    ``scope``/``exclude`` are substring markers matched against a
+    module's display path; an empty scope means "everywhere".  The
+    registry instantiates rules with production scoping (e.g. the
+    determinism patrol covers ``src/repro/{core,schema,lsh,graph}``),
+    while fixture unit tests instantiate them unscoped.
+    """
+
+    rule_id: str = "PGL000"
+    #: All ids a rule can emit; defaults to ``(rule_id,)``.
+    rule_ids: tuple[str, ...] = ()
+    name: str = "abstract-rule"
+    description: str = ""
+    default_scope: tuple[str, ...] = ()
+    default_exclude: tuple[str, ...] = ()
+
+    def __init__(
+        self,
+        scope: Sequence[str] | None = None,
+        exclude: Sequence[str] | None = None,
+    ):
+        self.scope = self.default_scope if scope is None else tuple(scope)
+        self.exclude = self.default_exclude if exclude is None else tuple(exclude)
+
+    def emitted_ids(self) -> tuple[str, ...]:
+        """Every rule id this rule may produce."""
+        return self.rule_ids or (self.rule_id,)
+
+    def applies(self, display: str) -> bool:
+        """Whether ``display`` (a module path) is in this rule's scope."""
+        if any(marker in display for marker in self.exclude):
+            return False
+        return not self.scope or any(marker in display for marker in self.scope)
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        """Per-module findings (most rules)."""
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        """Whole-project findings (cross-module rules)."""
+        return ()
+
+
+@dataclass
+class RunResult:
+    """Outcome of one analyzer run."""
+
+    diagnostics: list[Diagnostic]
+    files_checked: int
+    suppressions_used: int = 0
+    parse_errors: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing (diagnostics or parse errors) fired."""
+        return not self.diagnostics and not self.parse_errors
+
+
+class Analyzer:
+    """Run a set of rules over files/directories and filter suppressions.
+
+    ``check_suppressions=False`` disables the three meta-rules -- unit
+    tests exercising a single rule on a fixture use it so deliberate
+    fixture suppressions do not inject meta noise.
+    """
+
+    def __init__(self, rules: Sequence[Rule], *, check_suppressions: bool = True):
+        self.rules = list(rules)
+        self.check_suppressions = check_suppressions
+        known: set[str] = set()
+        for rule in self.rules:
+            known.update(rule.emitted_ids())
+        self._known_rule_ids = known | META_RULE_IDS
+
+    # ------------------------------------------------------------------
+    # File collection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+        """Expand files/directories; directory walks skip rule fixtures.
+
+        Explicitly named files are always scanned (tests point the
+        analyzer straight at fixture files); the fixture corpus and
+        hidden directories are only skipped during directory expansion.
+        """
+        files: list[Path] = []
+        seen: set[Path] = set()
+        for raw in paths:
+            path = Path(raw)
+            if path.is_file():
+                if path not in seen:
+                    seen.add(path)
+                    files.append(path)
+                continue
+            for candidate in sorted(path.rglob("*.py")):
+                parts = candidate.parts
+                if any(part.startswith(".") for part in parts):
+                    continue
+                if any(
+                    parts[i : i + 2] == _FIXTURE_MARKER
+                    for i in range(len(parts) - 1)
+                ):
+                    continue
+                if candidate not in seen:
+                    seen.add(candidate)
+                    files.append(candidate)
+        return files
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, paths: Sequence[str | Path]) -> RunResult:
+        """Parse, check, and suppression-filter every target file."""
+        modules: list[ModuleContext] = []
+        parse_errors: list[Diagnostic] = []
+        files = self.collect_files(paths)
+        for path in files:
+            display = path.as_posix()
+            try:
+                source = path.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=display)
+            except (OSError, SyntaxError) as error:
+                parse_errors.append(
+                    Diagnostic(display, 1, "PGL999", f"unparseable module: {error}")
+                )
+                continue
+            modules.append(ModuleContext(path, display, source, tree))
+
+        project = Project(modules)
+        raw: list[Diagnostic] = []
+        for rule in self.rules:
+            for module in modules:
+                if rule.applies(module.display):
+                    raw.extend(rule.check_module(module))
+            raw.extend(rule.check_project(project))
+
+        diagnostics, used = self._apply_suppressions(project, raw)
+        if self.check_suppressions:
+            diagnostics.extend(self._check_suppressions(project, used))
+        diagnostics.sort(key=lambda d: (d.path, d.line, d.rule_id))
+        return RunResult(
+            diagnostics=diagnostics,
+            files_checked=len(files),
+            suppressions_used=len(used),
+            parse_errors=parse_errors,
+        )
+
+    def _apply_suppressions(
+        self, project: Project, raw: list[Diagnostic]
+    ) -> tuple[list[Diagnostic], set[tuple[str, int]]]:
+        table: dict[tuple[str, int], set[str]] = {}
+        origin: dict[tuple[str, int, str], tuple[str, int]] = {}
+        for module in project.modules:
+            for suppression in module.suppressions:
+                key = (suppression.path, suppression.target_line)
+                table.setdefault(key, set()).update(suppression.rule_ids)
+                for rule_id in suppression.rule_ids:
+                    origin[(*key, rule_id)] = (
+                        suppression.path,
+                        suppression.comment_line,
+                    )
+        kept: list[Diagnostic] = []
+        used: set[tuple[str, int]] = set()
+        for diagnostic in raw:
+            allowed = table.get((diagnostic.path, diagnostic.line), ())
+            if diagnostic.rule_id in allowed:
+                used.add(
+                    origin[(diagnostic.path, diagnostic.line, diagnostic.rule_id)]
+                )
+                continue
+            kept.append(diagnostic)
+        return kept, used
+
+    def _check_suppressions(
+        self, project: Project, used: set[tuple[str, int]]
+    ) -> list[Diagnostic]:
+        extra: list[Diagnostic] = []
+        for module in project.modules:
+            for suppression in module.suppressions:
+                where = (suppression.path, suppression.comment_line)
+                if not suppression.justification:
+                    extra.append(
+                        Diagnostic(
+                            *where,
+                            META_MISSING_JUSTIFICATION,
+                            "suppression must carry a one-line justification "
+                            "after the bracket: "
+                            "`# repro-lint: ignore[RULE] -- why`",
+                        )
+                    )
+                unknown = [
+                    rule_id
+                    for rule_id in suppression.rule_ids
+                    if rule_id not in self._known_rule_ids
+                ]
+                if unknown or not suppression.rule_ids:
+                    extra.append(
+                        Diagnostic(
+                            *where,
+                            META_UNKNOWN_RULE,
+                            f"unknown rule id(s) {unknown or ['<empty>']} in "
+                            "suppression",
+                        )
+                    )
+                elif where not in used:
+                    extra.append(
+                        Diagnostic(
+                            *where,
+                            META_UNUSED_SUPPRESSION,
+                            "suppression matches no diagnostic; remove it "
+                            f"(rules: {', '.join(suppression.rule_ids)})",
+                        )
+                    )
+        return extra

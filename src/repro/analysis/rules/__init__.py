@@ -1,0 +1,65 @@
+"""Rule registry: every shipped rule family, plus the default analyzer.
+
+Rule ids are stable API (suppression comments reference them):
+
+* ``PGL101`` ordered consumption of hash-ordered sets
+* ``PGL102`` nondeterministic sources (clock, unseeded RNG, environment)
+* ``PGL201`` state-completeness contracts (merge/checkpoint/fingerprint)
+* ``PGL301`` element materialisation on the columnar hot path
+* ``PGL302`` per-row Python loops over value columns on the hot path
+* ``PGL401`` unpicklable callables submitted to process pools
+* ``PGL501`` mutable default arguments
+* ``PGL502`` accumulator ``merge_from``/``copy``/``observe*`` drift
+* ``PGL001``-``PGL003`` suppression hygiene (framework meta-rules)
+"""
+
+from __future__ import annotations
+
+from repro.analysis.framework import Analyzer, Rule
+from repro.analysis.rules.api_hygiene import (
+    AccumulatorSignatureRule,
+    MutableDefaultRule,
+)
+from repro.analysis.rules.crossproc import ProcessPoolSubmissionRule
+from repro.analysis.rules.determinism import (
+    NondeterministicSourceRule,
+    OrderedSetConsumptionRule,
+)
+from repro.analysis.rules.hotpath import (
+    ColumnLoopRule,
+    ElementMaterialisationRule,
+)
+from repro.analysis.rules.state_completeness import StateCompletenessRule
+
+
+def all_rules() -> list[Rule]:
+    """One fresh instance of every shipped rule, repo-scoped."""
+    return [
+        OrderedSetConsumptionRule(),
+        NondeterministicSourceRule(),
+        StateCompletenessRule(),
+        ElementMaterialisationRule(),
+        ColumnLoopRule(),
+        ProcessPoolSubmissionRule(),
+        MutableDefaultRule(),
+        AccumulatorSignatureRule(),
+    ]
+
+
+def default_analyzer() -> Analyzer:
+    """The analyzer the CLI and the CI gate run."""
+    return Analyzer(all_rules())
+
+
+__all__ = [
+    "AccumulatorSignatureRule",
+    "ColumnLoopRule",
+    "ElementMaterialisationRule",
+    "MutableDefaultRule",
+    "NondeterministicSourceRule",
+    "OrderedSetConsumptionRule",
+    "ProcessPoolSubmissionRule",
+    "StateCompletenessRule",
+    "all_rules",
+    "default_analyzer",
+]

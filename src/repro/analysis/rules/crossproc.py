@@ -1,0 +1,111 @@
+"""Cross-process safety rule (PGL4xx).
+
+Shard workers run in a ``ProcessPoolExecutor``; everything submitted to
+one crosses a pickle boundary.  Lambdas, nested functions (closures),
+and bound methods either fail to pickle outright or drag their whole
+receiver across the boundary -- the sharding design requires plain
+module-level worker functions plus explicit picklable payloads.
+
+``PGL401`` flags, at any ``<pool>.submit(fn, ...)`` / ``<pool>.map(fn,
+...)`` call site or ``ProcessPoolExecutor(initializer=...)`` argument:
+lambdas, names bound to nested functions in the enclosing scope, and
+``self.method`` / ``obj.method`` bound-method references.  Receiver
+detection is name-based (``pool`` / ``executor`` in the receiver name,
+or a direct ``ProcessPoolExecutor(...)`` expression), so thread pools
+named e.g. ``thread_runner`` are not patrolled -- picklability is a
+process-pool problem.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.astutil import call_name, describe, walk_local
+from repro.analysis.framework import Diagnostic, ModuleContext, Rule
+
+_POOL_NAME_HINTS = ("pool", "executor")
+
+#: Module-ish receivers whose attributes are plain functions, not bound
+#: methods (``np.frexp`` is fine; ``self.worker`` is not).
+_MODULEISH = frozenset({"np", "numpy", "math", "operator", "functools", "os"})
+
+
+def _is_pool_receiver(expression: ast.expr) -> bool:
+    if isinstance(expression, ast.Call):
+        return call_name(expression) == "ProcessPoolExecutor"
+    name = None
+    if isinstance(expression, ast.Name):
+        name = expression.id
+    elif isinstance(expression, ast.Attribute):
+        name = expression.attr
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(hint in lowered for hint in _POOL_NAME_HINTS)
+
+
+class ProcessPoolSubmissionRule(Rule):
+    """PGL401: unpicklable callable handed to a process pool."""
+
+    rule_id = "PGL401"
+    name = "process-pool-submission"
+    description = (
+        "lambda/closure/bound method submitted to a ProcessPoolExecutor; "
+        "shard workers must be module-level functions"
+    )
+    default_scope = ("src/repro/",)
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for qualname, function in ctx.functions():
+            nested = {
+                statement.name
+                for statement in ast.walk(function)
+                if isinstance(
+                    statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+                and statement is not function
+            }
+            for node in walk_local(function):
+                if not isinstance(node, ast.Call):
+                    continue
+                yield from self._check_call(ctx, qualname, node, nested)
+
+    def _check_call(self, ctx, qualname, node, nested):
+        callables: list[ast.expr] = []
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in {"submit", "map"}
+            and _is_pool_receiver(node.func.value)
+            and node.args
+        ):
+            callables.append(node.args[0])
+        if call_name(node) == "ProcessPoolExecutor":
+            callables.extend(
+                keyword.value
+                for keyword in node.keywords
+                if keyword.arg == "initializer"
+            )
+        for target in callables:
+            problem = self._unpicklable(target, nested)
+            if problem is not None:
+                yield ctx.diagnostic(
+                    node,
+                    self.rule_id,
+                    f"{problem} {describe(target)} submitted to a process "
+                    f"pool in {qualname}; use a module-level function with "
+                    "picklable arguments",
+                )
+
+    @staticmethod
+    def _unpicklable(target: ast.expr, nested: set[str]) -> str | None:
+        if isinstance(target, ast.Lambda):
+            return "lambda"
+        if isinstance(target, ast.Name) and target.id in nested:
+            return "nested function (closure)"
+        if isinstance(target, ast.Attribute):
+            base = target.value
+            if isinstance(base, ast.Name) and base.id in _MODULEISH:
+                return None
+            return "bound method"
+        return None

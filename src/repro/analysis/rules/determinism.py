@@ -1,0 +1,250 @@
+"""Determinism rules (PGL1xx).
+
+``PGL101`` -- ordered consumption of hash-ordered sets.  Python sets
+iterate in ``PYTHONHASHSEED``-dependent order, so feeding one into an
+ordered sink (``list``/``tuple`` casts, ``str.join``, list/generator
+comprehensions, append-loops) makes output depend on the interpreter
+run.  The sanctioned consumers are ``sorted(...)`` and the genuinely
+order-insensitive reducers (``set``/``frozenset``/``sum``/``min``/
+``max``/``len``/``any``/``all``).
+
+``PGL102`` -- nondeterministic *sources* in discovery code: wall-clock
+reads (``time.*``), unseeded ``random``/``np.random``, and environment
+lookups.  Bench harness code is excluded by scope; the few legitimate
+wall-clock diagnostics in ``util.Timer`` and friends carry justified
+suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.astutil import (
+    ORDER_INSENSITIVE_CALLS,
+    call_name,
+    describe,
+    dotted_name,
+    is_setish,
+    local_set_names,
+    walk_local,
+)
+from repro.analysis.framework import Diagnostic, ModuleContext, Rule
+
+#: Casts that freeze a hash-ordered iteration into an ordered container.
+_ORDERED_CASTS = frozenset({"list", "tuple"})
+
+#: Loop-body calls that accumulate into an ordered container.
+_ORDERED_MUTATORS = frozenset({"append", "extend", "insert"})
+
+#: ``random`` module functions that consume the global, unseeded stream.
+_UNSEEDED_RANDOM = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "getrandbits",
+        "rand",
+        "randn",
+        "permutation",
+    }
+)
+
+
+def _parent_map(function: ast.AST) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in walk_local(function):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _sanctioned(node: ast.expr, parents: dict[ast.AST, ast.AST]) -> bool:
+    """True when ``node`` is directly an argument of an order-insensitive
+    call (``sorted(list(s))`` is fine -- sorted fixes the order)."""
+    parent = parents.get(node)
+    if isinstance(parent, ast.Call) and node in parent.args:
+        name = call_name(parent)
+        return name in ORDER_INSENSITIVE_CALLS
+    return False
+
+
+class OrderedSetConsumptionRule(Rule):
+    """PGL101: hash-ordered set iterated into an ordered sink."""
+
+    rule_id = "PGL101"
+    name = "ordered-set-consumption"
+    description = (
+        "set/frozenset iteration feeding an ordered sink (list/tuple cast, "
+        "join, comprehension, append loop) without sorted(...)"
+    )
+    default_scope = (
+        "src/repro/core/",
+        "src/repro/schema/",
+        "src/repro/lsh/",
+        "src/repro/graph/",
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for _qualname, function in ctx.functions():
+            locals_ = local_set_names(function)
+            parents = _parent_map(function)
+            for node in walk_local(function):
+                yield from self._check_node(ctx, node, locals_, parents)
+
+    def _check_node(self, ctx, node, locals_, parents):
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if (
+                name in _ORDERED_CASTS
+                and isinstance(node.func, ast.Name)
+                and len(node.args) == 1
+                and is_setish(node.args[0], locals_)
+                and not _sanctioned(node, parents)
+            ):
+                yield ctx.diagnostic(
+                    node,
+                    self.rule_id,
+                    f"{name}({describe(node.args[0])}) freezes hash-ordered "
+                    "set iteration; use sorted(...) or keep it a set",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+                and len(node.args) == 1
+                and is_setish(node.args[0], locals_)
+            ):
+                yield ctx.diagnostic(
+                    node,
+                    self.rule_id,
+                    f"join over hash-ordered set {describe(node.args[0])}; "
+                    "join over sorted(...) instead",
+                )
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            if node.generators and is_setish(
+                node.generators[0].iter, locals_
+            ) and not _sanctioned(node, parents):
+                kind = (
+                    "list comprehension"
+                    if isinstance(node, ast.ListComp)
+                    else "generator"
+                )
+                yield ctx.diagnostic(
+                    node,
+                    self.rule_id,
+                    f"{kind} over hash-ordered set "
+                    f"{describe(node.generators[0].iter)} feeds an ordered "
+                    "consumer; iterate sorted(...) instead",
+                )
+        elif isinstance(node, ast.For):
+            iterable = node.iter
+            if isinstance(iterable, ast.Call) and call_name(iterable) in {
+                "enumerate",
+                "zip",
+            }:
+                setish_args = [
+                    arg for arg in iterable.args if is_setish(arg, locals_)
+                ]
+                if not setish_args:
+                    return
+                target = setish_args[0]
+            elif is_setish(iterable, locals_):
+                target = iterable
+            else:
+                return
+            if self._body_orders(node):
+                yield ctx.diagnostic(
+                    node,
+                    self.rule_id,
+                    f"loop over hash-ordered set {describe(target)} "
+                    "accumulates into an ordered container; iterate "
+                    "sorted(...) instead",
+                )
+
+    @staticmethod
+    def _body_orders(loop: ast.For) -> bool:
+        """A loop is order-sensitive when it appends/yields in body order."""
+        for statement in loop.body:
+            for node in ast.walk(statement):
+                if isinstance(node, ast.Call):
+                    name = call_name(node)
+                    if name in _ORDERED_MUTATORS:
+                        return True
+                elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                    return True
+        return False
+
+
+class NondeterministicSourceRule(Rule):
+    """PGL102: clock / unseeded RNG / environment reads in discovery code."""
+
+    rule_id = "PGL102"
+    name = "nondeterministic-source"
+    description = (
+        "time.*, unseeded random/np.random, or os.environ in non-bench "
+        "discovery code"
+    )
+    default_scope = ("src/repro/",)
+    default_exclude = ("src/repro/bench/", "src/repro/analysis/")
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                yield ctx.diagnostic(
+                    node,
+                    self.rule_id,
+                    "importing from time in discovery code; wall-clock reads "
+                    "make runs irreproducible",
+                )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, ast.Attribute):
+                if dotted_name(node) == "os.environ":
+                    yield ctx.diagnostic(
+                        node,
+                        self.rule_id,
+                        "os.environ read in discovery code; behaviour must "
+                        "not depend on the environment",
+                    )
+
+    def _check_call(self, ctx, node):
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return
+        if dotted.startswith("time."):
+            yield ctx.diagnostic(
+                node,
+                self.rule_id,
+                f"{dotted}() in discovery code; wall-clock reads make runs "
+                "irreproducible",
+            )
+        elif dotted in {"os.getenv", "os.environ.get"}:
+            yield ctx.diagnostic(
+                node,
+                self.rule_id,
+                f"{dotted}() in discovery code; behaviour must not depend "
+                "on the environment",
+            )
+        elif dotted.startswith(("random.", "np.random.", "numpy.random.")):
+            tail = dotted.rsplit(".", 1)[1]
+            if tail in {"default_rng", "RandomState", "Random"}:
+                if not node.args and not node.keywords:
+                    yield ctx.diagnostic(
+                        node,
+                        self.rule_id,
+                        f"{dotted}() without an explicit seed; pass a seed "
+                        "for reproducible randomness",
+                    )
+            elif tail in _UNSEEDED_RANDOM:
+                yield ctx.diagnostic(
+                    node,
+                    self.rule_id,
+                    f"{dotted}() consumes the global unseeded RNG stream; "
+                    "use a seeded Generator instead",
+                )

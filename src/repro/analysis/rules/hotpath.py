@@ -1,0 +1,137 @@
+"""Hot-path hygiene rules (PGL3xx).
+
+The columnar ingest path exists so that batch ingestion never
+materialises per-element ``Node``/``Edge`` objects or walks value
+columns row-by-row in Python -- that is the whole performance claim of
+the columnar core.  These rules patrol the functions that form that
+call graph, identified by name: ``_ingest_columnar``, ``record_into``,
+and anything matching ``*_columnar`` / ``columnar_*``.
+
+``PGL301`` -- per-element materialisation inside a hot function:
+``Node(...)``/``Edge(...)`` construction or calls to the element-wise
+converters ``to_elements()`` / ``to_property_graph()`` /
+``from_elements()``.
+
+``PGL302`` -- per-row Python loops over value columns: a ``for`` loop or
+comprehension whose iterable reaches into ``<block>.columns[...]``
+(the sanctioned access is vectorised ``ValueColumn.take(rows)`` feeding
+``observe_column``-family accumulators).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.astutil import call_name, describe, walk_local
+from repro.analysis.framework import Diagnostic, ModuleContext, Rule
+
+#: Function (qual)names forming the columnar ingest call graph.
+_HOT_EXACT = frozenset({"_ingest_columnar", "record_into"})
+
+#: Constructors/converters that materialise per-element objects.
+_ELEMENT_CONSTRUCTORS = frozenset({"Node", "Edge"})
+_ELEMENT_CONVERTERS = frozenset(
+    {"to_elements", "to_property_graph", "from_elements"}
+)
+
+
+def is_hot_function(qualname: str) -> bool:
+    """Whether a function (by dotted qualname) is on the hot path."""
+    name = qualname.rsplit(".", 1)[-1]
+    return (
+        name in _HOT_EXACT
+        or name.endswith("_columnar")
+        or name.startswith("columnar_")
+    )
+
+
+class ElementMaterialisationRule(Rule):
+    """PGL301: Node/Edge materialisation inside the columnar hot path."""
+
+    rule_id = "PGL301"
+    name = "hot-path-materialisation"
+    description = (
+        "Node/Edge construction or to_elements()/to_property_graph() inside "
+        "the columnar ingest call graph"
+    )
+    default_scope = ("src/repro/",)
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for qualname, function in ctx.functions():
+            if not is_hot_function(qualname):
+                continue
+            for node in walk_local(function):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node)
+                if (
+                    name in _ELEMENT_CONSTRUCTORS
+                    and isinstance(node.func, ast.Name)
+                ):
+                    yield ctx.diagnostic(
+                        node,
+                        self.rule_id,
+                        f"{name}(...) materialised inside hot function "
+                        f"{qualname}; the columnar path must stay "
+                        "element-object free",
+                    )
+                elif (
+                    name in _ELEMENT_CONVERTERS
+                    and isinstance(node.func, ast.Attribute)
+                ):
+                    yield ctx.diagnostic(
+                        node,
+                        self.rule_id,
+                        f".{name}() called inside hot function {qualname}; "
+                        "element-wise conversion does not belong on the "
+                        "columnar path",
+                    )
+
+
+class ColumnLoopRule(Rule):
+    """PGL302: per-row Python loop over value columns on the hot path."""
+
+    rule_id = "PGL302"
+    name = "hot-path-column-loop"
+    description = (
+        "for loop / comprehension iterating <block>.columns[...] inside the "
+        "columnar ingest call graph (use ValueColumn.take + observe_column)"
+    )
+    default_scope = ("src/repro/",)
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for qualname, function in ctx.functions():
+            if not is_hot_function(qualname):
+                continue
+            for node in walk_local(function):
+                iterables: list[ast.expr] = []
+                if isinstance(node, ast.For):
+                    iterables = [node.iter]
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+                ):
+                    iterables = [gen.iter for gen in node.generators]
+                for iterable in iterables:
+                    column = self._column_subscript(iterable)
+                    if column is not None:
+                        yield ctx.diagnostic(
+                            node,
+                            self.rule_id,
+                            f"per-row loop over value column "
+                            f"{describe(column)} inside hot function "
+                            f"{qualname}; use ValueColumn.take(rows) with an "
+                            "observe_column accumulator",
+                        )
+
+    @staticmethod
+    def _column_subscript(expression: ast.expr) -> ast.expr | None:
+        """The ``<x>.columns[...]`` subscript inside ``expression``, if any."""
+        for node in ast.walk(expression):
+            if (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr == "columns"
+            ):
+                return node
+        return None

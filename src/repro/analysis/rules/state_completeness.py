@@ -1,0 +1,341 @@
+"""State-completeness rule (PGL2xx).
+
+PR-4/PR-5 both hit the same bug class: a field added to a mergeable
+state object but not threaded through one of its lifecycle paths
+(merge, checkpoint encode/decode, copy, fingerprint), silently
+corrupting restores or letting shard merges drop data.  This rule makes
+the contract explicit: for each registered class, every attribute
+assigned in ``__init__`` (or declared as a dataclass field) must be
+*referenced* -- as an attribute access, keyword argument, or string
+constant -- inside each named coverage target.
+
+Coverage is deliberately shallow (name appearance, not dataflow): it
+cannot prove a field is handled *correctly*, only that each lifecycle
+path at least mentions it, which is exactly the "added a field, forgot
+merge/checkpoint" failure mode.  A dynamic round-trip companion test
+(``tests/core/test_state_roundtrip.py``) covers the value-level half.
+
+``PGL200`` flags contract rot (a registered class/function that no
+longer exists) so the table cannot silently stop checking anything.
+``PGL201`` flags an uncovered field, anchored at the field's definition
+line so suppressions sit next to the field they exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.analysis.framework import Diagnostic, Project, Rule
+
+CONTRACT_ERROR = "PGL200"
+UNCOVERED_FIELD = "PGL201"
+
+
+@dataclass(frozen=True)
+class CoverageTarget:
+    """One lifecycle path: a label plus the functions implementing it."""
+
+    label: str
+    #: ``(module path tail, dotted qualname)`` pairs.
+    functions: tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class StateContract:
+    """Field-coverage contract for one state-bearing class."""
+
+    module_tail: str
+    class_name: str
+    targets: tuple[CoverageTarget, ...]
+    #: Field names the contract never checks (e.g. pure config knobs).
+    exempt: frozenset[str] = field(default_factory=frozenset)
+
+
+def _class_def(tree: ast.Module, name: str) -> ast.ClassDef | None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _is_classvar(annotation: ast.expr) -> bool:
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Attribute):
+        return target.attr == "ClassVar"
+    return isinstance(target, ast.Name) and target.id == "ClassVar"
+
+
+def _own_fields(class_def: ast.ClassDef) -> list[tuple[str, int]]:
+    """``(name, lineno)`` for every state field the class itself declares.
+
+    Dataclass-style annotated class attributes plus ``self.X = ...``
+    assignments in ``__init__``; dunders and ``ClassVar`` declarations
+    are not state.
+    """
+    fields: dict[str, int] = {}
+    for statement in class_def.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            name = statement.target.id
+            if not name.startswith("__") and not _is_classvar(
+                statement.annotation
+            ):
+                fields.setdefault(name, statement.lineno)
+    for statement in class_def.body:
+        if (
+            isinstance(statement, ast.FunctionDef)
+            and statement.name == "__init__"
+        ):
+            for node in ast.walk(statement):
+                targets: list[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, ast.AnnAssign):
+                    targets = [node.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and not target.attr.startswith("__")
+                    ):
+                        fields.setdefault(target.attr, target.lineno)
+    return sorted(fields.items(), key=lambda item: (item[1], item[0]))
+
+
+def _referenced_names(function: ast.AST) -> frozenset[str]:
+    """Names a function mentions: attributes, kwargs, string constants."""
+    names: set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.keyword) and node.arg:
+            names.add(node.arg)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.add(node.value)
+        elif isinstance(node, ast.Name):
+            names.add(node.id)
+    return frozenset(names)
+
+
+#: The production contract table.  Adding a field to any of these classes
+#: without threading it through every listed lifecycle path fails CI.
+DEFAULT_CONTRACTS: tuple[StateContract, ...] = (
+    StateContract(
+        module_tail="repro/core/state.py",
+        class_name="DiscoveryState",
+        targets=(
+            CoverageTarget(
+                "merge (DiscoveryState._fold_in)",
+                (("repro/core/state.py", "DiscoveryState._fold_in"),),
+            ),
+            CoverageTarget(
+                "checkpoint encode (SchemaSession.checkpoint)",
+                (("repro/core/session.py", "SchemaSession.checkpoint"),),
+            ),
+            CoverageTarget(
+                "checkpoint decode (SchemaSession.restore)",
+                (("repro/core/session.py", "SchemaSession.restore"),),
+            ),
+        ),
+    ),
+    StateContract(
+        module_tail="repro/core/pipeline.py",
+        class_name="PipelineState",
+        targets=(
+            CoverageTarget(
+                "merge (DiscoveryState._fold_in)",
+                (("repro/core/state.py", "DiscoveryState._fold_in"),),
+            ),
+        ),
+    ),
+    *(
+        StateContract(
+            module_tail="repro/core/accumulators.py",
+            class_name=accumulator,
+            targets=(
+                CoverageTarget(
+                    f"merge ({accumulator}.merge_from)",
+                    (
+                        (
+                            "repro/core/accumulators.py",
+                            f"{accumulator}.merge_from",
+                        ),
+                    ),
+                ),
+                CoverageTarget(
+                    f"copy ({accumulator}.copy)",
+                    (("repro/core/accumulators.py", f"{accumulator}.copy"),),
+                ),
+            ),
+        )
+        for accumulator in (
+            "DatatypeAccumulator",
+            "EndpointAccumulator",
+            "DistinctTracker",
+            "KeyAccumulator",
+            "TypeSummaries",
+        )
+    ),
+    StateContract(
+        module_tail="repro/graph/columnar.py",
+        class_name="Interner",
+        targets=(
+            CoverageTarget(
+                "snapshot encode (Interner.snapshot)",
+                (("repro/graph/columnar.py", "Interner.snapshot"),),
+            ),
+            CoverageTarget(
+                "snapshot decode (Interner.merge_snapshot)",
+                (("repro/graph/columnar.py", "Interner.merge_snapshot"),),
+            ),
+            CoverageTarget(
+                "merge (Interner.merge_from)",
+                (("repro/graph/columnar.py", "Interner.merge_from"),),
+            ),
+        ),
+    ),
+    StateContract(
+        module_tail="repro/schema/model.py",
+        class_name="_TypeBase",
+        targets=(
+            CoverageTarget(
+                "merge (_TypeBase._absorb_base)",
+                (("repro/schema/model.py", "_TypeBase._absorb_base"),),
+            ),
+            CoverageTarget(
+                "copy (NodeType.copy / EdgeType.copy)",
+                (
+                    ("repro/schema/model.py", "NodeType.copy"),
+                    ("repro/schema/model.py", "EdgeType.copy"),
+                ),
+            ),
+            CoverageTarget(
+                "fingerprint (_type_fingerprint)",
+                (("repro/schema/model.py", "_type_fingerprint"),),
+            ),
+        ),
+    ),
+    StateContract(
+        module_tail="repro/schema/model.py",
+        class_name="EdgeType",
+        targets=(
+            CoverageTarget(
+                "merge (EdgeType.absorb)",
+                (("repro/schema/model.py", "EdgeType.absorb"),),
+            ),
+            CoverageTarget(
+                "copy (EdgeType.copy)",
+                (("repro/schema/model.py", "EdgeType.copy"),),
+            ),
+            CoverageTarget(
+                "fingerprint (_type_fingerprint)",
+                (("repro/schema/model.py", "_type_fingerprint"),),
+            ),
+        ),
+    ),
+)
+
+
+class StateCompletenessRule(Rule):
+    """PGL200/PGL201: every state field threaded through its lifecycle."""
+
+    rule_id = UNCOVERED_FIELD
+    rule_ids = (CONTRACT_ERROR, UNCOVERED_FIELD)
+    name = "state-completeness"
+    description = (
+        "every __init__/dataclass field of registered state classes must be "
+        "referenced by its merge, checkpoint, copy, and fingerprint paths"
+    )
+
+    def __init__(
+        self,
+        contracts: Sequence[StateContract] = DEFAULT_CONTRACTS,
+        scope: Sequence[str] | None = None,
+        exclude: Sequence[str] | None = None,
+    ):
+        super().__init__(scope=scope, exclude=exclude)
+        self.contracts = tuple(contracts)
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        for contract in self.contracts:
+            yield from self._check_contract(project, contract)
+
+    def _check_contract(
+        self, project: Project, contract: StateContract
+    ) -> Iterable[Diagnostic]:
+        module = project.module_ending_with(contract.module_tail)
+        if module is None:
+            # The state module is not part of this run (e.g. the analyzer
+            # was pointed at a subtree); nothing to check.
+            return
+        class_def = _class_def(module.tree, contract.class_name)
+        if class_def is None:
+            yield Diagnostic(
+                module.display,
+                1,
+                CONTRACT_ERROR,
+                f"state contract references unknown class "
+                f"{contract.class_name!r}; update DEFAULT_CONTRACTS",
+            )
+            return
+        fields = [
+            (name, line)
+            for name, line in _own_fields(class_def)
+            if name not in contract.exempt
+        ]
+        for target in contract.targets:
+            referenced, missing_fns = self._target_references(project, target)
+            for tail, qualname in missing_fns:
+                yield Diagnostic(
+                    module.display,
+                    class_def.lineno,
+                    CONTRACT_ERROR,
+                    f"coverage target {qualname!r} not found in module "
+                    f"*{tail}; update DEFAULT_CONTRACTS",
+                )
+            if missing_fns:
+                continue
+            if referenced is None:
+                # Target module absent from this run; skip the target.
+                continue
+            for name, line in fields:
+                if name not in referenced:
+                    yield Diagnostic(
+                        module.display,
+                        line,
+                        UNCOVERED_FIELD,
+                        f"field {contract.class_name}.{name} is not "
+                        f"referenced by {target.label}; thread it through "
+                        "or suppress with a justification",
+                    )
+
+    @staticmethod
+    def _target_references(
+        project: Project, target: CoverageTarget
+    ) -> tuple[frozenset[str] | None, list[tuple[str, str]]]:
+        referenced: set[str] = set()
+        missing: list[tuple[str, str]] = []
+        saw_module = False
+        for tail, qualname in target.functions:
+            module = project.module_ending_with(tail)
+            if module is None:
+                continue
+            saw_module = True
+            found = None
+            for name, node in module.functions():
+                if name == qualname:
+                    found = node
+                    break
+            if found is None:
+                missing.append((tail, qualname))
+                continue
+            referenced.update(_referenced_names(found))
+        if not saw_module:
+            return None, missing
+        return frozenset(referenced), missing

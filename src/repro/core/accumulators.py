@@ -35,9 +35,10 @@ reads stay equal to the full-scan oracle across arbitrary merge orders.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from collections.abc import Mapping
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Any, Mapping
+from typing import Any
 
 import numpy as np
 
@@ -378,7 +379,7 @@ class KeyAccumulator:
         self.singles: dict[str, DistinctTracker] = {}
         self.pairs: dict[tuple[str, str], DistinctTracker] = {}
         self.pair_overflow = False
-        self.pair_cap = pair_cap
+        self.pair_cap = pair_cap  # repro-lint: ignore[PGL201] -- construction-time config shared by both merge sides, not accumulated state
         self.instances = 0
 
     def observe(self, instance_id: str, properties: Mapping[str, Any]) -> None:

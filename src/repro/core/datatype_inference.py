@@ -38,7 +38,9 @@ def collect_property_values(
     """All values of ``key`` across the type's instances present in ``graph``."""
     getter = graph.edge if is_edge else graph.node
     values = []
-    for instance_id in schema_type.instance_ids:
+    # Sorted: instance_ids is a set, and the value order feeds the
+    # sampling rng -- iteration must not depend on PYTHONHASHSEED.
+    for instance_id in sorted(schema_type.instance_ids):
         if is_edge:
             if not graph.has_edge(instance_id):
                 continue

@@ -37,7 +37,8 @@ def _instance_values(
     getter = graph.edge if is_edge else graph.node
     exists = graph.has_edge if is_edge else graph.has_node
     rows: list[tuple] = []
-    for instance_id in schema_type.instance_ids:
+    # Sorted: instance_ids is a set; keep row order hash-seed independent.
+    for instance_id in sorted(schema_type.instance_ids):
         if not exists(instance_id):
             continue
         element = getter(instance_id)

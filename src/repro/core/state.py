@@ -47,8 +47,8 @@ cardinalities, and keys exactly.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
-from typing import Iterable
 
 from repro.core.pipeline import PipelineState
 from repro.graph.columnar import Interner, global_interner

@@ -246,7 +246,10 @@ class MinHashLSH:
             # from the process-wide cache, so blake2b runs once per
             # distinct token).
             tokens_flat = list(chain.from_iterable(nonempty))
-            distinct_tokens = list(set(tokens_flat))
+            # Sorted: set iteration is hash-seed dependent; the min
+            # reduction is order-insensitive but the dense row layout
+            # should be reproducible run to run.
+            distinct_tokens = sorted(set(tokens_flat))
             row_of = {token: row for row, token in enumerate(distinct_tokens)}
             unique_ids = np.fromiter(
                 map(_token_id, distinct_tokens),
@@ -276,9 +279,11 @@ class MinHashLSH:
         )
         occurrences_per_chunk = max(1, _CHUNK_BUDGET // hashes)
 
-        run_starts = [0] + list(
-            np.flatnonzero(np.diff(sorted_lengths)) + 1
-        ) + [len(nonempty)]
+        run_starts = [
+            0,
+            *(np.flatnonzero(np.diff(sorted_lengths)) + 1),
+            len(nonempty),
+        ]
         flat_position = 0
         for run_index in range(len(run_starts) - 1):
             run_lo, run_hi = run_starts[run_index], run_starts[run_index + 1]
@@ -409,7 +414,7 @@ def scalar_signature(lsh: MinHashLSH, tokens: Iterable[str]) -> np.ndarray:
                 "little",
             )
             % _MERSENNE_PRIME
-            for t in set(tokens)
+            for t in sorted(set(tokens))
         ],
         dtype=np.int64,
     )

@@ -105,7 +105,7 @@ class _TypeBase:
         labels: Iterable[str] = (),
         abstract: bool = False,
     ) -> None:
-        self.type_id = type_id
+        self.type_id = type_id  # repro-lint: ignore[PGL201] -- identity, not mergeable content: absorb keeps the receiver's id and fingerprints exclude it by design
         self.labels: set[str] = set(labels)
         self.properties: dict[str, PropertySpec] = {}
         self.abstract = abstract
@@ -119,7 +119,7 @@ class _TypeBase:
         #: (:class:`repro.core.accumulators.TypeSummaries`), attached and
         #: fed by type extraction.  Kept duck-typed (``merge_from`` /
         #: ``copy``) so the schema layer needs no import from core.
-        self.summaries = None
+        self.summaries = None  # repro-lint: ignore[PGL201] -- fingerprints are summary-independent by design (sharded and single-session summaries differ internally)
 
     @property
     def token(self) -> str:

@@ -52,11 +52,11 @@ class Timer:
     @contextmanager
     def measure(self, name: str):
         """Context manager adding the elapsed time to lap ``name``."""
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro-lint: ignore[PGL102] -- Timer exists to report wall-clock diagnostics; timings never feed discovery results
         try:
             yield self
         finally:
-            elapsed = time.perf_counter() - start
+            elapsed = time.perf_counter() - start  # repro-lint: ignore[PGL102] -- Timer exists to report wall-clock diagnostics; timings never feed discovery results
             self.laps[name] = self.laps.get(name, 0.0) + elapsed
 
     @property

@@ -1,0 +1,60 @@
+"""Shared helpers for the invariant-checker tests.
+
+Fixture files carry ``# expect[RULE]`` markers (comma-separated for
+multiple diagnostics on one line); tests compare the marker set against
+the analyzer output in both directions, so a rule that over- or
+under-fires fails loudly.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.framework import Analyzer, Rule
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_EXPECT_RE = re.compile(r"#\s*expect\[([A-Z0-9,\s]+)\]")
+
+
+def expected_markers(path: Path) -> set[tuple[int, str]]:
+    """``(line, rule_id)`` pairs declared by ``# expect[...]`` markers."""
+    expected: set[tuple[int, str]] = set()
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        match = _EXPECT_RE.search(line)
+        if match is None:
+            continue
+        for rule_id in match.group(1).split(","):
+            expected.add((number, rule_id.strip()))
+    return expected
+
+
+def run_rules(rules: list[Rule], path: Path) -> set[tuple[int, str]]:
+    """Unsuppressed ``(line, rule_id)`` pairs one rule set emits on a file."""
+    analyzer = Analyzer(rules, check_suppressions=False)
+    result = analyzer.run([path])
+    assert not result.parse_errors, result.parse_errors
+    return {(d.line, d.rule_id) for d in result.diagnostics}
+
+
+def assert_fixture(rules: list[Rule], name: str) -> None:
+    """The rule set must reproduce a fixture's markers exactly."""
+    path = FIXTURES / name
+    assert path.is_file(), f"missing fixture {name}"
+    assert run_rules(rules, path) == expected_markers(path)
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return FIXTURES
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    return REPO_ROOT

@@ -1,0 +1,42 @@
+"""Fixture: PGL501/PGL502 negatives."""
+
+
+def tally(values, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.extend(values)
+    return bucket
+
+
+def frozen_default(keys=frozenset(), pair=()):
+    return keys, pair
+
+
+class CountAccumulator:
+    def __init__(self):
+        self.counts = {}
+
+    def observe(self, key):
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    def observe_column(self, key, values):
+        self.counts[key] = self.counts.get(key, 0) + len(values)
+
+    def merge_from(self, other):
+        for key, value in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0) + value
+
+    def copy(self):
+        clone = CountAccumulator()
+        clone.counts = dict(self.counts)
+        return clone
+
+
+class PlainContainer:
+    """copy(name) is fine on classes outside the merge lattice."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def copy(self, name):
+        return PlainContainer(name)

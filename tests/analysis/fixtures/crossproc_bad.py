@@ -1,0 +1,23 @@
+"""Fixture: PGL401 positives -- unpicklable callables meet process pools."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Dispatcher:
+    def dispatch(self, parts):
+        with ProcessPoolExecutor(initializer=lambda: None) as pool:  # expect[PGL401]
+            futures = [pool.submit(lambda p: p, part) for part in parts]  # expect[PGL401]
+        return futures
+
+    def bound_dispatch(self, pool, parts):
+        return list(pool.map(self._apply, parts))  # expect[PGL401]
+
+    def _apply(self, part):
+        return part
+
+
+def closure_dispatch(executor, parts):
+    def nested(part):
+        return part
+
+    return executor.submit(nested, parts[0])  # expect[PGL401]

@@ -1,0 +1,25 @@
+"""Fixture: PGL401 negatives -- module-level workers and non-pool receivers."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _worker_init():
+    pass
+
+
+def _worker_apply(part):
+    return part
+
+
+def dispatch(parts):
+    with ProcessPoolExecutor(initializer=_worker_init) as pool:
+        return [pool.submit(_worker_apply, part) for part in parts]
+
+
+def mapped(pool, parts):
+    return list(pool.map(_worker_apply, parts))
+
+
+def non_pool_receiver(runner, items):
+    # Receiver gives no pool/executor hint: not a pickle boundary.
+    return runner.submit(lambda: items)

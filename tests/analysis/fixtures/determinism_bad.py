@@ -1,0 +1,91 @@
+"""Fixture: PGL101/PGL102 positives.  Never imported -- parsed only.
+
+Each expect marker names the diagnostic the rule must emit on that
+line; the unit tests assert the sets match exactly.
+"""
+
+import os
+import random
+
+import numpy as np
+from time import perf_counter  # expect[PGL102]
+
+
+def freeze_set(tokens):
+    distinct = set(tokens)
+    ordered = list(distinct)  # expect[PGL101]
+    pair = tuple(distinct)  # expect[PGL101]
+    return ordered, pair
+
+
+def join_set(labels: set) -> str:
+    return ",".join(labels)  # expect[PGL101]
+
+
+def comprehension_over_set(values):
+    bag = {value for value in values}
+    return [value * 2 for value in bag]  # expect[PGL101]
+
+
+def generator_into_ordered_sink(rows):
+    ids = frozenset(rows)
+    return np.fromiter((row for row in ids), dtype=np.int64)  # expect[PGL101]
+
+
+def append_loop(seen: set):
+    out = []
+    for item in seen:  # expect[PGL101]
+        out.append(item)
+    return out
+
+
+def enumerate_loop(seen: set):
+    out = []
+    for index, item in enumerate(seen):  # expect[PGL101]
+        out.append((index, item))
+    return out
+
+
+def yielding_loop(seen: set):
+    for item in seen:  # expect[PGL101]
+        yield item
+
+
+def set_method_result(left: set, right):
+    merged = left.union(right)
+    return list(merged)  # expect[PGL101]
+
+
+def stamp():
+    return perf_counter()
+
+
+def wall_clock():
+    import time
+
+    return time.time()  # expect[PGL102]
+
+
+def jitter():
+    return random.random()  # expect[PGL102]
+
+
+def shuffled(items):
+    random.shuffle(items)  # expect[PGL102]
+    return items
+
+
+def unseeded_rng():
+    return np.random.default_rng()  # expect[PGL102]
+
+
+def global_np_stream(n):
+    return np.random.rand(n)  # expect[PGL102]
+
+
+def env_mode():
+    return os.environ["MODE"]  # expect[PGL102]
+
+
+def env_get():
+    return os.getenv("MODE", "fast")  # expect[PGL102]

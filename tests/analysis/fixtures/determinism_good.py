@@ -1,0 +1,63 @@
+"""Fixture: PGL101/PGL102 negatives -- sanctioned patterns, zero findings."""
+
+import numpy as np
+
+
+def sorted_freeze(tokens):
+    distinct = set(tokens)
+    return sorted(distinct)
+
+
+def order_insensitive_reductions(values: set):
+    return sum(values), min(values), max(values), len(values), any(values)
+
+
+def sorted_join(labels: set) -> str:
+    return ",".join(sorted(labels))
+
+
+def set_to_set(values):
+    bag = {value for value in values}
+    return frozenset(value * 2 for value in bag)
+
+
+def sorted_comprehension(labels: set):
+    return [label.upper() for label in sorted(labels)]
+
+
+def dict_iteration_is_insertion_ordered(mapping):
+    return list(mapping), [key for key in mapping]
+
+
+def membership_only(values: set, needle):
+    return needle in values
+
+
+def commutative_accumulation(seen: set):
+    total = 0
+    for item in seen:
+        total += item
+    return total
+
+
+def set_update_loop(seen: set, extra):
+    collected = set()
+    for item in seen:
+        collected.add(item)
+    collected.update(extra)
+    return collected
+
+
+def seeded_generator(seed: int):
+    return np.random.default_rng(seed)
+
+
+def seeded_draws(seed: int, n: int):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 10, size=n)
+
+
+def reassigned_name_is_not_a_set(tokens):
+    items = set(tokens)
+    items = sorted(items)
+    return list(items)

@@ -1,0 +1,22 @@
+"""Fixture: PGL301/PGL302 positives inside hot-path-named functions."""
+
+
+def ingest_columnar(batch, union):
+    nodes, edges = batch.to_elements()  # expect[PGL301]
+    union.merge_in(batch.to_property_graph("change"))  # expect[PGL301]
+    return nodes, edges
+
+
+def build_columnar(rows, Node):
+    return [Node(row) for row in rows]  # expect[PGL301]
+
+
+def record_into(block, summaries):
+    for value in block.columns["name"]:  # expect[PGL302]
+        summaries.observe("name", value)
+    doubled = [value * 2 for value in block.columns["age"]]  # expect[PGL302]
+    return doubled
+
+
+def columnar_changesets(block):
+    return {row for row in block.columns["id"].take(block.rows)}  # expect[PGL302]

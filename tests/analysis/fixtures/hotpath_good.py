@@ -1,0 +1,26 @@
+"""Fixture: PGL301/PGL302 negatives.
+
+Hot functions using the vectorised API stay silent, and element-wise
+conversion outside the hot call graph is legitimate.
+"""
+
+
+def record_into(block, summaries, group_rows):
+    taken = block.columns["name"].take(group_rows)
+    summaries.observe_column("name", taken)
+    return len(taken)
+
+
+def ingest_columnar(batch, state):
+    state.sequence += 1
+    return batch.node_count
+
+
+def to_union_graph(batch):
+    # Not a hot-path name: element-wise conversion is this function's job.
+    nodes, edges = batch.to_elements()
+    return batch.to_property_graph("union")
+
+
+def per_row_outside_hot_path(block):
+    return [value for value in block.columns["age"]]

@@ -1,0 +1,23 @@
+"""Fixture: PGL201 positive -- a state class with an unthreaded field.
+
+``witnesses`` is assigned in ``__init__`` but neither merged nor
+encoded: exactly the PR-5 bug class (checkpoint restores silently drop
+it).  The unit test registers a contract with a ``merge`` and an
+``encode`` target over this module, so the field line carries one
+marker per missing target.
+"""
+
+
+class ShardState:
+    def __init__(self):
+        self.counts = {}
+        self.total = 0
+        self.witnesses = []  # expect[PGL201,PGL201]
+
+    def merge_from(self, other):
+        for key, value in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0) + value
+        self.total += other.total
+
+    def encode(self):
+        return {"counts": dict(self.counts), "total": self.total}

@@ -1,0 +1,21 @@
+"""Fixture: PGL201 negative -- every field threaded through both targets."""
+
+
+class ShardState:
+    def __init__(self):
+        self.counts = {}
+        self.total = 0
+        self.witnesses = []
+
+    def merge_from(self, other):
+        for key, value in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0) + value
+        self.total += other.total
+        self.witnesses.extend(other.witnesses)
+
+    def encode(self):
+        return {
+            "counts": dict(self.counts),
+            "total": self.total,
+            "witnesses": list(self.witnesses),
+        }

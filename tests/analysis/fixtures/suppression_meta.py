@@ -1,0 +1,21 @@
+"""Fixture: suppression-hygiene meta diagnostics (PGL001/PGL002/PGL003)."""
+
+
+def missing_justification(bucket=[]):  # repro-lint: ignore[PGL501]
+    return bucket
+
+
+def unknown_rule(bucket=[]):  # repro-lint: ignore[PGL777] -- no such rule
+    return bucket
+
+
+def unused(bucket=None):  # repro-lint: ignore[PGL501] -- nothing fires here
+    return bucket
+
+
+def docstring_examples_are_inert():
+    """Suppression text in strings parses as nothing.
+
+    For example ``# repro-lint: ignore[PGL501] -- not a real comment``.
+    """
+    return None

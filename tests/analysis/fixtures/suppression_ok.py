@@ -1,0 +1,13 @@
+"""Fixture: a justified suppression silences its diagnostic cleanly."""
+
+
+def tally(values, bucket=[]):  # repro-lint: ignore[PGL501] -- fixture: exercising the suppression path
+    bucket.extend(values)
+    return bucket
+
+
+def stacked(
+    # repro-lint: ignore[PGL501] -- fixture: comment-above form applies to the next code line
+    bucket=[],
+):
+    return bucket

@@ -1,0 +1,18 @@
+"""PGL501/PGL502 fire on hygiene violations only."""
+
+from repro.analysis.rules.api_hygiene import (
+    AccumulatorSignatureRule,
+    MutableDefaultRule,
+)
+
+from tests.analysis.conftest import assert_fixture
+
+RULES = [MutableDefaultRule(scope=()), AccumulatorSignatureRule(scope=())]
+
+
+def test_fires_on_violations():
+    assert_fixture(RULES, "api_bad.py")
+
+
+def test_silent_on_conforming_code():
+    assert_fixture(RULES, "api_good.py")

@@ -1,0 +1,56 @@
+"""CLI contract: exit codes, rule listing, and a clean merged tree."""
+
+import subprocess
+import sys
+
+from repro.analysis import default_analyzer
+from repro.analysis.__main__ import main
+
+from tests.analysis.conftest import FIXTURES, REPO_ROOT
+
+
+def _cli(*args: str) -> subprocess.CompletedProcess:
+    env_path = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_violating_file_exits_nonzero():
+    process = _cli(str(FIXTURES / "api_bad.py"))
+    assert process.returncode == 1
+    assert "PGL501" in process.stdout
+    assert "FAILED" in process.stderr
+
+
+def test_clean_file_exits_zero():
+    process = _cli(str(FIXTURES / "api_good.py"))
+    assert process.returncode == 0
+    assert process.stdout == ""
+    assert "clean" in process.stderr
+
+
+def test_list_rules():
+    process = _cli("--list-rules")
+    assert process.returncode == 0
+    for rule_id in ("PGL101", "PGL102", "PGL201", "PGL301", "PGL401", "PGL501"):
+        assert rule_id in process.stdout
+
+
+def test_main_is_callable_in_process(capsys):
+    status = main([str(FIXTURES / "suppression_meta.py")])
+    assert status == 1
+    captured = capsys.readouterr()
+    assert "PGL001" in captured.out
+
+
+def test_repo_tree_is_clean():
+    """The merged tree must lint clean -- the CI gate in miniature."""
+    result = default_analyzer().run([REPO_ROOT / "src", REPO_ROOT / "tests"])
+    assert result.parse_errors == []
+    assert result.diagnostics == [], [d.render() for d in result.diagnostics]
+    assert result.suppressions_used > 0

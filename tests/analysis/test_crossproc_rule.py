@@ -1,0 +1,15 @@
+"""PGL401 fires on unpicklable pool submissions only."""
+
+from repro.analysis.rules.crossproc import ProcessPoolSubmissionRule
+
+from tests.analysis.conftest import assert_fixture
+
+RULES = [ProcessPoolSubmissionRule(scope=())]
+
+
+def test_fires_on_unpicklable_submissions():
+    assert_fixture(RULES, "crossproc_bad.py")
+
+
+def test_silent_on_module_level_workers():
+    assert_fixture(RULES, "crossproc_good.py")

@@ -1,0 +1,33 @@
+"""PGL101/PGL102 fire on the bad fixture and stay silent on the good one."""
+
+from repro.analysis.rules.determinism import (
+    NondeterministicSourceRule,
+    OrderedSetConsumptionRule,
+)
+
+from tests.analysis.conftest import assert_fixture
+
+RULES = [
+    OrderedSetConsumptionRule(scope=()),
+    NondeterministicSourceRule(scope=(), exclude=()),
+]
+
+
+def test_fires_on_violations():
+    assert_fixture(RULES, "determinism_bad.py")
+
+
+def test_silent_on_sanctioned_patterns():
+    assert_fixture(RULES, "determinism_good.py")
+
+
+def test_scoping_excludes_bench_modules(tmp_path):
+    from repro.analysis.framework import Analyzer
+
+    bench = tmp_path / "src" / "repro" / "bench" / "timing.py"
+    bench.parent.mkdir(parents=True)
+    bench.write_text("import time\n\ndef t():\n    return time.time()\n")
+    result = Analyzer(
+        [NondeterministicSourceRule()], check_suppressions=False
+    ).run([bench])
+    assert result.diagnostics == []

@@ -1,0 +1,72 @@
+"""Framework behaviour: suppressions, meta-rules, file collection."""
+
+from repro.analysis.framework import Analyzer, Diagnostic, Rule
+from repro.analysis.rules.api_hygiene import MutableDefaultRule
+
+from tests.analysis.conftest import FIXTURES
+
+
+def _run(path, *, check_suppressions=True):
+    return Analyzer(
+        [MutableDefaultRule()], check_suppressions=check_suppressions
+    ).run([path])
+
+
+def test_justified_suppressions_silence_both_forms():
+    result = _run(FIXTURES / "suppression_ok.py")
+    assert result.diagnostics == [], [d.render() for d in result.diagnostics]
+    assert result.suppressions_used == 2  # same-line and comment-above
+
+
+def test_meta_rules_keep_suppressions_honest():
+    result = _run(FIXTURES / "suppression_meta.py")
+    by_rule: dict[str, list[Diagnostic]] = {}
+    for diagnostic in result.diagnostics:
+        by_rule.setdefault(diagnostic.rule_id, []).append(diagnostic)
+    # Missing justification: the PGL501 is still suppressed, PGL001 fires.
+    assert len(by_rule["PGL001"]) == 1
+    # Unknown rule id: PGL002 fires and the PGL501 it failed to name leaks.
+    assert len(by_rule["PGL002"]) == 1
+    assert len(by_rule["PGL501"]) == 1
+    # Suppression matching nothing: PGL003.
+    assert len(by_rule["PGL003"]) == 1
+    assert set(by_rule) == {"PGL001", "PGL002", "PGL003", "PGL501"}
+
+
+def test_docstring_suppressions_and_meta_opt_out():
+    # With meta checks off, the fixture's only finding is the leaked PGL501;
+    # the suppression text inside the docstring stays inert either way.
+    result = _run(FIXTURES / "suppression_meta.py", check_suppressions=False)
+    assert [d.rule_id for d in result.diagnostics] == ["PGL501"]
+
+
+def test_directory_walk_skips_fixtures_but_explicit_files_scan():
+    walked = Analyzer.collect_files([FIXTURES.parent.parent])  # tests/
+    assert not any("fixtures" in str(path) for path in walked)
+    explicit = Analyzer.collect_files([FIXTURES / "api_bad.py"])
+    assert len(explicit) == 1
+
+
+def test_parse_errors_are_reported_not_raised(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def incomplete(:\n")
+    result = _run(broken)
+    assert not result.ok
+    assert result.parse_errors[0].rule_id == "PGL999"
+
+
+def test_rule_scoping():
+    rule = Rule(scope=("src/repro/core/",), exclude=("src/repro/core/bench",))
+    assert rule.applies("src/repro/core/state.py")
+    assert not rule.applies("src/repro/lsh/minhash.py")
+    assert not rule.applies("src/repro/core/bench_helpers.py")
+    assert Rule().applies("anything.py")
+
+
+def test_unknown_suppression_id_flagged_even_without_diagnostics(tmp_path):
+    target = tmp_path / "module.py"
+    target.write_text(
+        "x = 1  # repro-lint: ignore[NOPE123] -- justified but bogus\n"
+    )
+    result = _run(target)
+    assert [d.rule_id for d in result.diagnostics] == ["PGL002"]

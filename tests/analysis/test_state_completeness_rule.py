@@ -1,0 +1,122 @@
+"""PGL200/PGL201: contract checking over fixtures and the real tree."""
+
+import shutil
+
+from repro.analysis.framework import Analyzer
+from repro.analysis.rules.state_completeness import (
+    CoverageTarget,
+    StateCompletenessRule,
+    StateContract,
+)
+
+from tests.analysis.conftest import FIXTURES, expected_markers, run_rules
+
+
+def _contract(module_tail: str) -> StateContract:
+    return StateContract(
+        module_tail=module_tail,
+        class_name="ShardState",
+        targets=(
+            CoverageTarget(
+                "merge", ((module_tail, "ShardState.merge_from"),)
+            ),
+            CoverageTarget("encode", ((module_tail, "ShardState.encode"),)),
+        ),
+    )
+
+
+def test_unthreaded_field_fires_per_missing_target():
+    path = FIXTURES / "state_bad.py"
+    rule = StateCompletenessRule(contracts=[_contract("state_bad.py")])
+    # Two targets miss `witnesses`: one PGL201 per target, same line.
+    analyzer = Analyzer([rule], check_suppressions=False)
+    diagnostics = analyzer.run([path]).diagnostics
+    assert len(diagnostics) == 2
+    assert {(d.line, d.rule_id) for d in diagnostics} == expected_markers(path)
+    assert all("witnesses" in d.message for d in diagnostics)
+
+
+def test_fully_threaded_class_is_silent():
+    rule = StateCompletenessRule(contracts=[_contract("state_good.py")])
+    assert run_rules([rule], FIXTURES / "state_good.py") == set()
+
+
+def test_contract_rot_is_flagged():
+    bad_class = StateContract(
+        module_tail="state_good.py",
+        class_name="NoSuchState",
+        targets=(),
+    )
+    bad_target = StateContract(
+        module_tail="state_good.py",
+        class_name="ShardState",
+        targets=(
+            CoverageTarget(
+                "merge", (("state_good.py", "ShardState.no_such_method"),)
+            ),
+        ),
+    )
+    found = run_rules(
+        [StateCompletenessRule(contracts=[bad_class, bad_target])],
+        FIXTURES / "state_good.py",
+    )
+    assert {rule_id for _line, rule_id in found} == {"PGL200"}
+    assert len(found) == 2
+
+
+def test_absent_module_is_skipped():
+    rule = StateCompletenessRule(contracts=[_contract("not_loaded.py")])
+    assert run_rules([rule], FIXTURES / "state_good.py") == set()
+
+
+def test_exempt_fields_are_not_checked():
+    contract = StateContract(
+        module_tail="state_bad.py",
+        class_name="ShardState",
+        targets=_contract("state_bad.py").targets,
+        exempt=frozenset({"witnesses"}),
+    )
+    rule = StateCompletenessRule(contracts=[contract])
+    assert run_rules([rule], FIXTURES / "state_bad.py") == set()
+
+
+def test_reintroducing_a_pr5_class_bug_fails(tmp_path, repo_root):
+    """Acceptance: an uncovered DiscoveryState field must fail the lint.
+
+    Copies the real state/session modules, adds a dataclass field to
+    ``DiscoveryState`` without touching merge or checkpoint, and runs
+    the *default* contracts: the new field must be flagged for all three
+    lifecycle targets.
+    """
+    src = tmp_path / "repro" / "core"
+    src.mkdir(parents=True)
+    for name in ("state.py", "session.py"):
+        shutil.copy(repo_root / "src" / "repro" / "core" / name, src / name)
+    state = src / "state.py"
+    original = state.read_text()
+    marker = "    dirty: bool = False\n"
+    assert marker in original
+    state.write_text(
+        original.replace(marker, marker + "    forgotten_field: int = 0\n", 1)
+    )
+    result = Analyzer(
+        [StateCompletenessRule()], check_suppressions=False
+    ).run([src / "state.py", src / "session.py"])
+    forgotten = [
+        d for d in result.diagnostics if "forgotten_field" in d.message
+    ]
+    assert len(forgotten) == 3  # merge + checkpoint encode + decode
+    assert {d.rule_id for d in forgotten} == {"PGL201"}
+
+
+def test_default_contracts_match_the_real_tree(repo_root):
+    """No PGL200 rot, and every real finding is a suppressed known case.
+
+    Meta checks stay off: the tree's suppressions for other rule
+    families are unknown ids to this single-rule analyzer.
+    """
+    result = Analyzer(
+        [StateCompletenessRule()], check_suppressions=False
+    ).run([repo_root / "src"])
+    assert result.diagnostics == [], [d.render() for d in result.diagnostics]
+    assert result.suppressions_used > 0

@@ -1,0 +1,145 @@
+"""Auto-derived checkpoint/merge round-trip over every DiscoveryState field.
+
+Dynamic companion to the static state-completeness lint (PGL201): the
+lint proves each field is *mentioned* by the merge and checkpoint paths;
+this test proves the *values* actually survive.  Both are auto-derived
+from ``dataclasses.fields(DiscoveryState)``, so adding a field without
+extending the sentinel table fails here immediately -- with a message
+saying what to add -- even before any behaviour goes wrong.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.pipeline import PipelineState
+from repro.core.session import SchemaSession
+from repro.core.state import DiscoveryState
+from repro.graph.columnar import Interner
+from repro.graph.model import Node, PropertyGraph
+from repro.lsh.minhash import MinHashLSH
+from repro.schema.model import NodeType, SchemaGraph
+
+_CACHE_KEY = (2, 2, 11)
+_PREPROCESSOR_SENTINEL = "sentinel-preprocessor"
+
+
+def _sentinel_schema() -> SchemaGraph:
+    schema = SchemaGraph("sentinel-schema")
+    node_type = NodeType("nt_sentinel", ["SentinelLabel"])
+    node_type.record_instance("sentinel-instance", ["name"])
+    schema.add_node_type(node_type)
+    return schema
+
+
+def _sentinel_union() -> PropertyGraph:
+    union = PropertyGraph("sentinel-union")
+    union.add_node(
+        Node("sentinel-node", frozenset({"SentinelLabel"}), {"name": "s"})
+    )
+    return union
+
+
+def _sentinel_pipeline() -> PipelineState:
+    num_tables, band_size, seed = _CACHE_KEY
+    return PipelineState(
+        # The pipeline only requires picklability and identity here; a
+        # marker object keeps the test independent of Word2Vec fitting.
+        preprocessor=_PREPROCESSOR_SENTINEL,
+        minhash_cache={
+            _CACHE_KEY: MinHashLSH(
+                num_tables=num_tables, band_size=band_size, seed=seed
+            )
+        },
+    )
+
+
+def _sentinel_interner() -> Interner:
+    interner = Interner()
+    interner.intern_string("sentinel-token")
+    interner.intern_labels(["SentinelLabel"])
+    interner.intern_keys(["k1", "k2"])
+    return interner
+
+
+#: One sentinel-distinct value per DiscoveryState field.
+SENTINELS = {
+    "schema": _sentinel_schema,
+    "pipeline": _sentinel_pipeline,
+    "union": _sentinel_union,
+    "sequence": lambda: 7,
+    "streaming_valid": lambda: False,
+    "dirty": lambda: True,
+    "interner": _sentinel_interner,
+}
+
+
+def _assert_sentinels_survive(state: DiscoveryState) -> None:
+    """Field-by-field sentinel checks, shared by restore and merge."""
+    tokens = {
+        label
+        for node_type in state.schema.node_types()
+        for label in node_type.labels
+    }
+    assert "SentinelLabel" in tokens
+    assert state.union is not None and state.union.has_node("sentinel-node")
+    assert state.pipeline.preprocessor == _PREPROCESSOR_SENTINEL
+    assert _CACHE_KEY in state.pipeline.minhash_cache
+    assert state.sequence == 7
+    assert state.streaming_valid is False
+    assert state.dirty is True
+    assert state.interner is not None
+    assert "sentinel-token" in state.interner.snapshot()["strings"]
+
+
+def _populated_state() -> DiscoveryState:
+    values = {name: factory() for name, factory in SENTINELS.items()}
+    return DiscoveryState(**values)
+
+
+def test_every_field_has_a_sentinel():
+    """Drift guard: a new DiscoveryState field must extend this test."""
+    declared = {f.name for f in dataclasses.fields(DiscoveryState)}
+    missing = declared - set(SENTINELS)
+    assert not missing, (
+        f"DiscoveryState grew field(s) {sorted(missing)}; add a sentinel "
+        "value and survival assertions to test_state_roundtrip.py"
+    )
+    stale = set(SENTINELS) - declared
+    assert not stale, f"sentinels for removed field(s) {sorted(stale)}"
+
+
+def test_checkpoint_roundtrip_preserves_every_field(tmp_path):
+    session = SchemaSession.from_state(_populated_state())
+    path = session.checkpoint(tmp_path / "sentinel.ckpt")
+    restored = SchemaSession.restore(path).discovery_state
+    _assert_sentinels_survive(restored)
+
+
+def test_merge_preserves_every_field():
+    other = DiscoveryState(
+        schema=SchemaGraph("other"),
+        pipeline=PipelineState(),
+        union=PropertyGraph("other-union"),
+        sequence=3,
+        streaming_valid=True,
+        dirty=False,
+        interner=Interner(),
+    )
+    merged = _populated_state().merge(other)
+    _assert_sentinels_survive(merged)
+
+
+@pytest.mark.parametrize("direction", ["left", "right"])
+def test_merge_preserves_fields_from_either_side(direction):
+    empty = DiscoveryState(
+        schema=SchemaGraph("empty"),
+        union=PropertyGraph("empty-union"),
+        interner=Interner(),
+    )
+    populated = _populated_state()
+    states = [populated, empty] if direction == "left" else [empty, populated]
+    merged = DiscoveryState.merged(states)
+    _assert_sentinels_survive(merged)
