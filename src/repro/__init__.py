@@ -22,10 +22,12 @@ from repro.core.config import AdaptiveOverrides, ClusteringMethod, PGHiveConfig
 from repro.core.incremental import IncrementalSchemaDiscovery
 from repro.core.maintenance import MaintainedSchema
 from repro.core.pipeline import DiscoveryResult, PGHive
+from repro.core.recovery import DurableSchemaSession, DurableShardedSchemaSession
 from repro.core.session import ChangeReport, DiffEvent, SchemaSession
 from repro.core.sharding import ShardedChangeReport, ShardedSchemaSession
 from repro.core.state import DiscoveryState
 from repro.graph.changes import ChangeSet, HashPartitioner, changesets_from_elements
+from repro.errors import DegradedModeWarning
 from repro.graph.model import Edge, Node, PropertyGraph, label_token
 from repro.graph.store import GraphStore
 from repro.lsh.base import GroupingRule
@@ -44,9 +46,12 @@ __all__ = [
     "ChangeSet",
     "ClusteringMethod",
     "DataType",
+    "DegradedModeWarning",
     "DiffEvent",
     "DiscoveryResult",
     "DiscoveryState",
+    "DurableSchemaSession",
+    "DurableShardedSchemaSession",
     "Edge",
     "EdgeType",
     "GraphStore",

@@ -10,6 +10,7 @@ Rule ids are stable API (suppression comments reference them):
 * ``PGL401`` unpicklable callables submitted to process pools
 * ``PGL501`` mutable default arguments
 * ``PGL502`` accumulator ``merge_from``/``copy``/``observe*`` drift
+* ``PGL601`` pickled artifacts written without the atomic durability helper
 * ``PGL001``-``PGL003`` suppression hygiene (framework meta-rules)
 """
 
@@ -21,6 +22,7 @@ from repro.analysis.rules.api_hygiene import (
     MutableDefaultRule,
 )
 from repro.analysis.rules.crossproc import ProcessPoolSubmissionRule
+from repro.analysis.rules.durable_io import DurableArtifactWriteRule
 from repro.analysis.rules.determinism import (
     NondeterministicSourceRule,
     OrderedSetConsumptionRule,
@@ -43,6 +45,7 @@ def all_rules() -> list[Rule]:
         ProcessPoolSubmissionRule(),
         MutableDefaultRule(),
         AccumulatorSignatureRule(),
+        DurableArtifactWriteRule(),
     ]
 
 
@@ -54,6 +57,7 @@ def default_analyzer() -> Analyzer:
 __all__ = [
     "AccumulatorSignatureRule",
     "ColumnLoopRule",
+    "DurableArtifactWriteRule",
     "ElementMaterialisationRule",
     "MutableDefaultRule",
     "NondeterministicSourceRule",

@@ -1,0 +1,102 @@
+"""Durable-artifact IO rule (PGL6xx).
+
+Checkpoints, WAL segments, and shard manifests survive process crashes
+only because every byte reaches disk through the blessed helpers in
+``repro.core.durability`` (``atomic_write_bytes`` / ``write_artifact``):
+temp file, fsync, atomic rename, digest header.  A bare
+``open(path, "wb")`` + ``pickle.dump`` tears on crash, carries no
+integrity check, and silently reintroduces the exact corruption class
+the recovery path guards against.
+
+``PGL601`` flags, inside any single function that also pickles
+(``pickle.dump`` / ``pickle.dumps``), each write-mode ``open(...)`` /
+``path.open("wb")`` / ``path.write_bytes(...)`` call.  Read-only opens
+and pickling without a same-function write site are ignored -- the
+detection is deliberately local and syntactic so every flag points at a
+concrete bare write of pickled state.  The durability module itself is
+excluded: it is where the sanctioned write path lives.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.astutil import describe, dotted_name, walk_local
+from repro.analysis.framework import Diagnostic, ModuleContext, Rule
+
+#: ``open`` mode characters that make a handle writable.
+_WRITE_MODE_MARKERS = ("w", "a", "x", "+")
+
+_PICKLE_CALLS = frozenset({"pickle.dump", "pickle.dumps"})
+
+
+def _mode_argument(node: ast.Call, position: int) -> ast.expr | None:
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            return keyword.value
+    if len(node.args) > position:
+        return node.args[position]
+    return None
+
+
+def _is_write_mode(mode: ast.expr | None) -> bool:
+    if mode is None:
+        return False
+    if not isinstance(mode, ast.Constant) or not isinstance(mode.value, str):
+        # Dynamic modes are rare and opaque; treat them as writable so
+        # the durable path cannot be smuggled past the rule.
+        return True
+    return any(marker in mode.value for marker in _WRITE_MODE_MARKERS)
+
+
+def _write_site(node: ast.Call) -> str | None:
+    """Describe ``node`` when it opens something for writing, else None."""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        if _is_write_mode(_mode_argument(node, 1)):
+            return "open() for writing"
+        return None
+    if isinstance(func, ast.Attribute) and func.attr == "open":
+        if _is_write_mode(_mode_argument(node, 0)):
+            return f"{describe(func.value)}.open() for writing"
+        return None
+    if isinstance(func, ast.Attribute) and func.attr == "write_bytes":
+        return f"{describe(func.value)}.write_bytes()"
+    return None
+
+
+class DurableArtifactWriteRule(Rule):
+    """PGL601: pickled state written without the atomic helper."""
+
+    rule_id = "PGL601"
+    name = "durable-artifact-write"
+    description = (
+        "bare write-mode open/write_bytes in a function that pickles; "
+        "durable artifacts must go through repro.core.durability"
+    )
+    default_scope = ("src/repro/",)
+    default_exclude = ("core/durability.py",)
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for qualname, function in ctx.functions():
+            calls = [
+                node
+                for node in walk_local(function)
+                if isinstance(node, ast.Call)
+            ]
+            if not any(
+                dotted_name(call.func) in _PICKLE_CALLS for call in calls
+            ):
+                continue
+            for call in calls:
+                site = _write_site(call)
+                if site is not None:
+                    yield ctx.diagnostic(
+                        call,
+                        self.rule_id,
+                        f"{site} alongside pickle in {qualname}; write "
+                        "durable artifacts via repro.core.durability."
+                        "write_artifact/atomic_write_bytes (temp file + "
+                        "fsync + atomic rename + digest)",
+                    )

@@ -140,7 +140,13 @@ DEFAULT_CONTRACTS: tuple[StateContract, ...] = (
             ),
             CoverageTarget(
                 "checkpoint decode (SchemaSession.restore)",
-                (("repro/core/session.py", "SchemaSession.restore"),),
+                (
+                    ("repro/core/session.py", "SchemaSession.restore"),
+                    (
+                        "repro/core/session.py",
+                        "SchemaSession._from_checkpoint_payload",
+                    ),
+                ),
             ),
         ),
     ),

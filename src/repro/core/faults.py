@@ -1,0 +1,175 @@
+"""Fault injection for durability testing and benchmarking.
+
+The durability layer (:mod:`repro.core.durability`) calls
+:func:`fire` at named *failpoints* -- just before an fsync, just after a
+record append, around the atomic-rename dance.  In production nothing is
+armed and every call is a cheap no-op.  Tests install a
+:class:`FaultInjector` (a context manager) that arms specific points
+with an *action*:
+
+* ``"crash"`` -- raise :class:`SimulatedCrash`, modelling abrupt process
+  death at exactly that point (the write syscalls before the point have
+  happened; everything after has not).
+* a callable -- invoked as ``action(point, context)``; it may mutate the
+  on-disk state (tear a record, flip a byte) and/or raise
+  :class:`SimulatedCrash` itself.  The context dict carries whatever the
+  failpoint knows (``path``, ``record_start``, ``record_end``, ...).
+
+Arming supports ``after=N`` (skip the first N hits) and ``count=M``
+(trigger at most M times), so a test can crash precisely on the k-th
+append of a feed.  Helpers for crash realism: :func:`corrupt_byte`
+flips one byte of a file in place; :func:`kill_process` SIGKILLs a
+worker so pool-death handling sees a real dead process, not an
+exception.
+
+Only one injector is active per process at a time (they nest badly on
+purpose: a crash test with two overlapping injectors is unreadable).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError, ReproError
+
+#: Failpoint action: the literal ``"crash"`` or a callable.
+FaultAction = Callable[[str, dict], None]
+
+
+class SimulatedCrash(ReproError):
+    """An armed failpoint fired: the process "died" at this point.
+
+    Crash-recovery tests catch this where a real deployment would have
+    lost the process, then recover from disk and assert equivalence.
+    """
+
+
+@dataclass
+class _Arm:
+    """One armed failpoint: action plus skip/budget counters."""
+
+    action: FaultAction | str
+    after: int = 0
+    count: int = 1
+    hits: int = field(default=0, init=False)
+    fired: int = field(default=0, init=False)
+
+    def take(self) -> bool:
+        """Account one hit; True when the action should trigger now."""
+        self.hits += 1
+        if self.hits <= self.after or self.fired >= self.count:
+            return False
+        self.fired += 1
+        return True
+
+
+class FaultInjector:
+    """Context manager arming failpoints for the enclosed block.
+
+    >>> with FaultInjector() as faults:
+    ...     faults.arm("wal.after_append", "crash", after=2)
+    ...     # the third append raises SimulatedCrash
+    """
+
+    _active: "FaultInjector | None" = None
+
+    def __init__(self) -> None:
+        self._arms: dict[str, _Arm] = {}
+        #: every failpoint hit while installed, for test introspection.
+        self.log: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+    def arm(
+        self,
+        point: str,
+        action: FaultAction | str = "crash",
+        *,
+        after: int = 0,
+        count: int = 1,
+    ) -> "FaultInjector":
+        """Arm ``point``; returns self for chaining."""
+        if isinstance(action, str) and action != "crash":
+            raise ConfigurationError(
+                f"unknown failpoint action {action!r}: use 'crash' or a "
+                "callable"
+            )
+        self._arms[point] = _Arm(action=action, after=after, count=count)
+        return self
+
+    def disarm(self, point: str) -> None:
+        """Remove an armed point (no-op when unknown)."""
+        self._arms.pop(point, None)
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FaultInjector":
+        if FaultInjector._active is not None:
+            raise ConfigurationError(
+                "a FaultInjector is already installed in this process"
+            )
+        FaultInjector._active = self
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        FaultInjector._active = None
+
+    # ------------------------------------------------------------------
+    # Firing (called by the durability layer through module-level fire)
+    # ------------------------------------------------------------------
+    def _fire(self, point: str, context: dict) -> None:
+        self.log.append(point)
+        arm = self._arms.get(point)
+        if arm is None or not arm.take():
+            return
+        if arm.action == "crash":
+            raise SimulatedCrash(f"failpoint {point!r} fired")
+        arm.action(point, context)
+
+    # ------------------------------------------------------------------
+    # Crash-realism helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def corrupt_byte(path: str | Path, offset: int, flip: int = 0xFF) -> None:
+        """XOR one byte of ``path`` at ``offset`` in place."""
+        with open(Path(path), "r+b") as handle:
+            handle.seek(offset)
+            byte = handle.read(1)
+            if not byte:
+                raise ConfigurationError(
+                    f"offset {offset} is past the end of {path}"
+                )
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ flip]))
+
+    @staticmethod
+    def truncate_at(path: str | Path, size: int) -> None:
+        """Tear ``path`` to ``size`` bytes (models a torn write)."""
+        with open(Path(path), "r+b") as handle:
+            handle.truncate(size)
+
+    @staticmethod
+    def kill_process(pid: int) -> None:
+        """SIGKILL a process (worker-death tests; no cleanup runs).
+
+        Refuses non-positive pids: ``os.kill(0, ...)`` would signal the
+        whole process group (the test runner included).
+        """
+        if pid <= 0:
+            raise ConfigurationError(
+                f"kill_process needs a concrete worker pid, got {pid}"
+            )
+        os.kill(pid, signal.SIGKILL)
+
+
+def fire(point: str, **context) -> None:
+    """Hit a failpoint: no-op unless a :class:`FaultInjector` is armed."""
+    injector = FaultInjector._active
+    if injector is not None:
+        injector._fire(point, context)

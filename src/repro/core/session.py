@@ -50,7 +50,6 @@ only restore checkpoints produced by a process you trust.
 
 from __future__ import annotations
 
-import os
 import pickle
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
@@ -58,10 +57,11 @@ from pathlib import Path
 
 from repro.core.accumulators import SummaryOptions
 from repro.core.config import PGHiveConfig
+from repro.core.durability import read_artifact, write_artifact
 from repro.core.pipeline import DiscoveryResult, PGHive, PipelineState
 from repro.core.state import DiscoveryState
 from repro.errors import (
-    CheckpointError,
+    CheckpointCorruptError,
     ConfigurationError,
     DanglingEdgeError,
     MissingElementError,
@@ -73,9 +73,12 @@ from repro.schema.diff import SchemaDiff, diff_schemas
 from repro.schema.model import EdgeType, NodeType, SchemaGraph
 from repro.util import Timer
 
-#: First line of every checkpoint file: magic token + format version.
+#: First line of every checkpoint file: magic token + format version (+
+#: payload digest and length since v2; see repro.core.durability).
 CHECKPOINT_MAGIC = b"pghive-session-checkpoint"
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+#: Digest-free pre-durability versions that stay readable (unverified).
+CHECKPOINT_LEGACY_VERSIONS = (1,)
 
 
 @dataclass(frozen=True)  # no slots: checkpoints pickle these, and
@@ -724,7 +727,8 @@ class SchemaSession:
         signature caches, the union graph when retained, and the stream
         position.  Subscribers, the store binding, and wall-clock timings
         are process-local and deliberately not captured.  Written
-        atomically (temp file + rename).
+        atomically (temp file + fsync + rename) with a payload digest in
+        the header that :meth:`restore` verifies.
         """
         path = Path(path)
         payload = {
@@ -760,20 +764,12 @@ class SchemaSession:
                 "edge_parameters": self._result.edge_parameters,
             },
         }
-        temp = path.with_name(path.name + ".tmp")
-        try:
-            with open(temp, "wb") as handle:
-                handle.write(
-                    CHECKPOINT_MAGIC + b" %d\n" % CHECKPOINT_VERSION
-                )
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(temp, path)
-        except OSError as error:
-            raise CheckpointError(
-                f"could not write checkpoint {path}: {error}"
-            ) from error
-        finally:
-            temp.unlink(missing_ok=True)
+        write_artifact(
+            path,
+            CHECKPOINT_MAGIC,
+            CHECKPOINT_VERSION,
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+        )
         return path
 
     @classmethod
@@ -781,38 +777,30 @@ class SchemaSession:
         """Rebuild a session from :meth:`checkpoint` output.
 
         The restored session produces bit-identical results for any
-        subsequent change feed (the round-trip tests pin this).  Only
-        restore files from trusted sources: the payload is a pickle.
+        subsequent change feed (the round-trip tests pin this).  The
+        payload digest is verified before unpickling; failure modes
+        raise distinct typed errors (:class:`CheckpointFormatError`,
+        :class:`CheckpointVersionError`, :class:`CheckpointCorruptError`).
+        Only restore files from trusted sources: the payload is a pickle.
         """
         path = Path(path)
+        _, data = read_artifact(
+            path,
+            CHECKPOINT_MAGIC,
+            version=CHECKPOINT_VERSION,
+            legacy_versions=CHECKPOINT_LEGACY_VERSIONS,
+        )
         try:
-            with open(path, "rb") as handle:
-                header = handle.readline().split()
-                if len(header) != 2 or header[0] != CHECKPOINT_MAGIC:
-                    raise CheckpointError(
-                        f"{path} is not a PG-HIVE session checkpoint"
-                    )
-                try:
-                    version = int(header[1])
-                except ValueError:
-                    raise CheckpointError(
-                        f"{path}: unparseable checkpoint version {header[1]!r}"
-                    ) from None
-                if version != CHECKPOINT_VERSION:
-                    raise CheckpointError(
-                        f"{path}: unsupported checkpoint version {version} "
-                        f"(this build reads version {CHECKPOINT_VERSION})"
-                    )
-                try:
-                    payload = pickle.load(handle)
-                except Exception as error:
-                    raise CheckpointError(
-                        f"{path}: corrupt checkpoint payload: {error}"
-                    ) from error
-        except OSError as error:
-            raise CheckpointError(
-                f"could not read checkpoint {path}: {error}"
+            payload = pickle.loads(data)
+        except Exception as error:
+            raise CheckpointCorruptError(
+                f"{path}: corrupt checkpoint payload: {error}"
             ) from error
+        return cls._from_checkpoint_payload(payload)
+
+    @classmethod
+    def _from_checkpoint_payload(cls, payload: dict) -> "SchemaSession":
+        """Build a session from a decoded checkpoint payload dict."""
         session = cls(
             payload["config"],
             schema_name=payload["schema_name"],
@@ -845,6 +833,22 @@ class SchemaSession:
         session._result.node_parameters = meta["node_parameters"]
         session._result.edge_parameters = meta["edge_parameters"]
         return session
+
+    @classmethod
+    def recover(cls, directory: str | Path, **kwargs) -> "SchemaSession":
+        """Recover a durable session from its directory.
+
+        Convenience front door to
+        :meth:`repro.core.recovery.DurableSchemaSession.recover`: find
+        the newest *valid* checkpoint under ``directory`` (falling back
+        to older ones if the newest is corrupt), replay the write-ahead
+        log from the checkpointed stream position, and resume durable
+        logging.  The result is fingerprint-identical to a session that
+        never crashed.
+        """
+        from repro.core.recovery import DurableSchemaSession
+
+        return DurableSchemaSession.recover(directory, **kwargs)
 
     def __repr__(self) -> str:
         return (

@@ -32,6 +32,16 @@ state, combine on read -- applied to PG-HIVE:
   session checkpoint per shard, so shards restore independently (and, in
   parallel mode, write/load their own files inside their worker
   processes).
+* **Worker fault tolerance** (parallel mode): a dead worker process
+  never surfaces a raw ``BrokenProcessPool``.  The shard's pool is
+  restarted with bounded exponential backoff, its last fetched
+  :class:`DiscoveryState` is resubmitted and the change-sets applied
+  since are replayed (``_pending``), and the failed operation is
+  retried.  After ``max_shard_retries`` failed restarts the shard
+  *degrades* to an in-process serial session -- correct but no longer
+  parallel -- surfaced through a
+  :class:`~repro.errors.DegradedModeWarning` and a structured
+  :class:`ShardFaultEvent` journal (``fault_events``), never silently.
 
 Determinism: shard states fold in shard order, the schema merge processes
 types in canonical content order, and the merged schema gets canonical
@@ -47,23 +57,33 @@ from __future__ import annotations
 import os
 import pickle
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.core.config import PGHiveConfig
+from repro.core.durability import read_artifact, write_artifact
 from repro.core.pipeline import PGHive
 from repro.core.session import ChangeReport, SchemaSession
 from repro.core.state import DiscoveryState
-from repro.errors import CheckpointError, ConfigurationError
+from repro.errors import (
+    CheckpointCorruptError,
+    ConfigurationError,
+    DegradedModeWarning,
+)
 from repro.graph.changes import ChangeSet, HashPartitioner
 from repro.graph.columnar import Interner, global_interner, partition_columnar
 from repro.graph.model import Node, PropertyGraph
 from repro.schema.model import SchemaGraph
 
-#: First line of every sharded-checkpoint manifest.
+#: First line of every sharded-checkpoint manifest (digest-framed since
+#: v2; see repro.core.durability).
 MANIFEST_MAGIC = b"pghive-sharded-checkpoint"
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
+#: Digest-free pre-durability versions that stay readable (unverified).
+MANIFEST_LEGACY_VERSIONS = (1,)
 MANIFEST_NAME = "manifest.ckpt"
 
 
@@ -90,6 +110,22 @@ class ShardedChangeReport:
     def shards_touched(self) -> int:
         """Number of shards that received work from this change-set."""
         return len(self.shard_reports)
+
+
+@dataclass(frozen=True)
+class ShardFaultEvent:
+    """One structured entry of a sharded session's fault journal.
+
+    ``kind`` is ``"retry"`` (the worker pool died and is being
+    restarted) or ``"degraded"`` (retries exhausted; the shard fell back
+    to in-process serial execution).  ``attempt`` counts restarts of the
+    same operation; ``detail`` carries the triggering error text.
+    """
+
+    kind: str
+    shard: int
+    attempt: int
+    detail: str
 
 
 # ----------------------------------------------------------------------
@@ -181,6 +217,43 @@ def _worker_restore(path: str) -> int:
     return _WORKER_SESSION.sequence
 
 
+def _worker_adopt(
+    state: DiscoveryState, config, schema_name, streaming, track_keys
+) -> int:
+    """Replace the worker's session with one resumed from ``state``.
+
+    Pool-restart recovery ships the shard's last fetched state back into
+    the fresh worker; the parent then replays the change-sets applied
+    since that fetch, reproducing the pre-crash session bit for bit.
+    """
+    global _WORKER_SESSION
+    _WORKER_SESSION = SchemaSession.from_state(
+        state,
+        config,
+        schema_name=schema_name,
+        streaming_postprocess=streaming,
+        track_keys=track_keys,
+    )
+    return _WORKER_SESSION.sequence
+
+
+#: Worker entry points by operation name, for the crash-recovery wrapper.
+_WORKER_OPS = {
+    "apply": _worker_apply,
+    "state": _worker_state,
+    "checkpoint": _worker_checkpoint,
+}
+
+
+def _degraded_op(session: SchemaSession, op: str, *args):
+    """In-process equivalent of one worker operation (degraded shards)."""
+    if op == "apply":
+        return session.apply(args[0])
+    if op == "state":
+        return session.discovery_state
+    return str(session.checkpoint(args[0]))
+
+
 class ShardedSchemaSession:
     """N-way partitioned discovery with a mergeable combined read view.
 
@@ -202,9 +275,24 @@ class ShardedSchemaSession:
         retain_union: bool | None = None,
         streaming_postprocess: bool | None = None,
         track_keys: bool | None = None,
+        max_shard_retries: int = 2,
+        retry_backoff: float = 0.05,
+        resync_every: int = 64,
     ) -> None:
         if n_shards < 1:
             raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        if max_shard_retries < 0:
+            raise ConfigurationError(
+                f"max_shard_retries must be >= 0, got {max_shard_retries}"
+            )
+        if retry_backoff < 0:
+            raise ConfigurationError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
+        if resync_every < 1:
+            raise ConfigurationError(
+                f"resync_every must be >= 1, got {resync_every}"
+            )
         self.config = config or PGHiveConfig()
         self.schema_name = schema_name
         self.n_shards = int(n_shards)
@@ -248,6 +336,20 @@ class ShardedSchemaSession:
         self._merged_state: DiscoveryState | None = None
         self._shards: list[SchemaSession] | None = None
         self._pools: list[ProcessPoolExecutor] | None = None
+        # Fault tolerance (parallel mode): worker death triggers up to
+        # ``max_shard_retries`` pool restarts with bounded exponential
+        # backoff, resubmitting the shard's last fetched state plus the
+        # change-sets applied since (``_pending``); exhausted retries
+        # degrade the shard to an in-process session, never silently.
+        self.max_shard_retries = int(max_shard_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.resync_every = int(resync_every)
+        #: structured journal of every worker fault handled.
+        self.fault_events: list[ShardFaultEvent] = []
+        self._pending: list[list[ChangeSet]] = [
+            [] for _ in range(self.n_shards)
+        ]
+        self._degraded: dict[int, SchemaSession] = {}
         if not self.parallel:
             self._shards = [
                 self._make_shard_session(index) for index in range(self.n_shards)
@@ -265,21 +367,23 @@ class ShardedSchemaSession:
             track_keys=self._track_keys,
         )
 
+    def _make_shard_pool(self, index: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_worker_init,
+            initargs=(
+                self._shard_config,
+                f"{self.schema_name}-shard{index}",
+                self._retain_union,
+                self._streaming,
+                self._track_keys,
+            ),
+        )
+
     def _ensure_pools(self) -> list[ProcessPoolExecutor]:
         if self._pools is None:
             self._pools = [
-                ProcessPoolExecutor(
-                    max_workers=1,
-                    initializer=_worker_init,
-                    initargs=(
-                        self._shard_config,
-                        f"{self.schema_name}-shard{index}",
-                        self._retain_union,
-                        self._streaming,
-                        self._track_keys,
-                    ),
-                )
-                for index in range(self.n_shards)
+                self._make_shard_pool(index) for index in range(self.n_shards)
             ]
         return self._pools
 
@@ -430,15 +534,182 @@ class ShardedSchemaSession:
                 (index, self._shards[index].apply(part))
                 for index, part in parts.items()
             )
+        reports: dict[int, ChangeReport] = {}
+        failed: dict[int, BaseException] = {}
         pools = self._ensure_pools()
-        futures = {
-            index: pools[index].submit(_worker_apply, part)
-            for index, part in parts.items()
+        futures = {}
+        for index, part in parts.items():
+            session = self._degraded.get(index)
+            if session is not None:
+                reports[index] = session.apply(part)
+                continue
+            try:
+                futures[index] = pools[index].submit(_worker_apply, part)
+            except (OSError, BrokenProcessPool) as error:
+                failed[index] = error
+        if futures:
+            wait(list(futures.values()))
+        for index, future in futures.items():
+            try:
+                reports[index] = future.result()
+                self._record_applied(index, parts[index])
+            except BrokenProcessPool as error:
+                failed[index] = error
+        for index in sorted(failed):
+            reports[index] = self._recover_shard_op(
+                index, "apply", (parts[index],), failed[index]
+            )
+        return tuple(sorted(reports.items()))
+
+    def _record_applied(self, index: int, part: ChangeSet) -> None:
+        """Track a worker-applied change-set for crash resubmission.
+
+        The pending list replays on top of the shard's last fetched
+        state after a pool restart; it is cleared whenever a fresh state
+        snapshot is fetched.  Past ``resync_every`` entries the state is
+        resynced eagerly so an unread feed cannot grow the replay tail
+        without bound.
+        """
+        pending = self._pending[index]
+        pending.append(part)
+        if len(pending) >= self.resync_every:
+            self._store_fetched_state(index, self._shard_op(index, "state"))
+            self._shard_dirty[index] = False
+            # The cached per-shard state is current, but the merged
+            # snapshot is not -- drop it so the next read re-merges.
+            self._merged_state = None
+
+    def _store_fetched_state(self, index: int, state: DiscoveryState) -> None:
+        """Adopt a freshly fetched shard state as the recovery baseline."""
+        self._shard_states[index] = state
+        self._pending[index].clear()
+
+    # ------------------------------------------------------------------
+    # Worker fault handling (parallel mode)
+    # ------------------------------------------------------------------
+    @property
+    def degraded_shards(self) -> list[int]:
+        """Shards that fell back to in-process serial execution."""
+        return sorted(self._degraded)
+
+    def worker_pids(self) -> dict[int, int]:
+        """PID of each live shard worker (parallel mode only).
+
+        The fault-injection tests SIGKILL these to exercise real worker
+        death rather than a simulated exception.
+        """
+        if not self.parallel:
+            raise ConfigurationError(
+                "worker_pids() requires parallel=True (serial shards live "
+                "in this process)"
+            )
+        pools = self._ensure_pools()
+        return {
+            index: pools[index].submit(os.getpid).result()
+            for index in range(self.n_shards)
+            if index not in self._degraded
         }
-        wait(list(futures.values()))
-        return tuple(
-            (index, future.result()) for index, future in futures.items()
+
+    def _shard_op(self, index: int, op: str, *args):
+        """Run one worker operation with crash recovery."""
+        session = self._degraded.get(index)
+        if session is not None:
+            return _degraded_op(session, op, *args)
+        try:
+            return self._ensure_pools()[index].submit(
+                _WORKER_OPS[op], *args
+            ).result()
+        except (OSError, BrokenProcessPool) as error:
+            return self._recover_shard_op(index, op, args, error)
+
+    def _recover_shard_op(self, index: int, op: str, args, error):
+        """Restart the shard's pool and re-run ``op``; degrade when the
+        retry budget is exhausted."""
+        detail = f"{type(error).__name__}: {error}"
+        for attempt in range(1, self.max_shard_retries + 1):
+            self.fault_events.append(
+                ShardFaultEvent("retry", index, attempt, detail)
+            )
+            self._backoff(attempt)
+            try:
+                self._restart_shard_pool(index)
+                result = self._pools[index].submit(
+                    _WORKER_OPS[op], *args
+                ).result()
+            except (OSError, BrokenProcessPool) as retry_error:
+                detail = f"{type(retry_error).__name__}: {retry_error}"
+                continue
+            if op == "apply":
+                self._record_applied(index, args[0])
+            return result
+        session = self._degrade_shard(index, detail)
+        return _degraded_op(session, op, *args)
+
+    def _backoff(self, attempt: int) -> None:
+        delay = min(self.retry_backoff * (2 ** (attempt - 1)), 1.0)
+        if delay > 0:
+            time.sleep(delay)  # repro-lint: ignore[PGL102] -- bounded restart backoff; wall-clock never reaches discovery state
+
+    def _restart_shard_pool(self, index: int) -> None:
+        """Replace a dead worker pool and rebuild its session state."""
+        pools = self._ensure_pools()
+        pools[index].shutdown(wait=False, cancel_futures=True)
+        pools[index] = self._make_shard_pool(index)
+        baseline = self._shard_states[index]
+        if baseline is not None:
+            pools[index].submit(
+                _worker_adopt,
+                baseline,
+                self._shard_config,
+                f"{self.schema_name}-shard{index}",
+                self._streaming,
+                self._track_keys,
+            ).result()
+        for part in self._pending[index]:
+            pools[index].submit(_worker_apply, part).result()
+
+    def _degrade_shard(self, index: int, detail: str) -> SchemaSession:
+        """Exhausted retries: rebuild the shard in-process and continue.
+
+        Correctness is preserved (last fetched state + pending replay,
+        exactly what a pool restart resubmits); parallelism for this
+        shard is not.  Surfaced as a :class:`DegradedModeWarning` plus a
+        structured ``"degraded"`` fault event -- never silent.
+        """
+        self.fault_events.append(
+            ShardFaultEvent("degraded", index, self.max_shard_retries, detail)
         )
+        warnings.warn(
+            DegradedModeWarning(
+                f"shard {index} of {self.schema_name!r}: worker pool failed "
+                f"after {self.max_shard_retries} restart(s) ({detail}); "
+                "continuing in-process serially"
+            ),
+            stacklevel=4,
+        )
+        if self._pools is not None:
+            self._pools[index].shutdown(wait=False, cancel_futures=True)
+        baseline = self._shard_states[index]
+        if baseline is None:
+            session = self._make_shard_session(index)
+        else:
+            # Deep copy: the cached snapshot keeps serving merged reads
+            # and must not alias the now-mutable degraded session state.
+            state = pickle.loads(
+                pickle.dumps(baseline, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            session = SchemaSession.from_state(
+                state,
+                self._shard_config,
+                schema_name=f"{self.schema_name}-shard{index}",
+                streaming_postprocess=self._streaming,
+                track_keys=self._track_keys,
+            )
+        for part in self._pending[index]:
+            session.apply(part)
+        self._pending[index].clear()
+        self._degraded[index] = session
+        return session
 
     # ------------------------------------------------------------------
     # Merged read view
@@ -446,25 +717,39 @@ class ShardedSchemaSession:
     def _fetch_state(self, index: int) -> DiscoveryState:
         if not self.parallel:
             return self._shards[index].discovery_state
-        return self._ensure_pools()[index].submit(_worker_state).result()
+        return self._shard_op(index, "state")
 
     def _refresh_states(self) -> list[DiscoveryState]:
         states: list[DiscoveryState] = []
         if self.parallel:
-            # Fetch all dirty shards concurrently (pickle round-trips).
+            # Fetch all dirty live shards concurrently (pickle
+            # round-trips); a dead worker falls back to the serial
+            # crash-recovery path below.
             pools = self._ensure_pools()
-            futures = {
-                index: pools[index].submit(_worker_state)
-                for index in range(self.n_shards)
-                if self._shard_dirty[index] or self._shard_states[index] is None
-            }
-            wait(list(futures.values()))
+            futures = {}
+            for index in range(self.n_shards):
+                if index in self._degraded:
+                    continue
+                if self._shard_dirty[index] or self._shard_states[index] is None:
+                    try:
+                        futures[index] = pools[index].submit(_worker_state)
+                    except (OSError, BrokenProcessPool):
+                        continue
+            if futures:
+                wait(list(futures.values()))
             for index, future in futures.items():
-                self._shard_states[index] = future.result()
+                try:
+                    self._store_fetched_state(index, future.result())
+                except (OSError, BrokenProcessPool):
+                    continue
                 self._shard_dirty[index] = False
         for index in range(self.n_shards):
             if self._shard_dirty[index] or self._shard_states[index] is None:
-                self._shard_states[index] = self._fetch_state(index)
+                state = self._fetch_state(index)
+                if self.parallel:
+                    self._store_fetched_state(index, state)
+                else:
+                    self._shard_states[index] = state
                 self._shard_dirty[index] = False
             states.append(self._shard_states[index])
         return states
@@ -531,15 +816,32 @@ class ShardedSchemaSession:
         shard_files = [f"shard-{index:03d}.ckpt" for index in range(self.n_shards)]
         if self.parallel:
             pools = self._ensure_pools()
-            futures = [
-                pools[index].submit(
-                    _worker_checkpoint, str(directory / shard_files[index])
-                )
-                for index in range(self.n_shards)
-            ]
-            wait(futures)
-            for future in futures:
-                future.result()  # surface worker-side errors
+            futures = {}
+            for index in range(self.n_shards):
+                if index in self._degraded:
+                    continue
+                try:
+                    futures[index] = pools[index].submit(
+                        _worker_checkpoint, str(directory / shard_files[index])
+                    )
+                except (OSError, BrokenProcessPool):
+                    continue
+            if futures:
+                wait(list(futures.values()))
+            done = set()
+            for index, future in futures.items():
+                try:
+                    future.result()  # surface worker-side errors
+                    done.add(index)
+                except (OSError, BrokenProcessPool):
+                    continue
+            for index in range(self.n_shards):
+                if index not in done:
+                    # Degraded shard, or the worker died mid-checkpoint:
+                    # the recovery wrapper restarts/replays and rewrites.
+                    self._shard_op(
+                        index, "checkpoint", str(directory / shard_files[index])
+                    )
         else:
             for index in range(self.n_shards):
                 self._shards[index].checkpoint(directory / shard_files[index])
@@ -570,20 +872,12 @@ class ShardedSchemaSession:
             },
             "shard_files": shard_files,
         }
-        manifest = directory / MANIFEST_NAME
-        temp = manifest.with_name(manifest.name + ".tmp")
-        try:
-            with open(temp, "wb") as handle:
-                handle.write(MANIFEST_MAGIC + b" %d\n" % MANIFEST_VERSION)
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(temp, manifest)
-        except OSError as error:
-            raise CheckpointError(
-                f"could not write sharded checkpoint manifest {manifest}: "
-                f"{error}"
-            ) from error
-        finally:
-            temp.unlink(missing_ok=True)
+        write_artifact(
+            directory / MANIFEST_NAME,
+            MANIFEST_MAGIC,
+            MANIFEST_VERSION,
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+        )
         return directory
 
     @classmethod
@@ -599,35 +893,17 @@ class ShardedSchemaSession:
         """
         directory = Path(directory)
         manifest = directory / MANIFEST_NAME
+        _, data = read_artifact(
+            manifest,
+            MANIFEST_MAGIC,
+            version=MANIFEST_VERSION,
+            legacy_versions=MANIFEST_LEGACY_VERSIONS,
+        )
         try:
-            with open(manifest, "rb") as handle:
-                header = handle.readline().split()
-                if len(header) != 2 or header[0] != MANIFEST_MAGIC:
-                    raise CheckpointError(
-                        f"{manifest} is not a PG-HIVE sharded checkpoint"
-                    )
-                try:
-                    version = int(header[1])
-                except ValueError:
-                    raise CheckpointError(
-                        f"{manifest}: unparseable manifest version "
-                        f"{header[1]!r}"
-                    ) from None
-                if version != MANIFEST_VERSION:
-                    raise CheckpointError(
-                        f"{manifest}: unsupported manifest version {version} "
-                        f"(this build reads version {MANIFEST_VERSION})"
-                    )
-                try:
-                    payload = pickle.load(handle)
-                except Exception as error:
-                    raise CheckpointError(
-                        f"{manifest}: corrupt manifest payload: {error}"
-                    ) from error
-        except OSError as error:
-            raise CheckpointError(
-                f"could not read sharded checkpoint manifest {manifest}: "
-                f"{error}"
+            payload = pickle.loads(data)
+        except Exception as error:
+            raise CheckpointCorruptError(
+                f"{manifest}: corrupt manifest payload: {error}"
             ) from error
         session = cls(
             payload["config"],
@@ -666,6 +942,10 @@ class ShardedSchemaSession:
             wait(futures)
             for future in futures:
                 future.result()
+            # Seed the crash-recovery baselines: a worker that dies
+            # before the first merged read must get the restored state
+            # resubmitted, not a fresh session.
+            session._refresh_states()
         else:
             session._shards = [
                 SchemaSession.restore(path) for path in shard_paths

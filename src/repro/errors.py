@@ -50,9 +50,42 @@ class CheckpointError(SerializationError):
     """A session checkpoint could not be written or restored."""
 
 
+class CheckpointFormatError(CheckpointError):
+    """A checkpoint file is not in the expected format (bad magic token,
+    truncated or malformed header)."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """A checkpoint carries a format version this build cannot read."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint's payload does not match its recorded digest/length."""
+
+
+class WALError(SerializationError):
+    """The write-ahead log could not be written, read, or replayed."""
+
+
+class WALCorruptError(WALError):
+    """A WAL record failed its checksum/framing check in a position that
+    cannot be explained by a torn tail (mid-history corruption)."""
+
+
 class DatasetError(ReproError):
     """Dataset generation or loading failed."""
 
 
 class ClusteringError(ReproError):
     """LSH clustering could not be performed on the given input."""
+
+
+class DegradedModeWarning(UserWarning):
+    """A sharded session gave up on a worker pool and fell back to
+    in-process serial execution for one or more shards.
+
+    Results stay correct (the shard replays from its last known state),
+    but parallel speedup is gone for the degraded shards.  Emitted via
+    :func:`warnings.warn` alongside a structured fault event so the
+    degradation is observable both interactively and programmatically.
+    """

@@ -36,15 +36,19 @@ endpoint-complete change-sets for the streaming IO readers.
 from __future__ import annotations
 
 import hashlib
+import pickle
 from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.errors import ConfigurationError, DanglingEdgeError
+from repro.errors import ConfigurationError, DanglingEdgeError, WALError
 from repro.graph.model import Edge, Node, PropertyGraph
 
 if TYPE_CHECKING:
-    from repro.graph.columnar import ElementBatch
+    from repro.graph.columnar import ElementBatch, Interner
+
+#: Version token of the WAL wire encoding of one change-set.
+WIRE_VERSION = 1
 
 
 @dataclass
@@ -154,6 +158,140 @@ class ChangeSet:
             f"+{self.inserted_edge_count}E, "
             f"-{len(self.delete_nodes)}N/-{len(self.delete_edges)}E{suffix})"
         )
+
+    # ------------------------------------------------------------------
+    # WAL wire encoding
+    # ------------------------------------------------------------------
+    def to_wire(self) -> bytes:
+        """Serialise for the write-ahead log.
+
+        Element-wise payloads ship their :class:`Node`/:class:`Edge`
+        objects directly; columnar payloads are encoded by *content*
+        (ids, sorted labels, sorted keys, aligned values) -- interner ids
+        are process-local and must never hit disk.  :meth:`from_wire`
+        rebuilds the batch against the reading process's interner.
+        """
+        record: dict = {
+            "version": WIRE_VERSION,
+            "delete_nodes": list(self.delete_nodes),
+            "delete_edges": list(self.delete_edges),
+            "stubs": sorted(self.stub_node_ids),
+        }
+        batch = self.columnar
+        if batch is not None:
+            interner = batch.interner
+            record["kind"] = "columnar"
+            record["node_rows"] = [
+                _encode_node_row(batch, interner, row)
+                for row in range(batch.node_count)
+            ]
+            record["edge_rows"] = [
+                _encode_edge_row(batch, interner, row)
+                for row in range(batch.edge_count)
+            ]
+        else:
+            # Primitive tuples, not Node/Edge objects: dataclass pickling
+            # pays per-object reduce dispatch, which dominates WAL append
+            # cost on large element-wise change-sets.
+            record["kind"] = "elements"
+            record["nodes"] = [
+                (n.node_id, sorted(n.labels), n.properties)
+                for n in self.nodes
+            ]
+            record["edges"] = [
+                (e.edge_id, e.source_id, e.target_id, sorted(e.labels),
+                 e.properties)
+                for e in self.edges
+            ]
+        return pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_wire(
+        cls, data: bytes, interner: "Interner | None" = None
+    ) -> "ChangeSet":
+        """Decode :meth:`to_wire` output (see its docstring for caveats).
+
+        Columnar payloads rebuild against ``interner`` (the process-wide
+        one by default).  Only decode records from trusted sources: the
+        payload is a pickle.
+        """
+        try:
+            record = pickle.loads(data)
+        except Exception as error:
+            raise WALError(
+                f"undecodable change-set wire record: {error}"
+            ) from error
+        version = record.get("version") if isinstance(record, dict) else None
+        if version != WIRE_VERSION:
+            raise WALError(
+                f"unsupported change-set wire version {version!r} "
+                f"(this build reads version {WIRE_VERSION})"
+            )
+        stubs = frozenset(record["stubs"])
+        if record["kind"] == "columnar":
+            from repro.graph.columnar import BatchBuilder, global_interner
+
+            builder = BatchBuilder(interner or global_interner())
+            target = builder.interner
+            for node_id, labels, keys, values in record["node_rows"]:
+                builder.add_node(
+                    node_id,
+                    target.intern_labels(labels),
+                    target.intern_keys(keys),
+                    tuple(values),
+                )
+            for edge_id, src, tgt, labels, keys, values in record["edge_rows"]:
+                builder.add_edge(
+                    edge_id,
+                    src,
+                    tgt,
+                    target.intern_labels(labels),
+                    target.intern_keys(keys),
+                    tuple(values),
+                )
+            return cls(
+                delete_nodes=list(record["delete_nodes"]),
+                delete_edges=list(record["delete_edges"]),
+                stub_node_ids=stubs,
+                columnar=builder.freeze(),
+            )
+        return cls(
+            nodes=[
+                Node(node_id, frozenset(labels), properties)
+                for node_id, labels, properties in record["nodes"]
+            ],
+            edges=[
+                Edge(edge_id, src, tgt, frozenset(labels), properties)
+                for edge_id, src, tgt, labels, properties in record["edges"]
+            ],
+            delete_nodes=list(record["delete_nodes"]),
+            delete_edges=list(record["delete_edges"]),
+            stub_node_ids=stubs,
+        )
+
+
+def _encode_node_row(batch, interner, row: int) -> tuple:
+    """Content-only wire form of one columnar node row."""
+    labelset_id, keyset_id, values = batch.node_record(row)
+    return (
+        batch.nodes.ids[row],
+        sorted(interner.labelset(labelset_id).labels),
+        interner.keyset(keyset_id).keys,
+        tuple(values),
+    )
+
+
+def _encode_edge_row(batch, interner, row: int) -> tuple:
+    """Content-only wire form of one columnar edge row."""
+    src, tgt, labelset_id, keyset_id, values = batch.edge_record(row)
+    return (
+        batch.edges.ids[row],
+        src,
+        tgt,
+        sorted(interner.labelset(labelset_id).labels),
+        interner.keyset(keyset_id).keys,
+        tuple(values),
+    )
 
 
 def stable_shard(element_id: str, n_shards: int) -> int:

@@ -1,0 +1,25 @@
+"""Fixture: PGL601 positives -- bare pickled artifact writes."""
+
+import pickle
+
+
+def save_state(path, payload):
+    with open(path, "wb") as handle:  # expect[PGL601]
+        pickle.dump(payload, handle)
+
+
+def save_via_write_bytes(path, payload):
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    path.write_bytes(blob)  # expect[PGL601]
+
+
+def save_dynamic_mode(path, payload, mode):
+    with open(path, mode) as handle:  # expect[PGL601]
+        pickle.dump(payload, handle)
+
+
+class Store:
+    def flush(self, path, payload):
+        blob = pickle.dumps(payload)
+        with path.open("wb") as handle:  # expect[PGL601]
+            handle.write(blob)

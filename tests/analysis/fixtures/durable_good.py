@@ -1,0 +1,23 @@
+"""Fixture: PGL601 negatives -- blessed helpers and non-durable writes."""
+
+import csv
+import pickle
+
+from repro.core.durability import write_artifact
+
+
+def save_state(path, payload):
+    write_artifact(path, b"demo", 1, pickle.dumps(payload))
+
+
+def export_rows(path, rows):
+    # Write-mode open without pickling: a CSV report, not a durable
+    # pickled artifact.
+    with open(path, "w", newline="") as handle:
+        csv.writer(handle).writerows(rows)
+
+
+def load_state(path):
+    # Read-only open next to pickle is the restore path, not a write.
+    with open(path, "rb") as handle:
+        return pickle.load(handle)

@@ -1,0 +1,15 @@
+"""PGL601 fires on bare pickled writes only."""
+
+from repro.analysis.rules.durable_io import DurableArtifactWriteRule
+
+from tests.analysis.conftest import assert_fixture
+
+RULES = [DurableArtifactWriteRule(scope=())]
+
+
+def test_fires_on_bare_pickled_writes():
+    assert_fixture(RULES, "durable_bad.py")
+
+
+def test_silent_on_blessed_helper_and_plain_io():
+    assert_fixture(RULES, "durable_good.py")

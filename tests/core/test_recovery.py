@@ -1,0 +1,444 @@
+"""Crash-recovery tests for durable sessions.
+
+The acceptance bar (mirrors the crash-recovery oracle): recover ==
+newest valid checkpoint + WAL replay, and a recovered session finishing
+the feed is fingerprint-identical to one that never crashed.  Corrupt
+checkpoints fall back to older ones; only when *every* checkpoint fails
+does recovery raise (never a silent restart from scratch).
+"""
+
+import pytest
+
+from repro.core.config import PGHiveConfig
+from repro.core.faults import FaultInjector, SimulatedCrash
+from repro.core.recovery import (
+    DurableSchemaSession,
+    DurableShardedSchemaSession,
+)
+from repro.core.session import SchemaSession
+from repro.core.sharding import ShardedSchemaSession
+from repro.errors import CheckpointError, ConfigurationError
+from repro.graph.batching import split_into_batches
+from repro.graph.changes import ChangeSet
+from repro.graph.columnar import BatchBuilder, Interner
+from repro.graph.model import Edge, Node
+from repro.schema.model import schema_fingerprint
+
+CONFIG = PGHiveConfig(seed=0, infer_keys=True)
+
+
+def change_feed(rounds=8):
+    """A deterministic feed of insert and delete change-sets."""
+    feed = []
+    for round_ in range(rounds):
+        nodes = [
+            Node(
+                f"n{round_}-{i}",
+                {"Person" if i % 2 else "City"},
+                {"p": i, "tag": f"t{round_}"},
+            )
+            for i in range(5)
+        ]
+        edges = [
+            Edge(f"e{round_}-{i}", nodes[i].node_id, nodes[i + 1].node_id,
+                 {"KNOWS"}, {"w": i})
+            for i in range(4)
+        ]
+        feed.append(ChangeSet.inserts(nodes, edges))
+        if round_ == 5:
+            feed.append(ChangeSet.deletions(nodes=["n1-0"], edges=["e2-1"]))
+    return feed
+
+
+def columnar_feed(rounds=4):
+    feed = []
+    for round_ in range(rounds):
+        interner = Interner()
+        builder = BatchBuilder(interner)
+        labels = interner.intern_labels(["Item"])
+        keys = interner.intern_keys(["rank"])
+        for i in range(4):
+            builder.add_node(f"c{round_}-{i}", labels, keys, (i,))
+        feed.append(ChangeSet.inserts_columnar(builder.freeze()))
+    return feed
+
+
+def oracle_fingerprint(feed):
+    session = SchemaSession(CONFIG, schema_name="s", retain_union=True)
+    for change_set in feed:
+        session.apply(change_set)
+    return schema_fingerprint(session.schema())
+
+
+class TestDurableSchemaSession:
+    def test_recover_after_crash_matches_uncrashed(self, tmp_path):
+        feed = change_feed()
+        directory = tmp_path / "sess"
+        session = DurableSchemaSession(
+            directory, CONFIG, schema_name="s", fsync="off", retain_union=True
+        )
+        for change_set in feed[:3]:
+            session.apply(change_set)
+        session.checkpoint()
+        for change_set in feed[3:6]:
+            session.apply(change_set)
+        del session  # crash: no close, no final checkpoint
+
+        recovered = SchemaSession.recover(directory, fsync="off")
+        assert isinstance(recovered, DurableSchemaSession)
+        assert recovered.sequence == 6
+        for change_set in feed[recovered.sequence:]:
+            recovered.apply(change_set)
+        assert schema_fingerprint(recovered.schema()) == oracle_fingerprint(feed)
+
+    def test_recover_without_any_checkpoint_replays_whole_wal(self, tmp_path):
+        feed = change_feed()
+        directory = tmp_path / "sess"
+        session = DurableSchemaSession(
+            directory, CONFIG, schema_name="s", fsync="off", retain_union=True
+        )
+        for change_set in feed:
+            session.apply(change_set)
+        del session
+        recovered = DurableSchemaSession.recover(
+            directory,
+            config=CONFIG,
+            schema_name="s",
+            fsync="off",
+            retain_union=True,
+        )
+        assert recovered.sequence == len(feed)
+        assert schema_fingerprint(recovered.schema()) == oracle_fingerprint(feed)
+
+    def test_recovered_session_keeps_logging(self, tmp_path):
+        feed = change_feed()
+        directory = tmp_path / "sess"
+        session = DurableSchemaSession(
+            directory, CONFIG, schema_name="s", fsync="off", retain_union=True
+        )
+        for change_set in feed[:4]:
+            session.apply(change_set)
+        del session
+        first = DurableSchemaSession.recover(
+            directory, config=CONFIG, schema_name="s", fsync="off",
+            retain_union=True,
+        )
+        for change_set in feed[4:7]:
+            first.apply(change_set)
+        del first  # crash again
+        second = DurableSchemaSession.recover(
+            directory, config=CONFIG, schema_name="s", fsync="off",
+            retain_union=True,
+        )
+        assert second.sequence == 7
+        for change_set in feed[7:]:
+            second.apply(change_set)
+        assert schema_fingerprint(second.schema()) == oracle_fingerprint(feed)
+
+    def test_batch_feed_recovers(self, figure1_graph, tmp_path):
+        batches = split_into_batches(figure1_graph, 4, seed=4)
+        oracle = SchemaSession(CONFIG, schema_name="s", retain_union=True)
+        for batch in batches:
+            oracle.add_batch(batch)
+
+        directory = tmp_path / "sess"
+        session = DurableSchemaSession(
+            directory, CONFIG, schema_name="s", fsync="off", retain_union=True
+        )
+        for batch in batches[:2]:
+            session.add_batch(batch)
+        del session
+        recovered = DurableSchemaSession.recover(
+            directory, config=CONFIG, schema_name="s", fsync="off",
+            retain_union=True,
+        )
+        assert recovered.sequence == 2
+        for batch in batches[2:]:
+            recovered.add_batch(batch)
+        assert schema_fingerprint(recovered.schema()) == schema_fingerprint(
+            oracle.schema()
+        )
+
+    def test_columnar_feed_recovers(self, tmp_path):
+        feed = columnar_feed()
+        directory = tmp_path / "sess"
+        session = DurableSchemaSession(
+            directory, CONFIG, schema_name="s", fsync="off", retain_union=True
+        )
+        for change_set in feed[:2]:
+            session.apply(change_set)
+        del session
+        recovered = DurableSchemaSession.recover(
+            directory, config=CONFIG, schema_name="s", fsync="off",
+            retain_union=True,
+        )
+        assert recovered.sequence == 2
+        for change_set in feed[2:]:
+            recovered.apply(change_set)
+        assert schema_fingerprint(recovered.schema()) == oracle_fingerprint(feed)
+
+    def test_torn_final_record_is_dropped(self, tmp_path):
+        feed = change_feed()
+        directory = tmp_path / "sess"
+        session = DurableSchemaSession(
+            directory, CONFIG, schema_name="s", fsync="off", retain_union=True
+        )
+
+        def tear(point, context):
+            FaultInjector.truncate_at(
+                context["path"], context["record_start"] + 5
+            )
+            raise SimulatedCrash("torn mid-record")
+
+        for index, change_set in enumerate(feed):
+            if index == 4:
+                with FaultInjector() as injector:
+                    injector.arm("wal.after_append", tear)
+                    with pytest.raises(SimulatedCrash):
+                        session.apply(change_set)
+                break
+            session.apply(change_set)
+
+        recovered = DurableSchemaSession.recover(
+            directory, config=CONFIG, schema_name="s", fsync="off",
+            retain_union=True,
+        )
+        # The torn record was never acknowledged; the producer re-feeds it.
+        assert recovered.sequence == 4
+        for change_set in feed[recovered.sequence:]:
+            recovered.apply(change_set)
+        assert schema_fingerprint(recovered.schema()) == oracle_fingerprint(feed)
+
+    def test_refuses_fresh_construction_over_durable_state(self, tmp_path):
+        directory = tmp_path / "sess"
+        session = DurableSchemaSession(
+            directory, CONFIG, schema_name="s", fsync="off", retain_union=True
+        )
+        session.apply(change_feed()[0])
+        session.close()
+        with pytest.raises(ConfigurationError, match="recover"):
+            DurableSchemaSession(directory, CONFIG, schema_name="s")
+
+    def test_recover_missing_directory(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no such directory"):
+            DurableSchemaSession.recover(tmp_path / "absent")
+
+
+class TestCheckpointFallbackAndRetention:
+    def build(self, tmp_path, keep=3):
+        feed = change_feed()
+        directory = tmp_path / "sess"
+        session = DurableSchemaSession(
+            directory,
+            CONFIG,
+            schema_name="s",
+            fsync="off",
+            keep_checkpoints=keep,
+            retain_union=True,
+        )
+        for index, change_set in enumerate(feed):
+            session.apply(change_set)
+            if index in (2, 5):
+                session.checkpoint()
+        session.close()
+        return directory, feed
+
+    def test_corrupt_newest_falls_back_to_older(self, tmp_path):
+        directory, feed = self.build(tmp_path)
+        checkpoints = sorted(directory.glob("checkpoint-*.ckpt"))
+        assert len(checkpoints) == 2
+        FaultInjector.corrupt_byte(checkpoints[-1], 120)
+        recovered = DurableSchemaSession.recover(directory, fsync="off")
+        # Restored from the older snapshot, then replayed deeper WAL.
+        assert recovered.sequence == len(feed)
+        assert schema_fingerprint(recovered.schema()) == oracle_fingerprint(feed)
+
+    def test_all_checkpoints_corrupt_raises(self, tmp_path):
+        directory, _feed = self.build(tmp_path)
+        for checkpoint in directory.glob("checkpoint-*.ckpt"):
+            FaultInjector.corrupt_byte(checkpoint, 120)
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            DurableSchemaSession.recover(directory, fsync="off")
+
+    def test_retention_bound_holds(self, tmp_path):
+        feed = change_feed()
+        directory = tmp_path / "sess"
+        session = DurableSchemaSession(
+            directory,
+            CONFIG,
+            schema_name="s",
+            fsync="off",
+            keep_checkpoints=2,
+            retain_union=True,
+        )
+        for change_set in feed:
+            session.apply(change_set)
+            session.checkpoint()
+        checkpoints = sorted(directory.glob("checkpoint-*.ckpt"))
+        assert len(checkpoints) == 2
+        # Newest two sequences survive.
+        assert checkpoints[-1].name == f"checkpoint-{len(feed):012d}.ckpt"
+        session.close()
+
+    def test_wal_segments_are_pruned_by_checkpoints(self, tmp_path):
+        feed = change_feed(rounds=16)
+        directory = tmp_path / "sess"
+        session = DurableSchemaSession(
+            directory,
+            CONFIG,
+            schema_name="s",
+            fsync="off",
+            wal_segment_bytes=2048,
+            retain_union=True,
+        )
+        for change_set in feed[: len(feed) // 2]:
+            session.apply(change_set)
+        grown = len(session.wal.segment_paths())
+        assert grown > 1
+        session.checkpoint()
+        assert len(session.wal.segment_paths()) < grown
+        for change_set in feed[len(feed) // 2:]:
+            session.apply(change_set)
+        session.checkpoint()
+        # After a checkpoint at the head, at most the live segment plus
+        # rotation slack survives.
+        assert len(session.wal.segment_paths()) <= 2
+        session.close()
+
+    def test_external_checkpoint_is_portable_and_prunes_nothing(
+        self, tmp_path
+    ):
+        feed = change_feed()
+        directory = tmp_path / "sess"
+        session = DurableSchemaSession(
+            directory, CONFIG, schema_name="s", fsync="off", retain_union=True
+        )
+        for change_set in feed[:4]:
+            session.apply(change_set)
+        external = session.checkpoint(tmp_path / "export.ckpt")
+        assert external == tmp_path / "export.ckpt"
+        assert not list(directory.glob("checkpoint-*.ckpt"))
+        restored = SchemaSession.restore(external)
+        assert restored.sequence == 4
+        session.close()
+
+
+class TestDurableShardedSession:
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_recover_matches_uncrashed(self, tmp_path, n_shards):
+        feed = change_feed()
+        directory = tmp_path / f"shard{n_shards}"
+        session = DurableShardedSchemaSession(
+            directory,
+            CONFIG,
+            schema_name="s",
+            n_shards=n_shards,
+            fsync="off",
+            retain_union=True,
+        )
+        for change_set in feed[:3]:
+            session.apply(change_set)
+        session.checkpoint()
+        for change_set in feed[3:6]:
+            session.apply(change_set)
+        session.close()  # crash after close is the easy case; still a restart
+
+        recovered = DurableShardedSchemaSession.recover(directory, fsync="off")
+        assert recovered.sequence == 6
+        assert recovered.n_shards == n_shards
+        for change_set in feed[recovered.sequence:]:
+            recovered.apply(change_set)
+        assert schema_fingerprint(recovered.schema()) == oracle_fingerprint(feed)
+        recovered.close()
+
+    def test_parallel_recover_matches_serial_oracle(self, tmp_path):
+        feed = change_feed()
+        directory = tmp_path / "par"
+        session = DurableShardedSchemaSession(
+            directory,
+            CONFIG,
+            schema_name="s",
+            n_shards=2,
+            parallel=True,
+            fsync="off",
+            retain_union=True,
+        )
+        try:
+            for change_set in feed[:3]:
+                session.apply(change_set)
+            session.checkpoint()
+            for change_set in feed[3:5]:
+                session.apply(change_set)
+        finally:
+            session.close()
+
+        recovered = DurableShardedSchemaSession.recover(
+            directory, parallel=True, fsync="off"
+        )
+        try:
+            assert recovered.parallel
+            assert recovered.sequence == 5
+            for change_set in feed[recovered.sequence:]:
+                recovered.apply(change_set)
+            assert schema_fingerprint(recovered.schema()) == oracle_fingerprint(
+                feed
+            )
+        finally:
+            recovered.close()
+
+    def test_manifest_retention_and_refusal(self, tmp_path):
+        directory = tmp_path / "shard"
+        session = DurableShardedSchemaSession(
+            directory,
+            CONFIG,
+            schema_name="s",
+            n_shards=2,
+            fsync="off",
+            keep_checkpoints=1,
+        )
+        feed = change_feed()
+        for index, change_set in enumerate(feed[:4]):
+            session.apply(change_set)
+            session.checkpoint()
+        manifests = [
+            path
+            for path in directory.iterdir()
+            if path.is_dir() and path.name.startswith("checkpoint-")
+        ]
+        assert len(manifests) == 1
+        session.close()
+        with pytest.raises(ConfigurationError, match="recover"):
+            DurableShardedSchemaSession(directory, CONFIG, n_shards=2)
+
+    def test_sharded_restore_oracle_equivalence(self, tmp_path):
+        """Recovered sharded session == plain sharded session == single."""
+        feed = change_feed()
+        directory = tmp_path / "shard"
+        session = DurableShardedSchemaSession(
+            directory,
+            CONFIG,
+            schema_name="s",
+            n_shards=4,
+            fsync="off",
+            retain_union=True,
+        )
+        for change_set in feed[:5]:
+            session.apply(change_set)
+        session.close()
+        recovered = DurableShardedSchemaSession.recover(
+            directory, config=CONFIG, schema_name="s", n_shards=4,
+            fsync="off", retain_union=True,
+        )
+        for change_set in feed[5:]:
+            recovered.apply(change_set)
+
+        sharded = ShardedSchemaSession(
+            CONFIG, schema_name="s", n_shards=4, retain_union=True
+        )
+        for change_set in feed:
+            sharded.apply(change_set)
+
+        want = oracle_fingerprint(feed)
+        assert schema_fingerprint(recovered.schema()) == want
+        assert schema_fingerprint(sharded.schema()) == want
+        recovered.close()

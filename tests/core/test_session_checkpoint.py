@@ -10,12 +10,18 @@ import pickle
 import pytest
 
 from repro.core.config import ClusteringMethod, PGHiveConfig
+from repro.core.durability import payload_digest
 from repro.core.session import (
     CHECKPOINT_MAGIC,
     CHECKPOINT_VERSION,
     SchemaSession,
 )
-from repro.errors import CheckpointError
+from repro.errors import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointFormatError,
+    CheckpointVersionError,
+)
 from repro.graph.batching import split_into_batches
 from repro.graph.changes import ChangeSet
 from repro.schema.model import schema_fingerprint
@@ -110,31 +116,40 @@ class TestCheckpointCoverage:
 
 
 class TestFormat:
-    def test_header_pins_magic_and_version(self, figure1_graph, tmp_path):
+    def test_header_pins_magic_version_digest_length(
+        self, figure1_graph, tmp_path
+    ):
         session = SchemaSession(PGHiveConfig(seed=0))
         session.add_batch(figure1_graph)
         path = session.checkpoint(tmp_path / "fmt.ckpt")
-        first_line = path.read_bytes().split(b"\n", 1)[0]
-        assert first_line == CHECKPOINT_MAGIC + b" %d" % CHECKPOINT_VERSION
+        header, payload = path.read_bytes().split(b"\n", 1)
+        magic, version, digest, length = header.split()
+        assert magic == CHECKPOINT_MAGIC
+        assert int(version) == CHECKPOINT_VERSION
+        assert digest.decode("ascii") == payload_digest(payload)
+        assert int(length) == len(payload)
 
     def test_rejects_foreign_file(self, tmp_path):
         path = tmp_path / "noise.bin"
         path.write_bytes(b"definitely not a checkpoint\n" + b"\x00" * 32)
-        with pytest.raises(CheckpointError):
+        with pytest.raises(CheckpointFormatError):
             SchemaSession.restore(path)
 
     def test_rejects_future_version(self, figure1_graph, tmp_path):
         session = SchemaSession(PGHiveConfig(seed=0))
         session.add_batch(figure1_graph)
-        original = session.checkpoint(tmp_path / "v1.ckpt").read_bytes()
-        bumped = original.replace(
-            CHECKPOINT_MAGIC + b" %d\n" % CHECKPOINT_VERSION,
-            CHECKPOINT_MAGIC + b" %d\n" % (CHECKPOINT_VERSION + 1),
-            1,
+        original = session.checkpoint(tmp_path / "orig.ckpt").read_bytes()
+        header, payload = original.split(b"\n", 1)
+        magic, _version, digest, length = header.split()
+        bumped = b"%s %d %s %s\n" % (
+            magic,
+            CHECKPOINT_VERSION + 1,
+            digest,
+            length,
         )
-        path = tmp_path / "v2.ckpt"
-        path.write_bytes(bumped)
-        with pytest.raises(CheckpointError, match="version"):
+        path = tmp_path / "future.ckpt"
+        path.write_bytes(bumped + payload)
+        with pytest.raises(CheckpointVersionError, match="version"):
             SchemaSession.restore(path)
 
     def test_rejects_truncated_payload(self, figure1_graph, tmp_path):
@@ -143,8 +158,30 @@ class TestFormat:
         original = session.checkpoint(tmp_path / "full.ckpt").read_bytes()
         path = tmp_path / "cut.ckpt"
         path.write_bytes(original[: len(original) // 2])
-        with pytest.raises(CheckpointError):
+        with pytest.raises(CheckpointCorruptError):
             SchemaSession.restore(path)
+
+    def test_rejects_flipped_payload_byte(self, figure1_graph, tmp_path):
+        session = SchemaSession(PGHiveConfig(seed=0))
+        session.add_batch(figure1_graph)
+        path = session.checkpoint(tmp_path / "flip.ckpt")
+        data = bytearray(path.read_bytes())
+        data[-10] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointCorruptError, match="digest"):
+            SchemaSession.restore(path)
+
+    def test_reads_legacy_v1_header(self, figure1_graph, tmp_path):
+        session = SchemaSession(PGHiveConfig(seed=0))
+        session.add_batch(figure1_graph)
+        v2 = session.checkpoint(tmp_path / "v2.ckpt").read_bytes()
+        payload = v2.split(b"\n", 1)[1]
+        legacy = tmp_path / "legacy.ckpt"
+        legacy.write_bytes(CHECKPOINT_MAGIC + b" 1\n" + payload)
+        restored = SchemaSession.restore(legacy)
+        assert schema_fingerprint(restored.schema()) == schema_fingerprint(
+            session.schema()
+        )
 
     def test_missing_file(self, tmp_path):
         with pytest.raises(CheckpointError):
