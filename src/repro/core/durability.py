@@ -29,8 +29,11 @@ log of ``(sequence, payload)`` records:
 * torn-tail tolerance: a bad record *at the tail of the last segment*
   is the expected signature of a crash mid-append -- :meth:`replay`
   stops cleanly before it and opening the log truncates it away.  A bad
-  record anywhere else is real corruption and raises
-  :class:`~repro.errors.WALCorruptError`;
+  record anywhere else -- including one *followed by* CRC-valid records
+  in the last segment, the signature of a mid-segment bit flip rather
+  than a torn write -- is real corruption and raises
+  :class:`~repro.errors.WALCorruptError` instead of silently dropping
+  fsync-acknowledged data;
 * :meth:`prune` drops segments made redundant by a checkpoint: a
   segment is deleted once the *next* segment already covers everything
   after the checkpointed sequence.
@@ -225,6 +228,11 @@ _CRC = struct.Struct("<I")
 
 FSYNC_POLICIES = ("always", "batch", "off")
 
+#: how far past the last good sequence the tail-repair resync scan will
+#: believe a candidate record; garbage offsets rarely pass it, so the
+#: crc is only computed for plausible frames.
+_RESYNC_SEQ_WINDOW = 1 << 20
+
 
 def _segment_name(first_sequence: int) -> str:
     return f"wal-{first_sequence:012d}.seg"
@@ -271,6 +279,38 @@ def _scan_segment(data: bytes, path: Path) -> tuple[list[tuple[int, int, int]], 
     return records, offset
 
 
+def _has_valid_record_after(
+    data: bytes, offset: int, last_sequence: int
+) -> bool:
+    """True when a CRC-valid record frame parses at or after ``offset``.
+
+    Distinguishes a torn tail (garbage runs to EOF) from a corrupted
+    record *followed by* intact, possibly fsync-acknowledged records: the
+    former may be truncated away, the latter must raise.  The scan tries
+    every byte offset but only computes a crc for frames whose sequence
+    lands in ``(last_sequence, last_sequence + _RESYNC_SEQ_WINDOW]`` and
+    whose length fits the segment, which prunes nearly all garbage.
+    """
+    size = len(data)
+    min_record = _HEAD.size + _CRC.size
+    for start in range(offset, size - min_record + 1):
+        sequence, length = _HEAD.unpack_from(data, start)
+        if (
+            sequence <= last_sequence
+            or sequence > last_sequence + _RESYNC_SEQ_WINDOW
+        ):
+            continue
+        payload_end = start + min_record + length
+        if payload_end > size:
+            continue
+        (stored_crc,) = _CRC.unpack_from(data, start + _HEAD.size)
+        crc = zlib.crc32(data[start : start + _HEAD.size])
+        crc = zlib.crc32(data[start + min_record : payload_end], crc)
+        if crc == stored_crc:
+            return True
+    return False
+
+
 class WriteAheadLog:
     """Append-only, checksummed, segmented changeset log.
 
@@ -311,6 +351,8 @@ class WriteAheadLog:
         self._size = 0
         self._unsynced = 0
         self._last_sequence = 0
+        self._tail_record_start: int | None = None
+        self._tail_prev_sequence = 0
         self._repair_tail()
 
     # ------------------------------------------------------------------
@@ -332,7 +374,14 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     def _repair_tail(self) -> None:
         """Drop the torn tail (if any) of the last segment and learn the
-        durable stream position."""
+        durable stream position.
+
+        Truncation is only a *tail* repair: an invalid record (or
+        segment header) followed by CRC-valid records is a mid-segment
+        bit flip, and truncating there would silently discard records
+        that may have been fsync-acknowledged -- that raises
+        :class:`WALCorruptError` instead.
+        """
         segments = self.segment_paths()
         tail_tolerated = False
         while segments:
@@ -349,11 +398,30 @@ class WriteAheadLog:
                         f"{last}: segment header is corrupt in a sealed "
                         "segment"
                     )
+                if _has_valid_record_after(
+                    data, 1, _segment_first_sequence(last) - 1
+                ):
+                    raise WALCorruptError(
+                        f"{last}: segment header is corrupt but the "
+                        "segment still holds valid records (mid-segment "
+                        "corruption, not a torn rotation)"
+                    )
                 last.unlink()
                 segments.pop()
                 tail_tolerated = True
                 continue
             if valid_end < len(data):
+                base = (
+                    records[-1][0]
+                    if records
+                    else _segment_first_sequence(last) - 1
+                )
+                if _has_valid_record_after(data, valid_end + 1, base):
+                    raise WALCorruptError(
+                        f"{last}: invalid record at offset {valid_end} is "
+                        "followed by valid records (mid-segment corruption, "
+                        "not a torn tail)"
+                    )
                 with open(last, "r+b") as handle:
                     handle.truncate(valid_end)
                     handle.flush()
@@ -405,7 +473,66 @@ class WriteAheadLog:
             self.fsync == "batch" and self._unsynced >= self.batch_every
         ):
             self._fsync()
+        self._tail_record_start = record_start
+        self._tail_prev_sequence = self._last_sequence
         self._last_sequence = sequence
+
+    def rollback_last(self) -> None:
+        """Physically remove the record appended by the latest ``append``.
+
+        Compensation for write-ahead ordering: when the session rejects
+        a change-set *after* it was logged (a validation error), the
+        record must not persist -- a later replay would re-raise the
+        rejection and a later append would violate sequence monotonicity.
+        Only the immediately preceding append can be rolled back.
+        """
+        if self._handle is None or self._tail_record_start is None:
+            raise WALError("no just-appended record to roll back")
+        self._handle.truncate(self._tail_record_start)
+        self._handle.flush()
+        if self.fsync != "off":
+            os.fsync(self._handle.fileno())
+            self._unsynced = 0
+        self._size = self._tail_record_start
+        self._last_sequence = self._tail_prev_sequence
+        self._tail_record_start = None
+
+    def drop_tail_record(self, sequence: int) -> None:
+        """Remove the newest durable record (it must carry ``sequence``).
+
+        The recovery-time twin of :meth:`rollback_last`: a crash between
+        a WAL append and the rollback of a rejected change-set leaves a
+        poisoned final record that was never acknowledged -- replay drops
+        it here instead of bricking the directory.  Refuses anything but
+        the current tail record.
+        """
+        if self._handle is not None:
+            raise WALError(
+                "drop_tail_record operates on a quiescent log (no open "
+                "append segment); use rollback_last after a live append"
+            )
+        if sequence != self._last_sequence:
+            raise WALError(
+                f"cannot drop record {sequence}: the tail record is "
+                f"{self._last_sequence}"
+            )
+        segments = self.segment_paths()
+        if not segments:
+            raise WALError("cannot drop a record from an empty log")
+        last = segments[-1]
+        data = last.read_bytes()
+        records, _valid_end = _scan_segment(data, last)
+        if not records or records[-1][0] != sequence:
+            raise WALError(
+                f"{last}: tail segment does not end with record {sequence}"
+            )
+        start = records[-1][1] - _HEAD.size - _CRC.size
+        with open(last, "r+b") as handle:
+            handle.truncate(start)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._last_sequence = 0
+        self._repair_tail()
 
     def _rotate(self, first_sequence: int) -> None:
         """Seal the current segment and start a new one."""

@@ -18,10 +18,13 @@ Every :meth:`apply`/:meth:`add_batch` first appends the change-set's
 wire encoding (:meth:`~repro.graph.changes.ChangeSet.to_wire`) to the
 WAL under the sequence number the apply will get, *then* mutates state
 -- so after a crash the log is always at least as new as memory ever
-was.  :meth:`checkpoint` snapshots the full state, prunes WAL segments
-the snapshot made redundant, and keeps the ``keep_checkpoints`` newest
-snapshots so a corrupt newest checkpoint still leaves an older one to
-fall back to (with correspondingly more WAL to replay).
+was.  :meth:`checkpoint` snapshots the full state, keeps the
+``keep_checkpoints`` newest snapshots so a corrupt newest checkpoint
+still leaves an older one to fall back to (with correspondingly more
+WAL to replay), and prunes only WAL segments that even the *oldest
+retained* snapshot no longer needs -- pruning to the newest snapshot
+would leave a replay gap under exactly the fallback the retention
+bound exists for.
 
 :meth:`DurableSchemaSession.recover` (also reachable as
 ``SchemaSession.recover``) walks checkpoints newest-first, restores the
@@ -52,7 +55,9 @@ from repro.core.sharding import ShardedChangeReport, ShardedSchemaSession
 from repro.errors import (
     CheckpointError,
     ConfigurationError,
+    ReproError,
     WALCorruptError,
+    WALError,
 )
 from repro.graph.changes import ChangeSet
 from repro.graph.model import PropertyGraph
@@ -90,6 +95,71 @@ def _has_durable_state(
         return True
     wal_dir = directory / _WAL_DIR
     return wal_dir.is_dir() and any(wal_dir.glob("wal-*.seg"))
+
+
+def _oldest_retained_sequence(
+    directory: Path, pattern: re.Pattern, want_dir: bool
+) -> int:
+    """Sequence of the oldest internal checkpoint still on disk.
+
+    This is the WAL pruning horizon: recovery may fall back past a
+    corrupt newer checkpoint all the way to this one, so every record
+    after it must stay replayable.
+    """
+    candidates = _checkpoint_candidates(directory, pattern, want_dir)
+    return int(pattern.match(candidates[-1].name).group(1))
+
+
+def _logged_apply(session, kind: bytes, change_set: ChangeSet, run):
+    """Append to the WAL, run the in-memory apply, compensate rejection.
+
+    Write-ahead ordering logs the record before ``run`` mutates state;
+    if ``run`` is rejected without advancing the stream position (a
+    validation error such as deletions without ``retain_union``), the
+    record is rolled back so the log never holds a change-set the
+    session refused -- otherwise the next append would violate sequence
+    monotonicity and a later recovery would replay the rejection.
+    """
+    sequence = session._sequence + 1
+    session._wal.append(sequence, kind + change_set.to_wire())
+    try:
+        return run()
+    except Exception:
+        if session._sequence < sequence:
+            session._wal.rollback_last()
+        raise
+
+
+def _replay_wal_records(session) -> None:
+    """Apply every WAL record strictly after the restored position.
+
+    A record the session *rejects* (a :class:`ReproError` that is not a
+    WAL failure) is tolerated only as the final record of the log: that
+    is the signature of a crash between the append and its rollback,
+    and the change-set was never acknowledged, so it is dropped.  The
+    same rejection earlier in the log is real divergence and re-raises.
+    """
+    session._replaying = True
+    try:
+        expected = session._sequence
+        for sequence, payload in session._wal.replay(after=session._sequence):
+            if sequence != expected + 1:
+                raise WALCorruptError(
+                    f"WAL replay expected sequence {expected + 1}, "
+                    f"found {sequence} (segments missing?)"
+                )
+            try:
+                _replay_record(session, payload)
+            except WALError:
+                raise
+            except ReproError:
+                if sequence == session._wal.last_sequence:
+                    session._wal.drop_tail_record(sequence)
+                    break
+                raise
+            expected = sequence
+    finally:
+        session._replaying = False
 
 
 class DurableSchemaSession(SchemaSession):
@@ -157,19 +227,24 @@ class DurableSchemaSession(SchemaSession):
         return self._wal
 
     def apply(self, change_set: ChangeSet) -> ChangeReport:
-        if not self._replaying:
-            self._wal.append(
-                self._sequence + 1, _KIND_CHANGESET + change_set.to_wire()
-            )
-        return super().apply(change_set)
+        if self._replaying:
+            return super().apply(change_set)
+        return _logged_apply(
+            self,
+            _KIND_CHANGESET,
+            change_set,
+            lambda: super(DurableSchemaSession, self).apply(change_set),
+        )
 
     def add_batch(self, batch: PropertyGraph) -> ChangeReport:
-        if not self._replaying:
-            self._wal.append(
-                self._sequence + 1,
-                _KIND_BATCH + ChangeSet.from_graph(batch).to_wire(),
-            )
-        return super().add_batch(batch)
+        if self._replaying:
+            return super().add_batch(batch)
+        return _logged_apply(
+            self,
+            _KIND_BATCH,
+            ChangeSet.from_graph(batch),
+            lambda: super(DurableSchemaSession, self).add_batch(batch),
+        )
 
     # ------------------------------------------------------------------
     # Checkpoints (pruning variants of the base implementation)
@@ -179,16 +254,22 @@ class DurableSchemaSession(SchemaSession):
 
         Without ``path`` the snapshot lands in the session directory as
         ``checkpoint-<sequence>.ckpt`` and participates in recovery,
-        WAL pruning, and the ``keep_checkpoints`` retention bound.  An
-        explicit external ``path`` writes a plain portable checkpoint
-        and prunes nothing.
+        WAL pruning, and the ``keep_checkpoints`` retention bound.  The
+        WAL is pruned only up to the *oldest retained* snapshot, so
+        falling back past a corrupt newer one always finds its replay
+        suffix intact.  An explicit external ``path`` writes a plain
+        portable checkpoint and prunes nothing.
         """
         self._wal.sync()  # never prune segments ahead of the disk state
         if path is None:
             target = self.directory / f"checkpoint-{self._sequence:012d}.ckpt"
             super().checkpoint(target)
-            self._wal.prune(self._sequence)
             self._prune_checkpoints()
+            self._wal.prune(
+                _oldest_retained_sequence(
+                    self.directory, _CHECKPOINT_FILE_RE, want_dir=False
+                )
+            )
             return target
         return super().checkpoint(Path(path))
 
@@ -285,19 +366,7 @@ class DurableSchemaSession(SchemaSession):
 
     def _replay_wal(self) -> None:
         """Apply every WAL record strictly after the restored position."""
-        self._replaying = True
-        try:
-            expected = self._sequence
-            for sequence, payload in self._wal.replay(after=self._sequence):
-                if sequence != expected + 1:
-                    raise WALCorruptError(
-                        f"WAL replay expected sequence {expected + 1}, "
-                        f"found {sequence} (segments missing?)"
-                    )
-                _replay_record(self, payload)
-                expected = sequence
-        finally:
-            self._replaying = False
+        _replay_wal_records(self)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -407,11 +476,14 @@ class DurableShardedSchemaSession(ShardedSchemaSession):
         return self._wal
 
     def apply(self, change_set: ChangeSet) -> ShardedChangeReport:
-        if not self._replaying:
-            self._wal.append(
-                self._sequence + 1, _KIND_CHANGESET + change_set.to_wire()
-            )
-        return super().apply(change_set)
+        if self._replaying:
+            return super().apply(change_set)
+        return _logged_apply(
+            self,
+            _KIND_CHANGESET,
+            change_set,
+            lambda: super(DurableShardedSchemaSession, self).apply(change_set),
+        )
 
     # ------------------------------------------------------------------
     # Checkpoints
@@ -421,15 +493,20 @@ class DurableShardedSchemaSession(ShardedSchemaSession):
 
         Same contract as the single-session variant: no argument means
         an internal ``checkpoint-<sequence>/`` directory that recovery,
-        WAL pruning, and retention manage; an explicit path writes a
-        plain portable manifest checkpoint.
+        WAL pruning, and retention manage (pruning stops at the oldest
+        retained manifest so fallback replay never hits a gap); an
+        explicit path writes a plain portable manifest checkpoint.
         """
         self._wal.sync()
         if directory is None:
             target = self.directory / f"checkpoint-{self._sequence:012d}"
             super().checkpoint(target)
-            self._wal.prune(self._sequence)
             self._prune_checkpoints()
+            self._wal.prune(
+                _oldest_retained_sequence(
+                    self.directory, _CHECKPOINT_DIR_RE, want_dir=True
+                )
+            )
             return target
         return super().checkpoint(Path(directory))
 
@@ -556,19 +633,7 @@ class DurableShardedSchemaSession(ShardedSchemaSession):
 
     def _replay_wal(self) -> None:
         """Apply every WAL record strictly after the restored position."""
-        self._replaying = True
-        try:
-            expected = self._sequence
-            for sequence, payload in self._wal.replay(after=self._sequence):
-                if sequence != expected + 1:
-                    raise WALCorruptError(
-                        f"WAL replay expected sequence {expected + 1}, "
-                        f"found {sequence} (segments missing?)"
-                    )
-                _replay_record(self, payload)
-                expected = sequence
-        finally:
-            self._replaying = False
+        _replay_wal_records(self)
 
     # ------------------------------------------------------------------
     # Lifecycle

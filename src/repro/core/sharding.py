@@ -553,7 +553,7 @@ class ShardedSchemaSession:
             try:
                 reports[index] = future.result()
                 self._record_applied(index, parts[index])
-            except BrokenProcessPool as error:
+            except (OSError, BrokenProcessPool) as error:
                 failed[index] = error
         for index in sorted(failed):
             reports[index] = self._recover_shard_op(

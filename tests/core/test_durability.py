@@ -191,6 +191,27 @@ class TestWALTornTail:
         log.append(first_of_last, b"reused name")
         assert log.last_sequence == first_of_last
 
+    def test_corrupt_record_with_valid_tail_raises_on_open(self, tmp_path):
+        """A bit flip mid-last-segment with intact records after it is
+        corruption, not a torn tail: opening must raise instead of
+        silently truncating fsync-acknowledged records."""
+        with WriteAheadLog(tmp_path, fsync="always") as log:
+            fill(log, 1, 10)
+            last = log.segment_paths()[-1]
+        # Flip a byte inside the first record's payload: records 2..10
+        # still parse cleanly after it.
+        FaultInjector.corrupt_byte(last, 40)
+        with pytest.raises(WALCorruptError, match="followed by valid"):
+            WriteAheadLog(tmp_path, fsync="off")
+
+    def test_corrupt_header_with_valid_records_raises_on_open(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="always") as log:
+            fill(log, 1, 10)
+            last = log.segment_paths()[-1]
+        FaultInjector.corrupt_byte(last, 0)
+        with pytest.raises(WALCorruptError, match="holds valid records"):
+            WriteAheadLog(tmp_path, fsync="off")
+
     def test_mid_history_corruption_raises(self, tmp_path):
         log = WriteAheadLog(tmp_path, fsync="off", segment_bytes=200)
         fill(log, 1, 20)
@@ -209,6 +230,73 @@ class TestWALTornTail:
         FaultInjector.corrupt_byte(sealed, 0)
         with pytest.raises(WALCorruptError):
             list(WriteAheadLog(tmp_path, fsync="off").replay())
+
+
+class TestWALRollback:
+    def test_rollback_last_removes_the_record(self, tmp_path):
+        log = WriteAheadLog(tmp_path, fsync="off")
+        log.append(1, b"a")
+        log.append(2, b"rejected")
+        log.rollback_last()
+        assert log.last_sequence == 1
+        # The freed sequence is appendable again (no monotonicity trip).
+        log.append(2, b"accepted")
+        log.close()
+        replayed = list(WriteAheadLog(tmp_path, fsync="off").replay())
+        assert replayed == [(1, b"a"), (2, b"accepted")]
+
+    def test_rollback_requires_a_preceding_append(self, tmp_path):
+        log = WriteAheadLog(tmp_path, fsync="off")
+        with pytest.raises(WALError, match="roll back"):
+            log.rollback_last()
+        log.append(1, b"a")
+        log.rollback_last()
+        with pytest.raises(WALError, match="roll back"):
+            log.rollback_last()
+
+    def test_rollback_after_rotation(self, tmp_path):
+        log = WriteAheadLog(tmp_path, fsync="off", segment_bytes=200)
+        fill(log, 1, 6)
+        segments_before = len(log.segment_paths())
+        assert segments_before > 1
+        log.append(7, b"rejected, lands in a fresh or full segment")
+        log.rollback_last()
+        assert log.last_sequence == 6
+        log.append(7, b"retry")
+        log.close()
+        replayed = [s for s, _ in WriteAheadLog(tmp_path, fsync="off").replay()]
+        assert replayed == list(range(1, 8))
+
+    def test_drop_tail_record(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="off") as log:
+            fill(log, 1, 5)
+        log = WriteAheadLog(tmp_path, fsync="off")
+        log.drop_tail_record(5)
+        assert log.last_sequence == 4
+        assert [s for s, _ in log.replay()] == [1, 2, 3, 4]
+
+    def test_drop_tail_record_refuses_non_tail(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="off") as log:
+            fill(log, 1, 5)
+        log = WriteAheadLog(tmp_path, fsync="off")
+        with pytest.raises(WALError, match="tail record"):
+            log.drop_tail_record(3)
+
+    def test_drop_sole_record_of_a_segment(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="off", segment_bytes=200) as log:
+            fill(log, 1, 12)
+        log = WriteAheadLog(tmp_path, fsync="off", segment_bytes=200)
+        tail = log.last_sequence
+        records_in_last = sum(
+            1 for s, _ in log.replay()
+            if s >= int(log.segment_paths()[-1].name[4:16])
+        )
+        for expected in range(tail, tail - records_in_last, -1):
+            log.drop_tail_record(expected)
+        # The emptied segment was unlinked; the position rewound into
+        # the previous segment.
+        assert log.last_sequence == tail - records_in_last
+        log.append(log.last_sequence + 1, b"resume")
 
 
 class TestFailpoints:

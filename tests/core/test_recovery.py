@@ -10,6 +10,7 @@ does recovery raise (never a silent restart from scratch).
 import pytest
 
 from repro.core.config import PGHiveConfig
+from repro.core.durability import WriteAheadLog
 from repro.core.faults import FaultInjector, SimulatedCrash
 from repro.core.recovery import (
     DurableSchemaSession,
@@ -289,6 +290,7 @@ class TestCheckpointFallbackAndRetention:
             schema_name="s",
             fsync="off",
             wal_segment_bytes=2048,
+            keep_checkpoints=1,
             retain_union=True,
         )
         for change_set in feed[: len(feed) // 2]:
@@ -300,10 +302,67 @@ class TestCheckpointFallbackAndRetention:
         for change_set in feed[len(feed) // 2:]:
             session.apply(change_set)
         session.checkpoint()
-        # After a checkpoint at the head, at most the live segment plus
-        # rotation slack survives.
+        # With a single retained checkpoint at the head, at most the
+        # live segment plus rotation slack survives.
         assert len(session.wal.segment_paths()) <= 2
         session.close()
+
+    def test_wal_retained_back_to_oldest_checkpoint(self, tmp_path):
+        """Pruning must honour the *oldest* retained checkpoint.
+
+        With keep_checkpoints=2, recovery may fall back past a corrupt
+        newest snapshot, so every record after the older one has to stay
+        replayable even across segment rotation.
+        """
+        feed = change_feed(rounds=16)
+        directory = tmp_path / "sess"
+        session = DurableSchemaSession(
+            directory,
+            CONFIG,
+            schema_name="s",
+            fsync="off",
+            wal_segment_bytes=2048,
+            keep_checkpoints=2,
+            retain_union=True,
+        )
+        first_at, second_at = 5, 11
+        for index, change_set in enumerate(feed):
+            session.apply(change_set)
+            if index in (first_at, second_at):
+                session.checkpoint()
+        session.wal.sync()
+        replayed = [
+            sequence for sequence, _ in session.wal.replay(after=first_at + 1)
+        ]
+        assert replayed == list(range(first_at + 2, len(feed) + 1))
+        session.close()
+
+    def test_corrupt_newest_falls_back_across_pruned_segments(self, tmp_path):
+        """Regression: pruning to the newest checkpoint used to leave a
+        replay gap when the fallback needed records behind it."""
+        feed = change_feed(rounds=16)
+        directory = tmp_path / "sess"
+        session = DurableSchemaSession(
+            directory,
+            CONFIG,
+            schema_name="s",
+            fsync="off",
+            wal_segment_bytes=2048,
+            keep_checkpoints=2,
+            retain_union=True,
+        )
+        for index, change_set in enumerate(feed):
+            session.apply(change_set)
+            if index in (5, 11):
+                session.checkpoint()
+        session.close()
+        assert len(session.wal.segment_paths()) > 1
+        checkpoints = sorted(directory.glob("checkpoint-*.ckpt"))
+        assert len(checkpoints) == 2
+        FaultInjector.corrupt_byte(checkpoints[-1], 120)
+        recovered = DurableSchemaSession.recover(directory, fsync="off")
+        assert recovered.sequence == len(feed)
+        assert schema_fingerprint(recovered.schema()) == oracle_fingerprint(feed)
 
     def test_external_checkpoint_is_portable_and_prunes_nothing(
         self, tmp_path
@@ -321,6 +380,107 @@ class TestCheckpointFallbackAndRetention:
         restored = SchemaSession.restore(external)
         assert restored.sequence == 4
         session.close()
+
+
+class TestRejectedChangeSets:
+    """A change-set the session refuses must never persist in the WAL."""
+
+    def test_rejected_apply_rolls_back_the_wal_record(self, tmp_path):
+        feed = change_feed()
+        directory = tmp_path / "sess"
+        # No retained union graph: deletions are a validation error.
+        session = DurableSchemaSession(
+            directory, CONFIG, schema_name="s", fsync="off"
+        )
+        session.apply(feed[0])
+        with pytest.raises(ConfigurationError, match="retain_union"):
+            session.apply(ChangeSet.deletions(nodes=["n0-0"]))
+        assert session.sequence == 1
+        assert session.wal.last_sequence == 1
+        # The session is still usable: the next apply logs sequence 2
+        # instead of tripping the strictly-increasing check.
+        session.apply(feed[1])
+        session.close()
+        recovered = DurableSchemaSession.recover(
+            directory, config=CONFIG, schema_name="s", fsync="off"
+        )
+        assert recovered.sequence == 2
+        assert schema_fingerprint(recovered.schema()) == schema_fingerprint(
+            _insert_only_oracle(feed[:2]).schema()
+        )
+
+    def test_rejected_sharded_apply_rolls_back_the_wal_record(self, tmp_path):
+        feed = change_feed()
+        directory = tmp_path / "shard"
+        session = DurableShardedSchemaSession(
+            directory, CONFIG, schema_name="s", n_shards=2, fsync="off"
+        )
+        session.apply(feed[0])
+        with pytest.raises(ConfigurationError, match="retain_union"):
+            session.apply(ChangeSet.deletions(nodes=["n0-0"]))
+        assert session.sequence == 1
+        assert session.wal.last_sequence == 1
+        session.apply(feed[1])
+        session.close()
+        recovered = DurableShardedSchemaSession.recover(
+            directory, config=CONFIG, schema_name="s", n_shards=2, fsync="off"
+        )
+        assert recovered.sequence == 2
+        recovered.close()
+
+    def test_poisoned_tail_record_is_dropped_on_recovery(self, tmp_path):
+        """Crash between the WAL append and the rejection rollback.
+
+        The rejected change-set is then the (never acknowledged) final
+        record of the log; recovery drops it instead of replaying the
+        rejection forever.
+        """
+        feed = change_feed()
+        directory = tmp_path / "sess"
+        session = DurableSchemaSession(
+            directory, CONFIG, schema_name="s", fsync="off"
+        )
+        session.apply(feed[0])
+        session.apply(feed[1])
+        session.close()
+        log = WriteAheadLog(directory / "wal", fsync="off")
+        log.append(3, b"C" + ChangeSet.deletions(nodes=["n0-0"]).to_wire())
+        log.close()
+        recovered = DurableSchemaSession.recover(
+            directory, config=CONFIG, schema_name="s", fsync="off"
+        )
+        assert recovered.sequence == 2
+        assert recovered.wal.last_sequence == 2
+        # Logging resumes cleanly where the poisoned record was dropped.
+        recovered.apply(feed[2])
+        assert recovered.sequence == 3
+        recovered.close()
+
+    def test_mid_log_rejection_still_raises(self, tmp_path):
+        """A rejected record *followed by later records* is divergence,
+        not an unacknowledged tail -- recovery must not drop it."""
+        feed = change_feed()
+        directory = tmp_path / "sess"
+        session = DurableSchemaSession(
+            directory, CONFIG, schema_name="s", fsync="off"
+        )
+        session.apply(feed[0])
+        session.close()
+        log = WriteAheadLog(directory / "wal", fsync="off")
+        log.append(2, b"C" + ChangeSet.deletions(nodes=["n0-0"]).to_wire())
+        log.append(3, b"C" + feed[1].to_wire())
+        log.close()
+        with pytest.raises(ConfigurationError, match="retain_union"):
+            DurableSchemaSession.recover(
+                directory, config=CONFIG, schema_name="s", fsync="off"
+            )
+
+
+def _insert_only_oracle(feed):
+    session = SchemaSession(CONFIG, schema_name="s")
+    for change_set in feed:
+        session.apply(change_set)
+    return session
 
 
 class TestDurableShardedSession:
@@ -409,6 +569,38 @@ class TestDurableShardedSession:
         session.close()
         with pytest.raises(ConfigurationError, match="recover"):
             DurableShardedSchemaSession(directory, CONFIG, n_shards=2)
+
+    def test_corrupt_newest_manifest_falls_back_across_pruned_segments(
+        self, tmp_path
+    ):
+        feed = change_feed(rounds=16)
+        directory = tmp_path / "shard"
+        session = DurableShardedSchemaSession(
+            directory,
+            CONFIG,
+            schema_name="s",
+            n_shards=2,
+            fsync="off",
+            wal_segment_bytes=2048,
+            keep_checkpoints=2,
+            retain_union=True,
+        )
+        for index, change_set in enumerate(feed):
+            session.apply(change_set)
+            if index in (5, 11):
+                session.checkpoint()
+        session.close()
+        manifests = sorted(
+            path
+            for path in directory.iterdir()
+            if path.is_dir() and path.name.startswith("checkpoint-")
+        )
+        assert len(manifests) == 2
+        FaultInjector.corrupt_byte(manifests[-1] / "manifest.ckpt", 60)
+        recovered = DurableShardedSchemaSession.recover(directory, fsync="off")
+        assert recovered.sequence == len(feed)
+        assert schema_fingerprint(recovered.schema()) == oracle_fingerprint(feed)
+        recovered.close()
 
     def test_sharded_restore_oracle_equivalence(self, tmp_path):
         """Recovered sharded session == plain sharded session == single."""
