@@ -1,17 +1,30 @@
 """CLI for the invariant checker: ``python -m repro.analysis src tests``.
 
-Exit status is 0 only when every scanned file parses and no unsuppressed
-diagnostic fires -- the CI ``repro-lint`` job gates on exactly this.
+Exit status is 0 only when every scanned file parses and no unsuppressed,
+un-baselined diagnostic fires -- the CI ``repro-lint`` job gates on
+exactly this.  ``--format sarif`` (or ``--sarif FILE``) emits SARIF
+2.1.0 for review-UI annotation, ``--baseline``/``--write-baseline``
+support incremental adoption of new rule families, and ``--stats``
+prints the suppression inventory (which waivers are live, and why).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from collections import Counter
 from collections.abc import Sequence
+from pathlib import Path
 
-from repro.analysis.framework import META_RULE_IDS
+from repro.analysis.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.framework import META_RULE_IDS, RunResult
 from repro.analysis.rules import all_rules, default_analyzer
+from repro.analysis.sarif import render_sarif
 
 
 def _list_rules() -> str:
@@ -23,6 +36,27 @@ def _list_rules() -> str:
         f"  {'/'.join(sorted(META_RULE_IDS)):<16} suppression hygiene "
         "(not suppressible)"
     )
+    return "\n".join(lines)
+
+
+def _stats_report(result: RunResult) -> str:
+    """Suppression inventory: what is waived, where, and why."""
+    lines = ["Suppression inventory:"]
+    per_rule: Counter[str] = Counter()
+    for suppression in result.used_suppressions:
+        per_rule.update(suppression.rule_ids)
+    if not result.used_suppressions:
+        lines.append("  (no suppressions in use)")
+    for rule_id, count in sorted(per_rule.items()):
+        lines.append(f"  {rule_id}: {count} active suppression(s)")
+    for suppression in sorted(
+        result.used_suppressions, key=lambda s: (s.path, s.comment_line)
+    ):
+        ids = ",".join(suppression.rule_ids)
+        lines.append(
+            f"    {suppression.path}:{suppression.comment_line} "
+            f"[{ids}] -- {suppression.justification}"
+        )
     return "\n".join(lines)
 
 
@@ -42,6 +76,36 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="print every shipped rule and exit",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        help="stdout format: human-readable text or SARIF 2.1.0",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        type=Path,
+        help="additionally write a SARIF 2.1.0 report to FILE",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        type=Path,
+        help="suppress diagnostics recorded in this baseline file; "
+        "only fresh findings gate",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        type=Path,
+        help="freeze the current diagnostics as FILE and exit 0",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the suppression inventory after the run",
+    )
     options = parser.parse_args(argv)
 
     if options.list_rules:
@@ -50,16 +114,52 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     analyzer = default_analyzer()
     result = analyzer.run(options.paths)
-    for diagnostic in result.parse_errors + result.diagnostics:
-        print(diagnostic.render())
+
+    if options.write_baseline is not None:
+        write_baseline(options.write_baseline, result.diagnostics)
+        print(
+            f"repro-lint: baseline with {len(result.diagnostics)} "
+            f"entr{'y' if len(result.diagnostics) == 1 else 'ies'} "
+            f"written to {options.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline_note = ""
+    if options.baseline is not None:
+        try:
+            entries = load_baseline(options.baseline)
+        except BaselineError as error:
+            print(f"repro-lint: {error}", file=sys.stderr)
+            return 2
+        match = apply_baseline(result.diagnostics, entries)
+        result.diagnostics = match.fresh
+        baseline_note = f", {match.matched} baselined"
+        if match.stale:
+            baseline_note += f", {len(match.stale)} stale baseline entr" + (
+                "y" if len(match.stale) == 1 else "ies"
+            )
+
+    if options.sarif is not None:
+        options.sarif.write_text(
+            render_sarif(result, analyzer.rules) + "\n", encoding="utf-8"
+        )
+    if options.format == "sarif":
+        print(render_sarif(result, analyzer.rules))
+    else:
+        for diagnostic in result.parse_errors + result.diagnostics:
+            print(diagnostic.render())
     status = "clean" if result.ok else "FAILED"
     print(
         f"repro-lint: {status} -- {result.files_checked} files, "
         f"{len(result.diagnostics)} diagnostic(s), "
         f"{len(result.parse_errors)} parse error(s), "
-        f"{result.suppressions_used} suppression(s) used",
+        f"{result.suppressions_used} suppression(s) used"
+        f"{baseline_note}",
         file=sys.stderr,
     )
+    if options.stats:
+        print(_stats_report(result), file=sys.stderr)
     return 0 if result.ok else 1
 
 

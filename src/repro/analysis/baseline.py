@@ -1,0 +1,124 @@
+"""Baseline files for incremental rule adoption.
+
+A new rule family lands with findings the team cannot fix in the same
+change; a baseline freezes the *known* findings so the gate only fails
+on regressions.  Entries match on ``(path, rule_id, message)`` as a
+multiset -- line numbers are deliberately excluded so unrelated edits
+above a known finding do not churn the file -- and matching is
+consuming: two identical new findings against one baselined entry still
+fail.
+
+The file is plain JSON so diffs review like code:
+
+    {"version": 1, "entries": [
+        {"path": "src/...", "rule_id": "PGL802", "message": "..."}
+    ]}
+
+Stale entries (baselined findings that no longer fire) are reported so
+baselines shrink toward empty instead of fossilizing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.framework import Diagnostic
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed."""
+
+
+@dataclass(frozen=True)
+class BaselineMatch:
+    """Outcome of filtering diagnostics through a baseline."""
+
+    #: diagnostics not covered by the baseline (these still gate).
+    fresh: list[Diagnostic]
+    #: number of diagnostics absorbed by baseline entries.
+    matched: int
+    #: baseline entries that matched nothing (candidates for removal).
+    stale: list[dict]
+
+
+def _key(path: str, rule_id: str, message: str) -> tuple[str, str, str]:
+    return (path, rule_id, message)
+
+
+def write_baseline(path: Path, diagnostics: list[Diagnostic]) -> None:
+    """Freeze ``diagnostics`` as the new baseline at ``path``."""
+    entries = [
+        {"path": d.path, "rule_id": d.rule_id, "message": d.message}
+        for d in sorted(diagnostics, key=lambda d: (d.path, d.rule_id, d.message))
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: Path) -> list[dict]:
+    """Parse and validate a baseline file."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise BaselineError(f"unreadable baseline {path}: {error}") from error
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != BASELINE_VERSION
+        or not isinstance(payload.get("entries"), list)
+    ):
+        raise BaselineError(
+            f"baseline {path} must be "
+            f'{{"version": {BASELINE_VERSION}, "entries": [...]}}'
+        )
+    entries: list[dict] = []
+    for entry in payload["entries"]:
+        if not isinstance(entry, dict) or not {
+            "path",
+            "rule_id",
+            "message",
+        } <= set(entry):
+            raise BaselineError(
+                f"baseline {path}: every entry needs path/rule_id/message"
+            )
+        entries.append(entry)
+    return entries
+
+
+def apply_baseline(
+    diagnostics: list[Diagnostic], entries: list[dict]
+) -> BaselineMatch:
+    """Split diagnostics into fresh vs baseline-absorbed (consuming)."""
+    budget = Counter(
+        _key(e["path"], e["rule_id"], e["message"]) for e in entries
+    )
+    fresh: list[Diagnostic] = []
+    matched = 0
+    for diagnostic in diagnostics:
+        key = _key(diagnostic.path, diagnostic.rule_id, diagnostic.message)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            matched += 1
+        else:
+            fresh.append(diagnostic)
+    stale: list[dict] = []
+    for entry in entries:
+        key = _key(entry["path"], entry["rule_id"], entry["message"])
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            stale.append(entry)
+    return BaselineMatch(fresh=fresh, matched=matched, stale=stale)
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineError",
+    "BaselineMatch",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,550 @@
+"""Project-wide call graph and protocol-ordering queries.
+
+The per-function rules of PR 6 can only see one function at a time, but
+the invariants added since are *protocols* spanning call chains: "the
+WAL append happens before any state mutation", "every durable byte flows
+through ``atomic_write_bytes``", "renames are fsync-bracketed".  This
+module gives rules the three queries those protocols need:
+
+* **Resolution** -- :meth:`CallGraph.resolve` maps a call site to the
+  project functions it may invoke: bare names to module functions (same
+  module first, then unambiguous imports/project-wide), ``self.m()`` /
+  ``cls.m()`` to methods found by walking the class and its (project
+  local, name-matched) bases, ``super().m()`` to base-class methods, and
+  ``ClassName.m()`` through the class table.  Resolution is deliberately
+  syntactic and *partial*: an unresolvable call simply contributes no
+  edges, so every interprocedural finding is witnessed by a concrete
+  resolved chain.
+* **Reachability** -- :meth:`CallGraph.reachable` is the bounded-depth
+  transitive closure of resolved call edges (used e.g. to decide whether
+  a callee can raise).
+* **Must-precede ordering** -- :meth:`CallGraph.linearize` flattens a
+  function into an ordered event list: statements in source order,
+  resolved direct callees inlined at their call site (bounded depth,
+  cycle-guarded), and -- the one higher-order feature the durable-session
+  protocol needs -- a lambda passed as an argument is inlined at the
+  point the callee invokes the corresponding *parameter* (so
+  ``_logged_apply(self, ..., lambda: super().apply(cs))`` linearizes as
+  ``wal.append`` *then* ``super().apply``, exactly the runtime order).
+  :func:`first_unpreceded` then answers "is every B-event preceded by an
+  A-event" over that order.
+
+Lambda bodies are otherwise skipped (they are deferred work), nested
+``def``/``class`` bodies are never descended into (they are separate
+scopes yielded separately by :meth:`ModuleContext.functions`), and each
+event records the ``if``-tests guarding it so rules can exempt sanctioned
+paths (e.g. the ``_replaying`` re-entry guard of durable sessions).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.framework import ModuleContext, Project
+
+#: default bound for reachability / linearization descent.
+DEFAULT_DEPTH = 3
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One project function or method, with its defining context."""
+
+    module: ModuleContext
+    qualname: str
+    node: ast.AST
+    #: dotted qualname of the enclosing class, ``None`` for module level.
+    class_qualname: str | None = None
+
+    @property
+    def name(self) -> str:
+        """Bare function name (last qualname segment)."""
+        return self.qualname.rsplit(".", 1)[-1]
+
+    @property
+    def class_name(self) -> str | None:
+        """Bare name of the enclosing class, ``None`` for module level."""
+        if self.class_qualname is None:
+            return None
+        return self.class_qualname.rsplit(".", 1)[-1]
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Stable identity: ``(module display path, qualname)``."""
+        return (self.module.display, self.qualname)
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One project class with the bare names of its declared bases."""
+
+    module: ModuleContext
+    qualname: str
+    node: ast.ClassDef
+    bases: tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        """Bare class name (last qualname segment)."""
+        return self.qualname.rsplit(".", 1)[-1]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One classified occurrence in a linearized execution order.
+
+    ``kind`` is whatever the rule's classifier returned; ``node`` is the
+    AST node (in ``function``'s module) the event anchors to; ``stack``
+    is the qualname chain from the patrolled root function down to the
+    function that lexically contains ``node``; ``guards`` holds the
+    source text of every enclosing ``if``/``while`` test along the
+    chain, outermost first (rules use it for sanctioned-path exemptions).
+    """
+
+    kind: str
+    node: ast.AST
+    function: FunctionInfo
+    stack: tuple[str, ...]
+    guards: tuple[str, ...] = ()
+
+
+#: classifier signature: ``(node, owner) -> kind or None``.  ``owner`` is
+#: the function whose *source* contains the node -- for an inlined lambda
+#: argument that is the calling function, not the callee.
+Classifier = Callable[[ast.AST, "FunctionInfo"], "str | None"]
+
+
+def _base_name(expression: ast.expr) -> str | None:
+    """Bare name of a base-class expression (``a.B`` -> ``B``)."""
+    if isinstance(expression, ast.Name):
+        return expression.id
+    if isinstance(expression, ast.Attribute):
+        return expression.attr
+    if isinstance(expression, ast.Subscript):
+        return _base_name(expression.value)
+    return None
+
+
+def _walk_classes(
+    body: Sequence[ast.stmt], prefix: str
+) -> Iterable[tuple[str, ast.ClassDef]]:
+    for statement in body:
+        if isinstance(statement, ast.ClassDef):
+            qualname = f"{prefix}{statement.name}"
+            yield qualname, statement
+            yield from _walk_classes(statement.body, prefix=f"{qualname}.")
+        elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from _walk_classes(
+                statement.body, prefix=f"{prefix}{statement.name}."
+            )
+
+
+class CallGraph:
+    """Resolved call edges over every module of one analyzer run."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        #: (module display, qualname) -> FunctionInfo
+        self.functions: dict[tuple[str, str], FunctionInfo] = {}
+        #: bare name -> module-level functions with that name
+        self._module_level: dict[str, list[FunctionInfo]] = {}
+        #: bare class name -> classes with that name
+        self.classes: dict[str, list[ClassInfo]] = {}
+        #: (bare class name, method name) -> methods
+        self._methods: dict[tuple[str, str], list[FunctionInfo]] = {}
+        #: memo for :meth:`raises_within`
+        self._raise_memo: dict[tuple[tuple[str, str], int], bool] = {}
+
+        for module in project.modules:
+            for qualname, class_node in _walk_classes(module.tree.body, ""):
+                info = ClassInfo(
+                    module,
+                    qualname,
+                    class_node,
+                    tuple(
+                        name
+                        for name in map(_base_name, class_node.bases)
+                        if name is not None
+                    ),
+                )
+                self.classes.setdefault(info.name, []).append(info)
+            for qualname, node in module.functions():
+                class_qualname = (
+                    qualname.rsplit(".", 1)[0] if "." in qualname else None
+                )
+                # Functions nested inside functions report a dotted
+                # prefix too; only treat the prefix as a class when a
+                # class with that qualname exists in this module.
+                if class_qualname is not None and not any(
+                    info.qualname == class_qualname
+                    for info in self.classes.get(
+                        class_qualname.rsplit(".", 1)[-1], ()
+                    )
+                    if info.module is module
+                ):
+                    class_qualname = None
+                info = FunctionInfo(module, qualname, node, class_qualname)
+                self.functions[info.key] = info
+                if class_qualname is None:
+                    if "." not in qualname:
+                        self._module_level.setdefault(
+                            info.name, []
+                        ).append(info)
+                else:
+                    self._methods.setdefault(
+                        (info.class_name, info.name), []
+                    ).append(info)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def function(self, module_tail: str, qualname: str) -> FunctionInfo | None:
+        """Look up one function by module display tail + qualname."""
+        for (display, name), info in self.functions.items():
+            if name == qualname and display.endswith(module_tail):
+                return info
+        return None
+
+    def class_mro_names(self, class_name: str) -> list[str]:
+        """``class_name`` plus every transitive project base name."""
+        seen: list[str] = []
+        stack = [class_name]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.append(current)
+            for info in self.classes.get(current, ()):
+                stack.extend(info.bases)
+        return seen
+
+    def is_subclass_of(self, class_name: str, targets: Iterable[str]) -> bool:
+        """Whether ``class_name`` is (or transitively derives from) a target."""
+        wanted = set(targets)
+        return any(name in wanted for name in self.class_mro_names(class_name))
+
+    def resolve_method(
+        self, class_name: str, method: str, *, skip_own: bool = False
+    ) -> list[FunctionInfo]:
+        """Methods ``method`` found on ``class_name`` or its nearest base.
+
+        Walks the name-matched MRO outward and returns the candidates of
+        the *first* level that defines the method (so an override wins
+        over the base definition).  ``skip_own`` starts the walk at the
+        bases -- the ``super().m()`` resolution.
+        """
+        levels = self.class_mro_names(class_name)
+        if skip_own and levels and levels[0] == class_name:
+            levels = levels[1:]
+        for level in levels:
+            found = self._methods.get((level, method))
+            if found:
+                return list(found)
+        return []
+
+    # ------------------------------------------------------------------
+    # Call-site resolution
+    # ------------------------------------------------------------------
+    def resolve(
+        self, call: ast.Call, caller: FunctionInfo
+    ) -> list[FunctionInfo]:
+        """Project functions a call site may invoke (possibly empty)."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            # Same-module module-level function first; otherwise a
+            # project-wide unique name (cross-module helper imports).
+            local = [
+                info
+                for info in self._module_level.get(func.id, ())
+                if info.module is caller.module
+            ]
+            if local:
+                return local
+            everywhere = self._module_level.get(func.id, [])
+            return list(everywhere) if len(everywhere) == 1 else []
+        if not isinstance(func, ast.Attribute):
+            return []
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            if receiver.id in {"self", "cls"} and caller.class_name:
+                return self.resolve_method(caller.class_name, func.attr)
+            if receiver.id in self.classes:
+                return self.resolve_method(receiver.id, func.attr)
+            return []
+        if (
+            isinstance(receiver, ast.Call)
+            and isinstance(receiver.func, ast.Name)
+            and receiver.func.id == "super"
+            and caller.class_name
+        ):
+            return self.resolve_method(
+                caller.class_name, func.attr, skip_own=True
+            )
+        return []
+
+    # ------------------------------------------------------------------
+    # Reachability
+    # ------------------------------------------------------------------
+    def callees(self, function: FunctionInfo) -> list[FunctionInfo]:
+        """Directly resolved callees of one function (local body only)."""
+        found: list[FunctionInfo] = []
+        seen: set[tuple[str, str]] = set()
+        for node in _walk_in_order(function.node):
+            if isinstance(node, ast.Call):
+                for callee in self.resolve(node, function):
+                    if callee.key not in seen:
+                        seen.add(callee.key)
+                        found.append(callee)
+        return found
+
+    def reachable(
+        self, function: FunctionInfo, depth: int = DEFAULT_DEPTH
+    ) -> list[FunctionInfo]:
+        """Functions reachable from ``function`` within ``depth`` edges."""
+        seen: dict[tuple[str, str], FunctionInfo] = {}
+        frontier = [function]
+        for _ in range(depth):
+            next_frontier: list[FunctionInfo] = []
+            for current in frontier:
+                for callee in self.callees(current):
+                    if callee.key not in seen and callee.key != function.key:
+                        seen[callee.key] = callee
+                        next_frontier.append(callee)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return list(seen.values())
+
+    def raises_within(
+        self, function: FunctionInfo, depth: int = DEFAULT_DEPTH
+    ) -> bool:
+        """Whether a ``raise`` statement is reachable within ``depth``.
+
+        Only *resolved* project callees are considered, so an unknown
+        call never makes a function count as raise-capable -- rules using
+        this stay precise rather than flagging every call site.
+        """
+        memo_key = (function.key, depth)
+        cached = self._raise_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        self._raise_memo[memo_key] = False  # cycle guard
+        result = any(
+            isinstance(node, ast.Raise)
+            for node in _walk_in_order(function.node)
+        )
+        if not result and depth > 0:
+            result = any(
+                self.raises_within(callee, depth - 1)
+                for callee in self.callees(function)
+            )
+        self._raise_memo[memo_key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Must-precede linearization
+    # ------------------------------------------------------------------
+    def linearize(
+        self,
+        function: FunctionInfo,
+        classify: Classifier,
+        depth: int = DEFAULT_DEPTH,
+    ) -> list[Event]:
+        """Ordered events of ``function`` with callees inlined.
+
+        Source order approximates execution order: branch bodies are
+        visited then/else sequentially, loop bodies once.  At each call
+        site the classifier sees the call first, then the resolved
+        callee's own events are inlined (bounded by ``depth``,
+        cycle-guarded by the active stack).  A lambda passed as an
+        argument contributes its events where the callee *invokes the
+        matching parameter*, not at the passing site.
+        """
+        events: list[Event] = []
+        self._linearize_into(
+            events,
+            function,
+            classify,
+            depth,
+            stack=(function.qualname,),
+            active={function.key},
+            guards=(),
+            lambda_args={},
+            owner=function,
+        )
+        return events
+
+    def _linearize_into(
+        self,
+        events: list[Event],
+        function: FunctionInfo,
+        classify: Classifier,
+        depth: int,
+        *,
+        stack: tuple[str, ...],
+        active: set[tuple[str, str]],
+        guards: tuple[str, ...],
+        lambda_args: dict[str, tuple[ast.Lambda, FunctionInfo]],
+        owner: FunctionInfo,
+    ) -> None:
+        body = getattr(function.node, "body", [])
+        self._linearize_body(
+            events, body, function, classify, depth,
+            stack=stack, active=active, guards=guards,
+            lambda_args=lambda_args, owner=owner,
+        )
+
+    def _linearize_body(
+        self,
+        events: list[Event],
+        nodes: Iterable[ast.AST],
+        function: FunctionInfo,
+        classify: Classifier,
+        depth: int,
+        *,
+        stack: tuple[str, ...],
+        active: set[tuple[str, str]],
+        guards: tuple[str, ...],
+        lambda_args: dict[str, tuple[ast.Lambda, FunctionInfo]],
+        owner: FunctionInfo,
+    ) -> None:
+        for node in nodes:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            branch_guards = guards
+            if isinstance(node, (ast.If, ast.While)):
+                try:
+                    branch_guards = (*guards, ast.unparse(node.test))
+                except Exception:  # pragma: no cover - unparse is total
+                    branch_guards = (*guards, "<test>")
+            kind = classify(node, owner)
+            if kind is not None:
+                events.append(Event(kind, node, owner, stack, guards))
+            if isinstance(node, ast.Lambda):
+                continue  # deferred work: inlined only via parameter calls
+            if isinstance(node, ast.Call):
+                self._inline_call(
+                    events, node, function, classify, depth,
+                    stack=stack, active=active, guards=guards,
+                    lambda_args=lambda_args, owner=owner,
+                )
+            self._linearize_body(
+                events, ast.iter_child_nodes(node), function, classify, depth,
+                stack=stack, active=active, guards=branch_guards,
+                lambda_args=lambda_args, owner=owner,
+            )
+
+    def _inline_call(
+        self,
+        events: list[Event],
+        call: ast.Call,
+        function: FunctionInfo,
+        classify: Classifier,
+        depth: int,
+        *,
+        stack: tuple[str, ...],
+        active: set[tuple[str, str]],
+        guards: tuple[str, ...],
+        lambda_args: dict[str, tuple[ast.Lambda, FunctionInfo]],
+        owner: FunctionInfo,
+    ) -> None:
+        # A call to a parameter bound to a lambda at the original call
+        # site: inline the lambda body *here* -- this is where it runs.
+        if isinstance(call.func, ast.Name) and call.func.id in lambda_args:
+            lam, lam_owner = lambda_args[call.func.id]
+            self._linearize_body(
+                events, [lam.body], function, classify, depth,
+                stack=stack, active=active, guards=guards,
+                lambda_args={}, owner=lam_owner,
+            )
+            return
+        if depth <= 0:
+            return
+        for callee in self.resolve(call, function):
+            if callee.key in active:
+                continue
+            bound = self._bind_lambda_args(call, callee, owner)
+            self._linearize_into(
+                events, callee, classify, depth - 1,
+                stack=(*stack, callee.qualname),
+                active=active | {callee.key},
+                guards=guards,
+                lambda_args=bound,
+                owner=callee,
+            )
+
+    @staticmethod
+    def _bind_lambda_args(
+        call: ast.Call, callee: FunctionInfo, owner: FunctionInfo
+    ) -> dict[str, tuple[ast.Lambda, FunctionInfo]]:
+        """Map callee parameter names to lambda arguments of the call."""
+        node = callee.node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return {}
+        parameters = [a.arg for a in (*node.args.posonlyargs, *node.args.args)]
+        bound: dict[str, tuple[ast.Lambda, FunctionInfo]] = {}
+        for position, argument in enumerate(call.args):
+            if isinstance(argument, ast.Lambda) and position < len(parameters):
+                bound[parameters[position]] = (argument, owner)
+        for keyword in call.keywords:
+            if keyword.arg is not None and isinstance(
+                keyword.value, ast.Lambda
+            ):
+                bound[keyword.arg] = (keyword.value, owner)
+        return bound
+
+
+def project_callgraph(project: Project) -> CallGraph:
+    """One shared :class:`CallGraph` per analyzer run.
+
+    Building the graph walks every module, so the rules of one run share
+    a single instance cached on the project object itself.
+    """
+    graph = getattr(project, "_callgraph", None)
+    if graph is None:
+        graph = CallGraph(project)
+        project._callgraph = graph
+    return graph
+
+
+def _walk_in_order(root: ast.AST) -> Iterable[ast.AST]:
+    """Walk ``root`` in source order without entering nested scopes."""
+    stack: list[ast.AST] = list(
+        reversed(list(ast.iter_child_nodes(root)))
+    )
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        yield node
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+
+
+def first_unpreceded(
+    events: Sequence[Event],
+    protected: str,
+    protector: str,
+    *,
+    exempt: Callable[[Event], bool] | None = None,
+) -> Event | None:
+    """First ``protected`` event with no earlier ``protector`` event.
+
+    The must-precede query: returns ``None`` when every ``protected``
+    event (not ``exempt``) is preceded -- in linearized order -- by at
+    least one ``protector`` event, else the violating event.
+    """
+    for event in events:
+        if event.kind == protector:
+            return None
+        if event.kind == protected:
+            if exempt is not None and exempt(event):
+                continue
+            return event
+    return None

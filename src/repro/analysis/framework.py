@@ -228,6 +228,9 @@ class RunResult:
     files_checked: int
     suppressions_used: int = 0
     parse_errors: list[Diagnostic] = field(default_factory=list)
+    #: the suppression comments that actually absorbed a diagnostic this
+    #: run (the ``--stats`` inventory).
+    used_suppressions: list[Suppression] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -317,11 +320,18 @@ class Analyzer:
         if self.check_suppressions:
             diagnostics.extend(self._check_suppressions(project, used))
         diagnostics.sort(key=lambda d: (d.path, d.line, d.rule_id))
+        used_suppressions = [
+            suppression
+            for module in project.modules
+            for suppression in module.suppressions
+            if (suppression.path, suppression.comment_line) in used
+        ]
         return RunResult(
             diagnostics=diagnostics,
             files_checked=len(files),
             suppressions_used=len(used),
             parse_errors=parse_errors,
+            used_suppressions=used_suppressions,
         )
 
     def _apply_suppressions(

@@ -11,6 +11,12 @@ Rule ids are stable API (suppression comments reference them):
 * ``PGL501`` mutable default arguments
 * ``PGL502`` accumulator ``merge_from``/``copy``/``observe*`` drift
 * ``PGL601`` pickled artifacts written without the atomic durability helper
+* ``PGL701`` durable-session mutation reachable before the WAL append
+* ``PGL702`` interprocedural pickle-to-raw-write paths around the helpers
+* ``PGL703`` renames without fsync bracketing
+* ``PGL801`` handles acquired without with/try-finally/owner release
+* ``PGL802`` multi-field state mutation torn by a raise in between
+* ``PGL901`` shared process-wide state mutated outside owner/lock scope
 * ``PGL001``-``PGL003`` suppression hygiene (framework meta-rules)
 """
 
@@ -21,11 +27,21 @@ from repro.analysis.rules.api_hygiene import (
     AccumulatorSignatureRule,
     MutableDefaultRule,
 )
+from repro.analysis.rules.concurrency import SharedStateMutationRule
+from repro.analysis.rules.crash_consistency import (
+    InterprocDurableWriteRule,
+    RenameFsyncRule,
+    WalBeforeApplyRule,
+)
 from repro.analysis.rules.crossproc import ProcessPoolSubmissionRule
 from repro.analysis.rules.durable_io import DurableArtifactWriteRule
 from repro.analysis.rules.determinism import (
     NondeterministicSourceRule,
     OrderedSetConsumptionRule,
+)
+from repro.analysis.rules.exception_safety import (
+    PartialMutationRule,
+    ResourceLifecycleRule,
 )
 from repro.analysis.rules.hotpath import (
     ColumnLoopRule,
@@ -46,6 +62,12 @@ def all_rules() -> list[Rule]:
         MutableDefaultRule(),
         AccumulatorSignatureRule(),
         DurableArtifactWriteRule(),
+        WalBeforeApplyRule(),
+        InterprocDurableWriteRule(),
+        RenameFsyncRule(),
+        ResourceLifecycleRule(),
+        PartialMutationRule(),
+        SharedStateMutationRule(),
     ]
 
 
@@ -59,11 +81,16 @@ __all__ = [
     "ColumnLoopRule",
     "DurableArtifactWriteRule",
     "ElementMaterialisationRule",
+    "InterprocDurableWriteRule",
     "MutableDefaultRule",
     "NondeterministicSourceRule",
     "OrderedSetConsumptionRule",
+    "PartialMutationRule",
     "ProcessPoolSubmissionRule",
+    "RenameFsyncRule",
+    "SharedStateMutationRule",
     "StateCompletenessRule",
+    "WalBeforeApplyRule",
     "all_rules",
     "default_analyzer",
 ]

@@ -1,0 +1,281 @@
+"""Concurrency and lock-discipline rules (PGL9xx).
+
+The ROADMAP's multi-tenant service will run discovery sessions on
+threads sharing one process, so process-wide mutable state -- the global
+``Interner`` behind ``global_interner()`` and the token-id cache in
+``lsh/minhash.py`` -- becomes a data race the moment a second thread
+arrives.  ``PGL901`` enforces the two disciplines that keep it safe:
+
+* **Designated owners** -- a registered shared global may be mutated
+  only inside its owner function(s) (``_token_id`` for the token cache,
+  ``global_interner`` for the global interner) or under a ``with
+  <...lock...>:`` block.  Everything else must go through the owner.
+* **Locked classes** -- a registered class (``Interner``) must guard
+  every ``self`` mutation outside ``__init__``/pickle hooks with ``with
+  self.<lock>:``.  The lock field itself is exempt (it is created in
+  ``__init__`` and re-created by ``__setstate__``).
+
+Both tables are name-keyed so fixtures exercise the rule with the same
+names the real tree uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.astutil import dotted_name, walk_local
+from repro.analysis.framework import Diagnostic, ModuleContext, Rule
+
+#: shared module-level globals -> bare names of their owner functions.
+SHARED_GLOBALS: dict[str, frozenset[str]] = {
+    "_TOKEN_ID_CACHE": frozenset({"_token_id"}),
+    "_GLOBAL": frozenset({"global_interner"}),
+}
+
+#: classes whose self-state mutations must hold the named lock field.
+LOCKED_CLASSES: dict[str, str] = {"Interner": "_lock"}
+
+#: container methods that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "__setitem__",
+    }
+)
+
+#: methods where unlocked mutation is sanctioned: construction happens
+#: before the object is shared, and pickle hooks run on private copies.
+_UNLOCKED_METHODS = frozenset({"__init__", "__getstate__", "__setstate__"})
+
+
+def _root_name(expression: ast.expr) -> str | None:
+    """Leftmost name of an attribute/subscript chain."""
+    while isinstance(expression, (ast.Attribute, ast.Subscript)):
+        expression = expression.value
+    if isinstance(expression, ast.Name):
+        return expression.id
+    return None
+
+
+def _is_lock_expression(expression: ast.expr) -> bool:
+    dotted = dotted_name(expression)
+    return dotted is not None and "lock" in dotted.lower()
+
+
+def _locked_zone(function: ast.AST) -> set[int]:
+    """ids of nodes inside any ``with <...lock...>:`` block."""
+    zone: set[int] = set()
+    for node in walk_local(function):
+        if isinstance(node, (ast.With, ast.AsyncWith)) and any(
+            _is_lock_expression(item.context_expr) for item in node.items
+        ):
+            for child in ast.walk(node):
+                zone.add(id(child))
+    return zone
+
+
+def _global_mutation(node: ast.AST, names: Iterable[str]) -> str | None:
+    """The shared global ``node`` mutates, else None."""
+    wanted = set(names)
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            root = _root_name(target)
+            if root in wanted and not isinstance(target, ast.Name):
+                return root  # subscript/attribute store into the global
+            if (
+                isinstance(target, ast.Name)
+                and target.id in wanted
+                and isinstance(node, ast.AugAssign)
+            ):
+                return target.id
+    if isinstance(node, ast.Delete):
+        for target in node.targets:
+            root = _root_name(target)
+            if root in wanted:
+                return root
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _MUTATING_METHODS:
+            root = _root_name(node.func.value)
+            if root in wanted:
+                return root
+    return None
+
+
+def _rebinds_global(function: ast.AST, names: Iterable[str]) -> str | None:
+    """A ``global NAME`` declaration + rebind inside ``function``."""
+    wanted = set(names)
+    declared: set[str] = set()
+    for node in walk_local(function):
+        if isinstance(node, ast.Global):
+            declared.update(name for name in node.names if name in wanted)
+    if not declared:
+        return None
+    for node in walk_local(function):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id in declared:
+                    return target.id
+    return None
+
+
+class SharedStateMutationRule(Rule):
+    """PGL901: shared mutable state mutated outside owner or lock."""
+
+    rule_id = "PGL901"
+    name = "shared-state-mutation"
+    description = (
+        "process-wide shared state (global interner, module caches) "
+        "mutated outside its designated owner or a lock scope"
+    )
+    default_scope = ("src/repro/",)
+
+    shared_globals = SHARED_GLOBALS
+    locked_classes = LOCKED_CLASSES
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        defined = {
+            name
+            for node in ctx.tree.body
+            if isinstance(node, (ast.Assign, ast.AnnAssign))
+            for name in self._module_binding_names(node)
+            if name in self.shared_globals
+        }
+        for qualname, function in ctx.functions():
+            yield from self._check_function(ctx, qualname, function, defined)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and node.name in (
+                self.locked_classes
+            ):
+                yield from self._check_locked_class(ctx, node)
+
+    @staticmethod
+    def _module_binding_names(node: ast.AST) -> Iterable[str]:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    yield target.id
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            yield node.target.id
+
+    def _check_function(
+        self,
+        ctx: ModuleContext,
+        qualname: str,
+        function: ast.AST,
+        defined: set[str],
+    ) -> Iterable[Diagnostic]:
+        if not defined:
+            return
+        bare_name = qualname.rsplit(".", 1)[-1]
+        owned = {
+            name
+            for name, owners in self.shared_globals.items()
+            if bare_name in owners
+        }
+        patrolled = defined - owned
+        if not patrolled:
+            return
+        locked = _locked_zone(function)
+        rebound = _rebinds_global(function, patrolled)
+        if rebound is not None:
+            yield ctx.diagnostic(
+                function,
+                self.rule_id,
+                f"{qualname} rebinds shared global {rebound}; only its "
+                "owner may replace process-wide state",
+            )
+        for node in walk_local(function):
+            name = _global_mutation(node, patrolled)
+            if name is None or id(node) in locked:
+                continue
+            owners = ", ".join(sorted(self.shared_globals[name]))
+            yield ctx.diagnostic(
+                node,
+                self.rule_id,
+                f"{qualname} mutates shared global {name} outside its "
+                f"owner ({owners}) and outside any lock scope; route the "
+                "mutation through the owner or hold the lock",
+            )
+
+    def _check_locked_class(
+        self, ctx: ModuleContext, class_node: ast.ClassDef
+    ) -> Iterable[Diagnostic]:
+        lock_field = self.locked_classes[class_node.name]
+        for statement in class_node.body:
+            if not isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if statement.name in _UNLOCKED_METHODS:
+                continue
+            locked = _locked_zone(statement)
+            for node in walk_local(statement):
+                field = self._self_mutation(node)
+                if field is None or field == lock_field:
+                    continue
+                if id(node) in locked:
+                    continue
+                yield ctx.diagnostic(
+                    node,
+                    self.rule_id,
+                    f"{class_node.name}.{statement.name} mutates "
+                    f"self.{field} outside `with self.{lock_field}:`; "
+                    f"{class_node.name} is shared process-wide and every "
+                    "mutation must hold its lock",
+                )
+
+    @staticmethod
+    def _self_mutation(node: ast.AST) -> str | None:
+        """The self field mutated by ``node``, else None."""
+
+        def self_field(expression: ast.expr) -> str | None:
+            while isinstance(expression, ast.Subscript):
+                expression = expression.value
+            if (
+                isinstance(expression, ast.Attribute)
+                and isinstance(expression.value, ast.Name)
+                and expression.value.id == "self"
+            ):
+                return expression.attr
+            return None
+
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                field = self_field(target)
+                if field is not None:
+                    return field
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                field = self_field(target)
+                if field is not None:
+                    return field
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in _MUTATING_METHODS:
+                receiver = node.func.value
+                field = self_field(receiver)
+                if field is not None:
+                    return field
+        return None

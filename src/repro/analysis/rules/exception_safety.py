@@ -1,0 +1,328 @@
+"""Exception-safety and resource-lifecycle rules (PGL8xx).
+
+``PGL801`` -- resource lifecycle: ``open()``/``Path.open()``/
+``ProcessPoolExecutor()`` handles must be owned by somebody.  An
+acquisition is fine when it is a ``with`` context, is returned, is
+passed straight into another API, or is bound to a name that is later
+closed in a ``try/finally`` (or exception handler), re-entered as a
+``with`` block, returned, or stored for a longer-lived owner
+(``self.attr`` assignments require a ``*.attr.close()``/``shutdown()``
+somewhere in the same module -- the ``WriteAheadLog._handle`` pattern).
+Anything else leaks the handle on the first exception.
+
+``PGL802`` -- partial multi-field mutation: a method of a session/state
+class that mutates one ``self`` field, then performs a raise-capable
+operation (a literal ``raise`` or a resolved call that can raise, per
+the call graph), then mutates a *different* field, leaves the object
+torn when the exception fires between the two writes.  This is the bug
+class behind the rejected-changeset poisoning fixed in PR 7: sequence
+bumped, reports appended, registry already rewritten.  Raise-capable
+operations lexically inside a ``try`` with handlers or a ``finally``
+are assumed compensated.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.astutil import call_name, walk_local
+from repro.analysis.callgraph import FunctionInfo, project_callgraph
+from repro.analysis.framework import (
+    Diagnostic,
+    ModuleContext,
+    Project,
+    Rule,
+)
+
+#: constructor names that acquire a handle needing explicit shutdown.
+_EXECUTOR_NAMES = frozenset({"ProcessPoolExecutor", "ThreadPoolExecutor"})
+
+#: method names that release a handle.
+_RELEASE_METHODS = frozenset({"close", "shutdown", "terminate"})
+
+
+def _acquisition(call: ast.Call) -> str | None:
+    """Describe ``call`` when it acquires a closable handle."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        return "open()"
+    if isinstance(func, ast.Attribute) and func.attr == "open":
+        return ".open()"
+    name = call_name(call)
+    if name in _EXECUTOR_NAMES:
+        return f"{name}()"
+    return None
+
+
+def _local_parents(function: ast.AST) -> dict[int, ast.AST]:
+    parents: dict[int, ast.AST] = {}
+    for node in walk_local(function):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _cleanup_zone(function: ast.AST) -> set[int]:
+    """ids of nodes inside any ``finally`` block or exception handler."""
+    zone: set[int] = set()
+    for node in walk_local(function):
+        if isinstance(node, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            roots: list[ast.AST] = list(node.finalbody)
+            roots.extend(node.handlers)
+            for root in roots:
+                zone.add(id(root))
+                for child in ast.walk(root):
+                    zone.add(id(child))
+    return zone
+
+
+def _release_call(node: ast.AST) -> ast.expr | None:
+    """Receiver of ``<receiver>.close()``-style calls, else None."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _RELEASE_METHODS
+    ):
+        return node.func.value
+    return None
+
+
+class ResourceLifecycleRule(Rule):
+    """PGL801: every acquired handle has an owner that closes it."""
+
+    rule_id = "PGL801"
+    name = "resource-lifecycle"
+    description = (
+        "open()/ProcessPoolExecutor() handle acquired without with, "
+        "try/finally close, or an owning object that closes it"
+    )
+    default_scope = ("src/repro/",)
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        module_released_attrs = self._module_released_attrs(ctx)
+        for qualname, function in ctx.functions():
+            parents = _local_parents(function)
+            cleanup = _cleanup_zone(function)
+            for node in walk_local(function):
+                if not isinstance(node, ast.Call):
+                    continue
+                what = _acquisition(node)
+                if what is None:
+                    continue
+                if self._managed(
+                    node, parents, function, cleanup, module_released_attrs
+                ):
+                    continue
+                yield ctx.diagnostic(
+                    node,
+                    self.rule_id,
+                    f"{what} handle in {qualname} is never released: use "
+                    "a with block, close it in try/finally, or hand it to "
+                    "an owner that does",
+                )
+
+    @staticmethod
+    def _module_released_attrs(ctx: ModuleContext) -> set[str]:
+        """Attribute names released via ``*.attr.close()`` in this module."""
+        released: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            receiver = _release_call(node)
+            if isinstance(receiver, ast.Attribute):
+                released.add(receiver.attr)
+        return released
+
+    def _managed(
+        self,
+        call: ast.Call,
+        parents: dict[int, ast.AST],
+        function: ast.AST,
+        cleanup: set[int],
+        module_released_attrs: set[str],
+    ) -> bool:
+        parent = parents.get(id(call))
+        if isinstance(parent, ast.withitem):
+            return True
+        if isinstance(parent, (ast.Return, ast.Await)):
+            return True
+        if isinstance(parent, ast.Call):
+            # Passed straight into another API (ExitStack.enter_context,
+            # TextIOWrapper, ...): ownership transfers with the value.
+            return True
+        if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+            target = parent.targets[0]
+            if isinstance(target, ast.Name):
+                return self._name_released(
+                    target.id, function, cleanup
+                )
+            if isinstance(target, ast.Attribute):
+                return target.attr in module_released_attrs
+        return False
+
+    @staticmethod
+    def _name_released(
+        name: str, function: ast.AST, cleanup: set[int]
+    ) -> bool:
+        for node in walk_local(function):
+            receiver = _release_call(node)
+            if (
+                receiver is not None
+                and isinstance(receiver, ast.Name)
+                and receiver.id == name
+                and id(node) in cleanup
+            ):
+                return True
+            if isinstance(node, ast.withitem):
+                context = node.context_expr
+                if isinstance(context, ast.Name) and context.id == name:
+                    return True
+            if (
+                isinstance(node, ast.Return)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == name
+            ):
+                return True
+            if isinstance(node, ast.Call) and any(
+                isinstance(argument, ast.Name) and argument.id == name
+                for argument in node.args
+            ):
+                return True
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == name
+                and any(
+                    isinstance(t, (ast.Attribute, ast.Subscript))
+                    for t in node.targets
+                )
+            ):
+                return True
+        return False
+
+
+def _mutated_field(node: ast.AST) -> str | None:
+    """The ``self`` field a statement mutates, else None."""
+    targets: Iterable[ast.expr]
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = node.targets
+    else:
+        return None
+    for target in targets:
+        expression = target
+        while isinstance(expression, ast.Subscript):
+            expression = expression.value
+        if (
+            isinstance(expression, ast.Attribute)
+            and isinstance(expression.value, ast.Name)
+            and expression.value.id == "self"
+        ):
+            return expression.attr
+    return None
+
+
+class PartialMutationRule(Rule):
+    """PGL802: multi-field mutation torn by an exception in between."""
+
+    rule_id = "PGL802"
+    name = "partial-state-mutation"
+    description = (
+        "session/state method mutates two fields with a raise-capable "
+        "operation between them and no handler/finally to compensate"
+    )
+    default_scope = ("src/repro/",)
+
+    #: class-name substrings that mark stateful protocol objects.
+    patrolled_classes = ("Session", "State")
+    #: methods whose partial effects are unobservable (fresh object) or
+    #: that exist to rewrite state wholesale.
+    exempt_methods = frozenset({"__init__", "__setstate__"})
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        graph = project_callgraph(project)
+        for info in graph.functions.values():
+            if not self.applies(info.module.display):
+                continue
+            class_name = info.class_name
+            if class_name is None or not any(
+                marker in class_name for marker in self.patrolled_classes
+            ):
+                continue
+            if info.name in self.exempt_methods:
+                continue
+            diagnostic = self._check_method(graph, info)
+            if diagnostic is not None:
+                yield diagnostic
+
+    def _check_method(
+        self, graph, info: FunctionInfo
+    ) -> Diagnostic | None:
+        protected = _protected_zone(info.node)
+        mutated: list[str] = []
+        risk: ast.AST | None = None
+        risk_label = ""
+        for node in _statements_in_order(info.node):
+            field = _mutated_field(node)
+            if field is not None:
+                if risk is not None and any(
+                    other != field for other in mutated
+                ):
+                    fields = sorted({*mutated, field})
+                    return info.module.diagnostic(
+                        node,
+                        self.rule_id,
+                        f"{info.qualname} mutates self.{field} after "
+                        f"{risk_label} (line {risk.lineno}) already "
+                        "followed earlier mutations of "
+                        + ", ".join(f"self.{name}" for name in fields if name != field)
+                        + "; an exception in between leaves the object "
+                        "torn -- reorder the writes, or compensate in a "
+                        "handler/finally",
+                    )
+                mutated.append(field)
+                continue
+            if id(node) in protected or not mutated:
+                continue
+            if isinstance(node, ast.Raise):
+                risk = node
+                risk_label = "a raise"
+            elif isinstance(node, ast.Call):
+                if any(
+                    graph.raises_within(callee)
+                    for callee in graph.resolve(node, info)
+                ):
+                    risk = node
+                    risk_label = (
+                        f"the raise-capable call {call_name(node)}()"
+                    )
+        return None
+
+
+def _protected_zone(function: ast.AST) -> set[int]:
+    """ids of nodes inside a ``try`` that has handlers or a finally."""
+    zone: set[int] = set()
+    for node in walk_local(function):
+        if isinstance(node, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            if not node.handlers and not node.finalbody:
+                continue
+            for child in ast.walk(node):
+                zone.add(id(child))
+    return zone
+
+
+def _statements_in_order(function: ast.AST) -> Iterable[ast.AST]:
+    """Local nodes in source order, skipping nested scopes."""
+    stack: list[ast.AST] = list(
+        reversed(list(ast.iter_child_nodes(function)))
+    )
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        yield node
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))

@@ -1,0 +1,126 @@
+"""SARIF 2.1.0 emission for the invariant checker.
+
+SARIF (Static Analysis Results Interchange Format) is what code-hosting
+review UIs ingest: CI uploads the report and findings annotate the PR
+diff inline.  The emitter maps the checker's model onto the minimal
+mandatory subset of the standard -- one ``run`` with the ``repro-lint``
+driver, one ``rule`` descriptor per shipped rule id, one ``result`` per
+diagnostic -- so the output stays valid against the full 2.1.0 schema
+without dragging optional vocabulary in.
+
+Parse errors (PGL999) become ``error``-level results; everything else is
+reported at ``warning`` level (the CLI's exit status, not the SARIF
+level, is the gate).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.analysis.framework import (
+    META_RULE_IDS,
+    Diagnostic,
+    Rule,
+    RunResult,
+)
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: rule ids the framework itself can emit without a Rule instance.
+_FRAMEWORK_RULES: dict[str, str] = {
+    "PGL001": "suppression without justification",
+    "PGL002": "suppression references an unknown rule id",
+    "PGL003": "suppression matches no diagnostic",
+    "PGL999": "unparseable module",
+}
+
+
+def _rule_descriptors(rules: Sequence[Rule]) -> list[dict]:
+    descriptors: list[dict] = []
+    seen: set[str] = set()
+    for rule in rules:
+        for rule_id in rule.emitted_ids():
+            if rule_id in seen:
+                continue
+            seen.add(rule_id)
+            descriptors.append(
+                {
+                    "id": rule_id,
+                    "name": rule.name,
+                    "shortDescription": {"text": rule.description},
+                }
+            )
+    for rule_id in sorted(_FRAMEWORK_RULES):
+        if rule_id not in seen:
+            descriptors.append(
+                {
+                    "id": rule_id,
+                    "name": "framework",
+                    "shortDescription": {"text": _FRAMEWORK_RULES[rule_id]},
+                }
+            )
+    return descriptors
+
+
+def _result(diagnostic: Diagnostic, rule_index: dict[str, int]) -> dict:
+    level = "error" if diagnostic.rule_id == "PGL999" else "warning"
+    entry = {
+        "ruleId": diagnostic.rule_id,
+        "level": level,
+        "message": {"text": diagnostic.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": diagnostic.path},
+                    "region": {"startLine": max(1, diagnostic.line)},
+                }
+            }
+        ],
+    }
+    index = rule_index.get(diagnostic.rule_id)
+    if index is not None:
+        entry["ruleIndex"] = index
+    return entry
+
+
+def sarif_report(result: RunResult, rules: Sequence[Rule]) -> dict:
+    """The full SARIF 2.1.0 document for one analyzer run."""
+    descriptors = _rule_descriptors(rules)
+    rule_index = {d["id"]: i for i, d in enumerate(descriptors)}
+    results = [
+        _result(diagnostic, rule_index)
+        for diagnostic in (*result.parse_errors, *result.diagnostics)
+    ]
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA_URI,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(result: RunResult, rules: Sequence[Rule]) -> str:
+    """Serialized SARIF with stable key order for diffable CI artifacts."""
+    return json.dumps(sarif_report(result, rules), indent=2, sort_keys=True)
+
+
+__all__ = [
+    "SARIF_SCHEMA_URI",
+    "SARIF_VERSION",
+    "render_sarif",
+    "sarif_report",
+]

@@ -446,6 +446,9 @@ class ShardedSchemaSession:
                 "deletions require retained union graphs: construct the "
                 "sharded session with PGHiveConfig(retain_union=True)"
             )
+        interner_before = self._interner
+        pinned_before = self._interner_pinned
+        seeded: list[str] = []
         columnar = change_set.columnar
         if columnar is not None:
             if change_set.nodes or change_set.edges:
@@ -473,36 +476,58 @@ class ShardedSchemaSession:
             for node_id, record in batch_records.items():
                 if node_id not in registry:
                     registry[node_id] = record
+                    seeded.append(node_id)
             inserted_node_ids = set(batch_records)
             nodes_inserted = columnar.node_count
             edges_inserted = columnar.edge_count
-            parts = partition_columnar(
-                self._partitioner,
-                change_set,
-                _RegistryView(self._registry, self._interner, as_record=True),
-                record_cache=batch_records,
-            )
         else:
             for node in change_set.nodes:
-                self._registry.setdefault(node.node_id, node)
+                if node.node_id not in self._registry:
+                    self._registry[node.node_id] = node
+                    seeded.append(node.node_id)
             inserted_node_ids = {n.node_id for n in change_set.nodes}
             nodes_inserted = len(change_set.nodes)
             edges_inserted = len(change_set.edges)
-            parts = self._partitioner.partition(
-                change_set,
-                _RegistryView(self._registry, self._interner, as_record=False),
-            )
         deleted_nodes = {
             node_id
             for node_id in change_set.delete_nodes
             if node_id in self._registry
         }
+        try:
+            if columnar is not None:
+                parts = partition_columnar(
+                    self._partitioner,
+                    change_set,
+                    _RegistryView(
+                        self._registry, self._interner, as_record=True
+                    ),
+                    record_cache=batch_records,
+                )
+            else:
+                parts = self._partitioner.partition(
+                    change_set,
+                    _RegistryView(
+                        self._registry, self._interner, as_record=False
+                    ),
+                )
+            start = time.perf_counter()  # repro-lint: ignore[PGL102] -- dispatch wall-clock goes into the batch report only, never into state
+            shard_reports = self._dispatch(parts)
+            seconds = time.perf_counter() - start  # repro-lint: ignore[PGL102] -- dispatch wall-clock goes into the batch report only, never into state
+        except Exception:
+            # A rejected change-set must leave the coordinator as if the
+            # batch never happened: un-seed the registry entries of this
+            # batch and restore the interner pin (PR 7's poisoning class,
+            # now caught by PGL802).
+            for node_id in seeded:
+                del self._registry[node_id]
+            self._interner = interner_before
+            self._interner_pinned = pinned_before
+            raise
+        # Union-registry deletions commit only after dispatch succeeded,
+        # so a rejected batch cannot leave the registry missing nodes the
+        # shards still hold.
         for node_id in deleted_nodes:
             del self._registry[node_id]
-
-        start = time.perf_counter()  # repro-lint: ignore[PGL102] -- dispatch wall-clock goes into the batch report only, never into state
-        shard_reports = self._dispatch(parts)
-        seconds = time.perf_counter() - start  # repro-lint: ignore[PGL102] -- dispatch wall-clock goes into the batch report only, never into state
 
         self._sequence += 1
         stubs = frozenset(change_set.stub_node_ids) & inserted_node_ids

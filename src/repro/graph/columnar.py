@@ -47,6 +47,7 @@ its stub registry by content, not by id).
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Iterator, Mapping
 from typing import TYPE_CHECKING
 
@@ -104,6 +105,12 @@ class Interner:
     the same id.  The interner only grows (like the MinHash caches), and
     its size is bounded by the number of *distinct* label sets, tokens,
     key sets, and structural patterns -- small even for huge graphs.
+
+    Thread safety: mutations hold a reentrant lock with double-checked
+    lookup, so the already-interned fast path stays lock-free while
+    concurrent sessions (the multi-tenant service) can share the
+    process-wide instance.  Reads never lock: writers append backing
+    content before publishing an id.
     """
 
     def __init__(self) -> None:
@@ -121,6 +128,11 @@ class Interner:
         self._keysets: list[KeySet] = []  # repro-lint: ignore[PGL201] -- persisted via snapshot()["keysets"]; restored through intern_keys
         self._node_patterns: dict[tuple[int, int], TokenPattern] = {}  # repro-lint: ignore[PGL201] -- derived pattern cache; deliberately excluded from snapshots, rebuilt on first use
         self._edge_patterns: dict[tuple[int, int, int, int], TokenPattern] = {}  # repro-lint: ignore[PGL201] -- derived pattern cache; deliberately excluded from snapshots, rebuilt on first use
+        # Reentrant because intern_labels/intern_keys intern their
+        # component strings while already holding it.  Reads stay
+        # lock-free: writers append content before publishing the id, so
+        # a reader holding an id always finds its backing entries.
+        self._lock = threading.RLock()  # repro-lint: ignore[PGL201] -- process-local lock, never part of snapshots; __setstate__ recreates it
 
     # ------------------------------------------------------------------
     # Token strings
@@ -128,12 +140,18 @@ class Interner:
     def intern_string(self, text: str) -> int:
         """Intern one token string; returns its dense string id."""
         sid = self._string_ids.get(text)
-        if sid is None:
-            sid = len(self._strings)
-            self._string_ids[text] = sid
-            self._strings.append(text)
-            self._string_minhash.append(token_content_id(text))
-        return sid
+        if sid is not None:
+            return sid
+        with self._lock:
+            sid = self._string_ids.get(text)
+            if sid is None:
+                sid = len(self._strings)
+                self._strings.append(text)
+                self._string_minhash.append(token_content_id(text))
+                # Publish the id last: lock-free readers must never see
+                # an id whose backing content is still missing.
+                self._string_ids[text] = sid
+            return sid
 
     def string(self, sid: int) -> str:
         """The token string behind ``sid``."""
@@ -150,14 +168,18 @@ class Interner:
         """Intern one label set; returns its dense label-set id."""
         frozen = labels if isinstance(labels, frozenset) else frozenset(labels)
         lid = self._labelset_ids.get(frozen)
-        if lid is None:
-            token = label_token(frozen)
-            lid = len(self._labelsets)
-            self._labelset_ids[frozen] = lid
-            self._labelsets.append(
-                LabelSet(lid, frozen, token, self.intern_string(token))
-            )
-        return lid
+        if lid is not None:
+            return lid
+        with self._lock:
+            lid = self._labelset_ids.get(frozen)
+            if lid is None:
+                token = label_token(frozen)
+                lid = len(self._labelsets)
+                self._labelsets.append(
+                    LabelSet(lid, frozen, token, self.intern_string(token))
+                )
+                self._labelset_ids[frozen] = lid
+            return lid
 
     def labelset(self, lid: int) -> LabelSet:
         """The :class:`LabelSet` behind ``lid``."""
@@ -170,13 +192,17 @@ class Interner:
         """Intern one property-key set (sorted); returns its key-set id."""
         ordered = tuple(sorted(keys))
         kid = self._keyset_ids.get(ordered)
-        if kid is None:
-            kid = len(self._keysets)
-            self._keyset_ids[ordered] = kid
-            self._keysets.append(KeySet(kid, ordered))
-            for key in ordered:
-                self.intern_string(key)
-        return kid
+        if kid is not None:
+            return kid
+        with self._lock:
+            kid = self._keyset_ids.get(ordered)
+            if kid is None:
+                kid = len(self._keysets)
+                self._keysets.append(KeySet(kid, ordered))
+                for key in ordered:
+                    self.intern_string(key)
+                self._keyset_ids[ordered] = kid
+            return kid
 
     def keyset(self, kid: int) -> KeySet:
         """The :class:`KeySet` behind ``kid``."""
@@ -204,13 +230,18 @@ class Interner:
         """The MinHash token pattern of a (label token, key set) pair."""
         key = (token_sid, keyset_id)
         pattern = self._node_patterns.get(key)
-        if pattern is None:
-            tokens = set(self._keysets[keyset_id].keys)
-            token = self._strings[token_sid]
-            if token:
-                tokens.add(f"label:{token}")
-            pattern = self._node_patterns[key] = self._build_pattern(tokens)
-        return pattern
+        if pattern is not None:
+            return pattern
+        with self._lock:
+            pattern = self._node_patterns.get(key)
+            if pattern is None:
+                tokens = set(self._keysets[keyset_id].keys)
+                token = self._strings[token_sid]
+                if token:
+                    tokens.add(f"label:{token}")
+                pattern = self._build_pattern(tokens)
+                self._node_patterns[key] = pattern
+            return pattern
 
     def edge_pattern(
         self, token_sid: int, src_sid: int, tgt_sid: int, keyset_id: int
@@ -218,19 +249,24 @@ class Interner:
         """The MinHash token pattern of an edge structural signature."""
         key = (token_sid, src_sid, tgt_sid, keyset_id)
         pattern = self._edge_patterns.get(key)
-        if pattern is None:
-            tokens = set(self._keysets[keyset_id].keys)
-            token = self._strings[token_sid]
-            if token:
-                tokens.add(f"label:{token}")
-            source_token = self._strings[src_sid]
-            if source_token:
-                tokens.add(f"src:{source_token}")
-            target_token = self._strings[tgt_sid]
-            if target_token:
-                tokens.add(f"tgt:{target_token}")
-            pattern = self._edge_patterns[key] = self._build_pattern(tokens)
-        return pattern
+        if pattern is not None:
+            return pattern
+        with self._lock:
+            pattern = self._edge_patterns.get(key)
+            if pattern is None:
+                tokens = set(self._keysets[keyset_id].keys)
+                token = self._strings[token_sid]
+                if token:
+                    tokens.add(f"label:{token}")
+                source_token = self._strings[src_sid]
+                if source_token:
+                    tokens.add(f"src:{source_token}")
+                target_token = self._strings[tgt_sid]
+                if target_token:
+                    tokens.add(f"tgt:{target_token}")
+                pattern = self._build_pattern(tokens)
+                self._edge_patterns[key] = pattern
+            return pattern
 
     # ------------------------------------------------------------------
     # Introspection / persistence
@@ -283,6 +319,20 @@ class Interner:
         if other is self:
             return self
         return self.merge_snapshot(other.snapshot())
+
+    # ------------------------------------------------------------------
+    # Pickling (shard workers receive the interner inside DiscoveryState)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        # Locks are process-local and unpicklable; drop it here and let
+        # the receiving process build a fresh one.
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
 
 #: The process-wide interner used by default everywhere.

@@ -1,0 +1,49 @@
+"""Fixture: PGL901 positives -- unguarded shared-state mutation."""
+
+import threading
+
+_CACHE_LOCK = threading.Lock()
+_TOKEN_ID_CACHE = {}
+
+
+def _token_id(token):
+    # Designated owner: mutation here is sanctioned.
+    ident = _TOKEN_ID_CACHE.get(token)
+    if ident is None:
+        ident = len(_TOKEN_ID_CACHE)
+        _TOKEN_ID_CACHE[token] = ident
+    return ident
+
+
+def rogue_insert(token):
+    _TOKEN_ID_CACHE[token] = -1  # expect[PGL901]
+
+
+def rogue_clear():
+    _TOKEN_ID_CACHE.clear()  # expect[PGL901]
+
+
+def reset_cache():  # expect[PGL901]
+    global _TOKEN_ID_CACHE
+    _TOKEN_ID_CACHE = {}
+
+
+class Interner:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._string_ids = {}
+        self._strings = []
+
+    def intern_string(self, text):
+        with self._lock:
+            ident = self._string_ids.get(text)
+            if ident is None:
+                ident = len(self._strings)
+                self._strings.append(text)
+                self._string_ids[text] = ident
+            return ident
+
+    def rogue_intern(self, text):
+        self._strings.append(text)  # expect[PGL901]
+        self._string_ids[text] = -1  # expect[PGL901]
+        return len(self._strings)

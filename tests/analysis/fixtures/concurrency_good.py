@@ -1,0 +1,60 @@
+"""Fixture: PGL901 negatives -- owner-routed and lock-guarded mutation."""
+
+import threading
+
+_CACHE_LOCK = threading.Lock()
+_TOKEN_ID_CACHE = {}
+
+# Not a registered shared global: mutate freely.
+_SCRATCH = {}
+
+
+def _token_id(token):
+    ident = _TOKEN_ID_CACHE.get(token)
+    if ident is None:
+        ident = len(_TOKEN_ID_CACHE)
+        _TOKEN_ID_CACHE[token] = ident
+    return ident
+
+
+def token_for(token):
+    # Reads are free; mutation is routed through the owner.
+    return _token_id(token)
+
+
+def locked_insert(token):
+    with _CACHE_LOCK:
+        _TOKEN_ID_CACHE[token] = 0
+
+
+def scratch_insert(key, value):
+    _SCRATCH[key] = value
+
+
+class Interner:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._string_ids = {}
+        self._strings = []
+
+    def intern_string(self, text):
+        with self._lock:
+            ident = self._string_ids.get(text)
+            if ident is None:
+                ident = len(self._strings)
+                self._strings.append(text)
+                self._string_ids[text] = ident
+            return ident
+
+    def lookup(self, ident):
+        # Pure read: no lock discipline required by the rule.
+        return self._strings[ident]
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()

@@ -1,0 +1,93 @@
+"""Fixture: PGL701/PGL702/PGL703 positives -- broken crash protocols."""
+
+import os
+import pickle
+
+
+class WriteAheadLog:
+    def append(self, kind, payload):
+        return 1
+
+    def rollback_last(self):
+        pass
+
+
+class SchemaSession:
+    def __init__(self):
+        self._sequence = 0
+
+    def apply(self, change_set):
+        self._sequence += 1
+        return change_set
+
+
+class DurableSchemaSession(SchemaSession):
+    def __init__(self, wal):
+        super().__init__()
+        self._wal = wal
+        self._replaying = False
+
+    def apply(self, change_set):
+        # Applies first, logs second: a crash between the two loses an
+        # acknowledged change-set.
+        result = super().apply(change_set)  # expect[PGL701]
+        self._wal.append("change", change_set)
+        return result
+
+
+def _logged_after(session, change_set, run):
+    # Helper runs the wrapped apply *before* the WAL append.
+    outcome = run()
+    session._wal.append("change", change_set)
+    return outcome
+
+
+class DurableShardedSchemaSession(SchemaSession):
+    def __init__(self, wal):
+        super().__init__()
+        self._wal = wal
+        self._replaying = False
+
+    def apply(self, change_set):
+        if self._replaying:
+            return super().apply(change_set)
+        return _logged_after(
+            self,
+            change_set,
+            lambda: super(DurableShardedSchemaSession, self).apply(  # expect[PGL701]
+                change_set
+            ),
+        )
+
+
+def _spill(path, blob):
+    with open(path, "wb") as handle:
+        handle.write(blob)
+
+
+def checkpoint(path, payload):
+    blob = pickle.dumps(payload)
+    _spill(path, blob)  # expect[PGL702]
+
+
+def _freeze(payload):
+    return pickle.dumps(payload)
+
+
+def export(path, payload):
+    blob = _freeze(payload)  # expect[PGL702]
+    path.write_bytes(blob)
+
+
+def publish_unsynced(path, target):
+    # No file fsync, no directory fsync.
+    os.replace(path, target)  # expect[PGL703]
+
+
+def swap_without_dirsync(handle, path, target):
+    os.fsync(handle.fileno())
+    os.replace(path, target)  # expect[PGL703]
+
+
+def rotate(path):
+    path.rename(path.with_suffix(".old"))  # expect[PGL703]

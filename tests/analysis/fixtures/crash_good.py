@@ -1,0 +1,82 @@
+"""Fixture: PGL701/PGL702/PGL703 negatives -- protocols done right."""
+
+import os
+import pickle
+
+
+class WriteAheadLog:
+    def append(self, kind, payload):
+        return 1
+
+    def rollback_last(self):
+        pass
+
+
+class SchemaSession:
+    def __init__(self):
+        self._sequence = 0
+
+    def apply(self, change_set):
+        self._sequence += 1
+        return change_set
+
+
+def _logged(session, change_set, run):
+    # The real protocol: log first, run second, roll back on rejection.
+    session._wal.append("change", change_set)
+    try:
+        return run()
+    except Exception:
+        session._wal.rollback_last()
+        raise
+
+
+class DurableSchemaSession(SchemaSession):
+    def __init__(self, wal):
+        super().__init__()
+        self._wal = wal
+        self._replaying = False
+
+    def apply(self, change_set):
+        if self._replaying:
+            # Replay re-applies records already in the log: the guard
+            # makes the direct super() call sanctioned.
+            return super().apply(change_set)
+        return _logged(
+            self,
+            change_set,
+            lambda: super(DurableSchemaSession, self).apply(change_set),
+        )
+
+
+def _fsync_dir(directory):
+    descriptor = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(descriptor)
+    finally:
+        os.close(descriptor)
+
+
+def atomic_write_bytes(path, blob):
+    temp = path.with_suffix(".tmp")
+    with open(temp, "wb") as handle:
+        handle.write(blob)
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+    _fsync_dir(path.parent)
+
+
+def save(path, payload):
+    # Pickling is fine when the bytes flow through the blessed helper.
+    atomic_write_bytes(path, pickle.dumps(payload))
+
+
+def _flush(handle):
+    os.fsync(handle.fileno())
+
+
+def publish_via_helper(handle, path, target):
+    # The file fsync may live in a helper: linearization inlines it.
+    _flush(handle)
+    os.replace(path, target)
+    _fsync_dir(target.parent)

@@ -1,0 +1,64 @@
+"""Fixture: PGL801/PGL802 positives -- leaks and torn mutations."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def leak_plain(path):
+    handle = open(path, "rb")  # expect[PGL801]
+    data = handle.read()
+    return data
+
+
+def close_on_happy_path_only(path):
+    handle = open(path)  # expect[PGL801]
+    data = handle.read()
+    handle.close()
+    return data
+
+
+def chained_read(path):
+    return open(path, "rb").read()  # expect[PGL801]
+
+
+def leak_pool(jobs):
+    pool = ProcessPoolExecutor(max_workers=2)  # expect[PGL801]
+    return [pool.submit(job) for job in jobs]
+
+
+class Holder:
+    def acquire(self, path):
+        # No *.close() for this attribute anywhere in the module.
+        self._handle = open(path, "ab")  # expect[PGL801]
+
+
+class ValidationError(Exception):
+    pass
+
+
+def _validate(change):
+    if change is None:
+        raise ValidationError("empty change")
+
+
+class LedgerSession:
+    def __init__(self):
+        self._sequence = 0
+        self._entries = {}
+
+    def apply(self, key, change):
+        self._entries[key] = change
+        _validate(change)
+        self._sequence += 1  # expect[PGL802]
+        return self._sequence
+
+
+class BatchState:
+    def __init__(self):
+        self._epoch = 0
+        self._entries = {}
+
+    def rotate(self, flag):
+        self._epoch += 1
+        if flag:
+            raise ValidationError("bad flag")
+        self._entries = {}  # expect[PGL802]

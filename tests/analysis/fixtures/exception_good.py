@@ -1,0 +1,99 @@
+"""Fixture: PGL801/PGL802 negatives -- owned handles, safe mutations."""
+
+import io
+from concurrent.futures import ProcessPoolExecutor
+
+
+def read_with(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def read_try_finally(path):
+    handle = open(path, "rb")
+    try:
+        return handle.read()
+    finally:
+        handle.close()
+
+
+def open_for_caller(path):
+    # Caller owns the handle.
+    return open(path, "rb")
+
+
+def wrap_stream(path):
+    # Ownership transfers into the wrapper with the value.
+    return io.TextIOWrapper(open(path, "rb"))
+
+
+def pool_with(jobs):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return [future.result() for future in map(pool.submit, jobs)]
+
+
+def pool_try_finally(jobs):
+    pool = ProcessPoolExecutor(max_workers=2)
+    try:
+        return [pool.submit(job).result() for job in jobs]
+    finally:
+        pool.shutdown()
+
+
+class Holder:
+    def acquire(self, path):
+        # Owned by the object: released in close() below.
+        self._handle = open(path, "ab")
+
+    def close(self):
+        self._handle.close()
+
+
+class ValidationError(Exception):
+    pass
+
+
+def _validate(change):
+    if change is None:
+        raise ValidationError("empty change")
+
+
+class SafeSession:
+    def __init__(self):
+        self._sequence = 0
+        self._entries = {}
+
+    def apply(self, key, change):
+        self._entries[key] = change
+        try:
+            _validate(change)
+        except ValidationError:
+            del self._entries[key]
+            raise
+        self._sequence += 1
+        return self._sequence
+
+
+class ReorderedSession:
+    def __init__(self):
+        self._sequence = 0
+        self._entries = {}
+
+    def apply(self, key, change):
+        # Validation happens before the first write: no torn window.
+        _validate(change)
+        self._entries[key] = change
+        self._sequence += 1
+        return self._sequence
+
+
+class CounterState:
+    def __init__(self):
+        self._count = 0
+
+    def bump(self, flag):
+        # Re-mutating the *same* field is idempotent-ish, not a tear.
+        self._count += 1
+        if flag:
+            raise ValidationError("bad flag")
+        self._count += 1

@@ -1,0 +1,96 @@
+"""Baseline files: round trip, consuming match, stale detection."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.framework import Diagnostic
+
+
+def _diag(path="src/a.py", rule_id="PGL701", message="m", line=5):
+    return Diagnostic(path=path, line=line, rule_id=rule_id, message=message)
+
+
+def test_round_trip(tmp_path):
+    diagnostics = [_diag(), _diag(rule_id="PGL901", message="other")]
+    target = tmp_path / "baseline.json"
+    write_baseline(target, diagnostics)
+    entries = load_baseline(target)
+    match = apply_baseline(diagnostics, entries)
+    assert match.fresh == []
+    assert match.matched == 2
+    assert match.stale == []
+
+
+def test_match_ignores_line_numbers(tmp_path):
+    target = tmp_path / "baseline.json"
+    write_baseline(target, [_diag(line=5)])
+    # The same finding drifted 30 lines down -- still baselined.
+    match = apply_baseline([_diag(line=35)], load_baseline(target))
+    assert match.fresh == []
+    assert match.matched == 1
+
+
+def test_match_is_consuming():
+    entries = [{"path": "src/a.py", "rule_id": "PGL701", "message": "m"}]
+    duplicated = [_diag(line=5), _diag(line=9)]
+    match = apply_baseline(duplicated, entries)
+    # One entry absorbs one finding; the second identical finding gates.
+    assert match.matched == 1
+    assert [d.line for d in match.fresh] == [9]
+
+
+def test_stale_entries_reported():
+    entries = [
+        {"path": "src/a.py", "rule_id": "PGL701", "message": "m"},
+        {"path": "src/gone.py", "rule_id": "PGL802", "message": "fixed"},
+    ]
+    match = apply_baseline([_diag()], entries)
+    assert match.matched == 1
+    assert match.fresh == []
+    assert match.stale == [entries[1]]
+
+
+def test_fresh_findings_pass_through():
+    match = apply_baseline([_diag()], [])
+    assert match.matched == 0
+    assert [d.rule_id for d in match.fresh] == ["PGL701"]
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "not json at all {",
+        json.dumps({"version": 2, "entries": []}),
+        json.dumps({"version": 1}),
+        json.dumps({"version": 1, "entries": [{"path": "x"}]}),
+        json.dumps({"version": 1, "entries": ["not-a-dict"]}),
+    ],
+)
+def test_malformed_baseline_rejected(tmp_path, payload):
+    target = tmp_path / "baseline.json"
+    target.write_text(payload, encoding="utf-8")
+    with pytest.raises(BaselineError):
+        load_baseline(target)
+
+
+def test_missing_baseline_rejected(tmp_path):
+    with pytest.raises(BaselineError):
+        load_baseline(tmp_path / "absent.json")
+
+
+def test_written_baseline_is_sorted_and_versioned(tmp_path):
+    target = tmp_path / "baseline.json"
+    write_baseline(
+        target,
+        [_diag(path="src/z.py"), _diag(path="src/a.py")],
+    )
+    payload = json.loads(target.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    assert [e["path"] for e in payload["entries"]] == ["src/a.py", "src/z.py"]

@@ -1,0 +1,119 @@
+"""Call-graph resolution, reachability, and linearization queries."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    first_unpreceded,
+    project_callgraph,
+)
+from repro.analysis.framework import ModuleContext, Project
+
+_SOURCE = '''
+class Base:
+    def apply(self, item):
+        self._count += 1
+        return item
+
+    def helper(self):
+        raise ValueError("boom")
+
+
+class Derived(Base):
+    def apply(self, item):
+        logged(self, lambda: super(Derived, self).apply(item))
+
+    def run(self):
+        return self.helper()
+
+
+def logged(target, run):
+    target.mark("logged")
+    return run()
+
+
+def entry():
+    return logged(None, lambda: None)
+
+
+def outer():
+    def inner():
+        return 1
+    return inner()
+'''
+
+
+def _project() -> Project:
+    tree = ast.parse(_SOURCE)
+    module = ModuleContext(Path("demo.py"), "demo.py", _SOURCE, tree)
+    return Project([module])
+
+
+def test_resolution_and_mro():
+    graph = CallGraph(_project())
+    derived_apply = graph.function("demo.py", "Derived.apply")
+    assert derived_apply is not None
+    assert graph.is_subclass_of("Derived", {"Base"})
+    # self.helper() resolves through the MRO to Base.helper.
+    run = graph.function("demo.py", "Derived.run")
+    callees = {info.qualname for info in graph.callees(run)}
+    assert callees == {"Base.helper"}
+    # A nested function is not misread as a method.
+    inner = graph.function("demo.py", "outer.inner")
+    assert inner is not None and inner.class_qualname is None
+
+
+def test_reachability_and_raises():
+    graph = CallGraph(_project())
+    run = graph.function("demo.py", "Derived.run")
+    assert {info.qualname for info in graph.reachable(run)} == {"Base.helper"}
+    assert graph.raises_within(run)
+    base_apply = graph.function("demo.py", "Base.apply")
+    assert not graph.raises_within(base_apply)
+
+
+def test_lambda_argument_linearizes_at_invocation_point():
+    graph = CallGraph(_project())
+    derived_apply = graph.function("demo.py", "Derived.apply")
+
+    def classify(node: ast.AST, owner) -> str | None:
+        if not isinstance(node, ast.Call):
+            return None
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr == "mark":
+                return "mark"
+            if node.func.attr == "apply" and isinstance(
+                node.func.value, ast.Call
+            ):
+                return "super-apply"
+        return None
+
+    kinds = [e.kind for e in graph.linearize(derived_apply, classify)]
+    # logged() marks first, *then* invokes the lambda: the super().apply
+    # event must land after the mark event, not at the passing site.
+    assert kinds == ["mark", "super-apply"]
+
+
+def test_first_unpreceded_orderings():
+    graph = CallGraph(_project())
+    derived_apply = graph.function("demo.py", "Derived.apply")
+
+    def classify(node: ast.AST, owner) -> str | None:
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            return {"mark": "a", "apply": "b"}.get(node.func.attr)
+        return None
+
+    events = graph.linearize(derived_apply, classify)
+    assert first_unpreceded(events, "b", "a") is None
+    violation = first_unpreceded(events, "a", "b")
+    assert violation is not None and violation.kind == "a"
+
+
+def test_project_callgraph_is_cached():
+    project = _project()
+    assert project_callgraph(project) is project_callgraph(project)

@@ -1,5 +1,7 @@
-"""CLI contract: exit codes, rule listing, and a clean merged tree."""
+"""CLI contract: exit codes, rule listing, SARIF/baseline/stats flags,
+and a clean merged tree."""
 
+import json
 import subprocess
 import sys
 
@@ -46,6 +48,55 @@ def test_main_is_callable_in_process(capsys):
     assert status == 1
     captured = capsys.readouterr()
     assert "PGL001" in captured.out
+
+
+def test_sarif_format_emits_valid_json_with_results():
+    process = _cli(str(FIXTURES / "api_bad.py"), "--format", "sarif")
+    assert process.returncode == 1
+    report = json.loads(process.stdout)
+    assert report["version"] == "2.1.0"
+    rule_ids = {r["ruleId"] for r in report["runs"][0]["results"]}
+    assert "PGL501" in rule_ids
+    assert "FAILED" in process.stderr
+
+
+def test_sarif_file_written_alongside_text(tmp_path):
+    target = tmp_path / "report.sarif"
+    process = _cli(str(FIXTURES / "api_good.py"), "--sarif", str(target))
+    assert process.returncode == 0
+    report = json.loads(target.read_text(encoding="utf-8"))
+    assert report["version"] == "2.1.0"
+    assert report["runs"][0]["results"] == []
+    # stdout stays in text mode when only --sarif is given.
+    assert process.stdout == ""
+
+
+def test_baseline_workflow_absorbs_known_findings(tmp_path):
+    bad = str(FIXTURES / "api_bad.py")
+    baseline = tmp_path / "baseline.json"
+    frozen = _cli(bad, "--write-baseline", str(baseline))
+    assert frozen.returncode == 0
+    assert "baseline" in frozen.stderr
+    gated = _cli(bad, "--baseline", str(baseline))
+    assert gated.returncode == 0
+    assert "baselined" in gated.stderr
+    assert "clean" in gated.stderr
+
+
+def test_malformed_baseline_exits_two(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text('{"version": 99}', encoding="utf-8")
+    process = _cli(str(FIXTURES / "api_good.py"), "--baseline", str(baseline))
+    assert process.returncode == 2
+    assert "baseline" in process.stderr
+
+
+def test_stats_prints_suppression_inventory():
+    process = _cli("src", "--stats")
+    assert process.returncode == 0
+    assert "Suppression inventory:" in process.stderr
+    assert "PGL201" in process.stderr
+    assert "--" in process.stderr  # justification text is included
 
 
 def test_repo_tree_is_clean():

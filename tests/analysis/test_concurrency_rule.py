@@ -1,0 +1,15 @@
+"""PGL901 fires on unguarded shared-state mutation only."""
+
+from repro.analysis.rules.concurrency import SharedStateMutationRule
+
+from tests.analysis.conftest import assert_fixture
+
+RULES = [SharedStateMutationRule(scope=())]
+
+
+def test_fires_on_unguarded_mutation():
+    assert_fixture(RULES, "concurrency_bad.py")
+
+
+def test_silent_on_owner_and_lock_discipline():
+    assert_fixture(RULES, "concurrency_good.py")

@@ -1,0 +1,25 @@
+"""PGL701/PGL702/PGL703 fire on broken crash protocols only."""
+
+from repro.analysis.rules.crash_consistency import (
+    InterprocDurableWriteRule,
+    RenameFsyncRule,
+    WalBeforeApplyRule,
+)
+
+from tests.analysis.conftest import assert_fixture
+
+
+def rules():
+    return [
+        WalBeforeApplyRule(scope=()),
+        InterprocDurableWriteRule(scope=()),
+        RenameFsyncRule(scope=()),
+    ]
+
+
+def test_fires_on_broken_protocols():
+    assert_fixture(rules(), "crash_bad.py")
+
+
+def test_silent_on_correct_protocols():
+    assert_fixture(rules(), "crash_good.py")

@@ -1,0 +1,20 @@
+"""PGL801/PGL802 fire on leaks and torn mutations only."""
+
+from repro.analysis.rules.exception_safety import (
+    PartialMutationRule,
+    ResourceLifecycleRule,
+)
+
+from tests.analysis.conftest import assert_fixture
+
+
+def rules():
+    return [ResourceLifecycleRule(scope=()), PartialMutationRule(scope=())]
+
+
+def test_fires_on_leaks_and_torn_mutations():
+    assert_fixture(rules(), "exception_bad.py")
+
+
+def test_silent_on_owned_handles_and_safe_mutations():
+    assert_fixture(rules(), "exception_good.py")

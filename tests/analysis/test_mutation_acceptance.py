@@ -1,0 +1,146 @@
+"""Mutation acceptance: reintroduce real durability bugs, expect diagnostics.
+
+Fixture files prove the rules *can* fire; these tests prove they fire on
+the production modules they exist to protect.  Each test copies the real
+source (``durability.py``, ``recovery.py``, ``columnar.py``) into a temp
+tree, surgically reintroduces a bug class this codebase has actually
+shipped and fixed, and asserts the matching rule flags exactly the
+mutated protocol -- while the *unmutated* copy stays clean under the
+same rule.  If a refactor ever reshapes these modules so a mutation
+anchor disappears, the ``assert marker in source`` lines fail loudly
+instead of the test silently passing on an unmutated copy.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.rules.concurrency import SharedStateMutationRule
+from repro.analysis.rules.crash_consistency import (
+    RenameFsyncRule,
+    WalBeforeApplyRule,
+)
+from repro.analysis.rules.exception_safety import ResourceLifecycleRule
+
+from tests.analysis.conftest import REPO_ROOT, run_rules
+
+CORE = REPO_ROOT / "src" / "repro" / "core"
+GRAPH = REPO_ROOT / "src" / "repro" / "graph"
+
+
+def _mutate(
+    tmp_path: Path, original: Path, marker: str, replacement: str
+) -> tuple[Path, str]:
+    """Copy ``original`` with one surgical edit; returns (path, source)."""
+    source = original.read_text(encoding="utf-8")
+    assert source.count(marker) == 1, (
+        f"mutation anchor no longer unique in {original.name}; "
+        "update the mutation test"
+    )
+    mutated = source.replace(marker, replacement)
+    target = tmp_path / original.name
+    target.write_text(mutated, encoding="utf-8")
+    return target, mutated
+
+
+def _line_of(source: str, needle: str) -> int:
+    for number, line in enumerate(source.splitlines(), start=1):
+        if needle in line:
+            return number
+    raise AssertionError(f"{needle!r} not found in mutated source")
+
+
+def test_removing_file_fsync_from_atomic_write_fires_pgl703(tmp_path):
+    rule = RenameFsyncRule(scope=())
+    original = CORE / "durability.py"
+    assert run_rules([rule], original) == set()
+
+    target, mutated = _mutate(
+        tmp_path,
+        original,
+        'fire("atomic.before_fsync", path=str(temp))\n'
+        "            os.fsync(handle.fileno())\n",
+        'fire("atomic.before_fsync", path=str(temp))\n',
+    )
+    fired = run_rules([rule], target)
+    rename_line = _line_of(mutated, "os.replace(temp, path)")
+    assert (rename_line, "PGL703") in fired
+    assert {rule_id for _, rule_id in fired} == {"PGL703"}
+
+
+def test_logging_after_apply_fires_pgl701(tmp_path):
+    rule = WalBeforeApplyRule(scope=())
+    original = CORE / "recovery.py"
+    assert run_rules([rule], original) == set()
+
+    # The classic write-behind bug: run the in-memory apply first, log
+    # afterwards.  A crash between the two loses an acknowledged batch.
+    target, mutated = _mutate(
+        tmp_path,
+        original,
+        "    sequence = session._sequence + 1\n"
+        "    session._wal.append(sequence, kind + change_set.to_wire())\n"
+        "    try:\n"
+        "        return run()\n"
+        "    except Exception:\n"
+        "        if session._sequence < sequence:\n"
+        "            session._wal.rollback_last()\n"
+        "        raise\n",
+        "    sequence = session._sequence + 1\n"
+        "    result = run()\n"
+        "    session._wal.append(sequence, kind + change_set.to_wire())\n"
+        "    return result\n",
+    )
+    fired = run_rules([rule], target)
+    assert fired, "PGL701 must flag the reordered WAL protocol"
+    assert {rule_id for _, rule_id in fired} == {"PGL701"}
+    # Every durable change-feed method routes through the reordered
+    # helper, and the violation anchors inside the feed methods (the
+    # inlined ``super().apply`` / ``super().add_batch`` call sites).
+    apply_anchor = _line_of(
+        mutated, "lambda: super(DurableSchemaSession, self).apply"
+    )
+    assert (apply_anchor, "PGL701") in fired
+
+
+def test_dropping_handle_close_fires_pgl801(tmp_path):
+    rule = ResourceLifecycleRule(scope=())
+    original = CORE / "durability.py"
+    assert run_rules([rule], original) == set()
+
+    target, mutated = _mutate(
+        tmp_path,
+        original,
+        "            self._handle.close()\n",
+        "",
+    )
+    fired = run_rules([rule], target)
+    open_line = _line_of(mutated, 'self._handle = open(path, "ab")')
+    assert (open_line, "PGL801") in fired
+    assert {rule_id for _, rule_id in fired} == {"PGL801"}
+
+
+def test_unlocked_interner_mutation_fires_pgl901(tmp_path):
+    rule = SharedStateMutationRule(scope=())
+    original = GRAPH / "columnar.py"
+    assert run_rules([rule], original) == set()
+
+    # Drop the lock around intern_string's slow path: the double-checked
+    # re-read becomes a plain racy read-modify-write.
+    target, mutated = _mutate(
+        tmp_path,
+        original,
+        "        if sid is not None:\n"
+        "            return sid\n"
+        "        with self._lock:\n",
+        "        if sid is not None:\n"
+        "            return sid\n"
+        "        if True:\n",
+    )
+    fired = run_rules([rule], target)
+    assert fired, "PGL901 must flag the unlocked interner mutation"
+    assert {rule_id for _, rule_id in fired} == {"PGL901"}
+    mutation_line = _line_of(mutated, "self._strings.append(text)")
+    assert any(
+        abs(line - mutation_line) <= 5 for line, _ in fired
+    ), f"diagnostics {fired} do not anchor in the mutated slow path"

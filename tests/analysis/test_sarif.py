@@ -1,0 +1,94 @@
+"""SARIF emission: schema validity, levels, and rule-index wiring."""
+
+import json
+from pathlib import Path
+
+import jsonschema
+
+from repro.analysis.framework import Diagnostic, RunResult
+from repro.analysis.rules import all_rules
+from repro.analysis.sarif import (
+    SARIF_VERSION,
+    render_sarif,
+    sarif_report,
+)
+
+SCHEMA = json.loads(
+    (Path(__file__).parent / "sarif_schema.json").read_text(encoding="utf-8")
+)
+
+
+def _result_with(diagnostics, parse_errors=()):
+    return RunResult(
+        diagnostics=list(diagnostics),
+        files_checked=3,
+        parse_errors=list(parse_errors),
+    )
+
+
+def _diag(rule_id="PGL701", line=12):
+    return Diagnostic(
+        path="src/repro/core/durability.py",
+        line=line,
+        rule_id=rule_id,
+        message="state mutation before WAL append",
+    )
+
+
+def test_report_validates_against_sarif_schema():
+    result = _result_with(
+        [_diag(), _diag("PGL901", line=44)],
+        parse_errors=[Diagnostic("src/bad.py", 0, "PGL999", "invalid syntax")],
+    )
+    report = sarif_report(result, all_rules())
+    jsonschema.validate(report, SCHEMA)
+    assert report["version"] == SARIF_VERSION
+
+
+def test_empty_run_still_validates():
+    report = sarif_report(_result_with([]), all_rules())
+    jsonschema.validate(report, SCHEMA)
+    assert report["runs"][0]["results"] == []
+
+
+def test_levels_split_parse_errors_from_findings():
+    result = _result_with(
+        [_diag()],
+        parse_errors=[Diagnostic("src/bad.py", 0, "PGL999", "invalid syntax")],
+    )
+    results = sarif_report(result, all_rules())["runs"][0]["results"]
+    by_rule = {entry["ruleId"]: entry for entry in results}
+    assert by_rule["PGL999"]["level"] == "error"
+    assert by_rule["PGL701"]["level"] == "warning"
+    # line 0 (whole-file parse error) is clamped to SARIF's 1-based floor.
+    assert (
+        by_rule["PGL999"]["locations"][0]["physicalLocation"]["region"][
+            "startLine"
+        ]
+        == 1
+    )
+
+
+def test_rule_index_points_at_matching_descriptor():
+    result = _result_with([_diag("PGL802")])
+    report = sarif_report(result, all_rules())
+    run = report["runs"][0]
+    entry = run["results"][0]
+    descriptor = run["tool"]["driver"]["rules"][entry["ruleIndex"]]
+    assert descriptor["id"] == entry["ruleId"] == "PGL802"
+
+
+def test_every_shipped_rule_id_has_a_descriptor():
+    report = sarif_report(_result_with([]), all_rules())
+    ids = {d["id"] for d in report["runs"][0]["tool"]["driver"]["rules"]}
+    for rule in all_rules():
+        assert set(rule.emitted_ids()) <= ids
+    assert {"PGL001", "PGL002", "PGL003", "PGL999"} <= ids
+
+
+def test_render_is_deterministic_json():
+    result = _result_with([_diag(), _diag("PGL901")])
+    first = render_sarif(result, all_rules())
+    second = render_sarif(result, all_rules())
+    assert first == second
+    assert json.loads(first)["version"] == SARIF_VERSION

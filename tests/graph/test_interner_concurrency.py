@@ -1,0 +1,69 @@
+"""Interner thread-safety and pickling (PGL901 satellite).
+
+The process-wide interner will be shared by concurrent sessions in the
+multi-tenant service; mutations hold a reentrant lock with double-checked
+lookup and the already-interned fast path stays lock-free.  The lock is
+process-local: pickling (shard workers receive the interner inside
+``DiscoveryState``) drops it and the receiving process recreates it.
+"""
+
+import pickle
+import threading
+
+from repro.graph.columnar import Interner
+
+
+def test_concurrent_interning_assigns_consistent_ids():
+    interner = Interner()
+    tokens = [f"token-{serial % 50}" for serial in range(500)]
+    results: list[dict[str, int]] = []
+    barrier = threading.Barrier(8)
+
+    def work():
+        barrier.wait()
+        local = {}
+        for token in tokens:
+            local[token] = interner.intern_string(token)
+            interner.intern_labels({token})
+            interner.intern_keys({token, "shared"})
+        results.append(local)
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    # Every thread observed the same token -> id mapping, every id
+    # decodes back to its token, and re-interning grows nothing.
+    first = results[0]
+    assert all(result == first for result in results)
+    for token, sid in first.items():
+        assert interner.string(sid) == token
+    count = interner.string_count
+    for token in set(tokens):
+        assert interner.intern_string(token) == first[token]
+    assert interner.string_count == count
+
+
+def test_reentrant_interning_under_one_lock():
+    interner = Interner()
+    with interner._lock:
+        # intern_labels/intern_keys intern component strings while the
+        # lock is already held: RLock keeps this from deadlocking.
+        lid = interner.intern_labels({"Person"})
+        kid = interner.intern_keys({"name", "age"})
+    assert interner.labelset(lid).labels == frozenset({"Person"})
+    assert interner.keyset(kid).keys == ("age", "name")
+
+
+def test_pickle_round_trip_recreates_lock():
+    interner = Interner()
+    sid = interner.intern_string("hello")
+    lid = interner.intern_labels({"A", "B"})
+    clone = pickle.loads(pickle.dumps(interner))
+    assert clone.string(sid) == "hello"
+    assert clone.labelset(lid).labels == frozenset({"A", "B"})
+    assert clone._lock is not interner._lock
+    # The recreated lock is live: mutation through it still works.
+    assert clone.intern_string("world") == clone.intern_string("world")
