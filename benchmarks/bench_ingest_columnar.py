@@ -21,10 +21,15 @@ identical in both runs).  End-to-end from-disk timings (decode
 included) are measured and reported as well.
 
 Correctness gate (always on, both modes): all schemas must be
-fingerprint-identical.  Speedup gate: at full scale the run fails
-(exit 1) unless the columnar path reaches ``MIN_SPEEDUP``x ingest
-throughput at the largest size; ``--quick`` (CI) only reports ratios.
-Emits ``BENCH_ingest.json`` (or ``--json PATH``) with the trajectory.
+fingerprint-identical.  Speedup gate (also always on, both modes):
+every measured size must reach its entry in ``MIN_SPEEDUP_BY_SCALE``
+or the run fails (exit 1).  Thresholds are per scale because speedup
+grows with element count (fixed per-batch costs amortise); a single
+flat gate either under-constrains small sizes or can never pass at
+them.  ``--quick`` (CI) runs only the smallest size but still enforces
+that size's gate.  The trajectory merges into ``BENCH_ingest.json``
+(or ``--json PATH``) under the ``ingest_columnar`` key, alongside
+``bench_dedup_ingest.py``'s ``dedup_ingest`` section.
 
 Run:        PYTHONPATH=src python benchmarks/bench_ingest_columnar.py
 Quick (CI): PYTHONPATH=src python benchmarks/bench_ingest_columnar.py --quick
@@ -62,7 +67,11 @@ SEED = 2026
 #: Acceptance scale (ISSUE 5): >= 3x single-core ingest at 100k elements.
 FULL_SIZES = (10_000, 100_000)
 QUICK_SIZES = (10_000,)
-MIN_SPEEDUP = 3.0
+#: Per-scale speedup floors, enforced at *every* measured size in both
+#: full and --quick modes.  Measured trajectory: ~2.6x at 10k (fixed
+#: per-batch costs still visible), ~3.5x at 100k where the paper-scale
+#: >=3x acceptance gate applies.
+MIN_SPEEDUP_BY_SCALE = {10_000: 2.0, 100_000: 3.0}
 BATCH_SIZE = 5_000
 #: Best-of-N timing (this is a throughput gate; min damps scheduler noise).
 REPEATS = 2
@@ -146,7 +155,7 @@ def best_of(make_feed, records) -> tuple[tuple, float]:
     return fingerprint, best
 
 
-def run(sizes, require_speedup: bool) -> tuple[int, list[dict]]:
+def run(sizes) -> tuple[int, list[dict]]:
     results: list[dict] = []
     failed = False
     for element_count in sizes:
@@ -195,19 +204,23 @@ def run(sizes, require_speedup: bool) -> tuple[int, list[dict]]:
         if not identical:
             print("FAIL: columnar schema diverges from the element oracle")
             failed = True
-    if require_speedup and results:
-        final = results[-1]
-        if final["speedup"] < MIN_SPEEDUP:
+        floor = MIN_SPEEDUP_BY_SCALE.get(element_count)
+        if floor is None:
             print(
-                f"FAIL: columnar speedup {final['speedup']}x at "
-                f"{final['elements']} elements is below the "
-                f"{MIN_SPEEDUP}x gate"
+                f"FAIL: no speedup gate registered for {element_count} "
+                "elements; add it to MIN_SPEEDUP_BY_SCALE"
+            )
+            failed = True
+        elif speedup < floor:
+            print(
+                f"FAIL: columnar speedup {speedup:.2f}x at "
+                f"{element_count} elements is below the {floor}x gate"
             )
             failed = True
         else:
             print(
-                f"gate OK: {final['speedup']}x >= {MIN_SPEEDUP}x at "
-                f"{final['elements']} elements"
+                f"gate OK: {speedup:.2f}x >= {floor}x at "
+                f"{element_count} elements"
             )
     return (1 if failed else 0), results
 
@@ -217,7 +230,7 @@ def main() -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="CI mode: smallest size only, fingerprint gate only",
+        help="CI mode: smallest size only (all gates still enforced)",
     )
     parser.add_argument(
         "--json",
@@ -227,15 +240,26 @@ def main() -> int:
     )
     args = parser.parse_args()
     sizes = QUICK_SIZES if args.quick else FULL_SIZES
-    exit_code, results = run(sizes, require_speedup=not args.quick)
+    exit_code, results = run(sizes)
     payload = {
-        "bench": "ingest_columnar",
         "quick": args.quick,
         "batch_size": BATCH_SIZE,
-        "min_speedup_gate": None if args.quick else MIN_SPEEDUP,
+        "min_speedup_by_scale": {
+            str(size): MIN_SPEEDUP_BY_SCALE[size] for size in sizes
+        },
         "results": results,
     }
-    args.json.write_text(json.dumps(payload, indent=2) + "\n")
+    existing: dict = {}
+    if args.json.exists():
+        try:
+            loaded = json.loads(args.json.read_text())
+        except json.JSONDecodeError:
+            loaded = None
+        # Legacy layout (one bench at top level) is replaced wholesale.
+        if isinstance(loaded, dict) and "bench" not in loaded:
+            existing = loaded
+    existing["ingest_columnar"] = payload
+    args.json.write_text(json.dumps(existing, indent=2) + "\n")
     print(f"wrote {args.json}")
     return exit_code
 

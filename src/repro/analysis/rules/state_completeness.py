@@ -207,6 +207,31 @@ DEFAULT_CONTRACTS: tuple[StateContract, ...] = (
         ),
     ),
     StateContract(
+        module_tail="repro/graph/columnar.py",
+        class_name="SignatureStore",
+        targets=(
+            CoverageTarget(
+                "merge (SignatureStore.merge_from / DiscoveryState._fold_in)",
+                (
+                    ("repro/graph/columnar.py", "SignatureStore.merge_from"),
+                    ("repro/core/state.py", "DiscoveryState._fold_in"),
+                ),
+            ),
+            CoverageTarget(
+                "snapshot encode (SignatureStore.snapshot)",
+                (("repro/graph/columnar.py", "SignatureStore.snapshot"),),
+            ),
+            CoverageTarget(
+                "snapshot decode (SignatureStore.from_snapshot)",
+                (("repro/graph/columnar.py", "SignatureStore.from_snapshot"),),
+            ),
+            CoverageTarget(
+                "copy (SignatureStore.copy)",
+                (("repro/graph/columnar.py", "SignatureStore.copy"),),
+            ),
+        ),
+    ),
+    StateContract(
         module_tail="repro/schema/model.py",
         class_name="_TypeBase",
         targets=(

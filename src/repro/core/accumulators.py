@@ -158,6 +158,37 @@ class DatatypeAccumulator:
             else generalize(current, column_type)
         )
 
+    def observe_repeat(
+        self, key: str, shape_code: str, values: Sequence[Any]
+    ) -> None:
+        """Fold one column of a structural-repeat group (dedup fast path).
+
+        ``shape_code`` is the column's signature shape character (see
+        :func:`repro.graph.columnar.value_shapes`): when it already
+        proves the column cannot move the lattice element for ``key``
+        -- every value is ``bool`` and the key is BOOLEAN, every value
+        is ``int`` and the key is INTEGER, or the key is FLOAT and the
+        values are numeric -- the per-value scan is skipped entirely.
+        Ambiguous shapes (strings may parse as dates, floats may be
+        integral) fall back to :meth:`observe_column`, so the result is
+        always exactly the generic fold.
+        """
+        current = self.types.get(key)
+        if current is DataType.STRING:
+            return
+        if current is DataType.BOOLEAN:
+            if shape_code == "b":
+                return
+        elif current is DataType.INTEGER:
+            if shape_code == "i":
+                return
+        elif current is DataType.FLOAT:
+            # generalize(FLOAT, INTEGER) == generalize(FLOAT, FLOAT)
+            # == FLOAT: numeric columns cannot move a FLOAT key.
+            if shape_code in ("i", "f"):
+                return
+        self.observe_column(key, values)
+
     def merge_from(self, other: "DatatypeAccumulator") -> None:
         """Lattice join with another accumulator (type merge)."""
         for key, value_type in other.types.items():
@@ -231,6 +262,18 @@ class EndpointAccumulator:
                 if size > max_in:
                     max_in = size
         self.max_out, self.max_in = max_out, max_in
+
+    def observe_repeat(
+        self, source_ids: Sequence[str], target_ids: Sequence[str]
+    ) -> None:
+        """Fold a structural-repeat group's endpoints (dedup fast path).
+
+        Cardinality depends on the concrete endpoint *ids*, which repeat
+        structures do not share, so this is exactly
+        :meth:`observe_pairs` -- named separately so the repeat recording
+        path stays explicit about which folds it performs.
+        """
+        self.observe_pairs(source_ids, target_ids)
 
     def merge_from(self, other: "EndpointAccumulator") -> None:
         """Union endpoint sets and re-establish the maxima."""
@@ -459,6 +502,47 @@ class KeyAccumulator:
                     columns[left], columns[right], instance_ids
                 )
             return
+        if not self.pairs:
+            return
+        present = set(keys)
+        dead = [
+            pair
+            for pair in self.pairs
+            if pair[0] not in present or pair[1] not in present
+        ]
+        for pair in dead:
+            del self.pairs[pair]
+        for (left, right), tracker in self.pairs.items():
+            tracker.observe_pair_column(
+                columns[left], columns[right], instance_ids
+            )
+
+    def observe_repeat(
+        self,
+        instance_ids: Sequence[str],
+        keys: tuple[str, ...],
+        columns: Mapping[str, Sequence[Any]],
+    ) -> None:
+        """Fold a structural-repeat group (dedup fast path).
+
+        Exactly :meth:`observe_group` minus the first-instance
+        pair-candidate branch, which is unreachable for repeats: a live
+        signature refcount means an instance with this structure was
+        already recorded into the type.  The ``instances == 0`` guard
+        keeps the fold exact even if a caller ever misclassifies.
+        """
+        count = len(instance_ids)
+        if count == 0:
+            return
+        if self.instances == 0:
+            self.observe_group(instance_ids, keys, columns)
+            return
+        self.instances += count
+        for key in keys:
+            tracker = self.singles.get(key)
+            if tracker is None:
+                tracker = self.singles[key] = DistinctTracker()
+            tracker.observe_column(columns[key], instance_ids)
         if not self.pairs:
             return
         present = set(keys)

@@ -72,6 +72,7 @@ class ColumnarCluster:
         "property_keys",
         "source_tokens",
         "target_tokens",
+        "repeat_signature",
     )
 
     def __init__(
@@ -79,12 +80,33 @@ class ColumnarCluster:
         block: ColumnarElements,
         interner: Interner,
         member_rows: list[int],
+        repeat_signature: int | None = None,
     ) -> None:
         self.block = block
         self.interner = interner
         self.member_rows = member_rows
+        #: Set for structural-repeat clusters (dedup fast path): every
+        #: member shares this interned element signature, so recording
+        #: may use the accumulator ``observe_repeat`` variants.
+        self.repeat_signature = repeat_signature
         ids = block.ids
         self.member_ids = [ids[row] for row in member_rows]
+        if repeat_signature is not None:
+            # Every member shares one structure, so the representative
+            # pattern is fully determined by the interned signature -- no
+            # per-row set unions.
+            signature = interner.element_signature(repeat_signature)
+            self.labels = set(interner.labelset(signature.labelset_id).labels)
+            self.property_keys = set(
+                interner.keyset(signature.keyset_id).keys
+            )
+            if block.is_edges:
+                self.source_tokens = {interner.string(signature.src_sid)}
+                self.target_tokens = {interner.string(signature.tgt_sid)}
+            else:
+                self.source_tokens = set()
+                self.target_tokens = set()
+            return
         labelset_list = block.labelset_list
         labels: set[str] = set()
         for lid in {labelset_list[row] for row in member_rows}:
@@ -177,6 +199,14 @@ class ColumnarCluster:
         property_counts = schema_type.property_counts
         key_accumulator = None if summaries is None else summaries.keys
         datatypes = None if summaries is None else summaries.datatypes
+        # Structural-repeat clusters carry their signature's shape string
+        # (aligned with the sorted key tuple), unlocking the accumulator
+        # observe_repeat fast paths; results are fold-identical.
+        repeat_shape = (
+            self.interner.element_signature(self.repeat_signature).shape
+            if self.repeat_signature is not None and summaries is not None
+            else None
+        )
         for keyset_id, positions in groups.items():
             keyset = self.interner.keyset(keyset_id)
             group_size = len(positions)
@@ -187,13 +217,25 @@ class ColumnarCluster:
                 continue
             group_rows = [fresh_rows[p] for p in positions]
             columns: dict[str, list] = {}
-            for key in keyset.keys:
+            for position_in_keys, key in enumerate(keyset.keys):
                 values = block.columns[key].take(group_rows)
                 columns[key] = values
-                datatypes.observe_column(key, values)
+                if repeat_shape is not None:
+                    datatypes.observe_repeat(
+                        key, repeat_shape[position_in_keys], values
+                    )
+                else:
+                    datatypes.observe_column(key, values)
             if key_accumulator is not None:
                 group_ids = [fresh_ids[p] for p in positions]
-                key_accumulator.observe_group(group_ids, keyset.keys, columns)
+                if repeat_shape is not None:
+                    key_accumulator.observe_repeat(
+                        group_ids, keyset.keys, columns
+                    )
+                else:
+                    key_accumulator.observe_group(
+                        group_ids, keyset.keys, columns
+                    )
         if (
             summaries is not None
             and is_edge
@@ -201,10 +243,12 @@ class ColumnarCluster:
         ):
             source_ids = block.source_ids
             target_ids = block.target_ids
-            summaries.endpoints.observe_pairs(
-                [source_ids[row] for row in fresh_rows],
-                [target_ids[row] for row in fresh_rows],
-            )
+            pair_sources = [source_ids[row] for row in fresh_rows]
+            pair_targets = [target_ids[row] for row in fresh_rows]
+            if repeat_shape is not None:
+                summaries.endpoints.observe_repeat(pair_sources, pair_targets)
+            else:
+                summaries.endpoints.observe_pairs(pair_sources, pair_targets)
 
 
 @dataclass

@@ -96,6 +96,13 @@ class PGHiveConfig:
     #: Composite-key tracking cap: pair trackers are only created while a
     #: type's first instance has at most this many property keys.
     key_pair_tracking_cap: int = DEFAULT_PAIR_CAP
+    #: Content-addressable structural dedup: columnar rows whose interned
+    #: element signature has a live refcount skip preprocessing and LSH
+    #: clustering, folding only the streaming accumulators.  Engages for
+    #: exact-grouping clustering (MinHash + AND); other configurations
+    #: keep the full per-row pipeline.  Schema output is identical either
+    #: way (DESIGN.md "Structural dedup").
+    structural_dedup: bool = True
     #: Datatype inference by sampling (section 4.4): fraction + floor.
     datatype_sampling: bool = False
     datatype_sample_fraction: float = 0.1

@@ -10,8 +10,11 @@ object also drives incremental discovery over a batch stream, delegating to
 
 from __future__ import annotations
 
+from collections import Counter
 from collections.abc import Iterable
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.core.accumulators import SummaryOptions
 from repro.core.adaptive import AdaptiveParameters
@@ -19,16 +22,26 @@ from repro.core.cardinality_inference import (
     compute_cardinalities,
     compute_cardinalities_streaming,
 )
-from repro.core.clustering import cluster_features, cluster_features_columnar
-from repro.core.config import PGHiveConfig
+from repro.core.clustering import (
+    ColumnarCluster,
+    cluster_features,
+    cluster_features_columnar,
+)
+from repro.core.config import ClusteringMethod, PGHiveConfig
 from repro.core.constraints import infer_property_constraints
 from repro.core.datatype_inference import infer_datatypes, infer_datatypes_streaming
 from repro.core.preprocess import Preprocessor
 from repro.core.serialization import to_pg_schema, to_xsd
 from repro.core.type_extraction import extract_types
-from repro.graph.columnar import ElementBatch
+from repro.graph.columnar import (
+    ColumnarElements,
+    ElementBatch,
+    SignatureStore,
+    ValueColumn,
+)
 from repro.graph.model import PropertyGraph
 from repro.graph.store import GraphStore
+from repro.lsh.base import GroupingRule
 from repro.lsh.minhash import MinHashLSH
 from repro.schema.model import SchemaGraph
 from repro.schema.validation import ValidationMode
@@ -237,6 +250,7 @@ class PGHive:
         build_summaries: bool = False,
         summary_options: SummaryOptions | None = None,
         exclude_record: frozenset[str] = frozenset(),
+        signatures: SignatureStore | None = None,
     ) -> None:
         """Steps (b)-(d) for one columnar batch (the zero-copy fast path).
 
@@ -247,24 +261,67 @@ class PGHive:
         columns into the per-type accumulators.  Schema results are
         fingerprint-identical to the element-wise path over the
         materialised batch (the columnar oracle suite pins this).
+
+        ``signatures`` enables content-addressable structural dedup: rows
+        whose element signature already has a live refcount (a *prior
+        batch* carried the same structure) skip preprocessing and
+        clustering and fold straight into the accumulators through
+        per-signature repeat clusters.  The split only engages for
+        exact-grouping clustering (MinHash + AND), where cluster
+        membership is a pure function of the interned id columns the
+        signature already captures -- so splitting cannot change the
+        discovered schema, only the work done to discover it.  Refcounts
+        are maintained whenever a store is supplied (even when the split
+        is gated off) so deletions can decrement symmetrically.
         """
         if state is None:
             state = PipelineState()
         summary_options = self._resolve_summary_options(
             build_summaries, summary_options
         )
+        dedup_active = (
+            signatures is not None
+            and self.config.structural_dedup
+            and self.config.method is ClusteringMethod.MINHASH
+            and self.config.grouping_rule is GroupingRule.AND
+        )
+        if signatures is not None:
+            node_first, node_repeats = _split_repeats(
+                batch.nodes, signatures, exclude_record, dedup_active
+            )
+            edge_first, edge_repeats = _split_repeats(
+                batch.edges, signatures, frozenset(), dedup_active
+            )
+        if dedup_active and (node_repeats or edge_repeats):
+            work = ElementBatch(
+                _take_rows(batch.nodes, node_first),
+                _take_rows(batch.edges, edge_first),
+                batch.interner,
+            )
+        else:
+            work = batch
+            node_repeats = edge_repeats = {}
         with timer.measure("preprocess"):
             if state.preprocessor is None:
-                state.preprocessor = Preprocessor(self.config).fit_batch(batch)
+                state.preprocessor = Preprocessor(self.config).fit_batch(work)
             preprocessor = state.preprocessor
-            node_features = preprocessor.node_features_columnar(batch)
-            edge_features = preprocessor.edge_features_columnar(batch)
+            node_features = preprocessor.node_features_columnar(work)
+            edge_features = preprocessor.edge_features_columnar(work)
         with timer.measure("clustering"):
             node_outcome = cluster_features_columnar(
                 node_features, self.config, "nodes", state.minhash_cache
             )
             edge_outcome = cluster_features_columnar(
                 edge_features, self.config, "edges", state.minhash_cache
+            )
+            interner = batch.interner
+            node_outcome.clusters.extend(
+                ColumnarCluster(batch.nodes, interner, rows, repeat_signature=sid)
+                for sid, rows in node_repeats.items()
+            )
+            edge_outcome.clusters.extend(
+                ColumnarCluster(batch.edges, interner, rows, repeat_signature=sid)
+                for sid, rows in edge_repeats.items()
             )
         self._extract_and_tally(
             schema, timer, result, node_outcome, edge_outcome,
@@ -347,3 +404,88 @@ class PGHive:
 
             infer_keys_streaming(schema)
         return schema
+
+
+def _split_repeats(
+    block: ColumnarElements,
+    signatures: SignatureStore,
+    exclude_record: frozenset[str],
+    split: bool,
+) -> tuple[list[int], dict[int, list[int]]]:
+    """Classify ``block`` rows against the signature store, counting inserts.
+
+    A row is a *repeat* iff its signature had a live refcount before this
+    batch: rows of a batch-new structure all stay together on the full
+    pipeline, so first-instance accumulator semantics (key-pair seeding)
+    are decided by the same group fold as without dedup.  Every
+    non-excluded row increments its refcount; excluded rows (endpoint
+    stubs owned by another shard) are classified for the split but never
+    counted, mirroring how they are never recorded -- or deleted -- here.
+    """
+    refcounts = signatures.refcounts
+    sig_list = block.signature_list
+    prior = {sid for sid in set(sig_list) if sid in refcounts}
+    first_rows: list[int] = []
+    repeats: dict[int, list[int]] = {}
+    get = refcounts.get
+    if exclude_record and block.kind == "nodes":
+        ids = block.ids
+        for row, sid in enumerate(sig_list):
+            if ids[row] not in exclude_record:
+                refcounts[sid] = get(sid, 0) + 1
+    else:
+        # Bulk path: fold one Counter instead of a per-row dict update.
+        for sid, count in Counter(sig_list).items():
+            refcounts[sid] = get(sid, 0) + count
+    if split:
+        for row, sid in enumerate(sig_list):
+            if sid in prior:
+                repeats.setdefault(sid, []).append(row)
+            else:
+                first_rows.append(row)
+    return first_rows, repeats
+
+
+def _take_rows(block: ColumnarElements, rows: list[int]) -> ColumnarElements:
+    """A derived block holding only ``rows`` of ``block``, order preserved.
+
+    Value columns are remapped through an old-row -> new-row index, which
+    keeps each column's row array sorted (the slice preserves relative
+    order), so downstream grouping logic sees a well-formed block.
+    """
+    if len(rows) == len(block):
+        return block
+    index = np.asarray(rows, dtype=np.intp)
+    old_to_new = np.full(len(block), -1, dtype=np.intp)
+    old_to_new[index] = np.arange(len(rows), dtype=np.intp)
+    columns: dict[str, ValueColumn] = {}
+    for key, column in block.columns.items():
+        mapped = old_to_new[column.rows]
+        mask = mapped >= 0
+        if not mask.any():
+            continue
+        columns[key] = ValueColumn(mapped[mask], column.values[mask])
+    ids = [block.ids[row] for row in rows]
+    if block.kind == "edges":
+        return ColumnarElements(
+            "edges",
+            ids,
+            block.labelset_ids[index],
+            block.token_sids[index],
+            block.keyset_ids[index],
+            columns,
+            [block.source_ids[row] for row in rows],
+            [block.target_ids[row] for row in rows],
+            block.src_token_sids[index],
+            block.tgt_token_sids[index],
+            block.signature_ids[index],
+        )
+    return ColumnarElements(
+        "nodes",
+        ids,
+        block.labelset_ids[index],
+        block.token_sids[index],
+        block.keyset_ids[index],
+        columns,
+        signature_ids=block.signature_ids[index],
+    )

@@ -619,6 +619,7 @@ class DurableShardedSchemaSession(ShardedSchemaSession):
         self._registry = base._registry
         self._interner = base._interner
         self._interner_pinned = base._interner_pinned
+        self._signatures = base._signatures
         self._sequence = base._sequence
         self.reports = base.reports
         self._shards = base._shards

@@ -67,7 +67,12 @@ from repro.errors import (
     MissingElementError,
 )
 from repro.graph.changes import ChangeSet
-from repro.graph.columnar import ElementBatch, global_interner
+from repro.graph.columnar import (
+    ElementBatch,
+    SignatureStore,
+    global_interner,
+    value_shapes,
+)
 from repro.graph.model import Node, PropertyGraph
 from repro.schema.diff import SchemaDiff, diff_schemas
 from repro.schema.model import EdgeType, NodeType, SchemaGraph
@@ -434,6 +439,12 @@ class SchemaSession:
         deletions stay element-wise by design, so the fast path only
         skips materialisation entirely on insert-only streaming sessions.
         """
+        # The signature store keys refcounts by interner-local signature
+        # ids; re-point it at the batch's interner (grow-only lineage, so
+        # ids from earlier batches stay valid) before the pipeline
+        # classifies and counts this batch's rows.
+        signatures = self._dstate.signatures
+        signatures.interner = batch.interner
         self._pipeline._process_batch_columnar(
             batch,
             self._schema,
@@ -450,6 +461,7 @@ class SchemaSession:
                 pair_cap=self.config.key_pair_tracking_cap,
             ),
             exclude_record=exclude_record,
+            signatures=signatures,
         )
         if self._union is not None:
             self._union.merge_in(
@@ -566,6 +578,13 @@ class SchemaSession:
         for schema_type in types:
             if instance_id not in schema_type.instance_ids:
                 continue
+            # Recorded instance found: its insert counted the structural
+            # signature, so the delete decrements it exactly.  Stub
+            # echoes (no recording type) fall through without touching
+            # the store, mirroring how they were never counted.
+            signature_id = self._element_signature_id(element, is_edge)
+            if signature_id is not None:
+                self._dstate.signatures.remove(signature_id)
             schema_type.instance_ids.discard(instance_id)
             schema_type.instance_count -= 1
             for key in element.properties:
@@ -582,6 +601,39 @@ class SchemaSession:
                     # global view, which only counts live carriers.
                     schema_type.properties.pop(key, None)
             return
+
+    def _element_signature_id(self, element, is_edge: bool) -> int | None:
+        """Recompute the interned structural signature of a live element.
+
+        Mirrors the columnar freeze exactly: sorted-key value order,
+        per-value datatype-shape codes, endpoint label tokens for edges.
+        Returns ``None`` when an edge endpoint is already gone from the
+        union (defensive; incident edges detach before their endpoints).
+        """
+        interner = self._dstate.signatures.interner
+        labelset_id = interner.intern_labels(element.labels)
+        keyset_id = interner.intern_keys(element.properties)
+        keys = interner.keyset(keyset_id).keys
+        shape = value_shapes(tuple(element.properties[key] for key in keys))
+        if not is_edge:
+            return interner.intern_element_signature(
+                labelset_id, keyset_id, shape
+            )
+        graph = self.union_graph
+        try:
+            source = graph.node(element.source_id)
+            target = graph.node(element.target_id)
+        except MissingElementError:
+            return None
+        src_sid = interner.labelset(
+            interner.intern_labels(source.labels)
+        ).token_sid
+        tgt_sid = interner.labelset(
+            interner.intern_labels(target.labels)
+        ).token_sid
+        return interner.intern_element_signature(
+            labelset_id, keyset_id, shape, src_sid, tgt_sid
+        )
 
     def _drop_empty_types(self) -> None:
         for node_type in list(self._schema.node_types()):
@@ -754,6 +806,10 @@ class SchemaSession:
                 if self._dstate.interner is None
                 else self._dstate.interner.snapshot()
             ),
+            # Content-encoded signature refcounts (structural dedup):
+            # restored stores re-intern the content against the restoring
+            # process's interner.
+            "signatures": self._dstate.signatures.snapshot(),
             "reports": list(self.reports),
             "result": {
                 "batches_processed": self._result.batches_processed,
@@ -821,6 +877,12 @@ class SchemaSession:
                 streaming_valid=payload["streaming_valid"],
                 dirty=payload["dirty"],
                 interner=interner,
+                # Pre-dedup checkpoints carry no signature refcounts;
+                # restore an empty store (rows demote to the full
+                # pipeline, which is always correct).
+                signatures=SignatureStore.from_snapshot(
+                    payload.get("signatures"), interner
+                ),
             )
         )
         session.reports = list(payload["reports"])

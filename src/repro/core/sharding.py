@@ -74,7 +74,13 @@ from repro.errors import (
     DegradedModeWarning,
 )
 from repro.graph.changes import ChangeSet, HashPartitioner
-from repro.graph.columnar import Interner, global_interner, partition_columnar
+from repro.graph.columnar import (
+    Interner,
+    SignatureStore,
+    global_interner,
+    partition_columnar,
+    value_shapes,
+)
 from repro.graph.model import Node, PropertyGraph
 from repro.schema.model import SchemaGraph
 
@@ -329,6 +335,13 @@ class ShardedSchemaSession:
         #: restore) and enforced afterwards.
         self._interner: Interner = global_interner()
         self._interner_pinned = False
+        #: coordinator-level signature seeds mirroring the registry: one
+        #: refcount per live registered node, keyed by the node's
+        #: structural signature.  Seeded alongside registry entries,
+        #: rolled back with them on a rejected change-set, decremented
+        #: when a committed deletion unregisters the node, and persisted
+        #: content-encoded in the manifest.
+        self._signatures = SignatureStore(self._interner)
         self._sequence = 0
         self.reports: list[ShardedChangeReport] = []
         self._shard_dirty = [True] * self.n_shards
@@ -449,6 +462,7 @@ class ShardedSchemaSession:
         interner_before = self._interner
         pinned_before = self._interner_pinned
         seeded: list[str] = []
+        seeded_signatures: list[int] = []
         columnar = change_set.columnar
         if columnar is not None:
             if change_set.nodes or change_set.edges:
@@ -465,18 +479,27 @@ class ShardedSchemaSession:
                         "interner would decode to wrong content"
                     )
                 self._interner = columnar.interner
+                self._signatures.interner = columnar.interner
             self._interner_pinned = True
             registry = self._registry
             # Build each node's compact record once: it seeds the registry
-            # *and* pre-warms the partitioner's record cache.
+            # *and* pre-warms the partitioner's record cache.  The batch
+            # already carries the structural signature column, so seeding
+            # the signature refcounts rides the same pass.
             batch_records: dict[str, tuple[int, int, tuple]] = {}
+            batch_signatures: dict[str, int] = {}
+            signature_list = columnar.nodes.signature_list
             for row, node_id in enumerate(columnar.nodes.ids):
                 if node_id not in batch_records:
                     batch_records[node_id] = columnar.node_record(row)
+                    batch_signatures[node_id] = signature_list[row]
             for node_id, record in batch_records.items():
                 if node_id not in registry:
                     registry[node_id] = record
                     seeded.append(node_id)
+                    signature_id = batch_signatures[node_id]
+                    self._signatures.add(signature_id)
+                    seeded_signatures.append(signature_id)
             inserted_node_ids = set(batch_records)
             nodes_inserted = columnar.node_count
             edges_inserted = columnar.edge_count
@@ -485,6 +508,11 @@ class ShardedSchemaSession:
                 if node.node_id not in self._registry:
                     self._registry[node.node_id] = node
                     seeded.append(node.node_id)
+                    signature_id = self._record_signature(
+                        _entry_to_record(node, self._interner)
+                    )
+                    self._signatures.add(signature_id)
+                    seeded_signatures.append(signature_id)
             inserted_node_ids = {n.node_id for n in change_set.nodes}
             nodes_inserted = len(change_set.nodes)
             edges_inserted = len(change_set.edges)
@@ -517,16 +545,27 @@ class ShardedSchemaSession:
             # A rejected change-set must leave the coordinator as if the
             # batch never happened: un-seed the registry entries of this
             # batch and restore the interner pin (PR 7's poisoning class,
-            # now caught by PGL802).
+            # now caught by PGL802).  Signature seeds roll back with
+            # their registry entries -- before the interner pin is
+            # restored, while their ids are still resolvable.
             for node_id in seeded:
                 del self._registry[node_id]
+            for signature_id in seeded_signatures:
+                self._signatures.remove(signature_id)
             self._interner = interner_before
             self._interner_pinned = pinned_before
+            self._signatures.interner = interner_before
             raise
         # Union-registry deletions commit only after dispatch succeeded,
         # so a rejected batch cannot leave the registry missing nodes the
-        # shards still hold.
+        # shards still hold.  The signature decrement reads the registry
+        # entry before it is dropped.
         for node_id in deleted_nodes:
+            self._signatures.remove(
+                self._record_signature(
+                    _entry_to_record(self._registry[node_id], self._interner)
+                )
+            )
             del self._registry[node_id]
 
         self._sequence += 1
@@ -546,6 +585,13 @@ class ShardedSchemaSession:
     def add_batch(self, batch: PropertyGraph) -> ShardedChangeReport:
         """Sugar: apply one insert-only property-graph batch."""
         return self.apply(ChangeSet.from_graph(batch))
+
+    def _record_signature(self, record: tuple[int, int, tuple]) -> int:
+        """The structural-signature id of one compact node record."""
+        labelset_id, keyset_id, values = record
+        return self._interner.intern_element_signature(
+            labelset_id, keyset_id, value_shapes(values)
+        )
 
     def _dispatch(
         self, parts: dict[int, ChangeSet]
@@ -895,6 +941,9 @@ class ShardedSchemaSession:
                 )
                 for node_id, entry in self._registry.items()
             },
+            # Coordinator signature seeds, content-encoded like the
+            # registry records (ids are process-local).
+            "signatures": self._signatures.snapshot(),
             "shard_files": shard_files,
         }
         write_artifact(
@@ -952,6 +1001,11 @@ class ShardedSchemaSession:
                 registry[node_id] = (labelset_id, keyset_id, tuple(values))
         session._registry = registry
         session._interner = interner
+        # Pre-dedup manifests carry no signature seeds; the restored
+        # store starts empty and re-seeds from subsequent change-sets.
+        session._signatures = SignatureStore.from_snapshot(
+            payload.get("signatures"), interner
+        )
         # Restored records were re-interned against the process-wide
         # interner; later columnar batches must share it.
         session._interner_pinned = any(

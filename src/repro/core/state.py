@@ -51,7 +51,7 @@ from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.core.pipeline import PipelineState
-from repro.graph.columnar import Interner, global_interner
+from repro.graph.columnar import Interner, SignatureStore, global_interner
 from repro.graph.model import PropertyGraph
 from repro.lsh.minhash import MinHashLSH
 from repro.schema.merge import DEFAULT_THETA, canonicalize_schema, merge_into
@@ -82,6 +82,10 @@ class DiscoveryState:
     #: process-wide one).  Ids are process-local; checkpoints persist a
     #: content snapshot, and merging states unions their content.
     interner: Interner | None = field(default_factory=global_interner)
+    #: ref-counted element-signature store driving structural dedup:
+    #: maps interned signature ids to live instance counts.  Checkpoints
+    #: persist it content-encoded; merging sums refcounts.
+    signatures: SignatureStore = field(default_factory=SignatureStore)
 
     # ------------------------------------------------------------------
     # Construction
@@ -165,6 +169,9 @@ class DiscoveryState:
                 self.interner = other.interner
             else:
                 self.interner.merge_from(other.interner)
+        if self.interner is not None and self.signatures.interner is not self.interner:
+            self.signatures.interner = self.interner
+        self.signatures.merge_from(other.signatures)
         self.sequence = max(self.sequence, other.sequence)
         self.streaming_valid = self.streaming_valid and other.streaming_valid
         self.dirty = self.dirty or other.dirty

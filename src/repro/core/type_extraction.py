@@ -148,16 +148,28 @@ def extract_node_types(
 ) -> SchemaGraph:
     """Fold node clusters into ``schema`` (lines 2-14 of Algorithm 2)."""
     unlabeled: list[Cluster] = []
+    # Token index built once per call: the per-cluster lookup used to
+    # linear-scan every type and recompute its token (sorted+join), which
+    # dominated extraction on batches with many distinct structures.  A
+    # type's token never changes inside this loop -- labelled absorption
+    # unions equal label sets and unlabeled clusters contribute none --
+    # so the index stays valid; first labelled type wins, as before.
+    by_token: dict[str, NodeType] = {}
+    for node_type in schema.node_types():
+        if node_type.labels:
+            by_token.setdefault(node_type.token, node_type)
     for cluster in clusters:
         if not cluster.is_labeled:
             unlabeled.append(cluster)
             continue
         token = "+".join(sorted(cluster.labels))
-        existing = schema.node_type_by_token(token)
+        existing = by_token.get(token)
         if existing is not None:
             _absorb_node_cluster(existing, cluster, summary_options, exclude_record)
         else:
-            _new_node_type(schema, cluster, summary_options, exclude_record)
+            by_token[token] = _new_node_type(
+                schema, cluster, summary_options, exclude_record
+            )
 
     for cluster in unlabeled:
         target = _best_jaccard_match(
@@ -182,25 +194,30 @@ def extract_edge_types(
 ) -> SchemaGraph:
     """Fold edge clusters into ``schema`` (section 4.3 "Edges")."""
     unlabeled: list[Cluster] = []
+    # Same-token candidates indexed once per call (insertion order kept
+    # within each token, so the first compatible candidate matches the
+    # old full-scan's choice); see extract_node_types for the validity
+    # argument.  Endpoint compatibility still checks live token sets.
+    by_token: dict[str, list[EdgeType]] = {}
+    for edge_type in schema.edge_types():
+        if edge_type.labels:
+            by_token.setdefault(edge_type.token, []).append(edge_type)
     for cluster in clusters:
         if not cluster.is_labeled:
             unlabeled.append(cluster)
             continue
         token = "+".join(sorted(cluster.labels))
-        existing = next(
-            (
-                candidate
-                for candidate in schema.edge_types()
-                if candidate.labels
-                and candidate.token == token
-                and _endpoints_compatible(candidate, cluster)
-            ),
-            None,
-        )
+        existing = None
+        for candidate in by_token.get(token, ()):
+            if _endpoints_compatible(candidate, cluster):
+                existing = candidate
+                break
         if existing is not None:
             _absorb_edge_cluster(existing, cluster, summary_options)
         else:
-            _new_edge_type(schema, cluster, summary_options)
+            by_token.setdefault(token, []).append(
+                _new_edge_type(schema, cluster, summary_options)
+            )
 
     for cluster in unlabeled:
         target = _best_edge_match(schema, cluster, theta)

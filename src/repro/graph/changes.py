@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import zlib
 from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -47,8 +48,17 @@ from repro.graph.model import Edge, Node, PropertyGraph
 if TYPE_CHECKING:
     from repro.graph.columnar import ElementBatch, Interner
 
-#: Version token of the WAL wire encoding of one change-set.
-WIRE_VERSION = 1
+#: Version token of the WAL wire encoding of one change-set.  Version 2
+#: groups columnar rows by structure (labels + keys written once per
+#: distinct structure, not once per row) and deflate-compresses the
+#: pickled record, shrinking the WAL sharply on repeat-heavy feeds.
+WIRE_VERSION = 2
+#: Older wire versions :meth:`ChangeSet.from_wire` still decodes.
+WIRE_LEGACY_VERSIONS = (1,)
+#: Frame prefix of a version-2 record.  Version-1 records are raw
+#: pickles, which always begin with the pickle PROTO opcode ``b"\x80"``,
+#: so the first byte disambiguates the two framings.
+_WIRE_V2_PREFIX = b"\x02"
 
 
 @dataclass
@@ -168,8 +178,14 @@ class ChangeSet:
         Element-wise payloads ship their :class:`Node`/:class:`Edge`
         objects directly; columnar payloads are encoded by *content*
         (ids, sorted labels, sorted keys, aligned values) -- interner ids
-        are process-local and must never hit disk.  :meth:`from_wire`
-        rebuilds the batch against the reading process's interner.
+        are process-local and must never hit disk.  Rows are grouped by
+        structure: each distinct (labels, keys) combination is written
+        once, followed by its rows' ids and values, so repeat-heavy
+        change-sets pay per distinct structure rather than per row.  The
+        whole record is deflate-compressed.  :meth:`from_wire` rebuilds
+        the batch against the reading process's interner, preserving row
+        order within every structure group and first-occurrence order
+        across groups (which is what clustering keys on).
         """
         record: dict = {
             "version": WIRE_VERSION,
@@ -181,14 +197,12 @@ class ChangeSet:
         if batch is not None:
             interner = batch.interner
             record["kind"] = "columnar"
-            record["node_rows"] = [
-                _encode_node_row(batch, interner, row)
-                for row in range(batch.node_count)
-            ]
-            record["edge_rows"] = [
-                _encode_edge_row(batch, interner, row)
-                for row in range(batch.edge_count)
-            ]
+            record["node_groups"] = _group_rows(
+                batch, interner, batch.nodes, edges=False
+            )
+            record["edge_groups"] = _group_rows(
+                batch, interner, batch.edges, edges=True
+            )
         else:
             # Primitive tuples, not Node/Edge objects: dataclass pickling
             # pays per-object reduce dispatch, which dominates WAL append
@@ -203,7 +217,8 @@ class ChangeSet:
                  e.properties)
                 for e in self.edges
             ]
-        return pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        return _WIRE_V2_PREFIX + zlib.compress(payload, 1)
 
     @classmethod
     def from_wire(
@@ -211,21 +226,28 @@ class ChangeSet:
     ) -> "ChangeSet":
         """Decode :meth:`to_wire` output (see its docstring for caveats).
 
-        Columnar payloads rebuild against ``interner`` (the process-wide
-        one by default).  Only decode records from trusted sources: the
-        payload is a pickle.
+        Reads the current wire version and every version in
+        ``WIRE_LEGACY_VERSIONS`` (v1 WAL segments written before the
+        structure-grouped encoding stay replayable).  Columnar payloads
+        rebuild against ``interner`` (the process-wide one by default).
+        Only decode records from trusted sources: the payload is a
+        pickle.
         """
         try:
-            record = pickle.loads(data)
+            if data[:1] == _WIRE_V2_PREFIX:
+                record = pickle.loads(zlib.decompress(data[1:]))
+            else:
+                record = pickle.loads(data)
         except Exception as error:
             raise WALError(
                 f"undecodable change-set wire record: {error}"
             ) from error
         version = record.get("version") if isinstance(record, dict) else None
-        if version != WIRE_VERSION:
+        if version != WIRE_VERSION and version not in WIRE_LEGACY_VERSIONS:
             raise WALError(
                 f"unsupported change-set wire version {version!r} "
-                f"(this build reads version {WIRE_VERSION})"
+                f"(this build reads versions "
+                f"{(*WIRE_LEGACY_VERSIONS, WIRE_VERSION)})"
             )
         stubs = frozenset(record["stubs"])
         if record["kind"] == "columnar":
@@ -233,22 +255,45 @@ class ChangeSet:
 
             builder = BatchBuilder(interner or global_interner())
             target = builder.interner
-            for node_id, labels, keys, values in record["node_rows"]:
-                builder.add_node(
-                    node_id,
-                    target.intern_labels(labels),
-                    target.intern_keys(keys),
-                    tuple(values),
-                )
-            for edge_id, src, tgt, labels, keys, values in record["edge_rows"]:
-                builder.add_edge(
-                    edge_id,
-                    src,
-                    tgt,
-                    target.intern_labels(labels),
-                    target.intern_keys(keys),
-                    tuple(values),
-                )
+            if version == 1:
+                for node_id, labels, keys, values in record["node_rows"]:
+                    builder.add_node(
+                        node_id,
+                        target.intern_labels(labels),
+                        target.intern_keys(keys),
+                        tuple(values),
+                    )
+                for edge_id, src, tgt, labels, keys, values in record[
+                    "edge_rows"
+                ]:
+                    builder.add_edge(
+                        edge_id,
+                        src,
+                        tgt,
+                        target.intern_labels(labels),
+                        target.intern_keys(keys),
+                        tuple(values),
+                    )
+            else:
+                for labels, keys, rows in record["node_groups"]:
+                    labelset_id = target.intern_labels(labels)
+                    keyset_id = target.intern_keys(keys)
+                    for node_id, values in rows:
+                        builder.add_node(
+                            node_id, labelset_id, keyset_id, tuple(values)
+                        )
+                for labels, keys, rows in record["edge_groups"]:
+                    labelset_id = target.intern_labels(labels)
+                    keyset_id = target.intern_keys(keys)
+                    for edge_id, src, tgt, values in rows:
+                        builder.add_edge(
+                            edge_id,
+                            src,
+                            tgt,
+                            labelset_id,
+                            keyset_id,
+                            tuple(values),
+                        )
             return cls(
                 delete_nodes=list(record["delete_nodes"]),
                 delete_edges=list(record["delete_edges"]),
@@ -270,28 +315,42 @@ class ChangeSet:
         )
 
 
-def _encode_node_row(batch, interner, row: int) -> tuple:
-    """Content-only wire form of one columnar node row."""
-    labelset_id, keyset_id, values = batch.node_record(row)
-    return (
-        batch.nodes.ids[row],
-        sorted(interner.labelset(labelset_id).labels),
-        interner.keyset(keyset_id).keys,
-        tuple(values),
-    )
+def _group_rows(batch, interner, block, edges: bool) -> list:
+    """Structure-grouped wire form of one columnar block.
 
-
-def _encode_edge_row(batch, interner, row: int) -> tuple:
-    """Content-only wire form of one columnar edge row."""
-    src, tgt, labelset_id, keyset_id, values = batch.edge_record(row)
-    return (
-        batch.edges.ids[row],
-        src,
-        tgt,
-        sorted(interner.labelset(labelset_id).labels),
-        interner.keyset(keyset_id).keys,
-        tuple(values),
-    )
+    One entry per distinct (labels, keys) structure, in first-occurrence
+    order: ``(sorted labels, keys, [(id, values), ...])`` for nodes,
+    ``(sorted labels, keys, [(id, src, tgt, values), ...])`` for edges.
+    A structure group coincides exactly with a clustering pattern (one
+    label set <-> one token), so the decoder's group-major rebuild
+    preserves both within-pattern row order and across-pattern
+    first-occurrence order -- everything batch processing is sensitive
+    to.
+    """
+    groups: dict[tuple[int, int], list] = {}
+    ordered: list[tuple] = []
+    labelset_list = block.labelset_list
+    keyset_list = block.keyset_list
+    ids = block.ids
+    for row in range(len(block)):
+        structure = (labelset_list[row], keyset_list[row])
+        rows = groups.get(structure)
+        if rows is None:
+            rows = groups[structure] = []
+            ordered.append(
+                (
+                    sorted(interner.labelset(structure[0]).labels),
+                    interner.keyset(structure[1]).keys,
+                    rows,
+                )
+            )
+        if edges:
+            src, tgt, _, _, values = batch.edge_record(row)
+            rows.append((ids[row], src, tgt, tuple(values)))
+        else:
+            _, _, values = batch.node_record(row)
+            rows.append((ids[row], tuple(values)))
+    return ordered
 
 
 def stable_shard(element_id: str, n_shards: int) -> int:

@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import threading
 from collections.abc import Iterable, Iterator, Mapping
+from hashlib import blake2b
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -98,6 +99,69 @@ class TokenPattern:
         self.minhash_ids = minhash_ids
 
 
+#: Coarse per-value datatype-shape codes folded into element signatures.
+#: Exact ``type()`` lookup: ``bool`` is its own dict key so it never
+#: collapses into ``int``; subclasses and exotic types fall back to "o".
+_SHAPE_CODES = {
+    bool: "b",
+    int: "i",
+    float: "f",
+    str: "s",
+    type(None): "n",
+}
+
+
+def value_shapes(values: Iterable) -> str:
+    """The datatype-shape string of one key-aligned value tuple."""
+    get = _SHAPE_CODES.get
+    return "".join([get(type(value), "o") for value in values])
+
+
+class ElementSignature:
+    """One interned structural signature: content ids + Merkle digest.
+
+    A signature captures everything structural about an element --
+    label set, property-key set, per-key datatype shape, and (edges)
+    the endpoint label tokens -- so two rows with equal signatures are
+    indistinguishable to preprocessing and MinHash/LSH clustering.  The
+    digest is content-derived (stable across processes); the ids are
+    process-local like every other interner id.
+    """
+
+    __slots__ = (
+        "signature_id",
+        "labelset_id",
+        "keyset_id",
+        "shape",
+        "src_sid",
+        "tgt_sid",
+        "digest",
+    )
+
+    def __init__(
+        self,
+        signature_id: int,
+        labelset_id: int,
+        keyset_id: int,
+        shape: str,
+        src_sid: int,
+        tgt_sid: int,
+        digest: bytes,
+    ) -> None:
+        self.signature_id = signature_id
+        self.labelset_id = labelset_id
+        self.keyset_id = keyset_id
+        self.shape = shape
+        self.src_sid = src_sid
+        self.tgt_sid = tgt_sid
+        self.digest = digest
+
+    @property
+    def is_edge(self) -> bool:
+        """True for edge signatures (endpoint tokens present)."""
+        return self.src_sid >= 0
+
+
 class Interner:
     """Process-wide content interner backing columnar batches.
 
@@ -128,6 +192,11 @@ class Interner:
         self._keysets: list[KeySet] = []  # repro-lint: ignore[PGL201] -- persisted via snapshot()["keysets"]; restored through intern_keys
         self._node_patterns: dict[tuple[int, int], TokenPattern] = {}  # repro-lint: ignore[PGL201] -- derived pattern cache; deliberately excluded from snapshots, rebuilt on first use
         self._edge_patterns: dict[tuple[int, int, int, int], TokenPattern] = {}  # repro-lint: ignore[PGL201] -- derived pattern cache; deliberately excluded from snapshots, rebuilt on first use
+        self._signature_keys: dict[tuple[int, int, str, int, int], int] = {}  # repro-lint: ignore[PGL201] -- derived id map; rebuilt by intern_element_signature during merge_snapshot
+        self._signatures: list[ElementSignature] = []  # repro-lint: ignore[PGL201] -- persisted via snapshot()["signatures"]; restored through intern_signature_content
+        self._signature_digests: dict[bytes, int] = {}  # repro-lint: ignore[PGL201] -- derived digest map; rebuilt by intern_element_signature during merge_snapshot
+        self._labelset_digests: dict[int, bytes] = {}  # repro-lint: ignore[PGL201] -- derived Merkle digest cache; recomputed on first signature use
+        self._keyset_digests: dict[int, bytes] = {}  # repro-lint: ignore[PGL201] -- derived Merkle digest cache; recomputed on first signature use
         # Reentrant because intern_labels/intern_keys intern their
         # component strings while already holding it.  Reads stay
         # lock-free: writers append content before publishing the id, so
@@ -269,6 +338,137 @@ class Interner:
             return pattern
 
     # ------------------------------------------------------------------
+    # Element signatures (content-addressable structural dedup)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _set_digest(items: Iterable[str]) -> bytes:
+        """Merkle digest of an ordered string collection.
+
+        Each item is hashed individually before folding, so component
+        boundaries are unambiguous: ``("A+B",)`` and ``("A", "B")`` can
+        never share a digest the way a plain join would allow.
+        """
+        hasher = blake2b(digest_size=16)
+        for item in items:
+            hasher.update(
+                blake2b(item.encode("utf-8"), digest_size=16).digest()
+            )
+        return hasher.digest()
+
+    def _signature_digest(
+        self, labelset_id: int, keyset_id: int, shape: str,
+        src_sid: int, tgt_sid: int,
+    ) -> bytes:
+        labelset_digest = self._labelset_digests.get(labelset_id)
+        if labelset_digest is None:
+            labelset_digest = self._set_digest(
+                sorted(self._labelsets[labelset_id].labels)
+            )
+            self._labelset_digests[labelset_id] = labelset_digest  # repro-lint: ignore[PGL901] -- digest-cache helper; the only caller (intern_element_signature) holds self._lock
+        keyset_digest = self._keyset_digests.get(keyset_id)
+        if keyset_digest is None:
+            keyset_digest = self._set_digest(self._keysets[keyset_id].keys)
+            self._keyset_digests[keyset_id] = keyset_digest  # repro-lint: ignore[PGL901] -- digest-cache helper; the only caller (intern_element_signature) holds self._lock
+        hasher = blake2b(digest_size=16)
+        hasher.update(b"edge" if src_sid >= 0 else b"node")
+        hasher.update(labelset_digest)
+        hasher.update(keyset_digest)
+        hasher.update(shape.encode("ascii"))
+        if src_sid >= 0:
+            hasher.update(
+                blake2b(
+                    self._strings[src_sid].encode("utf-8"), digest_size=16
+                ).digest()
+            )
+            hasher.update(
+                blake2b(
+                    self._strings[tgt_sid].encode("utf-8"), digest_size=16
+                ).digest()
+            )
+        return hasher.digest()
+
+    def intern_element_signature(
+        self,
+        labelset_id: int,
+        keyset_id: int,
+        shape: str,
+        src_sid: int = -1,
+        tgt_sid: int = -1,
+    ) -> int:
+        """Intern one structural element signature; returns its dense id.
+
+        The signature is a blake2b Merkle hash over the content behind
+        ``(labelset_id, keyset_id, per-key datatype shape)`` plus, for
+        edges, the endpoint label-token strings (``src_sid``/``tgt_sid``
+        stay ``-1`` for nodes).  The already-interned fast path is one
+        lock-free dict probe on the process-local id tuple; the digest
+        map gives content identity for snapshot merges across processes.
+        """
+        key = (labelset_id, keyset_id, shape, src_sid, tgt_sid)
+        signature_id = self._signature_keys.get(key)
+        if signature_id is not None:
+            return signature_id
+        with self._lock:
+            signature_id = self._signature_keys.get(key)
+            if signature_id is None:
+                digest = self._signature_digest(
+                    labelset_id, keyset_id, shape, src_sid, tgt_sid
+                )
+                signature_id = self._signature_digests.get(digest)
+                if signature_id is None:
+                    signature_id = len(self._signatures)
+                    self._signatures.append(
+                        ElementSignature(
+                            signature_id,
+                            labelset_id,
+                            keyset_id,
+                            shape,
+                            src_sid,
+                            tgt_sid,
+                            digest,
+                        )
+                    )
+                    self._signature_digests[digest] = signature_id
+                # Publish the id-tuple key last (lock-free reader rule).
+                self._signature_keys[key] = signature_id
+            return signature_id
+
+    def intern_signature_content(
+        self,
+        labels: Iterable[str],
+        keys: Iterable[str],
+        shape: str,
+        src_token: str | None = None,
+        tgt_token: str | None = None,
+    ) -> int:
+        """Intern a signature from raw content (snapshot restore path)."""
+        return self.intern_element_signature(
+            self.intern_labels(labels),
+            self.intern_keys(keys),
+            shape,
+            -1 if src_token is None else self.intern_string(src_token),
+            -1 if tgt_token is None else self.intern_string(tgt_token),
+        )
+
+    def element_signature(self, signature_id: int) -> ElementSignature:
+        """The :class:`ElementSignature` behind ``signature_id``."""
+        return self._signatures[signature_id]
+
+    def _signature_content(self, signature: ElementSignature) -> tuple:
+        """Process-portable content tuple of one signature."""
+        return (
+            sorted(self._labelsets[signature.labelset_id].labels),
+            self._keysets[signature.keyset_id].keys,
+            signature.shape,
+            self._strings[signature.src_sid]
+            if signature.src_sid >= 0
+            else None,
+            self._strings[signature.tgt_sid]
+            if signature.tgt_sid >= 0
+            else None,
+        )
+
+    # ------------------------------------------------------------------
     # Introspection / persistence
     # ------------------------------------------------------------------
     @property
@@ -286,6 +486,11 @@ class Interner:
         """Number of interned property-key sets."""
         return len(self._keysets)
 
+    @property
+    def signature_count(self) -> int:
+        """Number of interned element signatures (distinct structures)."""
+        return len(self._signatures)
+
     def snapshot(self) -> dict:
         """Content-only snapshot for checkpoints (no process-local ids).
 
@@ -296,6 +501,10 @@ class Interner:
             "strings": list(self._strings),
             "labelsets": [sorted(ls.labels) for ls in self._labelsets],
             "keysets": [ks.keys for ks in self._keysets],
+            "signatures": [
+                self._signature_content(signature)
+                for signature in self._signatures
+            ],
         }
 
     def merge_snapshot(self, snapshot: Mapping) -> "Interner":
@@ -306,6 +515,8 @@ class Interner:
             self.intern_labels(labels)
         for keys in snapshot.get("keysets", ()):
             self.intern_keys(keys)
+        for content in snapshot.get("signatures", ()):
+            self.intern_signature_content(*content)
         return self
 
     def merge_from(self, other: "Interner") -> "Interner":
@@ -342,6 +553,119 @@ _GLOBAL = Interner()
 def global_interner() -> Interner:
     """The process-wide :class:`Interner` (shared by every batch)."""
     return _GLOBAL
+
+
+class SignatureStore:
+    """Ref-counted element-signature store (one per discovery state).
+
+    Signature *content* lives in the process-wide :class:`Interner`
+    (grow-only, shared); the per-session refcounts here track how many
+    live recorded instances carry each structure.  A positive count lets
+    ingest classify a row as a structural *repeat* -- skipping
+    preprocessing and LSH clustering, folding only the streaming
+    accumulators -- and deletion decrements exactly, removing the entry
+    at zero so the structure is first-seen again.  Counts steer
+    *performance* only: the repeat and first-seen paths record
+    identically, so schema exactness never depends on them (see
+    DESIGN.md "Structural dedup").
+
+    Snapshots encode content, not process-local ids, so a store
+    round-trips through checkpoints and shard-state merges exactly like
+    the interner itself.
+    """
+
+    __slots__ = ("interner", "refcounts")
+
+    def __init__(
+        self,
+        interner: Interner | None = None,
+        refcounts: Mapping[int, int] | None = None,
+    ) -> None:
+        self.interner = interner or _GLOBAL
+        self.refcounts: dict[int, int] = dict(refcounts) if refcounts else {}
+
+    def __len__(self) -> int:
+        return len(self.refcounts)
+
+    def __repr__(self) -> str:
+        return (
+            f"SignatureStore(distinct={len(self.refcounts)}, "
+            f"instances={sum(self.refcounts.values())})"
+        )
+
+    def count(self, signature_id: int) -> int:
+        """Live-instance refcount of one signature (0 when unseen)."""
+        return self.refcounts.get(signature_id, 0)
+
+    def seen(self, signature_id: int) -> bool:
+        """True when the signature has a positive refcount."""
+        return signature_id in self.refcounts
+
+    def add(self, signature_id: int, n: int = 1) -> int:
+        """Increment a signature's refcount by ``n``; returns the count."""
+        updated = self.refcounts.get(signature_id, 0) + n
+        self.refcounts[signature_id] = updated
+        return updated
+
+    def remove(self, signature_id: int, n: int = 1) -> int:
+        """Decrement by ``n``, dropping the entry at zero.
+
+        Tolerates decrements of unseen signatures (mixed element-wise /
+        columnar feeds count only columnar inserts): the count floors at
+        zero rather than going negative, which is always safe because a
+        missing entry merely demotes future rows to the full pipeline.
+        """
+        updated = self.refcounts.get(signature_id, 0) - n
+        if updated > 0:
+            self.refcounts[signature_id] = updated
+            return updated
+        self.refcounts.pop(signature_id, None)
+        return 0
+
+    def snapshot(self) -> list:
+        """Content-encoded ``(signature content, count)`` pairs."""
+        interner = self.interner
+        signatures = interner._signatures
+        return [
+            (interner._signature_content(signatures[signature_id]), count)
+            for signature_id, count in self.refcounts.items()
+        ]
+
+    @classmethod
+    def from_snapshot(
+        cls, data, interner: Interner | None = None
+    ) -> "SignatureStore":
+        """Rebuild a store from :meth:`snapshot` output (restore path)."""
+        store = cls(interner)
+        refcounts = store.refcounts
+        intern_content = store.interner.intern_signature_content
+        for content, count in data or ():
+            signature_id = intern_content(*content)
+            refcounts[signature_id] = refcounts.get(signature_id, 0) + count
+        return store
+
+    def merge_from(self, other: "SignatureStore") -> "SignatureStore":
+        """Sum another store's refcounts into this one (state merges)."""
+        if other is self:
+            return self
+        refcounts = self.refcounts
+        if other.interner is self.interner:
+            for signature_id, count in other.refcounts.items():
+                refcounts[signature_id] = (
+                    refcounts.get(signature_id, 0) + count
+                )
+            return self
+        # Cross-interner merge (restored or worker-shipped states):
+        # re-intern by content, exactly like Interner.merge_from.
+        intern_content = self.interner.intern_signature_content
+        for content, count in other.snapshot():
+            signature_id = intern_content(*content)
+            refcounts[signature_id] = refcounts.get(signature_id, 0) + count
+        return self
+
+    def copy(self) -> "SignatureStore":
+        """Independent copy sharing the process-wide interner."""
+        return SignatureStore(self.interner, self.refcounts)
 
 
 class ValueColumn:
@@ -390,10 +714,12 @@ class ColumnarElements:
         "target_ids",
         "src_token_sids",
         "tgt_token_sids",
+        "signature_ids",
         "_labelset_list",
         "_keyset_list",
         "_src_token_list",
         "_tgt_token_list",
+        "_signature_list",
     )
 
     def __init__(
@@ -408,6 +734,7 @@ class ColumnarElements:
         target_ids: list[str] | None = None,
         src_token_sids: np.ndarray | None = None,
         tgt_token_sids: np.ndarray | None = None,
+        signature_ids: np.ndarray | None = None,
     ) -> None:
         self.kind = kind
         self.ids = ids
@@ -419,10 +746,12 @@ class ColumnarElements:
         self.target_ids = target_ids
         self.src_token_sids = src_token_sids
         self.tgt_token_sids = tgt_token_sids
+        self.signature_ids = signature_ids
         self._labelset_list: list[int] | None = None
         self._keyset_list: list[int] | None = None
         self._src_token_list: list[int] | None = None
         self._tgt_token_list: list[int] | None = None
+        self._signature_list: list[int] | None = None
 
     def __len__(self) -> int:
         return len(self.ids)
@@ -464,6 +793,14 @@ class ColumnarElements:
             cached = self._tgt_token_list = self.tgt_token_sids.tolist()
         return cached
 
+    @property
+    def signature_list(self) -> list[int]:
+        """``signature_ids`` as a plain list (lazy; dedup classification)."""
+        cached = self._signature_list
+        if cached is None:
+            cached = self._signature_list = self.signature_ids.tolist()
+        return cached
+
 
 _EMPTY_IDS = np.zeros(0, dtype=np.intp)
 
@@ -481,6 +818,7 @@ def _empty_block(kind: str) -> ColumnarElements:
         [] if edges else None,
         _EMPTY_IDS if edges else None,
         _EMPTY_IDS if edges else None,
+        _EMPTY_IDS,
     )
 
 
@@ -759,14 +1097,67 @@ class BatchBuilder:
             dtype=np.intp,
             count=len(uniq),
         )[inverse]
+        if edges:
+            try:
+                src_token_sids = np.fromiter(
+                    (endpoint_token[source_id] for source_id in source_ids),
+                    dtype=np.intp,
+                    count=count,
+                )
+                tgt_token_sids = np.fromiter(
+                    (endpoint_token[target_id] for target_id in target_ids),
+                    dtype=np.intp,
+                    count=count,
+                )
+            except KeyError as error:
+                raise DanglingEdgeError(
+                    f"columnar batch edge references node {error.args[0]!r} "
+                    "absent from the batch; columnar change-sets must be "
+                    "endpoint-complete (ship stub rows)"
+                ) from None
+            src_sid_list = src_token_sids.tolist()
+            tgt_sid_list = tgt_token_sids.tolist()
         # Column assembly is the one unavoidable per-cell pass; appenders
         # are cached per key-set id as bound methods so the inner loop is
-        # two C-level calls per cell.
+        # two C-level calls per cell.  The structural signature rides the
+        # same pass, memoised on ``(ids..., per-value type tuple)`` so a
+        # repeat-heavy batch pays one shape-string build and one interner
+        # probe per *distinct* structure, not per row.
         raw_columns: dict[str, tuple[list[int], list]] = {}
         keysets = interner._keysets
         appenders_of: dict[int, list] = {}
         get_appenders = appenders_of.get
+        sig_list: list[int] = []
+        sig_append = sig_list.append
+        sig_cache: dict[tuple, int] = {}
+        sig_cache_get = sig_cache.get
+        intern_signature = interner.intern_element_signature
         for row, (keyset_id, values) in enumerate(zip(kid_list, values_list)):
+            if edges:
+                sig_key = (
+                    lid_list[row],
+                    keyset_id,
+                    tuple(map(type, values)),
+                    src_sid_list[row],
+                    tgt_sid_list[row],
+                )
+                signature_id = sig_cache_get(sig_key)
+                if signature_id is None:
+                    signature_id = sig_cache[sig_key] = intern_signature(
+                        lid_list[row],
+                        keyset_id,
+                        value_shapes(values),
+                        src_sid_list[row],
+                        tgt_sid_list[row],
+                    )
+            else:
+                sig_key = (lid_list[row], keyset_id, tuple(map(type, values)))
+                signature_id = sig_cache_get(sig_key)
+                if signature_id is None:
+                    signature_id = sig_cache[sig_key] = intern_signature(
+                        lid_list[row], keyset_id, value_shapes(values)
+                    )
+            sig_append(signature_id)
             if not values:
                 continue
             appenders = get_appenders(keyset_id)
@@ -786,27 +1177,17 @@ class BatchBuilder:
             )
             for key, (rows, values) in raw_columns.items()
         }
+        signature_ids = np.asarray(sig_list, dtype=np.intp)
         if not edges:
             return ColumnarElements(
-                kind, ids, labelset_ids, token_sids, keyset_ids, columns
+                kind,
+                ids,
+                labelset_ids,
+                token_sids,
+                keyset_ids,
+                columns,
+                signature_ids=signature_ids,
             )
-        try:
-            src_token_sids = np.fromiter(
-                (endpoint_token[source_id] for source_id in source_ids),
-                dtype=np.intp,
-                count=count,
-            )
-            tgt_token_sids = np.fromiter(
-                (endpoint_token[target_id] for target_id in target_ids),
-                dtype=np.intp,
-                count=count,
-            )
-        except KeyError as error:
-            raise DanglingEdgeError(
-                f"columnar batch edge references node {error.args[0]!r} "
-                "absent from the batch; columnar change-sets must be "
-                "endpoint-complete (ship stub rows)"
-            ) from None
         return ColumnarElements(
             kind,
             ids,
@@ -818,6 +1199,7 @@ class BatchBuilder:
             target_ids,
             src_token_sids,
             tgt_token_sids,
+            signature_ids,
         )
 
     def freeze(self) -> ElementBatch:
@@ -1084,12 +1466,15 @@ __all__ = [
     "BatchBuilder",
     "ColumnarElements",
     "ElementBatch",
+    "ElementSignature",
     "Interner",
     "KeySet",
     "LabelSet",
+    "SignatureStore",
     "TokenPattern",
     "ValueColumn",
     "columnar_changesets_from_rows",
     "global_interner",
     "partition_columnar",
+    "value_shapes",
 ]

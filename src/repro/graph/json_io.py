@@ -140,7 +140,7 @@ def columnar_rows_from_records(
             cached = (interner.intern_keys(sorted_keys), sorted_keys)
             keyset_cache[raw_keys] = cached
         keyset_id, sorted_keys = cached
-        values = tuple(properties[key] for key in sorted_keys)
+        values = tuple([properties[key] for key in sorted_keys])
         if kind == "node":
             yield "n", (record["id"], labelset_id, keyset_id, values)
         elif kind == "edge":

@@ -289,7 +289,7 @@ class TestCheckpointFallbackAndRetention:
             CONFIG,
             schema_name="s",
             fsync="off",
-            wal_segment_bytes=2048,
+            wal_segment_bytes=384,
             keep_checkpoints=1,
             retain_union=True,
         )
@@ -321,7 +321,7 @@ class TestCheckpointFallbackAndRetention:
             CONFIG,
             schema_name="s",
             fsync="off",
-            wal_segment_bytes=2048,
+            wal_segment_bytes=384,
             keep_checkpoints=2,
             retain_union=True,
         )
@@ -347,7 +347,7 @@ class TestCheckpointFallbackAndRetention:
             CONFIG,
             schema_name="s",
             fsync="off",
-            wal_segment_bytes=2048,
+            wal_segment_bytes=384,
             keep_checkpoints=2,
             retain_union=True,
         )
@@ -581,7 +581,7 @@ class TestDurableShardedSession:
             schema_name="s",
             n_shards=2,
             fsync="off",
-            wal_segment_bytes=2048,
+            wal_segment_bytes=384,
             keep_checkpoints=2,
             retain_union=True,
         )

@@ -17,7 +17,7 @@ import pytest
 from repro.core.pipeline import PipelineState
 from repro.core.session import SchemaSession
 from repro.core.state import DiscoveryState
-from repro.graph.columnar import Interner
+from repro.graph.columnar import Interner, SignatureStore
 from repro.graph.model import Node, PropertyGraph
 from repro.lsh.minhash import MinHashLSH
 from repro.schema.model import NodeType, SchemaGraph
@@ -64,6 +64,14 @@ def _sentinel_interner() -> Interner:
     return interner
 
 
+def _sentinel_signatures() -> SignatureStore:
+    interner = Interner()
+    signature_id = interner.intern_signature_content(
+        ["SentinelLabel"], ["k1", "k2"], "si"
+    )
+    return SignatureStore(interner, {signature_id: 5})
+
+
 #: One sentinel-distinct value per DiscoveryState field.
 SENTINELS = {
     "schema": _sentinel_schema,
@@ -73,6 +81,7 @@ SENTINELS = {
     "streaming_valid": lambda: False,
     "dirty": lambda: True,
     "interner": _sentinel_interner,
+    "signatures": _sentinel_signatures,
 }
 
 
@@ -92,6 +101,14 @@ def _assert_sentinels_survive(state: DiscoveryState) -> None:
     assert state.dirty is True
     assert state.interner is not None
     assert "sentinel-token" in state.interner.snapshot()["strings"]
+    # Signature refcounts survive by content, not by process-local id.
+    refcounts = {
+        (tuple(labels), tuple(keys), shape, src, tgt): count
+        for (labels, keys, shape, src, tgt), count in (
+            state.signatures.snapshot()
+        )
+    }
+    assert refcounts[(("SentinelLabel",), ("k1", "k2"), "si", None, None)] == 5
 
 
 def _populated_state() -> DiscoveryState:

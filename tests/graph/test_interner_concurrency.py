@@ -46,6 +46,66 @@ def test_concurrent_interning_assigns_consistent_ids():
     assert interner.string_count == count
 
 
+def test_concurrent_signature_interning_assigns_consistent_ids():
+    """8 threads racing intern_element_signature agree on every id.
+
+    Element signatures sit on the columnar freeze hot path, so the
+    already-interned probe must stay lock-free while first-writer
+    interning (which Merkle-hashes the content) stays double-checked.
+    """
+    interner = Interner()
+    structures = []
+    for serial in range(40):
+        labelset_id = interner.intern_labels({f"L{serial % 5}"})
+        keyset_id = interner.intern_keys({f"k{serial % 7}", "shared"})
+        shape = "is" if serial % 2 else "s?"
+        if serial % 3:
+            structures.append((labelset_id, keyset_id, shape, -1, -1))
+        else:
+            src = interner.intern_string(f"L{serial % 5}")
+            tgt = interner.intern_string(f"L{(serial + 1) % 5}")
+            structures.append((labelset_id, keyset_id, shape, src, tgt))
+    work_list = structures * 20
+    results: list[dict[tuple, int]] = []
+    barrier = threading.Barrier(8)
+
+    def work():
+        barrier.wait()
+        local = {}
+        for key in work_list:
+            local[key] = interner.intern_element_signature(*key)
+        results.append(local)
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    # Every thread observed the same structure -> id mapping, every id
+    # decodes back to its content, digests are unique per structure,
+    # and re-interning grows nothing.
+    first = results[0]
+    assert all(result == first for result in results)
+    assert len(set(first.values())) == len(set(structures))
+    digests = set()
+    for (labelset_id, keyset_id, shape, src, tgt), sid in first.items():
+        signature = interner.element_signature(sid)
+        assert (
+            signature.labelset_id,
+            signature.keyset_id,
+            signature.shape,
+            signature.src_sid,
+            signature.tgt_sid,
+        ) == (labelset_id, keyset_id, shape, src, tgt)
+        digests.add(signature.digest)
+    assert len(digests) == len(set(structures))
+    count = interner.signature_count
+    for key in structures:
+        assert interner.intern_element_signature(*key) == first[key]
+    assert interner.signature_count == count
+
+
 def test_reentrant_interning_under_one_lock():
     interner = Interner()
     with interner._lock:
