@@ -2,9 +2,27 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 #: Default scale keeps the full suite in the low minutes on one machine.
 DEFAULT_GRID_SCALE = 0.25
 SEED = 2026
+
+
+def merge_json(path: Path, key: str, payload: dict) -> None:
+    """Merge ``payload`` under ``key`` in the shared bench JSON file."""
+    existing: dict = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            loaded = None
+        # Legacy layout (one bench at top level) is replaced wholesale.
+        if isinstance(loaded, dict) and "bench" not in loaded:
+            existing = loaded
+    existing[key] = payload
+    path.write_text(json.dumps(existing, indent=2) + "\n")
 
 
 def emit(capsys, text: str) -> None:

@@ -46,7 +46,6 @@ from __future__ import annotations
 
 import argparse
 import itertools
-import json
 import pickle
 import sys
 import time
@@ -55,6 +54,9 @@ from pathlib import Path
 import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_common import merge_json
 
 from repro.core.config import ClusteringMethod, PGHiveConfig
 from repro.core.session import SchemaSession
@@ -358,21 +360,6 @@ def run(rows) -> tuple[int, list[dict]]:
             )
             failed = True
     return (1 if failed else 0), results
-
-
-def merge_json(path: Path, key: str, payload: dict) -> None:
-    """Merge ``payload`` under ``key`` in the shared bench JSON file."""
-    existing: dict = {}
-    if path.exists():
-        try:
-            loaded = json.loads(path.read_text())
-        except json.JSONDecodeError:
-            loaded = None
-        # Legacy layout (one bench at top level) is replaced wholesale.
-        if isinstance(loaded, dict) and "bench" not in loaded:
-            existing = loaded
-    existing[key] = payload
-    path.write_text(json.dumps(existing, indent=2) + "\n")
 
 
 def main() -> int:

@@ -48,6 +48,9 @@ from pathlib import Path
 import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_common import merge_json
 
 from repro.core.config import ClusteringMethod, PGHiveConfig
 from repro.core.session import SchemaSession
@@ -249,17 +252,7 @@ def main() -> int:
         },
         "results": results,
     }
-    existing: dict = {}
-    if args.json.exists():
-        try:
-            loaded = json.loads(args.json.read_text())
-        except json.JSONDecodeError:
-            loaded = None
-        # Legacy layout (one bench at top level) is replaced wholesale.
-        if isinstance(loaded, dict) and "bench" not in loaded:
-            existing = loaded
-    existing["ingest_columnar"] = payload
-    args.json.write_text(json.dumps(existing, indent=2) + "\n")
+    merge_json(args.json, "ingest_columnar", payload)
     print(f"wrote {args.json}")
     return exit_code
 

@@ -16,6 +16,7 @@ Rule ids are stable API (suppression comments reference them):
 * ``PGL703`` renames without fsync bracketing
 * ``PGL801`` handles acquired without with/try-finally/owner release
 * ``PGL802`` multi-field state mutation torn by a raise in between
+* ``PGL803`` shared-memory handles: ownership plus a module unlink path
 * ``PGL901`` shared process-wide state mutated outside owner/lock scope
 * ``PGL001``-``PGL003`` suppression hygiene (framework meta-rules)
 """
@@ -42,6 +43,7 @@ from repro.analysis.rules.determinism import (
 from repro.analysis.rules.exception_safety import (
     PartialMutationRule,
     ResourceLifecycleRule,
+    SharedMemoryLifecycleRule,
 )
 from repro.analysis.rules.hotpath import (
     ColumnLoopRule,
@@ -67,6 +69,7 @@ def all_rules() -> list[Rule]:
         RenameFsyncRule(),
         ResourceLifecycleRule(),
         PartialMutationRule(),
+        SharedMemoryLifecycleRule(),
         SharedStateMutationRule(),
     ]
 
@@ -88,6 +91,7 @@ __all__ = [
     "PartialMutationRule",
     "ProcessPoolSubmissionRule",
     "RenameFsyncRule",
+    "SharedMemoryLifecycleRule",
     "SharedStateMutationRule",
     "StateCompletenessRule",
     "WalBeforeApplyRule",

@@ -19,6 +19,15 @@ class behind the rejected-changeset poisoning fixed in PR 7: sequence
 bumped, reports appended, registry already rewritten.  Raise-capable
 operations lexically inside a ``try`` with handlers or a ``finally``
 are assumed compensated.
+
+``PGL803`` -- shared-memory lifecycle: ``SharedMemory(...)`` handles get
+the PGL801 ownership check with the shm release vocabulary (``close``,
+``unlink``, ``release``, ``release_all``), *plus* a module-level unlink
+obligation: a module that creates segments (``create=True``) without any
+``.unlink()`` call leaks ``/dev/shm`` entries past process death --
+``close`` alone only drops the mapping.  Handing the handle to an owner
+(registry, finalizer) satisfies the per-call check exactly as in
+PGL801; only the creating module must hold an unlink path.
 """
 
 from __future__ import annotations
@@ -40,6 +49,12 @@ _EXECUTOR_NAMES = frozenset({"ProcessPoolExecutor", "ThreadPoolExecutor"})
 
 #: method names that release a handle.
 _RELEASE_METHODS = frozenset({"close", "shutdown", "terminate"})
+
+#: method names that release a shared-memory handle (PGL803); ``release``
+#: and ``release_all`` cover registry-owned blocks.
+_SHM_RELEASE_METHODS = frozenset(
+    {"close", "unlink", "release", "release_all"}
+)
 
 
 def _acquisition(call: ast.Call) -> str | None:
@@ -77,12 +92,14 @@ def _cleanup_zone(function: ast.AST) -> set[int]:
     return zone
 
 
-def _release_call(node: ast.AST) -> ast.expr | None:
+def _release_call(
+    node: ast.AST, methods: frozenset[str] = _RELEASE_METHODS
+) -> ast.expr | None:
     """Receiver of ``<receiver>.close()``-style calls, else None."""
     if (
         isinstance(node, ast.Call)
         and isinstance(node.func, ast.Attribute)
-        and node.func.attr in _RELEASE_METHODS
+        and node.func.attr in methods
     ):
         return node.func.value
     return None
@@ -98,6 +115,12 @@ class ResourceLifecycleRule(Rule):
         "try/finally close, or an owning object that closes it"
     )
     default_scope = ("src/repro/",)
+    #: the release vocabulary this rule's ownership checks accept.
+    release_methods = _RELEASE_METHODS
+
+    def acquisition(self, call: ast.Call) -> str | None:
+        """Describe ``call`` when it acquires a handle this rule patrols."""
+        return _acquisition(call)
 
     def check_module(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
         module_released_attrs = self._module_released_attrs(ctx)
@@ -107,7 +130,7 @@ class ResourceLifecycleRule(Rule):
             for node in walk_local(function):
                 if not isinstance(node, ast.Call):
                     continue
-                what = _acquisition(node)
+                what = self.acquisition(node)
                 if what is None:
                     continue
                 if self._managed(
@@ -122,12 +145,11 @@ class ResourceLifecycleRule(Rule):
                     "an owner that does",
                 )
 
-    @staticmethod
-    def _module_released_attrs(ctx: ModuleContext) -> set[str]:
+    def _module_released_attrs(self, ctx: ModuleContext) -> set[str]:
         """Attribute names released via ``*.attr.close()`` in this module."""
         released: set[str] = set()
         for node in ast.walk(ctx.tree):
-            receiver = _release_call(node)
+            receiver = _release_call(node, self.release_methods)
             if isinstance(receiver, ast.Attribute):
                 released.add(receiver.attr)
         return released
@@ -159,12 +181,11 @@ class ResourceLifecycleRule(Rule):
                 return target.attr in module_released_attrs
         return False
 
-    @staticmethod
     def _name_released(
-        name: str, function: ast.AST, cleanup: set[int]
+        self, name: str, function: ast.AST, cleanup: set[int]
     ) -> bool:
         for node in walk_local(function):
-            receiver = _release_call(node)
+            receiver = _release_call(node, self.release_methods)
             if (
                 receiver is not None
                 and isinstance(receiver, ast.Name)
@@ -198,6 +219,66 @@ class ResourceLifecycleRule(Rule):
             ):
                 return True
         return False
+
+
+class SharedMemoryLifecycleRule(ResourceLifecycleRule):
+    """PGL803: SharedMemory handles are owned, and creators unlink.
+
+    Per-acquisition ownership follows PGL801 with the shm release
+    vocabulary (``close``/``unlink``/``release``/``release_all``): a
+    with block, a try/finally release, handing the handle to an owner
+    (registry, ``weakref.finalize``), or returning it all satisfy the
+    check.  On top of that, every ``SharedMemory(..., create=True)``
+    site requires *some* ``.unlink()`` call in the same module --
+    ``close()`` only unmaps; without an unlink path the segment outlives
+    the process in ``/dev/shm``.
+    """
+
+    rule_id = "PGL803"
+    name = "shared-memory-lifecycle"
+    description = (
+        "SharedMemory handle without with/try-finally release or owner, "
+        "or created in a module with no unlink path"
+    )
+    default_scope = ("src/repro/",)
+    release_methods = _SHM_RELEASE_METHODS
+
+    def acquisition(self, call: ast.Call) -> str | None:
+        if call_name(call) == "SharedMemory":
+            return "SharedMemory()"
+        return None
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        yield from super().check_module(ctx)
+        if self._module_unlinks(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and self.acquisition(node) is not None
+                and any(
+                    keyword.arg == "create"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                    for keyword in node.keywords
+                )
+            ):
+                yield ctx.diagnostic(
+                    node,
+                    self.rule_id,
+                    "SharedMemory segment created but this module never "
+                    "calls .unlink(): close() only unmaps, the segment "
+                    "would outlive the process in /dev/shm",
+                )
+
+    @staticmethod
+    def _module_unlinks(ctx: ModuleContext) -> bool:
+        return any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "unlink"
+            for node in ast.walk(ctx.tree)
+        )
 
 
 def _mutated_field(node: ast.AST) -> str | None:

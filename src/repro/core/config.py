@@ -103,6 +103,17 @@ class PGHiveConfig:
     #: keep the full per-row pipeline.  Schema output is identical either
     #: way (DESIGN.md "Structural dedup").
     structural_dedup: bool = True
+    #: MinHash hashing kernel: ``"auto"`` selects the compiled (numba)
+    #: kernel when importable and falls back to pure numpy, ``"numpy"``
+    #: and ``"numba"`` force one path.  Both kernels are bit-identical;
+    #: forcing ``"numba"`` without numba installed is a configuration
+    #: error.  Applied process-wide when a pipeline/session is built.
+    minhash_kernel: str = "auto"
+    #: Parallel shard handoff: ``"auto"`` ships columnar change-sets
+    #: through shared-memory blocks when the platform supports them and
+    #: falls back to pickling, ``"pickle"``/``"shm"`` force one path.
+    #: Serial sessions ignore this (no process hop to optimise).
+    shard_handoff: str = "auto"
     #: Datatype inference by sampling (section 4.4): fraction + floor.
     datatype_sampling: bool = False
     datatype_sample_fraction: float = 0.1
@@ -147,4 +158,14 @@ class PGHiveConfig:
             raise ConfigurationError(
                 "key_pair_tracking_cap must be >= 0, got "
                 f"{self.key_pair_tracking_cap}"
+            )
+        if self.minhash_kernel not in ("auto", "numpy", "numba"):
+            raise ConfigurationError(
+                "minhash_kernel must be one of 'auto', 'numpy', 'numba', "
+                f"got {self.minhash_kernel!r}"
+            )
+        if self.shard_handoff not in ("auto", "pickle", "shm"):
+            raise ConfigurationError(
+                "shard_handoff must be one of 'auto', 'pickle', 'shm', "
+                f"got {self.shard_handoff!r}"
             )

@@ -42,7 +42,7 @@ from repro.graph.columnar import (
 from repro.graph.model import PropertyGraph
 from repro.graph.store import GraphStore
 from repro.lsh.base import GroupingRule
-from repro.lsh.minhash import MinHashLSH
+from repro.lsh.minhash import MinHashLSH, configure_minhash_kernel
 from repro.schema.model import SchemaGraph
 from repro.schema.validation import ValidationMode
 from repro.util import Timer
@@ -128,6 +128,10 @@ class PGHive:
 
     def __init__(self, config: PGHiveConfig | None = None) -> None:
         self.config = config or PGHiveConfig()
+        # Kernel choice is process-wide (signatures are bit-identical
+        # either way); applying it here covers sessions and the sharded
+        # workers, which all build a pipeline from their config.
+        configure_minhash_kernel(self.config.minhash_kernel)
 
     # ------------------------------------------------------------------
     # Static discovery (single batch)

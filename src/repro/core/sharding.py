@@ -58,15 +58,25 @@ import os
 import pickle
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor, wait
+from collections import deque
+from collections.abc import Iterable
+from concurrent.futures import Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.core.config import PGHiveConfig
 from repro.core.durability import read_artifact, write_artifact
 from repro.core.pipeline import PGHive
 from repro.core.session import ChangeReport, SchemaSession
+from repro.core.shm import (
+    ShmChangeSet,
+    decode_changeset_shm,
+    encode_changeset_shm,
+    global_registry as global_shm_registry,
+    rebase_changeset,
+    shm_available,
+)
 from repro.core.state import DiscoveryState
 from repro.errors import (
     CheckpointCorruptError,
@@ -209,6 +219,21 @@ def _worker_apply(change_set: ChangeSet) -> ChangeReport:
     return _WORKER_SESSION.apply(change_set)
 
 
+def _worker_apply_shm(descriptor: ShmChangeSet) -> ChangeReport:
+    """Apply one shared-memory change-set inside the shard worker.
+
+    Decodes against the session's *current* interner, so every batch of
+    one worker lifetime shares a single grow-only id lineage -- the
+    invariant the session's signature refcounts rely on.  (Pickled
+    batches satisfy it differently: each carries a copy of the
+    coordinator's interner, and successive copies are id-compatible
+    supersets.)
+    """
+    session = _WORKER_SESSION
+    interner = session.discovery_state.interner or global_interner()
+    return session.apply(decode_changeset_shm(descriptor, interner))
+
+
 def _worker_state() -> DiscoveryState:
     return _WORKER_SESSION.discovery_state
 
@@ -258,6 +283,41 @@ def _degraded_op(session: SchemaSession, op: str, *args):
     if op == "state":
         return session.discovery_state
     return str(session.checkpoint(args[0]))
+
+
+@dataclass
+class _PreparedChange:
+    """Coordinator-side effects of one change-set, staged for dispatch.
+
+    ``_prepare`` seeds the registry/signature stores and partitions;
+    dispatch failure rolls the seeds back through ``_rollback``;
+    success commits deletions and the sequence bump.  Splitting the
+    phases this way lets :meth:`ShardedSchemaSession.ingest_stream`
+    overlap the dispatch of several change-sets.
+    """
+
+    change_set: ChangeSet
+    parts: dict[int, ChangeSet]
+    deleted_nodes: set[str]
+    inserted_node_ids: set[str]
+    nodes_inserted: int
+    edges_inserted: int
+    seeded: list[str]
+    seeded_signatures: list[int]
+    interner_before: Interner
+    pinned_before: bool
+
+
+@dataclass
+class _InflightDispatch:
+    """One change-set's dispatch in flight across the shard pools."""
+
+    parts: dict[int, ChangeSet]
+    reports: dict[int, ChangeReport] = field(default_factory=dict)
+    futures: dict[int, Future] = field(default_factory=dict)
+    failed: dict[int, BaseException] = field(default_factory=dict)
+    #: shared-memory block name per shard, released after collection.
+    blocks: dict[int, str] = field(default_factory=dict)
 
 
 class ShardedSchemaSession:
@@ -363,6 +423,23 @@ class ShardedSchemaSession:
             [] for _ in range(self.n_shards)
         ]
         self._degraded: dict[int, SchemaSession] = {}
+        handoff = self.config.shard_handoff
+        if handoff == "shm" and not shm_available():
+            raise ConfigurationError(
+                "shard_handoff='shm' requires working POSIX shared memory, "
+                "which this platform failed to provide; use 'auto' or "
+                "'pickle'"
+            )
+        if handoff == "auto":
+            handoff = "shm" if self.parallel and shm_available() else "pickle"
+        #: resolved handoff mode: ``"shm"`` ships columnar parts through
+        #: shared-memory blocks, ``"pickle"`` ships whole change-sets.
+        #: Serial mode never consults it (shards apply in-process).
+        self.handoff = handoff
+        self._shm_registry = global_shm_registry()
+        #: futures submitted to each shard's pool and not yet collected
+        #: (pipelined mode keeps several in flight per shard).
+        self._shard_inflight = [0] * self.n_shards
         if not self.parallel:
             self._shards = [
                 self._make_shard_session(index) for index in range(self.n_shards)
@@ -454,6 +531,24 @@ class ShardedSchemaSession:
         through the zero-copy path; the node registry then stores compact
         records instead of :class:`Node` objects.
         """
+        prepared = self._prepare(change_set)
+        start = time.perf_counter()  # repro-lint: ignore[PGL102] -- dispatch wall-clock goes into the batch report only, never into state
+        try:
+            shard_reports = self._dispatch(prepared.parts)
+        except Exception:
+            self._rollback(prepared)
+            raise
+        seconds = time.perf_counter() - start  # repro-lint: ignore[PGL102] -- dispatch wall-clock goes into the batch report only, never into state
+        sequence = self._commit_coordinator(prepared)
+        return self._build_report(prepared, sequence, shard_reports, seconds)
+
+    def _prepare(self, change_set: ChangeSet) -> _PreparedChange:
+        """Stage one change-set: seed registry/signatures and partition.
+
+        Rejection during staging rolls its own seeds back; once the
+        staged parts exist the caller owns the rollback-vs-commit
+        decision around dispatch.
+        """
         if change_set.has_deletions and not self._retain_union:
             raise ConfigurationError(
                 "deletions require retained union graphs: construct the "
@@ -464,6 +559,7 @@ class ShardedSchemaSession:
         seeded: list[str] = []
         seeded_signatures: list[int] = []
         columnar = change_set.columnar
+        batch_records: dict[str, tuple[int, int, tuple]] = {}
         if columnar is not None:
             if change_set.nodes or change_set.edges:
                 raise ConfigurationError(
@@ -486,7 +582,6 @@ class ShardedSchemaSession:
             # *and* pre-warms the partitioner's record cache.  The batch
             # already carries the structural signature column, so seeding
             # the signature refcounts rides the same pass.
-            batch_records: dict[str, tuple[int, int, tuple]] = {}
             batch_signatures: dict[str, int] = {}
             signature_list = columnar.nodes.signature_list
             for row, node_id in enumerate(columnar.nodes.ids):
@@ -516,14 +611,25 @@ class ShardedSchemaSession:
             inserted_node_ids = {n.node_id for n in change_set.nodes}
             nodes_inserted = len(change_set.nodes)
             edges_inserted = len(change_set.edges)
-        deleted_nodes = {
-            node_id
-            for node_id in change_set.delete_nodes
-            if node_id in self._registry
-        }
+        prepared = _PreparedChange(
+            change_set=change_set,
+            parts={},
+            deleted_nodes={
+                node_id
+                for node_id in change_set.delete_nodes
+                if node_id in self._registry
+            },
+            inserted_node_ids=inserted_node_ids,
+            nodes_inserted=nodes_inserted,
+            edges_inserted=edges_inserted,
+            seeded=seeded,
+            seeded_signatures=seeded_signatures,
+            interner_before=interner_before,
+            pinned_before=pinned_before,
+        )
         try:
             if columnar is not None:
-                parts = partition_columnar(
+                prepared.parts = partition_columnar(
                     self._partitioner,
                     change_set,
                     _RegistryView(
@@ -532,49 +638,72 @@ class ShardedSchemaSession:
                     record_cache=batch_records,
                 )
             else:
-                parts = self._partitioner.partition(
+                prepared.parts = self._partitioner.partition(
                     change_set,
                     _RegistryView(
                         self._registry, self._interner, as_record=False
                     ),
                 )
-            start = time.perf_counter()  # repro-lint: ignore[PGL102] -- dispatch wall-clock goes into the batch report only, never into state
-            shard_reports = self._dispatch(parts)
-            seconds = time.perf_counter() - start  # repro-lint: ignore[PGL102] -- dispatch wall-clock goes into the batch report only, never into state
         except Exception:
-            # A rejected change-set must leave the coordinator as if the
-            # batch never happened: un-seed the registry entries of this
-            # batch and restore the interner pin (PR 7's poisoning class,
-            # now caught by PGL802).  Signature seeds roll back with
-            # their registry entries -- before the interner pin is
-            # restored, while their ids are still resolvable.
-            for node_id in seeded:
-                del self._registry[node_id]
-            for signature_id in seeded_signatures:
-                self._signatures.remove(signature_id)
-            self._interner = interner_before
-            self._interner_pinned = pinned_before
-            self._signatures.interner = interner_before
+            self._rollback(prepared)
             raise
-        # Union-registry deletions commit only after dispatch succeeded,
-        # so a rejected batch cannot leave the registry missing nodes the
-        # shards still hold.  The signature decrement reads the registry
-        # entry before it is dropped.
-        for node_id in deleted_nodes:
+        return prepared
+
+    def _rollback(self, prepared: _PreparedChange) -> None:
+        """Un-stage a rejected change-set.
+
+        The coordinator must end up as if the batch never happened:
+        un-seed the registry entries of this batch and restore the
+        interner pin (PR 7's poisoning class, now caught by PGL802).
+        Signature seeds roll back with their registry entries -- before
+        the interner pin is restored, while their ids are still
+        resolvable.
+        """
+        for node_id in prepared.seeded:
+            del self._registry[node_id]
+        for signature_id in prepared.seeded_signatures:
+            self._signatures.remove(signature_id)
+        self._interner = prepared.interner_before
+        self._interner_pinned = prepared.pinned_before
+        self._signatures.interner = prepared.interner_before
+
+    def _commit_coordinator(self, prepared: _PreparedChange) -> int:
+        """Commit coordinator effects; returns the sequence number.
+
+        Union-registry deletions commit only once the parts reached
+        their shards (after dispatch in :meth:`apply`, at submission in
+        :meth:`ingest_stream` -- either way, before the next change-set
+        partitions, which keeps the registry serial-equivalent), so a
+        rejected batch cannot leave the registry missing nodes the
+        shards still hold.  The signature decrement reads the registry
+        entry before it is dropped.
+        """
+        for node_id in prepared.deleted_nodes:
             self._signatures.remove(
                 self._record_signature(
                     _entry_to_record(self._registry[node_id], self._interner)
                 )
             )
             del self._registry[node_id]
-
         self._sequence += 1
-        stubs = frozenset(change_set.stub_node_ids) & inserted_node_ids
+        return self._sequence
+
+    def _build_report(
+        self,
+        prepared: _PreparedChange,
+        sequence: int,
+        shard_reports: tuple[tuple[int, ChangeReport], ...],
+        seconds: float,
+    ) -> ShardedChangeReport:
+        stubs = (
+            frozenset(prepared.change_set.stub_node_ids)
+            & prepared.inserted_node_ids
+        )
         report = ShardedChangeReport(
-            sequence=self._sequence,
-            nodes_inserted=nodes_inserted - len(stubs),
-            edges_inserted=edges_inserted,
-            nodes_deleted=len(deleted_nodes),
+            sequence=sequence,
+            nodes_inserted=prepared.nodes_inserted - len(stubs),
+            edges_inserted=prepared.edges_inserted,
+            nodes_deleted=len(prepared.deleted_nodes),
             edges_deleted=sum(r.edges_deleted for _, r in shard_reports),
             seconds=seconds,
             shard_reports=shard_reports,
@@ -596,41 +725,174 @@ class ShardedSchemaSession:
     def _dispatch(
         self, parts: dict[int, ChangeSet]
     ) -> tuple[tuple[int, ChangeReport], ...]:
+        return self._collect_dispatch(self._submit_parts(parts))
+
+    def _submit_parts(self, parts: dict[int, ChangeSet]) -> _InflightDispatch:
+        """Ship one change-set's parts to their shards without waiting.
+
+        Serial and degraded shards apply inline (there is no process to
+        overlap with); live parallel shards get their part submitted to
+        their pinned single-worker pool -- through a shared-memory block
+        under the ``"shm"`` handoff, a pickle otherwise -- and the
+        returned dispatch carries the futures plus the block names to
+        release at collection.
+        """
+        inflight = _InflightDispatch(parts=parts)
         if not parts:
-            return ()
+            return inflight
         for index in parts:
             self._shard_dirty[index] = True
         if not self.parallel:
-            return tuple(
-                (index, self._shards[index].apply(part))
-                for index, part in parts.items()
-            )
-        reports: dict[int, ChangeReport] = {}
-        failed: dict[int, BaseException] = {}
+            for index, part in parts.items():
+                inflight.reports[index] = self._shards[index].apply(part)
+            return inflight
         pools = self._ensure_pools()
-        futures = {}
         for index, part in parts.items():
             session = self._degraded.get(index)
             if session is not None:
-                reports[index] = session.apply(part)
+                inflight.reports[index] = self._degraded_apply(session, part)
                 continue
             try:
-                futures[index] = pools[index].submit(_worker_apply, part)
+                if self.handoff == "shm" and part.columnar is not None:
+                    descriptor = encode_changeset_shm(part, self._shm_registry)
+                    inflight.blocks[index] = descriptor.block
+                    inflight.futures[index] = pools[index].submit(
+                        _worker_apply_shm, descriptor
+                    )
+                else:
+                    inflight.futures[index] = pools[index].submit(
+                        _worker_apply, part
+                    )
+                self._shard_inflight[index] += 1
             except (OSError, BrokenProcessPool) as error:
-                failed[index] = error
-        if futures:
-            wait(list(futures.values()))
-        for index, future in futures.items():
-            try:
-                reports[index] = future.result()
-                self._record_applied(index, parts[index])
-            except (OSError, BrokenProcessPool) as error:
-                failed[index] = error
-        for index in sorted(failed):
-            reports[index] = self._recover_shard_op(
-                index, "apply", (parts[index],), failed[index]
-            )
+                inflight.failed[index] = error
+        return inflight
+
+    def _collect_dispatch(
+        self, inflight: _InflightDispatch
+    ) -> tuple[tuple[int, ChangeReport], ...]:
+        """Wait for one dispatch and fold in crash recovery.
+
+        A shard may have degraded between this dispatch's submission and
+        now (an earlier pipelined dispatch exhausted its retries); its
+        broken future then lands in ``failed`` and the part replays on
+        the degraded in-process session instead of the recovery path.
+        Shared-memory blocks release unconditionally -- the creator-side
+        reference is dropped even when collection raises.
+        """
+        parts, reports = inflight.parts, inflight.reports
+        failed = inflight.failed
+        try:
+            if inflight.futures:
+                wait(list(inflight.futures.values()))
+                for index, future in inflight.futures.items():
+                    self._shard_inflight[index] -= 1
+                    try:
+                        reports[index] = future.result()
+                        self._record_applied(index, parts[index])
+                    except (OSError, BrokenProcessPool) as error:
+                        failed[index] = error
+            for index in sorted(failed):
+                session = self._degraded.get(index)
+                if session is not None:
+                    reports[index] = self._degraded_apply(
+                        session, parts[index]
+                    )
+                else:
+                    reports[index] = self._recover_shard_op(
+                        index, "apply", (parts[index],), failed[index]
+                    )
+        finally:
+            for name in inflight.blocks.values():
+                self._shm_registry.release(name)
+            inflight.blocks.clear()
         return tuple(sorted(reports.items()))
+
+    def ingest_stream(
+        self,
+        change_sets: Iterable[ChangeSet],
+        *,
+        max_inflight: int | None = None,
+    ) -> list[ShardedChangeReport]:
+        """Apply a whole change feed with pipelined shard dispatch.
+
+        Serial mode applies the feed change-set by change-set (there is
+        nothing to overlap).  Parallel mode overlaps the coordinator
+        stages of later change-sets -- partitioning, registry seeding,
+        shared-memory encoding -- with shard workers still ingesting
+        earlier ones: each change-set's coordinator effects commit at
+        submission (so the next change-set partitions against the exact
+        serial-equivalent registry), while worker results are collected
+        through a bounded window of ``max_inflight`` dispatches for
+        backpressure.  Single-worker pools apply each shard's parts in
+        submission order, so per-shard state is identical to lockstep
+        :meth:`apply` calls; reports come back in feed order.
+
+        Unlike :meth:`apply`, a change-set rejected *worker-side* after
+        its submission cannot roll the coordinator back (later
+        change-sets already partitioned against it); the error still
+        surfaces.  Coordinator-side rejection (the common class) is
+        detected at staging and rolls back exactly like :meth:`apply`.
+        """
+        if max_inflight is None:
+            max_inflight = max(2, self.n_shards)
+        if max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if not self.parallel:
+            return [self.apply(change_set) for change_set in change_sets]
+        reports: list[ShardedChangeReport] = []
+        window: deque[
+            tuple[_PreparedChange, int, _InflightDispatch, float]
+        ] = deque()
+        try:
+            for change_set in change_sets:
+                # Backpressure: a full window blocks on the oldest
+                # dispatch, and an oversized pending-replay tail drains
+                # the window until the eager resync can run (it is
+                # suppressed while its shard has futures in flight).
+                while len(window) >= max_inflight or (
+                    window
+                    and any(
+                        len(pending) >= self.resync_every
+                        for pending in self._pending
+                    )
+                ):
+                    reports.append(self._finish_pipelined(*window.popleft()))
+                prepared = self._prepare(change_set)
+                start = time.perf_counter()  # repro-lint: ignore[PGL102] -- dispatch wall-clock goes into the batch report only, never into state
+                try:
+                    inflight = self._submit_parts(prepared.parts)
+                except Exception:
+                    self._rollback(prepared)
+                    raise
+                sequence = self._commit_coordinator(prepared)
+                window.append((prepared, sequence, inflight, start))
+            while window:
+                reports.append(self._finish_pipelined(*window.popleft()))
+        except BaseException:
+            # Drain what remains so shm blocks release and inflight
+            # counters stay truthful; the first error wins.
+            while window:
+                entry = window.popleft()
+                try:
+                    self._finish_pipelined(*entry)
+                except Exception:
+                    pass
+            raise
+        return reports
+
+    def _finish_pipelined(
+        self,
+        prepared: _PreparedChange,
+        sequence: int,
+        inflight: _InflightDispatch,
+        start: float,
+    ) -> ShardedChangeReport:
+        shard_reports = self._collect_dispatch(inflight)
+        seconds = time.perf_counter() - start  # repro-lint: ignore[PGL102] -- dispatch wall-clock goes into the batch report only, never into state
+        return self._build_report(prepared, sequence, shard_reports, seconds)
 
     def _record_applied(self, index: int, part: ChangeSet) -> None:
         """Track a worker-applied change-set for crash resubmission.
@@ -643,7 +905,11 @@ class ShardedSchemaSession:
         """
         pending = self._pending[index]
         pending.append(part)
-        if len(pending) >= self.resync_every:
+        # While the shard still has futures in flight (pipelined mode) a
+        # state fetch would queue behind them and include their effects,
+        # so crash replay of the still-pending parts would double-apply:
+        # resync only at quiescence (ingest_stream drains to get there).
+        if len(pending) >= self.resync_every and not self._shard_inflight[index]:
             self._store_fetched_state(index, self._shard_op(index, "state"))
             self._shard_dirty[index] = False
             # The cached per-shard state is current, but the merged
@@ -685,13 +951,55 @@ class ShardedSchemaSession:
         """Run one worker operation with crash recovery."""
         session = self._degraded.get(index)
         if session is not None:
+            if op == "apply":
+                return self._degraded_apply(session, args[0])
             return _degraded_op(session, op, *args)
         try:
+            if op == "apply":
+                return self._apply_via_pool(
+                    self._ensure_pools()[index], args[0]
+                )
             return self._ensure_pools()[index].submit(
                 _WORKER_OPS[op], *args
             ).result()
         except (OSError, BrokenProcessPool) as error:
             return self._recover_shard_op(index, op, args, error)
+
+    def _apply_via_pool(
+        self, pool: ProcessPoolExecutor, part: ChangeSet
+    ) -> ChangeReport:
+        """Apply one change-set through a shard pool, active handoff.
+
+        Recovery replay must ship parts the same way the live path does:
+        under the shm handoff a worker decodes every batch against its
+        current interner, and slipping a pickled batch (which carries a
+        coordinator-lineage interner copy) in between would break the
+        grow-only id lineage its signature refcounts rely on.
+        """
+        if self.handoff == "shm" and part.columnar is not None:
+            descriptor = encode_changeset_shm(part, self._shm_registry)
+            try:
+                return pool.submit(_worker_apply_shm, descriptor).result()
+            finally:
+                self._shm_registry.release(descriptor.block)
+        return pool.submit(_worker_apply, part).result()
+
+    def _degraded_apply(
+        self, session: SchemaSession, part: ChangeSet
+    ) -> ChangeReport:
+        """Apply one change-set on a degraded in-process session.
+
+        Under the shm handoff the degraded session's interner is a
+        worker-lineage copy (restored from the recovery baseline), so
+        the part -- built against the coordinator's interner -- is
+        rebased onto the session's interner first; under the pickle
+        handoff batches already carry a compatible interner.
+        """
+        if self.handoff == "shm":
+            part = rebase_changeset(
+                part, session.discovery_state.interner or global_interner()
+            )
+        return session.apply(part)
 
     def _recover_shard_op(self, index: int, op: str, args, error):
         """Restart the shard's pool and re-run ``op``; degrade when the
@@ -704,9 +1012,12 @@ class ShardedSchemaSession:
             self._backoff(attempt)
             try:
                 self._restart_shard_pool(index)
-                result = self._pools[index].submit(
-                    _WORKER_OPS[op], *args
-                ).result()
+                if op == "apply":
+                    result = self._apply_via_pool(self._pools[index], args[0])
+                else:
+                    result = self._pools[index].submit(
+                        _WORKER_OPS[op], *args
+                    ).result()
             except (OSError, BrokenProcessPool) as retry_error:
                 detail = f"{type(retry_error).__name__}: {retry_error}"
                 continue
@@ -714,6 +1025,8 @@ class ShardedSchemaSession:
                 self._record_applied(index, args[0])
             return result
         session = self._degrade_shard(index, detail)
+        if op == "apply":
+            return self._degraded_apply(session, args[0])
         return _degraded_op(session, op, *args)
 
     def _backoff(self, attempt: int) -> None:
@@ -737,7 +1050,7 @@ class ShardedSchemaSession:
                 self._track_keys,
             ).result()
         for part in self._pending[index]:
-            pools[index].submit(_worker_apply, part).result()
+            self._apply_via_pool(pools[index], part)
 
     def _degrade_shard(self, index: int, detail: str) -> SchemaSession:
         """Exhausted retries: rebuild the shard in-process and continue.
@@ -764,20 +1077,19 @@ class ShardedSchemaSession:
         if baseline is None:
             session = self._make_shard_session(index)
         else:
-            # Deep copy: the cached snapshot keeps serving merged reads
-            # and must not alias the now-mutable degraded session state.
-            state = pickle.loads(
-                pickle.dumps(baseline, protocol=pickle.HIGHEST_PROTOCOL)
-            )
+            # Independent copy: the cached snapshot keeps serving merged
+            # reads and must not alias the now-mutable degraded session
+            # state.  ``clone`` shares the grow-only interner instead of
+            # re-pickling it with the body.
             session = SchemaSession.from_state(
-                state,
+                baseline.clone(),
                 self._shard_config,
                 schema_name=f"{self.schema_name}-shard{index}",
                 streaming_postprocess=self._streaming,
                 track_keys=self._track_keys,
             )
         for part in self._pending[index]:
-            session.apply(part)
+            self._degraded_apply(session, part)
         self._pending[index].clear()
         self._degraded[index] = session
         return session
@@ -820,7 +1132,7 @@ class ShardedSchemaSession:
                 if self.parallel:
                     self._store_fetched_state(index, state)
                 else:
-                    self._shard_states[index] = state
+                    self._shard_states[index] = state  # repro-lint: ignore[PGL802] -- per-shard fetch+store commit together each iteration; a fetch failure leaves earlier shards fully stored and clean, never torn
                 self._shard_dirty[index] = False
             states.append(self._shard_states[index])
         return states

@@ -1,0 +1,669 @@
+"""Zero-copy shared-memory handoff for columnar change-sets.
+
+The parallel sharded session historically shipped every per-shard
+change-set through ``ProcessPoolExecutor`` as a pickle -- the payload was
+copied four times (pickle, pipe write, pipe read, unpickle) before a
+worker saw a single row.  This module packs the columnar
+:class:`~repro.graph.columnar.ElementBatch` of a change-set into one
+``multiprocessing.shared_memory`` block instead, so the executor hop
+carries only a small picklable :class:`ShmChangeSet` descriptor (block
+name + layout + content side tables) and workers map the numeric columns
+in place as read-only numpy views.
+
+Block layout
+------------
+
+One block per change-set, packed as 8-byte-aligned segments described by
+the descriptor's ``meta`` dict:
+
+* dense *code* columns (``int64``): per-row indices into batch-local side
+  tables for label sets, key sets, structural signatures, and endpoint
+  label tokens.  Interner ids are process-local and never cross the
+  process boundary; the side tables carry content (sorted labels, key
+  tuples, shape strings, token strings) exactly like the WAL wire
+  encoding, and the decoder re-interns each distinct entry once --
+  O(distinct structures) -- then remaps the code columns through small
+  lookup-table arrays in one vectorised gather.
+* variable-width string columns (element/source/target ids) as an
+  ``int64`` offset array plus a UTF-8 data blob.
+* property value columns as a raw row-index array plus a typed value
+  segment: ``i8``/``f8``/``bool`` payloads pack natively, ``str`` packs
+  offsets+blob, anything mixed falls back to a pickled list (``obj``).
+  Decoded values are materialised as Python scalars so datatype-shape
+  classification (exact ``type()`` lookups) is unaffected.
+
+Lifecycle
+---------
+
+Blocks are owned by a :class:`ShmBlockRegistry`: ``create`` registers a
+``weakref.finalize`` callback that closes *and* unlinks the block, so
+even an abandoned registry (interpreter exit, crashed coordinator) never
+leaks ``/dev/shm`` entries; ``multiprocessing``'s resource tracker is a
+second net behind that.  Consumers attach by name, read, and ``close()``
+in a ``finally`` -- they never unlink.  Reference counts let pipelined
+dispatch hold one block across several in-flight futures.
+"""
+
+from __future__ import annotations
+
+import pickle
+import secrets
+import threading
+import weakref
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.graph.changes import ChangeSet
+from repro.graph.columnar import (
+    ColumnarElements,
+    ElementBatch,
+    Interner,
+    ValueColumn,
+    _empty_block,
+    _object_array,
+    global_interner,
+)
+
+#: every block this module creates carries this name prefix, so leak
+#: checks (and humans inspecting ``/dev/shm``) can attribute entries.
+SHM_NAME_PREFIX = "pghive-"
+
+_ALIGN = 8
+
+#: names created by THIS process (any registry).  ``_attach`` must not
+#: unregister those from the resource tracker -- the creator's own
+#: registration is the crash-safety net that ``unlink`` retires.
+_CREATED_NAMES: set[str] = set()
+_CREATED_LOCK = threading.Lock()
+
+
+def _tracker_pid() -> int | None:
+    """Pid of this process's resource-tracker daemon (None if unstarted)."""
+    return getattr(resource_tracker._resource_tracker, "_pid", None)
+
+
+def _fresh_name() -> str:
+    # Block names only need process-level uniqueness; they never feed
+    # discovery state, so an entropy source is fine here.
+    return SHM_NAME_PREFIX + secrets.token_hex(8)
+
+
+def _reclaim_block(block: shared_memory.SharedMemory) -> None:
+    """Close and unlink one owned block, tolerating repeats/races."""
+    try:
+        block.close()
+    except OSError:
+        pass
+    try:
+        block.unlink()
+    except FileNotFoundError:
+        pass
+
+
+@dataclass
+class _BlockEntry:
+    block: shared_memory.SharedMemory
+    finalizer: weakref.finalize
+    refs: int = 1
+
+
+class ShmBlockRegistry:
+    """Ref-counted owner of created shared-memory blocks.
+
+    ``create`` hands out a block whose reclamation (``close`` +
+    ``unlink``) is guaranteed by a finalizer tied to the registry, so
+    blocks are reclaimed at the latest when the registry is collected or
+    the interpreter exits -- even if ``release`` is never called (a
+    coordinator that died mid-dispatch).  ``acquire``/``release`` adjust
+    the reference count; the block is reclaimed when it reaches zero.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, _BlockEntry] = {}
+
+    def create(self, nbytes: int) -> shared_memory.SharedMemory:
+        """A fresh owned block of at least ``nbytes`` bytes (refcount 1)."""
+        block = shared_memory.SharedMemory(
+            name=_fresh_name(), create=True, size=max(int(nbytes), 1)
+        )
+        finalizer = weakref.finalize(self, _reclaim_block, block)
+        with _CREATED_LOCK:
+            _CREATED_NAMES.add(block.name)
+        with self._lock:
+            self._entries[block.name] = _BlockEntry(block, finalizer)
+        return block
+
+    def acquire(self, name: str) -> None:
+        """Add one reference to an owned block."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise KeyError(f"unknown shared-memory block {name!r}")
+            entry.refs += 1
+
+    def release(self, name: str) -> None:
+        """Drop one reference; reclaims the block at zero.  Idempotent
+        for names already reclaimed (recovery paths may release twice).
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                return
+            entry.refs -= 1
+            if entry.refs > 0:
+                return
+            del self._entries[name]
+        # Reclaim outside the lock: unlink hits the filesystem.
+        entry.finalizer()
+
+    def release_all(self) -> None:
+        """Force-reclaim every owned block regardless of refcounts."""
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            entry.finalizer()
+
+    def live_blocks(self) -> tuple[str, ...]:
+        """Names of currently owned (unreclaimed) blocks, sorted."""
+        with self._lock:
+            return tuple(sorted(self._entries))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_GLOBAL_REGISTRY = ShmBlockRegistry()
+
+
+def global_registry() -> ShmBlockRegistry:
+    """The process-wide block registry (coordinator side)."""
+    return _GLOBAL_REGISTRY
+
+
+_AVAILABLE: bool | None = None
+_AVAILABLE_LOCK = threading.Lock()
+
+
+def shm_available() -> bool:
+    """True when POSIX shared memory actually works on this host.
+
+    Probed once per process by creating and immediately reclaiming a
+    minimal block; platforms without ``/dev/shm`` (or with it mounted
+    read-only) degrade to the pickle handoff.
+    """
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        with _AVAILABLE_LOCK:
+            if _AVAILABLE is None:
+                try:
+                    probe = shared_memory.SharedMemory(
+                        name=_fresh_name(), create=True, size=_ALIGN
+                    )
+                except OSError:
+                    _AVAILABLE = False
+                else:
+                    _reclaim_block(probe)
+                    _AVAILABLE = True
+    return _AVAILABLE
+
+
+# ----------------------------------------------------------------------
+# Descriptor + segment plumbing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShmChangeSet:
+    """Picklable handle to one change-set packed in shared memory.
+
+    ``block`` names the shared-memory block, ``nbytes`` is the logical
+    payload size, ``meta`` holds the segment layout plus the batch-local
+    content side tables.  The descriptor is what actually crosses the
+    executor pipe -- typically a few hundred bytes regardless of row
+    count.
+    """
+
+    block: str
+    nbytes: int
+    meta: dict = field(repr=False)
+    #: pid of the creator's resource-tracker daemon.  Fork-started
+    #: workers share that daemon; they must then *keep* the creator's
+    #: registration on attach (see :func:`_attach`).
+    tracker_pid: int | None = None
+
+    def wire_nbytes(self) -> int:
+        """Bytes this descriptor itself costs on the executor hop."""
+        return len(pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+class _BlockWriter:
+    """Two-phase segment packer: reserve layout first, copy once."""
+
+    def __init__(self) -> None:
+        self._parts: list[tuple[int, np.ndarray]] = []
+        self.size = 0
+
+    def reserve(self, array: np.ndarray) -> dict:
+        array = np.ascontiguousarray(array)
+        offset = self.size
+        self._parts.append((offset, array))
+        self.size = -(-(offset + array.nbytes) // _ALIGN) * _ALIGN
+        return {
+            "off": offset,
+            "n": int(array.size),
+            "dtype": array.dtype.str,
+        }
+
+    def write_into(self, buf) -> None:
+        for offset, array in self._parts:
+            if array.size:
+                np.frombuffer(
+                    buf, dtype=array.dtype, count=array.size, offset=offset
+                )[:] = array
+
+
+def _segment_view(buf, segment: dict) -> np.ndarray:
+    """Read-only numpy view of one packed segment (no copy)."""
+    view = np.frombuffer(
+        buf,
+        dtype=np.dtype(segment["dtype"]),
+        count=segment["n"],
+        offset=segment["off"],
+    )
+    view.flags.writeable = False
+    return view
+
+
+def _reserve_strings(writer: _BlockWriter, items: list[str]) -> dict:
+    encoded = [item.encode("utf-8") for item in items]
+    offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+    if encoded:
+        np.cumsum([len(blob) for blob in encoded], out=offsets[1:])
+    data = b"".join(encoded)
+    return {
+        "offsets": writer.reserve(offsets),
+        "data": writer.reserve(np.frombuffer(data, dtype=np.uint8)),
+    }
+
+
+def _read_strings(buf, segment: dict) -> list[str]:
+    bounds = _segment_view(buf, segment["offsets"]).tolist()
+    raw = _segment_view(buf, segment["data"]).tobytes()
+    return [
+        raw[bounds[index] : bounds[index + 1]].decode("utf-8")
+        for index in range(len(bounds) - 1)
+    ]
+
+
+def _reserve_values(writer: _BlockWriter, values: list) -> dict:
+    """Typed packing of one value column (Python scalars in)."""
+    kinds = set(map(type, values))
+    if kinds == {bool}:
+        return {
+            "tag": "bool",
+            "data": writer.reserve(np.asarray(values, dtype=np.uint8)),
+        }
+    if kinds == {int}:
+        try:
+            packed = np.asarray(values, dtype=np.int64)
+        except OverflowError:
+            pass
+        else:
+            return {"tag": "i8", "data": writer.reserve(packed)}
+    elif kinds == {float}:
+        return {
+            "tag": "f8",
+            "data": writer.reserve(np.asarray(values, dtype=np.float64)),
+        }
+    elif kinds == {str}:
+        return {"tag": "str", **_reserve_strings(writer, values)}
+    blob = pickle.dumps(values, protocol=pickle.HIGHEST_PROTOCOL)
+    return {
+        "tag": "obj",
+        "data": writer.reserve(np.frombuffer(blob, dtype=np.uint8)),
+    }
+
+
+def _read_values(buf, column_meta: dict) -> list:
+    tag = column_meta["tag"]
+    if tag == "str":
+        return _read_strings(buf, column_meta)
+    view = _segment_view(buf, column_meta["data"])
+    if tag == "bool":
+        return [value != 0 for value in view.tolist()]
+    if tag in ("i8", "f8"):
+        # .tolist() materialises Python int/float scalars: shape
+        # classification does exact type() lookups downstream.
+        return view.tolist()
+    return pickle.loads(view.tobytes())
+
+
+# ----------------------------------------------------------------------
+# Encoding (coordinator side)
+# ----------------------------------------------------------------------
+def _encode_block(
+    writer: _BlockWriter,
+    block: ColumnarElements,
+    interner: Interner,
+    token_code,
+) -> dict:
+    count = len(block)
+    meta: dict = {"count": count}
+    if count == 0:
+        return meta
+    meta["ids"] = _reserve_strings(writer, block.ids)
+
+    unique_labelsets, labelset_codes = np.unique(
+        block.labelset_ids, return_inverse=True
+    )
+    labelset_index = {
+        int(lid): code for code, lid in enumerate(unique_labelsets.tolist())
+    }
+    meta["labelsets"] = [
+        sorted(interner.labelset(int(lid)).labels)
+        for lid in unique_labelsets.tolist()
+    ]
+    meta["labelset_codes"] = writer.reserve(labelset_codes.astype(np.int64))
+
+    unique_keysets, keyset_codes = np.unique(
+        block.keyset_ids, return_inverse=True
+    )
+    keyset_index = {
+        int(kid): code for code, kid in enumerate(unique_keysets.tolist())
+    }
+    meta["keysets"] = [
+        interner.keyset(int(kid)).keys for kid in unique_keysets.tolist()
+    ]
+    meta["keyset_codes"] = writer.reserve(keyset_codes.astype(np.int64))
+
+    unique_signatures, signature_codes = np.unique(
+        block.signature_ids, return_inverse=True
+    )
+    entries = []
+    for sid in unique_signatures.tolist():
+        signature = interner.element_signature(int(sid))
+        entries.append(
+            (
+                labelset_index[signature.labelset_id],
+                keyset_index[signature.keyset_id],
+                signature.shape,
+                token_code(interner.string(signature.src_sid))
+                if signature.src_sid >= 0
+                else -1,
+                token_code(interner.string(signature.tgt_sid))
+                if signature.tgt_sid >= 0
+                else -1,
+            )
+        )
+    meta["signatures"] = entries
+    meta["signature_codes"] = writer.reserve(signature_codes.astype(np.int64))
+
+    columns: dict[str, dict] = {}
+    for key, column in block.columns.items():
+        columns[key] = {
+            "rows": writer.reserve(column.rows.astype(np.int64)),
+            **_reserve_values(writer, column.values.tolist()),
+        }
+    meta["columns"] = columns
+
+    if block.is_edges:
+        meta["source_ids"] = _reserve_strings(writer, block.source_ids)
+        meta["target_ids"] = _reserve_strings(writer, block.target_ids)
+        for field_name, sids in (
+            ("src", block.src_token_sids),
+            ("tgt", block.tgt_token_sids),
+        ):
+            unique_sids, codes = np.unique(sids, return_inverse=True)
+            meta[f"{field_name}_tokens"] = [
+                token_code(interner.string(int(sid)))
+                for sid in unique_sids.tolist()
+            ]
+            meta[f"{field_name}_token_codes"] = writer.reserve(
+                codes.astype(np.int64)
+            )
+    return meta
+
+
+def _pack_changeset(change_set: ChangeSet, writer: _BlockWriter) -> dict:
+    """Reserve every segment of ``change_set`` and build its meta dict."""
+    batch = change_set.columnar
+    tokens: list[str] = []
+    token_index: dict[str, int] = {}
+
+    def token_code(text: str) -> int:
+        code = token_index.get(text)
+        if code is None:
+            code = token_index[text] = len(tokens)
+            tokens.append(text)
+        return code
+
+    meta = {
+        "delete_nodes": list(change_set.delete_nodes),
+        "delete_edges": list(change_set.delete_edges),
+        "stubs": sorted(change_set.stub_node_ids),
+        "nodes": _encode_block(writer, batch.nodes, batch.interner, token_code),
+        "edges": _encode_block(writer, batch.edges, batch.interner, token_code),
+    }
+    meta["tokens"] = tokens
+    return meta
+
+
+def encode_changeset_shm(
+    change_set: ChangeSet,
+    registry: ShmBlockRegistry | None = None,
+) -> ShmChangeSet:
+    """Pack a columnar change-set into one owned shared-memory block.
+
+    The returned descriptor is what crosses the executor pipe; the
+    caller (or the registry's finalizers) must eventually ``release``
+    the named block.  Element-wise change-sets have no columnar payload
+    to map and must keep the pickle handoff.
+    """
+    batch = change_set.columnar
+    if batch is None:
+        raise ValueError(
+            "change-set has no columnar payload; use the pickle handoff"
+        )
+    # Explicit None check: an *empty* registry is falsy (``__len__``),
+    # and silently swapping it for the global one would strand the
+    # caller's release() calls on the wrong owner.
+    registry = _GLOBAL_REGISTRY if registry is None else registry
+    writer = _BlockWriter()
+    meta = _pack_changeset(change_set, writer)
+    block = registry.create(writer.size)
+    try:
+        writer.write_into(block.buf)
+    except BaseException:
+        registry.release(block.name)
+        raise
+    return ShmChangeSet(
+        block=block.name,
+        nbytes=writer.size,
+        meta=meta,
+        tracker_pid=_tracker_pid(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Decoding (worker side)
+# ----------------------------------------------------------------------
+def _attach(
+    name: str, creator_tracker_pid: int | None = None
+) -> shared_memory.SharedMemory:
+    """Attach to an existing block without adopting ownership.
+
+    Attaching registers the segment with this process's resource
+    tracker, which would try to unlink it again at interpreter exit --
+    wrong process: only the creating registry unlinks.  Unregister right
+    away (Python 3.13's ``track=False`` made this official) -- *unless*
+    this process shares the creator's tracker daemon (we created the
+    block, or we are a fork-started worker): there the attach-side
+    registration was a duplicate add into the creator's own entry, and
+    unregistering would strip the crash-safety net out from under the
+    creator's eventual ``unlink``.
+    """
+    block = shared_memory.SharedMemory(name=name)
+    with _CREATED_LOCK:
+        created_here = name in _CREATED_NAMES
+    shared_tracker = (
+        creator_tracker_pid is not None
+        and creator_tracker_pid == _tracker_pid()
+    )
+    if not created_here and not shared_tracker:
+        try:
+            resource_tracker.unregister(block._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+    return block
+
+
+def _decode_block(
+    buf,
+    meta: dict,
+    kind: str,
+    interner: Interner,
+    token_sids: list[int],
+) -> ColumnarElements:
+    if meta["count"] == 0:
+        return _empty_block(kind)
+    ids = _read_strings(buf, meta["ids"])
+
+    labelset_lut = np.fromiter(
+        (
+            interner.intern_labels(frozenset(labels))
+            for labels in meta["labelsets"]
+        ),
+        dtype=np.intp,
+        count=len(meta["labelsets"]),
+    )
+    token_lut = np.fromiter(
+        (
+            interner.labelset(int(lid)).token_sid
+            for lid in labelset_lut.tolist()
+        ),
+        dtype=np.intp,
+        count=len(labelset_lut),
+    )
+    keyset_lut = np.fromiter(
+        (interner.intern_keys(keys) for keys in meta["keysets"]),
+        dtype=np.intp,
+        count=len(meta["keysets"]),
+    )
+    signature_lut = np.fromiter(
+        (
+            interner.intern_element_signature(
+                int(labelset_lut[labelset_code]),
+                int(keyset_lut[keyset_code]),
+                shape,
+                token_sids[src] if src >= 0 else -1,
+                token_sids[tgt] if tgt >= 0 else -1,
+            )
+            for labelset_code, keyset_code, shape, src, tgt in meta[
+                "signatures"
+            ]
+        ),
+        dtype=np.intp,
+        count=len(meta["signatures"]),
+    )
+
+    # The code columns are zero-copy views into the block; the fancy
+    # LUT gathers below produce fresh owned arrays, so nothing keeps a
+    # reference into the buffer once this function returns.
+    labelset_codes = _segment_view(buf, meta["labelset_codes"])
+    labelset_ids = labelset_lut[labelset_codes]
+    row_token_sids = token_lut[labelset_codes]
+    keyset_ids = keyset_lut[_segment_view(buf, meta["keyset_codes"])]
+    signature_ids = signature_lut[_segment_view(buf, meta["signature_codes"])]
+
+    columns: dict[str, ValueColumn] = {}
+    for key, column_meta in meta["columns"].items():
+        rows = _segment_view(buf, column_meta["rows"]).astype(np.intp)
+        columns[key] = ValueColumn(rows, _object_array(_read_values(buf, column_meta)))
+
+    source_ids = target_ids = None
+    src_token = tgt_token = None
+    if kind == "edges":
+        source_ids = _read_strings(buf, meta["source_ids"])
+        target_ids = _read_strings(buf, meta["target_ids"])
+        src_lut = np.fromiter(
+            (token_sids[code] for code in meta["src_tokens"]),
+            dtype=np.intp,
+            count=len(meta["src_tokens"]),
+        )
+        tgt_lut = np.fromiter(
+            (token_sids[code] for code in meta["tgt_tokens"]),
+            dtype=np.intp,
+            count=len(meta["tgt_tokens"]),
+        )
+        src_token = src_lut[_segment_view(buf, meta["src_token_codes"])]
+        tgt_token = tgt_lut[_segment_view(buf, meta["tgt_token_codes"])]
+
+    return ColumnarElements(
+        kind,
+        ids,
+        labelset_ids,
+        row_token_sids,
+        keyset_ids,
+        columns,
+        source_ids,
+        target_ids,
+        src_token,
+        tgt_token,
+        signature_ids,
+    )
+
+
+def _unpack_changeset(buf, meta: dict, interner: Interner) -> ChangeSet:
+    """Rebuild a change-set from any packed buffer (shm block or bytes)."""
+    token_sids = [interner.intern_string(token) for token in meta["tokens"]]
+    nodes = _decode_block(buf, meta["nodes"], "nodes", interner, token_sids)
+    edges = _decode_block(buf, meta["edges"], "edges", interner, token_sids)
+    return ChangeSet(
+        delete_nodes=list(meta["delete_nodes"]),
+        delete_edges=list(meta["delete_edges"]),
+        stub_node_ids=frozenset(meta["stubs"]),
+        columnar=ElementBatch(nodes, edges, interner),
+    )
+
+
+def decode_changeset_shm(
+    descriptor: ShmChangeSet, interner: Interner | None = None
+) -> ChangeSet:
+    """Rebuild a change-set from its shared-memory descriptor.
+
+    Attaches to the named block, re-interns the content side tables
+    against ``interner`` (the process-wide one by default), remaps the
+    code columns through LUT gathers, and detaches.  The returned batch
+    owns all of its arrays -- the block can be unlinked immediately
+    after this returns.
+    """
+    interner = interner or global_interner()
+    block = _attach(descriptor.block, descriptor.tracker_pid)
+    try:
+        return _unpack_changeset(block.buf, descriptor.meta, interner)
+    finally:
+        block.close()
+
+
+def rebase_changeset(change_set: ChangeSet, interner: Interner) -> ChangeSet:
+    """Rebuild a columnar change-set's batch against ``interner``.
+
+    Same content pack/unpack as the shared-memory handoff, through a
+    plain in-process buffer: every label set, key set, signature, and
+    token is re-interned by content so the returned batch's ids live in
+    ``interner``'s lineage.  Change-sets that already share ``interner``
+    (or carry no columnar payload) come back unchanged.  Recovery paths
+    use this to replay coordinator-lineage parts into a session whose
+    interner has a different id history.
+    """
+    batch = change_set.columnar
+    if batch is None or batch.interner is interner:
+        return change_set
+    writer = _BlockWriter()
+    meta = _pack_changeset(change_set, writer)
+    buffer = bytearray(writer.size)
+    writer.write_into(buffer)
+    return _unpack_changeset(buffer, meta, interner)

@@ -47,6 +47,7 @@ cardinalities, and keys exactly.
 
 from __future__ import annotations
 
+import pickle
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
@@ -100,6 +101,36 @@ class DiscoveryState:
             pipeline=PipelineState(),
             union=PropertyGraph(f"{schema_name}-union") if retain_union else None,
         )
+
+    # ------------------------------------------------------------------
+    # Cloning
+    # ------------------------------------------------------------------
+    def clone(self) -> "DiscoveryState":
+        """An independent deep copy, minus the interner round-trip.
+
+        A full ``pickle.loads(pickle.dumps(state))`` re-serialises the
+        attached :class:`Interner` -- by far the largest payload on
+        structure-heavy states, and pointless: the interner is grow-only,
+        so sharing it keeps every id in the copy valid forever.  The
+        body (schema, accumulators, union graph, caches) round-trips
+        through pickle exactly as before -- bit-identical to the old
+        deep copy -- while the interner is rebound and the signature
+        store gets an independent refcount copy over the shared
+        interner.
+        """
+        interner, signatures = self.interner, self.signatures
+        try:
+            self.interner = None
+            self.signatures = None  # type: ignore[assignment]
+            body: DiscoveryState = pickle.loads(
+                pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        finally:
+            self.interner = interner
+            self.signatures = signatures
+        body.interner = interner
+        body.signatures = signatures.copy()
+        return body
 
     # ------------------------------------------------------------------
     # Merging

@@ -1,0 +1,38 @@
+"""Fixture: PGL803 positives -- leaked or never-unlinked shm handles.
+
+No ``.unlink()`` call exists anywhere in this module, so every
+``create=True`` acquisition additionally fires the module-level
+unlink-obligation diagnostic.
+"""
+
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leak_plain(name):
+    block = SharedMemory(name=name)  # expect[PGL803]
+    data = bytes(block.buf[:8])
+    return data
+
+
+def close_on_happy_path_only(name):
+    block = shared_memory.SharedMemory(name=name)  # expect[PGL803]
+    data = bytes(block.buf[:8])
+    block.close()
+    return data
+
+
+def create_without_unlink(nbytes):
+    # Closed in a finally, so ownership is fine -- but the module has no
+    # unlink path at all, so the segment outlives the process.
+    block = SharedMemory(create=True, size=nbytes)  # expect[PGL803]
+    try:
+        return bytes(block.buf[:nbytes])
+    finally:
+        block.close()
+
+
+class Holder:
+    def acquire(self, name):
+        # No *.close()/unlink for this attribute anywhere in the module.
+        self._block = SharedMemory(name=name)  # expect[PGL803]

@@ -1,0 +1,69 @@
+"""Fixture: PGL803 negatives -- owned, unlinked shm handles."""
+
+import weakref
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+def _reclaim(block):
+    block.close()
+    block.unlink()
+
+
+def read_with(name):
+    with SharedMemory(name=name) as block:
+        return bytes(block.buf[:8])
+
+
+def read_try_finally(name):
+    block = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(block.buf[:8])
+    finally:
+        block.close()
+
+
+def attach_for_caller(name):
+    # Caller owns the handle.
+    return SharedMemory(name=name)
+
+
+def create_probe(nbytes):
+    # Ownership transfers into the reclaim helper with the value.
+    probe = SharedMemory(create=True, size=nbytes)
+    _reclaim(probe)
+    return nbytes
+
+
+def create_try_finally(nbytes):
+    block = SharedMemory(create=True, size=nbytes)
+    try:
+        return bytes(block.buf[:nbytes])
+    finally:
+        block.unlink()
+
+
+class Registry:
+    """Finalizer-owned blocks, released through the registry."""
+
+    def __init__(self):
+        self._entries = {}
+
+    def create(self, name, nbytes):
+        block = SharedMemory(name=name, create=True, size=nbytes)
+        finalizer = weakref.finalize(self, _reclaim, block)
+        self._entries[name] = (block, finalizer)
+        return block
+
+    def release(self, name):
+        _, finalizer = self._entries.pop(name)
+        finalizer()
+
+
+class Holder:
+    def acquire(self, name):
+        # Owned by the object: released in close() below.
+        self._block = SharedMemory(name=name)
+
+    def close(self):
+        self._block.close()

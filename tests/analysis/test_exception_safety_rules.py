@@ -1,8 +1,9 @@
-"""PGL801/PGL802 fire on leaks and torn mutations only."""
+"""PGL801/PGL802/PGL803 fire on leaks and torn mutations only."""
 
 from repro.analysis.rules.exception_safety import (
     PartialMutationRule,
     ResourceLifecycleRule,
+    SharedMemoryLifecycleRule,
 )
 
 from tests.analysis.conftest import assert_fixture
@@ -12,9 +13,21 @@ def rules():
     return [ResourceLifecycleRule(scope=()), PartialMutationRule(scope=())]
 
 
+def shm_rules():
+    return [SharedMemoryLifecycleRule(scope=())]
+
+
 def test_fires_on_leaks_and_torn_mutations():
     assert_fixture(rules(), "exception_bad.py")
 
 
 def test_silent_on_owned_handles_and_safe_mutations():
     assert_fixture(rules(), "exception_good.py")
+
+
+def test_fires_on_leaked_or_never_unlinked_shm_handles():
+    assert_fixture(shm_rules(), "shm_bad.py")
+
+
+def test_silent_on_owned_and_unlinked_shm_handles():
+    assert_fixture(shm_rules(), "shm_good.py")

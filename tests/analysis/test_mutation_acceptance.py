@@ -20,7 +20,10 @@ from repro.analysis.rules.crash_consistency import (
     RenameFsyncRule,
     WalBeforeApplyRule,
 )
-from repro.analysis.rules.exception_safety import ResourceLifecycleRule
+from repro.analysis.rules.exception_safety import (
+    ResourceLifecycleRule,
+    SharedMemoryLifecycleRule,
+)
 
 from tests.analysis.conftest import REPO_ROOT, run_rules
 
@@ -118,6 +121,33 @@ def test_dropping_handle_close_fires_pgl801(tmp_path):
     open_line = _line_of(mutated, 'self._handle = open(path, "ab")')
     assert (open_line, "PGL801") in fired
     assert {rule_id for _, rule_id in fired} == {"PGL801"}
+
+
+def test_dropping_shm_unlink_fires_pgl803(tmp_path):
+    rule = SharedMemoryLifecycleRule(scope=())
+    original = CORE / "shm.py"
+    assert run_rules([rule], original) == set()
+
+    # Drop the unlink half of block reclamation: every created segment
+    # now outlives the process in /dev/shm.
+    target, mutated = _mutate(
+        tmp_path,
+        original,
+        "    try:\n"
+        "        block.unlink()\n"
+        "    except FileNotFoundError:\n"
+        "        pass\n",
+        "",
+    )
+    fired = run_rules([rule], target)
+    assert fired, "PGL803 must flag the module that lost its unlink path"
+    assert {rule_id for _, rule_id in fired} == {"PGL803"}
+    # The obligation anchors at the create=True sites, chiefly the
+    # registry's block allocation.
+    create_line = _line_of(mutated, "name=_fresh_name(), create=True")
+    assert any(
+        abs(line - create_line) <= 2 for line, _ in fired
+    ), f"diagnostics {fired} do not anchor at the registry create site"
 
 
 def test_unlocked_interner_mutation_fires_pgl901(tmp_path):

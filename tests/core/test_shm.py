@@ -1,0 +1,222 @@
+"""Unit coverage for the shared-memory handoff plumbing.
+
+The oracle suite (``tests/properties/test_shm_oracle.py``) proves the
+handoff is invisible end to end; these tests pin the mechanism itself:
+content-exact encode/decode across interner lineages, typed value
+columns, descriptor size, and the ref-counted block registry's
+guaranteed reclamation (release, release_all, and finalizer paths).
+"""
+
+import gc
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.core.shm import (
+    SHM_NAME_PREFIX,
+    ShmBlockRegistry,
+    decode_changeset_shm,
+    encode_changeset_shm,
+    rebase_changeset,
+    shm_available,
+)
+from repro.graph.changes import ChangeSet
+from repro.graph.columnar import BatchBuilder, Interner
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def shm_dir_names():
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        return frozenset()
+    return frozenset(p.name for p in shm_dir.glob(SHM_NAME_PREFIX + "*"))
+
+
+def sample_changeset(interner):
+    """A columnar change-set with every value-column tag: i8, f8, str,
+    bool, and the pickled-object fallback (mixed types in one column)."""
+    builder = BatchBuilder(interner)
+    labels = interner.intern_labels(["Person"])
+    # Key sets are sorted on intern; values align with that order:
+    # (active, age, extra, name, score).
+    keys = interner.intern_keys(["age", "name", "score", "active", "extra"])
+    builder.add_node("v1", labels, keys, (True, 31, None, "ada", 0.5))
+    builder.add_node("v2", labels, keys, (False, 47, [1, 2], "bob", 1.25))
+    org = interner.intern_labels(["Org"])
+    org_keys = interner.intern_keys(["url"])
+    builder.add_node("v3", org, org_keys, ("https://x",))
+    rel = interner.intern_labels(["WORKS_AT"])
+    rel_keys = interner.intern_keys(["since"])
+    builder.add_edge("r1", "v1", "v3", rel, rel_keys, (2020,))
+    builder.add_edge("r2", "v2", "v3", rel, rel_keys, (2021,))
+    return ChangeSet(
+        delete_nodes=["gone-1"],
+        delete_edges=["gone-e"],
+        stub_node_ids=frozenset({"v3"}),
+        columnar=builder.freeze(),
+    )
+
+
+def node_facts(change_set):
+    """Lineage-independent node content: id -> (labels, properties)."""
+    batch = change_set.columnar
+    interner = batch.interner
+    facts = {}
+    for row, node_id in enumerate(batch.nodes.ids):
+        labelset_id, keyset_id, values = batch.node_record(row)
+        labels = interner.labelset(labelset_id).labels
+        keys = interner.keyset(keyset_id).keys
+        facts[node_id] = (labels, dict(zip(keys, values)))
+    return facts
+
+
+def edge_facts(change_set):
+    batch = change_set.columnar
+    interner = batch.interner
+    facts = {}
+    for row, edge_id in enumerate(batch.edges.ids):
+        src, tgt, labelset_id, keyset_id, values = batch.edge_record(row)
+        labels = interner.labelset(labelset_id).labels
+        keys = interner.keyset(keyset_id).keys
+        facts[edge_id] = (src, tgt, labels, dict(zip(keys, values)))
+    return facts
+
+
+class TestRoundTrip:
+    def test_content_exact_across_interner_lineages(self):
+        registry = ShmBlockRegistry()
+        source = Interner()
+        original = sample_changeset(source)
+        # A target whose id space diverged: same strings, different ids.
+        target = Interner()
+        for text in ("zzz", "Person", "yyy", "url"):
+            target.intern_string(text)
+        descriptor = encode_changeset_shm(original, registry)
+        try:
+            decoded = decode_changeset_shm(descriptor, target)
+        finally:
+            registry.release(descriptor.block)
+
+        assert decoded.columnar.interner is target
+        assert node_facts(decoded) == node_facts(original)
+        assert edge_facts(decoded) == edge_facts(original)
+        assert decoded.delete_nodes == original.delete_nodes
+        assert decoded.delete_edges == original.delete_edges
+        assert decoded.stub_node_ids == original.stub_node_ids
+        assert len(registry) == 0
+        assert shm_dir_names() == frozenset()
+
+    def test_decoded_values_keep_python_types(self):
+        registry = ShmBlockRegistry()
+        original = sample_changeset(Interner())
+        descriptor = encode_changeset_shm(original, registry)
+        try:
+            decoded = decode_changeset_shm(descriptor, Interner())
+        finally:
+            registry.release(descriptor.block)
+        _, props = node_facts(decoded)["v1"]
+        # Exact types, not numpy scalars: downstream shape classification
+        # does type() lookups.
+        assert type(props["age"]) is int
+        assert type(props["score"]) is float
+        assert type(props["active"]) is bool
+        assert props["extra"] is None
+        _, mixed = node_facts(decoded)["v2"]
+        assert mixed["extra"] == [1, 2]
+
+    def test_element_wise_changesets_are_rejected(self):
+        with pytest.raises(ValueError, match="pickle handoff"):
+            encode_changeset_shm(ChangeSet.deletions(nodes=["x"]))
+
+    def test_descriptor_stays_small(self):
+        interner = Interner()
+        builder = BatchBuilder(interner)
+        labels = interner.intern_labels(["Person"])
+        keys = interner.intern_keys(["name", "rank"])
+        for i in range(5000):
+            builder.add_node(f"v{i}", labels, keys, (f"name-{i}", i))
+        change_set = ChangeSet(columnar=builder.freeze())
+        registry = ShmBlockRegistry()
+        descriptor = encode_changeset_shm(change_set, registry)
+        try:
+            pickled = len(pickle.dumps(change_set, pickle.HIGHEST_PROTOCOL))
+            # The descriptor is the whole executor-pipe payload; the rows
+            # stay in the block.
+            assert descriptor.wire_nbytes() < pickled / 10
+            assert descriptor.nbytes > 0
+        finally:
+            registry.release(descriptor.block)
+
+
+class TestRebase:
+    def test_same_interner_is_identity(self):
+        interner = Interner()
+        change_set = sample_changeset(interner)
+        assert rebase_changeset(change_set, interner) is change_set
+
+    def test_no_columnar_payload_is_identity(self):
+        change_set = ChangeSet.deletions(nodes=["x"])
+        assert rebase_changeset(change_set, Interner()) is change_set
+
+    def test_rebase_preserves_content(self):
+        original = sample_changeset(Interner())
+        target = Interner()
+        target.intern_labels(["Decoy", "Person"])
+        rebased = rebase_changeset(original, target)
+        assert rebased.columnar.interner is target
+        assert node_facts(rebased) == node_facts(original)
+        assert edge_facts(rebased) == edge_facts(original)
+        assert rebased.stub_node_ids == original.stub_node_ids
+
+
+class TestBlockRegistry:
+    def test_refcounts_hold_blocks_across_releases(self):
+        registry = ShmBlockRegistry()
+        block = registry.create(64)
+        name = block.name
+        assert registry.live_blocks() == (name,)
+        registry.acquire(name)
+        registry.release(name)
+        # One reference still held: the segment must survive.
+        assert registry.live_blocks() == (name,)
+        assert name in shm_dir_names()
+        registry.release(name)
+        assert registry.live_blocks() == ()
+        assert name not in shm_dir_names()
+
+    def test_release_all_force_reclaims(self):
+        registry = ShmBlockRegistry()
+        names = [registry.create(32).name for _ in range(3)]
+        registry.acquire(names[0])  # extra ref must not block reclamation
+        registry.release_all()
+        assert registry.live_blocks() == ()
+        assert shm_dir_names().isdisjoint(names)
+
+    def test_finalizer_reclaims_abandoned_registry(self):
+        registry = ShmBlockRegistry()
+        names = [registry.create(32).name for _ in range(2)]
+        assert set(names) <= shm_dir_names()
+        # Abandon the registry without releasing: the finalizers tied to
+        # it must still unlink every block.
+        del registry
+        gc.collect()
+        assert shm_dir_names().isdisjoint(names)
+
+    def test_release_after_reclaim_is_a_noop(self):
+        # Recovery paths may release twice; the second call must neither
+        # raise nor touch other entries.
+        registry = ShmBlockRegistry()
+        name = registry.create(16).name
+        survivor = registry.create(16).name
+        registry.release(name)
+        registry.release(name)
+        assert registry.live_blocks() == (survivor,)
+        registry.release_all()
+
+    def test_acquire_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown"):
+            ShmBlockRegistry().acquire("pghive-nope")
